@@ -1,0 +1,38 @@
+"""Helpers for emitting the reproduced figure series.
+
+Every figure bench regenerates the paper's series and both prints it
+and writes it under ``benchmarks/out/`` so the reproduction artifacts
+survive the pytest run (EXPERIMENTS.md links to them).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def format_series(title: str, headers: list[str], rows: list[tuple]) -> str:
+    widths = [
+        max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for r in rows:
+        lines.append("  ".join(_fmt(v).ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.2f}"
+    return str(v)
+
+
+def emit(name: str, text: str) -> None:
+    """Print the series and persist it to benchmarks/out/<name>.txt."""
+    print("\n" + text)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text)

@@ -1,0 +1,104 @@
+"""Shared simulation-run helpers for the figure benches.
+
+The low-volume figures (2-4, 8-10) show runs of repeated executions
+with occasional slow outliers the paper attributes to "competing tasks
+in the cluster" and cold caches.  These helpers model exactly those
+mechanisms: executions run back-to-back on a fresh or shared cluster,
+interference is injected as real competing scan jobs pinned to the
+probed node, and cold caches are the workload builders' ``cold`` flag.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim import (
+    ChunkTask,
+    QueryJob,
+    SimulatedCluster,
+    paper_cluster,
+    paper_data_scale,
+)
+
+__all__ = ["run_solo", "run_lv_series", "warm_object", "interference_job"]
+
+
+def run_solo(spec, job, warm=None):
+    """One query on an otherwise idle cluster; returns elapsed seconds."""
+    c = SimulatedCluster(spec)
+    if warm is not None:
+        scale, dataset = warm
+        c.warm_caches(
+            dataset,
+            range(scale.chunks_in_use(spec.num_nodes)),
+            scale.object_bytes_per_node(spec.num_nodes),
+        )
+    c.submit(job)
+    return c.run()[0].elapsed
+
+
+def interference_job(
+    node: int,
+    scans: int,
+    scale,
+    bytes_per_scan: float = 60e6,
+    name: str = "interference",
+):
+    """Competing work pinned to one node ("competing tasks in the cluster").
+
+    ``scans`` tasks occupy the node's slots; a probe arriving behind a
+    full slot set waits for the first one to drain.  Four 60 MB scans
+    contending on a cold disk hold a slot for ~9 s -- turning a 4 s
+    low-volume query into the paper's ~9 s outlier.
+    """
+    tasks = [
+        ChunkTask(
+            chunk_id=i,
+            scan_bytes=bytes_per_scan,
+            node=node,
+            result_bytes=0.0,
+        )
+        for i in range(scans)
+    ]
+    # Interference is already running cluster work, not a fresh user
+    # query: no frontend latency, so its tasks hold the slots by the
+    # time the probe arrives.
+    return QueryJob(name=name, tasks=tasks, frontend_latency=0.0)
+
+
+def run_lv_series(
+    spec,
+    make_job,
+    executions: int,
+    interference_execs: dict[int, int] | None = None,
+    cold_execs: set[int] | None = None,
+    rng: np.random.Generator | None = None,
+):
+    """A run of back-to-back low-volume executions on one cluster.
+
+    ``make_job(i, cold)`` builds execution ``i``; ``interference_execs``
+    maps execution index -> number of competing scans injected on the
+    probed node; ``cold_execs`` marks executions probing cold caches.
+    """
+    scale = paper_data_scale()
+    interference_execs = interference_execs or {}
+    cold_execs = cold_execs or set()
+    rng = rng or np.random.default_rng(0)
+
+    times: list[float] = []
+    c = SimulatedCluster(spec)
+    clock = 0.0
+    for i in range(executions):
+        job = make_job(i, i in cold_execs)
+        if i in interference_execs:
+            node = job.tasks[0].chunk_id % spec.num_nodes
+            c.submit(
+                interference_job(node, interference_execs[i], scale),
+                at=clock,
+            )
+        done = {}
+        c.submit(job, at=clock, on_complete=lambda o: done.update(t=o.elapsed))
+        c.run()
+        times.append(done["t"])
+        clock = c.sim.now + 1.0  # the paper's 1 s pause between queries
+    return times

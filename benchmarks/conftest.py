@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+Two kinds of benches coexist here:
+
+- *functional* benches time the real in-process Qserv stack on
+  down-scaled synthetic data (a small :func:`build_testbed` cluster);
+- *figure* benches regenerate the paper's measured series with the
+  calibrated cluster timing model (:mod:`repro.sim`) and persist them
+  under ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import build_testbed
+from repro.sim import paper_cluster, paper_data_scale
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    """A real 4-worker cluster with ~4000 objects, session-shared."""
+    return build_testbed(num_workers=4, num_objects=4000, seed=42)
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return paper_data_scale()
+
+
+@pytest.fixture(scope="session")
+def spec150():
+    return paper_cluster(150)
+
+
+@pytest.fixture(scope="session")
+def object_ids(testbed):
+    return testbed.tables["Object"].column("objectId")
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(2026)

@@ -1,0 +1,116 @@
+"""Ablation (section 7.5): HTM vs rectangular (ra, dec) partitioning.
+
+"The rectangular fragmentation in right ascension and declination,
+while convenient to visualize physically for humans, is problematic due
+to severe distortion near the poles."  Three schemes compared at
+similar partition counts:
+
+- a naive fixed (ra, dec) grid (what "rectangular fragmentation" means
+  without Qserv's per-stripe width adaptation);
+- Qserv's chunker (per-stripe chunk counts scaled by cos(dec)) -- this
+  already equalizes *area* well, but its polar chunks degenerate into
+  360-degree-wide slivers (shape distortion);
+- HTM trixels, whose areas vary ~2x but whose shapes stay compact
+  everywhere (bounded diameter), enabling the finer-grained I/O the
+  paper wants.
+"""
+
+import numpy as np
+
+from repro.partition import Chunker
+from repro.sphgeom import HtmPixelization, SphericalBox, angular_separation
+
+from _series import emit, format_series
+
+
+def _box_diameter(box: SphericalBox) -> float:
+    """Largest great-circle extent of a lat/long box (deg)."""
+    # Width along the wider (equator-nearest) edge plus the diagonal.
+    dec_edge = box.dec_min if abs(box.dec_min) < abs(box.dec_max) else box.dec_max
+    width = angular_separation(box.ra_min, dec_edge, box.ra_min + box.ra_extent(), dec_edge)
+    diag = angular_separation(box.ra_min, box.dec_min, box.ra_min + box.ra_extent(), box.dec_max)
+    return float(max(width, diag, box.dec_extent()))
+
+
+def measure():
+    rng = np.random.default_rng(75)
+
+    # Naive fixed grid with ~8960 cells (64 dec x 140 ra).
+    n_dec, n_ra = 64, 140
+    dec_edges = np.linspace(-90, 90, n_dec + 1)
+    sample_rows = rng.integers(0, n_dec, 600)
+    grid_areas = []
+    grid_diams = []
+    for r in sample_rows:
+        box = SphericalBox(0, dec_edges[r], 360.0 / n_ra, dec_edges[r + 1])
+        grid_areas.append(box.area())
+        grid_diams.append(_box_diameter(box))
+    grid_areas = np.array(grid_areas)
+
+    # Qserv chunker, 8987 chunks.
+    chunker = Chunker(85, 12)
+    sample = rng.choice(chunker.all_chunks(), 600, replace=False)
+    # Ensure the polar chunks are included: they are the distorted ones.
+    polar = [int(chunker.all_chunks()[0]), int(chunker.all_chunks()[-1])]
+    chunk_ids = list(sample) + polar
+    chunk_boxes = [chunker.chunk_box(int(c)) for c in chunk_ids]
+    chunk_areas = np.array([b.area() for b in chunk_boxes])
+    chunk_diams = [_box_diameter(b) for b in chunk_boxes]
+
+    # HTM level 5: 8192 trixels.
+    pix = HtmPixelization(5)
+    lo, hi = pix.id_range()
+    tri_ids = rng.integers(lo, hi, 600)
+    tri_areas = np.array([pix.trixel_area(int(t)) for t in tri_ids])
+    tri_diams = []
+    for t in tri_ids:
+        verts = pix.trixel_vertices(int(t))
+        from repro.sphgeom.coords import angular_separation_vectors
+
+        d = max(
+            float(angular_separation_vectors(verts[i], verts[j]))
+            for i in range(3)
+            for j in range(i + 1, 3)
+        )
+        tri_diams.append(d)
+
+    def row(name, areas, diams):
+        return (
+            name,
+            float(areas.max() / areas.min()),
+            float(np.std(areas) / np.mean(areas)),
+            float(np.max(diams)),
+        )
+
+    return [
+        row("naive grid", grid_areas, grid_diams),
+        row("qserv chunker", chunk_areas, chunk_diams),
+        row("HTM level 5", tri_areas, tri_diams),
+    ]
+
+
+def test_ablation_partitioning(benchmark):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        "ablation_partitioning",
+        format_series(
+            "Ablation: partitioning schemes at ~8-9k partitions "
+            "(paper 7.5: rectangular fragmentation distorts near the poles)",
+            ["scheme", "area max/min", "area cv", "worst diameter (deg)"],
+            rows,
+        ),
+    )
+    by = {r[0]: r for r in rows}
+    # The naive rectangular grid's area spread is catastrophic near the
+    # poles (the section 7.5 complaint); the cos(dec)-adaptive chunker
+    # mitigates it, and HTM's worst case is smaller still.
+    assert by["naive grid"][1] > 20
+    assert by["qserv chunker"][1] < 5
+    assert by["HTM level 5"][1] < 3
+    assert by["HTM level 5"][1] < by["qserv chunker"][1]
+    # Shape: every scheme's partitions stay compact (a near-polar
+    # full-RA chunk is a small cap, not a sliver) -- the measured
+    # outcome that narrows 7.5's case for HTM to area uniformity plus
+    # its hierarchical integer ids.
+    for name in ("qserv chunker", "HTM level 5"):
+        assert by[name][3] < 10

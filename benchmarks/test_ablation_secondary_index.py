@@ -1,0 +1,58 @@
+"""Ablation (section 5.5): the objectId secondary index on vs off.
+
+"When a query predicated on objectId ... is submitted, the frontend
+executes queries on this table to compute the containing set of
+chunks."  Without it, LV1-class queries dispatch full-sky.  This bench
+runs the real stack both ways and counts dispatched chunk queries and
+transferred bytes.
+"""
+
+import numpy as np
+
+from repro.qserv import Czar
+
+from _series import emit, format_series
+
+
+def compare(testbed, object_ids, rng):
+    with_index = testbed.czar
+    without_index = Czar(
+        testbed.redirector,
+        testbed.metadata,
+        testbed.chunker,
+        secondary_index=None,
+        available_chunks=testbed.placement.chunk_ids,
+    )
+    oids = [int(o) for o in rng.choice(object_ids, 10)]
+    rows = []
+    for label, czar in (("indexed", with_index), ("full-sky", without_index)):
+        chunks = bytes_moved = elapsed = 0
+        for oid in oids:
+            r = czar.submit(f"SELECT * FROM Object WHERE objectId = {oid}")
+            assert r.table.num_rows == 1
+            chunks += r.stats.chunks_dispatched
+            bytes_moved += r.stats.bytes_collected
+            elapsed += r.stats.elapsed_seconds
+        rows.append((label, chunks / len(oids), bytes_moved / len(oids), elapsed / len(oids)))
+    return rows
+
+
+def test_ablation_secondary_index(testbed, object_ids, rng, benchmark):
+    rows = benchmark.pedantic(
+        lambda: compare(testbed, object_ids, rng), rounds=1, iterations=1
+    )
+    emit(
+        "ablation_secondary_index",
+        format_series(
+            "Ablation: objectId secondary index on/off, mean per LV1 query "
+            "(paper 5.5: the index prevents full-sky dispatch)",
+            ["mode", "chunks dispatched", "bytes collected", "seconds"],
+            rows,
+        ),
+    )
+    indexed, full_sky = rows[0], rows[1]
+    assert indexed[1] == 1.0
+    assert full_sky[1] == len(testbed.placement.chunk_ids)
+    # Bytes and time scale with the dispatch width.
+    assert full_sky[2] > indexed[2]
+    assert full_sky[3] > indexed[3]

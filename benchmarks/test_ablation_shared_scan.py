@@ -1,0 +1,104 @@
+"""Ablation (sections 4.3 / 7.1): shared scanning vs FIFO scans.
+
+The paper designed shared scanning but had not implemented it; Figure
+14 shows the cost (two concurrent full scans each take twice as long).
+This bench quantifies what the design would buy: N concurrent full-scan
+queries under FIFO vs convoy scheduling.
+"""
+
+import numpy as np
+
+from repro.scheduler import FifoScanScheduler, ScanQuery, SharedScanScheduler
+
+from _series import emit, format_series
+
+# One node's Object data as ~60 chunk-sized pieces; read time from the
+# calibrated 98 MB/s sequential rate (203 MB / 98 MB/s ~= 2.07 s).
+NUM_PIECES = 60
+PIECE_READ = 2.07
+
+
+def sweep(concurrencies):
+    rows = []
+    for n in concurrencies:
+        queries = [ScanQuery(i, 0.0) for i in range(n)]
+        fifo = FifoScanScheduler(NUM_PIECES, PIECE_READ).simulate(queries)
+        shared = SharedScanScheduler(NUM_PIECES, PIECE_READ).simulate(queries)
+        rows.append(
+            (
+                n,
+                fifo.makespan(),
+                shared.makespan(),
+                fifo.makespan() / shared.makespan(),
+                fifo.pieces_read,
+                shared.pieces_read,
+            )
+        )
+    return rows
+
+
+def test_ablation_shared_scan(benchmark):
+    rows = benchmark.pedantic(lambda: sweep([1, 2, 4, 8, 16]), rounds=1, iterations=1)
+    emit(
+        "ablation_shared_scan",
+        format_series(
+            "Ablation: FIFO vs shared scanning, N concurrent full scans of one node "
+            "(paper 4.3: shared scanning returns N results in ~one scan's time)",
+            ["N", "FIFO (s)", "shared (s)", "speedup", "FIFO reads", "shared reads"],
+            rows,
+        ),
+    )
+    by_n = {r[0]: r for r in rows}
+    # N=1: identical (up to float accumulation order).
+    assert abs(by_n[1][1] - by_n[1][2]) < 1e-9
+    # N=2 FIFO: the Figure 14 doubling (plus seek penalty).
+    assert by_n[2][1] > 2 * by_n[1][1]
+    # Shared scanning: flat in N (same single scan).
+    assert abs(by_n[16][2] - by_n[1][2]) < 1e-9
+    # Disk reads: FIFO scales with N, shared does not.
+    assert by_n[16][4] == 16 * NUM_PIECES
+    assert by_n[16][5] == NUM_PIECES
+    # Speedup grows superlinearly (seek penalty compounds).
+    assert by_n[16][3] > 16
+
+
+def simulate_cluster_level():
+    """Shared scanning wired into the full cluster model: Figure 14's
+    two-HV2 mix with the extension turned on."""
+    from repro.sim import SimulatedCluster, hv2_job, paper_cluster, paper_data_scale
+
+    scale = paper_data_scale()
+    spec = paper_cluster(150)
+    rows = []
+    solo = None
+    for shared in (False, True):
+        c = SimulatedCluster(spec, shared_scanning=shared)
+        c.warm_caches(
+            "Object", range(scale.chunks_in_use(150)), scale.object_bytes_per_node(150)
+        )
+        c.submit(hv2_job(scale, spec, name="a"))
+        c.submit(hv2_job(scale, spec, name="b"))
+        outs = {o.name: o.elapsed for o in c.run()}
+        shared_scans = sum(n.scans_shared for n in c.nodes)
+        rows.append(
+            ("shared scan" if shared else "FIFO (shipped)", outs["a"], outs["b"], shared_scans)
+        )
+    return rows
+
+
+def test_ablation_shared_scan_cluster(benchmark):
+    rows = benchmark.pedantic(simulate_cluster_level, rounds=1, iterations=1)
+    emit(
+        "ablation_shared_scan_cluster",
+        format_series(
+            "Ablation: Figure 14's 2x HV2 mix with shared scanning on/off "
+            "(paper 4.3's prediction, quantified)",
+            ["policy", "HV2-a (s)", "HV2-b (s)", "scans shared"],
+            rows,
+        ),
+    )
+    fifo, shared = rows[0], rows[1]
+    # With the extension, both scans finish in ~half the FIFO time and
+    # every chunk read is shared.
+    assert shared[1] < fifo[1] * 0.6
+    assert shared[3] > 0

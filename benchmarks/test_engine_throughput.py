@@ -1,0 +1,105 @@
+"""Engine micro-benchmarks: per-node scan/aggregate/join throughput.
+
+The hpc-parallel ground rule: no optimization without measurement.
+These benches pin the per-node engine's row rates so regressions on the
+hot paths (vectorized predicate scan, grouped aggregation, sort-merge
+equi-join, point lookup) are caught, and give the per-node numbers the
+cluster model's CPU constants can be sanity-checked against.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sql import Database, Table
+
+N = 500_000
+
+
+@pytest.fixture(scope="module")
+def db():
+    rng = np.random.default_rng(8)
+    d = Database()
+    d.create_table(
+        Table(
+            "Object",
+            {
+                "objectId": np.arange(N, dtype=np.int64),
+                "ra_PS": rng.uniform(0, 360, N),
+                "decl_PS": rng.uniform(-90, 90, N),
+                "iFlux_PS": rng.lognormal(-12, 1.3, N),
+                "zFlux_PS": rng.lognormal(-12, 1.3, N),
+                "chunkId": rng.integers(0, 200, N),
+            },
+        )
+    )
+    d.create_table(
+        Table(
+            "Source",
+            {
+                "sourceId": np.arange(3 * N, dtype=np.int64),
+                "objectId": rng.integers(0, N, 3 * N),
+                "psfFlux": rng.lognormal(-12, 1.3, 3 * N),
+            },
+        )
+    )
+    return d
+
+
+def test_predicate_scan_throughput(db, benchmark):
+    """The HV2 shape: full scan with a UDF color predicate."""
+    q = (
+        "SELECT objectId, ra_PS FROM Object "
+        "WHERE fluxToAbMag(iFlux_PS) - fluxToAbMag(zFlux_PS) > 1.0"
+    )
+    out = benchmark(db.execute, q)
+    assert out.num_rows > 0
+    rate = N / benchmark.stats["mean"]
+    assert rate > 2e6, f"scan regressed to {rate / 1e6:.1f} Mrows/s"
+
+
+def test_grouped_aggregation_throughput(db, benchmark):
+    """The HV3 shape: GROUP BY with COUNT and AVGs."""
+    q = "SELECT chunkId, COUNT(*) AS n, AVG(ra_PS), AVG(decl_PS) FROM Object GROUP BY chunkId"
+    out = benchmark(db.execute, q)
+    assert out.num_rows == 200
+    rate = N / benchmark.stats["mean"]
+    assert rate > 1e6, f"group-by regressed to {rate / 1e6:.1f} Mrows/s"
+
+
+def test_equi_join_throughput(db, benchmark):
+    """The SHV2 shape: Object x Source objectId join."""
+    q = (
+        "SELECT COUNT(*) FROM Object o, Source s "
+        "WHERE o.objectId = s.objectId AND o.ra_PS < 36.0"
+    )
+    out = benchmark(db.execute, q)
+    assert out.column("COUNT(*)")[0] > 0
+    rate = 3 * N / benchmark.stats["mean"]
+    assert rate > 5e5, f"join regressed to {rate / 1e6:.2f} Mrows/s"
+
+
+def test_indexed_point_lookup(db, benchmark):
+    """The LV1 shape: objectId = k through the hash index."""
+    db.create_index("Object", "objectId")
+    rng = np.random.default_rng(3)
+
+    def one():
+        oid = int(rng.integers(0, N))
+        return db.execute(f"SELECT * FROM Object WHERE objectId = {oid}")
+
+    out = benchmark(one)
+    assert out.num_rows == 1
+    # Point lookups must not scan: sub-millisecond.
+    assert benchmark.stats["mean"] < 5e-3
+
+
+def test_dump_throughput(db, benchmark):
+    """The results-transfer shape: mysqldump of a 10k-row result."""
+    from repro.sql import dump_table
+
+    result = db.execute("SELECT objectId, ra_PS, decl_PS FROM Object LIMIT 10000")
+
+    out = benchmark(dump_table, result)
+    assert "INSERT INTO" in out
+    rate = 10_000 / benchmark.stats["mean"]
+    assert rate > 1e5, f"dump regressed to {rate / 1e3:.0f} krows/s"

@@ -1,0 +1,89 @@
+"""Figure 2: Performance on Low Volume 1 (object retrieval by objectId).
+
+Paper: 7 runs x 20 executions; ~4 s flat; Runs 1 and 4 at ~9 s from
+competing cluster tasks; Run 5 starts at ~8 s from cold caches.
+
+Regenerated two ways: (a) the calibrated timing model replays the runs
+with the paper's own outlier mechanisms injected; (b) the real
+in-process cluster executes the actual query as a functional benchmark.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import lv1_job, paper_cluster, paper_data_scale
+
+from _series import emit, format_series
+from _simruns import run_lv_series
+
+
+def simulate_fig02():
+    scale = paper_data_scale()
+    spec = paper_cluster(150)
+    rng = np.random.default_rng(2)
+    runs = {}
+    for run in range(1, 8):
+        # Paper narrative: runs 1 and 4 suffered cluster interference on
+        # every execution; run 5 began against cold caches.
+        interference = {}
+        cold = set()
+        if run in (1, 4):
+            interference = {i: 4 for i in range(20)}
+        if run == 5:
+            cold = {0}
+
+        def make_job(i, is_cold, run=run):
+            chunk = int(rng.integers(0, scale.chunks_in_use(150)))
+            return lv1_job(scale, spec, chunk_id=chunk, cold=is_cold, name=f"LV1-r{run}e{i}")
+
+        runs[run] = run_lv_series(
+            spec, make_job, executions=20, interference_execs=interference, cold_execs=cold
+        )
+    return runs
+
+
+def test_fig02_lv1_series(benchmark):
+    runs = simulate_fig02()
+    benchmark.pedantic(
+        lambda: run_lv_series(
+            paper_cluster(150),
+            lambda i, c: lv1_job(paper_data_scale(), paper_cluster(150), chunk_id=i),
+            executions=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (f"Run{r}", min(ts), float(np.mean(ts)), max(ts)) for r, ts in runs.items()
+    ]
+    emit(
+        "fig02_lv1",
+        format_series(
+            "Figure 2: LV1 execution time (s) per run (paper: ~4 s, runs 1/4 ~9 s, run 5 cold start ~8 s)",
+            ["run", "min", "mean", "max"],
+            rows,
+        ),
+    )
+    # Shape: clean runs sit near 4 s...
+    for r in (2, 3, 6, 7):
+        assert 3.0 < np.mean(runs[r]) < 5.0
+    # ...interfered runs are visibly slower...
+    for r in (1, 4):
+        assert np.mean(runs[r]) > np.mean(runs[2]) * 1.5
+    # ...and run 5's first execution shows the cold-cache bump.
+    assert runs[5][0] > np.mean(runs[5][1:]) * 1.5
+    assert 3.0 < np.mean(runs[5][1:]) < 5.0
+
+
+def test_lv1_functional(testbed, object_ids, rng, benchmark):
+    """The real stack answering the paper's LV1 query."""
+    ids = rng.choice(object_ids, 50)
+
+    def one():
+        oid = int(rng.choice(ids))
+        r = testbed.query(f"SELECT * FROM Object WHERE objectId = {oid}")
+        assert r.table.num_rows == 1
+        return r
+
+    result = benchmark(one)
+    assert result.stats.chunks_dispatched == 1  # secondary index at work

@@ -1,0 +1,63 @@
+"""Figure 3: Performance on Low Volume 2 (time series from Source).
+
+Paper: 3 runs x 50 executions, ~4 s flat; Run 1 (executed right after
+LV1's interfered Run 1) showed the same anomalous ~9 s times.
+"""
+
+import numpy as np
+
+from repro.sim import lv2_job, paper_cluster, paper_data_scale
+
+from _series import emit, format_series
+from _simruns import run_lv_series
+
+
+def simulate_fig03():
+    scale = paper_data_scale()
+    spec = paper_cluster(150)
+    rng = np.random.default_rng(3)
+    runs = {}
+    for run in range(1, 4):
+        interference = {i: 4 for i in range(50)} if run == 1 else {}
+
+        def make_job(i, is_cold, run=run):
+            chunk = int(rng.integers(0, scale.chunks_in_use(150)))
+            return lv2_job(scale, spec, chunk_id=chunk, name=f"LV2-r{run}e{i}")
+
+        runs[run] = run_lv_series(
+            spec, make_job, executions=50, interference_execs=interference
+        )
+    return runs
+
+
+def test_fig03_lv2_series(benchmark):
+    runs = benchmark.pedantic(simulate_fig03, rounds=1, iterations=1)
+    rows = [(f"Run{r}", min(t), float(np.mean(t)), max(t)) for r, t in runs.items()]
+    emit(
+        "fig03_lv2",
+        format_series(
+            "Figure 3: LV2 execution time (s) per run (paper: ~4 s; Run 1 anomalous ~9 s)",
+            ["run", "min", "mean", "max"],
+            rows,
+        ),
+    )
+    assert np.mean(runs[1]) > np.mean(runs[2]) * 1.5  # the discounted run
+    for r in (2, 3):
+        assert 3.0 < np.mean(runs[r]) < 5.5
+        # Flat: executions within a clean run vary by < 10%.
+        assert np.std(runs[r]) / np.mean(runs[r]) < 0.1
+
+
+def test_lv2_functional(testbed, object_ids, rng, benchmark):
+    """The real stack answering the paper's LV2 query."""
+    ids = rng.choice(object_ids, 50)
+
+    def one():
+        oid = int(rng.choice(ids))
+        return testbed.query(
+            "SELECT taiMidPoint, fluxToAbMag(psfFlux), fluxToAbMag(psfFluxErr), "
+            f"ra, decl FROM Source WHERE objectId = {oid}"
+        )
+
+    result = benchmark(one)
+    assert result.stats.used_secondary_index

@@ -1,0 +1,85 @@
+"""Figure 4: Performance on Low Volume 3 (spatially-restricted filter).
+
+Paper: 4 runs, ~4 s flat; Run 2's ~9 s executions "could not be
+reproduced so we discount it as resulting from competing processes".
+The box is randomized within +-20 deg declination of the equator.
+"""
+
+import numpy as np
+
+from repro.sim import SimulatedCluster, lv3_job, paper_cluster, paper_data_scale
+
+from _series import emit, format_series
+from _simruns import run_lv_series
+
+
+def simulate_fig04():
+    scale = paper_data_scale()
+    spec = paper_cluster(150)
+    rng = np.random.default_rng(4)
+    runs = {}
+    for run in range(1, 5):
+        interference = {i: 4 for i in range(17)} if run == 2 else {}
+
+        def make_job(i, is_cold, run=run):
+            chunk = int(rng.integers(0, scale.chunks_in_use(150)))
+            job = lv3_job(scale, spec, chunk_id=chunk, name=f"LV3-r{run}e{i}")
+            return job
+
+        # LV3 scans its chunk; the cluster's caches are warm for Object
+        # (interactive mixes had been running all along).
+        runs[run] = _warm_series(spec, scale, make_job, 17, interference)
+    return runs
+
+
+def _warm_series(spec, scale, make_job, executions, interference):
+    times = []
+    from _simruns import interference_job
+
+    c = SimulatedCluster(spec)
+    c.warm_caches("Object", range(scale.chunks_in_use(150)), scale.object_bytes_per_node(150))
+    clock = 0.0
+    for i in range(executions):
+        job = make_job(i, False)
+        if i in interference:
+            node = job.tasks[0].chunk_id % spec.num_nodes
+            c.submit(interference_job(node, interference[i], scale), at=clock)
+        done = {}
+        c.submit(job, at=clock, on_complete=lambda o: done.update(t=o.elapsed))
+        c.run()
+        times.append(done["t"])
+        clock = c.sim.now + 1.0
+    return times
+
+
+def test_fig04_lv3_series(benchmark):
+    runs = benchmark.pedantic(simulate_fig04, rounds=1, iterations=1)
+    rows = [(f"Run{r}", min(t), float(np.mean(t)), max(t)) for r, t in runs.items()]
+    emit(
+        "fig04_lv3",
+        format_series(
+            "Figure 4: LV3 execution time (s) per run (paper: ~4 s; Run 2 anomalous ~9 s)",
+            ["run", "min", "mean", "max"],
+            rows,
+        ),
+    )
+    for r in (1, 3, 4):
+        assert 3.0 < np.mean(runs[r]) < 5.0
+    assert np.mean(runs[2]) > np.mean(runs[1]) * 1.5
+
+
+def test_lv3_functional(testbed, rng, benchmark):
+    """The real stack: box count + color cuts + aggregation rewrite."""
+
+    def one():
+        ra0 = float(rng.uniform(0, 350))
+        dec0 = float(rng.uniform(-20, 19))
+        return testbed.query(
+            "SELECT COUNT(*) FROM Object "
+            f"WHERE ra_PS BETWEEN {ra0} AND {ra0 + 1} "
+            f"AND decl_PS BETWEEN {dec0} AND {dec0 + 1} "
+            "AND fluxToAbMag(zFlux_PS) BETWEEN 15 AND 30"
+        )
+
+    result = benchmark(one)
+    assert result.table.num_rows == 1

@@ -1,0 +1,72 @@
+"""Figure 6: Performance of High Volume 2 (full-sky filter scan).
+
+Paper: 2.5-3 minutes per execution on 150 nodes for cached runs; the
+7-minute Run-3 execution "may be a more accurate measure of uncached
+execution time".  Effective scan bandwidth: 76 MB/s/node cached, 27
+MB/s/node uncached (4.0-11 GB/s aggregate).
+"""
+
+import numpy as np
+
+from repro.sim import SimulatedCluster, hv2_job, paper_cluster, paper_data_scale
+
+from _series import emit, format_series
+
+
+def simulate_fig06():
+    scale = paper_data_scale()
+    spec = paper_cluster(150)
+    chunks = range(scale.chunks_in_use(150))
+    per_node = scale.object_bytes_per_node(150)
+
+    def run_once(warm):
+        c = SimulatedCluster(spec)
+        if warm:
+            c.warm_caches("Object", chunks, per_node)
+        c.submit(hv2_job(scale, spec))
+        return c.run()[0].elapsed
+
+    # Paper runs: caching "not controlled"; we show both regimes plus
+    # the aggregate-bandwidth arithmetic the paper reports.
+    uncached = run_once(False)
+    cached = run_once(True)
+    agg_uncached = scale.object_bytes / uncached / 1e9
+    agg_cached = scale.object_bytes / cached / 1e9
+    return uncached, cached, agg_uncached, agg_cached
+
+
+def test_fig06_hv2_series(benchmark):
+    uncached, cached, agg_unc, agg_c = benchmark.pedantic(
+        simulate_fig06, rounds=1, iterations=1
+    )
+    rows = [
+        ("cached", cached, cached / 60.0, agg_c, agg_c / 150 * 1000),
+        ("uncached", uncached, uncached / 60.0, agg_unc, agg_unc / 150 * 1000),
+    ]
+    emit(
+        "fig06_hv2",
+        format_series(
+            "Figure 6: HV2 full-sky filter (paper: 2.5-3 min cached / ~7 min uncached; 11 / 4.0 GB/s aggregate)",
+            ["regime", "seconds", "minutes", "agg GB/s", "MB/s/node"],
+            rows,
+        ),
+    )
+    assert 2.2 * 60 < cached < 3.5 * 60
+    assert 6 * 60 < uncached < 9 * 60
+    # The paper's bandwidth arithmetic: ~11 GB/s cached, ~4 GB/s uncached.
+    assert 9.0 < agg_c < 13.0
+    assert 3.0 < agg_unc < 5.0
+
+
+def test_hv2_functional(testbed, benchmark):
+    """Real stack: full-table-scan filter over every chunk."""
+
+    def one():
+        return testbed.query(
+            "SELECT objectId, ra_PS, decl_PS, uFlux_PS, gFlux_PS, rFlux_PS, "
+            "iFlux_PS, zFlux_PS, yFlux_PS FROM Object "
+            "WHERE fluxToAbMag(iFlux_PS) - fluxToAbMag(zFlux_PS) > 0.5"
+        )
+
+    result = benchmark(one)
+    assert result.stats.chunks_dispatched == len(testbed.placement.chunk_ids)

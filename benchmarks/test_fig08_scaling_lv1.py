@@ -1,0 +1,45 @@
+"""Figure 8: LV1 mean execution time vs node count (weak scaling).
+
+Paper: flat at ~4 s across 40/100/150 nodes -- "execution time is
+unaffected by node count given that the data per node is constant".
+"""
+
+import numpy as np
+
+from repro.sim import lv1_job, paper_cluster, paper_data_scale
+
+from _series import emit, format_series
+from _simruns import run_lv_series
+
+
+def simulate_fig08():
+    scale = paper_data_scale()
+    means = {}
+    for nodes in (40, 100, 150):
+        spec = paper_cluster(nodes)
+        rng = np.random.default_rng(8)
+
+        def make_job(i, cold):
+            chunk = int(rng.integers(0, scale.chunks_in_use(nodes)))
+            return lv1_job(scale, spec, chunk_id=chunk)
+
+        times = run_lv_series(spec, make_job, executions=20)
+        means[nodes] = float(np.mean(times))
+    return means
+
+
+def test_fig08_scaling_lv1(benchmark):
+    means = benchmark.pedantic(simulate_fig08, rounds=1, iterations=1)
+    rows = [(n, t) for n, t in sorted(means.items())]
+    emit(
+        "fig08_scaling_lv1",
+        format_series(
+            "Figure 8: LV1 mean execution time (s) vs node count (paper: flat ~4 s)",
+            ["nodes", "mean seconds"],
+            rows,
+        ),
+    )
+    values = list(means.values())
+    assert max(values) / min(values) < 1.05  # flat
+    for v in values:
+        assert 3.0 < v < 5.0

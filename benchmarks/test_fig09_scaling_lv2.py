@@ -1,0 +1,59 @@
+"""Figure 9: LV2 mean execution time vs node count (weak scaling).
+
+Paper: flat ~4 s except a spike at 40 nodes "caused by 2 slow
+executions (23 s and 57 s); the other 28 executions ... 4.09 to 4.11 s"
+-- attributed to unrelated competing processes.
+"""
+
+import numpy as np
+
+from repro.sim import lv2_job, paper_cluster, paper_data_scale
+
+from _series import emit, format_series
+from _simruns import run_lv_series
+
+
+def simulate_fig09():
+    scale = paper_data_scale()
+    out = {}
+    for nodes in (40, 100, 150):
+        spec = paper_cluster(nodes)
+        rng = np.random.default_rng(9)
+        # The 40-node anomaly: two executions hit heavy competing work.
+        interference = {5: 10, 17: 24} if nodes == 40 else {}
+
+        def make_job(i, cold):
+            chunk = int(rng.integers(0, scale.chunks_in_use(nodes)))
+            return lv2_job(scale, spec, chunk_id=chunk)
+
+        times = run_lv_series(
+            spec, make_job, executions=30, interference_execs=interference
+        )
+        out[nodes] = times
+    return out
+
+
+def test_fig09_scaling_lv2(benchmark):
+    series = benchmark.pedantic(simulate_fig09, rounds=1, iterations=1)
+    rows = [
+        (n, float(np.mean(t)), float(np.median(t)), max(t))
+        for n, t in sorted(series.items())
+    ]
+    emit(
+        "fig09_scaling_lv2",
+        format_series(
+            "Figure 9: LV2 mean execution time (s) vs node count "
+            "(paper: flat ~4 s; 40-node spike from 2 anomalous executions)",
+            ["nodes", "mean", "median", "max"],
+            rows,
+        ),
+    )
+    # The spike shows in the mean at 40 nodes...
+    assert np.mean(series[40]) > np.mean(series[150]) * 1.2
+    # ...but the medians are flat (<10% spread), matching the paper's
+    # ">90% tightly bounded" observation.
+    medians = [np.median(t) for t in series.values()]
+    assert max(medians) / min(medians) < 1.1
+    # The two anomalous executions are slow outliers.
+    slow = sorted(series[40])[-2:]
+    assert all(s > 10 for s in slow)

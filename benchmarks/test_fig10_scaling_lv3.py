@@ -1,0 +1,81 @@
+"""Figure 10: LV3 mean execution time vs node count (weak scaling).
+
+Paper: flat ~4 s; the 100-node point spikes because 6 of 24 executions
+ran at 5.3-8.1 s ("likely ... unrelated competing cluster activity and
+bugs in our implementation; 3 of the 6 times occurred in series,
+indicating a longer-lasting transient").
+"""
+
+import numpy as np
+
+from repro.sim import SimulatedCluster, lv3_job, paper_cluster, paper_data_scale
+
+from _series import emit, format_series
+from _simruns import interference_job
+
+
+def simulate_fig10():
+    scale = paper_data_scale()
+    out = {}
+    for nodes in (40, 100, 150):
+        spec = paper_cluster(nodes)
+        rng = np.random.default_rng(10)
+        # The 100-node transient: competing work of varying weight fills
+        # the probed node's slots across executions 8-10 ("3 of the 6
+        # times occurred in series") plus three isolated hiccups.
+        # Values are bytes per competing scan.
+        interference = (
+            {8: 20e6, 9: 18e6, 10: 12e6, 3: 10e6, 15: 25e6, 20: 9e6}
+            if nodes == 100
+            else {}
+        )
+        c = SimulatedCluster(spec)
+        c.warm_caches(
+            "Object",
+            range(scale.chunks_in_use(nodes)),
+            scale.object_bytes_per_node(nodes),
+        )
+        times = []
+        clock = 0.0
+        for i in range(24):
+            chunk = int(rng.integers(0, scale.chunks_in_use(nodes)))
+            job = lv3_job(scale, spec, chunk_id=chunk)
+            if i in interference:
+                # Competing work lands while the probe is in the
+                # frontend (parse/plan) so the slots are taken when the
+                # chunk query reaches the node.
+                c.submit(
+                    interference_job(
+                        chunk % nodes, 4, scale, bytes_per_scan=interference[i]
+                    ),
+                    at=clock + 3.0,
+                )
+            done = {}
+            c.submit(job, at=clock, on_complete=lambda o: done.update(t=o.elapsed))
+            c.run()
+            times.append(done["t"])
+            clock = c.sim.now + 1.0
+        out[nodes] = times
+    return out
+
+
+def test_fig10_scaling_lv3(benchmark):
+    series = benchmark.pedantic(simulate_fig10, rounds=1, iterations=1)
+    rows = [
+        (n, float(np.mean(t)), float(np.median(t)), max(t))
+        for n, t in sorted(series.items())
+    ]
+    emit(
+        "fig10_scaling_lv3",
+        format_series(
+            "Figure 10: LV3 mean execution time (s) vs node count "
+            "(paper: flat ~4 s; 100-node spike from 6 of 24 slow executions)",
+            ["nodes", "mean", "median", "max"],
+            rows,
+        ),
+    )
+    assert np.mean(series[100]) > np.mean(series[150]) * 1.08
+    medians = [np.median(t) for t in series.values()]
+    assert max(medians) / min(medians) < 1.1
+    slow = [t for t in series[100] if t > np.median(series[100]) * 1.25]
+    assert 3 <= len(slow) <= 8  # the paper saw 6 of 24

@@ -1,0 +1,72 @@
+"""Figure 11: High volume query execution time vs node count.
+
+Paper: HV1's time "increases linearly with the number of chunks since
+the frontend has a fixed amount of work to do per chunk"; HV3 shows a
+similar trend (its result was cached, so overhead dominates); HV2
+"approximately exhibits the flat behavior that would indicate perfect
+scalability".
+"""
+
+import numpy as np
+
+from repro.sim import (
+    SimulatedCluster,
+    hv1_job,
+    hv2_job,
+    hv3_job,
+    paper_cluster,
+    paper_data_scale,
+)
+
+from _series import emit, format_series
+
+
+def simulate_fig11():
+    scale = paper_data_scale()
+    out = {"HV1": {}, "HV2": {}, "HV3": {}}
+    for nodes in (40, 100, 150):
+        spec = paper_cluster(nodes)
+        chunks = range(scale.chunks_in_use(nodes))
+        per_node = scale.object_bytes_per_node(nodes)
+
+        def run(job, warm):
+            c = SimulatedCluster(spec)
+            if warm:
+                c.warm_caches("Object", chunks, per_node)
+            c.submit(job)
+            return c.run()[0].elapsed
+
+        out["HV1"][nodes] = run(hv1_job(scale, spec), False)
+        out["HV2"][nodes] = run(hv2_job(scale, spec), True)
+        # HV3 "result was cached so execution became more dominated by
+        # overhead": model with warm caches too.
+        out["HV3"][nodes] = run(hv3_job(scale, spec), True)
+    return out
+
+
+def test_fig11_scaling_hv(benchmark):
+    series = benchmark.pedantic(simulate_fig11, rounds=1, iterations=1)
+    rows = [
+        (nodes, series["HV1"][nodes], series["HV2"][nodes], series["HV3"][nodes])
+        for nodes in (40, 100, 150)
+    ]
+    emit(
+        "fig11_scaling_hv",
+        format_series(
+            "Figure 11: HV execution time (s) vs node count "
+            "(paper: HV1 linear in chunks, HV2 ~flat, HV3 between)",
+            ["nodes", "HV1", "HV2", "HV3"],
+            rows,
+        ),
+    )
+    hv1 = series["HV1"]
+    # HV1 linear with chunk count.
+    slope = (hv1[150] - hv1[40]) / 110
+    assert hv1[100] == np.float64(hv1[100])
+    assert abs(hv1[40] + slope * 60 - hv1[100]) / hv1[100] < 0.1
+    assert hv1[150] > hv1[40] * 2
+    # HV2 roughly flat.
+    hv2 = list(series["HV2"].values())
+    assert max(hv2) / min(hv2) < 1.15
+    # HV2 dominates HV1 in absolute terms (scans beat overhead).
+    assert series["HV2"][150] > series["HV1"][150] * 3

@@ -1,0 +1,104 @@
+"""Figure 14: Concurrent execution of 2x HV2 + LV1 + LV2 streams (150 nodes).
+
+Paper: "the HV2 queries take about twice the time (5:53.75 and 5:53.71)
+as they would if running alone ... The first queries in the low volume
+streams execute in about 30 seconds, but each of their second queries
+seems to get 'stuck' in queues.  Later queries in the streams finish
+faster."  The mechanism is FIFO worker queues with no query-cost model
+plus query skew.
+"""
+
+import numpy as np
+
+from repro.sim import (
+    SimulatedCluster,
+    hv2_job,
+    lv1_job,
+    lv2_job,
+    paper_cluster,
+    paper_data_scale,
+)
+
+from _series import emit, format_series
+
+
+def simulate_fig14():
+    scale = paper_data_scale()
+    spec = paper_cluster(150)
+    chunks = range(scale.chunks_in_use(150))
+    per_node = scale.object_bytes_per_node(150)
+
+    # Solo HV2 reference (cached regime, like the figure's runs).
+    solo = SimulatedCluster(spec)
+    solo.warm_caches("Object", chunks, per_node)
+    solo.submit(hv2_job(scale, spec))
+    hv2_solo = solo.run()[0].elapsed
+
+    c = SimulatedCluster(spec)
+    c.warm_caches("Object", chunks, per_node)
+    c.submit(hv2_job(scale, spec, name="HV2-a"))
+    c.submit(hv2_job(scale, spec, name="HV2-b"))
+
+    rng = np.random.default_rng(14)
+
+    def stream(maker, count):
+        state = {"i": 0}
+
+        def submit_next(_=None):
+            if state["i"] >= count:
+                return
+            i = state["i"]
+            state["i"] += 1
+            # "Each low volume stream paused for 1 second between queries."
+            c.submit(maker(i), at=c.sim.now + 1.0, on_complete=submit_next)
+
+        submit_next()
+
+    stream(
+        lambda i: lv1_job(
+            scale, spec, chunk_id=int(rng.integers(0, 8987)), name=f"LV1-{i}"
+        ),
+        10,
+    )
+    stream(
+        lambda i: lv2_job(
+            scale, spec, chunk_id=int(rng.integers(0, 8987)), name=f"LV2-{i}"
+        ),
+        10,
+    )
+    outcomes = c.run()
+    return hv2_solo, outcomes
+
+
+def test_fig14_concurrency(benchmark):
+    hv2_solo, outcomes = benchmark.pedantic(simulate_fig14, rounds=1, iterations=1)
+    by_name = {o.name: o for o in outcomes}
+    lv1 = [by_name[f"LV1-{i}"].elapsed for i in range(10)]
+    lv2 = [by_name[f"LV2-{i}"].elapsed for i in range(10)]
+    rows = [
+        ("HV2 solo (reference)", hv2_solo),
+        ("HV2-a concurrent", by_name["HV2-a"].elapsed),
+        ("HV2-b concurrent", by_name["HV2-b"].elapsed),
+        ("LV1 stream (first)", lv1[0]),
+        ("LV1 stream (stuck)", max(lv1)),
+        ("LV1 stream (last)", lv1[-1]),
+        ("LV2 stream (first)", lv2[0]),
+        ("LV2 stream (stuck)", max(lv2)),
+        ("LV2 stream (last)", lv2[-1]),
+    ]
+    emit(
+        "fig14_concurrency",
+        format_series(
+            "Figure 14: concurrent 2x HV2 + LV streams on 150 nodes "
+            "(paper: HV2 ~2x solo; early LV queries stuck in FIFO queues, later ones fast)",
+            ["measurement", "seconds"],
+            rows,
+        ),
+    )
+    # HV2s take ~2x their solo time (full scans competing, no shared scanning).
+    for name in ("HV2-a", "HV2-b"):
+        assert by_name[name].elapsed > 1.7 * hv2_solo
+        assert by_name[name].elapsed < 2.4 * hv2_solo
+    # Early LV queries get stuck behind scans; later ones are fast.
+    assert max(max(lv1), max(lv2)) > 60.0
+    assert lv1[-1] < 6.0 and lv2[-1] < 6.0

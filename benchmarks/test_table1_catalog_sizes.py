@@ -1,0 +1,53 @@
+"""Table 1: Estimates for LSST's final data release.
+
+Regenerates the paper's size table from the schema-level estimates and
+checks the rows x row-size arithmetic against the quoted footprints.
+"""
+
+import pytest
+
+from repro.data.schema import TABLE1_ESTIMATES
+
+from _series import emit, format_series
+
+_TB = 2.0**40
+
+
+def build_table1():
+    rows = []
+    for name in ("Object", "Source", "ForcedSource"):
+        est = TABLE1_ESTIMATES[name]
+        rows.append(
+            (
+                name,
+                f"{est.num_rows:.2e}",
+                f"{est.row_bytes:.0f}B",
+                f"{est.computed_footprint_bytes / _TB:.0f}TB",
+                f"{est.paper_footprint_bytes / _TB:.0f}TB",
+            )
+        )
+    return rows
+
+
+def test_table1_catalog_sizes(benchmark):
+    rows = benchmark(build_table1)
+    emit(
+        "table1",
+        format_series(
+            "Table 1: key catalog tables (computed vs paper footprints)",
+            ["table", "# rows", "row size", "computed", "paper"],
+            rows,
+        ),
+    )
+    # Shape assertions: ordering of magnitudes matches the paper.
+    by_name = {r[0]: r for r in rows}
+    assert float(TABLE1_ESTIMATES["Source"].computed_footprint_bytes) > float(
+        TABLE1_ESTIMATES["ForcedSource"].computed_footprint_bytes
+    )
+    assert float(TABLE1_ESTIMATES["ForcedSource"].computed_footprint_bytes) > float(
+        TABLE1_ESTIMATES["Object"].computed_footprint_bytes
+    )
+    for name in by_name:
+        est = TABLE1_ESTIMATES[name]
+        ratio = est.computed_footprint_bytes / est.paper_footprint_bytes
+        assert 0.75 < ratio < 1.25

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Ingesting an external catalog from CSV -- the adoption workflow.
+
+Real deployments load pipeline output (delimited text) through a
+partitioner.  This example exports a synthetic catalog to CSV, stands
+up an empty cluster, ingests the file (partitioning + overlap + index
+build included), and queries it -- the full path a new user of this
+library would follow with their own data.
+
+Run:  python examples/csv_ingest.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import ingest_csv, read_csv, synthesize_objects, write_csv
+from repro.partition import Chunker, Placement
+from repro.qserv import CatalogMetadata, Czar, QservWorker, SecondaryIndex
+from repro.sql import Database
+from repro.xrd import DataServer, Redirector
+from repro.xrd.protocol import query_path
+
+
+def main():
+    # 1. Pretend this CSV came from an external pipeline.
+    catalog = synthesize_objects(800, seed=3)
+    workdir = Path(tempfile.mkdtemp(prefix="qserv-ingest-"))
+    csv_path = workdir / "object_catalog.csv"
+    write_csv(catalog, csv_path)
+    print(f"Wrote {catalog.num_rows} objects to {csv_path} "
+          f"({csv_path.stat().st_size} bytes)")
+
+    # 2. Plan the partitioning for the file's sky coverage.
+    metadata = CatalogMetadata.lsst_default()
+    chunker = Chunker(num_stripes=18, num_sub_stripes=6, overlap=0.05)
+    peek = read_csv(csv_path, "Object")
+    chunk_ids = sorted(
+        {int(c) for c in chunker.chunk_id(peek.column("ra_PS"), peek.column("decl_PS"))}
+    )
+    nodes = ["ingest-w0", "ingest-w1"]
+    placement = Placement(chunk_ids, nodes, replication=2)
+    print(f"Partition plan: {len(chunk_ids)} chunks over {len(nodes)} nodes, 2x replicas")
+
+    # 3. Stand up an empty cluster.
+    redirector = Redirector()
+    workers = {}
+    for node in nodes:
+        worker = QservWorker(node, Database(metadata.database))
+        server = DataServer(node, plugin=worker)
+        redirector.register(server)
+        workers[node] = worker
+        for cid in placement.chunks_hosted_by(node):
+            server.export(query_path(cid))
+
+    # 4. Ingest: read, partition, build overlaps, fill the index, load.
+    index = SecondaryIndex()
+    report = ingest_csv(
+        csv_path,
+        "Object",
+        metadata,
+        chunker,
+        placement,
+        {n: w.db for n, w in workers.items()},
+        secondary_index=index,
+    )
+    index.finalize()
+    print(f"Ingested: {report.rows_loaded['Object']} rows into "
+          f"{report.chunks_loaded['Object']} chunks "
+          f"(+{report.overlap_rows['Object']} overlap rows)")
+
+    # 5. Query the ingested catalog.
+    czar = Czar(
+        redirector, metadata, chunker,
+        secondary_index=index, available_chunks=placement.chunk_ids,
+    )
+    r = czar.submit("SELECT COUNT(*) FROM Object")
+    print(f"COUNT(*) over the ingested catalog: {r.rows()[0][0]}")
+
+    oid = int(catalog.column("objectId")[13])
+    r = czar.submit(f"SELECT objectId, ra_PS, decl_PS FROM Object WHERE objectId = {oid}")
+    print(f"Point lookup for objectId={oid}: {r.rows()} "
+          f"({r.stats.chunks_dispatched} chunk dispatched via the index)")
+
+    r = czar.submit(
+        "SELECT AVG(uFlux_SG) FROM Object WHERE qserv_areaspec_box(358, -7, 365, 7)"
+    )
+    print(f"Region AVG(uFlux_SG): {r.rows()[0][0]:.4g}")
+    print("\nCSV -> partitioned, replicated, indexed, queryable.")
+
+
+if __name__ == "__main__":
+    main()

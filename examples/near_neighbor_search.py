@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Near-neighbor search -- the sub-chunk + overlap machinery, explained.
+
+Reproduces the paper's Super High Volume 1 workload on real data and
+peeks under the hood: the chunk queries the czar generates (with their
+``-- SUBCHUNKS:`` headers), the on-the-fly sub-chunk tables the workers
+build, and a brute-force cross-check proving the overlap tables make
+the distributed join exact up to the overlap radius.
+
+Run:  python examples/near_neighbor_search.py
+"""
+
+import numpy as np
+
+from repro.data import build_testbed
+from repro.qserv import analyze, build_aggregation_plan, generate_chunk_queries
+from repro.sphgeom import SphericalBox, angular_separation
+
+
+def main():
+    tb = build_testbed(num_workers=3, num_objects=2500, seed=11)
+    dist = tb.chunker.overlap * 0.9  # stay within the overlap guarantee
+
+    sql = (
+        "SELECT count(*) FROM Object o1, Object o2 "
+        "WHERE qserv_areaspec_box(0, -7, 5, 0) "
+        f"AND qserv_angSep(o1.ra_PS, o1.decl_PS, o2.ra_PS, o2.decl_PS) < {dist}"
+    )
+
+    # Peek at the rewriting before executing.
+    analysis = analyze(sql, tb.metadata)
+    plan = build_aggregation_plan(analysis.select)
+    chunk_ids = tb.czar.coverage(analysis)
+    specs = generate_chunk_queries(analysis, plan, tb.metadata, tb.chunker, chunk_ids[:1])
+    print("The czar turns the user query into chunk queries like this one:")
+    print("-" * 70)
+    text = specs[0].text
+    print("\n".join(text.splitlines()[:3]))
+    print(f"... ({len(text.splitlines()) - 3} more statements, "
+          f"{len(specs[0].sub_chunk_ids)} sub-chunks)")
+    print("-" * 70)
+
+    # Execute for real.
+    r = tb.query(sql)
+    pairs = int(r.table.column("count(*)")[0])
+    built = sum(w.stats.sub_chunk_tables_built for w in tb.workers.values())
+    print(f"\nDistributed answer: {pairs} pairs within {dist:.4f} deg")
+    print(
+        f"  {r.stats.chunks_dispatched} chunk queries, "
+        f"{r.stats.sub_chunk_statements} sub-chunks touched, "
+        f"{built} sub-chunk tables built on the fly (and dropped)"
+    )
+
+    # Brute-force ground truth.
+    obj = tb.tables["Object"]
+    ra, dec = obj.column("ra_PS"), obj.column("decl_PS")
+    left = np.flatnonzero(SphericalBox(0, -7, 5, 0).contains(ra, dec))
+    sep = angular_separation(
+        ra[left][:, None], dec[left][:, None], ra[None, :], dec[None, :]
+    )
+    truth = int(np.count_nonzero(sep < dist))
+    print(f"Brute-force answer:  {truth} pairs")
+    assert pairs == truth, "overlap machinery must make the join exact"
+    print("Exact match: overlap tables made the node-local join correct.")
+
+    # Show why the overlap radius matters: ask beyond it and pairs are lost.
+    wide = tb.chunker.overlap * 2.0
+    r2 = tb.query(sql.replace(f"< {dist}", f"< {wide}"))
+    sep_wide = int(np.count_nonzero(sep < wide))
+    missing = sep_wide - int(r2.table.column("count(*)")[0])
+    print(
+        f"\nQuerying beyond the overlap radius ({wide:.4f} > {tb.chunker.overlap}) "
+        f"silently drops {missing} boundary pairs -- the paper's 'preset "
+        f"spatial distance' contract (section 4.4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

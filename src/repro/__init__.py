@@ -1,0 +1,43 @@
+"""Qserv reproduction: a distributed shared-nothing database for the
+LSST catalog (Wang, Monkewitz, Lim, Becla -- SC'11), rebuilt in Python.
+
+Quick start::
+
+    from repro import build_testbed
+
+    tb = build_testbed(num_workers=4, num_objects=2000, seed=1)
+    result = tb.query("SELECT COUNT(*) FROM Object")
+    print(result.rows())
+
+Subpackages
+-----------
+- :mod:`repro.sphgeom` -- spherical geometry (boxes, circles, polygons, HTM)
+- :mod:`repro.partition` -- two-level sky chunking and chunk placement
+- :mod:`repro.sql` -- the per-node SQL engine (the MySQL role)
+- :mod:`repro.xrd` -- the Xrootd-style dispatch fabric
+- :mod:`repro.qserv` -- the paper's contribution: analysis, rewriting,
+  czar, workers, secondary index, proxy, admin
+- :mod:`repro.scheduler` -- FIFO vs shared-scan scheduling
+- :mod:`repro.sim` -- the calibrated 150-node cluster timing model
+- :mod:`repro.data` -- schemas, synthesis, the sky duplicator, loading,
+  CSV ingest, and the one-call testbed builder
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from .data import build_testbed
+from .qserv import Czar, QservProxy, QservWorker
+from .sql import Database, Table
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "build_testbed",
+    "Czar",
+    "QservProxy",
+    "QservWorker",
+    "Database",
+    "Table",
+    "__version__",
+]

@@ -1,0 +1,53 @@
+"""Catalog schemas, synthetic data generation, and partition-aware loading.
+
+The paper's test data is the PT1.1 data-challenge catalog, spatially
+replicated ("duplicated") to cover the sky: an Object table of 1.7e9
+rows and a Source table of 5.5e10 rows.  This subpackage provides the
+same machinery at configurable scale:
+
+- :mod:`~repro.data.schema` -- PT1.1-style Object/Source/ForcedSource
+  schemas and the full-survey size estimates behind Table 1;
+- :mod:`~repro.data.synthesis` -- seeded random generation of a PT1.1
+  footprint patch (RA 358..5 deg, Dec -7..+7 deg);
+- :mod:`~repro.data.duplicator` -- spherical-rectangle replication with
+  the paper's non-linear RA transformation as a function of
+  declination, preserving spatial density;
+- :mod:`~repro.data.loader` -- chunk/sub-chunk partitioning of
+  synthesized tables onto worker databases, overlap-table
+  construction, and secondary-index population;
+- :mod:`~repro.data.cluster` -- one-call construction of a complete
+  in-process Qserv cluster (redirector, workers, czar, loaded data).
+"""
+
+from .schema import (
+    OBJECT_SCHEMA,
+    SOURCE_SCHEMA,
+    FORCED_SOURCE_SCHEMA,
+    TABLE1_ESTIMATES,
+    CatalogSizeEstimate,
+)
+from .synthesis import PT11_FOOTPRINT, synthesize_objects, synthesize_sources
+from .duplicator import SkyDuplicator
+from .loader import load_tables, LoadReport
+from .ingest import read_csv, write_csv, ingest_csv, IngestError
+from .cluster import QservTestbed, build_testbed
+
+__all__ = [
+    "OBJECT_SCHEMA",
+    "SOURCE_SCHEMA",
+    "FORCED_SOURCE_SCHEMA",
+    "TABLE1_ESTIMATES",
+    "CatalogSizeEstimate",
+    "PT11_FOOTPRINT",
+    "synthesize_objects",
+    "synthesize_sources",
+    "SkyDuplicator",
+    "load_tables",
+    "LoadReport",
+    "read_csv",
+    "write_csv",
+    "ingest_csv",
+    "IngestError",
+    "QservTestbed",
+    "build_testbed",
+]

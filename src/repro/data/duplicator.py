@@ -1,0 +1,164 @@
+"""The sky duplicator (paper section 6.1.2).
+
+"This patch was treated as a spherical rectangle and replicated over
+the sky by transforming duplicate rows' RA and declination columns,
+taking care to maintain spatial distance and density by a non-linear
+transformation of right-ascension as a function of declination."
+
+The transformation: a copy translated to band-center declination
+``dec_c`` keeps true angular offsets by scaling RA offsets with
+``cos(dec_patch_center) / cos(dec')`` per row -- RA compresses toward
+the poles exactly as the metric demands, so object densities (objects
+per square degree) are preserved.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sphgeom import SphericalBox
+from ..sql import Table
+
+__all__ = ["SkyDuplicator", "CopyTransform"]
+
+
+@dataclass(frozen=True)
+class CopyTransform:
+    """Placement of one duplicate of the base patch."""
+
+    copy_index: int
+    ra_center: float
+    dec_center: float
+
+
+class SkyDuplicator:
+    """Replicates a base patch over a target declination band.
+
+    Parameters
+    ----------
+    patch:
+        Footprint of the base data (e.g. the PT1.1 box).
+    dec_min, dec_max:
+        Declination limits for replication.  The paper clipped Source
+        data to -54..+54 for disk space; the full partitioning covers
+        -90..+90.
+    """
+
+    def __init__(self, patch: SphericalBox, dec_min: float = -54.0, dec_max: float = 54.0):
+        if patch.is_empty:
+            raise ValueError("patch footprint is empty")
+        if dec_min >= dec_max:
+            raise ValueError("dec_min must be below dec_max")
+        self.patch = patch
+        self.dec_min = float(dec_min)
+        self.dec_max = float(dec_max)
+        self.patch_width = patch.ra_extent()
+        self.patch_height = patch.dec_extent()
+        self.patch_ra_center = (patch.ra_min + self.patch_width / 2.0) % 360.0
+        self.patch_dec_center = (patch.dec_min + patch.dec_max) / 2.0
+
+    # -- placement ------------------------------------------------------------
+
+    def transforms(self) -> list[CopyTransform]:
+        """Copy placements tiling the band, more copies where cos(dec) is big.
+
+        Each declination row holds ``floor(360 * cos(dec_row) /
+        patch_width_at_equator)`` copies, so the density of copies per
+        solid angle stays constant -- the same equal-area logic as the
+        chunker.
+        """
+        out: list[CopyTransform] = []
+        idx = 0
+        n_rows = max(1, int(math.floor((self.dec_max - self.dec_min) / self.patch_height)))
+        for row in range(n_rows):
+            dec_c = self.dec_min + (row + 0.5) * self.patch_height
+            cos_c = math.cos(math.radians(dec_c))
+            effective_width = self.patch_width / max(cos_c, 1e-9)
+            n_copies = max(1, int(math.floor(360.0 / effective_width)))
+            for k in range(n_copies):
+                out.append(
+                    CopyTransform(
+                        copy_index=idx,
+                        ra_center=(k + 0.5) * (360.0 / n_copies),
+                        dec_center=dec_c,
+                    )
+                )
+                idx += 1
+        return out
+
+    # -- row transformation ---------------------------------------------------------
+
+    def apply(
+        self,
+        transform: CopyTransform,
+        ra: np.ndarray,
+        dec: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Map base-patch positions into the copy's location.
+
+        The declination shift is rigid; the RA offset from the patch
+        center is scaled by ``cos(dec_patch_center)/cos(dec_new)`` per
+        row -- the non-linear RA transformation that preserves angular
+        separations (and hence density) at the new declination.
+        """
+        ra = np.asarray(ra, dtype=np.float64)
+        dec = np.asarray(dec, dtype=np.float64)
+        # Signed RA offset from the patch center, in (-180, 180].
+        d_ra = np.mod(ra - self.patch_ra_center + 180.0, 360.0) - 180.0
+        new_dec = dec - self.patch_dec_center + transform.dec_center
+        new_dec = np.clip(new_dec, -90.0, 90.0)
+        cos_old = math.cos(math.radians(self.patch_dec_center))
+        cos_new = np.cos(np.deg2rad(new_dec))
+        scale = cos_old / np.maximum(cos_new, 1e-9)
+        new_ra = np.mod(transform.ra_center + d_ra * scale, 360.0)
+        return new_ra, new_dec
+
+    # -- whole-table duplication ---------------------------------------------------------
+
+    def duplicate_table(
+        self,
+        table: Table,
+        ra_column: str,
+        dec_column: str,
+        id_columns: tuple[str, ...] = ("objectId",),
+        max_copies: int | None = None,
+    ) -> Table:
+        """The full synthesized table: every copy concatenated.
+
+        ``id_columns`` are offset per copy so identifiers stay globally
+        unique (copy k adds ``k * (max_id + 1)``).
+        """
+        transforms = self.transforms()
+        if max_copies is not None:
+            transforms = transforms[:max_copies]
+        base_cols = table.columns()
+        n = table.num_rows
+        id_strides = {}
+        for col in id_columns:
+            if col in table:
+                arr = table.column(col)
+                id_strides[col] = int(arr.max()) + 1 if len(arr) else 1
+
+        out: dict[str, list[np.ndarray]] = {name: [] for name in base_cols}
+        for t in transforms:
+            new_ra, new_dec = self.apply(
+                t, base_cols[ra_column], base_cols[dec_column]
+            )
+            for name, arr in base_cols.items():
+                if name == ra_column:
+                    out[name].append(new_ra)
+                elif name == dec_column:
+                    out[name].append(new_dec)
+                elif name in id_strides:
+                    out[name].append(arr + t.copy_index * id_strides[name])
+                else:
+                    out[name].append(arr)
+        merged = {name: np.concatenate(parts) for name, parts in out.items()}
+        return Table(table.name, merged)
+
+    def expansion_factor(self) -> int:
+        """How many copies a full replication produces."""
+        return len(self.transforms())

@@ -1,0 +1,208 @@
+"""CSV ingest: loading external catalog files into the cluster.
+
+Production Qserv ingests pipeline output (delimited text) through a
+standalone partitioner that assigns every row its chunk and sub-chunk
+before loading.  This module is that path for the reproduction:
+
+- :func:`read_csv` -- a typed, streaming-friendly delimited reader onto
+  a :class:`~repro.sql.table.Table` (no pandas; NumPy only);
+- :func:`write_csv` -- the inverse, for exporting results;
+- :func:`ingest_csv` -- read, partition (via any chunker), and load a
+  catalog file onto a worker set in one call, returning the loader's
+  report.
+
+The reader is deliberately strict: a schema must be given or inferred
+from a header + the first data row, ragged rows are an error, and empty
+fields become NULL only for float columns (matching the engine's NULL
+model).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from ..partition import Placement
+from ..qserv.metadata import CatalogMetadata
+from ..qserv.secondary_index import SecondaryIndex
+from ..sql import Column, Database, Table
+from .loader import LoadReport, load_tables
+
+__all__ = ["read_csv", "write_csv", "ingest_csv", "IngestError"]
+
+
+class IngestError(ValueError):
+    """Malformed input files or schema mismatches."""
+
+
+def _parse_typed(raw_columns: dict[str, list[str]], schema: list[Column]) -> Table:
+    arrays: dict[str, np.ndarray] = {}
+    by_name = {c.name: c for c in schema}
+    for name, values in raw_columns.items():
+        col = by_name[name]
+        dtype = col.dtype
+        if dtype == np.dtype(object):
+            arrays[name] = np.array(values, dtype=object)
+            continue
+        if np.issubdtype(dtype, np.floating):
+            parsed = np.array(
+                [float(v) if v != "" else np.nan for v in values], dtype=np.float64
+            )
+        elif np.issubdtype(dtype, np.bool_):
+            parsed = np.array(
+                [v.lower() in ("1", "true", "t", "yes") for v in values], dtype=bool
+            )
+        else:
+            try:
+                parsed = np.array([int(v) for v in values], dtype=np.int64)
+            except ValueError as e:
+                raise IngestError(f"column {name!r}: {e}") from e
+        arrays[name] = parsed
+    return Table("ingest", arrays)
+
+
+def _infer_schema(header: list[str], first_row: list[str]) -> list[Column]:
+    """Infer column types from the first data row (int, float, or text)."""
+    out = []
+    for name, value in zip(header, first_row):
+        try:
+            int(value)
+            out.append(Column(name, "BIGINT"))
+            continue
+        except ValueError:
+            pass
+        try:
+            float(value)
+            out.append(Column(name, "DOUBLE"))
+            continue
+        except ValueError:
+            pass
+        out.append(Column(name, "TEXT"))
+    return out
+
+
+def read_csv(
+    source,
+    table_name: str,
+    schema: list[Column] | None = None,
+    delimiter: str = ",",
+    has_header: bool = True,
+) -> Table:
+    """Read a delimited file (path, str content, or file object) to a Table.
+
+    Without a ``schema``, a header row is required and types are
+    inferred from the first data row.
+    """
+    if isinstance(source, Path):
+        text = source.read_text()
+    elif isinstance(source, str):
+        # A string is a path only when it points at an existing file;
+        # otherwise it is the content itself.
+        is_pathlike = "\n" not in source and len(source) < 4096
+        if is_pathlike and Path(source).is_file():
+            text = Path(source).read_text()
+        else:
+            text = source
+    else:
+        text = source.read()
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        raise IngestError("input is empty")
+
+    if has_header:
+        header = [h.strip() for h in lines[0].split(delimiter)]
+        data_lines = lines[1:]
+    else:
+        if schema is None:
+            raise IngestError("headerless input requires an explicit schema")
+        header = [c.name for c in schema]
+        data_lines = lines
+
+    if schema is None:
+        if not data_lines:
+            raise IngestError("cannot infer types from a header-only file")
+        schema = _infer_schema(header, [v.strip() for v in data_lines[0].split(delimiter)])
+    by_name = {c.name for c in schema}
+    missing = [h for h in header if h not in by_name]
+    if missing:
+        raise IngestError(f"columns {missing} not in the schema")
+
+    raw: dict[str, list[str]] = {h: [] for h in header}
+    for lineno, line in enumerate(data_lines, start=2 if has_header else 1):
+        parts = [p.strip() for p in line.split(delimiter)]
+        if len(parts) != len(header):
+            raise IngestError(
+                f"line {lineno}: expected {len(header)} fields, got {len(parts)}"
+            )
+        for h, p in zip(header, parts):
+            raw[h].append(p)
+
+    table = _parse_typed(raw, [c for c in schema if c.name in raw])
+    return table.rename(table_name)
+
+
+def write_csv(table: Table, destination, delimiter: str = ",") -> None:
+    """Write a Table as delimited text with a header row."""
+    buf = io.StringIO()
+    buf.write(delimiter.join(table.column_names) + "\n")
+    columns = [table.column(n) for n in table.column_names]
+    for i in range(table.num_rows):
+        fields = []
+        for col in columns:
+            v = col[i]
+            if isinstance(v, (float, np.floating)) and np.isnan(v):
+                fields.append("")
+            else:
+                fields.append(str(v))
+        buf.write(delimiter.join(fields) + "\n")
+    text = buf.getvalue()
+    if isinstance(destination, (str, Path)):
+        Path(destination).write_text(text)
+    else:
+        destination.write(text)
+
+
+def ingest_csv(
+    source,
+    table_name: str,
+    metadata: CatalogMetadata,
+    chunker,
+    placement: Placement,
+    worker_dbs: dict[str, Database],
+    schema: list[Column] | None = None,
+    delimiter: str = ",",
+    secondary_index: SecondaryIndex | None = None,
+) -> LoadReport:
+    """Read a catalog file, partition it, and load it onto the workers.
+
+    The file must carry the partitioning columns the metadata names for
+    ``table_name`` (e.g. ``ra_PS``/``decl_PS`` for Object).  Rows are
+    assigned chunk/sub-chunk ids, ``FullOverlap`` companions are built
+    for director tables, and the secondary index is extended -- the
+    same contract as :func:`~repro.data.loader.load_tables`.
+    """
+    table = read_csv(source, table_name, schema=schema, delimiter=delimiter)
+    if metadata.is_partitioned(table_name):
+        info = metadata.info(table_name)
+        for needed in (info.ra_column, info.dec_column):
+            if needed not in table:
+                raise IngestError(
+                    f"partitioned table {table_name!r} requires column {needed!r}"
+                )
+        # The loader fills chunkId/subChunkId; add them if the file
+        # doesn't carry them.
+        cols = dict(table.columns())
+        for bookkeeping in ("chunkId", "subChunkId"):
+            if bookkeeping not in cols:
+                cols[bookkeeping] = np.full(table.num_rows, -1, dtype=np.int64)
+        table = Table(table_name, cols)
+    return load_tables(
+        {table_name: table},
+        metadata,
+        chunker,
+        placement,
+        worker_dbs,
+        secondary_index=secondary_index,
+    )

@@ -1,0 +1,175 @@
+"""Partition-aware data loading.
+
+Splits logical tables into per-chunk physical tables on worker
+databases (``Object_713``), fills the ``chunkId``/``subChunkId``
+bookkeeping columns, builds the ``FullOverlap`` companion tables for
+director tables (rows within the overlap radius outside each sub-chunk,
+tagged with the sub-chunk they pad -- section 4.4), replicates chunks
+according to the placement, and populates the objectId secondary index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..partition import Chunker, Placement
+from ..sql import Database, Table
+from ..qserv.metadata import CatalogMetadata
+from ..qserv.rewrite import chunk_table_name, overlap_table_name
+from ..qserv.secondary_index import SecondaryIndex
+
+__all__ = ["load_tables", "LoadReport"]
+
+
+@dataclass
+class LoadReport:
+    """What the loader actually did."""
+
+    chunks_loaded: dict[str, int] = field(default_factory=dict)
+    rows_loaded: dict[str, int] = field(default_factory=dict)
+    overlap_rows: dict[str, int] = field(default_factory=dict)
+    empty_chunks: dict[str, int] = field(default_factory=dict)
+
+
+def load_tables(
+    tables: dict[str, Table],
+    metadata: CatalogMetadata,
+    chunker: Chunker,
+    placement: Placement,
+    worker_dbs: dict[str, Database],
+    secondary_index: SecondaryIndex | None = None,
+) -> LoadReport:
+    """Partition ``tables`` onto ``worker_dbs`` according to ``placement``.
+
+    Every chunk id in the placement receives a physical table on each
+    of its replica nodes -- empty where the logical table has no rows
+    there, so any dispatched chunk query finds its tables.
+    """
+    report = LoadReport()
+    for name, table in tables.items():
+        if not metadata.is_partitioned(name):
+            # Unpartitioned tables are replicated whole to every node.
+            for db in worker_dbs.values():
+                db.create_table(table.rename(name), overwrite=True)
+            report.rows_loaded[name] = table.num_rows * len(worker_dbs)
+            continue
+        _load_partitioned(
+            name, table, metadata, chunker, placement, worker_dbs, report,
+            secondary_index,
+        )
+    return report
+
+
+def _load_partitioned(
+    name: str,
+    table: Table,
+    metadata: CatalogMetadata,
+    chunker: Chunker,
+    placement: Placement,
+    worker_dbs: dict[str, Database],
+    report: LoadReport,
+    secondary_index: SecondaryIndex | None,
+) -> None:
+    info = metadata.info(name)
+    ra = table.column(info.ra_column)
+    dec = table.column(info.dec_column)
+    n = table.num_rows
+
+    cids = chunker.chunk_id(ra, dec) if n else np.empty(0, dtype=np.int64)
+    scids = chunker.sub_chunk_id(ra, dec) if n else np.empty(0, dtype=np.int64)
+
+    # Fill bookkeeping columns on a working copy of the column dict.
+    cols = dict(table.columns())
+    if "chunkId" in cols:
+        cols["chunkId"] = cids
+    if "subChunkId" in cols:
+        cols["subChunkId"] = scids
+    full = Table(name, cols)
+
+    # Secondary index entries come from the director table.
+    if secondary_index is not None and info.is_director and info.index_column:
+        secondary_index.add_entries(table.column(info.index_column), cids, scids)
+
+    # Group rows by chunk with one argsort.
+    order = np.argsort(cids, kind="stable")
+    sorted_cids = cids[order]
+    uniq, starts = np.unique(sorted_cids, return_index=True)
+    row_groups = {
+        int(c): order[s:e]
+        for c, s, e in zip(uniq, starts, np.append(starts[1:], n))
+    }
+
+    chunks = placement.chunk_ids
+    loaded = empty = total_rows = total_overlap = 0
+    for cid in chunks:
+        rows = row_groups.get(cid, np.empty(0, dtype=np.int64))
+        chunk_table = full.select_rows(rows).rename(chunk_table_name(name, cid))
+        overlap_table = None
+        if info.is_director:
+            overlap_table = _build_overlap(
+                name, full, ra, dec, chunker, cid
+            )
+            total_overlap += overlap_table.num_rows
+        for node in placement.replicas(cid):
+            db = worker_dbs[node]
+            db.create_table(chunk_table.rename(chunk_table.name), overwrite=True)
+            if overlap_table is not None:
+                db.create_table(overlap_table.rename(overlap_table.name), overwrite=True)
+        loaded += 1
+        total_rows += len(rows)
+        if len(rows) == 0:
+            empty += 1
+
+    report.chunks_loaded[name] = loaded
+    report.rows_loaded[name] = total_rows
+    report.empty_chunks[name] = empty
+    if info.is_director:
+        report.overlap_rows[name] = total_overlap
+
+
+def _build_overlap(
+    name: str,
+    full: Table,
+    ra: np.ndarray,
+    dec: np.ndarray,
+    chunker: Chunker,
+    cid: int,
+) -> Table:
+    """The FullOverlap table of chunk ``cid``.
+
+    Rows within ``overlap`` of a sub-chunk but outside it, with
+    ``subChunkId`` set to the sub-chunk they pad.  A row near a corner
+    appears once per padded sub-chunk -- that duplication is the price
+    of node-local spatial joins and is how production Qserv stores it.
+    """
+    # Candidates: rows in the dilated chunk box but not in the chunk.
+    chunk_box = chunker.chunk_box(cid)
+    dilated = chunker.chunk_overlap_box(cid)
+    candidate_mask = dilated.contains(ra, dec)
+    candidates = np.flatnonzero(candidate_mask)
+    pieces: list[tuple[int, np.ndarray]] = []
+    if len(candidates):
+        cand_ra = ra[candidates]
+        cand_dec = dec[candidates]
+        for scid in chunker.sub_chunks_of(cid):
+            scid = int(scid)
+            in_ovl = chunker.in_sub_chunk_overlap(cid, scid, cand_ra, cand_dec)
+            rows = candidates[in_ovl]
+            if len(rows):
+                pieces.append((scid, rows))
+
+    out_name = overlap_table_name(name, cid)
+    if not pieces:
+        empty = full.select_rows(np.empty(0, dtype=np.int64))
+        return empty.rename(out_name)
+    all_rows = np.concatenate([rows for _, rows in pieces])
+    sub_ids = np.concatenate(
+        [np.full(len(rows), scid, dtype=np.int64) for scid, rows in pieces]
+    )
+    sel = full.select_rows(all_rows)
+    cols = dict(sel.columns())
+    cols["chunkId"] = np.full(len(all_rows), cid, dtype=np.int64)
+    cols["subChunkId"] = sub_ids
+    return Table(out_name, cols)

@@ -1,0 +1,94 @@
+"""PT1.1-style catalog schemas and the Table 1 size estimates.
+
+The column subset covers every column the paper's test queries touch
+(sections 6.2): positions, per-band PSF fluxes, the ``uFlux_SG`` and
+``uRadius_PS`` columns of the section 5.3 example, Source time-series
+columns, and the partition bookkeeping columns (``chunkId``,
+``subChunkId``) that production Qserv stores with every row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sql.table import Column
+
+__all__ = [
+    "OBJECT_SCHEMA",
+    "SOURCE_SCHEMA",
+    "FORCED_SOURCE_SCHEMA",
+    "CatalogSizeEstimate",
+    "TABLE1_ESTIMATES",
+    "BANDS",
+]
+
+#: LSST filter bands, in wavelength order.
+BANDS = ("u", "g", "r", "i", "z", "y")
+
+OBJECT_SCHEMA = [
+    Column("objectId", "BIGINT"),
+    Column("ra_PS", "DOUBLE"),
+    Column("decl_PS", "DOUBLE"),
+    Column("chunkId", "BIGINT"),
+    Column("subChunkId", "BIGINT"),
+    *[Column(f"{b}Flux_PS", "DOUBLE") for b in BANDS],
+    Column("uFlux_SG", "DOUBLE"),
+    Column("uRadius_PS", "DOUBLE"),
+]
+
+SOURCE_SCHEMA = [
+    Column("sourceId", "BIGINT"),
+    Column("objectId", "BIGINT"),
+    Column("ra", "DOUBLE"),
+    Column("decl", "DOUBLE"),
+    Column("chunkId", "BIGINT"),
+    Column("subChunkId", "BIGINT"),
+    Column("taiMidPoint", "DOUBLE"),
+    Column("psfFlux", "DOUBLE"),
+    Column("psfFluxErr", "DOUBLE"),
+]
+
+FORCED_SOURCE_SCHEMA = [
+    Column("forcedSourceId", "BIGINT"),
+    Column("objectId", "BIGINT"),
+    Column("chunkId", "BIGINT"),
+    Column("subChunkId", "BIGINT"),
+    Column("taiMidPoint", "DOUBLE"),
+    Column("psfFlux", "DOUBLE"),
+]
+
+
+@dataclass(frozen=True)
+class CatalogSizeEstimate:
+    """One row of the paper's Table 1."""
+
+    table: str
+    num_rows: float
+    row_bytes: float
+    #: The paper's quoted raw footprint, in bytes (binary units).
+    paper_footprint_bytes: float
+
+    @property
+    def computed_footprint_bytes(self) -> float:
+        """rows x row size -- what Table 1's footprint column derives from."""
+        return self.num_rows * self.row_bytes
+
+
+_TB = 2.0**40
+_PB = 2.0**50
+
+#: Table 1: Estimates for LSST's final data release.
+TABLE1_ESTIMATES = {
+    "Object": CatalogSizeEstimate(
+        table="Object", num_rows=26e9, row_bytes=2048.0, paper_footprint_bytes=48 * _TB
+    ),
+    "Source": CatalogSizeEstimate(
+        table="Source", num_rows=1.8e12, row_bytes=650.0, paper_footprint_bytes=1.3 * _PB
+    ),
+    "ForcedSource": CatalogSizeEstimate(
+        table="ForcedSource",
+        num_rows=21e12,
+        row_bytes=30.0,
+        paper_footprint_bytes=620 * _TB,
+    ),
+}

@@ -1,0 +1,192 @@
+"""Chunk-to-node placement.
+
+Section 4.4: with many more partitions than nodes, adding or removing a
+node only requires *moving* some chunks, never re-computing partition
+boundaries.  :class:`Placement` implements that contract: deterministic
+round-robin initial assignment plus minimal-movement rebalancing on
+membership changes, with optional replication for fault tolerance.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Placement"]
+
+
+class Placement:
+    """Tracks which worker node owns each chunk (plus replicas).
+
+    Parameters
+    ----------
+    chunk_ids:
+        All chunk ids being placed.
+    nodes:
+        Initial node names.
+    replication:
+        Copies of each chunk, including the primary (>= 1).  Replicas go
+        to distinct nodes when possible.
+    """
+
+    def __init__(
+        self,
+        chunk_ids: Iterable[int],
+        nodes: Sequence[str],
+        replication: int = 1,
+    ):
+        nodes = list(nodes)
+        if not nodes:
+            raise ValueError("at least one node is required")
+        if len(set(nodes)) != len(nodes):
+            raise ValueError("node names must be unique")
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        self.replication = int(replication)
+        self._nodes: list[str] = nodes
+        self._replicas: dict[int, list[str]] = {}
+        chunk_list = sorted(int(c) for c in chunk_ids)
+        if len(set(chunk_list)) != len(chunk_list):
+            raise ValueError("chunk ids must be unique")
+        for i, cid in enumerate(chunk_list):
+            owners = [
+                nodes[(i + r) % len(nodes)]
+                for r in range(min(self.replication, len(nodes)))
+            ]
+            self._replicas[cid] = owners
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[str]:
+        return list(self._nodes)
+
+    @property
+    def chunk_ids(self) -> list[int]:
+        return sorted(self._replicas)
+
+    def primary(self, chunk_id: int) -> str:
+        """The primary owner of a chunk."""
+        return self._replicas[int(chunk_id)][0]
+
+    def replicas(self, chunk_id: int) -> list[str]:
+        """All owners of a chunk, primary first."""
+        return list(self._replicas[int(chunk_id)])
+
+    def chunks_of(self, node: str) -> list[int]:
+        """Chunks for which ``node`` is the primary owner."""
+        if node not in self._nodes:
+            raise KeyError(f"unknown node {node!r}")
+        return sorted(c for c, owners in self._replicas.items() if owners[0] == node)
+
+    def chunks_hosted_by(self, node: str) -> list[int]:
+        """Chunks present on ``node`` as primary or replica."""
+        if node not in self._nodes:
+            raise KeyError(f"unknown node {node!r}")
+        return sorted(c for c, owners in self._replicas.items() if node in owners)
+
+    def load(self) -> dict[str, int]:
+        """Primary-chunk count per node."""
+        counts = {n: 0 for n in self._nodes}
+        for owners in self._replicas.values():
+            counts[owners[0]] += 1
+        return counts
+
+    def imbalance(self) -> float:
+        """max/mean primary load; 1.0 is perfectly balanced."""
+        loads = np.array(list(self.load().values()), dtype=np.float64)
+        mean = loads.mean()
+        return float(loads.max() / mean) if mean > 0 else 1.0
+
+    # -- membership changes ------------------------------------------------------
+
+    def add_node(self, node: str) -> list[int]:
+        """Add a node, migrating a minimal set of chunks onto it.
+
+        Returns the chunk ids whose *primary* moved.  Only about
+        ``num_chunks / (n+1)`` chunks move -- existing assignments are
+        otherwise untouched, which is exactly the benefit the paper
+        claims for many-partitions-per-node.
+        """
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already present")
+        self._nodes.append(node)
+        n = len(self._nodes)
+        target = len(self._replicas) // n
+        # Steal primaries from the most loaded nodes, round-robin.
+        moved: list[int] = []
+        by_node: dict[str, list[int]] = defaultdict(list)
+        for cid, owners in sorted(self._replicas.items()):
+            by_node[owners[0]].append(cid)
+        donors = sorted(by_node, key=lambda k: -len(by_node[k]))
+        while len(moved) < target and donors:
+            for donor in list(donors):
+                if len(moved) >= target:
+                    break
+                if len(by_node[donor]) <= target:
+                    donors.remove(donor)
+                    continue
+                cid = by_node[donor].pop()
+                owners = self._replicas[cid]
+                if node in owners:
+                    continue
+                owners[0] = node
+                moved.append(cid)
+        self._repair_replicas()
+        return sorted(moved)
+
+    def remove_node(self, node: str) -> list[int]:
+        """Remove a node, redistributing its primaries evenly.
+
+        Returns the chunk ids that moved.  Chunks replicated elsewhere
+        promote a surviving replica to primary where possible.
+        """
+        if node not in self._nodes:
+            raise KeyError(f"unknown node {node!r}")
+        if len(self._nodes) == 1:
+            raise ValueError("cannot remove the last node")
+        self._nodes.remove(node)
+        moved: list[int] = []
+        # Primary loads over the surviving nodes only (the dead node's
+        # chunks are re-homed in the loop below).
+        loads = {n: 0 for n in self._nodes}
+        for owners in self._replicas.values():
+            if owners[0] != node:
+                loads[owners[0]] += 1
+        for cid, owners in sorted(self._replicas.items()):
+            if node not in owners:
+                continue
+            was_primary = owners[0] == node
+            owners[:] = [o for o in owners if o != node]
+            if not owners:
+                # Lost the only copy: reassign to the least-loaded node.
+                dest = min(loads, key=lambda k: (loads[k], k))
+                owners.append(dest)
+                loads[dest] += 1
+            elif was_primary:
+                # A surviving replica is promoted to primary.
+                loads[owners[0]] += 1
+            moved.append(cid)
+        self._repair_replicas()
+        return sorted(moved)
+
+    def _repair_replicas(self):
+        """Top replica lists back up to the replication factor."""
+        want = min(self.replication, len(self._nodes))
+        for cid, owners in self._replicas.items():
+            seen = set(owners)
+            i = 0
+            while len(owners) < want:
+                cand = self._nodes[(cid + i) % len(self._nodes)]
+                i += 1
+                if cand not in seen:
+                    owners.append(cand)
+                    seen.add(cand)
+
+    def __repr__(self):
+        return (
+            f"Placement(nodes={len(self._nodes)}, chunks={len(self._replicas)}, "
+            f"replication={self.replication})"
+        )

@@ -1,0 +1,60 @@
+"""Qserv proper: the distributed shared-nothing query coordination layer.
+
+This subpackage is the paper's primary contribution, rebuilt on the
+substrates in :mod:`repro.sql` (per-node engine), :mod:`repro.xrd`
+(dispatch fabric), and :mod:`repro.partition` (two-level sky chunking):
+
+- :mod:`~repro.qserv.metadata` -- which tables are partitioned, on what
+  columns, and what the secondary-index (objectId) column is;
+- :mod:`~repro.qserv.analysis` -- query parsing/analysis: spatial
+  restriction detection, index-opportunity detection, table/alias/join
+  detection, near-neighbor recognition (paper section 5.3);
+- :mod:`~repro.qserv.aggregation` -- the two-phase aggregate plan
+  (``AVG(x)`` to per-chunk ``SUM(x), COUNT(x)`` plus a merge-side
+  division);
+- :mod:`~repro.qserv.rewrite` -- chunk-query text generation, including
+  the ``-- SUBCHUNKS:`` header and overlap-table pairing for spatial
+  self-joins;
+- :mod:`~repro.qserv.secondary_index` -- the objectId -> (chunkId,
+  subChunkId) mapping (section 5.5);
+- :mod:`~repro.qserv.worker` -- the qserv-ofs plugin: FIFO query queue,
+  on-the-fly sub-chunk table construction, execution, mysqldump-style
+  result publication (sections 5.1.2, 5.4, 6.4);
+- :mod:`~repro.qserv.czar` -- the master: coverage computation, dispatch
+  over Xrootd paths, result collection/merging, final aggregation;
+- :mod:`~repro.qserv.proxy` -- the MySQL-proxy-shaped frontend.
+"""
+
+from .metadata import CatalogMetadata, TablePartitionInfo
+from .analysis import QueryAnalysis, analyze, QservAnalysisError
+from .aggregation import AggregationPlan, build_aggregation_plan
+from .rewrite import ChunkQuerySpec, generate_chunk_queries, generate_merge_query
+from .secondary_index import SecondaryIndex
+from .worker import QservWorker
+from .czar import Czar, QueryResult
+from .proxy import QservProxy
+from .multimaster import LoadBalancingFrontend
+from .admin import ClusterAdmin, ClusterHealth
+from .czar import ExplainReport
+
+__all__ = [
+    "CatalogMetadata",
+    "TablePartitionInfo",
+    "QueryAnalysis",
+    "analyze",
+    "QservAnalysisError",
+    "AggregationPlan",
+    "build_aggregation_plan",
+    "ChunkQuerySpec",
+    "generate_chunk_queries",
+    "generate_merge_query",
+    "SecondaryIndex",
+    "QservWorker",
+    "Czar",
+    "QueryResult",
+    "QservProxy",
+    "LoadBalancingFrontend",
+    "ClusterAdmin",
+    "ClusterHealth",
+    "ExplainReport",
+]

@@ -1,0 +1,327 @@
+"""The Qserv master ("czar"): planning, dispatch, and result merging.
+
+One user query becomes:
+
+1. **analysis** -- parse; extract the spatial restriction, index
+   opportunity, table references, and aggregation needs (section 5.3);
+2. **coverage** -- decide which chunks participate: the secondary-index
+   chunk set for objectId-predicated queries, the region's intersecting
+   chunks for areaspec queries, otherwise every chunk the frontend
+   knows about ("access that is not spatially restricted involves the
+   entire table by default", section 5.5);
+3. **dispatch** -- for each chunk, write the generated chunk query to
+   ``/query2/<chunkId>`` through the Xrootd client and remember which
+   worker accepted it (section 5.4);
+4. **collection** -- read ``/result/<md5>`` from that worker, replay the
+   mysqldump byte stream into the local merge database, and append the
+   rows to the merge table;
+5. **merge** -- run the merge query (final aggregation / ORDER / LIMIT)
+   on the merge table and hand the result back to the proxy.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..partition import Chunker
+from ..sql import Database
+from ..sql.dump import load_dump
+from ..sql.engine import ResultTable
+from ..xrd import RedirectError, XrdClient, Redirector
+from ..xrd.protocol import query_hash, query_path, result_path
+from .aggregation import build_aggregation_plan
+from .analysis import QservAnalysisError, analyze
+from .metadata import CatalogMetadata
+from .rewrite import ChunkQuerySpec, generate_chunk_queries, generate_merge_query
+from .secondary_index import SecondaryIndex
+
+__all__ = ["Czar", "QueryResult", "QueryStats", "ExplainReport"]
+
+_MERGE_TABLE = "qserv_merge"
+
+
+@dataclass
+class QueryStats:
+    """Observable cost of one user query."""
+
+    chunks_dispatched: int = 0
+    chunks_retried: int = 0
+    sub_chunk_statements: int = 0
+    bytes_dispatched: int = 0
+    bytes_collected: int = 0
+    rows_merged: int = 0
+    workers_used: set = field(default_factory=set)
+    used_secondary_index: bool = False
+    used_region_restriction: bool = False
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class QueryResult:
+    """The merged result table plus execution statistics."""
+
+    table: ResultTable
+    stats: QueryStats
+
+    def rows(self):
+        return self.table.rows()
+
+    @property
+    def column_names(self):
+        return self.table.column_names
+
+
+@dataclass
+class ExplainReport:
+    """The czar's plan for a query, without executing it."""
+
+    #: 'secondary-index', 'region', or 'full-sky' (section 5.5's cases).
+    coverage_mode: str
+    #: Chunks the query would be dispatched to.
+    chunk_ids: list
+    #: Near-neighbor sub-chunk execution?
+    uses_sub_chunks: bool
+    #: Total sub-chunk statements across all chunk queries.
+    sub_chunk_statements: int
+    #: Two-phase aggregation, or plain pass-through merging?
+    two_phase_aggregation: bool
+    #: One sample chunk query text (the first chunk's).
+    sample_chunk_query: str
+    #: The merge query that runs on the czar's merge table.
+    merge_query: str
+
+    def summary(self) -> str:
+        lines = [
+            f"coverage: {self.coverage_mode} ({len(self.chunk_ids)} chunk queries)",
+            f"sub-chunk execution: {self.uses_sub_chunks}"
+            + (f" ({self.sub_chunk_statements} statements)" if self.uses_sub_chunks else ""),
+            f"aggregation: {'two-phase' if self.two_phase_aggregation else 'pass-through'}",
+            "sample chunk query:",
+            *("  " + ln for ln in self.sample_chunk_query.splitlines()[:4]),
+            f"merge query: {self.merge_query}",
+        ]
+        return "\n".join(lines)
+
+
+class Czar:
+    """The Qserv frontend master.
+
+    Parameters
+    ----------
+    redirector:
+        The Xrootd redirector of the worker cluster.
+    metadata:
+        Partitioned-table registry.
+    chunker:
+        The partitioning geometry (must match what the data was loaded
+        with).
+    secondary_index:
+        objectId index; optional (without it, objectId queries go
+        full-sky exactly like HV1's COUNT(*) in the paper).
+    available_chunks:
+        The chunk ids this frontend dispatches to.  The paper's scaling
+        runs "configured the frontend to only dispatch queries for
+        partitions belonging to the desired set of cluster nodes" --
+        pass a subset here to reproduce that.
+    dispatch_parallelism:
+        Worker count of the dispatch/collection thread pool; 1 means
+        fully sequential dispatch.
+    """
+
+    def __init__(
+        self,
+        redirector: Redirector,
+        metadata: CatalogMetadata,
+        chunker: Chunker,
+        secondary_index: Optional[SecondaryIndex] = None,
+        available_chunks: Optional[Iterable[int]] = None,
+        dispatch_parallelism: int = 1,
+    ):
+        if dispatch_parallelism < 1:
+            raise ValueError("dispatch_parallelism must be >= 1")
+        self.client = XrdClient(redirector)
+        self.metadata = metadata
+        self.chunker = chunker
+        self.secondary_index = secondary_index
+        if available_chunks is None:
+            self.available_chunks = set(int(c) for c in chunker.all_chunks())
+        else:
+            self.available_chunks = set(int(c) for c in available_chunks)
+        self.dispatch_parallelism = dispatch_parallelism
+        self._merge_counter = itertools.count()
+        self._merge_lock = threading.Lock()
+
+    # -- coverage ---------------------------------------------------------------
+
+    def coverage(self, analysis) -> list[int]:
+        """The chunk ids a query must be dispatched to."""
+        if analysis.has_index_restriction and self.secondary_index is not None:
+            chunks = self.secondary_index.chunks_for(analysis.index_values)
+            return sorted(set(int(c) for c in chunks) & self.available_chunks)
+        if analysis.region is not None:
+            chunks = self.chunker.chunks_intersecting(analysis.region)
+            return sorted(set(int(c) for c in chunks) & self.available_chunks)
+        return sorted(self.available_chunks)
+
+    # -- planning ------------------------------------------------------------------
+
+    def explain(self, sql: str) -> ExplainReport:
+        """Plan a query without dispatching it (the shell's ``\\explain``)."""
+        analysis = analyze(sql, self.metadata)
+        if not analysis.partitioned_refs:
+            raise QservAnalysisError("query references no partitioned table")
+        plan = build_aggregation_plan(analysis.select)
+        chunk_ids = self.coverage(analysis)
+        specs = generate_chunk_queries(
+            analysis, plan, self.metadata, self.chunker, chunk_ids
+        )
+        if analysis.has_index_restriction and self.secondary_index is not None:
+            mode = "secondary-index"
+        elif analysis.region is not None:
+            mode = "region"
+        else:
+            mode = "full-sky"
+        return ExplainReport(
+            coverage_mode=mode,
+            chunk_ids=[s.chunk_id for s in specs],
+            uses_sub_chunks=analysis.needs_subchunks,
+            sub_chunk_statements=sum(len(s.sub_chunk_ids) for s in specs),
+            two_phase_aggregation=not plan.passthrough,
+            sample_chunk_query=specs[0].text if specs else "(no chunks)",
+            merge_query=generate_merge_query(plan, analysis.select, "<merge_table>"),
+        )
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(self, sql: str) -> QueryResult:
+        """Execute one user query end to end."""
+        t0 = time.perf_counter()
+        analysis = analyze(sql, self.metadata)
+        if not analysis.partitioned_refs:
+            raise QservAnalysisError(
+                "query references no partitioned table; submit it to a "
+                "plain database instead"
+            )
+        plan = build_aggregation_plan(analysis.select)
+        chunk_ids = self.coverage(analysis)
+        specs = generate_chunk_queries(
+            analysis, plan, self.metadata, self.chunker, chunk_ids
+        )
+
+        stats = QueryStats(
+            used_secondary_index=analysis.has_index_restriction
+            and self.secondary_index is not None,
+            used_region_restriction=analysis.region is not None,
+        )
+
+        merge_db = Database(self.metadata.database)
+        dumps = self._dispatch_and_collect(specs, stats)
+        merge_name = self._load_into_merge_table(merge_db, dumps, stats)
+
+        if merge_name is None:
+            # Zero chunks dispatched (empty region / unknown objectId).
+            merge_name = self._empty_merge_table(merge_db, plan, analysis)
+        merge_sql = generate_merge_query(plan, analysis.select, merge_name)
+        result = merge_db.execute(merge_sql)
+        stats.elapsed_seconds = time.perf_counter() - t0
+        return QueryResult(table=result, stats=stats)
+
+    # -- dispatch ----------------------------------------------------------------------
+
+    def _dispatch_and_collect(
+        self, specs: list[ChunkQuerySpec], stats: QueryStats
+    ) -> list[bytes]:
+        """Run both file transactions for every chunk query.
+
+        A worker dying *between* accepting the chunk query and serving
+        its result loses the result file; the czar re-dispatches the
+        chunk, letting the redirector resolve to a surviving replica.
+        """
+
+        def attempt(spec: ChunkQuerySpec) -> tuple[str, bytes]:
+            worker = self.client.write_file(query_path(spec.chunk_id), spec.text)
+            data = self.client.read_file(
+                result_path(query_hash(spec.text)), server_name=worker
+            )
+            return worker, data
+
+        def one(spec: ChunkQuerySpec) -> bytes:
+            try:
+                worker, data = attempt(spec)
+            except RedirectError:
+                # The accepting worker is gone; invalidate its cached
+                # location and retry through the replicas.
+                self.client.redirector.invalidate(query_path(spec.chunk_id))
+                with self._merge_lock:
+                    stats.chunks_retried += 1
+                worker, data = attempt(spec)
+            with self._merge_lock:
+                stats.chunks_dispatched += 1
+                stats.sub_chunk_statements += max(len(spec.sub_chunk_ids), 0)
+                stats.bytes_dispatched += len(spec.text.encode())
+                stats.bytes_collected += len(data)
+                stats.workers_used.add(worker)
+            return data
+
+        if self.dispatch_parallelism == 1 or len(specs) <= 1:
+            return [one(s) for s in specs]
+        with ThreadPoolExecutor(max_workers=self.dispatch_parallelism) as pool:
+            return list(pool.map(one, specs))
+
+    def _empty_merge_table(self, merge_db: Database, plan, analysis) -> str:
+        """A merge table standing in for zero dispatched chunks.
+
+        A pass-through or GROUP BY query over zero chunks correctly
+        yields zero rows.  A *global* aggregate must still yield one row
+        (MySQL: ``COUNT(*)`` over nothing is 0, ``SUM``/``AVG`` are
+        NULL), so the table gets one identity-partials row: 0 for COUNT
+        partials, NULL for the rest.
+        """
+        import numpy as np
+
+        from ..sql import Table, ast as sql_ast
+
+        name = f"{_MERGE_TABLE}_{next(self._merge_counter)}"
+        global_aggregate = (
+            not plan.passthrough and not analysis.select.group_by
+        )
+        cols: dict[str, object] = {}
+        for item in plan.chunk_items:
+            out = item.output_name()
+            is_count = (
+                isinstance(item.expr, sql_ast.FuncCall)
+                and item.expr.name.upper() == "COUNT"
+            )
+            if global_aggregate:
+                value = 0 if is_count else np.nan
+                dtype = np.int64 if is_count else np.float64
+                cols[out] = np.array([value], dtype=dtype)
+            else:
+                cols[out] = np.empty(0, dtype=np.float64)
+        merge_db.create_table(Table(name, cols))
+        return name
+
+    def _load_into_merge_table(
+        self, merge_db: Database, dumps: list[bytes], stats: QueryStats
+    ) -> Optional[str]:
+        """Replay each dump and append its rows into one merge table."""
+        merge_name = f"{_MERGE_TABLE}_{next(self._merge_counter)}"
+        merged = None
+        for data in dumps:
+            loaded_name = load_dump(merge_db, data.decode())
+            loaded = merge_db.get_table(loaded_name)
+            if merged is None:
+                merged = loaded.rename(merge_name)
+                merge_db.create_table(merged, overwrite=True)
+            elif loaded.num_rows:
+                merged.append_rows(loaded.columns())
+            stats.rows_merged += loaded.num_rows
+            merge_db.drop_table(loaded_name)
+        return merge_name if merged is not None else None

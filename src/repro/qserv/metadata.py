@@ -1,0 +1,96 @@
+"""Catalog metadata: partitioning facts the czar needs about each table.
+
+The frontend must know which tables are spatially partitioned, which
+(ra, dec) columns they are partitioned on (``ra_PS``/``decl_PS`` for
+Object, ``ra``/``decl`` for Source in the PT1.1 schema), whether a
+table is a *director* table carrying the secondary-index column, and
+which tables may be sub-chunked for spatial self-joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["TablePartitionInfo", "CatalogMetadata"]
+
+
+@dataclass(frozen=True)
+class TablePartitionInfo:
+    """Partitioning facts for one table."""
+
+    table: str
+    #: Right-ascension / declination column names used for partitioning.
+    ra_column: str
+    dec_column: str
+    #: The column the secondary index maps (objectId); None for tables
+    #: that only join to a director table.
+    index_column: Optional[str] = None
+    #: Director tables can be sub-chunked on the fly for spatial self-joins.
+    is_director: bool = False
+
+
+class CatalogMetadata:
+    """The partitioned-catalog registry held by the frontend.
+
+    Unregistered tables are treated as unpartitioned (replicated to
+    every worker and referenced without chunk suffixes), matching the
+    paper's "Not all tables are partitioned".
+    """
+
+    def __init__(self, database: str = "LSST"):
+        self.database = database
+        self._tables: dict[str, TablePartitionInfo] = {}
+
+    def register(self, info: TablePartitionInfo) -> None:
+        self._tables[info.table] = info
+
+    def is_partitioned(self, table: str) -> bool:
+        return table in self._tables
+
+    def info(self, table: str) -> TablePartitionInfo:
+        if table not in self._tables:
+            raise KeyError(f"table {table!r} is not a partitioned table")
+        return self._tables[table]
+
+    def partitioned_tables(self) -> list[str]:
+        return sorted(self._tables)
+
+    def director_table(self) -> Optional[TablePartitionInfo]:
+        for info in self._tables.values():
+            if info.is_director:
+                return info
+        return None
+
+    @classmethod
+    def lsst_default(cls, database: str = "LSST") -> "CatalogMetadata":
+        """The PT1.1 configuration used throughout the paper's tests."""
+        md = cls(database)
+        md.register(
+            TablePartitionInfo(
+                table="Object",
+                ra_column="ra_PS",
+                dec_column="decl_PS",
+                index_column="objectId",
+                is_director=True,
+            )
+        )
+        md.register(
+            TablePartitionInfo(
+                table="Source",
+                ra_column="ra",
+                dec_column="decl",
+                index_column="objectId",
+                is_director=False,
+            )
+        )
+        md.register(
+            TablePartitionInfo(
+                table="ForcedSource",
+                ra_column="ra",
+                dec_column="decl",
+                index_column="objectId",
+                is_director=False,
+            )
+        )
+        return md

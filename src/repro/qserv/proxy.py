@@ -1,0 +1,75 @@
+"""The MySQL-proxy-shaped frontend (paper section 5.4).
+
+"A MySQL Proxy wraps the qserv frontend so that queries can be
+submitted using any MySQL-compatible client or library."  This module
+provides that session surface: submit SQL text, get column names and
+rows back, with per-session accounting.  Queries that touch no
+partitioned table fall through to a local database when one is
+attached, mimicking the proxy passing non-distributed statements to a
+plain backend.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sql import Database
+from .analysis import QservAnalysisError
+from .czar import Czar, QueryResult
+
+__all__ = ["QservProxy", "SessionLog"]
+
+
+@dataclass
+class SessionLog:
+    """Per-session query accounting (what a proxy would log)."""
+
+    queries: int = 0
+    distributed_queries: int = 0
+    local_queries: int = 0
+    failed_queries: int = 0
+    total_seconds: float = 0.0
+    history: list = field(default_factory=list)
+
+
+class QservProxy:
+    """A client session against one czar."""
+
+    def __init__(self, czar: Czar, local_db: Optional[Database] = None):
+        self.czar = czar
+        self.local_db = local_db
+        self.log = SessionLog()
+
+    def query(self, sql: str) -> QueryResult:
+        """Submit one query; raises SqlError/QservAnalysisError on failure."""
+        t0 = time.perf_counter()
+        self.log.queries += 1
+        try:
+            try:
+                result = self.czar.submit(sql)
+                self.log.distributed_queries += 1
+            except QservAnalysisError:
+                if self.local_db is None:
+                    raise
+                table = self.local_db.execute(sql)
+                if table is None:
+                    raise
+                from .czar import QueryStats
+
+                result = QueryResult(table=table, stats=QueryStats())
+                self.log.local_queries += 1
+        except Exception:
+            self.log.failed_queries += 1
+            raise
+        finally:
+            elapsed = time.perf_counter() - t0
+            self.log.total_seconds += elapsed
+            self.log.history.append((sql, elapsed))
+        return result
+
+    def fetch_all(self, sql: str) -> tuple[list[str], list[tuple]]:
+        """Column names and row tuples -- the shape a MySQL client sees."""
+        result = self.query(sql)
+        return result.column_names, result.rows()

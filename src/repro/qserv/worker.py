@@ -1,0 +1,312 @@
+"""The Qserv worker: an Xrootd ofs plugin around a local SQL engine.
+
+Chunk queries arrive as writes to ``/query2/<chunkId>`` (section 5.4).
+The worker parses the ``-- SUBCHUNKS:`` header, materializes the
+required sub-chunk tables on the fly from its chunk tables (``CREATE
+TABLE Object_713_45 AS SELECT ... WHERE subChunkId = 45``), executes
+the statements against its local engine, dumps the combined result with
+the mysqldump equivalent, and publishes the bytes at
+``/result/<md5-of-query>`` for the master to read.
+
+Queueing follows section 6.4: each worker keeps a FIFO queue served by
+a fixed number of execution slots (the paper's cluster ran 4 per node)
+and has *no concept of query cost*, which is exactly why long queries
+hog the system in Figure 14.  An inline mode (slots=0) executes
+synchronously inside ``on_write`` for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from ..sql import Database, SqlError, Table, dump_table
+from ..sql.engine import ResultTable
+from ..xrd import OfsPlugin
+from ..xrd.protocol import (
+    QUERY_PREFIX,
+    RESULT_PREFIX,
+    chunk_id_of_query_path,
+    query_hash,
+    result_path,
+)
+from .rewrite import SUBCHUNK_HEADER_PREFIX
+
+__all__ = ["QservWorker", "WorkerStats"]
+
+# Physical sub-chunk table names: Object_713_45 / ObjectFullOverlap_713_45.
+_SUBCHUNK_RE = re.compile(r"^(?P<base>\w+?)_(?P<chunk>\d+)_(?P<sub>\d+)$")
+
+_RESULT_TABLE = "chunk_result"
+
+
+@dataclass
+class WorkerStats:
+    """Execution counters, for tests and the benchmark harness."""
+
+    queries_executed: int = 0
+    statements_executed: int = 0
+    sub_chunk_tables_built: int = 0
+    sub_chunk_cache_hits: int = 0
+    result_cache_hits: int = 0
+    result_rows: int = 0
+    result_bytes: int = 0
+    queue_high_water: int = 0
+
+
+class QservWorker(OfsPlugin):
+    """One worker node: local database + ofs plugin + FIFO queue.
+
+    Parameters
+    ----------
+    name:
+        Node name (also the Xrootd data-server name).
+    db:
+        The local engine holding this node's chunk tables.
+    slots:
+        Parallel execution slots.  0 means inline execution during
+        ``on_write`` (deterministic; the default for tests).  Values
+        >= 1 start that many daemon threads serving the FIFO queue.
+    cache_sub_chunks:
+        Keep generated sub-chunk tables for reuse.  The paper's
+        implementation "does not cache them"; caching is the documented
+        extension, so the default is off.
+    cache_results:
+        Serve repeated identical chunk queries from the stored result
+        (the MySQL-query-cache effect behind the paper's HV1/HV3 "its
+        result was cached" observations).  Safe here because the
+        catalog is read-only ("Support for updates has not been
+        implemented"); off by default to mirror uncached measurements.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        db: Database | None = None,
+        slots: int = 0,
+        cache_sub_chunks: bool = False,
+        cache_results: bool = False,
+    ):
+        if slots < 0:
+            raise ValueError("slots must be >= 0")
+        self.name = name
+        self.db = db or Database("LSST")
+        self.cache_sub_chunks = cache_sub_chunks
+        self.cache_results = cache_results
+        self.stats = WorkerStats()
+        self._results: dict[str, bytes] = {}
+        self._result_ready: dict[str, threading.Event] = {}
+        self._errors: dict[str, str] = {}
+        self._lock = threading.RLock()
+        self._queue: deque[tuple[str, int, str]] = deque()
+        self._queue_cv = threading.Condition(self._lock)
+        # Sub-chunk tables are shared across concurrent queries on the
+        # same chunk; refcounts keep one query from dropping a table
+        # another is still scanning.
+        self._build_lock = threading.Lock()
+        self._sub_chunk_refs: dict[str, int] = {}
+        self.slots = slots
+        self._threads: list[threading.Thread] = []
+        self._shutdown = False
+        for i in range(slots):
+            t = threading.Thread(
+                target=self._serve, name=f"{name}-slot{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+
+    # -- ofs plugin interface --------------------------------------------------------
+
+    def claims(self, path: str) -> bool:
+        return path.startswith(QUERY_PREFIX) or path.startswith(RESULT_PREFIX)
+
+    def on_write(self, path: str, data: bytes) -> None:
+        chunk_id = chunk_id_of_query_path(path)
+        text = data.decode()
+        rpath = result_path(query_hash(text))
+        with self._lock:
+            if (
+                self.cache_results
+                and rpath in self._results
+                and rpath not in self._errors
+            ):
+                # Query-cache hit: the stored dump answers the repeat.
+                self.stats.result_cache_hits += 1
+                self._result_ready[rpath].set()
+                return
+            self._result_ready.setdefault(rpath, threading.Event())
+        if self.slots == 0:
+            self._run_task(rpath, chunk_id, text)
+        else:
+            with self._queue_cv:
+                self._queue.append((rpath, chunk_id, text))
+                self.stats.queue_high_water = max(
+                    self.stats.queue_high_water, len(self._queue)
+                )
+                self._queue_cv.notify()
+
+    def on_read(self, path: str):
+        """Result bytes, blocking on in-flight execution in threaded mode."""
+        with self._lock:
+            event = self._result_ready.get(path)
+        if event is None:
+            return None
+        if not event.wait(timeout=300.0):
+            return None
+        with self._lock:
+            if path in self._errors:
+                raise SqlError(f"worker {self.name}: {self._errors[path]}")
+            return self._results.get(path)
+
+    # -- queue service ------------------------------------------------------------------
+
+    def _serve(self):
+        while True:
+            with self._queue_cv:
+                while not self._queue and not self._shutdown:
+                    self._queue_cv.wait()
+                if self._shutdown:
+                    return
+                rpath, chunk_id, text = self._queue.popleft()
+            self._run_task(rpath, chunk_id, text)
+
+    def shutdown(self):
+        with self._queue_cv:
+            self._shutdown = True
+            self._queue_cv.notify_all()
+        for t in self._threads:
+            t.join(timeout=5.0)
+
+    def queue_length(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def _run_task(self, rpath: str, chunk_id: int, text: str):
+        try:
+            result = self.execute_chunk_query(chunk_id, text)
+            payload = dump_table(result, _RESULT_TABLE).encode()
+            with self._lock:
+                self._results[rpath] = payload
+                self.stats.result_rows += result.num_rows
+                self.stats.result_bytes += len(payload)
+        except Exception as e:  # surfaced to the master on read
+            with self._lock:
+                self._errors[rpath] = str(e)
+        finally:
+            with self._lock:
+                self._result_ready[rpath].set()
+
+    # -- chunk query execution ---------------------------------------------------------------
+
+    def execute_chunk_query(self, chunk_id: int, text: str) -> Table:
+        """Run one chunk query and return the combined result table."""
+        sub_chunk_ids, statements = self._parse_chunk_query(text)
+        acquired: list[str] = []
+        try:
+            needed = self._needed_sub_chunk_tables(statements)
+            for table_name in needed:
+                self._acquire_sub_chunk(table_name)
+                acquired.append(table_name)
+            combined: Table | None = None
+            for stmt in statements:
+                out = self.db.execute(stmt)
+                with self._lock:
+                    self.stats.statements_executed += 1
+                if out is None:
+                    continue
+                if combined is None:
+                    combined = ResultTable("result", dict(out.columns()))
+                elif out.num_rows:
+                    combined.append_rows(out.columns())
+            if combined is None:
+                raise SqlError("chunk query contained no SELECT statement")
+            with self._lock:
+                self.stats.queries_executed += 1
+            return combined
+        finally:
+            for table_name in acquired:
+                self._release_sub_chunk(table_name)
+
+    def _parse_chunk_query(self, text: str) -> tuple[list[int], list[str]]:
+        lines = text.strip().splitlines()
+        sub_chunk_ids: list[int] = []
+        if lines and lines[0].startswith(SUBCHUNK_HEADER_PREFIX):
+            spec = lines[0][len(SUBCHUNK_HEADER_PREFIX) :].strip()
+            if spec:
+                sub_chunk_ids = [int(s.strip()) for s in spec.split(",")]
+            lines = lines[1:]
+        body = "\n".join(lines)
+        statements = [s.strip() for s in body.split(";") if s.strip()]
+        return sub_chunk_ids, statements
+
+    def _needed_sub_chunk_tables(self, statements: list[str]) -> list[str]:
+        """Sub-chunk table names referenced by the statements."""
+        from ..sql.parser import parse
+
+        needed: dict[str, None] = {}
+        for stmt_text in statements:
+            for stmt in parse(stmt_text):
+                for ref in getattr(stmt, "tables", ()) or ():
+                    if _SUBCHUNK_RE.match(ref.table):
+                        needed.setdefault(ref.table)
+                for j in getattr(stmt, "joins", ()) or ():
+                    if _SUBCHUNK_RE.match(j.table.table):
+                        needed.setdefault(j.table.table)
+        return list(needed)
+
+    def _acquire_sub_chunk(self, table_name: str) -> None:
+        """Build ``Base_CC_SS`` from ``Base_CC`` if absent; bump its refcount."""
+        m = _SUBCHUNK_RE.match(table_name)
+        if not m:
+            return
+        base, chunk, sub = m.group("base"), int(m.group("chunk")), int(m.group("sub"))
+        parent = f"{base}_{chunk}"
+        with self._build_lock:
+            self._sub_chunk_refs[table_name] = self._sub_chunk_refs.get(table_name, 0) + 1
+            if table_name in self.db.tables:
+                self.stats.sub_chunk_cache_hits += 1
+                return
+            if parent not in self.db.tables:
+                self._sub_chunk_refs[table_name] -= 1
+                raise SqlError(
+                    f"worker {self.name} has no chunk table {parent!r} "
+                    f"needed to build {table_name!r}"
+                )
+            self.db.execute(
+                f"CREATE TABLE {table_name} AS SELECT * FROM {parent} "
+                f"WHERE subChunkId = {sub}"
+            )
+            self.stats.sub_chunk_tables_built += 1
+
+    def _release_sub_chunk(self, table_name: str) -> None:
+        """Drop the refcount; drop the table at zero unless caching.
+
+        Per the protocol, the worker "is free to drop the tables
+        afterwards" -- and the paper's implementation does not cache.
+        """
+        with self._build_lock:
+            refs = self._sub_chunk_refs.get(table_name, 0) - 1
+            self._sub_chunk_refs[table_name] = max(refs, 0)
+            if refs <= 0 and not self.cache_sub_chunks:
+                self.db.drop_table(table_name, if_exists=True)
+
+    # -- hosting -----------------------------------------------------------------------------
+
+    def hosted_chunks(self) -> list[int]:
+        """Chunk ids present in this worker's database (director tables)."""
+        out = set()
+        for name in self.db.tables:
+            parts = name.split("_")
+            # Chunk tables are exactly Base_CC; sub-chunk tables
+            # (Base_CC_SS) and overlap tables are excluded.
+            if len(parts) == 2 and parts[1].isdigit() and "FullOverlap" not in parts[0]:
+                out.add(int(parts[1]))
+        return sorted(out)
+
+    def __repr__(self):
+        return (
+            f"QservWorker({self.name!r}, tables={len(self.db.tables)}, "
+            f"slots={self.slots})"
+        )

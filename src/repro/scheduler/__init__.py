@@ -1,0 +1,25 @@
+"""Scan scheduling: FIFO (what the paper measured) vs shared scanning.
+
+Section 4.3 describes *shared scanning* (convoy scheduling): with
+table scans the norm, concurrent full-scan queries should share one
+physical read of each table piece instead of issuing competing scans
+that randomize disk access.  The paper's prototype had not implemented
+it yet ("Shared scanning is planned for implementation later this
+year"), which is why Figure 14's two concurrent HV2 queries each take
+twice their solo time.  This subpackage implements both policies so the
+ablation bench can quantify exactly that gap.
+"""
+
+from .shared_scan import (
+    FifoScanScheduler,
+    SharedScanScheduler,
+    ScanQuery,
+    ScanSchedule,
+)
+
+__all__ = [
+    "FifoScanScheduler",
+    "SharedScanScheduler",
+    "ScanQuery",
+    "ScanSchedule",
+]

@@ -1,0 +1,221 @@
+"""An interactive SQL shell against an in-process Qserv cluster.
+
+The paper's users talk to Qserv with the stock ``mysql`` command-line
+client through the MySQL proxy; this module is the equivalent surface
+for the reproduction:
+
+    python -m repro.shell --objects 2000 --workers 4
+
+Meta-commands (backslash-prefixed, like ``mysql``'s):
+
+========  =====================================================
+\\d        list tables and their partitioning
+\\stats    dispatch statistics of the last query
+\\chunks   chunk placement per worker
+\\timing   toggle per-query timing output
+\\q        quit
+========  =====================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .data import build_testbed
+from .qserv import QservAnalysisError
+from .sql import SqlError
+
+__all__ = ["QservShell", "main"]
+
+
+def _format_table(column_names, rows, max_rows=40) -> str:
+    """mysql-client-style ASCII table."""
+    if not column_names:
+        return "(no columns)"
+    shown = rows[:max_rows]
+    cells = [[_fmt(v) for v in row] for row in shown]
+    widths = [
+        max(len(str(name)), *(len(r[i]) for r in cells)) if cells else len(str(name))
+        for i, name in enumerate(column_names)
+    ]
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out = [sep]
+    out.append(
+        "|" + "|".join(f" {str(n).ljust(w)} " for n, w in zip(column_names, widths)) + "|"
+    )
+    out.append(sep)
+    for row in cells:
+        out.append("|" + "|".join(f" {v.ljust(w)} " for v, w in zip(row, widths)) + "|")
+    out.append(sep)
+    if len(rows) > max_rows:
+        out.append(f"... {len(rows) - max_rows} more rows")
+    out.append(f"{len(rows)} row{'s' if len(rows) != 1 else ''} in set")
+    return "\n".join(out)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.6g}"
+    return str(v)
+
+
+class QservShell:
+    """Stateful shell logic, separated from the input loop for testing."""
+
+    def __init__(self, testbed):
+        self.testbed = testbed
+        self.last_result = None
+        self.timing = True
+
+    def execute_line(self, line: str) -> str:
+        """One input line -> printable output (never raises)."""
+        line = line.strip().rstrip(";")
+        if not line:
+            return ""
+        if line.startswith("\\"):
+            return self._meta(line)
+        t0 = time.perf_counter()
+        try:
+            result = self.testbed.query(line)
+        except (SqlError, QservAnalysisError) as e:
+            return f"ERROR: {e}"
+        except Exception as e:  # surface anything else readably
+            return f"ERROR: {type(e).__name__}: {e}"
+        self.last_result = result
+        elapsed = time.perf_counter() - t0
+        out = _format_table(result.column_names, result.rows())
+        if self.timing:
+            out += f" ({elapsed:.3f} sec, {result.stats.chunks_dispatched} chunk queries)"
+        return out
+
+    def _meta(self, line: str) -> str:
+        cmd = line.split()[0]
+        if cmd in ("\\q", "\\quit"):
+            raise EOFError
+        if cmd == "\\d":
+            rows = []
+            md = self.testbed.metadata
+            for name in sorted(self.testbed.tables):
+                if md.is_partitioned(name):
+                    info = md.info(name)
+                    extra = f"partitioned on ({info.ra_column}, {info.dec_column})"
+                    if info.is_director:
+                        extra += ", director"
+                else:
+                    extra = "replicated"
+                rows.append((name, self.testbed.tables[name].num_rows, extra))
+            return _format_table(["table", "rows", "partitioning"], rows)
+        if cmd == "\\stats":
+            if self.last_result is None:
+                return "no query yet"
+            s = self.last_result.stats
+            rows = [
+                ("chunks dispatched", s.chunks_dispatched),
+                ("sub-chunk statements", s.sub_chunk_statements),
+                ("workers used", len(s.workers_used)),
+                ("bytes dispatched", s.bytes_dispatched),
+                ("bytes collected", s.bytes_collected),
+                ("rows merged", s.rows_merged),
+                ("secondary index", s.used_secondary_index),
+                ("region restriction", s.used_region_restriction),
+                ("elapsed (s)", round(s.elapsed_seconds, 4)),
+            ]
+            return _format_table(["metric", "value"], rows)
+        if cmd == "\\chunks":
+            placement = self.testbed.placement
+            rows = [
+                (node, len(placement.chunks_of(node)), len(placement.chunks_hosted_by(node)))
+                for node in placement.nodes
+            ]
+            return _format_table(["worker", "primary chunks", "hosted chunks"], rows)
+        if cmd == "\\timing":
+            self.timing = not self.timing
+            return f"timing {'on' if self.timing else 'off'}"
+        if cmd == "\\health":
+            from .qserv.admin import ClusterAdmin
+
+            admin = ClusterAdmin(
+                self.testbed.placement, self.testbed.redirector, self.testbed.workers
+            )
+            h = admin.health()
+            rows = [
+                (n.name, "up" if n.up else "DOWN", n.primary_chunks, n.hosted_chunks,
+                 n.queries_executed)
+                for n in h.nodes
+            ]
+            out = _format_table(
+                ["worker", "state", "primary", "hosted", "queries"], rows
+            )
+            out += (
+                f"\ncluster: {'healthy' if h.healthy else 'DEGRADED'}, "
+                f"{len(h.dark_chunks)} dark chunks, "
+                f"{len(h.under_replicated)} under-replicated, "
+                f"imbalance {h.imbalance:.2f}"
+            )
+            return out
+        if cmd == "\\explain":
+            sql = line[len("\\explain") :].strip().rstrip(";")
+            if not sql:
+                return "usage: \\explain <SELECT ...>"
+            try:
+                return self.testbed.czar.explain(sql).summary()
+            except (SqlError, QservAnalysisError) as e:
+                return f"ERROR: {e}"
+        return (
+            f"unknown command {cmd!r} "
+            "(try \\d, \\stats, \\chunks, \\health, \\explain, \\timing, \\q)"
+        )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description="Interactive Qserv shell")
+    parser.add_argument("--objects", type=int, default=2000, help="objects to synthesize")
+    parser.add_argument("--workers", type=int, default=4, help="worker nodes")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--stripes", type=int, default=18)
+    parser.add_argument("--sub-stripes", type=int, default=6)
+    parser.add_argument(
+        "--execute",
+        "-e",
+        metavar="SQL",
+        help="execute one statement and exit (like mysql -e)",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"Building {args.workers}-worker cluster with {args.objects} objects...")
+    tb = build_testbed(
+        num_workers=args.workers,
+        num_objects=args.objects,
+        seed=args.seed,
+        num_stripes=args.stripes,
+        num_sub_stripes=args.sub_stripes,
+    )
+    shell = QservShell(tb)
+    if args.execute is not None:
+        print(shell.execute_line(args.execute))
+        tb.shutdown()
+        return 0
+    print(
+        f"Ready: {len(tb.placement.chunk_ids)} chunks on {args.workers} workers. "
+        "Type SQL, or \\q to quit."
+    )
+    while True:
+        try:
+            line = input("qserv> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            break
+        try:
+            out = shell.execute_line(line)
+        except EOFError:
+            break
+        if out:
+            print(out)
+    tb.shutdown()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Discrete-event timing model of the paper's 150-node cluster.
+
+The functional layers of this repository execute the paper's queries
+for real at laptop scale; reproducing the *timing* figures (Figures 2
+through 14) additionally needs the 150-node/30 TB testbed, which we do
+not have.  Per the reproduction plan (DESIGN.md), this subpackage
+simulates it: nodes with the paper's hardware (one 7200 RPM SATA disk,
+16 GB RAM, GigE, 4 query slots), a master with fixed per-chunk dispatch
+and collection overhead, FIFO worker queues with no notion of query
+cost (section 6.4), and a page-cache model -- because those are exactly
+the mechanisms the paper credits for each curve's shape.
+
+- :mod:`~repro.sim.events` -- the discrete-event engine;
+- :mod:`~repro.sim.hardware` -- node/cluster specs and the calibration
+  constants derived from the paper's own measurements;
+- :mod:`~repro.sim.cluster` -- the simulated cluster: master, nodes,
+  disks, queues;
+- :mod:`~repro.sim.workloads` -- builders mapping each paper query
+  (LV1..SHV2) to per-chunk work descriptions at any cluster size.
+"""
+
+from .events import EventSimulator
+from .hardware import (
+    NodeSpec,
+    ClusterSpec,
+    Calibration,
+    PAPER_NODE,
+    SSD_NODE,
+    paper_cluster,
+)
+from .cluster import SimulatedCluster, QueryJob, ChunkTask, QueryOutcome
+from .workloads import (
+    lv1_job,
+    lv2_job,
+    lv3_job,
+    hv1_job,
+    hv2_job,
+    hv3_job,
+    shv1_job,
+    shv2_job,
+    DataScale,
+    paper_data_scale,
+)
+
+__all__ = [
+    "EventSimulator",
+    "NodeSpec",
+    "ClusterSpec",
+    "Calibration",
+    "PAPER_NODE",
+    "SSD_NODE",
+    "paper_cluster",
+    "SimulatedCluster",
+    "QueryJob",
+    "ChunkTask",
+    "QueryOutcome",
+    "lv1_job",
+    "lv2_job",
+    "lv3_job",
+    "hv1_job",
+    "hv2_job",
+    "hv3_job",
+    "shv1_job",
+    "shv2_job",
+    "DataScale",
+    "paper_data_scale",
+]

@@ -1,0 +1,496 @@
+"""The simulated cluster: master, worker nodes, disks, queues.
+
+Model components, each traceable to a paper mechanism:
+
+- **Master (czar)** -- a single serial server.  Every chunk query costs
+  ``dispatch_overhead`` seconds of master time before it reaches a
+  worker, and every chunk result costs ``collect_overhead`` to ingest
+  (mysqldump replay).  This serialization is why HV1's time grows
+  linearly with chunk count (Figure 11) and why the paper worries about
+  "managing millions from a single point" (section 7.6).
+- **Worker nodes** -- each has ``query_slots`` execution slots fed by a
+  FIFO queue with no notion of query cost (section 6.4; the mechanism
+  behind Figure 14's stuck interactive queries).
+- **Disk** -- processor-sharing across a node's concurrently scanning
+  tasks.  Total effective bandwidth is the paper's own calibration:
+  98 MB/s for a lone cold sequential scan, 27 MB/s when competing scans
+  make the disk seek (HV2 Run 3), 76 MB/s from the page cache (HV2
+  cached runs).  A chunk scanned on a node is cached when its dataset
+  fits in the node's memory.
+- **Network** -- results transfer at GigE rate; chunk-query texts are
+  negligible.
+
+A task runs: queue wait -> seek phase -> scan phase (disk PS) -> CPU
+phase (joins; nodes have more cores than slots, so CPU is unshared) ->
+result transfer -> master collection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .events import EventSimulator
+from .hardware import ClusterSpec
+
+__all__ = ["ChunkTask", "QueryJob", "QueryOutcome", "SimulatedCluster"]
+
+
+@dataclass(frozen=True)
+class ChunkTask:
+    """The work one chunk query does on its worker."""
+
+    chunk_id: int
+    #: Bytes scanned from the chunk's tables.
+    scan_bytes: float = 0.0
+    #: Random seeks before scanning (index probes, file opens).
+    seeks: int = 0
+    #: CPU seconds of relational work (join pair evaluation etc.).
+    cpu_seconds: float = 0.0
+    #: Result bytes shipped to the master.
+    result_bytes: float = 1024.0
+    #: Cache-accounting key; None disables caching for this task.
+    dataset: Optional[str] = None
+    #: Pin to a node index (defaults to chunk_id % num_nodes).
+    node: Optional[int] = None
+
+
+@dataclass
+class QueryJob:
+    """One user query: a name and its per-chunk tasks."""
+
+    name: str
+    tasks: list[ChunkTask]
+    #: Fixed frontend cost before dispatch begins (proxy/parse/plan).
+    frontend_latency: Optional[float] = None  # None -> calibration default
+    #: If the dataset fits per node, scans warm the cache for later runs.
+    dataset_bytes_per_node: float = 0.0
+
+
+@dataclass
+class QueryOutcome:
+    """Timing record of one executed query."""
+
+    name: str
+    submit_time: float
+    completion_time: float
+    chunks: int
+    #: Absolute times at which each chunk's result was merged, in merge
+    #: order.  The spread quantifies the paper's "query skew" (6.4).
+    chunk_completion_times: list = field(default_factory=list)
+
+    @property
+    def elapsed(self) -> float:
+        return self.completion_time - self.submit_time
+
+    def chunk_skew(self) -> float:
+        """Spread between the first and last chunk completion, seconds."""
+        if len(self.chunk_completion_times) < 2:
+            return 0.0
+        return max(self.chunk_completion_times) - min(self.chunk_completion_times)
+
+
+class _Disk:
+    """Processor-sharing disk with cache- and contention-dependent rate."""
+
+    def __init__(self, sim: EventSimulator, spec, node_index: int):
+        self.sim = sim
+        self.spec = spec
+        self.node_index = node_index
+        # task id -> [remaining_bytes, cached_flag]
+        self.active: dict[int, list] = {}
+        self._last_update = 0.0
+        self._generation = 0
+        self._done_callbacks: dict[int, Callable[[], None]] = {}
+
+    def _total_rate(self) -> float:
+        if not self.active:
+            return 0.0
+        if all(entry[1] for entry in self.active.values()):
+            # Fully cached: no disk in the path.  A lone scan runs at
+            # single-thread row-evaluation speed; concurrent scans share
+            # the paper's measured 76 MB/s node aggregate.
+            if len(self.active) == 1:
+                return self.spec.cached_single_bandwidth
+            return self.spec.cached_bandwidth
+        if len(self.active) == 1:
+            return self.spec.disk_seq_bandwidth
+        return self.spec.disk_contended_bandwidth
+
+    def _advance(self):
+        """Charge elapsed time against every active task's remaining bytes."""
+        dt = self.sim.now - self._last_update
+        if dt > 0 and self.active:
+            rate = self._total_rate() / len(self.active)
+            for entry in self.active.values():
+                entry[0] = max(0.0, entry[0] - rate * dt)
+        self._last_update = self.sim.now
+
+    def _reschedule(self):
+        self._generation += 1
+        if not self.active:
+            return
+        gen = self._generation
+        rate = self._total_rate() / len(self.active)
+        soonest = min(entry[0] for entry in self.active.values())
+        delay = soonest / rate if rate > 0 else 0.0
+
+        def fire():
+            if gen != self._generation:
+                return  # superseded by a later join/leave
+            self._advance()
+            # Sub-byte remainders are rounding residue from the
+            # rate*dt arithmetic, not real work.
+            finished = [
+                tid for tid, entry in self.active.items() if entry[0] <= 0.5
+            ]
+            for tid in finished:
+                del self.active[tid]
+                cb = self._done_callbacks.pop(tid)
+                cb()
+            self._reschedule()
+
+        self.sim.schedule(delay, fire)
+
+    def start_scan(self, task_id: int, nbytes: float, cached: bool, done):
+        self._advance()
+        if nbytes <= 0:
+            done()
+            return
+        self.active[task_id] = [float(nbytes), cached]
+        self._done_callbacks[task_id] = done
+        self._reschedule()
+
+
+class _Node:
+    """One worker: FIFO queue, slots, disk, cache.
+
+    With ``shared_scanning`` on (the section 4.3 extension the paper
+    designed but had not shipped), a task whose (dataset, chunk) scan is
+    already in flight *attaches* to that scan instead of issuing its
+    own disk read -- convoy scheduling.
+    """
+
+    def __init__(self, sim: EventSimulator, spec, index: int, shared_scanning: bool = False):
+        self.sim = sim
+        self.spec = spec.node
+        self.index = index
+        self.disk = _Disk(sim, spec.node, index)
+        self.queue: list = []
+        self.busy_slots = 0
+        #: (dataset, chunk_id) pairs resident in the page cache.
+        self.cache: set[tuple[str, int]] = set()
+        self.queue_high_water = 0
+        self.shared_scanning = shared_scanning
+        #: (dataset, chunk) -> list of attached completion callbacks.
+        self._inflight_scans: dict[tuple[str, int], list] = {}
+        self.scans_shared = 0
+
+    def start_or_attach_scan(self, task_id, key, nbytes, cached, done):
+        """Issue a disk scan, or join one already streaming this chunk."""
+        if self.shared_scanning and key is not None:
+            if key in self._inflight_scans:
+                self._inflight_scans[key].append(done)
+                self.scans_shared += 1
+                return
+            self._inflight_scans[key] = [done]
+
+            def fan_out():
+                for cb in self._inflight_scans.pop(key, []):
+                    cb()
+
+            self.disk.start_scan(task_id, nbytes, cached, fan_out)
+            return
+        self.disk.start_scan(task_id, nbytes, cached, done)
+
+    def enqueue(self, work):
+        self.queue.append(work)
+        self.queue_high_water = max(self.queue_high_water, len(self.queue))
+        self._pump()
+
+    def _pump(self):
+        while self.busy_slots < self.spec.query_slots and self.queue:
+            work = self.queue.pop(0)
+            self.busy_slots += 1
+            work()
+
+    def release_slot(self):
+        self.busy_slots -= 1
+        self._pump()
+
+
+class _Master:
+    """One serial master: per-query work channels served round-robin.
+
+    The real czar dispatches in-flight queries concurrently, so two
+    simultaneous full-sky queries interleave their chunk queries in
+    worker FIFO queues -- the precondition for Figure 14's "each HV2
+    takes twice its solo time" behavior.
+    """
+
+    def __init__(self, sim: EventSimulator):
+        self.sim = sim
+        self._channels: dict[object, deque] = {}
+        self._rotation: deque = deque()
+        self._busy = False
+
+    def do(self, channel, cost: float, action: Callable[[], None]):
+        """Queue ``action`` behind ``cost`` seconds of serial master work."""
+        if channel not in self._channels:
+            self._channels[channel] = deque()
+            self._rotation.append(channel)
+        self._channels[channel].append((cost, action))
+        if not self._busy:
+            self._pump()
+
+    def _pump(self):
+        # Find the next non-empty channel in rotation order.
+        while self._rotation:
+            channel = self._rotation[0]
+            queue = self._channels[channel]
+            if queue:
+                self._rotation.rotate(-1)
+                break
+            # Drop drained channels from the rotation.
+            self._rotation.popleft()
+            del self._channels[channel]
+        else:
+            self._busy = False
+            return
+        self._busy = True
+        cost, action = queue.popleft()
+
+        def fire():
+            action()
+            self._pump()
+
+        self.sim.schedule(cost, fire)
+
+
+class SimulatedCluster:
+    """Runs QueryJobs through the master/worker/disk model.
+
+    Parameters
+    ----------
+    spec:
+        Hardware and calibration.
+    num_masters:
+        Master instances handling per-chunk dispatch/collection work in
+        parallel (section 7.6's "launch multiple master instances" /
+        tree-based management: chunk i goes to master ``i % M``).  The
+        paper's prototype is M = 1.
+    shared_scanning:
+        The section 4.3 convoy-scheduling extension: concurrent tasks
+        scanning the same chunk share one physical read.
+    """
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        num_masters: int = 1,
+        shared_scanning: bool = False,
+        tree_fanout: int | None = None,
+    ):
+        if num_masters < 1:
+            raise ValueError("num_masters must be >= 1")
+        if tree_fanout is not None and tree_fanout < 1:
+            raise ValueError("tree_fanout must be >= 1")
+        if tree_fanout is not None and num_masters != 1:
+            raise ValueError("tree_fanout and num_masters are alternative scaling paths")
+        self.spec = spec
+        self.sim = EventSimulator()
+        self.nodes = [
+            _Node(self.sim, spec, i, shared_scanning=shared_scanning)
+            for i in range(spec.num_nodes)
+        ]
+        self.masters = [_Master(self.sim) for _ in range(num_masters)]
+        self.shared_scanning = shared_scanning
+        # Section 7.6's tree-based management: the top master dispatches
+        # *groups* of chunk queries to lower-level masters, which manage
+        # the individual chunk queries in parallel with each other.
+        self.tree_fanout = tree_fanout
+        self._sub_masters = (
+            [_Master(self.sim) for _ in range(tree_fanout)] if tree_fanout else []
+        )
+        self._task_counter = 0
+        self.outcomes: list[QueryOutcome] = []
+
+    def _master_do(self, channel, cost: float, action: Callable[[], None], shard: int = 0):
+        self.masters[shard % len(self.masters)].do(channel, cost, action)
+
+    # -- query submission --------------------------------------------------------------
+
+    def submit(
+        self,
+        job: QueryJob,
+        at: float = 0.0,
+        on_complete: Optional[Callable[[QueryOutcome], None]] = None,
+    ) -> None:
+        """Schedule ``job`` for submission at virtual time ``at``."""
+        self.sim.at(at, lambda: self._start_query(job, at, on_complete))
+
+    def _start_query(self, job: QueryJob, submit_time: float, on_complete):
+        cal = self.spec.calibration
+        frontend = (
+            job.frontend_latency
+            if job.frontend_latency is not None
+            else cal.frontend_latency
+        )
+        state = {"remaining": len(job.tasks)}
+        chunk_times: list[float] = []
+
+        def emit_outcome():
+            outcome = QueryOutcome(
+                name=job.name,
+                submit_time=submit_time,
+                completion_time=self.sim.now,
+                chunks=len(job.tasks),
+                chunk_completion_times=chunk_times,
+            )
+            self.outcomes.append(outcome)
+            if on_complete is not None:
+                on_complete(outcome)
+
+        def chunk_done():
+            chunk_times.append(self.sim.now)
+            state["remaining"] -= 1
+            if state["remaining"] == 0:
+                emit_outcome()
+
+        channel = object()  # unique master channel per query instance
+
+        def begin_dispatch():
+            if not job.tasks:
+                emit_outcome()  # degenerate: zero chunks
+                return
+            if self.tree_fanout:
+                self._tree_dispatch(job, channel, chunk_done)
+                return
+            for task in job.tasks:
+                self._master_do(
+                    channel,
+                    cal.dispatch_overhead,
+                    self._make_task_starter(job, task, channel, chunk_done),
+                    shard=task.chunk_id,
+                )
+
+        self.sim.schedule(frontend, begin_dispatch)
+
+    def _tree_dispatch(self, job: QueryJob, channel, chunk_done):
+        """Two-level dispatch: top master hands groups to sub-masters.
+
+        The top master pays one dispatch unit per *group*; each group's
+        sub-master then pays one per chunk, in parallel with its
+        siblings.  Collection mirrors this: chunk results cost the
+        sub-master, group completions cost the top master.  Total serial
+        top-master work drops from O(chunks) to O(fanout).
+        """
+        cal = self.spec.calibration
+        fanout = self.tree_fanout
+        groups: list[list[ChunkTask]] = [[] for _ in range(fanout)]
+        for i, task in enumerate(job.tasks):
+            groups[i % fanout].append(task)
+        groups = [g for g in groups if g]
+
+        def make_group(group_index, tasks):
+            sub = self._sub_masters[group_index]
+            remaining = {"n": len(tasks)}
+
+            def group_chunk_done():
+                remaining["n"] -= 1
+                if remaining["n"] == 0:
+                    # One group-completion unit at the top master.
+                    self.masters[0].do(channel, cal.collect_overhead, lambda: None)
+                chunk_done()
+
+            def start_group():
+                for task in tasks:
+                    sub.do(
+                        channel,
+                        cal.dispatch_overhead,
+                        self._make_task_starter(
+                            job, task, channel, group_chunk_done, collector=sub
+                        ),
+                    )
+
+            return start_group
+
+        for gi, tasks in enumerate(groups):
+            # One group-dispatch unit of serial work at the top master.
+            self.masters[0].do(channel, cal.dispatch_overhead, make_group(gi, tasks))
+
+    def _make_task_starter(
+        self, job: QueryJob, task: ChunkTask, channel, chunk_done, collector=None
+    ):
+        def start():
+            node = self.nodes[
+                task.node if task.node is not None else task.chunk_id % len(self.nodes)
+            ]
+            node.enqueue(
+                lambda: self._run_task(node, job, task, channel, chunk_done, collector)
+            )
+
+        return start
+
+    # -- task phases -----------------------------------------------------------------------
+
+    def _run_task(
+        self, node: _Node, job: QueryJob, task: ChunkTask, channel, chunk_done, collector=None
+    ):
+        self._task_counter += 1
+        task_id = self._task_counter
+        spec = node.spec
+        cal = self.spec.calibration
+
+        def seek_phase():
+            self.sim.schedule(task.seeks * spec.seek_time, scan_phase)
+
+        def scan_phase():
+            cached = (
+                task.dataset is not None
+                and (task.dataset, task.chunk_id) in node.cache
+            )
+            key = (
+                (task.dataset, task.chunk_id) if task.dataset is not None else None
+            )
+            node.start_or_attach_scan(
+                task_id, key, task.scan_bytes, cached, lambda: after_scan(cached)
+            )
+
+        def after_scan(was_cached):
+            # The chunk becomes resident if its dataset fits in memory.
+            if (
+                task.dataset is not None
+                and job.dataset_bytes_per_node <= spec.memory_bytes
+            ):
+                node.cache.add((task.dataset, task.chunk_id))
+            self.sim.schedule(task.cpu_seconds, transfer_phase)
+
+        def transfer_phase():
+            transfer = task.result_bytes / spec.network_bandwidth
+            self.sim.schedule(transfer, finish)
+
+        def finish():
+            node.release_slot()
+            ingest = cal.collect_overhead + task.result_bytes * cal.merge_cost_per_byte
+            if collector is not None:
+                collector.do(channel, ingest, chunk_done)
+            else:
+                self._master_do(channel, ingest, chunk_done, shard=task.chunk_id)
+
+        seek_phase()
+
+    # -- running ------------------------------------------------------------------------------
+
+    def run(self, until: float | None = None) -> list[QueryOutcome]:
+        """Drain the simulation; returns outcomes in completion order."""
+        self.sim.run(until)
+        return list(self.outcomes)
+
+    def warm_caches(self, dataset: str, chunk_ids, bytes_per_node: float):
+        """Pre-warm every node's cache for a dataset that fits in memory."""
+        if bytes_per_node > self.spec.node.memory_bytes:
+            return
+        for cid in chunk_ids:
+            self.nodes[int(cid) % len(self.nodes)].cache.add((dataset, int(cid)))

@@ -1,0 +1,55 @@
+"""A minimal deterministic discrete-event engine.
+
+Events are (time, sequence, callback) triples on a heap; ties break by
+insertion order, so runs are bit-for-bit reproducible.  Callbacks may
+schedule further events.  This is all the machinery the cluster model
+needs -- processes are expressed as chains of callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+__all__ = ["EventSimulator"]
+
+
+class EventSimulator:
+    """Priority-queue event loop with virtual time in seconds."""
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` seconds from the current time."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
+        self._seq += 1
+
+    def at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute virtual time ``time``."""
+        self.schedule(max(0.0, time - self.now), callback)
+
+    def run(self, until: float | None = None) -> float:
+        """Drain the event queue; returns the final virtual time.
+
+        With ``until``, stops once the next event is beyond that time
+        (that event stays queued).
+        """
+        while self._heap:
+            t, _, cb = self._heap[0]
+            if until is not None and t > until:
+                break
+            heapq.heappop(self._heap)
+            self.now = t
+            self.events_processed += 1
+            cb()
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,48 @@
+"""Spherical geometry primitives for astronomical catalogs.
+
+This subpackage is the substrate that every other layer of the Qserv
+reproduction builds on.  Positions on the celestial sphere are expressed
+as (right ascension, declination) pairs in **degrees**: right ascension
+(``ra``, the azimuthal angle, called phi in the paper) lies in
+``[0, 360)`` and declination (``dec``, the polar angle measured from the
+equator, called theta in the paper) lies in ``[-90, +90]``.
+
+Contents
+--------
+- :mod:`repro.sphgeom.coords` -- angle normalization, unit vectors and
+  the angular-separation kernels used by spatial joins.
+- :mod:`repro.sphgeom.region` -- the :class:`Region` interface and the
+  containment/intersection relationships.
+- :mod:`repro.sphgeom.box` -- longitude/latitude boxes with RA
+  wrap-around, the region type behind ``qserv_areaspec_box``.
+- :mod:`repro.sphgeom.circle` -- small circles (cone searches).
+- :mod:`repro.sphgeom.htm` -- the Hierarchical Triangular Mesh indexing
+  scheme discussed as alternate partitioning in section 7.5 of the paper.
+"""
+
+from .coords import (
+    angular_separation,
+    normalize_dec,
+    normalize_ra,
+    unit_vector,
+    vector_to_radec,
+)
+from .region import Region, Relationship
+from .box import SphericalBox
+from .circle import SphericalCircle
+from .polygon import SphericalConvexPolygon
+from .htm import HtmPixelization
+
+__all__ = [
+    "angular_separation",
+    "normalize_dec",
+    "normalize_ra",
+    "unit_vector",
+    "vector_to_radec",
+    "Region",
+    "Relationship",
+    "SphericalBox",
+    "SphericalCircle",
+    "SphericalConvexPolygon",
+    "HtmPixelization",
+]

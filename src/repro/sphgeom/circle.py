@@ -1,0 +1,121 @@
+"""Small circles (cone searches) on the sphere.
+
+A :class:`SphericalCircle` backs the ``qserv_areaspec_circle`` restriction
+and is also used internally to bound HTM trixels when relating them to
+query regions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .coords import angular_separation, normalize_ra
+from .box import SphericalBox
+from .region import Region, Relationship
+
+__all__ = ["SphericalCircle"]
+
+
+class SphericalCircle(Region):
+    """All points within ``radius`` degrees of ``(ra, dec)``.
+
+    A radius of 0 is a single point; a radius of 180 is the full sphere.
+    """
+
+    __slots__ = ("ra", "dec", "radius")
+
+    def __init__(self, ra: float, dec: float, radius: float):
+        if radius < 0:
+            raise ValueError(f"circle radius must be non-negative, got {radius}")
+        self.ra = normalize_ra(float(ra))
+        self.dec = float(dec)
+        self.radius = float(min(radius, 180.0))
+
+    def contains(self, ra, dec):
+        sep = angular_separation(self.ra, self.dec, ra, dec)
+        out = np.asarray(sep) <= self.radius
+        if out.ndim == 0:
+            return bool(out)
+        return out
+
+    def bounding_box(self) -> SphericalBox:
+        """Tight lon/lat box around the circle.
+
+        The RA half-width of a circle grows as it nears a pole; when the
+        circle contains a pole the box must span the full RA circle.
+        """
+        dec_min = self.dec - self.radius
+        dec_max = self.dec + self.radius
+        if dec_min <= -90.0 or dec_max >= 90.0:
+            return SphericalBox(0.0, dec_min, 360.0, dec_max)
+        # Half-width in RA: sin(w) = sin(r) / cos(dec)  (standard cone bbox).
+        sin_r = math.sin(math.radians(self.radius))
+        cos_dec = math.cos(math.radians(self.dec))
+        if sin_r >= cos_dec:
+            return SphericalBox(0.0, dec_min, 360.0, dec_max)
+        w = math.degrees(math.asin(sin_r / cos_dec))
+        return SphericalBox(self.ra - w, dec_min, self.ra + w, dec_max)
+
+    def area(self) -> float:
+        """Spherical cap area, 2*pi*(1 - cos r), in square degrees."""
+        steradians = 2.0 * math.pi * (1.0 - math.cos(math.radians(self.radius)))
+        return steradians * (180.0 / math.pi) ** 2
+
+    def dilated(self, radius: float) -> "SphericalCircle":
+        """The circle grown by ``radius`` degrees (overlap support).
+
+        Every point within ``radius`` of the original circle lies inside
+        the dilated circle -- the same guarantee SphericalBox.dilated
+        provides, used when circles bound HTM partitions.
+        """
+        if radius < 0:
+            raise ValueError(f"dilation radius must be non-negative, got {radius}")
+        return SphericalCircle(self.ra, self.dec, self.radius + radius)
+
+    def relate(self, other: Region) -> Relationship:
+        if isinstance(other, SphericalCircle):
+            sep = angular_separation(self.ra, self.dec, other.ra, other.dec)
+            if sep > self.radius + other.radius:
+                return Relationship.DISJOINT
+            if sep + other.radius <= self.radius:
+                return Relationship.CONTAINS
+            if sep + self.radius <= other.radius:
+                return Relationship.WITHIN
+            return Relationship.INTERSECTS
+        # Box (or anything else): be conservative via bounding boxes. A
+        # circle's bbox test can only over-report intersection, never
+        # under-report it, which is the safe direction for chunk selection.
+        rel = self.bounding_box().relate(other.bounding_box())
+        if rel is Relationship.DISJOINT:
+            return Relationship.DISJOINT
+        if isinstance(other, SphericalBox) and not other.is_empty:
+            # Exact containment check: the circle contains the box iff it
+            # contains all four corners and the box's extreme-dec edges.
+            corners_ra = [other.ra_min, other.ra_max]
+            corners_dec = [other.dec_min, other.dec_max]
+            pts = [(r, d) for r in corners_ra for d in corners_dec]
+            if all(self.contains(r, d) for r, d in pts) and not other.full_ra:
+                # Also check edge midpoints (dec edges bow toward poles).
+                mid_ra = other.ra_min + other.ra_extent() / 2.0
+                if self.contains(mid_ra, other.dec_min) and self.contains(
+                    mid_ra, other.dec_max
+                ):
+                    return Relationship.CONTAINS
+        return Relationship.INTERSECTS
+
+    def __eq__(self, other):
+        if not isinstance(other, SphericalCircle):
+            return NotImplemented
+        return (
+            self.ra == other.ra
+            and self.dec == other.dec
+            and self.radius == other.radius
+        )
+
+    def __hash__(self):
+        return hash((self.ra, self.dec, self.radius))
+
+    def __repr__(self):
+        return f"SphericalCircle(ra={self.ra:g}, dec={self.dec:g}, radius={self.radius:g})"

@@ -1,0 +1,123 @@
+"""Convex spherical polygons.
+
+Production Qserv accepts ``qserv_areaspec_poly`` restrictions alongside
+boxes and circles; this region type backs that in the reproduction.  A
+convex polygon on the sphere is the intersection of the half-spaces
+bounded by its edges' great circles; membership is a handful of
+vectorized sign tests, just like HTM trixels (a trixel *is* a 3-vertex
+convex polygon).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .box import SphericalBox
+from .circle import SphericalCircle
+from .coords import angular_separation_vectors, unit_vector, vector_to_radec
+from .region import Region, Relationship
+
+__all__ = ["SphericalConvexPolygon"]
+
+_EPS = 1.0e-12
+
+
+class SphericalConvexPolygon(Region):
+    """The convex hull of >= 3 vertices on the sphere.
+
+    Vertices may be given in either winding order (they are re-oriented
+    internally); they must form a convex polygon smaller than a
+    hemisphere, or ValueError is raised.
+    """
+
+    def __init__(self, vertices):
+        vertices = [(float(r), float(d)) for r, d in vertices]
+        if len(vertices) < 3:
+            raise ValueError(f"a polygon needs >= 3 vertices, got {len(vertices)}")
+        self._radec = vertices
+        self._verts = unit_vector(
+            np.array([v[0] for v in vertices]), np.array([v[1] for v in vertices])
+        )
+        centroid = self._verts.sum(axis=0)
+        norm = np.linalg.norm(centroid)
+        if norm < _EPS:
+            raise ValueError("degenerate polygon (vertices cancel out)")
+        self._centroid = centroid / norm
+
+        # Edge planes, oriented so the centroid is on the inside.
+        n = len(vertices)
+        planes = []
+        for i in range(n):
+            a, b = self._verts[i], self._verts[(i + 1) % n]
+            plane = np.cross(a, b)
+            if np.linalg.norm(plane) < _EPS:
+                raise ValueError(f"degenerate edge between vertices {i} and {(i + 1) % n}")
+            if float(plane @ self._centroid) < 0:
+                plane = -plane
+            planes.append(plane)
+        self._planes = np.array(planes)
+
+        # Convexity check: every vertex must satisfy every half-space.
+        signs = self._verts @ self._planes.T
+        if np.any(signs < -1e-9):
+            raise ValueError("vertices do not form a convex polygon")
+
+    # -- Region interface ----------------------------------------------------
+
+    def contains(self, ra, dec):
+        p = unit_vector(np.asarray(ra, dtype=np.float64), np.asarray(dec, dtype=np.float64))
+        # (..., 3) @ (3, n_edges) -> (..., n_edges); inside = all >= 0.
+        dots = p @ self._planes.T
+        out = np.all(dots >= -_EPS, axis=-1)
+        if out.ndim == 0:
+            return bool(out)
+        return out
+
+    def bounding_circle(self) -> SphericalCircle:
+        radius = float(np.max(angular_separation_vectors(self._centroid, self._verts)))
+        ra, dec = vector_to_radec(self._centroid)
+        return SphericalCircle(float(np.asarray(ra)), float(np.asarray(dec)), radius)
+
+    def bounding_box(self) -> SphericalBox:
+        return self.bounding_circle().bounding_box()
+
+    def area(self) -> float:
+        """Spherical excess (Girard): sum of interior angles - (n-2)*pi."""
+        n = len(self._verts)
+        total = 0.0
+        for i in range(n):
+            prev_v = self._verts[(i - 1) % n]
+            apex = self._verts[i]
+            next_v = self._verts[(i + 1) % n]
+            t1 = np.cross(np.cross(apex, prev_v), apex)
+            t2 = np.cross(np.cross(apex, next_v), apex)
+            t1 = t1 / np.linalg.norm(t1)
+            t2 = t2 / np.linalg.norm(t2)
+            total += math.acos(float(np.clip(t1 @ t2, -1.0, 1.0)))
+        excess = total - (n - 2) * math.pi
+        return excess * (180.0 / math.pi) ** 2
+
+    def relate(self, other: Region) -> Relationship:
+        """Conservative: DISJOINT only when bounding circles prove it."""
+        bc = self.bounding_circle()
+        rel = bc.relate(other)
+        if rel is Relationship.DISJOINT:
+            return Relationship.DISJOINT
+        # A cheap exact-ish CONTAINS: boxes whose corners and edge
+        # midpoints all fall inside the polygon.
+        if isinstance(other, SphericalBox) and not other.is_empty and not other.full_ra:
+            ras = [other.ra_min, other.ra_min + other.ra_extent() / 2, other.ra_max]
+            decs = [other.dec_min, (other.dec_min + other.dec_max) / 2, other.dec_max]
+            if all(self.contains(r, d) for r in ras for d in decs):
+                return Relationship.CONTAINS
+        return Relationship.INTERSECTS
+
+    @property
+    def vertices(self) -> list[tuple[float, float]]:
+        return list(self._radec)
+
+    def __repr__(self):
+        pts = ", ".join(f"({r:g}, {d:g})" for r, d in self._radec)
+        return f"SphericalConvexPolygon([{pts}])"

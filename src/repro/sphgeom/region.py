@@ -1,0 +1,58 @@
+"""The spherical region interface.
+
+Regions answer two questions for the rest of the system:
+
+1. point membership -- vectorized ``contains(ra, dec)`` used by the SQL
+   UDFs (``qserv_ptInSphericalBox`` and friends) that worker queries are
+   rewritten to call, and
+2. region/region relationships -- used by the partitioner and the czar
+   to turn an ``qserv_areaspec_*`` restriction into the set of chunks a
+   query must be dispatched to.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+
+__all__ = ["Relationship", "Region"]
+
+
+class Relationship(enum.Enum):
+    """Coarse spatial relationship between two regions.
+
+    The partitioner only needs a conservative answer: ``DISJOINT`` must
+    never be reported for regions that actually intersect (that would
+    silently drop chunks from a query), whereas reporting ``INTERSECTS``
+    for a borderline-disjoint pair merely dispatches a chunk query that
+    returns zero rows.
+    """
+
+    DISJOINT = 0
+    INTERSECTS = 1
+    CONTAINS = 2  # self contains other entirely
+    WITHIN = 3  # self lies entirely within other
+
+
+class Region(ABC):
+    """Abstract region on the unit sphere."""
+
+    @abstractmethod
+    def contains(self, ra, dec):
+        """Vectorized point membership; returns bool array (or scalar bool)."""
+
+    @abstractmethod
+    def relate(self, other: "Region") -> Relationship:
+        """Conservative relationship between this region and ``other``."""
+
+    @abstractmethod
+    def bounding_box(self) -> "Region":
+        """A :class:`repro.sphgeom.box.SphericalBox` covering this region."""
+
+    @abstractmethod
+    def area(self) -> float:
+        """Solid angle of the region in square degrees."""
+
+    def intersects(self, other: "Region") -> bool:
+        """True unless the regions are provably disjoint."""
+        return self.relate(other) is not Relationship.DISJOINT

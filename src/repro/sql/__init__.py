@@ -1,0 +1,42 @@
+"""A from-scratch, in-process SQL engine -- the MySQL substitute.
+
+The paper runs one MySQL/MyISAM instance per worker node and reaches it
+only through SQL text (queries in, ``mysqldump`` output back), stressing
+that "Qserv's design and implementation do not depend on specifics of
+MySQL beyond glue code".  This subpackage provides that role: a small
+relational engine with
+
+- a hand-written lexer and recursive-descent parser for the SQL dialect
+  Qserv emits (:mod:`~repro.sql.lexer`, :mod:`~repro.sql.parser`,
+  :mod:`~repro.sql.ast`),
+- column-store tables backed by NumPy arrays
+  (:mod:`~repro.sql.table`) with hash and sorted indexes
+  (:mod:`~repro.sql.index`),
+- a vectorized expression evaluator and UDF registry including the
+  spherical-geometry UDFs installed on Qserv workers
+  (:mod:`~repro.sql.expr_eval`, :mod:`~repro.sql.functions`),
+- a query executor supporting filters, equi/spatial joins, grouped and
+  plain aggregation, ORDER BY / LIMIT, plus the DDL/DML the worker
+  protocol needs (``CREATE TABLE ... AS SELECT`` for on-the-fly
+  sub-chunk tables, ``INSERT ... VALUES`` for dump loading)
+  (:mod:`~repro.sql.engine`), and
+- ``mysqldump``-style table serialization used for results transfer
+  (:mod:`~repro.sql.dump`).
+"""
+
+from .table import Column, Table
+from .engine import Database, ResultTable, SqlError
+from .dump import dump_table, load_dump
+from .functions import FUNCTIONS, register_function
+
+__all__ = [
+    "Column",
+    "Table",
+    "Database",
+    "ResultTable",
+    "SqlError",
+    "dump_table",
+    "load_dump",
+    "FUNCTIONS",
+    "register_function",
+]

@@ -1,0 +1,91 @@
+"""``mysqldump``-style table serialization.
+
+Section 5.4 of the paper: "Results from a chunk query are transferred
+as SQL statements.  The worker executes mysqldump on the result table
+and the resulting byte stream is read byte-for-byte by the master,
+which executes the SQL statements to load results into its local
+database."  This module is that byte stream: :func:`dump_table` renders
+a table as ``DROP TABLE IF EXISTS`` + ``CREATE TABLE`` + batched
+``INSERT`` statements, and :func:`load_dump` replays such a stream into
+a :class:`~repro.sql.engine.Database`.
+
+The paper also notes this format's cost in speed, disk, network, and
+transactions (section 7.1); the benchmark harness charges for exactly
+this serialized byte volume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .table import Table
+
+__all__ = ["dump_table", "load_dump", "dump_size_bytes"]
+
+# mysqldump batches many rows per INSERT ("extended insert"); we do the
+# same to keep statement counts (and parse overhead) realistic.
+ROWS_PER_INSERT = 1000
+
+
+def _ident(name: str) -> str:
+    """Backtick-quote column names that need it (e.g. ``COUNT(*)``)."""
+    if name and all(c.isalnum() or c in "_$" for c in name):
+        return name
+    return f"`{name}`"
+
+
+def _sql_literal(value) -> str:
+    """Render one Python/NumPy value as a SQL literal."""
+    if isinstance(value, (bool, np.bool_)):
+        return "1" if value else "0"
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    if isinstance(value, (float, np.floating)):
+        if np.isnan(value):
+            return "NULL"
+        return repr(float(value))
+    s = str(value).replace("\\", "\\\\").replace("'", "\\'")
+    return f"'{s}'"
+
+
+def dump_table(table: Table, name: str | None = None) -> str:
+    """Serialize ``table`` as replayable SQL text (mysqldump equivalent)."""
+    name = name or table.name
+    lines = [f"DROP TABLE IF EXISTS {name};"]
+    cols = table.schema()
+    col_defs = ", ".join(f"{_ident(c.name)} {c.type_name}" for c in cols)
+    lines.append(f"CREATE TABLE {name} ({col_defs});")
+
+    n = table.num_rows
+    if n:
+        arrays = [table.column(c.name) for c in cols]
+        for start in range(0, n, ROWS_PER_INSERT):
+            stop = min(start + ROWS_PER_INSERT, n)
+            rows = []
+            for i in range(start, stop):
+                rows.append(
+                    "(" + ",".join(_sql_literal(a[i]) for a in arrays) + ")"
+                )
+            lines.append(f"INSERT INTO {name} VALUES {','.join(rows)};")
+    return "\n".join(lines) + "\n"
+
+
+def dump_size_bytes(table: Table) -> int:
+    """Byte size of the dump without rendering it twice in benchmarks."""
+    return len(dump_table(table).encode())
+
+
+def load_dump(db, text: str) -> str:
+    """Replay a dump into ``db``; returns the (last) table name created.
+
+    The dump is plain SQL, so this is just ``db.execute`` -- kept as a
+    named entry point because it is the master's half of the results
+    transfer protocol.
+    """
+    db.execute(text)
+    # The created table is named in the CREATE TABLE statement.
+    for line in text.splitlines():
+        if line.startswith("CREATE TABLE "):
+            name = line[len("CREATE TABLE ") :].split("(", 1)[0].strip()
+            return name
+    raise ValueError("dump contains no CREATE TABLE statement")

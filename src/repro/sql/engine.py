@@ -1,0 +1,782 @@
+"""The query executor.
+
+A :class:`Database` owns named :class:`~repro.sql.table.Table` objects
+and executes parsed statements against them.  The SELECT pipeline is:
+
+1. bind FROM tables (aliases included) and fold joins left-to-right --
+   equi-join conjuncts (``a.x = b.y``) found in ON or WHERE clauses run
+   as vectorized sort-merge hash joins; pairs without a usable key fall
+   back to a guarded cross join (what a near-neighbor sub-chunk join
+   uses, with the ``qserv_angSep`` predicate applied immediately),
+2. apply the WHERE mask (using a hash index for ``col = literal``
+   conjuncts when one exists -- the worker-side objectId fast path of
+   paper section 5.5),
+3. group and aggregate (COUNT/SUM/AVG/MIN/MAX, with or without GROUP
+   BY) using sort + ``reduceat`` -- no per-group Python work,
+4. project the select list, apply HAVING/DISTINCT/ORDER BY/LIMIT.
+
+Only the dialect Qserv emits is supported; notably, subqueries are
+rejected at parse time just as in the paper's prototype.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import ast
+from .expr_eval import Environment, contains_aggregate, evaluate
+from .index import HashIndex
+from .parser import ParseError, parse
+from .table import Column, Table
+
+__all__ = ["Database", "ResultTable", "SqlError"]
+
+# A cross join bigger than this (pairs) means a query forgot its join
+# predicate; sub-chunk near-neighbor joins sit far below it.
+MAX_CROSS_PAIRS = 30_000_000
+
+# Sentinel row-index meaning "every row, original order" (avoids paying
+# for an arange and identity comparisons on the hot full-scan path).
+_IDENTITY = object()
+
+
+class SqlError(Exception):
+    """Execution-level SQL error (unknown table, type clash, ...)."""
+
+
+class ResultTable(Table):
+    """A query result; a Table whose column order follows the select list."""
+
+
+class Database:
+    """An in-process database: named tables plus optional hash indexes.
+
+    This plays the role of one worker's MySQL instance (or the czar's
+    result-merge instance).  ``name`` is the database qualifier accepted
+    in queries (e.g. ``LSST.Object_714``); unqualified references work
+    too.
+    """
+
+    def __init__(self, name: str = "LSST"):
+        self.name = name
+        self.tables: dict[str, Table] = {}
+        self._indexes: dict[tuple[str, str], HashIndex] = {}
+
+    # -- catalog management -----------------------------------------------------
+
+    def create_table(self, table: Table, overwrite: bool = False) -> None:
+        if table.name in self.tables and not overwrite:
+            raise SqlError(f"table {table.name!r} already exists")
+        self.tables[table.name] = table
+        self._drop_indexes(table.name)
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        if name not in self.tables:
+            if if_exists:
+                return
+            raise SqlError(f"no such table {name!r}")
+        del self.tables[name]
+        self._drop_indexes(name)
+
+    def get_table(self, name: str) -> Table:
+        if name not in self.tables:
+            raise SqlError(f"no such table {name!r}")
+        return self.tables[name]
+
+    def table_names(self) -> list[str]:
+        return sorted(self.tables)
+
+    def create_index(self, table: str, column: str) -> None:
+        """Build (or rebuild) a hash index on ``table.column``."""
+        tbl = self.get_table(table)
+        self._indexes[(table, column)] = HashIndex(tbl.column(column))
+
+    def has_index(self, table: str, column: str) -> bool:
+        return (table, column) in self._indexes
+
+    def _drop_indexes(self, table: str) -> None:
+        for key in [k for k in self._indexes if k[0] == table]:
+            del self._indexes[key]
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(self, sql: str) -> Optional[ResultTable]:
+        """Execute one or more ';'-separated statements.
+
+        Returns the result of the last SELECT (or None if none ran).
+        """
+        try:
+            statements = parse(sql)
+        except ParseError as e:
+            raise SqlError(f"parse error: {e}") from e
+        result: Optional[ResultTable] = None
+        for stmt in statements:
+            out = self.execute_statement(stmt)
+            if out is not None:
+                result = out
+        return result
+
+    def execute_statement(self, stmt: ast.Statement) -> Optional[ResultTable]:
+        if isinstance(stmt, ast.Select):
+            return self._exec_select(stmt)
+        if isinstance(stmt, ast.CreateTable):
+            return self._exec_create(stmt)
+        if isinstance(stmt, ast.CreateTableAsSelect):
+            return self._exec_create_as(stmt)
+        if isinstance(stmt, ast.DropTable):
+            self.drop_table(stmt.table, if_exists=stmt.if_exists)
+            return None
+        if isinstance(stmt, ast.Insert):
+            return self._exec_insert(stmt)
+        raise SqlError(f"unsupported statement {type(stmt).__name__}")
+
+    # -- DDL / DML ------------------------------------------------------------------
+
+    def _exec_create(self, stmt: ast.CreateTable) -> None:
+        if stmt.table in self.tables:
+            if stmt.if_not_exists:
+                return None
+            raise SqlError(f"table {stmt.table!r} already exists")
+        schema = [Column(c.name, c.type_name) for c in stmt.columns]
+        self.tables[stmt.table] = Table.from_schema(stmt.table, schema)
+        return None
+
+    def _exec_create_as(self, stmt: ast.CreateTableAsSelect) -> None:
+        if stmt.table in self.tables:
+            if stmt.if_not_exists:
+                return None
+            raise SqlError(f"table {stmt.table!r} already exists")
+        result = self._exec_select(stmt.select)
+        self.tables[stmt.table] = result.rename(stmt.table)
+        return None
+
+    def _exec_insert(self, stmt: ast.Insert) -> None:
+        table = self.get_table(stmt.table)
+        columns = list(stmt.columns) if stmt.columns else table.column_names
+        if set(columns) != set(table.column_names):
+            raise SqlError(
+                f"INSERT columns {columns} do not match table schema "
+                f"{table.column_names}"
+            )
+        # Literal-only fast path (the dump loader always hits this).
+        batch: dict[str, list] = {c: [] for c in columns}
+        for row in stmt.rows:
+            if len(row) != len(columns):
+                raise SqlError(
+                    f"INSERT row has {len(row)} values, expected {len(columns)}"
+                )
+            for col, value_expr in zip(columns, row):
+                if isinstance(value_expr, ast.Literal):
+                    batch[col].append(value_expr.value)
+                elif isinstance(value_expr, ast.Null):
+                    batch[col].append(np.nan)
+                elif isinstance(value_expr, ast.UnaryOp) and isinstance(
+                    value_expr.operand, ast.Literal
+                ):
+                    batch[col].append(-value_expr.operand.value)
+                else:
+                    raise SqlError("INSERT values must be literals")
+        arrays = {}
+        for col in columns:
+            target = table.column(col).dtype
+            if target == object:
+                arrays[col] = np.array(batch[col], dtype=object)
+            else:
+                arrays[col] = np.array(batch[col]).astype(target)
+        table.append_rows(arrays)
+        self._drop_indexes(stmt.table)
+        return None
+
+    # -- SELECT --------------------------------------------------------------------
+
+    def _exec_select(self, sel: ast.Select) -> ResultTable:
+        bound = self._bind_tables(sel)
+        env = self._join_and_filter(sel, bound)
+
+        aggregates = self._collect_aggregates(sel)
+        if aggregates or sel.group_by:
+            result = self._grouped_projection(sel, env, aggregates)
+        else:
+            result = self._plain_projection(sel, env, bound)
+
+        if sel.distinct:
+            result = _distinct(result)
+        result = self._order_and_limit(sel, result, env)
+        return result
+
+    # -- binding and joining ----------------------------------------------------------
+
+    def _bind_tables(self, sel: ast.Select) -> list[tuple[str, Table]]:
+        """Resolve FROM/JOIN table refs to (binding name, Table) pairs."""
+        bound: list[tuple[str, Table]] = []
+        refs = list(sel.tables) + [j.table for j in sel.joins]
+        seen: set[str] = set()
+        for ref in refs:
+            if ref.database is not None and ref.database != self.name:
+                raise SqlError(
+                    f"unknown database {ref.database!r} (this instance is {self.name!r})"
+                )
+            if ref.name in seen:
+                raise SqlError(f"duplicate table name/alias {ref.name!r}")
+            seen.add(ref.name)
+            bound.append((ref.name, self.get_table(ref.table)))
+        return bound
+
+    def _join_and_filter(self, sel: ast.Select, bound) -> Environment:
+        """Join all FROM tables and apply WHERE; returns the row Environment."""
+        if not bound:
+            # SELECT without FROM: single pseudo-row.
+            env = Environment({}, 1)
+            return env
+
+        conjuncts = _split_conjuncts(sel.where)
+        for join in sel.joins:
+            if join.on is not None:
+                conjuncts.extend(_split_conjuncts(join.on))
+        # LEFT JOIN is accepted syntax but executed as INNER (sufficient
+        # for every query shape the paper uses).
+
+        # Fold tables left to right, carrying per-table row-index arrays.
+        # _IDENTITY marks "all rows, original order" without paying for
+        # an arange + equality check on the hot single-table scan path.
+        names = [n for n, _ in bound]
+        tables = {n: t for n, t in bound}
+        idx: dict[str, object] = {names[0]: _IDENTITY}
+
+        def resolve(name):
+            """The concrete index array for a binding (identity expanded)."""
+            rows = idx[name]
+            if rows is _IDENTITY:
+                return np.arange(tables[name].num_rows)
+            return rows
+
+        def row_count(name):
+            rows = idx[name]
+            return tables[name].num_rows if rows is _IDENTITY else len(rows)
+
+        for name, table in bound[1:]:
+            key = _find_equi_key(conjuncts, set(idx), name, tables)
+            if key is not None:
+                left_expr, right_col = key
+                left_vals = self._eval_on_partial(left_expr, idx, tables)
+                right_vals = table.column(right_col)
+                li, ri = _equi_join(left_vals, right_vals)
+                idx = {n: resolve(n)[li] for n in idx}
+                idx[name] = ri
+            else:
+                # Guarded cross join.
+                n_left = row_count(next(iter(idx))) if idx else 0
+                n_right = table.num_rows
+                if n_left * n_right > MAX_CROSS_PAIRS:
+                    raise SqlError(
+                        f"cross join of {n_left} x {n_right} rows exceeds "
+                        f"{MAX_CROSS_PAIRS} pairs; add a join predicate"
+                    )
+                li = np.repeat(np.arange(n_left), n_right)
+                ri = np.tile(np.arange(n_right), n_left)
+                idx = {n: resolve(n)[li] for n in idx}
+                idx[name] = ri
+
+        # Index fast path (paper section 5.5): an indexed 'col = literal'
+        # conjunct pre-restricts the row set before the full predicate runs.
+        if sel.where is not None and len(bound) == 1:
+            name, table = bound[0]
+            rows = self._index_probe(conjuncts, name, table)
+            if rows is not None:
+                idx = {name: rows}
+
+        env = self._materialize_env(sel, idx, tables)
+
+        if sel.where is not None:
+            # Index fast path: an indexed 'col = literal' conjunct
+            # pre-restricts the row set before the full predicate runs.
+            mask = np.asarray(evaluate(sel.where, env))
+            if mask.dtype != bool:
+                mask = mask != 0
+            if mask.ndim == 0:
+                mask = np.full(env.length, bool(mask))
+            env = _filter_env(env, mask)
+        return env
+
+    def _index_probe(self, conjuncts, name: str, table: Table):
+        """Row positions from a usable hash index, or None.
+
+        Handles both ``col = literal`` and ``col IN (literals)`` -- the
+        two shapes LV1-class queries take on the workers (section 5.5).
+        """
+        for c in conjuncts:
+            if isinstance(c, ast.BinaryOp) and c.op == "=":
+                for ref, lit in ((c.left, c.right), (c.right, c.left)):
+                    if not (
+                        isinstance(ref, ast.ColumnRef) and isinstance(lit, ast.Literal)
+                    ):
+                        continue
+                    if ref.table is not None and ref.table != name:
+                        continue
+                    key = (table.name, ref.column)
+                    if key in self._indexes:
+                        return self._indexes[key].lookup(lit.value)
+            elif (
+                isinstance(c, ast.InList)
+                and not c.negated
+                and isinstance(c.value, ast.ColumnRef)
+                and all(isinstance(i, ast.Literal) for i in c.items)
+            ):
+                ref = c.value
+                if ref.table is not None and ref.table != name:
+                    continue
+                key = (table.name, ref.column)
+                if key in self._indexes:
+                    return self._indexes[key].lookup_many(
+                        [i.value for i in c.items]
+                    )
+        return None
+
+    def _eval_on_partial(self, expr: ast.Expr, idx, tables):
+        cols = {}
+        length = None
+        for n, rows in idx.items():
+            for cname, arr in tables[n].columns().items():
+                cols[(n, cname)] = arr if rows is _IDENTITY else arr[rows]
+            length = tables[n].num_rows if rows is _IDENTITY else len(rows)
+        env = Environment(cols, length or 0)
+        return np.asarray(evaluate(expr, env))
+
+    def _materialize_env(self, sel: ast.Select, idx, tables) -> Environment:
+        """Build the Environment, materializing only referenced columns.
+
+        With a single table and the identity index, columns are passed
+        through as views (no copies) -- the common full-scan path.
+        """
+        referenced = _referenced_columns(sel)
+        cols: dict[tuple[str, str], np.ndarray] = {}
+        length = 0
+        for n, rows in idx.items():
+            table = tables[n]
+            identity = rows is _IDENTITY
+            length = table.num_rows if identity else len(rows)
+            want_all = _wants_all_columns(sel, n)
+            for cname, arr in table.columns().items():
+                if not want_all and (cname not in referenced):
+                    continue
+                cols[(n, cname)] = arr if identity else arr[rows]
+        return Environment(cols, length)
+
+    # -- aggregation --------------------------------------------------------------------
+
+    def _collect_aggregates(self, sel: ast.Select) -> list[ast.FuncCall]:
+        """All distinct aggregate calls in select list, HAVING, and ORDER BY."""
+        found: dict[ast.FuncCall, None] = {}
+
+        def walk(expr):
+            if expr is None:
+                return
+            if isinstance(expr, ast.FuncCall):
+                if expr.is_aggregate:
+                    found.setdefault(expr)
+                    return
+                for a in expr.args:
+                    walk(a)
+            elif isinstance(expr, ast.BinaryOp):
+                walk(expr.left)
+                walk(expr.right)
+            elif isinstance(expr, ast.UnaryOp):
+                walk(expr.operand)
+            elif isinstance(expr, ast.Between):
+                walk(expr.value), walk(expr.low), walk(expr.high)
+            elif isinstance(expr, ast.InList):
+                walk(expr.value)
+                for i in expr.items:
+                    walk(i)
+            elif isinstance(expr, ast.IsNull):
+                walk(expr.value)
+
+        for item in sel.items:
+            walk(item.expr)
+        walk(sel.having)
+        for o in sel.order_by:
+            walk(o.expr)
+        return list(found)
+
+    def _grouped_projection(
+        self, sel: ast.Select, env: Environment, aggregates: list[ast.FuncCall]
+    ) -> ResultTable:
+        n = env.length
+        if sel.group_by:
+            keys = []
+            for gexpr in sel.group_by:
+                arr = np.asarray(evaluate(gexpr, env))
+                if arr.ndim == 0:
+                    arr = np.full(n, arr)
+                keys.append(arr)
+            if n == 0:
+                group_starts = np.empty(0, dtype=np.int64)
+                order = np.empty(0, dtype=np.int64)
+            else:
+                order = np.lexsort(keys[::-1])
+                sorted_keys = [k[order] for k in keys]
+                changed = np.zeros(n, dtype=bool)
+                changed[0] = True
+                for k in sorted_keys:
+                    changed[1:] |= k[1:] != k[:-1]
+                group_starts = np.flatnonzero(changed)
+        else:
+            # One global group (even over zero rows: COUNT(*) = 0).
+            order = np.arange(n)
+            group_starts = np.array([0], dtype=np.int64)
+
+        num_groups = len(group_starts)
+        agg_values: dict[ast.FuncCall, np.ndarray] = {}
+        for agg in aggregates:
+            agg_values[agg] = self._compute_aggregate(agg, env, order, group_starts, n)
+
+        # Representative-row environment: first member of each group.
+        if n > 0:
+            rep_rows = order[group_starts[group_starts < n]]
+        else:
+            rep_rows = np.empty(0, dtype=np.int64)
+        rep_cols = {}
+        for key, arr in env.columns.items():
+            if n > 0:
+                rep_cols[key] = arr[rep_rows]
+            else:
+                rep_cols[key] = arr[:0]
+        # For a global aggregate over zero rows there is still one output
+        # group; representative columns are empty, which is fine because
+        # projection expressions must be pure aggregates in that case.
+        rep_env = Environment(rep_cols, num_groups if n > 0 else num_groups)
+
+        out_cols: dict[str, np.ndarray] = {}
+        for item in sel.items:
+            name = item.output_name()
+            if contains_aggregate(item.expr):
+                val = evaluate(item.expr, rep_env, aggregates=agg_values)
+            else:
+                if n == 0 and not sel.group_by:
+                    raise SqlError(
+                        f"non-aggregate select item {name!r} in a global "
+                        "aggregate over an empty table"
+                    )
+                val = evaluate(item.expr, rep_env)
+            val = np.asarray(val)
+            if val.ndim == 0:
+                val = np.full(num_groups, val)
+            out_cols[name] = val
+
+        result = ResultTable("result", out_cols)
+
+        if sel.having is not None:
+            mask = np.asarray(evaluate(sel.having, rep_env, aggregates=agg_values))
+            if mask.dtype != bool:
+                mask = mask != 0
+            result = ResultTable("result", {k: v[mask] for k, v in result.columns().items()})
+        return result
+
+    def _compute_aggregate(self, agg, env, order, group_starts, n) -> np.ndarray:
+        name = agg.name.upper()
+        num_groups = len(group_starts)
+        if n == 0:
+            if name == "COUNT":
+                return np.zeros(num_groups, dtype=np.int64)
+            return np.full(num_groups, np.nan)
+
+        is_star = len(agg.args) == 1 and isinstance(agg.args[0], ast.Star)
+        if name == "COUNT" and is_star:
+            ends = np.append(group_starts[1:], n)
+            return (ends - group_starts).astype(np.int64)
+
+        if is_star:
+            raise SqlError(f"{name}(*) is only valid for COUNT")
+        arr = np.asarray(evaluate(agg.args[0], env))
+        if arr.ndim == 0:
+            arr = np.full(n, arr)
+        sorted_vals = arr[order]
+        ends = np.append(group_starts[1:], n)
+
+        if name == "COUNT":
+            if agg.distinct:
+                # Distinct count per group: sort values inside each group
+                # and count boundaries.  Values were sorted by group only,
+                # so do a (group, value) lexsort.
+                gid = np.repeat(np.arange(num_groups), ends - group_starts)
+                so = np.lexsort((sorted_vals, gid))
+                sv, sg = sorted_vals[so], gid[so]
+                newval = np.ones(n, dtype=bool)
+                newval[1:] = (sv[1:] != sv[:-1]) | (sg[1:] != sg[:-1])
+                return np.bincount(sg[newval], minlength=num_groups).astype(np.int64)
+            if np.issubdtype(sorted_vals.dtype, np.floating):
+                valid = (~np.isnan(sorted_vals)).astype(np.int64)
+                return np.add.reduceat(valid, group_starts)
+            return (ends - group_starts).astype(np.int64)
+
+        if name == "SUM" and np.issubdtype(sorted_vals.dtype, np.integer):
+            # Integer sums stay integer (MySQL semantics for COUNT merges).
+            return np.add.reduceat(sorted_vals, group_starts)
+        vals = sorted_vals.astype(np.float64, copy=False) if name in ("SUM", "AVG") else sorted_vals
+        if name == "SUM":
+            # MySQL: SUM ignores NULLs, but a group of only NULLs sums
+            # to NULL (NaN), not 0.
+            valid = ~np.isnan(vals)
+            sums = np.add.reduceat(np.where(valid, vals, 0.0), group_starts)
+            counts = np.add.reduceat(valid.astype(np.int64), group_starts)
+            return np.where(counts > 0, sums, np.nan)
+        if name == "AVG":
+            valid = ~np.isnan(vals)
+            sums = np.add.reduceat(np.where(valid, vals, 0.0), group_starts)
+            counts = np.add.reduceat(valid.astype(np.float64), group_starts)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                return sums / counts
+        if name in ("MIN", "MAX"):
+            # MySQL MIN/MAX ignore NULLs; a group of only NULLs yields
+            # NULL.  np.fmin/fmax skip NaN (vs minimum/maximum, which
+            # propagate it) -- essential when merging per-chunk partials
+            # where empty chunks contributed NULL.
+            if np.issubdtype(vals.dtype, np.floating):
+                op = np.fmin if name == "MIN" else np.fmax
+                return op.reduceat(vals, group_starts)
+            op = np.minimum if name == "MIN" else np.maximum
+            return op.reduceat(vals, group_starts)
+        raise SqlError(f"unsupported aggregate {name}")
+
+    # -- projection ---------------------------------------------------------------------
+
+    def _plain_projection(self, sel: ast.Select, env: Environment, bound) -> ResultTable:
+        out_cols: dict[str, np.ndarray] = {}
+        order_names = []
+        for item in sel.items:
+            if isinstance(item.expr, ast.Star):
+                for name, arr in self._expand_star(item.expr, env, bound):
+                    _add_result_column(out_cols, name, arr, env.length)
+                    order_names.append(name)
+                continue
+            val = evaluate(item.expr, env)
+            _add_result_column(out_cols, item.output_name(), val, env.length)
+            order_names.append(item.output_name())
+        return ResultTable("result", out_cols)
+
+    def _expand_star(self, star: ast.Star, env: Environment, bound):
+        names = [n for n, _ in bound]
+        targets = [star.table] if star.table else names
+        out = []
+        used: set[str] = set()
+        for t in targets:
+            if t not in names:
+                raise SqlError(f"unknown table {t!r} in '{t}.*'")
+            table = dict(bound)[t]
+            for cname in table.column_names:
+                key = (t, cname)
+                if key not in env.columns:
+                    continue
+                public = cname if cname not in used else f"{t}.{cname}"
+                used.add(cname)
+                out.append((public, env.columns[key]))
+        return out
+
+    def _order_and_limit(
+        self, sel: ast.Select, result: ResultTable, env: Environment
+    ) -> ResultTable:
+        if sel.order_by:
+            keys = []
+            for o in reversed(sel.order_by):
+                arr = self._order_key(o, result, env)
+                if o.descending:
+                    if arr.dtype == object:
+                        # Descending object sort: sort ascending, flip below
+                        # via negated rank.
+                        rank = np.searchsorted(np.sort(arr.astype(str)), arr.astype(str))
+                        arr = -rank
+                    else:
+                        arr = -arr if np.issubdtype(arr.dtype, np.number) else arr
+                keys.append(arr)
+            order = np.lexsort(keys)
+            result = ResultTable(
+                "result", {k: v[order] for k, v in result.columns().items()}
+            )
+        if sel.limit is not None:
+            start = sel.offset or 0
+            stop = start + sel.limit
+            result = ResultTable(
+                "result", {k: v[start:stop] for k, v in result.columns().items()}
+            )
+        return result
+
+    def _order_key(self, o: ast.OrderItem, result: ResultTable, env: Environment):
+        # Positional: ORDER BY 2.
+        if isinstance(o.expr, ast.Literal) and isinstance(o.expr.value, int):
+            pos = o.expr.value - 1
+            names = result.column_names
+            if not 0 <= pos < len(names):
+                raise SqlError(f"ORDER BY position {o.expr.value} out of range")
+            return result.column(names[pos])
+        # Output column (alias or plain name) takes precedence, MySQL-style.
+        if isinstance(o.expr, ast.ColumnRef) and o.expr.table is None:
+            if o.expr.column in result:
+                return result.column(o.expr.column)
+        if isinstance(o.expr, ast.FuncCall):
+            name = o.expr.to_sql()
+            if name in result:
+                return result.column(name)
+        val = np.asarray(evaluate(o.expr, env))
+        if len(val) != result.num_rows:
+            raise SqlError("ORDER BY expression length mismatch")
+        return val
+
+
+# -- helpers -----------------------------------------------------------------------
+
+
+def _add_result_column(out_cols, name, val, length):
+    arr = np.asarray(val)
+    if arr.ndim == 0:
+        arr = np.full(length, val)
+    if name in out_cols:
+        # MySQL allows duplicate output names; disambiguate.
+        i = 2
+        while f"{name}_{i}" in out_cols:
+            i += 1
+        name = f"{name}_{i}"
+    out_cols[name] = arr
+
+
+def _filter_env(env: Environment, mask: np.ndarray) -> Environment:
+    cols = {k: v[mask] for k, v in env.columns.items()}
+    return Environment(cols, int(np.count_nonzero(mask)))
+
+
+def _distinct(result: ResultTable) -> ResultTable:
+    if result.num_rows == 0 or not result.column_names:
+        return result
+    cols = [np.asarray(result.column(n)) for n in result.column_names]
+    str_keys = [c.astype(str) if c.dtype == object else c for c in cols]
+    order = np.lexsort(str_keys[::-1])
+    n = result.num_rows
+    changed = np.zeros(n, dtype=bool)
+    changed[0] = True
+    for k in str_keys:
+        ks = k[order]
+        changed[1:] |= ks[1:] != ks[:-1]
+    keep_rows = np.sort(order[changed])
+    return ResultTable(
+        "result", {k: v[keep_rows] for k, v in result.columns().items()}
+    )
+
+
+def _split_conjuncts(expr: Optional[ast.Expr]) -> list[ast.Expr]:
+    """Flatten a chain of ANDs into a conjunct list."""
+    if expr is None:
+        return []
+    if isinstance(expr, ast.BinaryOp) and expr.op.upper() == "AND":
+        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
+    return [expr]
+
+
+def _expr_tables(expr: ast.Expr) -> set[str]:
+    """Tables referenced by an expression (None for unqualified refs)."""
+    out: set[str] = set()
+
+    def walk(e):
+        if isinstance(e, ast.ColumnRef):
+            out.add(e.table)
+        elif isinstance(e, ast.FuncCall):
+            for a in e.args:
+                walk(a)
+        elif isinstance(e, ast.BinaryOp):
+            walk(e.left), walk(e.right)
+        elif isinstance(e, ast.UnaryOp):
+            walk(e.operand)
+        elif isinstance(e, ast.Between):
+            walk(e.value), walk(e.low), walk(e.high)
+        elif isinstance(e, ast.InList):
+            walk(e.value)
+            for i in e.items:
+                walk(i)
+        elif isinstance(e, ast.IsNull):
+            walk(e.value)
+
+    walk(expr)
+    return out
+
+
+def _find_equi_key(conjuncts, have: set[str], incoming: str, tables):
+    """Find an equi-join conjunct linking ``incoming`` to already-bound tables.
+
+    Returns (left_expr_over_have, right_column_name) or None.  Only
+    simple ``ref = ref`` conjuncts are used; anything fancier runs as a
+    post-join filter.
+    """
+    for c in conjuncts:
+        if not (isinstance(c, ast.BinaryOp) and c.op == "="):
+            continue
+        left, right = c.left, c.right
+        if not (isinstance(left, ast.ColumnRef) and isinstance(right, ast.ColumnRef)):
+            continue
+        for a, b in ((left, right), (right, left)):
+            if a.table in have and b.table == incoming:
+                return a, b.column
+        # Unqualified columns: resolvable only if names are unambiguous;
+        # skip rather than guess.
+    return None
+
+
+def _equi_join(left_vals: np.ndarray, right_vals: np.ndarray):
+    """Vectorized many-to-many equi join; returns (left_idx, right_idx)."""
+    order = np.argsort(right_vals, kind="stable")
+    sorted_right = right_vals[order]
+    lo = np.searchsorted(sorted_right, left_vals, side="left")
+    hi = np.searchsorted(sorted_right, left_vals, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    left_idx = np.repeat(np.arange(len(left_vals)), counts)
+    starts = np.cumsum(counts) - counts
+    within = np.arange(total) - np.repeat(starts, counts)
+    right_idx = order[np.repeat(lo, counts) + within]
+    return left_idx, right_idx
+
+
+def _referenced_columns(sel: ast.Select) -> set[str]:
+    """Unqualified column names referenced anywhere in the query."""
+    out: set[str] = set()
+
+    def walk(e):
+        if e is None:
+            return
+        if isinstance(e, ast.ColumnRef):
+            out.add(e.column)
+        elif isinstance(e, ast.FuncCall):
+            for a in e.args:
+                walk(a)
+        elif isinstance(e, ast.BinaryOp):
+            walk(e.left), walk(e.right)
+        elif isinstance(e, ast.UnaryOp):
+            walk(e.operand)
+        elif isinstance(e, ast.Between):
+            walk(e.value), walk(e.low), walk(e.high)
+        elif isinstance(e, ast.InList):
+            walk(e.value)
+            for i in e.items:
+                walk(i)
+        elif isinstance(e, ast.IsNull):
+            walk(e.value)
+
+    for item in sel.items:
+        walk(item.expr)
+    walk(sel.where)
+    for g in sel.group_by:
+        walk(g)
+    walk(sel.having)
+    for o in sel.order_by:
+        walk(o.expr)
+    for j in sel.joins:
+        walk(j.on)
+    return out
+
+
+def _wants_all_columns(sel: ast.Select, table_name: str) -> bool:
+    for item in sel.items:
+        if isinstance(item.expr, ast.Star) and (
+            item.expr.table is None or item.expr.table == table_name
+        ):
+            return True
+    return False

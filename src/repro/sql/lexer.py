@@ -1,0 +1,157 @@
+"""SQL tokenizer.
+
+Produces a flat token list for the recursive-descent parser.  The
+dialect is the MySQL subset Qserv emits: backtick-quoted identifiers
+(the czar's merge queries reference columns named ``SUM(uFlux_SG)``
+verbatim, which require backticks!), single-quoted strings
+with backslash escapes, ``--`` line comments (chunk queries start with a
+``-- SUBCHUNKS:`` line), C-style ``/* */`` comments, and the usual
+operators.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["TokenType", "Token", "tokenize", "LexError"]
+
+
+class LexError(ValueError):
+    """Raised for characters or constructs the lexer cannot handle."""
+
+
+class TokenType(enum.Enum):
+    IDENT = "IDENT"  # bare or backtick-quoted identifier
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    OP = "OP"  # operator or punctuation
+    COMMENT = "COMMENT"  # '--' comments are significant to the worker protocol
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    pos: int  # character offset in the source, for error messages
+
+    def __repr__(self):
+        return f"Token({self.type.name}, {self.value!r})"
+
+
+_OPERATORS = (
+    # Longest first so '<=' wins over '<'.
+    "<=>", "!=", "<>", "<=", ">=", "||", "&&",
+    "=", "<", ">", "+", "-", "*", "/", "%", "(", ")", ",", ".", ";",
+)
+
+_WORD_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+_WORD_CONT = _WORD_START | set("0123456789$")
+_DIGITS = set("0123456789")
+
+
+def tokenize(sql: str, keep_comments: bool = False) -> list[Token]:
+    """Tokenize ``sql``; raises :class:`LexError` on bad input.
+
+    ``keep_comments`` preserves ``--`` line comments as COMMENT tokens
+    (the worker needs the ``-- SUBCHUNKS: ...`` header); by default they
+    are dropped like whitespace.
+    """
+    tokens: list[Token] = []
+    i, n = 0, len(sql)
+    while i < n:
+        c = sql[i]
+        if c in " \t\r\n":
+            i += 1
+            continue
+        if c == "-" and sql.startswith("--", i):
+            end = sql.find("\n", i)
+            if end == -1:
+                end = n
+            if keep_comments:
+                tokens.append(Token(TokenType.COMMENT, sql[i:end], i))
+            i = end
+            continue
+        if c == "/" and sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end == -1:
+                raise LexError(f"unterminated block comment at offset {i}")
+            i = end + 2
+            continue
+        if c == "`":
+            end = sql.find("`", i + 1)
+            if end == -1:
+                raise LexError(f"unterminated backtick identifier at offset {i}")
+            tokens.append(Token(TokenType.IDENT, sql[i + 1 : end], i))
+            i = end + 1
+            continue
+        if c in ("'", '"'):
+            value, i = _read_string(sql, i, c)
+            tokens.append(Token(TokenType.STRING, value, i))
+            continue
+        if c in _DIGITS or (
+            c == "." and i + 1 < n and sql[i + 1] in _DIGITS
+        ):
+            start = i
+            i = _scan_number(sql, i)
+            tokens.append(Token(TokenType.NUMBER, sql[start:i], start))
+            continue
+        if c in _WORD_START:
+            start = i
+            while i < n and sql[i] in _WORD_CONT:
+                i += 1
+            tokens.append(Token(TokenType.IDENT, sql[start:i], start))
+            continue
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                tokens.append(Token(TokenType.OP, op, i))
+                i += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {c!r} at offset {i}")
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens
+
+
+def _read_string(sql: str, i: int, quote: str) -> tuple[str, int]:
+    """Read a quoted string starting at ``i``; returns (value, next index)."""
+    out: list[str] = []
+    j = i + 1
+    n = len(sql)
+    while j < n:
+        c = sql[j]
+        if c == "\\" and j + 1 < n:
+            esc = sql[j + 1]
+            out.append({"n": "\n", "t": "\t", "r": "\r", "0": "\0"}.get(esc, esc))
+            j += 2
+            continue
+        if c == quote:
+            # Doubled quote is an escaped quote (SQL style).
+            if j + 1 < n and sql[j + 1] == quote:
+                out.append(quote)
+                j += 2
+                continue
+            return "".join(out), j + 1
+        out.append(c)
+        j += 1
+    raise LexError(f"unterminated string at offset {i}")
+
+
+def _scan_number(sql: str, i: int) -> int:
+    n = len(sql)
+    while i < n and sql[i] in _DIGITS:
+        i += 1
+    if i < n and sql[i] == ".":
+        i += 1
+        while i < n and sql[i] in _DIGITS:
+            i += 1
+    if i < n and sql[i] in "eE":
+        j = i + 1
+        if j < n and sql[j] in "+-":
+            j += 1
+        if j < n and sql[j] in _DIGITS:
+            i = j
+            while i < n and sql[i] in _DIGITS:
+                i += 1
+    return i

@@ -1,0 +1,228 @@
+"""Column-store tables backed by NumPy arrays.
+
+Per the hpc-parallel guides, the storage layout is column-major: each
+column is one contiguous NumPy array, predicates evaluate as vectorized
+masks, and row selection produces new column views/copies via fancy
+indexing -- never Python-level row loops.  This mirrors why the paper
+eyes columnar engines (section 7.4) even while shipping on MySQL.
+
+Supported SQL types and their NumPy mappings:
+
+==============  ==================
+SQL              NumPy
+==============  ==================
+TINYINT..BIGINT  int64
+FLOAT/DOUBLE     float64
+BOOL/BOOLEAN     bool
+CHAR/VARCHAR/TEXT str (object array)
+==============  ==================
+
+NULL handling follows the engine's needs: float columns use NaN as
+NULL; other types are non-nullable (the LSST catalog schemas the paper
+queries are fully populated for the tested columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Column", "Table", "sql_type_to_dtype", "dtype_to_sql_type"]
+
+_INT_TYPES = {"TINYINT", "SMALLINT", "MEDIUMINT", "INT", "INTEGER", "BIGINT"}
+_FLOAT_TYPES = {"FLOAT", "DOUBLE", "REAL", "DECIMAL", "NUMERIC"}
+_STR_TYPES = {"CHAR", "VARCHAR", "TEXT", "TINYTEXT", "MEDIUMTEXT", "LONGTEXT"}
+_BOOL_TYPES = {"BOOL", "BOOLEAN", "BIT"}
+
+
+def sql_type_to_dtype(type_name: str) -> np.dtype:
+    """Map an SQL type name (possibly with a width) to a NumPy dtype."""
+    base = type_name.upper().split("(")[0].strip()
+    if base in _INT_TYPES:
+        return np.dtype(np.int64)
+    if base in _FLOAT_TYPES:
+        return np.dtype(np.float64)
+    if base in _BOOL_TYPES:
+        return np.dtype(bool)
+    if base in _STR_TYPES:
+        return np.dtype(object)
+    raise ValueError(f"unsupported SQL type {type_name!r}")
+
+
+def dtype_to_sql_type(dtype: np.dtype) -> str:
+    """Inverse mapping used when dumping result tables."""
+    if np.issubdtype(dtype, np.bool_):
+        return "BOOL"
+    if np.issubdtype(dtype, np.integer):
+        return "BIGINT"
+    if np.issubdtype(dtype, np.floating):
+        return "DOUBLE"
+    return "TEXT"
+
+
+@dataclass(frozen=True)
+class Column:
+    """Schema entry: a column name and its SQL type."""
+
+    name: str
+    type_name: str
+
+    @property
+    def dtype(self) -> np.dtype:
+        return sql_type_to_dtype(self.type_name)
+
+
+class Table:
+    """An ordered collection of equally-long named NumPy columns."""
+
+    def __init__(self, name: str, columns: dict[str, np.ndarray] | None = None):
+        self.name = name
+        self._columns: dict[str, np.ndarray] = {}
+        if columns:
+            length = None
+            for col_name, arr in columns.items():
+                arr = np.asarray(arr)
+                if arr.ndim != 1:
+                    raise ValueError(f"column {col_name!r} must be 1-D")
+                if length is None:
+                    length = len(arr)
+                elif len(arr) != length:
+                    raise ValueError(
+                        f"column {col_name!r} has length {len(arr)}, expected {length}"
+                    )
+                self._columns[col_name] = arr
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_schema(cls, name: str, schema: list[Column]) -> "Table":
+        """An empty table with typed zero-length columns."""
+        cols = {c.name: np.empty(0, dtype=c.dtype) for c in schema}
+        return cls(name, cols)
+
+    # -- shape ----------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        if not self._columns:
+            return 0
+        return len(next(iter(self._columns.values())))
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __contains__(self, column: str) -> bool:
+        return column in self._columns
+
+    # -- access ------------------------------------------------------------------
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(
+                f"no column {name!r} in table {self.name!r} "
+                f"(have {self.column_names})"
+            ) from None
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """The underlying column dict (not a copy; treat as read-only)."""
+        return self._columns
+
+    def schema(self) -> list[Column]:
+        return [Column(n, dtype_to_sql_type(a.dtype)) for n, a in self._columns.items()]
+
+    def row(self, i: int) -> tuple:
+        """A single row as a tuple (slow path; for tests and display)."""
+        return tuple(self._columns[n][i] for n in self._columns)
+
+    def rows(self) -> list[tuple]:
+        """All rows as tuples (slow path; for tests and display)."""
+        cols = list(self._columns.values())
+        return list(zip(*cols)) if cols else []
+
+    # -- mutation -------------------------------------------------------------------
+
+    def append_rows(self, data: dict[str, np.ndarray]) -> None:
+        """Append a batch of rows given as a column dict."""
+        if set(data) != set(self._columns):
+            raise ValueError(
+                f"column mismatch: table has {sorted(self._columns)}, "
+                f"batch has {sorted(data)}"
+            )
+        lengths = {len(np.asarray(v)) for v in data.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged batch: lengths {sorted(lengths)}")
+        for name in self._columns:
+            incoming = np.asarray(data[name])
+            existing = self._columns[name]
+            if existing.dtype == object:
+                incoming = incoming.astype(object)
+            else:
+                incoming = incoming.astype(existing.dtype, copy=False)
+            self._columns[name] = np.concatenate([existing, incoming])
+
+    # -- bulk operations ---------------------------------------------------------------
+
+    def select_rows(self, selector) -> "Table":
+        """A new table with rows chosen by a boolean mask or index array."""
+        cols = {n: a[selector] for n, a in self._columns.items()}
+        return Table(self.name, cols)
+
+    def select_columns(self, names: list[str]) -> "Table":
+        cols = {n: self.column(n) for n in names}
+        return Table(self.name, cols)
+
+    def rename(self, name: str) -> "Table":
+        """Same data under a different table name (columns shared, not copied)."""
+        return Table(name, dict(self._columns))
+
+    def copy(self) -> "Table":
+        return Table(self.name, {n: a.copy() for n, a in self._columns.items()})
+
+    def to_row_store(self) -> np.ndarray:
+        """The same data as one C-contiguous structured array (row-major).
+
+        This is the MyISAM-like layout the paper's workers use; the
+        section 7.4 ablation compares predicate evaluation over this
+        against the column layout.  Object (string) columns cannot be
+        packed and are rejected.
+        """
+        fields = []
+        for name, arr in self._columns.items():
+            if arr.dtype == object:
+                raise ValueError(
+                    f"column {name!r} has object dtype; row-store packing "
+                    "requires fixed-width columns"
+                )
+            fields.append((name, arr.dtype))
+        out = np.empty(self.num_rows, dtype=np.dtype(fields))
+        for name, arr in self._columns.items():
+            out[name] = arr
+        return out
+
+    @classmethod
+    def from_row_store(cls, name: str, rows: np.ndarray) -> "Table":
+        """Unpack a structured array back into contiguous columns."""
+        if rows.dtype.names is None:
+            raise ValueError("expected a structured array")
+        cols = {f: np.ascontiguousarray(rows[f]) for f in rows.dtype.names}
+        return cls(name, cols)
+
+    def nbytes(self) -> int:
+        """Approximate in-memory footprint of the column data."""
+        total = 0
+        for arr in self._columns.values():
+            if arr.dtype == object:
+                total += sum(len(str(v)) for v in arr) + 8 * len(arr)
+            else:
+                total += arr.nbytes
+        return total
+
+    def __repr__(self):
+        return f"Table({self.name!r}, rows={self.num_rows}, cols={self.column_names})"

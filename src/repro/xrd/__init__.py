@@ -1,0 +1,41 @@
+"""The Xrootd/Scalla substitute: a data-addressed communication fabric.
+
+Section 5.1.2 of the paper: "A Scalla/Xrootd cluster is implemented as
+a set of data servers and one or more redirectors.  A client connects
+to a redirector, which acts as a caching namespace look-up service that
+redirects clients to appropriate data servers.  In Qserv, Xrootd data
+servers become Qserv workers by plugging custom code into Xrootd as a
+custom file system ('ofs plugin')."
+
+This subpackage reproduces that structure in-process:
+
+- :mod:`~repro.xrd.filesystem` -- per-server in-memory file store with
+  open/write/read/close file transactions;
+- :mod:`~repro.xrd.dataserver` -- a data server that exports paths and
+  hosts an *ofs plugin* receiving write/read callbacks;
+- :mod:`~repro.xrd.redirector` -- the caching namespace look-up that
+  redirects clients to servers, with replica fail-over;
+- :mod:`~repro.xrd.client` -- the client API implementing the paper's
+  two file-level transactions (write a chunk query to
+  ``/query2/<chunkId>``; read results from ``/result/<md5>``);
+- :mod:`~repro.xrd.protocol` -- the path scheme and MD5 result naming.
+"""
+
+from .filesystem import FileSystem, FileSystemError
+from .dataserver import DataServer, OfsPlugin
+from .redirector import Redirector, RedirectError
+from .client import XrdClient
+from .protocol import query_path, result_path, query_hash
+
+__all__ = [
+    "FileSystem",
+    "FileSystemError",
+    "DataServer",
+    "OfsPlugin",
+    "Redirector",
+    "RedirectError",
+    "XrdClient",
+    "query_path",
+    "result_path",
+    "query_hash",
+]

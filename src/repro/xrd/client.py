@@ -1,0 +1,93 @@
+"""The Xrootd client API used by the Qserv master.
+
+Wraps the redirector handshake and the two file-level transactions of
+paper section 5.4.  ``write_file`` returns the name of the data server
+that accepted the write because the second transaction (result read)
+goes to *that worker directly* -- the paper's result URL carries
+``<worker ip:port>``, not the manager.
+"""
+
+from __future__ import annotations
+
+from .dataserver import DataServer
+from .filesystem import FileSystemError
+from .redirector import RedirectError, Redirector
+
+__all__ = ["XrdClient"]
+
+
+class XrdClient:
+    """A client session against one redirector."""
+
+    def __init__(self, redirector: Redirector, max_retries: int = 2):
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.redirector = redirector
+        self.max_retries = max_retries
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # -- transaction 1: dispatch ------------------------------------------------
+
+    def write_file(self, path: str, data: bytes | str) -> str:
+        """Open-write-close on ``path``; returns the accepting server's name.
+
+        Retries through the redirector when the chosen server fails
+        mid-transaction (replica fail-over).
+        """
+        if isinstance(data, str):
+            data = data.encode()
+        last_error: Exception | None = None
+        for _ in range(self.max_retries + 1):
+            try:
+                server = self.redirector.locate(path)
+            except RedirectError as e:
+                last_error = e
+                break
+            try:
+                with server.open(path, "w") as fh:
+                    fh.write(data)
+                self.bytes_written += len(data)
+                return server.name
+            except FileSystemError as e:
+                last_error = e
+                self.redirector.invalidate(path)
+        raise RedirectError(f"write to {path!r} failed: {last_error}")
+
+    # -- transaction 2: result collection -----------------------------------------
+
+    def read_file(self, path: str, server_name: str | None = None) -> bytes:
+        """Open-read-close on ``path``.
+
+        With ``server_name`` the read goes to that specific server (the
+        worker that accepted the chunk query); otherwise the redirector
+        resolves the path.
+        """
+        last_error: Exception | None = None
+        for _ in range(self.max_retries + 1):
+            try:
+                if server_name is not None:
+                    server: DataServer = self.redirector.server(server_name)
+                else:
+                    server = self.redirector.locate(path)
+            except RedirectError as e:
+                raise RedirectError(f"read of {path!r} failed: {e}") from e
+            try:
+                with server.open(path, "r") as fh:
+                    data = fh.read()
+                self.bytes_read += len(data)
+                return data
+            except FileSystemError as e:
+                last_error = e
+                if server_name is not None:
+                    break  # a pinned read has no replica to fail over to
+                self.redirector.invalidate(path)
+        raise RedirectError(f"read of {path!r} failed: {last_error}")
+
+    def exists(self, path: str) -> bool:
+        """True when some live server exports ``path``."""
+        try:
+            self.redirector.locate(path)
+            return True
+        except RedirectError:
+            return False

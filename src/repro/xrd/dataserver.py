@@ -1,0 +1,162 @@
+"""Data servers and the ofs-plugin interface.
+
+A data server exports a set of paths through the redirector's
+namespace.  Qserv workers become data servers by installing an *ofs
+plugin*: a callback object that intercepts file writes (a chunk query
+arriving) and can synthesize file reads (serving a result).  Paths not
+claimed by the plugin fall through to the server's ordinary file store,
+exactly like Xrootd serving plain files alongside plugin paths.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .filesystem import FileSystem, FileSystemError
+
+__all__ = ["OfsPlugin", "DataServer"]
+
+
+class OfsPlugin:
+    """Base class for custom file-system plugins (Qserv's qserv-ofs).
+
+    Subclasses override any subset of the hooks; the default behavior
+    claims nothing and stores nothing.
+    """
+
+    def claims(self, path: str) -> bool:
+        """Whether this plugin handles ``path`` instead of the plain store."""
+        return False
+
+    def on_write(self, path: str, data: bytes) -> None:
+        """Called when a write transaction to a claimed path commits."""
+        raise NotImplementedError
+
+    def on_read(self, path: str) -> Optional[bytes]:
+        """Return bytes for a claimed path, or None if (not yet) available."""
+        raise NotImplementedError
+
+
+class _PluginWriteHandle:
+    """Write handle that delivers its bytes to the plugin on close."""
+
+    def __init__(self, server: "DataServer", path: str):
+        self._server = server
+        self.path = path
+        self.mode = "w"
+        self._buffer: list[bytes] = []
+        self._closed = False
+
+    def write(self, data) -> int:
+        if self._closed:
+            raise FileSystemError(f"{self.path}: handle is closed")
+        if isinstance(data, str):
+            data = data.encode()
+        self._buffer.append(bytes(data))
+        return len(data)
+
+    def close(self) -> None:
+        if self._closed:
+            raise FileSystemError(f"{self.path}: handle is closed")
+        self._closed = True
+        self._server.plugin.on_write(self.path, b"".join(self._buffer))
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        if not self._closed:
+            self.close()
+        return False
+
+
+class _PluginReadHandle:
+    """Read handle over plugin-synthesized bytes."""
+
+    def __init__(self, path: str, data: bytes):
+        self.path = path
+        self.mode = "r"
+        self._data = data
+        self._pos = 0
+        self._closed = False
+
+    def read(self, size: int = -1) -> bytes:
+        if self._closed:
+            raise FileSystemError(f"{self.path}: handle is closed")
+        if size < 0:
+            out = self._data[self._pos :]
+            self._pos = len(self._data)
+        else:
+            out = self._data[self._pos : self._pos + size]
+            self._pos += len(out)
+        return out
+
+    def close(self) -> None:
+        if self._closed:
+            raise FileSystemError(f"{self.path}: handle is closed")
+        self._closed = True
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        if not self._closed:
+            self.close()
+        return False
+
+
+class DataServer:
+    """One Xrootd data server: a name, an export list, a store, a plugin."""
+
+    def __init__(self, name: str, plugin: OfsPlugin | None = None):
+        self.name = name
+        self.fs = FileSystem()
+        self.plugin = plugin
+        self._exports: set[str] = set()
+        self.up = True
+
+    # -- namespace exports ---------------------------------------------------
+
+    def export(self, path: str) -> None:
+        """Announce that this server can serve ``path``."""
+        self._exports.add(path)
+
+    def unexport(self, path: str) -> None:
+        self._exports.discard(path)
+
+    def exports(self) -> set[str]:
+        return set(self._exports)
+
+    def serves(self, path: str) -> bool:
+        return path in self._exports
+
+    # -- availability -----------------------------------------------------------
+
+    def fail(self) -> None:
+        """Simulate a node crash: the server stops answering."""
+        self.up = False
+
+    def recover(self) -> None:
+        self.up = True
+
+    # -- file transactions ---------------------------------------------------------
+
+    def open(self, path: str, mode: str):
+        if not self.up:
+            raise FileSystemError(f"server {self.name} is down")
+        if self.plugin is not None and self.plugin.claims(path):
+            if mode == "w":
+                return _PluginWriteHandle(self, path)
+            if mode == "r":
+                data = self.plugin.on_read(path)
+                if data is None:
+                    raise FileSystemError(
+                        f"{path}: not available on server {self.name}"
+                    )
+                return _PluginReadHandle(path, data)
+            raise FileSystemError(f"bad mode {mode!r}")
+        return self.fs.open(path, mode)
+
+    def __repr__(self):
+        state = "up" if self.up else "down"
+        return f"DataServer({self.name!r}, exports={len(self._exports)}, {state})"

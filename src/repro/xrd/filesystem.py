@@ -1,0 +1,120 @@
+"""Per-server in-memory file store with explicit file transactions.
+
+Xrootd exposes files through open/read-or-write/close transactions, and
+Qserv deliberately uses nothing richer than that.  The store is
+thread-safe: worker pools and the master's dispatch loop touch it from
+multiple threads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["FileSystem", "FileSystemError", "FileHandle"]
+
+
+class FileSystemError(OSError):
+    """Missing files, double closes, mode violations."""
+
+
+class FileHandle:
+    """One open file transaction; write-only or read-only."""
+
+    def __init__(self, fs: "FileSystem", path: str, mode: str):
+        if mode not in ("r", "w"):
+            raise FileSystemError(f"bad mode {mode!r}: use 'r' or 'w'")
+        self._fs = fs
+        self.path = path
+        self.mode = mode
+        self._closed = False
+        self._write_buffer: list[bytes] = []
+        self._read_pos = 0
+        if mode == "r":
+            self._data = fs._read_all(path)
+
+    def write(self, data: bytes) -> int:
+        self._check_open()
+        if self.mode != "w":
+            raise FileSystemError(f"{self.path}: not open for writing")
+        if isinstance(data, str):
+            data = data.encode()
+        self._write_buffer.append(bytes(data))
+        return len(data)
+
+    def read(self, size: int = -1) -> bytes:
+        self._check_open()
+        if self.mode != "r":
+            raise FileSystemError(f"{self.path}: not open for reading")
+        if size < 0:
+            out = self._data[self._read_pos :]
+            self._read_pos = len(self._data)
+        else:
+            out = self._data[self._read_pos : self._read_pos + size]
+            self._read_pos += len(out)
+        return out
+
+    def close(self) -> None:
+        """End the transaction; a write becomes visible atomically here."""
+        self._check_open()
+        self._closed = True
+        if self.mode == "w":
+            self._fs._commit(self.path, b"".join(self._write_buffer))
+
+    def _check_open(self):
+        if self._closed:
+            raise FileSystemError(f"{self.path}: handle is closed")
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        if not self._closed:
+            self.close()
+        return False
+
+
+class FileSystem:
+    """A flat, thread-safe path -> bytes store."""
+
+    def __init__(self):
+        self._files: dict[str, bytes] = {}
+        self._lock = threading.Lock()
+
+    def open(self, path: str, mode: str) -> FileHandle:
+        return FileHandle(self, path, mode)
+
+    def exists(self, path: str) -> bool:
+        with self._lock:
+            return path in self._files
+
+    def unlink(self, path: str) -> None:
+        with self._lock:
+            if path not in self._files:
+                raise FileSystemError(f"no such file {path!r}")
+            del self._files[path]
+
+    def listdir(self, prefix: str = "/") -> list[str]:
+        with self._lock:
+            return sorted(p for p in self._files if p.startswith(prefix))
+
+    def size(self, path: str) -> int:
+        with self._lock:
+            if path not in self._files:
+                raise FileSystemError(f"no such file {path!r}")
+            return len(self._files[path])
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(len(v) for v in self._files.values())
+
+    # -- handle callbacks ------------------------------------------------------
+
+    def _read_all(self, path: str) -> bytes:
+        with self._lock:
+            if path not in self._files:
+                raise FileSystemError(f"no such file {path!r}")
+            return self._files[path]
+
+    def _commit(self, path: str, data: bytes) -> None:
+        with self._lock:
+            self._files[path] = data

@@ -1,0 +1,48 @@
+"""The Qserv-over-Xrootd path scheme (paper section 5.4).
+
+Dispatch is two file-level transactions:
+
+1. the master opens ``xrootd://<manager>/query2/CC`` for writing, where
+   ``CC`` is the chunk id, writes the chunk query text, and closes;
+2. the master opens ``xrootd://<worker>/result/H`` for reading, where
+   ``H`` is the MD5 hash of the chunk query it wrote (32 lowercase hex
+   digits), reads to EOF, and closes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["QUERY_PREFIX", "RESULT_PREFIX", "query_path", "result_path", "query_hash"]
+
+QUERY_PREFIX = "/query2/"
+RESULT_PREFIX = "/result/"
+
+
+def query_path(chunk_id: int) -> str:
+    """The write path for dispatching a chunk query."""
+    return f"{QUERY_PREFIX}{int(chunk_id)}"
+
+
+def query_hash(query_text: str) -> str:
+    """MD5 of the chunk query text, as 32 hex digits (the paper's H)."""
+    return hashlib.md5(query_text.encode()).hexdigest()
+
+
+def result_path(query_text_or_hash: str) -> str:
+    """The read path for collecting a chunk query's results.
+
+    Accepts either the raw chunk-query text (hashed here) or an
+    already-computed 32-hex-digit hash.
+    """
+    h = query_text_or_hash
+    if not (len(h) == 32 and all(c in "0123456789abcdef" for c in h)):
+        h = query_hash(query_text_or_hash)
+    return f"{RESULT_PREFIX}{h}"
+
+
+def chunk_id_of_query_path(path: str) -> int:
+    """Parse the chunk id back out of a query path."""
+    if not path.startswith(QUERY_PREFIX):
+        raise ValueError(f"not a query path: {path!r}")
+    return int(path[len(QUERY_PREFIX) :])

@@ -1,0 +1,104 @@
+"""The redirector: a caching namespace look-up service.
+
+Clients never talk to data servers directly; they ask the redirector
+which server exports a path and are redirected there.  Look-ups are
+cached (that is the paper's description verbatim) and invalidated when
+a cached server turns out to be down, at which point the redirector
+re-resolves among surviving replicas -- this is where Xrootd's
+fault-tolerance shows up in Qserv.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .dataserver import DataServer
+
+__all__ = ["Redirector", "RedirectError"]
+
+
+class RedirectError(OSError):
+    """No live server exports the requested path."""
+
+
+class Redirector:
+    """Routes paths to data servers, with a look-up cache and fail-over."""
+
+    def __init__(self):
+        self._servers: dict[str, DataServer] = {}
+        self._cache: dict[str, str] = {}
+        self._lock = threading.Lock()
+        # Monotonic counters for observability and the timing model.
+        self.lookups = 0
+        self.cache_hits = 0
+        self.redirects = 0
+
+    # -- membership --------------------------------------------------------------
+
+    def register(self, server: DataServer) -> None:
+        with self._lock:
+            if server.name in self._servers:
+                raise ValueError(f"server {server.name!r} already registered")
+            self._servers[server.name] = server
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            self._servers.pop(name, None)
+            self._cache = {p: s for p, s in self._cache.items() if s != name}
+
+    def servers(self) -> list[DataServer]:
+        with self._lock:
+            return list(self._servers.values())
+
+    def server(self, name: str) -> DataServer:
+        with self._lock:
+            if name not in self._servers:
+                raise RedirectError(f"unknown server {name!r}")
+            return self._servers[name]
+
+    # -- namespace ------------------------------------------------------------------
+
+    def locate(self, path: str) -> DataServer:
+        """The data server a client should contact for ``path``.
+
+        Prefers the cached mapping; falls back to scanning exports.  A
+        cached-but-down server triggers invalidation and re-resolution
+        among remaining replicas.
+        """
+        with self._lock:
+            self.lookups += 1
+            cached = self._cache.get(path)
+            if cached is not None:
+                server = self._servers.get(cached)
+                if server is not None and server.up and server.serves(path):
+                    self.cache_hits += 1
+                    return server
+                del self._cache[path]
+            candidates = [
+                s
+                for s in self._servers.values()
+                if s.up and s.serves(path)
+            ]
+            if not candidates:
+                raise RedirectError(f"no live server exports {path!r}")
+            # Deterministic tie-break; replicas give len(candidates) > 1.
+            chosen = min(candidates, key=lambda s: s.name)
+            self._cache[path] = chosen.name
+            self.redirects += 1
+            return chosen
+
+    def locate_all(self, path: str) -> list[DataServer]:
+        """Every live server exporting ``path`` (replica enumeration)."""
+        with self._lock:
+            return [s for s in self._servers.values() if s.up and s.serves(path)]
+
+    def invalidate(self, path: str | None = None) -> None:
+        """Drop cached locations (all of them when ``path`` is None)."""
+        with self._lock:
+            if path is None:
+                self._cache.clear()
+            else:
+                self._cache.pop(path, None)
+
+    def __repr__(self):
+        return f"Redirector(servers={len(self._servers)}, cached={len(self._cache)})"

@@ -1,0 +1,123 @@
+"""Tests for the sky duplicator's density-preserving replication."""
+
+import numpy as np
+import pytest
+
+from repro.data import PT11_FOOTPRINT, SkyDuplicator, synthesize_objects
+from repro.sphgeom import SphericalBox, angular_separation
+
+
+@pytest.fixture(scope="module")
+def dup():
+    return SkyDuplicator(PT11_FOOTPRINT, dec_min=-54, dec_max=54)
+
+
+class TestConstruction:
+    def test_empty_patch_rejected(self):
+        with pytest.raises(ValueError):
+            SkyDuplicator(SphericalBox.empty())
+
+    def test_bad_band_rejected(self):
+        with pytest.raises(ValueError):
+            SkyDuplicator(PT11_FOOTPRINT, dec_min=10, dec_max=-10)
+
+
+class TestTransforms:
+    def test_copies_fill_band(self, dup):
+        ts = dup.transforms()
+        decs = sorted({t.dec_center for t in ts})
+        assert decs[0] > -54 and decs[-1] < 54
+        assert len(decs) == int(np.floor(108 / PT11_FOOTPRINT.dec_extent()))
+
+    def test_fewer_copies_at_high_dec(self, dup):
+        ts = dup.transforms()
+        by_dec = {}
+        for t in ts:
+            by_dec.setdefault(round(t.dec_center, 3), 0)
+            by_dec[round(t.dec_center, 3)] += 1
+        equatorial = max(by_dec.items(), key=lambda kv: -abs(kv[0]))[1]
+        polar = by_dec[max(by_dec, key=abs)]
+        assert polar < equatorial
+
+    def test_copy_indices_unique(self, dup):
+        ts = dup.transforms()
+        assert len({t.copy_index for t in ts}) == len(ts)
+
+    def test_expansion_factor(self, dup):
+        assert dup.expansion_factor() == len(dup.transforms())
+        # 7x14 deg patch over a 108-deg band: hundreds of copies.
+        assert dup.expansion_factor() > 200
+
+
+class TestApply:
+    def test_separations_preserved(self, dup):
+        """The non-linear RA transform preserves pairwise distances."""
+        rng = np.random.default_rng(0)
+        ra = 358.0 + rng.uniform(0, 7, 50)
+        dec = rng.uniform(-7, 7, 50)
+        before = angular_separation(ra[:-1], dec[:-1], ra[1:], dec[1:])
+        for t in dup.transforms()[::97]:
+            new_ra, new_dec = dup.apply(t, ra, dec)
+            after = angular_separation(new_ra[:-1], new_dec[:-1], new_ra[1:], new_dec[1:])
+            np.testing.assert_allclose(after, before, rtol=0.05)
+
+    def test_copy_lands_at_center(self, dup):
+        t = dup.transforms()[10]
+        ra, dec = dup.apply(
+            t, np.array([dup.patch_ra_center]), np.array([dup.patch_dec_center])
+        )
+        assert ra[0] == pytest.approx(t.ra_center, abs=1e-9)
+        assert dec[0] == pytest.approx(t.dec_center, abs=1e-9)
+
+    def test_output_ranges_valid(self, dup):
+        rng = np.random.default_rng(1)
+        ra = 358.0 + rng.uniform(0, 7, 100)
+        dec = rng.uniform(-7, 7, 100)
+        for t in dup.transforms()[::53]:
+            new_ra, new_dec = dup.apply(t, ra, dec)
+            assert ((new_ra >= 0) & (new_ra < 360)).all()
+            assert ((new_dec >= -90) & (new_dec <= 90)).all()
+
+
+class TestDuplicateTable:
+    def test_row_count_multiplied(self):
+        objects = synthesize_objects(50, seed=3)
+        dup = SkyDuplicator(PT11_FOOTPRINT, dec_min=-21, dec_max=21)
+        out = dup.duplicate_table(objects, "ra_PS", "decl_PS", max_copies=5)
+        assert out.num_rows == 250
+
+    def test_ids_unique_across_copies(self):
+        objects = synthesize_objects(50, seed=3)
+        dup = SkyDuplicator(PT11_FOOTPRINT, dec_min=-21, dec_max=21)
+        out = dup.duplicate_table(objects, "ra_PS", "decl_PS", max_copies=7)
+        assert len(np.unique(out.column("objectId"))) == out.num_rows
+
+    def test_nonspatial_columns_copied(self):
+        objects = synthesize_objects(20, seed=3)
+        dup = SkyDuplicator(PT11_FOOTPRINT, dec_min=-21, dec_max=21)
+        out = dup.duplicate_table(objects, "ra_PS", "decl_PS", max_copies=3)
+        np.testing.assert_array_equal(
+            out.column("uFlux_SG")[:20], objects.column("uFlux_SG")
+        )
+
+    def test_full_replication_covers_sky(self):
+        """Copies spread over the full RA circle and dec band."""
+        objects = synthesize_objects(20, seed=3)
+        dup = SkyDuplicator(PT11_FOOTPRINT, dec_min=-54, dec_max=54)
+        out = dup.duplicate_table(objects, "ra_PS", "decl_PS")
+        ra, dec = out.column("ra_PS"), out.column("decl_PS")
+        hist, _ = np.histogram(ra, bins=12, range=(0, 360))
+        assert (hist > 0).all()
+        assert dec.min() < -40 and dec.max() > 40
+
+    def test_density_roughly_uniform(self):
+        """The paper's duplication preserves density over the sky."""
+        objects = synthesize_objects(200, seed=5)
+        dup = SkyDuplicator(PT11_FOOTPRINT, dec_min=-54, dec_max=54)
+        out = dup.duplicate_table(objects, "ra_PS", "decl_PS")
+        dec = out.column("decl_PS")
+        # Compare object counts per equal-solid-angle dec band.
+        edges_z = np.linspace(np.sin(np.deg2rad(-49)), np.sin(np.deg2rad(49)), 8)
+        edges = np.rad2deg(np.arcsin(edges_z))
+        counts = np.histogram(dec, bins=edges)[0]
+        assert counts.max() / counts.min() < 1.6

@@ -1,0 +1,179 @@
+"""Tests for CSV ingest (read, write, partition-and-load)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.data.ingest import IngestError, ingest_csv, read_csv, write_csv
+from repro.partition import Chunker, Placement
+from repro.qserv import CatalogMetadata, SecondaryIndex
+from repro.sql import Column, Database, Table
+
+CSV = """objectId,ra_PS,decl_PS,uFlux_SG
+1,10.5,-3.25,1.5e-6
+2,11.0,-3.5,2.5e-6
+3,359.9,4.0,3.5e-6
+"""
+
+
+class TestReadCsv:
+    def test_inferred_types(self):
+        t = read_csv(CSV, "Object")
+        assert t.name == "Object"
+        assert t.num_rows == 3
+        assert t.column("objectId").dtype == np.int64
+        assert t.column("ra_PS").dtype == np.float64
+
+    def test_values(self):
+        t = read_csv(CSV, "Object")
+        np.testing.assert_allclose(t.column("ra_PS"), [10.5, 11.0, 359.9])
+
+    def test_explicit_schema(self):
+        schema = [
+            Column("objectId", "BIGINT"),
+            Column("ra_PS", "DOUBLE"),
+            Column("decl_PS", "DOUBLE"),
+            Column("uFlux_SG", "DOUBLE"),
+        ]
+        t = read_csv(CSV, "Object", schema=schema)
+        assert t.column("uFlux_SG").dtype == np.float64
+
+    def test_file_object(self):
+        t = read_csv(io.StringIO(CSV), "Object")
+        assert t.num_rows == 3
+
+    def test_path(self, tmp_path):
+        p = tmp_path / "obj.csv"
+        p.write_text(CSV)
+        t = read_csv(p, "Object")
+        assert t.num_rows == 3
+
+    def test_headerless_requires_schema(self):
+        with pytest.raises(IngestError):
+            read_csv("1,2.0\n", "t", has_header=False)
+
+    def test_headerless_with_schema(self):
+        schema = [Column("a", "BIGINT"), Column("b", "DOUBLE")]
+        t = read_csv("1,2.0\n3,4.0\n", "t", schema=schema, has_header=False)
+        assert t.num_rows == 2
+        np.testing.assert_array_equal(t.column("a"), [1, 3])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(IngestError, match="line 3"):
+            read_csv("a,b\n1,2\n3\n", "t")
+
+    def test_empty_rejected(self):
+        with pytest.raises(IngestError):
+            read_csv("", "t")
+
+    def test_header_only_rejected(self):
+        with pytest.raises(IngestError):
+            read_csv("a,b\n", "t")
+
+    def test_empty_float_field_is_null(self):
+        t = read_csv("a,b\n1,2.5\n2,\n", "t")
+        assert np.isnan(t.column("b")[1])
+
+    def test_bad_int_rejected(self):
+        schema = [Column("a", "BIGINT")]
+        with pytest.raises(IngestError, match="column 'a'"):
+            read_csv("a\nxyz\n", "t", schema=schema)
+
+    def test_text_column(self):
+        t = read_csv("name,x\nalpha,1\nbeta,2\n", "t")
+        assert list(t.column("name")) == ["alpha", "beta"]
+
+    def test_tsv(self):
+        t = read_csv("a\tb\n1\t2\n", "t", delimiter="\t")
+        assert t.num_rows == 1
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(IngestError, match="not in the schema"):
+            read_csv("a,zzz\n1,2\n", "t", schema=[Column("a", "BIGINT")])
+
+
+class TestWriteCsv:
+    def test_roundtrip(self):
+        t = Table("t", {"a": np.array([1, 2]), "b": np.array([1.5, np.nan])})
+        buf = io.StringIO()
+        write_csv(t, buf)
+        back = read_csv(buf.getvalue(), "t")
+        np.testing.assert_array_equal(back.column("a"), [1, 2])
+        assert back.column("b")[0] == 1.5
+        assert np.isnan(back.column("b")[1])
+
+    def test_to_path(self, tmp_path):
+        t = Table("t", {"a": np.array([7])})
+        p = tmp_path / "out.csv"
+        write_csv(t, p)
+        assert p.read_text().splitlines() == ["a", "7"]
+
+
+class TestIngestCsv:
+    def make_env(self):
+        metadata = CatalogMetadata.lsst_default()
+        chunker = Chunker(18, 6, 0.05)
+        t = read_csv(CSV, "Object")
+        cids = chunker.chunk_id(t.column("ra_PS"), t.column("decl_PS"))
+        placement = Placement(sorted({int(c) for c in cids}), ["n0", "n1"])
+        dbs = {"n0": Database("LSST"), "n1": Database("LSST")}
+        return metadata, chunker, placement, dbs
+
+    def test_partitioned_ingest(self):
+        metadata, chunker, placement, dbs = self.make_env()
+        index = SecondaryIndex()
+        report = ingest_csv(
+            CSV, "Object", metadata, chunker, placement, dbs, secondary_index=index
+        )
+        index.finalize()
+        assert report.rows_loaded["Object"] == 3
+        assert len(index) == 3
+        # The rows are queryable on the workers.
+        total = 0
+        for db in dbs.values():
+            for name, table in db.tables.items():
+                if name.startswith("Object_") and "FullOverlap" not in name:
+                    total += table.num_rows
+                    if table.num_rows:
+                        assert (table.column("chunkId") >= 0).all()
+        assert total == 3
+
+    def test_missing_partition_column_rejected(self):
+        metadata, chunker, placement, dbs = self.make_env()
+        with pytest.raises(IngestError, match="requires column"):
+            ingest_csv("objectId,x\n1,2\n", "Object", metadata, chunker, placement, dbs)
+
+    def test_unpartitioned_ingest_replicates(self):
+        metadata, chunker, placement, dbs = self.make_env()
+        ingest_csv("filterId,name\n0,u\n1,g\n", "Filters", metadata, chunker, placement, dbs)
+        for db in dbs.values():
+            assert db.get_table("Filters").num_rows == 2
+
+    def test_end_to_end_queryable(self):
+        """Ingested data answers distributed queries."""
+        from repro.qserv import Czar, QservWorker
+        from repro.xrd import DataServer, Redirector
+        from repro.xrd.protocol import query_path
+
+        metadata, chunker, placement, dbs = self.make_env()
+        index = SecondaryIndex()
+        ingest_csv(
+            CSV, "Object", metadata, chunker, placement, dbs, secondary_index=index
+        )
+        index.finalize()
+        redirector = Redirector()
+        for node, db in dbs.items():
+            worker = QservWorker(node, db)
+            server = DataServer(node, plugin=worker)
+            redirector.register(server)
+            for cid in placement.chunks_hosted_by(node):
+                server.export(query_path(cid))
+        czar = Czar(
+            redirector, metadata, chunker,
+            secondary_index=index, available_chunks=placement.chunk_ids,
+        )
+        r = czar.submit("SELECT COUNT(*) FROM Object")
+        assert int(r.table.column("COUNT(*)")[0]) == 3
+        r = czar.submit("SELECT ra_PS FROM Object WHERE objectId = 3")
+        assert r.table.column("ra_PS")[0] == pytest.approx(359.9)

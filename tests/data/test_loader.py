@@ -1,0 +1,153 @@
+"""Tests for partition-aware loading and overlap construction."""
+
+import numpy as np
+import pytest
+
+from repro.data import build_testbed, load_tables, synthesize_objects
+from repro.data.schema import TABLE1_ESTIMATES
+from repro.partition import Chunker, Placement
+from repro.qserv import CatalogMetadata, SecondaryIndex
+from repro.sql import Database
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    objects = synthesize_objects(800, seed=13)
+    metadata = CatalogMetadata.lsst_default()
+    chunker = Chunker(18, 6, 0.05)
+    cids = chunker.chunk_id(objects.column("ra_PS"), objects.column("decl_PS"))
+    placement = Placement(sorted(set(int(c) for c in np.unique(cids))), ["n0", "n1"])
+    dbs = {"n0": Database("LSST"), "n1": Database("LSST")}
+    index = SecondaryIndex()
+    report = load_tables(
+        {"Object": objects}, metadata, chunker, placement, dbs, secondary_index=index
+    )
+    index.finalize()
+    return objects, chunker, placement, dbs, report, index
+
+
+class TestPartitioning:
+    def test_all_rows_loaded_once(self, loaded):
+        objects, chunker, placement, dbs, report, _ = loaded
+        total = 0
+        for db in dbs.values():
+            for name, table in db.tables.items():
+                if name.startswith("Object_") and "FullOverlap" not in name:
+                    total += table.num_rows
+        assert total == objects.num_rows
+        assert report.rows_loaded["Object"] == objects.num_rows
+
+    def test_rows_in_correct_chunk(self, loaded):
+        objects, chunker, placement, dbs, report, _ = loaded
+        for db in dbs.values():
+            for name, table in db.tables.items():
+                if name.startswith("Object_") and "FullOverlap" not in name:
+                    cid = int(name.split("_")[1])
+                    box = chunker.chunk_box(cid)
+                    if table.num_rows:
+                        assert box.contains(
+                            table.column("ra_PS"), table.column("decl_PS")
+                        ).all()
+
+    def test_bookkeeping_columns_filled(self, loaded):
+        objects, chunker, placement, dbs, report, _ = loaded
+        for db in dbs.values():
+            for name, table in db.tables.items():
+                if name.startswith("Object_") and "FullOverlap" not in name and table.num_rows:
+                    cid = int(name.split("_")[1])
+                    assert (table.column("chunkId") == cid).all()
+                    assert (table.column("subChunkId") >= 0).all()
+
+    def test_chunks_on_primary_owner(self, loaded):
+        objects, chunker, placement, dbs, report, _ = loaded
+        for cid in placement.chunk_ids:
+            owner = placement.primary(cid)
+            assert f"Object_{cid}" in dbs[owner].tables
+
+    def test_secondary_index_populated(self, loaded):
+        objects, chunker, _, _, _, index = loaded
+        assert len(index) == objects.num_rows
+        oid = int(objects.column("objectId")[5])
+        cid, scid = index.lookup(oid)
+        assert cid == chunker.chunk_id(
+            float(objects.column("ra_PS")[5]), float(objects.column("decl_PS")[5])
+        )
+
+
+class TestOverlap:
+    def test_overlap_tables_created(self, loaded):
+        objects, chunker, placement, dbs, report, _ = loaded
+        names = [
+            n
+            for db in dbs.values()
+            for n in db.tables
+            if n.startswith("ObjectFullOverlap_")
+        ]
+        assert len(names) == len(placement.chunk_ids)
+
+    def test_overlap_rows_outside_their_subchunk(self, loaded):
+        objects, chunker, placement, dbs, report, _ = loaded
+        checked = 0
+        for db in dbs.values():
+            for name, table in db.tables.items():
+                if name.startswith("ObjectFullOverlap_") and table.num_rows:
+                    cid = int(name.split("_")[1])
+                    for i in range(min(table.num_rows, 20)):
+                        scid = int(table.column("subChunkId")[i])
+                        box = chunker.sub_chunk_box(cid, scid)
+                        ra = float(table.column("ra_PS")[i])
+                        dec = float(table.column("decl_PS")[i])
+                        assert not box.contains(ra, dec)
+                        assert box.dilated(chunker.overlap).contains(ra, dec)
+                        checked += 1
+        assert checked > 0
+
+    def test_overlap_rows_reported(self, loaded):
+        *_, report, _ = loaded
+        assert report.overlap_rows["Object"] > 0
+
+
+class TestUnpartitionedTables:
+    def test_replicated_everywhere(self):
+        from repro.sql import Table
+
+        metadata = CatalogMetadata.lsst_default()
+        chunker = Chunker(18, 6, 0.05)
+        placement = Placement([0], ["n0", "n1"])
+        dbs = {"n0": Database("LSST"), "n1": Database("LSST")}
+        filters = Table("Filters", {"filterId": np.arange(6)})
+        load_tables({"Filters": filters}, metadata, chunker, placement, dbs)
+        for db in dbs.values():
+            assert db.get_table("Filters").num_rows == 6
+
+
+class TestTable1Estimates:
+    """The paper's Table 1: row counts x row sizes = footprints."""
+
+    @pytest.mark.parametrize("name", ["Object", "Source", "ForcedSource"])
+    def test_footprint_consistent(self, name):
+        est = TABLE1_ESTIMATES[name]
+        # The paper's quoted footprints match rows x row-size within ~25%:
+        # they are provisioning estimates with inconsistent rounding and
+        # unit bases (Object matches binary TB, Source decimal PB).
+        ratio = est.computed_footprint_bytes / est.paper_footprint_bytes
+        assert 0.75 < ratio < 1.25
+
+    def test_source_much_larger_than_object(self):
+        # "The Source table will have 50-200X the rows of the Object table."
+        ratio = (
+            TABLE1_ESTIMATES["Source"].num_rows / TABLE1_ESTIMATES["Object"].num_rows
+        )
+        assert 50 <= ratio <= 200
+
+
+class TestTestbed:
+    def test_testbed_loads_everything(self):
+        tb = build_testbed(num_workers=2, num_objects=300, seed=21)
+        assert tb.load_report.rows_loaded["Object"] == 300
+        assert tb.load_report.rows_loaded["Source"] > 0
+        assert len(tb.secondary_index) == 300
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            build_testbed(num_workers=1, num_objects=0)

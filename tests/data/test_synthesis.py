@@ -1,0 +1,128 @@
+"""Tests for PT1.1 patch synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.data import PT11_FOOTPRINT, synthesize_objects, synthesize_sources
+from repro.data.schema import BANDS, OBJECT_SCHEMA, SOURCE_SCHEMA
+
+
+class TestObjects:
+    def test_row_count(self):
+        assert synthesize_objects(500).num_rows == 500
+
+    def test_zero_rows(self):
+        assert synthesize_objects(0).num_rows == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_objects(-1)
+
+    def test_schema_columns_present(self):
+        t = synthesize_objects(10)
+        for col in OBJECT_SCHEMA:
+            assert col.name in t, col.name
+
+    def test_positions_inside_footprint(self):
+        t = synthesize_objects(2000, seed=3)
+        inside = PT11_FOOTPRINT.contains(t.column("ra_PS"), t.column("decl_PS"))
+        assert inside.all()
+
+    def test_footprint_wraps_meridian(self):
+        """PT1.1 spans RA 358..5: both sides of RA 0 must be populated."""
+        t = synthesize_objects(2000, seed=3)
+        ra = t.column("ra_PS")
+        assert (ra > 350).any() and (ra < 10).any()
+
+    def test_deterministic_with_seed(self):
+        a = synthesize_objects(100, seed=5)
+        b = synthesize_objects(100, seed=5)
+        np.testing.assert_array_equal(a.column("ra_PS"), b.column("ra_PS"))
+
+    def test_different_seeds_differ(self):
+        a = synthesize_objects(100, seed=5)
+        b = synthesize_objects(100, seed=6)
+        assert not np.array_equal(a.column("ra_PS"), b.column("ra_PS"))
+
+    def test_object_ids_unique(self):
+        t = synthesize_objects(1000)
+        assert len(np.unique(t.column("objectId"))) == 1000
+
+    def test_id_offset(self):
+        t = synthesize_objects(10, id_offset=100)
+        assert t.column("objectId")[0] == 100
+
+    def test_fluxes_positive(self):
+        t = synthesize_objects(500, seed=1)
+        for b in BANDS:
+            assert (t.column(f"{b}Flux_PS") > 0).all()
+
+    def test_magnitudes_realistic(self):
+        """Color cuts like the paper's LV3 must select a nonzero fraction."""
+        t = synthesize_objects(5000, seed=2)
+        mag = -2.5 * np.log10(t.column("zFlux_PS")) + 8.9
+        assert 18 < np.median(mag) < 26
+
+    def test_uniform_density_in_dec(self):
+        """Uniform on the sphere: sin(dec) should be uniform."""
+        t = synthesize_objects(20000, seed=4)
+        z = np.sin(np.deg2rad(t.column("decl_PS")))
+        z_lo, z_hi = np.sin(np.deg2rad([-7.0, 7.0]))
+        hist, _ = np.histogram(z, bins=10, range=(z_lo, z_hi))
+        assert hist.max() / hist.min() < 1.3
+
+
+class TestSources:
+    @pytest.fixture(scope="class")
+    def objects(self):
+        return synthesize_objects(500, seed=7)
+
+    def test_schema(self, objects):
+        s = synthesize_sources(objects, 3.0)
+        for col in SOURCE_SCHEMA:
+            assert col.name in s, col.name
+
+    def test_mean_family_size(self, objects):
+        s = synthesize_sources(objects, 4.0, seed=9)
+        assert s.num_rows / objects.num_rows == pytest.approx(4.0, rel=0.2)
+
+    def test_every_source_has_valid_parent(self, objects):
+        s = synthesize_sources(objects, 2.0)
+        assert np.isin(s.column("objectId"), objects.column("objectId")).all()
+
+    def test_sources_near_parents(self, objects):
+        from repro.sphgeom import angular_separation
+
+        s = synthesize_sources(objects, 2.0, seed=1, astrometric_scatter_deg=1e-4)
+        pos = {
+            int(o): (r, d)
+            for o, r, d in zip(
+                objects.column("objectId"),
+                objects.column("ra_PS"),
+                objects.column("decl_PS"),
+            )
+        }
+        for i in range(0, s.num_rows, 97):
+            o = int(s.column("objectId")[i])
+            sep = angular_separation(
+                s.column("ra")[i], s.column("decl")[i], pos[o][0], pos[o][1]
+            )
+            assert sep < 1e-3
+
+    def test_source_ids_unique(self, objects):
+        s = synthesize_sources(objects, 3.0)
+        assert len(np.unique(s.column("sourceId"))) == s.num_rows
+
+    def test_time_baseline(self, objects):
+        s = synthesize_sources(objects, 3.0, time_baseline_days=100.0)
+        t = s.column("taiMidPoint")
+        assert t.min() >= 0 and t.max() <= 100
+
+    def test_negative_mean_rejected(self, objects):
+        with pytest.raises(ValueError):
+            synthesize_sources(objects, -1.0)
+
+    def test_deterministic(self, objects):
+        a = synthesize_sources(objects, 2.0, seed=3)
+        b = synthesize_sources(objects, 2.0, seed=3)
+        np.testing.assert_array_equal(a.column("ra"), b.column("ra"))

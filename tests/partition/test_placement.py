@@ -1,0 +1,148 @@
+"""Tests for chunk-to-node placement and rebalancing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition import Placement
+
+
+def nodes(n):
+    return [f"worker-{i:03d}" for i in range(n)]
+
+
+class TestConstruction:
+    def test_requires_nodes(self):
+        with pytest.raises(ValueError):
+            Placement([1, 2], [])
+
+    def test_unique_nodes(self):
+        with pytest.raises(ValueError):
+            Placement([1], ["a", "a"])
+
+    def test_unique_chunks(self):
+        with pytest.raises(ValueError):
+            Placement([1, 1], ["a"])
+
+    def test_bad_replication(self):
+        with pytest.raises(ValueError):
+            Placement([1], ["a"], replication=0)
+
+    def test_every_chunk_placed(self):
+        p = Placement(range(100), nodes(7))
+        assert p.chunk_ids == list(range(100))
+        for c in range(100):
+            assert p.primary(c) in p.nodes
+
+
+class TestBalance:
+    def test_round_robin_balanced(self):
+        p = Placement(range(100), nodes(10))
+        assert all(v == 10 for v in p.load().values())
+
+    def test_imbalance_metric(self):
+        p = Placement(range(100), nodes(10))
+        assert p.imbalance() == pytest.approx(1.0)
+
+    def test_uneven_counts(self):
+        p = Placement(range(101), nodes(10))
+        loads = sorted(p.load().values())
+        assert loads[0] >= 10 and loads[-1] <= 11
+
+
+class TestReplication:
+    def test_replicas_distinct_nodes(self):
+        p = Placement(range(50), nodes(5), replication=3)
+        for c in range(50):
+            reps = p.replicas(c)
+            assert len(reps) == 3
+            assert len(set(reps)) == 3
+
+    def test_replication_capped_by_node_count(self):
+        p = Placement(range(10), nodes(2), replication=5)
+        for c in range(10):
+            assert len(p.replicas(c)) == 2
+
+    def test_hosted_includes_replicas(self):
+        p = Placement(range(20), nodes(4), replication=2)
+        hosted = sum(len(p.chunks_hosted_by(n)) for n in p.nodes)
+        assert hosted == 40  # 20 chunks x 2 copies
+
+
+class TestAddNode:
+    def test_moves_roughly_fair_share(self):
+        p = Placement(range(120), nodes(5))
+        moved = p.add_node("worker-new")
+        # 120 chunks over 6 nodes -> 20 each; ~20 moved.
+        assert 15 <= len(moved) <= 25
+
+    def test_only_moved_chunks_changed(self):
+        p = Placement(range(120), nodes(5))
+        before = {c: p.primary(c) for c in p.chunk_ids}
+        moved = set(p.add_node("worker-new"))
+        for c in p.chunk_ids:
+            if c not in moved:
+                assert p.primary(c) == before[c]
+            else:
+                assert p.primary(c) == "worker-new"
+
+    def test_balanced_after_add(self):
+        p = Placement(range(120), nodes(5))
+        p.add_node("worker-new")
+        assert p.imbalance() < 1.2
+
+    def test_duplicate_add_rejected(self):
+        p = Placement(range(10), nodes(3))
+        with pytest.raises(ValueError):
+            p.add_node("worker-000")
+
+
+class TestRemoveNode:
+    def test_chunks_survive_removal(self):
+        p = Placement(range(100), nodes(5), replication=2)
+        p.remove_node("worker-002")
+        assert p.chunk_ids == list(range(100))
+        for c in range(100):
+            assert p.primary(c) != "worker-002"
+            assert "worker-002" not in p.replicas(c)
+
+    def test_replication_restored(self):
+        p = Placement(range(100), nodes(5), replication=2)
+        p.remove_node("worker-000")
+        for c in range(100):
+            assert len(set(p.replicas(c))) == 2
+
+    def test_balanced_after_remove(self):
+        p = Placement(range(100), nodes(5))
+        p.remove_node("worker-004")
+        assert p.imbalance() < 1.3
+
+    def test_unknown_node(self):
+        p = Placement(range(10), nodes(2))
+        with pytest.raises(KeyError):
+            p.remove_node("nope")
+
+    def test_cannot_remove_last(self):
+        p = Placement(range(10), nodes(1))
+        with pytest.raises(ValueError):
+            p.remove_node("worker-000")
+
+
+class TestProperties:
+    @given(st.integers(min_value=1, max_value=200), st.integers(min_value=1, max_value=20))
+    @settings(max_examples=30)
+    def test_all_chunks_always_owned(self, nchunks, nnodes):
+        p = Placement(range(nchunks), nodes(nnodes))
+        total = sum(len(p.chunks_of(n)) for n in p.nodes)
+        assert total == nchunks
+
+    @given(st.integers(min_value=10, max_value=150), st.integers(min_value=2, max_value=10))
+    @settings(max_examples=20)
+    def test_add_then_remove_preserves_ownership(self, nchunks, nnodes):
+        p = Placement(range(nchunks), nodes(nnodes), replication=2)
+        p.add_node("extra")
+        p.remove_node("extra")
+        total = sum(len(p.chunks_of(n)) for n in p.nodes)
+        assert total == nchunks
+        for c in range(nchunks):
+            assert len(p.replicas(c)) == min(2, nnodes)

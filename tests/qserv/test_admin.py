@@ -1,0 +1,104 @@
+"""Tests for cluster administration reports."""
+
+import pytest
+
+from repro.data import build_testbed
+from repro.qserv.admin import ClusterAdmin
+
+
+@pytest.fixture
+def replicated():
+    tb = build_testbed(num_workers=3, num_objects=600, seed=41, replication=2)
+    return tb, ClusterAdmin(tb.placement, tb.redirector, tb.workers)
+
+
+@pytest.fixture
+def unreplicated():
+    tb = build_testbed(num_workers=3, num_objects=600, seed=43, replication=1)
+    return tb, ClusterAdmin(tb.placement, tb.redirector, tb.workers)
+
+
+class TestHealth:
+    def test_healthy_cluster(self, replicated):
+        tb, admin = replicated
+        h = admin.health()
+        assert h.healthy and h.available
+        assert h.total_chunks == len(tb.placement.chunk_ids)
+        assert not h.dark_chunks and not h.under_replicated
+        assert len(h.nodes) == 3
+        assert all(n.up for n in h.nodes)
+
+    def test_node_reports_have_data(self, replicated):
+        tb, admin = replicated
+        for n in admin.health().nodes:
+            assert n.tables > 0
+            assert n.data_bytes > 0
+
+    def test_failure_with_replicas_degrades(self, replicated):
+        tb, admin = replicated
+        victim = tb.placement.nodes[0]
+        tb.servers[victim].fail()
+        h = admin.health()
+        assert not h.healthy  # a node is down
+        assert h.available  # but every chunk still answers
+        assert len(h.under_replicated) == len(tb.placement.chunks_hosted_by(victim))
+        assert not h.dark_chunks
+
+    def test_failure_without_replicas_goes_dark(self, unreplicated):
+        tb, admin = unreplicated
+        victim = tb.placement.nodes[0]
+        tb.servers[victim].fail()
+        h = admin.health()
+        assert not h.available
+        assert sorted(h.dark_chunks) == tb.placement.chunks_of(victim)
+
+    def test_imbalance_metric(self, replicated):
+        tb, admin = replicated
+        assert admin.health().imbalance >= 1.0
+
+
+class TestDataDistribution:
+    def test_rows_sum_to_catalog(self, unreplicated):
+        tb, admin = unreplicated
+        dist = admin.data_distribution()
+        total_obj = sum(counts.get("Object", 0) for counts in dist.values())
+        assert total_obj == tb.tables["Object"].num_rows
+        total_src = sum(counts.get("Source", 0) for counts in dist.values())
+        assert total_src == tb.tables["Source"].num_rows
+
+    def test_overlap_tables_excluded(self, unreplicated):
+        tb, admin = unreplicated
+        for counts in admin.data_distribution().values():
+            assert not any("FullOverlap" in k for k in counts)
+
+
+class TestFailureImpact:
+    def test_replicated_node_loses_nothing(self, replicated):
+        tb, admin = replicated
+        impact = admin.failure_impact(tb.placement.nodes[1])
+        assert impact["still_available"]
+        assert impact["chunks_lost"] == []
+        assert len(impact["chunks_degraded"]) > 0
+
+    def test_unreplicated_node_loses_its_chunks(self, unreplicated):
+        tb, admin = unreplicated
+        node = tb.placement.nodes[1]
+        impact = admin.failure_impact(node)
+        assert not impact["still_available"]
+        assert sorted(impact["chunks_lost"]) == tb.placement.chunks_hosted_by(node)
+
+    def test_second_failure_after_first(self, replicated):
+        """With one node already down, losing a second one loses data."""
+        tb, admin = replicated
+        tb.servers[tb.placement.nodes[0]].fail()
+        impact = admin.failure_impact(tb.placement.nodes[1])
+        # Any chunk whose only live replicas were nodes 0 and 1 dies.
+        both = set(tb.placement.chunks_hosted_by(tb.placement.nodes[0])) & set(
+            tb.placement.chunks_hosted_by(tb.placement.nodes[1])
+        )
+        assert set(impact["chunks_lost"]) == both
+
+    def test_unknown_node(self, replicated):
+        _, admin = replicated
+        with pytest.raises(KeyError):
+            admin.failure_impact("nope")

@@ -1,0 +1,137 @@
+"""Tests for the two-phase aggregation plan (paper section 5.3)."""
+
+import pytest
+
+from repro.qserv import build_aggregation_plan
+from repro.qserv.aggregation import AggregationError
+from repro.sql.parser import parse_one
+
+
+def plan_for(sql):
+    return build_aggregation_plan(parse_one(sql))
+
+
+def chunk_sql(plan):
+    return [i.to_sql() for i in plan.chunk_items]
+
+
+def merge_sql(plan):
+    return [i.to_sql() for i in plan.merge_items]
+
+
+class TestPassthrough:
+    def test_plain_query(self):
+        p = plan_for("SELECT ra_PS, decl_PS FROM Object")
+        assert p.passthrough
+        assert chunk_sql(p) == ["ra_PS", "decl_PS"]
+        assert merge_sql(p) == ["ra_PS", "decl_PS"]
+
+    def test_alias_preserved(self):
+        p = plan_for("SELECT ra_PS AS r FROM Object")
+        assert chunk_sql(p) == ["ra_PS AS r"]
+        assert merge_sql(p) == ["r AS r"]
+
+    def test_star(self):
+        p = plan_for("SELECT * FROM Object")
+        assert p.passthrough
+        assert merge_sql(p) == ["*"]
+
+    def test_expression_named_by_sql_text(self):
+        p = plan_for("SELECT fluxToAbMag(psfFlux) FROM Source")
+        # Merge refers to the chunk output column by its SQL-text name.
+        assert merge_sql(p) == ["`fluxToAbMag(psfFlux)`"]
+
+
+class TestPaperExample:
+    """The AVG(uFlux_SG) example from section 5.3, verbatim."""
+
+    def test_chunk_side(self):
+        p = plan_for("SELECT AVG(uFlux_SG) FROM Object")
+        assert chunk_sql(p) == [
+            "SUM(uFlux_SG) AS `SUM(uFlux_SG)`",
+            "COUNT(uFlux_SG) AS `COUNT(uFlux_SG)`",
+        ]
+
+    def test_merge_side(self):
+        p = plan_for("SELECT AVG(uFlux_SG) FROM Object")
+        assert merge_sql(p) == [
+            "SUM(`SUM(uFlux_SG)`) / SUM(`COUNT(uFlux_SG)`) AS `AVG(uFlux_SG)`"
+        ]
+
+
+class TestCombiners:
+    def test_count_star(self):
+        p = plan_for("SELECT COUNT(*) FROM Object")
+        assert chunk_sql(p) == ["COUNT(*) AS `COUNT(*)`"]
+        assert merge_sql(p) == ["SUM(`COUNT(*)`) AS `COUNT(*)`"]
+
+    def test_sum(self):
+        p = plan_for("SELECT SUM(x) FROM Object")
+        assert merge_sql(p) == ["SUM(`SUM(x)`) AS `SUM(x)`"]
+
+    def test_min_max(self):
+        p = plan_for("SELECT MIN(x), MAX(x) FROM Object")
+        assert merge_sql(p) == [
+            "MIN(`MIN(x)`) AS `MIN(x)`",
+            "MAX(`MAX(x)`) AS `MAX(x)`",
+        ]
+
+    def test_aliased_aggregate(self):
+        p = plan_for("SELECT COUNT(*) AS n FROM Object")
+        assert chunk_sql(p) == ["COUNT(*) AS `COUNT(*)`"]
+        assert merge_sql(p) == ["SUM(`COUNT(*)`) AS n"]
+
+    def test_expression_over_aggregates(self):
+        p = plan_for("SELECT SUM(a) / COUNT(b) AS r FROM Object")
+        assert chunk_sql(p) == [
+            "SUM(a) AS `SUM(a)`",
+            "COUNT(b) AS `COUNT(b)`",
+        ]
+        assert merge_sql(p) == ["SUM(`SUM(a)`) / SUM(`COUNT(b)`) AS r"]
+
+    def test_duplicate_aggregates_emitted_once(self):
+        p = plan_for("SELECT AVG(x), SUM(x), COUNT(x) FROM Object")
+        # AVG already requires SUM(x) and COUNT(x); no duplicates.
+        assert chunk_sql(p) == [
+            "SUM(x) AS `SUM(x)`",
+            "COUNT(x) AS `COUNT(x)`",
+        ]
+
+    def test_count_distinct_rejected(self):
+        with pytest.raises(AggregationError):
+            plan_for("SELECT COUNT(DISTINCT x) FROM Object")
+
+
+class TestGroupBy:
+    def test_hv3_density_query(self):
+        p = plan_for(
+            "SELECT count(*) AS n, AVG(ra_PS), AVG(decl_PS), chunkId "
+            "FROM Object GROUP BY chunkId"
+        )
+        assert chunk_sql(p) == [
+            "COUNT(*) AS `COUNT(*)`",
+            "SUM(ra_PS) AS `SUM(ra_PS)`",
+            "COUNT(ra_PS) AS `COUNT(ra_PS)`",
+            "SUM(decl_PS) AS `SUM(decl_PS)`",
+            "COUNT(decl_PS) AS `COUNT(decl_PS)`",
+            "chunkId",
+        ]
+        assert p.merge_group_by[0].to_sql() == "chunkId"
+
+    def test_group_key_not_in_select(self):
+        p = plan_for("SELECT COUNT(*) FROM Object GROUP BY chunkId")
+        # The key flows through the chunk query under a hidden name.
+        assert any("chunkId" in s for s in chunk_sql(p))
+        assert len(p.merge_group_by) == 1
+
+    def test_group_by_expression(self):
+        p = plan_for("SELECT objectId % 3 AS g, COUNT(*) FROM Object GROUP BY objectId % 3")
+        assert p.merge_group_by[0].to_sql() == "g"
+
+    def test_having_rewritten(self):
+        p = plan_for(
+            "SELECT chunkId, COUNT(*) FROM Object GROUP BY chunkId "
+            "HAVING COUNT(*) > 10"
+        )
+        assert p.merge_having is not None
+        assert "SUM(`COUNT(*)`)" in p.merge_having.to_sql()

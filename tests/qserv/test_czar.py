@@ -1,0 +1,293 @@
+"""End-to-end czar tests on a full in-process cluster.
+
+These are the integration tests of the whole Figure-1 stack: proxy ->
+czar -> xrootd dispatch -> worker engines -> mysqldump collection ->
+merge.  Every query family from the paper's evaluation (section 6.2)
+runs here against brute-force NumPy ground truth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import build_testbed
+from repro.qserv import QservAnalysisError
+from repro.sphgeom import SphericalBox, angular_separation
+from repro.sql import SqlError
+
+
+@pytest.fixture(scope="module")
+def tb():
+    return build_testbed(num_workers=3, num_objects=1200, seed=7)
+
+
+@pytest.fixture(scope="module")
+def objects(tb):
+    t = tb.tables["Object"]
+    return {name: t.column(name) for name in t.column_names}
+
+
+class TestLV1ObjectRetrieval:
+    def test_single_object(self, tb, objects):
+        oid = int(objects["objectId"][42])
+        r = tb.query(f"SELECT * FROM Object WHERE objectId = {oid}")
+        assert r.table.num_rows == 1
+        assert int(r.table.column("objectId")[0]) == oid
+
+    def test_uses_secondary_index(self, tb, objects):
+        oid = int(objects["objectId"][0])
+        r = tb.query(f"SELECT * FROM Object WHERE objectId = {oid}")
+        assert r.stats.used_secondary_index
+        assert r.stats.chunks_dispatched == 1
+
+    def test_unknown_object_empty(self, tb):
+        r = tb.query("SELECT * FROM Object WHERE objectId = 999999999")
+        assert r.table.num_rows == 0
+        assert r.stats.chunks_dispatched == 0
+
+    def test_in_list_dispatch(self, tb, objects):
+        ids = [int(objects["objectId"][i]) for i in (0, 100, 700)]
+        r = tb.query(
+            f"SELECT objectId FROM Object WHERE objectId IN ({', '.join(map(str, ids))})"
+        )
+        assert sorted(int(v) for v in r.table.column("objectId")) == sorted(ids)
+
+
+class TestLV2TimeSeries:
+    def test_matches_ground_truth(self, tb, objects):
+        src = tb.tables["Source"]
+        oid = int(objects["objectId"][10])
+        expected = int(np.count_nonzero(src.column("objectId") == oid))
+        r = tb.query(
+            "SELECT taiMidPoint, fluxToAbMag(psfFlux), fluxToAbMag(psfFluxErr), "
+            f"ra, decl FROM Source WHERE objectId = {oid}"
+        )
+        assert r.table.num_rows == expected
+
+    def test_output_columns(self, tb, objects):
+        oid = int(objects["objectId"][10])
+        r = tb.query(f"SELECT taiMidPoint, ra, decl FROM Source WHERE objectId = {oid}")
+        assert r.column_names == ["taiMidPoint", "ra", "decl"]
+
+
+class TestLV3SpatialFilter:
+    def test_count_matches(self, tb, objects):
+        ra, dec = objects["ra_PS"], objects["decl_PS"]
+        expected = int(np.count_nonzero((ra >= 1) & (ra <= 2) & (dec >= 3) & (dec <= 4)))
+        r = tb.query(
+            "SELECT COUNT(*) FROM Object "
+            "WHERE ra_PS BETWEEN 1 AND 2 AND decl_PS BETWEEN 3 AND 4"
+        )
+        assert int(r.table.column("COUNT(*)")[0]) == expected
+
+    def test_color_cut(self, tb, objects):
+        mags_z = -2.5 * np.log10(objects["zFlux_PS"]) + 8.9
+        expected = int(np.count_nonzero((mags_z >= 21) & (mags_z <= 21.5)))
+        r = tb.query(
+            "SELECT COUNT(*) FROM Object WHERE fluxToAbMag(zFlux_PS) BETWEEN 21 AND 21.5"
+        )
+        assert int(r.table.column("COUNT(*)")[0]) == expected
+
+
+class TestHV1Count:
+    def test_full_sky_count(self, tb, objects):
+        r = tb.query("SELECT COUNT(*) FROM Object")
+        assert int(r.table.column("COUNT(*)")[0]) == len(objects["objectId"])
+
+    def test_dispatches_every_chunk(self, tb):
+        r = tb.query("SELECT COUNT(*) FROM Object")
+        assert r.stats.chunks_dispatched == len(tb.placement.chunk_ids)
+
+    def test_uses_multiple_workers(self, tb):
+        r = tb.query("SELECT COUNT(*) FROM Object")
+        assert len(r.stats.workers_used) == len(tb.workers)
+
+
+class TestHV2Filter:
+    def test_matches_ground_truth(self, tb, objects):
+        mag_i = -2.5 * np.log10(objects["iFlux_PS"]) + 8.9
+        mag_z = -2.5 * np.log10(objects["zFlux_PS"]) + 8.9
+        expected = int(np.count_nonzero(mag_i - mag_z > 0.2))
+        r = tb.query(
+            "SELECT objectId, ra_PS, decl_PS FROM Object "
+            "WHERE fluxToAbMag(iFlux_PS) - fluxToAbMag(zFlux_PS) > 0.2"
+        )
+        assert r.table.num_rows == expected
+
+
+class TestHV3Density:
+    def test_group_per_chunk(self, tb, objects):
+        r = tb.query(
+            "SELECT count(*) AS n, AVG(ra_PS), AVG(decl_PS), chunkId "
+            "FROM Object GROUP BY chunkId"
+        )
+        assert r.table.num_rows == len(
+            np.unique(tb.chunker.chunk_id(objects["ra_PS"], objects["decl_PS"]))
+        )
+        assert int(r.table.column("n").sum()) == len(objects["objectId"])
+
+    def test_chunk_averages_correct(self, tb, objects):
+        r = tb.query(
+            "SELECT count(*) AS n, AVG(ra_PS) AS mra, chunkId "
+            "FROM Object GROUP BY chunkId"
+        )
+        cids = tb.chunker.chunk_id(objects["ra_PS"], objects["decl_PS"])
+        for cid, mra in zip(r.table.column("chunkId"), r.table.column("mra")):
+            mask = cids == cid
+            assert mra == pytest.approx(objects["ra_PS"][mask].mean(), rel=1e-9)
+
+
+class TestAggregationExample:
+    """Section 5.3's worked example, end to end."""
+
+    def test_avg_with_areaspec(self, tb, objects):
+        r = tb.query(
+            "SELECT AVG(uFlux_SG) FROM Object "
+            "WHERE qserv_areaspec_box(0.0, 0.0, 10.0, 10.0) AND uRadius_PS > 0.04"
+        )
+        box = SphericalBox(0, 0, 10, 10)
+        mask = box.contains(objects["ra_PS"], objects["decl_PS"]) & (
+            objects["uRadius_PS"] > 0.04
+        )
+        expected = objects["uFlux_SG"][mask].mean()
+        assert r.table.column("AVG(uFlux_SG)")[0] == pytest.approx(expected, rel=1e-12)
+        assert r.stats.used_region_restriction
+        assert r.stats.chunks_dispatched < len(tb.placement.chunk_ids)
+
+
+class TestSHV1NearNeighbor:
+    def test_pairs_match_brute_force_within_overlap(self, tb, objects):
+        """Pair distance below the overlap radius: results must be exact."""
+        dist = tb.chunker.overlap * 0.9
+        r = tb.query(
+            "SELECT count(*) FROM Object o1, Object o2 "
+            "WHERE qserv_areaspec_box(0, -7, 5, 0) "
+            f"AND qserv_angSep(o1.ra_PS, o1.decl_PS, o2.ra_PS, o2.decl_PS) < {dist}"
+        )
+        ra, dec = objects["ra_PS"], objects["decl_PS"]
+        box = SphericalBox(0, -7, 5, 0)
+        left = np.flatnonzero(box.contains(ra, dec))
+        sep = angular_separation(
+            ra[left][:, None], dec[left][:, None], ra[None, :], dec[None, :]
+        )
+        expected = int(np.count_nonzero(sep < dist))
+        assert int(r.table.column("count(*)")[0]) == expected
+
+    def test_subchunk_statements_dispatched(self, tb):
+        r = tb.query(
+            "SELECT count(*) FROM Object o1, Object o2 "
+            "WHERE qserv_areaspec_box(0, -7, 2, -3) "
+            "AND qserv_angSep(o1.ra_PS, o1.decl_PS, o2.ra_PS, o2.decl_PS) < 0.04"
+        )
+        assert r.stats.sub_chunk_statements > 0
+
+
+class TestSHV2SourcesNotNearObjects:
+    def test_matches_brute_force(self, tb, objects):
+        src = tb.tables["Source"]
+        r = tb.query(
+            "SELECT o.objectId, s.sourceId, s.ra, s.decl, o.ra_PS, o.decl_PS "
+            "FROM Object o, Source s "
+            "WHERE qserv_areaspec_box(0, -7, 5, 0) "
+            "AND o.objectId = s.objectId "
+            "AND qserv_angSep(s.ra, s.decl, o.ra_PS, o.decl_PS) > 0.00002"
+        )
+        ra, dec = objects["ra_PS"], objects["decl_PS"]
+        box = SphericalBox(0, -7, 5, 0)
+        obj_in = box.contains(ra, dec)
+        pos = {
+            int(o): (r_, d_)
+            for o, r_, d_, keep in zip(objects["objectId"], ra, dec, obj_in)
+            if keep
+        }
+        count = 0
+        for o, sr, sd in zip(src.column("objectId"), src.column("ra"), src.column("decl")):
+            if int(o) in pos:
+                orr, od = pos[int(o)]
+                if angular_separation(sr, sd, orr, od) > 0.00002:
+                    count += 1
+        assert r.table.num_rows == count
+
+
+class TestOrderingAndLimits:
+    def test_global_order_after_merge(self, tb, objects):
+        r = tb.query("SELECT objectId FROM Object ORDER BY objectId DESC LIMIT 5")
+        expected = np.sort(objects["objectId"])[-5:][::-1]
+        np.testing.assert_array_equal(r.table.column("objectId"), expected)
+
+    def test_distinct_across_chunks(self, tb, objects):
+        r = tb.query("SELECT DISTINCT chunkId FROM Object")
+        cids = np.unique(tb.chunker.chunk_id(objects["ra_PS"], objects["decl_PS"]))
+        assert sorted(int(v) for v in r.table.column("chunkId")) == sorted(
+            int(v) for v in cids
+        )
+
+
+class TestErrorPaths:
+    def test_unpartitioned_only_query_rejected(self, tb):
+        with pytest.raises(QservAnalysisError):
+            tb.czar.submit("SELECT * FROM Filters")
+
+    def test_worker_error_propagates(self, tb):
+        with pytest.raises((SqlError, Exception)):
+            tb.czar.submit("SELECT no_such_column FROM Object")
+
+
+class TestScalingConfiguration:
+    def test_restricted_chunk_set(self, tb, objects):
+        """Paper section 6.3: the frontend dispatches a chunk subset to
+        simulate smaller clusters; counts shrink accordingly."""
+        from repro.qserv import Czar
+
+        subset = tb.placement.chunk_ids[: max(1, len(tb.placement.chunk_ids) // 2)]
+        czar = Czar(
+            tb.redirector,
+            tb.metadata,
+            tb.chunker,
+            secondary_index=tb.secondary_index,
+            available_chunks=subset,
+        )
+        r = czar.submit("SELECT COUNT(*) FROM Object")
+        assert r.stats.chunks_dispatched == len(subset)
+        cids = tb.chunker.chunk_id(objects["ra_PS"], objects["decl_PS"])
+        expected = int(np.count_nonzero(np.isin(cids, subset)))
+        assert int(r.table.column("COUNT(*)")[0]) == expected
+
+
+class TestParallelDispatch:
+    def test_parallel_same_answer(self):
+        tb2 = build_testbed(
+            num_workers=2,
+            num_objects=400,
+            seed=3,
+            worker_slots=2,
+            dispatch_parallelism=4,
+        )
+        try:
+            r = tb2.query("SELECT COUNT(*) FROM Object")
+            assert int(r.table.column("COUNT(*)")[0]) == 400
+        finally:
+            tb2.shutdown()
+
+
+class TestFaultTolerance:
+    def test_replicated_cluster_survives_node_failure(self):
+        tb2 = build_testbed(num_workers=3, num_objects=500, seed=9, replication=2)
+        r1 = tb2.query("SELECT COUNT(*) FROM Object")
+        # Kill one node; replicas must answer.
+        name = tb2.placement.nodes[0]
+        tb2.servers[name].fail()
+        r2 = tb2.query("SELECT COUNT(*) FROM Object")
+        assert int(r2.table.column("COUNT(*)")[0]) == int(r1.table.column("COUNT(*)")[0])
+
+
+class TestProxySession:
+    def test_fetch_all_shape(self, tb):
+        cols, rows = tb.proxy.fetch_all("SELECT COUNT(*) FROM Object")
+        assert cols == ["COUNT(*)"]
+        assert len(rows) == 1
+
+    def test_session_log(self, tb):
+        before = tb.proxy.log.queries
+        tb.proxy.query("SELECT COUNT(*) FROM Object")
+        assert tb.proxy.log.queries == before + 1
+        assert tb.proxy.log.distributed_queries >= 1

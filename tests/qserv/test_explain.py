@@ -1,0 +1,93 @@
+"""Tests for czar-level EXPLAIN (plan inspection without dispatch)."""
+
+import pytest
+
+from repro.data import build_testbed
+from repro.qserv import QservAnalysisError
+
+
+@pytest.fixture(scope="module")
+def tb():
+    return build_testbed(num_workers=2, num_objects=500, seed=29)
+
+
+class TestCoverageModes:
+    def test_full_sky(self, tb):
+        report = tb.czar.explain("SELECT COUNT(*) FROM Object")
+        assert report.coverage_mode == "full-sky"
+        assert len(report.chunk_ids) == len(tb.placement.chunk_ids)
+
+    def test_secondary_index(self, tb):
+        oid = int(tb.tables["Object"].column("objectId")[0])
+        report = tb.czar.explain(f"SELECT * FROM Object WHERE objectId = {oid}")
+        assert report.coverage_mode == "secondary-index"
+        assert len(report.chunk_ids) == 1
+
+    def test_region(self, tb):
+        report = tb.czar.explain(
+            "SELECT COUNT(*) FROM Object WHERE qserv_areaspec_box(0, 0, 5, 5)"
+        )
+        assert report.coverage_mode == "region"
+        assert 0 < len(report.chunk_ids) <= len(tb.placement.chunk_ids)
+
+
+class TestPlanDetails:
+    def test_aggregation_flag(self, tb):
+        agg = tb.czar.explain("SELECT AVG(ra_PS) FROM Object")
+        plain = tb.czar.explain("SELECT ra_PS FROM Object")
+        assert agg.two_phase_aggregation
+        assert not plain.two_phase_aggregation
+
+    def test_sub_chunk_flag(self, tb):
+        nn = tb.czar.explain(
+            "SELECT count(*) FROM Object o1, Object o2 "
+            "WHERE qserv_areaspec_box(0, -7, 5, 0) "
+            "AND qserv_angSep(o1.ra_PS, o1.decl_PS, o2.ra_PS, o2.decl_PS) < 0.01"
+        )
+        assert nn.uses_sub_chunks
+        assert nn.sub_chunk_statements > 0
+
+    def test_sample_chunk_query_is_real(self, tb):
+        report = tb.czar.explain("SELECT ra_PS FROM Object WHERE ra_PS > 3")
+        assert f"Object_{report.chunk_ids[0]}" in report.sample_chunk_query
+
+    def test_merge_query_references_merge_table(self, tb):
+        report = tb.czar.explain("SELECT AVG(uFlux_SG) FROM Object")
+        assert "<merge_table>" in report.merge_query
+        assert "SUM(`SUM(uFlux_SG)`)" in report.merge_query
+
+    def test_explain_does_not_execute(self, tb):
+        before = sum(w.stats.queries_executed for w in tb.workers.values())
+        tb.czar.explain("SELECT COUNT(*) FROM Object")
+        after = sum(w.stats.queries_executed for w in tb.workers.values())
+        assert after == before
+
+    def test_summary_text(self, tb):
+        text = tb.czar.explain("SELECT COUNT(*) FROM Object").summary()
+        assert "coverage: full-sky" in text
+        assert "merge query:" in text
+
+    def test_unpartitioned_rejected(self, tb):
+        with pytest.raises(QservAnalysisError):
+            tb.czar.explain("SELECT * FROM Filters")
+
+
+class TestShellIntegration:
+    def test_shell_explain(self, tb):
+        from repro.shell import QservShell
+
+        shell = QservShell(tb)
+        out = shell.execute_line("\\explain SELECT COUNT(*) FROM Object")
+        assert "coverage: full-sky" in out
+
+    def test_shell_explain_usage(self, tb):
+        from repro.shell import QservShell
+
+        shell = QservShell(tb)
+        assert "usage" in shell.execute_line("\\explain")
+
+    def test_shell_explain_error(self, tb):
+        from repro.shell import QservShell
+
+        shell = QservShell(tb)
+        assert shell.execute_line("\\explain SELECT * FROM Filters").startswith("ERROR")

@@ -1,0 +1,101 @@
+"""Fault-tolerance tests: failures at every stage of the dispatch protocol."""
+
+import numpy as np
+import pytest
+
+from repro.data import build_testbed
+from repro.xrd import RedirectError
+from repro.xrd.dataserver import DataServer
+
+
+class _DieAfterNWrites(DataServer):
+    """A data server that crashes after accepting N writes.
+
+    Models the nastiest failure window: the worker accepted the chunk
+    query (transaction 1 succeeded) but dies before the master reads
+    the result (transaction 2 fails).
+    """
+
+    def __init__(self, name, plugin, dies_after):
+        super().__init__(name, plugin=plugin)
+        self._writes_left = dies_after
+
+    def open(self, path, mode):
+        handle = super().open(path, mode)
+        if mode == "w":
+            self._writes_left -= 1
+            if self._writes_left <= 0:
+                # The write commits (the plugin got the query), then the
+                # node dies before any read can be served.
+                original_close = handle.close
+
+                def close_and_die():
+                    original_close()
+                    self.fail()
+
+                handle.close = close_and_die
+        return handle
+
+
+@pytest.fixture
+def tb():
+    return build_testbed(num_workers=3, num_objects=600, seed=51, replication=2)
+
+
+class TestRetryBetweenWriteAndRead:
+    def test_czar_redispatches_to_replica(self, tb):
+        """Kill a worker right after it accepts a chunk query."""
+        victim_name = tb.placement.nodes[0]
+        old = tb.servers[victim_name]
+        # Swap in the self-destructing server with the same worker state.
+        flaky = _DieAfterNWrites(victim_name, old.plugin, dies_after=1)
+        for path in old.exports():
+            flaky.export(path)
+        tb.redirector.unregister(victim_name)
+        tb.redirector.register(flaky)
+        tb.servers[victim_name] = flaky
+
+        r = tb.query("SELECT COUNT(*) FROM Object")
+        assert int(r.table.column("COUNT(*)")[0]) == 600
+        assert r.stats.chunks_retried >= 1
+        assert not flaky.up  # it really died mid-query
+
+    def test_unreplicated_failure_is_fatal(self):
+        tb1 = build_testbed(num_workers=2, num_objects=300, seed=53, replication=1)
+        victim = tb1.placement.nodes[0]
+        tb1.servers[victim].fail()
+        with pytest.raises(RedirectError):
+            tb1.czar.submit("SELECT COUNT(*) FROM Object")
+
+
+class TestRepeatedFailover:
+    def test_sequential_queries_through_failures(self, tb):
+        """Fail and recover nodes between queries; answers never change."""
+        expected = None
+        for i, node in enumerate(tb.placement.nodes):
+            r = tb.query("SELECT COUNT(*) FROM Object")
+            count = int(r.table.column("COUNT(*)")[0])
+            if expected is None:
+                expected = count
+            assert count == expected
+            tb.servers[node].fail()
+            r = tb.query("SELECT COUNT(*) FROM Object")
+            assert int(r.table.column("COUNT(*)")[0]) == expected
+            tb.servers[node].recover()
+
+    def test_aggregates_survive_failover(self, tb):
+        direct = tb.query("SELECT AVG(ra_PS) AS m FROM Object").table.column("m")[0]
+        tb.servers[tb.placement.nodes[1]].fail()
+        after = tb.query("SELECT AVG(ra_PS) AS m FROM Object").table.column("m")[0]
+        tb.servers[tb.placement.nodes[1]].recover()
+        assert after == pytest.approx(direct, rel=1e-12)
+
+    def test_secondary_index_query_survives(self, tb):
+        oid = int(tb.tables["Object"].column("objectId")[5])
+        before = tb.query(f"SELECT ra_PS FROM Object WHERE objectId = {oid}")
+        owner_chunk = tb.secondary_index.lookup(oid)[0]
+        primary = tb.placement.primary(owner_chunk)
+        tb.servers[primary].fail()
+        after = tb.query(f"SELECT ra_PS FROM Object WHERE objectId = {oid}")
+        tb.servers[primary].recover()
+        assert after.rows() == before.rows()

@@ -1,0 +1,86 @@
+"""Tests for multi-master load balancing (paper section 7.6)."""
+
+import numpy as np
+import pytest
+
+from repro.data import build_testbed
+from repro.qserv import LoadBalancingFrontend
+
+
+@pytest.fixture(scope="module")
+def tb():
+    # Threaded workers so concurrent czars actually overlap.
+    return build_testbed(num_workers=3, num_objects=900, seed=61, worker_slots=2)
+
+
+@pytest.fixture(scope="module")
+def frontend(tb):
+    return LoadBalancingFrontend(
+        tb.redirector,
+        tb.metadata,
+        tb.chunker,
+        num_masters=3,
+        secondary_index=tb.secondary_index,
+        available_chunks=tb.placement.chunk_ids,
+    )
+
+
+class TestConstruction:
+    def test_bad_master_count(self, tb):
+        with pytest.raises(ValueError):
+            LoadBalancingFrontend(tb.redirector, tb.metadata, tb.chunker, num_masters=0)
+
+    def test_num_masters(self, frontend):
+        assert frontend.num_masters == 3
+
+
+class TestRoundRobin:
+    def test_queries_rotate_masters(self, frontend, tb):
+        for _ in range(6):
+            frontend.query("SELECT COUNT(*) FROM Object")
+        loads = frontend.load_per_master()
+        assert [q for q, _ in loads] == [2, 2, 2]
+
+    def test_results_identical_across_masters(self, frontend, tb):
+        results = [
+            int(frontend.query("SELECT COUNT(*) FROM Object").table.column("COUNT(*)")[0])
+            for _ in range(3)
+        ]
+        assert len(set(results)) == 1
+        assert results[0] == tb.tables["Object"].num_rows
+
+
+class TestConcurrent:
+    def test_concurrent_batch_correct(self, frontend, tb):
+        obj = tb.tables["Object"]
+        oids = [int(v) for v in obj.column("objectId")[:6]]
+        statements = [f"SELECT objectId FROM Object WHERE objectId = {o}" for o in oids]
+        statements.append("SELECT COUNT(*) FROM Object")
+        results = frontend.query_concurrent(statements)
+        for oid, r in zip(oids, results[:-1]):
+            assert [int(v) for v in r.table.column("objectId")] == [oid]
+        assert int(results[-1].table.column("COUNT(*)")[0]) == obj.num_rows
+
+    def test_concurrent_mixed_load(self, frontend, tb):
+        statements = [
+            "SELECT COUNT(*) FROM Object",
+            "SELECT chunkId, COUNT(*) AS n FROM Object GROUP BY chunkId",
+            "SELECT AVG(ra_PS) FROM Object",
+        ]
+        results = frontend.query_concurrent(statements)
+        assert len(results) == 3
+        assert all(r.table.num_rows >= 1 for r in results)
+
+    def test_errors_propagate(self, frontend):
+        with pytest.raises(Exception):
+            frontend.query_concurrent(["SELECT nope FROM Object"])
+
+
+class TestChunkAccounting:
+    def test_chunk_load_spreads(self, frontend, tb):
+        before = frontend.load_per_master()
+        for _ in range(3):
+            frontend.query("SELECT COUNT(*) FROM Object")
+        after = frontend.load_per_master()
+        deltas = [a[1] - b[1] for a, b in zip(after, before)]
+        assert sum(deltas) == 3 * len(tb.placement.chunk_ids)

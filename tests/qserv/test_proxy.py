@@ -1,0 +1,74 @@
+"""Tests for the MySQL-proxy-shaped session frontend."""
+
+import numpy as np
+import pytest
+
+from repro.data import build_testbed
+from repro.qserv import QservAnalysisError, QservProxy
+from repro.sql import Database, Table
+
+
+@pytest.fixture(scope="module")
+def tb():
+    return build_testbed(num_workers=2, num_objects=300, seed=67)
+
+
+class TestDistributedPath:
+    def test_query_counts(self, tb):
+        proxy = QservProxy(tb.czar)
+        proxy.query("SELECT COUNT(*) FROM Object")
+        assert proxy.log.queries == 1
+        assert proxy.log.distributed_queries == 1
+        assert proxy.log.local_queries == 0
+
+    def test_history_records_sql_and_time(self, tb):
+        proxy = QservProxy(tb.czar)
+        proxy.query("SELECT COUNT(*) FROM Object")
+        sql, elapsed = proxy.log.history[-1]
+        assert "COUNT" in sql
+        assert elapsed >= 0
+
+    def test_failed_query_counted(self, tb):
+        proxy = QservProxy(tb.czar)
+        with pytest.raises(Exception):
+            proxy.query("SELECT nope FROM Object")
+        assert proxy.log.failed_queries == 1
+
+
+class TestLocalFallback:
+    """Queries over unpartitioned tables fall through to a local db."""
+
+    def make_proxy(self, tb):
+        local = Database("LSST")
+        local.create_table(
+            Table("Filters", {"filterId": np.arange(6), })
+        )
+        return QservProxy(tb.czar, local_db=local)
+
+    def test_local_query_served(self, tb):
+        proxy = self.make_proxy(tb)
+        r = proxy.query("SELECT COUNT(*) FROM Filters")
+        assert int(r.table.column("COUNT(*)")[0]) == 6
+        assert proxy.log.local_queries == 1
+        assert r.stats.chunks_dispatched == 0
+
+    def test_distributed_still_preferred(self, tb):
+        proxy = self.make_proxy(tb)
+        r = proxy.query("SELECT COUNT(*) FROM Object")
+        assert proxy.log.distributed_queries == 1
+        assert r.stats.chunks_dispatched > 0
+
+    def test_no_local_db_raises(self, tb):
+        proxy = QservProxy(tb.czar)
+        with pytest.raises(QservAnalysisError):
+            proxy.query("SELECT 1 + 1 AS two FROM NopeTable")
+
+
+class TestFetchAll:
+    def test_shape(self, tb):
+        proxy = QservProxy(tb.czar)
+        cols, rows = proxy.fetch_all(
+            "SELECT chunkId, COUNT(*) AS n FROM Object GROUP BY chunkId"
+        )
+        assert cols == ["chunkId", "n"]
+        assert sum(r[1] for r in rows) == 300

@@ -1,0 +1,79 @@
+"""Tests for the worker-side query-result cache (MySQL-query-cache analog)."""
+
+import numpy as np
+import pytest
+
+from repro.partition import Chunker
+from repro.qserv import QservWorker
+from repro.sql import Database, Table
+from repro.xrd.protocol import query_hash, query_path, result_path
+
+
+def make_worker(cache_results):
+    db = Database("LSST")
+    chunker = Chunker(18, 6, 0.05)
+    cid = chunker.chunk_id(10.0, 5.0)
+    db.create_table(
+        Table(
+            f"Object_{cid}",
+            {
+                "objectId": np.arange(40, dtype=np.int64),
+                "ra_PS": np.full(40, 10.0),
+                "decl_PS": np.full(40, 5.0),
+            },
+        )
+    )
+    return QservWorker("w", db, cache_results=cache_results), cid
+
+
+QUERY = "SELECT COUNT(*) FROM LSST.Object_{cid} AS Object;"
+
+
+class TestResultCache:
+    def test_repeat_query_hits_cache(self):
+        w, cid = make_worker(cache_results=True)
+        text = QUERY.format(cid=cid)
+        for _ in range(3):
+            w.on_write(query_path(cid), text.encode())
+            assert w.on_read(result_path(query_hash(text))) is not None
+        assert w.stats.queries_executed == 1
+        assert w.stats.result_cache_hits == 2
+
+    def test_cache_off_reexecutes(self):
+        w, cid = make_worker(cache_results=False)
+        text = QUERY.format(cid=cid)
+        for _ in range(3):
+            w.on_write(query_path(cid), text.encode())
+            w.on_read(result_path(query_hash(text)))
+        assert w.stats.queries_executed == 3
+        assert w.stats.result_cache_hits == 0
+
+    def test_different_queries_not_conflated(self):
+        w, cid = make_worker(cache_results=True)
+        t1 = QUERY.format(cid=cid)
+        t2 = f"SELECT objectId FROM LSST.Object_{cid} AS Object;"
+        w.on_write(query_path(cid), t1.encode())
+        w.on_write(query_path(cid), t2.encode())
+        assert w.on_read(result_path(query_hash(t1))) != w.on_read(
+            result_path(query_hash(t2))
+        )
+        assert w.stats.queries_executed == 2
+
+    def test_cached_payload_identical(self):
+        w, cid = make_worker(cache_results=True)
+        text = QUERY.format(cid=cid)
+        w.on_write(query_path(cid), text.encode())
+        first = w.on_read(result_path(query_hash(text)))
+        w.on_write(query_path(cid), text.encode())
+        second = w.on_read(result_path(query_hash(text)))
+        assert first == second
+
+    def test_failed_query_not_cached(self):
+        w, cid = make_worker(cache_results=True)
+        bad = "SELECT nope FROM LSST.Missing_9 AS m;"
+        w.on_write(query_path(cid), bad.encode())
+        with pytest.raises(Exception):
+            w.on_read(result_path(query_hash(bad)))
+        # A repeat still attempts execution (and still fails).
+        w.on_write(query_path(cid), bad.encode())
+        assert w.stats.result_cache_hits == 0

@@ -1,0 +1,245 @@
+"""Tests for chunk-query and merge-query generation."""
+
+import pytest
+
+from repro.partition import Chunker
+from repro.qserv import (
+    CatalogMetadata,
+    analyze,
+    build_aggregation_plan,
+    generate_chunk_queries,
+    generate_merge_query,
+)
+from repro.qserv.rewrite import (
+    SUBCHUNK_HEADER_PREFIX,
+    chunk_table_name,
+    overlap_table_name,
+    sub_chunk_table_name,
+)
+from repro.sql.parser import parse
+
+
+@pytest.fixture(scope="module")
+def md():
+    return CatalogMetadata.lsst_default()
+
+
+@pytest.fixture(scope="module")
+def chunker():
+    return Chunker(18, 6, 0.05)
+
+
+def gen(sql, md, chunker, chunk_ids):
+    a = analyze(sql, md)
+    p = build_aggregation_plan(a.select)
+    return a, p, generate_chunk_queries(a, p, md, chunker, chunk_ids)
+
+
+class TestNames:
+    def test_chunk_table_name(self):
+        assert chunk_table_name("Object", 713) == "Object_713"
+
+    def test_sub_chunk_table_name(self):
+        assert sub_chunk_table_name("Object", 713, 45) == "Object_713_45"
+
+    def test_overlap_names(self):
+        assert overlap_table_name("Object", 713) == "ObjectFullOverlap_713"
+        assert overlap_table_name("Object", 713, 45) == "ObjectFullOverlap_713_45"
+
+
+class TestSimpleRewrite:
+    def test_table_renamed_with_database(self, md, chunker):
+        _, _, specs = gen("SELECT ra_PS FROM Object", md, chunker, [100])
+        assert "LSST.Object_100" in specs[0].text
+
+    def test_alias_binding_preserved(self, md, chunker):
+        # Unaliased tables get their original name as alias, so column
+        # qualifications keep resolving (the paper adds "LSST." the same way).
+        _, _, specs = gen("SELECT Object.ra_PS FROM Object", md, chunker, [100])
+        assert "LSST.Object_100 AS Object" in specs[0].text
+
+    def test_one_spec_per_chunk(self, md, chunker):
+        _, _, specs = gen("SELECT ra_PS FROM Object", md, chunker, [1, 2, 3])
+        assert [s.chunk_id for s in specs] == [1, 2, 3]
+
+    def test_unpartitioned_table_untouched(self, md, chunker):
+        _, _, specs = gen(
+            "SELECT * FROM Object, Filters WHERE Object.chunkId = Filters.x",
+            md,
+            chunker,
+            [100],
+        )
+        assert "Filters" in specs[0].text
+        assert "Filters_100" not in specs[0].text
+
+    def test_chunk_query_parses(self, md, chunker):
+        _, _, specs = gen(
+            "SELECT objectId, ra_PS FROM Object WHERE ra_PS > 3", md, chunker, [100]
+        )
+        stmts = parse(specs[0].text)
+        assert len(stmts) == 1
+
+    def test_where_preserved(self, md, chunker):
+        _, _, specs = gen(
+            "SELECT * FROM Object WHERE uRadius_PS > 0.04", md, chunker, [100]
+        )
+        assert "uRadius_PS > 0.04" in specs[0].text
+
+
+class TestAreaspecRewrite:
+    def test_paper_example(self, md, chunker):
+        """Section 5.3: areaspec becomes qserv_ptInSphericalBox(...) = 1."""
+        _, _, specs = gen(
+            "SELECT AVG(uFlux_SG) FROM Object "
+            "WHERE qserv_areaspec_box(0.0, 0.0, 10.0, 10.0) AND uRadius_PS > 0.04",
+            md,
+            chunker,
+            [100],
+        )
+        text = specs[0].text
+        assert "qserv_ptInSphericalBox(Object.ra_PS, Object.decl_PS" in text
+        assert "= 1" in text
+        assert "areaspec" not in text
+
+    def test_partition_columns_from_metadata(self, md, chunker):
+        # Source partitions on (ra, decl), not (ra_PS, decl_PS).
+        _, _, specs = gen(
+            "SELECT * FROM Source WHERE qserv_areaspec_box(0,0,1,1)",
+            md,
+            chunker,
+            [100],
+        )
+        assert "qserv_ptInSphericalBox(Source.ra, Source.decl" in specs[0].text
+
+    def test_circle_rewrite(self, md, chunker):
+        _, _, specs = gen(
+            "SELECT * FROM Object WHERE qserv_areaspec_circle(10, 20, 1.5)",
+            md,
+            chunker,
+            [100],
+        )
+        assert "qserv_ptInSphericalCircle" in specs[0].text
+
+
+class TestAggregateRewrite:
+    def test_avg_split(self, md, chunker):
+        _, _, specs = gen("SELECT AVG(uFlux_SG) FROM Object", md, chunker, [100])
+        text = specs[0].text
+        assert "SUM(uFlux_SG)" in text
+        assert "COUNT(uFlux_SG)" in text
+        assert "AVG(" not in text
+
+    def test_group_by_carried(self, md, chunker):
+        _, _, specs = gen(
+            "SELECT chunkId, COUNT(*) FROM Object GROUP BY chunkId",
+            md,
+            chunker,
+            [100],
+        )
+        assert "GROUP BY chunkId" in specs[0].text
+
+    def test_order_by_not_pushed_for_aggregates(self, md, chunker):
+        _, _, specs = gen(
+            "SELECT chunkId, COUNT(*) AS n FROM Object GROUP BY chunkId ORDER BY n",
+            md,
+            chunker,
+            [100],
+        )
+        assert "ORDER BY" not in specs[0].text
+
+    def test_limit_pushed_for_passthrough(self, md, chunker):
+        _, _, specs = gen(
+            "SELECT objectId FROM Object ORDER BY objectId LIMIT 5", md, chunker, [100]
+        )
+        assert "ORDER BY objectId" in specs[0].text
+        assert "LIMIT 5" in specs[0].text
+
+    def test_limit_with_offset_pushes_sum(self, md, chunker):
+        _, _, specs = gen(
+            "SELECT objectId FROM Object LIMIT 5 OFFSET 10", md, chunker, [100]
+        )
+        assert "LIMIT 15" in specs[0].text
+
+
+class TestSubchunkRewrite:
+    SHV1 = (
+        "SELECT count(*) FROM Object o1, Object o2 "
+        "WHERE qserv_areaspec_box(0,-7,5,0) "
+        "AND qserv_angSep(o1.ra_PS, o1.decl_PS, o2.ra_PS, o2.decl_PS) < 0.1"
+    )
+
+    def test_header_present(self, md, chunker):
+        a = analyze(self.SHV1, md)
+        cid = int(chunker.chunks_intersecting(a.region)[0])
+        _, _, specs = gen(self.SHV1, md, chunker, [cid])
+        assert specs[0].text.startswith(SUBCHUNK_HEADER_PREFIX)
+        assert len(specs[0].sub_chunk_ids) > 0
+
+    def test_header_matches_statements(self, md, chunker):
+        a = analyze(self.SHV1, md)
+        cid = int(chunker.chunks_intersecting(a.region)[0])
+        _, _, specs = gen(self.SHV1, md, chunker, [cid])
+        lines = specs[0].text.splitlines()
+        header_ids = [int(s) for s in lines[0][len(SUBCHUNK_HEADER_PREFIX):].split(",")]
+        assert tuple(header_ids) == specs[0].sub_chunk_ids
+        # Two statements (self + overlap pairing) per sub-chunk.
+        n_statements = sum(1 for ln in lines[1:] if ln.strip())
+        assert n_statements == 2 * len(header_ids)
+
+    def test_overlap_table_paired(self, md, chunker):
+        a = analyze(self.SHV1, md)
+        cid = int(chunker.chunks_intersecting(a.region)[0])
+        _, _, specs = gen(self.SHV1, md, chunker, [cid])
+        scid = specs[0].sub_chunk_ids[0]
+        text = specs[0].text
+        assert f"Object_{cid}_{scid} AS o1" in text
+        assert f"Object_{cid}_{scid} AS o2" in text
+        assert f"ObjectFullOverlap_{cid}_{scid} AS o2" in text
+
+    def test_region_limits_subchunks(self, md, chunker):
+        """A tiny region should touch far fewer sub-chunks than the chunk has."""
+        tiny = (
+            "SELECT count(*) FROM Object o1, Object o2 "
+            "WHERE qserv_areaspec_box(0.0,-0.5,0.5,0.0) "
+            "AND qserv_angSep(o1.ra_PS, o1.decl_PS, o2.ra_PS, o2.decl_PS) < 0.01"
+        )
+        a = analyze(tiny, md)
+        cid = int(chunker.chunks_intersecting(a.region)[0])
+        _, _, specs = gen(tiny, md, chunker, [cid])
+        assert len(specs[0].sub_chunk_ids) < len(chunker.sub_chunks_of(cid))
+
+    def test_statements_parse(self, md, chunker):
+        a = analyze(self.SHV1, md)
+        cid = int(chunker.chunks_intersecting(a.region)[0])
+        _, _, specs = gen(self.SHV1, md, chunker, [cid])
+        body = "\n".join(specs[0].text.splitlines()[1:])
+        stmts = parse(body)
+        assert len(stmts) == 2 * len(specs[0].sub_chunk_ids)
+
+
+class TestMergeQuery:
+    def test_passthrough_merge(self, md, chunker):
+        a = analyze("SELECT objectId, ra_PS FROM Object", md)
+        p = build_aggregation_plan(a.select)
+        sql = generate_merge_query(p, a.select, "merge_0")
+        assert sql == "SELECT objectId, ra_PS FROM merge_0"
+
+    def test_aggregate_merge(self, md, chunker):
+        a = analyze("SELECT AVG(uFlux_SG) FROM Object", md)
+        p = build_aggregation_plan(a.select)
+        sql = generate_merge_query(p, a.select, "merge_0")
+        assert "SUM(`SUM(uFlux_SG)`) / SUM(`COUNT(uFlux_SG)`)" in sql
+
+    def test_order_limit_applied_at_merge(self, md, chunker):
+        a = analyze("SELECT objectId FROM Object ORDER BY objectId DESC LIMIT 3", md)
+        p = build_aggregation_plan(a.select)
+        sql = generate_merge_query(p, a.select, "m")
+        assert "ORDER BY objectId DESC" in sql
+        assert "LIMIT 3" in sql
+
+    def test_qualified_order_column_stripped(self, md, chunker):
+        a = analyze("SELECT o.objectId FROM Object o ORDER BY o.objectId", md)
+        p = build_aggregation_plan(a.select)
+        sql = generate_merge_query(p, a.select, "m")
+        assert "ORDER BY objectId" in sql
+        assert "o.objectId" not in sql.split("ORDER BY")[1]

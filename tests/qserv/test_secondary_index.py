@@ -1,0 +1,89 @@
+"""Tests for the objectId secondary index (paper section 5.5)."""
+
+import numpy as np
+import pytest
+
+from repro.partition import Chunker
+from repro.qserv import SecondaryIndex
+from repro.qserv.secondary_index import INDEX_TABLE
+
+
+@pytest.fixture
+def chunker():
+    return Chunker(18, 6, 0.05)
+
+
+@pytest.fixture
+def index(chunker):
+    rng = np.random.default_rng(11)
+    ids = np.arange(500, dtype=np.int64)
+    ra = rng.uniform(0, 360, 500)
+    dec = np.rad2deg(np.arcsin(rng.uniform(-1, 1, 500)))
+    idx = SecondaryIndex.build(ids, ra, dec, chunker)
+    return idx, ids, ra, dec
+
+
+class TestBuild:
+    def test_is_three_column_table(self, index):
+        idx, *_ = index
+        table = idx.db.get_table(INDEX_TABLE)
+        assert table.column_names == ["objectId", "chunkId", "subChunkId"]
+        assert table.num_rows == 500
+
+    def test_len(self, index):
+        idx, *_ = index
+        assert len(idx) == 500
+
+    def test_hash_index_built(self, index):
+        idx, *_ = index
+        assert idx.db.has_index(INDEX_TABLE, "objectId")
+
+
+class TestLookup:
+    def test_lookup_matches_chunker(self, index, chunker):
+        idx, ids, ra, dec = index
+        for i in (0, 123, 499):
+            cid, scid = idx.lookup(int(ids[i]))
+            assert cid == chunker.chunk_id(ra[i], dec[i])
+            assert scid == chunker.sub_chunk_id(ra[i], dec[i])
+
+    def test_lookup_unknown_returns_none(self, index):
+        idx, *_ = index
+        assert idx.lookup(999999) is None
+
+    def test_chunks_for_single(self, index, chunker):
+        idx, ids, ra, dec = index
+        out = idx.chunks_for(ids[7])
+        np.testing.assert_array_equal(out, [chunker.chunk_id(ra[7], dec[7])])
+
+    def test_chunks_for_many_unique_sorted(self, index, chunker):
+        idx, ids, ra, dec = index
+        probe = ids[:50]
+        out = idx.chunks_for(probe)
+        expected = np.unique(chunker.chunk_id(ra[:50], dec[:50]))
+        np.testing.assert_array_equal(out, expected)
+
+    def test_chunks_for_unknown_is_empty(self, index):
+        idx, *_ = index
+        # The paper's LV tests randomize ids over the whole id space and
+        # get empty results where data was clipped -- so must we.
+        assert len(idx.chunks_for(10**9)) == 0
+
+    def test_chunks_for_empty_input(self, index):
+        idx, *_ = index
+        assert len(idx.chunks_for(np.array([], dtype=np.int64))) == 0
+
+    def test_chunks_for_mixed_known_unknown(self, index, chunker):
+        idx, ids, ra, dec = index
+        out = idx.chunks_for([int(ids[3]), 10**9])
+        np.testing.assert_array_equal(out, [chunker.chunk_id(ra[3], dec[3])])
+
+
+class TestIncrementalBuild:
+    def test_add_entries_accumulates(self, chunker):
+        idx = SecondaryIndex()
+        idx.add_entries([1, 2], [10, 20], [0, 1])
+        idx.add_entries([3], [30], [2])
+        idx.finalize()
+        assert len(idx) == 3
+        assert idx.lookup(3) == (30, 2)

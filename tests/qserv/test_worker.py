@@ -1,0 +1,185 @@
+"""Tests for the Qserv worker (ofs plugin, sub-chunk build, FIFO queue)."""
+
+import numpy as np
+import pytest
+
+from repro.partition import Chunker
+from repro.qserv import QservWorker
+from repro.sql import Database, SqlError, Table
+from repro.sql.dump import load_dump
+from repro.xrd.protocol import query_hash, query_path, result_path
+
+
+def make_worker(slots=0, cache=False):
+    """A worker hosting chunk 100 with a tiny Object table."""
+    db = Database("LSST")
+    chunker = Chunker(18, 6, 0.05)
+    rng = np.random.default_rng(5)
+    n = 60
+    # All points inside one chunk near (10, 5).
+    box = None
+    cid = chunker.chunk_id(10.0, 5.0)
+    box = chunker.chunk_box(cid)
+    ra = box.ra_min + rng.uniform(0.05, box.ra_extent() - 0.1, n)
+    dec = box.dec_min + rng.uniform(0.05, box.dec_extent() - 0.1, n)
+    table = Table(
+        f"Object_{cid}",
+        {
+            "objectId": np.arange(n, dtype=np.int64),
+            "ra_PS": ra,
+            "decl_PS": dec,
+            "chunkId": np.full(n, cid, dtype=np.int64),
+            "subChunkId": chunker.sub_chunk_id(ra, dec),
+        },
+    )
+    db.create_table(table)
+    # An empty overlap companion.
+    db.create_table(
+        Table(
+            f"ObjectFullOverlap_{cid}",
+            {k: v[:0] for k, v in table.columns().items()},
+        )
+    )
+    return QservWorker("w-test", db, slots=slots, cache_sub_chunks=cache), cid, chunker
+
+
+class TestPluginProtocol:
+    def test_claims_protocol_paths(self):
+        w, cid, _ = make_worker()
+        assert w.claims("/query2/5")
+        assert w.claims("/result/" + "0" * 32)
+        assert not w.claims("/other")
+
+    def test_write_then_read_roundtrip(self):
+        w, cid, _ = make_worker()
+        qtext = f"SELECT COUNT(*) FROM LSST.Object_{cid} AS Object;"
+        w.on_write(query_path(cid), qtext.encode())
+        data = w.on_read(result_path(query_hash(qtext)))
+        assert data is not None
+        db = Database("LSST")
+        name = load_dump(db, data.decode())
+        out = db.get_table(name)
+        assert out.column("COUNT(*)")[0] == 60
+
+    def test_unknown_result_path_is_none(self):
+        w, *_ = make_worker()
+        assert w.on_read("/result/" + "f" * 32) is None
+
+    def test_error_surfaced_on_read(self):
+        w, cid, _ = make_worker()
+        qtext = "SELECT * FROM LSST.NoSuchTable_5 AS t;"
+        w.on_write(query_path(cid), qtext.encode())
+        with pytest.raises(SqlError):
+            w.on_read(result_path(query_hash(qtext)))
+
+
+class TestChunkQueryExecution:
+    def test_multiple_statements_concatenate(self):
+        w, cid, _ = make_worker()
+        text = (
+            f"SELECT objectId FROM LSST.Object_{cid} AS o WHERE objectId < 5;\n"
+            f"SELECT objectId FROM LSST.Object_{cid} AS o WHERE objectId >= 55;"
+        )
+        result = w.execute_chunk_query(cid, text)
+        assert result.num_rows == 10
+
+    def test_no_select_rejected(self):
+        w, cid, _ = make_worker()
+        with pytest.raises(SqlError):
+            w.execute_chunk_query(cid, "-- SUBCHUNKS: 1\n")
+
+    def test_stats_updated(self):
+        w, cid, _ = make_worker()
+        w.execute_chunk_query(cid, f"SELECT COUNT(*) FROM LSST.Object_{cid} AS o;")
+        assert w.stats.queries_executed == 1
+        assert w.stats.statements_executed == 1
+
+
+class TestSubChunkMaterialization:
+    def make_subchunk_query(self, cid, chunker, scid):
+        return (
+            f"-- SUBCHUNKS: {scid}\n"
+            f"SELECT COUNT(*) FROM LSST.Object_{cid}_{scid} AS o1;"
+        )
+
+    def test_built_on_demand_and_dropped(self):
+        w, cid, chunker = make_worker()
+        table = w.db.get_table(f"Object_{cid}")
+        scid = int(table.column("subChunkId")[0])
+        expected = int(np.count_nonzero(table.column("subChunkId") == scid))
+        result = w.execute_chunk_query(cid, self.make_subchunk_query(cid, chunker, scid))
+        assert result.column("COUNT(*)")[0] == expected
+        assert w.stats.sub_chunk_tables_built == 1
+        # Paper: "the current implementation does not cache them".
+        assert f"Object_{cid}_{scid}" not in w.db.tables
+
+    def test_cache_mode_keeps_tables(self):
+        w, cid, chunker = make_worker(cache=True)
+        table = w.db.get_table(f"Object_{cid}")
+        scid = int(table.column("subChunkId")[0])
+        q = self.make_subchunk_query(cid, chunker, scid)
+        w.execute_chunk_query(cid, q)
+        assert f"Object_{cid}_{scid}" in w.db.tables
+        w.execute_chunk_query(cid, q)
+        assert w.stats.sub_chunk_tables_built == 1
+        assert w.stats.sub_chunk_cache_hits == 1
+
+    def test_overlap_subchunk_built_from_overlap_chunk(self):
+        w, cid, chunker = make_worker()
+        table = w.db.get_table(f"Object_{cid}")
+        scid = int(table.column("subChunkId")[0])
+        text = (
+            f"-- SUBCHUNKS: {scid}\n"
+            f"SELECT COUNT(*) FROM LSST.ObjectFullOverlap_{cid}_{scid} AS o2;"
+        )
+        result = w.execute_chunk_query(cid, text)
+        assert result.column("COUNT(*)")[0] == 0  # empty overlap fixture
+
+    def test_missing_parent_chunk_rejected(self):
+        w, cid, chunker = make_worker()
+        with pytest.raises(SqlError, match="no chunk table"):
+            w.execute_chunk_query(
+                999, "-- SUBCHUNKS: 3\nSELECT COUNT(*) FROM LSST.Object_999_3 AS o;"
+            )
+
+
+class TestThreadedMode:
+    def test_threaded_execution(self):
+        w, cid, _ = make_worker(slots=2)
+        try:
+            texts = [
+                f"SELECT COUNT(*) FROM LSST.Object_{cid} AS o WHERE objectId < {k};"
+                for k in (10, 20, 30, 40)
+            ]
+            for t in texts:
+                w.on_write(query_path(cid), t.encode())
+            for k, t in zip((10, 20, 30, 40), texts):
+                data = w.on_read(result_path(query_hash(t)))
+                db = Database("LSST")
+                out = db.get_table(load_dump(db, data.decode()))
+                assert out.column("COUNT(*)")[0] == k
+        finally:
+            w.shutdown()
+
+    def test_queue_high_water(self):
+        w, cid, _ = make_worker(slots=1)
+        try:
+            for k in range(6):
+                t = f"SELECT COUNT(*) FROM LSST.Object_{cid} AS o WHERE objectId < {k};"
+                w.on_write(query_path(cid), t.encode())
+            # Drain.
+            t = f"SELECT COUNT(*) FROM LSST.Object_{cid} AS o WHERE objectId < 5;"
+            w.on_read(result_path(query_hash(t)))
+            assert w.stats.queue_high_water >= 1
+        finally:
+            w.shutdown()
+
+    def test_bad_slots(self):
+        with pytest.raises(ValueError):
+            QservWorker("w", Database(), slots=-1)
+
+
+class TestHostedChunks:
+    def test_lists_chunk_tables_only(self):
+        w, cid, _ = make_worker()
+        assert w.hosted_chunks() == [cid]

@@ -1,0 +1,119 @@
+"""Tests for FIFO vs shared-scan (convoy) scheduling (paper section 4.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduler import (
+    FifoScanScheduler,
+    ScanQuery,
+    SharedScanScheduler,
+)
+
+
+def queries(n, spacing=0.0):
+    return [ScanQuery(query_id=i, arrival_time=i * spacing) for i in range(n)]
+
+
+class TestFifo:
+    def test_single_query_time(self):
+        s = FifoScanScheduler(num_pieces=100, piece_read_time=0.1)
+        sched = s.simulate(queries(1))
+        assert sched.completion_times[0] == pytest.approx(10.0)
+
+    def test_two_queries_pay_seek_penalty(self):
+        s = FifoScanScheduler(num_pieces=100, piece_read_time=0.1, seek_penalty_per_scan=0.2)
+        sched = s.simulate(queries(2))
+        # 200 pieces read, each 20% slower: 24 s; both finish together.
+        assert sched.makespan() == pytest.approx(24.0)
+
+    def test_disk_reads_scale_with_queries(self):
+        s = FifoScanScheduler(num_pieces=50, piece_read_time=0.1)
+        sched = s.simulate(queries(4))
+        assert sched.pieces_read == 200
+
+    def test_staggered_arrival(self):
+        s = FifoScanScheduler(num_pieces=10, piece_read_time=1.0, seek_penalty_per_scan=0.0)
+        sched = s.simulate([ScanQuery(0, 0.0), ScanQuery(1, 100.0)])
+        assert sched.completion_times[0] == pytest.approx(10.0)
+        assert sched.completion_times[1] == pytest.approx(110.0)
+
+    def test_invalid_pieces(self):
+        with pytest.raises(ValueError):
+            FifoScanScheduler(num_pieces=0, piece_read_time=0.1)
+
+    def test_empty(self):
+        s = FifoScanScheduler(10, 0.1)
+        assert s.simulate([]).completion_times == {}
+
+
+class TestSharedScan:
+    def test_single_query_same_as_fifo(self):
+        shared = SharedScanScheduler(num_pieces=100, piece_read_time=0.1)
+        fifo = FifoScanScheduler(num_pieces=100, piece_read_time=0.1)
+        q = queries(1)
+        assert shared.simulate(q).makespan() == pytest.approx(fifo.simulate(q).makespan())
+
+    def test_simultaneous_queries_share_one_scan(self):
+        """Section 4.3: N full-scan results in ~the time of one scan."""
+        s = SharedScanScheduler(num_pieces=100, piece_read_time=0.1)
+        sched = s.simulate(queries(8))
+        assert sched.makespan() == pytest.approx(10.0)
+        assert sched.pieces_read == 100
+
+    def test_midscan_join_wraps_around(self):
+        s = SharedScanScheduler(num_pieces=10, piece_read_time=1.0)
+        sched = s.simulate([ScanQuery(0, 0.0), ScanQuery(1, 3.5)])
+        assert sched.completion_times[0] == pytest.approx(10.0)
+        # Joins at piece 4, needs 10 pieces: finishes after piece 13.
+        assert sched.completion_times[1] == pytest.approx(14.0)
+
+    def test_disk_reads_do_not_scale_with_queries(self):
+        s = SharedScanScheduler(num_pieces=50, piece_read_time=0.1)
+        assert s.simulate(queries(10)).pieces_read == 50
+
+    def test_empty(self):
+        s = SharedScanScheduler(10, 0.1)
+        assert s.simulate([]).completion_times == {}
+
+
+class TestAblation:
+    """The quantitative claim behind section 4.3."""
+
+    def test_shared_scan_beats_fifo_for_concurrent_scans(self):
+        q = queries(8)
+        fifo = FifoScanScheduler(num_pieces=100, piece_read_time=0.1).simulate(q)
+        shared = SharedScanScheduler(num_pieces=100, piece_read_time=0.1).simulate(q)
+        assert shared.makespan() < fifo.makespan() / 5
+
+    def test_fig14_two_scan_doubling(self):
+        """The measured Figure 14 behavior is the FIFO policy's cost."""
+        q = queries(2)
+        fifo = FifoScanScheduler(num_pieces=100, piece_read_time=0.1, seek_penalty_per_scan=0.0)
+        sched = fifo.simulate(q)
+        solo = FifoScanScheduler(100, 0.1).simulate(queries(1)).makespan()
+        assert sched.makespan() == pytest.approx(2 * solo)
+
+    @given(st.integers(min_value=1, max_value=12))
+    @settings(max_examples=20, deadline=None)
+    def test_shared_never_worse(self, n):
+        q = queries(n, spacing=0.3)
+        fifo = FifoScanScheduler(num_pieces=40, piece_read_time=0.1).simulate(q)
+        shared = SharedScanScheduler(num_pieces=40, piece_read_time=0.1).simulate(q)
+        assert shared.makespan() <= fifo.makespan() + 1e-9
+
+    @given(st.integers(min_value=1, max_value=10), st.floats(min_value=0.0, max_value=5.0))
+    @settings(max_examples=20, deadline=None)
+    def test_every_query_completes_after_arrival(self, n, spacing):
+        q = queries(n, spacing=spacing)
+        for scheduler in (
+            FifoScanScheduler(num_pieces=20, piece_read_time=0.1),
+            SharedScanScheduler(num_pieces=20, piece_read_time=0.1),
+        ):
+            sched = scheduler.simulate(q)
+            for query in q:
+                # Must take at least one full pass after arriving.
+                assert (
+                    sched.completion_times[query.query_id]
+                    >= query.arrival_time + 20 * 0.1 - 1e-9
+                )

@@ -1,0 +1,203 @@
+"""Tests for the simulated cluster (master, nodes, disk, queues)."""
+
+import pytest
+
+from repro.sim import ChunkTask, QueryJob, SimulatedCluster, paper_cluster
+from repro.sim.hardware import Calibration, ClusterSpec, NodeSpec
+
+
+def one_node_spec(**node_kw):
+    return ClusterSpec(num_nodes=1, node=NodeSpec(**node_kw), calibration=Calibration())
+
+
+class TestBasics:
+    def test_empty_job_completes(self):
+        c = SimulatedCluster(paper_cluster(4))
+        c.submit(QueryJob(name="empty", tasks=[]))
+        out = c.run()
+        assert len(out) == 1
+        assert out[0].chunks == 0
+
+    def test_single_task_timing(self):
+        spec = one_node_spec()
+        c = SimulatedCluster(spec)
+        task = ChunkTask(chunk_id=0, scan_bytes=98e6, seeks=0, result_bytes=0.0)
+        c.submit(QueryJob(name="q", tasks=[task], frontend_latency=0.0))
+        out = c.run()
+        # dispatch + 1 s scan at 98 MB/s + collect.
+        expected = 0.0016 + 1.0 + 0.0010
+        assert out[0].elapsed == pytest.approx(expected, rel=1e-6)
+
+    def test_frontend_latency_default(self):
+        spec = paper_cluster(1)
+        c = SimulatedCluster(spec)
+        c.submit(QueryJob(name="q", tasks=[ChunkTask(0, result_bytes=0.0)]))
+        out = c.run()
+        assert out[0].elapsed >= spec.calibration.frontend_latency
+
+    def test_seeks_cost(self):
+        spec = one_node_spec()
+        c = SimulatedCluster(spec)
+        task = ChunkTask(chunk_id=0, seeks=100, result_bytes=0.0)
+        c.submit(QueryJob(name="q", tasks=[task], frontend_latency=0.0))
+        out = c.run()
+        assert out[0].elapsed == pytest.approx(100 * 0.0125 + 0.0026, rel=1e-6)
+
+    def test_submit_at_time(self):
+        c = SimulatedCluster(paper_cluster(1))
+        c.submit(QueryJob(name="q", tasks=[], frontend_latency=0.0), at=42.0)
+        out = c.run()
+        assert out[0].submit_time == 42.0
+
+    def test_on_complete_callback(self):
+        c = SimulatedCluster(paper_cluster(1))
+        seen = []
+        c.submit(
+            QueryJob(name="q", tasks=[], frontend_latency=0.0),
+            on_complete=lambda o: seen.append(o.name),
+        )
+        c.run()
+        assert seen == ["q"]
+
+
+class TestMasterSerialization:
+    def test_dispatch_overhead_linear_in_chunks(self):
+        """HV1's mechanism: master per-chunk cost dominates no-work queries."""
+        spec = paper_cluster(100)
+
+        def elapsed(n_tasks):
+            c = SimulatedCluster(spec)
+            tasks = [ChunkTask(i, result_bytes=0.0) for i in range(n_tasks)]
+            c.submit(QueryJob(name="q", tasks=tasks, frontend_latency=0.0))
+            return c.run()[0].elapsed
+
+        t1000 = elapsed(1000)
+        t2000 = elapsed(2000)
+        assert t2000 / t1000 == pytest.approx(2.0, rel=0.05)
+
+    def test_round_robin_between_queries(self):
+        """Two simultaneous queries interleave dispatch fairly."""
+        spec = paper_cluster(10)
+        c = SimulatedCluster(spec)
+        tasks = lambda: [ChunkTask(i, scan_bytes=50e6) for i in range(40)]
+        c.submit(QueryJob(name="a", tasks=tasks(), frontend_latency=0.0))
+        c.submit(QueryJob(name="b", tasks=tasks(), frontend_latency=0.0))
+        out = {o.name: o.elapsed for o in c.run()}
+        # Fair sharing: both finish at about the same time.
+        assert out["a"] == pytest.approx(out["b"], rel=0.1)
+
+
+class TestDiskModel:
+    def test_lone_cold_scan_at_seq_rate(self):
+        spec = one_node_spec()
+        c = SimulatedCluster(spec)
+        task = ChunkTask(0, scan_bytes=980e6, result_bytes=0.0)
+        c.submit(QueryJob(name="q", tasks=[task], frontend_latency=0.0))
+        assert c.run()[0].elapsed == pytest.approx(10.0, rel=0.01)
+
+    def test_contended_scans_slower(self):
+        """Competing scans drop the node to the contended rate (27 MB/s)."""
+        spec = one_node_spec()
+
+        def run_k(k):
+            c = SimulatedCluster(spec)
+            tasks = [ChunkTask(0, scan_bytes=270e6, result_bytes=0.0) for _ in range(k)]
+            c.submit(QueryJob(name="q", tasks=tasks, frontend_latency=0.0))
+            return c.run()[0].elapsed
+
+        t1 = run_k(1)  # 270 MB alone at 98 MB/s
+        t2 = run_k(2)  # 540 MB at 27 MB/s total
+        assert t1 == pytest.approx(270 / 98, rel=0.02)
+        assert t2 == pytest.approx(540 / 27, rel=0.05)
+
+    def test_cache_warming(self):
+        """Second scan of a resident chunk runs at cached speed."""
+        spec = one_node_spec()
+        c = SimulatedCluster(spec)
+        task = ChunkTask(0, scan_bytes=250e6, result_bytes=0.0, dataset="Object")
+        job = lambda name: QueryJob(
+            name=name, tasks=[ChunkTask(0, scan_bytes=250e6, result_bytes=0.0, dataset="Object")],
+            frontend_latency=0.0, dataset_bytes_per_node=250e6,
+        )
+        c.submit(job("first"), at=0.0)
+        c.submit(job("second"), at=100.0)
+        out = {o.name: o.elapsed for o in c.run()}
+        assert out["first"] == pytest.approx(250 / 98, rel=0.02)
+        assert out["second"] == pytest.approx(1.0, rel=0.02)  # 250 MB at 250 MB/s
+
+    def test_oversized_dataset_not_cached(self):
+        spec = one_node_spec()
+        c = SimulatedCluster(spec)
+        big = spec.node.memory_bytes * 2
+
+        def job(name):
+            return QueryJob(
+                name=name,
+                tasks=[ChunkTask(0, scan_bytes=98e6, result_bytes=0.0, dataset="Source")],
+                frontend_latency=0.0,
+                dataset_bytes_per_node=big,
+            )
+
+        c.submit(job("first"), at=0.0)
+        c.submit(job("second"), at=100.0)
+        out = {o.name: o.elapsed for o in c.run()}
+        assert out["second"] == pytest.approx(out["first"], rel=0.01)
+
+    def test_warm_caches_helper(self):
+        spec = one_node_spec()
+        c = SimulatedCluster(spec)
+        c.warm_caches("Object", [0], 250e6)
+        task = ChunkTask(0, scan_bytes=250e6, result_bytes=0.0, dataset="Object")
+        c.submit(
+            QueryJob(name="q", tasks=[task], frontend_latency=0.0, dataset_bytes_per_node=250e6)
+        )
+        assert c.run()[0].elapsed == pytest.approx(1.0, rel=0.02)
+
+
+class TestFifoQueues:
+    def test_slots_limit_concurrency(self):
+        """5 equal CPU tasks on 4 slots: the fifth waits a full round."""
+        spec = one_node_spec()
+        c = SimulatedCluster(spec)
+        tasks = [
+            ChunkTask(0, cpu_seconds=10.0, result_bytes=0.0) for _ in range(5)
+        ]
+        c.submit(QueryJob(name="q", tasks=tasks, frontend_latency=0.0))
+        out = c.run()
+        assert out[0].elapsed == pytest.approx(20.0, rel=0.01)
+
+    def test_long_queries_hog_the_node(self):
+        """Section 6.4: FIFO with no cost model starves short queries."""
+        spec = one_node_spec()
+        c = SimulatedCluster(spec)
+        long_tasks = [ChunkTask(0, cpu_seconds=50.0, result_bytes=0.0) for _ in range(4)]
+        c.submit(QueryJob(name="long", tasks=long_tasks, frontend_latency=0.0), at=0.0)
+        short = [ChunkTask(0, cpu_seconds=0.1, result_bytes=0.0)]
+        c.submit(QueryJob(name="short", tasks=short, frontend_latency=0.0), at=1.0)
+        out = {o.name: o.elapsed for o in c.run()}
+        # The short query waits for a slot behind the scans.
+        assert out["short"] > 45.0
+
+    def test_task_pinned_to_node(self):
+        spec = paper_cluster(4)
+        c = SimulatedCluster(spec)
+        # Two tasks pinned to node 2 serialize over its slots only if
+        # more tasks than slots; here they run in parallel.
+        tasks = [ChunkTask(0, cpu_seconds=5.0, node=2, result_bytes=0.0) for _ in range(2)]
+        c.submit(QueryJob(name="q", tasks=tasks, frontend_latency=0.0))
+        out = c.run()
+        assert out[0].elapsed == pytest.approx(5.0, rel=0.01)
+        assert c.nodes[2].queue_high_water >= 1
+
+
+class TestDeterminism:
+    def test_identical_runs(self):
+        def run_once():
+            spec = paper_cluster(8)
+            c = SimulatedCluster(spec)
+            for q in range(5):
+                tasks = [ChunkTask(i, scan_bytes=30e6) for i in range(q * 3 + 1)]
+                c.submit(QueryJob(name=f"q{q}", tasks=tasks), at=q * 0.5)
+            return [(o.name, o.completion_time) for o in c.run()]
+
+        assert run_once() == run_once()

@@ -1,0 +1,84 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import EventSimulator
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        sim = EventSimulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion(self):
+        sim = EventSimulator()
+        order = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: order.append(n))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        sim = EventSimulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        end = sim.run()
+        assert seen == [5.0]
+        assert end == 5.0
+
+    def test_callbacks_can_schedule(self):
+        sim = EventSimulator()
+        seen = []
+
+        def first():
+            sim.schedule(1.0, lambda: seen.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == [2.0]
+
+    def test_negative_delay_rejected(self):
+        sim = EventSimulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_at_absolute(self):
+        sim = EventSimulator()
+        seen = []
+        sim.at(4.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [4.0]
+
+    def test_run_until(self):
+        sim = EventSimulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(10.0, lambda: seen.append(10))
+        sim.run(until=5.0)
+        assert seen == [1]
+        assert sim.pending == 1
+        sim.run()
+        assert seen == [1, 10]
+
+    def test_event_count(self):
+        sim = EventSimulator()
+        for _ in range(7):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 7
+
+    def test_deterministic(self):
+        def run_once():
+            sim = EventSimulator()
+            order = []
+            for i in range(50):
+                sim.schedule((i * 7919) % 13 * 0.1, lambda i=i: order.append(i))
+            sim.run()
+            return order
+
+        assert run_once() == run_once()

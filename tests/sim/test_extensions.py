@@ -1,0 +1,213 @@
+"""Tests for the section 7 extensions in the cluster model:
+multi-master dispatch (7.6) and shared scanning (4.3)."""
+
+import pytest
+
+from repro.sim import (
+    ChunkTask,
+    QueryJob,
+    SimulatedCluster,
+    hv1_job,
+    hv2_job,
+    paper_cluster,
+    paper_data_scale,
+)
+
+
+@pytest.fixture(scope="module")
+def scale():
+    return paper_data_scale()
+
+
+class TestMultiMaster:
+    def test_bad_count(self):
+        with pytest.raises(ValueError):
+            SimulatedCluster(paper_cluster(4), num_masters=0)
+
+    def test_hv1_overhead_divides(self, scale):
+        """Section 7.6: more masters divide the per-chunk serial cost."""
+        spec = paper_cluster(150)
+        times = {}
+        for m in (1, 2, 4):
+            c = SimulatedCluster(spec, num_masters=m)
+            c.submit(hv1_job(scale, spec))
+            times[m] = c.run()[0].elapsed
+        # Near-ideal division of the overhead-dominated query.
+        assert times[2] < times[1] * 0.65
+        assert times[4] < times[1] * 0.45
+
+    def test_lv_unaffected(self, scale):
+        """A single-chunk query gains nothing from more masters."""
+        from repro.sim import lv1_job
+
+        spec = paper_cluster(150)
+        ts = []
+        for m in (1, 8):
+            c = SimulatedCluster(spec, num_masters=m)
+            c.submit(lv1_job(scale, spec, chunk_id=7))
+            ts.append(c.run()[0].elapsed)
+        assert ts[0] == pytest.approx(ts[1], rel=0.01)
+
+    def test_answers_complete(self, scale):
+        spec = paper_cluster(10)
+        c = SimulatedCluster(spec, num_masters=3)
+        c.submit(hv1_job(scale, spec))
+        out = c.run()
+        assert len(out) == 1
+        assert out[0].chunks == scale.chunks_in_use(10)
+
+
+class TestSharedScanning:
+    def test_two_scans_share_one_read(self, scale):
+        """Section 4.3: N scan queries in ~one scan's time."""
+        spec = paper_cluster(150)
+
+        def run(shared):
+            c = SimulatedCluster(spec, shared_scanning=shared)
+            c.warm_caches(
+                "Object", range(scale.chunks_in_use(150)), scale.object_bytes_per_node(150)
+            )
+            c.submit(hv2_job(scale, spec, name="a"))
+            c.submit(hv2_job(scale, spec, name="b"))
+            outs = {o.name: o.elapsed for o in c.run()}
+            return outs, sum(n.scans_shared for n in c.nodes)
+
+        fifo, shared_count_fifo = run(False)
+        conv, shared_count = run(True)
+        assert shared_count_fifo == 0
+        assert shared_count == scale.chunks_in_use(150)
+        # FIFO: ~2x each; shared: ~1x each.
+        assert conv["a"] < fifo["a"] * 0.6
+        assert conv["b"] < fifo["b"] * 0.6
+
+    def test_solo_query_unchanged(self, scale):
+        spec = paper_cluster(150)
+        ts = []
+        for shared in (False, True):
+            c = SimulatedCluster(spec, shared_scanning=shared)
+            c.submit(hv2_job(scale, spec))
+            ts.append(c.run()[0].elapsed)
+        assert ts[0] == pytest.approx(ts[1], rel=0.01)
+
+    def test_different_chunks_do_not_share(self):
+        """Sharing requires the same (dataset, chunk) key."""
+        spec = paper_cluster(1)
+        c = SimulatedCluster(spec, shared_scanning=True)
+        tasks = [
+            ChunkTask(chunk_id=0, scan_bytes=50e6, dataset="T", result_bytes=0.0),
+            ChunkTask(chunk_id=1, scan_bytes=50e6, dataset="T", node=0, result_bytes=0.0),
+        ]
+        c.submit(QueryJob(name="q", tasks=tasks, frontend_latency=0.0))
+        c.run()
+        assert c.nodes[0].scans_shared == 0
+
+    def test_datasetless_tasks_never_share(self):
+        spec = paper_cluster(1)
+        c = SimulatedCluster(spec, shared_scanning=True)
+        tasks = [
+            ChunkTask(chunk_id=0, scan_bytes=50e6, dataset=None, result_bytes=0.0)
+            for _ in range(2)
+        ]
+        c.submit(QueryJob(name="q", tasks=tasks, frontend_latency=0.0))
+        c.run()
+        assert c.nodes[0].scans_shared == 0
+
+
+class TestTreeDispatch:
+    """Section 7.6's second proposal: tree-based query management."""
+
+    def test_bad_fanout(self):
+        with pytest.raises(ValueError):
+            SimulatedCluster(paper_cluster(4), tree_fanout=0)
+
+    def test_exclusive_with_multimaster(self):
+        with pytest.raises(ValueError):
+            SimulatedCluster(paper_cluster(4), num_masters=2, tree_fanout=4)
+
+    def test_tree_crushes_dispatch_overhead(self, scale):
+        spec = paper_cluster(150)
+        flat = SimulatedCluster(spec)
+        flat.submit(hv1_job(scale, spec))
+        t_flat = flat.run()[0].elapsed
+        tree = SimulatedCluster(spec, tree_fanout=95)
+        tree.submit(hv1_job(scale, spec))
+        t_tree = tree.run()[0].elapsed
+        assert t_tree < t_flat / 5
+
+    def test_optimum_near_sqrt_chunks(self, scale):
+        """Serial top work is O(G) + O(chunks/G): the sweet spot is
+        near sqrt(chunks), and both extremes are worse."""
+        spec = paper_cluster(150)
+
+        def run(f):
+            c = SimulatedCluster(spec, tree_fanout=f)
+            c.submit(hv1_job(scale, spec))
+            return c.run()[0].elapsed
+
+        near_opt = run(95)
+        assert near_opt < run(10)
+        assert near_opt < run(1000)
+
+    def test_answers_complete_under_tree(self, scale):
+        spec = paper_cluster(10)
+        c = SimulatedCluster(spec, tree_fanout=7)
+        c.submit(hv1_job(scale, spec))
+        out = c.run()
+        assert len(out) == 1
+        assert out[0].chunks == scale.chunks_in_use(10)
+
+    def test_small_query_unhurt(self, scale):
+        from repro.sim import lv1_job
+
+        spec = paper_cluster(150)
+        ts = []
+        for f in (None, 95):
+            c = SimulatedCluster(spec, tree_fanout=f)
+            c.submit(lv1_job(scale, spec, chunk_id=3))
+            ts.append(c.run()[0].elapsed)
+        assert ts[1] == pytest.approx(ts[0], rel=0.05)
+
+
+class TestQuerySkew:
+    """Section 6.4: "query skew -- short queries may land on workers
+    that have or have not finished their work on the high volume
+    queries"."""
+
+    def test_scan_query_has_chunk_skew(self, scale):
+        spec = paper_cluster(150)
+        c = SimulatedCluster(spec)
+        c.submit(hv2_job(scale, spec))
+        out = c.run()[0]
+        assert len(out.chunk_completion_times) == out.chunks
+        # Chunks complete over a wide window, not all at once.
+        assert out.chunk_skew() > 10.0
+
+    def test_single_chunk_query_has_no_skew(self, scale):
+        from repro.sim import lv1_job
+
+        spec = paper_cluster(150)
+        c = SimulatedCluster(spec)
+        c.submit(lv1_job(scale, spec, chunk_id=5))
+        assert c.run()[0].chunk_skew() == 0.0
+
+    def test_skew_explains_lv_latency_spread(self, scale):
+        """Probes landing on busy vs drained workers see wildly
+        different waits -- the Figure 14 explanation, measured."""
+        from repro.sim import lv1_job
+
+        spec = paper_cluster(150)
+        c = SimulatedCluster(spec)
+        # A scan that only occupies the first half of the cluster (a
+        # region-restricted heavy query): workers 0..74 are busy,
+        # workers 75..149 are idle.
+        busy_tasks = [
+            ChunkTask(chunk_id=i, scan_bytes=scale.object_chunk_bytes, node=i % 75)
+            for i in range(60 * 75)
+        ]
+        c.submit(QueryJob(name="halfscan", tasks=busy_tasks))
+        # Probes on a busy worker and on an idle worker, mid-scan.
+        c.submit(lv1_job(scale, spec, chunk_id=0, name="lv-busy"), at=60.0)
+        c.submit(lv1_job(scale, spec, chunk_id=80, name="lv-idle"), at=60.0)
+        outs = {o.name: o.elapsed for o in c.run() if o.name.startswith("lv")}
+        assert outs["lv-idle"] < 5.0
+        assert outs["lv-busy"] > outs["lv-idle"] * 3

@@ -1,0 +1,106 @@
+"""Property tests on the cluster model's conservation laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import ChunkTask, QueryJob, SimulatedCluster, paper_cluster
+
+
+def random_jobs(rng, num_jobs, max_tasks):
+    jobs = []
+    for q in range(num_jobs):
+        tasks = [
+            ChunkTask(
+                chunk_id=int(rng.integers(0, 500)),
+                scan_bytes=float(rng.uniform(0, 50e6)),
+                seeks=int(rng.integers(0, 5)),
+                cpu_seconds=float(rng.uniform(0, 0.5)),
+                result_bytes=float(rng.uniform(0, 1e4)),
+            )
+            for _ in range(int(rng.integers(1, max_tasks + 1)))
+        ]
+        jobs.append(QueryJob(name=f"q{q}", tasks=tasks))
+    return jobs
+
+
+class TestConservation:
+    @given(st.integers(min_value=0, max_value=10**6), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=25, deadline=None)
+    def test_every_submission_completes(self, seed, num_jobs):
+        rng = np.random.default_rng(seed)
+        c = SimulatedCluster(paper_cluster(8))
+        jobs = random_jobs(rng, num_jobs, 12)
+        for i, job in enumerate(jobs):
+            c.submit(job, at=float(i) * 0.3)
+        outcomes = c.run()
+        assert sorted(o.name for o in outcomes) == sorted(j.name for j in jobs)
+        for o, j in zip(sorted(outcomes, key=lambda x: x.name), sorted(jobs, key=lambda x: x.name)):
+            assert o.chunks == len(j.tasks)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_elapsed_at_least_critical_path(self, seed):
+        """No query finishes faster than frontend + its longest task."""
+        rng = np.random.default_rng(seed)
+        spec = paper_cluster(8)
+        c = SimulatedCluster(spec)
+        job = random_jobs(rng, 1, 10)[0]
+        c.submit(job)
+        out = c.run()[0]
+        longest = max(
+            t.seeks * spec.node.seek_time
+            + t.scan_bytes / spec.node.disk_seq_bandwidth
+            + t.cpu_seconds
+            + t.result_bytes / spec.node.network_bandwidth
+            for t in job.tasks
+        )
+        assert out.elapsed >= spec.calibration.frontend_latency + longest - 1e-9
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_time_never_flows_backward(self, seed):
+        rng = np.random.default_rng(seed)
+        c = SimulatedCluster(paper_cluster(4))
+        for i, job in enumerate(random_jobs(rng, 4, 8)):
+            c.submit(job, at=float(i))
+        outcomes = c.run()
+        for o in outcomes:
+            assert o.completion_time >= o.submit_time
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_extensions_do_not_change_completion_set(self, seed):
+        """Shared scanning / multi-master / tree change *when*, not *what*."""
+        rng = np.random.default_rng(seed)
+        jobs = random_jobs(rng, 3, 8)
+
+        def names(**kw):
+            c = SimulatedCluster(paper_cluster(8), **kw)
+            for i, job in enumerate(jobs):
+                c.submit(job, at=float(i) * 0.2)
+            return sorted((o.name, o.chunks) for o in c.run())
+
+        base = names()
+        assert names(shared_scanning=True) == base
+        assert names(num_masters=3) == base
+        assert names(tree_fanout=4) == base
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_more_nodes_never_slower_for_parallel_work(self, seed):
+        """Weak monotonicity: spreading fixed tasks over more nodes
+        cannot increase a lone query's completion time."""
+        rng = np.random.default_rng(seed)
+        tasks = [
+            ChunkTask(chunk_id=i, scan_bytes=float(rng.uniform(1e6, 80e6)))
+            for i in range(16)
+        ]
+
+        def run(n_nodes):
+            c = SimulatedCluster(paper_cluster(n_nodes))
+            c.submit(QueryJob(name="q", tasks=list(tasks)))
+            return c.run()[0].elapsed
+
+        assert run(16) <= run(2) + 1e-9

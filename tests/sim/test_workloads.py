@@ -1,0 +1,188 @@
+"""Tests for the paper-query workload builders and their calibration.
+
+These tests pin the simulated timings to the paper's measured bands --
+they are the executable form of EXPERIMENTS.md's paper-vs-model table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    DataScale,
+    SimulatedCluster,
+    hv1_job,
+    hv2_job,
+    hv3_job,
+    lv1_job,
+    lv2_job,
+    lv3_job,
+    paper_cluster,
+    paper_data_scale,
+    shv1_job,
+    shv2_job,
+)
+
+
+@pytest.fixture(scope="module")
+def scale():
+    return paper_data_scale()
+
+
+def run_one(spec, job, warm_dataset=None, scale=None):
+    c = SimulatedCluster(spec)
+    if warm_dataset is not None:
+        c.warm_caches(
+            warm_dataset,
+            range(scale.chunks_in_use(spec.num_nodes)),
+            scale.object_bytes_per_node(spec.num_nodes),
+        )
+    c.submit(job)
+    return c.run()[0].elapsed
+
+
+class TestDataScale:
+    def test_chunk_subset_scales(self, scale):
+        assert scale.chunks_in_use(150) == scale.total_chunks
+        assert scale.chunks_in_use(75) == pytest.approx(scale.total_chunks / 2, rel=0.01)
+
+    def test_per_node_bytes_constant(self, scale):
+        """Weak scaling: data per node must not vary with cluster size."""
+        per_node = [scale.object_bytes_per_node(n) for n in (40, 100, 150)]
+        assert max(per_node) / min(per_node) < 1.02
+
+    def test_paper_chunk_geometry(self, scale):
+        # ~203 MB and ~189 k rows per Object chunk.
+        assert scale.object_chunk_bytes == pytest.approx(203e6, rel=0.01)
+        assert scale.object_chunk_rows == pytest.approx(189e3, rel=0.01)
+
+    def test_area_coverage(self, scale):
+        assert scale.chunks_for_area(100.0) == 23  # ceil(100/4.5)
+
+
+class TestLowVolumeCalibration:
+    """Figures 2-4: ~4 s per query; cold cache ~8-9 s."""
+
+    def test_lv1_warm(self, scale):
+        spec = paper_cluster(150)
+        t = run_one(spec, lv1_job(scale, spec))
+        assert 3.0 < t < 5.0
+
+    def test_lv1_cold(self, scale):
+        spec = paper_cluster(150)
+        t = run_one(spec, lv1_job(scale, spec, cold=True))
+        assert 7.0 < t < 10.0
+
+    def test_lv2_warm(self, scale):
+        spec = paper_cluster(150)
+        t = run_one(spec, lv2_job(scale, spec))
+        assert 3.0 < t < 5.5
+
+    def test_lv3_warm(self, scale):
+        spec = paper_cluster(150)
+        t = run_one(spec, lv3_job(scale, spec), warm_dataset="Object", scale=scale)
+        assert 3.0 < t < 5.0
+
+    @pytest.mark.parametrize("nodes", [40, 100, 150])
+    def test_weak_scaling_flat(self, scale, nodes):
+        """Figures 8-10: execution time unaffected by node count."""
+        spec = paper_cluster(nodes)
+        t = run_one(spec, lv1_job(scale, spec))
+        spec150 = paper_cluster(150)
+        t150 = run_one(spec150, lv1_job(scale, spec150))
+        assert t == pytest.approx(t150, rel=0.05)
+
+
+class TestHighVolumeCalibration:
+    def test_hv1_at_150(self, scale):
+        """Figure 5: COUNT(*) between 20 and 30 seconds."""
+        spec = paper_cluster(150)
+        t = run_one(spec, hv1_job(scale, spec))
+        assert 20.0 < t < 30.0
+
+    def test_hv1_linear_in_nodes(self, scale):
+        """Figure 11: HV1 grows linearly with chunk count."""
+        times = {}
+        for n in (40, 100, 150):
+            spec = paper_cluster(n)
+            times[n] = run_one(spec, hv1_job(scale, spec))
+        # Compare against a line through the 40- and 150-node points.
+        slope = (times[150] - times[40]) / (150 - 40)
+        predicted_100 = times[40] + slope * 60
+        assert times[100] == pytest.approx(predicted_100, rel=0.1)
+
+    def test_hv2_uncached(self, scale):
+        """Figure 6: ~7 minutes uncached (27 MB/s/node effective)."""
+        spec = paper_cluster(150)
+        t = run_one(spec, hv2_job(scale, spec))
+        assert 6 * 60 < t < 9 * 60
+
+    def test_hv2_cached(self, scale):
+        """Figure 6: 2.5-3 minutes for cached runs."""
+        spec = paper_cluster(150)
+        t = run_one(spec, hv2_job(scale, spec), warm_dataset="Object", scale=scale)
+        assert 2.2 * 60 < t < 3.5 * 60
+
+    def test_hv2_roughly_flat_in_nodes(self, scale):
+        """Figure 11: HV2 'approximately exhibits the flat behavior'."""
+        times = [
+            run_one(paper_cluster(n), hv2_job(scale, paper_cluster(n)))
+            for n in (40, 100, 150)
+        ]
+        assert max(times) / min(times) < 1.15
+
+    def test_hv3_not_slower_than_hv2(self, scale):
+        """Figure 7: HV3 is faster thanks to smaller results."""
+        spec = paper_cluster(150)
+        t2 = run_one(spec, hv2_job(scale, spec))
+        t3 = run_one(spec, hv3_job(scale, spec))
+        assert t3 <= t2 * 1.02
+
+
+class TestSuperHighVolumeCalibration:
+    def test_shv1_band(self, scale):
+        """In-text: 667.19 s and 660.25 s over 100 deg^2."""
+        spec = paper_cluster(150)
+        t = run_one(spec, shv1_job(scale, spec))
+        assert 550 < t < 800
+
+    def test_shv2_band(self, scale):
+        """In-text: 5:20:38, 2:06:56, 2:41:03 over 150 deg^2."""
+        spec = paper_cluster(150)
+        ts = [
+            run_one(spec, shv2_job(scale, spec, density_factor=d))
+            for d in (0.85, 1.0, 1.3)
+        ]
+        for t in ts:
+            assert 1.8 * 3600 < t < 5.5 * 3600
+
+    def test_shv1_density_increases_time(self, scale):
+        spec = paper_cluster(150)
+        t_lo = run_one(spec, shv1_job(scale, spec, density_factor=0.8))
+        t_hi = run_one(spec, shv1_job(scale, spec, density_factor=1.2))
+        assert t_hi > t_lo
+
+
+class TestConcurrency:
+    """Figure 14's mechanisms."""
+
+    def test_two_hv2_double_each(self, scale):
+        spec = paper_cluster(150)
+        solo = run_one(spec, hv2_job(scale, spec), warm_dataset="Object", scale=scale)
+        c = SimulatedCluster(spec)
+        c.warm_caches("Object", range(scale.chunks_in_use(150)), scale.object_bytes_per_node(150))
+        c.submit(hv2_job(scale, spec, name="a"))
+        c.submit(hv2_job(scale, spec, name="b"))
+        out = {o.name: o.elapsed for o in c.run()}
+        assert out["a"] == pytest.approx(2 * solo, rel=0.1)
+        assert out["b"] == pytest.approx(2 * solo, rel=0.1)
+
+    def test_lv_stuck_behind_scans(self, scale):
+        """Interactive queries queue behind scans (no query-cost model)."""
+        spec = paper_cluster(150)
+        c = SimulatedCluster(spec)
+        c.warm_caches("Object", range(scale.chunks_in_use(150)), scale.object_bytes_per_node(150))
+        c.submit(hv2_job(scale, spec, name="scan"))
+        c.submit(lv1_job(scale, spec, chunk_id=77, name="lv"), at=30.0)
+        out = {o.name: o.elapsed for o in c.run()}
+        solo_lv = run_one(spec, lv1_job(scale, spec, chunk_id=77))
+        assert out["lv"] > 3 * solo_lv

@@ -1,0 +1,150 @@
+"""Tests for SphericalCircle (cone search regions)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sphgeom import Relationship, SphericalBox, SphericalCircle, angular_separation
+
+ras = st.floats(min_value=0.0, max_value=359.999, allow_nan=False)
+decs = st.floats(min_value=-89.0, max_value=89.0, allow_nan=False)
+radii = st.floats(min_value=0.001, max_value=30.0, allow_nan=False)
+
+
+class TestContains:
+    def test_center(self):
+        assert SphericalCircle(10, 10, 1.0).contains(10, 10)
+
+    def test_inside(self):
+        assert SphericalCircle(10, 10, 1.0).contains(10.5, 10)
+
+    def test_outside(self):
+        assert not SphericalCircle(10, 10, 1.0).contains(12, 10)
+
+    def test_boundary_inclusive(self):
+        c = SphericalCircle(0, 0, 1.0)
+        assert c.contains(1.0, 0.0)
+
+    def test_vectorized(self):
+        c = SphericalCircle(0, 0, 1.0)
+        out = c.contains(np.array([0.0, 0.5, 3.0]), np.array([0.0, 0.0, 0.0]))
+        np.testing.assert_array_equal(out, [True, True, False])
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            SphericalCircle(0, 0, -1)
+
+    @given(ras, decs, radii, ras, decs)
+    def test_contains_matches_separation(self, ra, dec, r, pra, pdec):
+        c = SphericalCircle(ra, dec, r)
+        sep = angular_separation(ra, dec, pra, pdec)
+        if sep < r * 0.999:
+            assert c.contains(pra, pdec)
+        elif sep > r * 1.001 and sep - r > 1e-9:
+            assert not c.contains(pra, pdec)
+
+
+class TestBoundingBox:
+    def test_equatorial(self):
+        bb = SphericalCircle(10, 0, 2.0).bounding_box()
+        assert bb.dec_min == pytest.approx(-2.0)
+        assert bb.dec_max == pytest.approx(2.0)
+        assert bb.ra_extent() >= 4.0
+
+    def test_contains_pole(self):
+        bb = SphericalCircle(10, 89.5, 2.0).bounding_box()
+        assert bb.full_ra
+        assert bb.dec_max == 90.0
+
+    @given(ras, decs, radii)
+    def test_box_covers_circle(self, ra, dec, r):
+        c = SphericalCircle(ra, dec, r)
+        bb = c.bounding_box()
+        # Sample the circle rim; all rim points must be inside the box.
+        for theta in np.linspace(0, 2 * np.pi, 16, endpoint=False):
+            # Displace along dec and scaled-ra directions (approximate rim).
+            ddec = r * np.sin(theta) * 0.999
+            pdec = np.clip(dec + ddec, -90, 90)
+            cosd = np.cos(np.deg2rad(pdec))
+            if cosd < 0.05:
+                continue
+            pra = ra + r * np.cos(theta) / cosd * 0.97
+            if angular_separation(ra, dec, pra, pdec) <= r:
+                assert bb.contains(pra, pdec)
+
+
+class TestArea:
+    def test_full_sphere(self):
+        assert SphericalCircle(0, 0, 180).area() == pytest.approx(41252.96, rel=1e-4)
+
+    def test_hemisphere(self):
+        assert SphericalCircle(0, 0, 90).area() == pytest.approx(41252.96 / 2, rel=1e-4)
+
+    def test_small_circle_is_pi_r2(self):
+        a = SphericalCircle(0, 0, 0.1).area()
+        assert a == pytest.approx(np.pi * 0.1**2, rel=1e-3)
+
+
+class TestRelate:
+    def test_disjoint_circles(self):
+        a = SphericalCircle(0, 0, 1)
+        b = SphericalCircle(10, 0, 1)
+        assert a.relate(b) is Relationship.DISJOINT
+
+    def test_intersecting_circles(self):
+        a = SphericalCircle(0, 0, 1)
+        b = SphericalCircle(1.5, 0, 1)
+        assert a.relate(b) is Relationship.INTERSECTS
+
+    def test_containing_circle(self):
+        a = SphericalCircle(0, 0, 5)
+        b = SphericalCircle(0.5, 0, 1)
+        assert a.relate(b) is Relationship.CONTAINS
+        assert b.relate(a) is Relationship.WITHIN
+
+    def test_circle_box_disjoint(self):
+        c = SphericalCircle(0, 0, 1)
+        box = SphericalBox(50, 50, 60, 60)
+        assert c.relate(box) is Relationship.DISJOINT
+
+    def test_circle_box_intersects(self):
+        c = SphericalCircle(5, 5, 2)
+        box = SphericalBox(0, 0, 10, 10)
+        assert c.intersects(box)
+
+    def test_circle_contains_small_box(self):
+        c = SphericalCircle(5, 5, 10)
+        box = SphericalBox(4, 4, 6, 6)
+        assert c.relate(box) is Relationship.CONTAINS
+
+    @given(ras, decs, radii, ras, decs, radii)
+    def test_disjoint_never_wrong(self, ra1, dec1, r1, ra2, dec2, r2):
+        """DISJOINT must be conservative: centers inside the other refute it."""
+        a = SphericalCircle(ra1, dec1, r1)
+        b = SphericalCircle(ra2, dec2, r2)
+        if a.relate(b) is Relationship.DISJOINT:
+            sep = angular_separation(ra1, dec1, ra2, dec2)
+            assert sep > r1 + r2 - 1e-9
+
+
+class TestDilated:
+    def test_radius_grows(self):
+        c = SphericalCircle(10, 20, 1.0).dilated(0.5)
+        assert c.radius == pytest.approx(1.5)
+        assert (c.ra, c.dec) == (10, 20)
+
+    def test_zero_is_same(self):
+        c = SphericalCircle(10, 20, 1.0)
+        assert c.dilated(0.0) == c
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SphericalCircle(0, 0, 1).dilated(-0.1)
+
+    def test_covers_nearby_points(self):
+        c = SphericalCircle(0, 0, 1.0)
+        d = c.dilated(0.5)
+        # A point 1.4 deg out is beyond c but inside the dilation.
+        assert not c.contains(1.4, 0.0)
+        assert d.contains(1.4, 0.0)

@@ -1,0 +1,173 @@
+"""Tests for the Hierarchical Triangular Mesh pixelization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sphgeom import HtmPixelization, SphericalBox, SphericalCircle
+
+ras = st.floats(min_value=0.0, max_value=359.999, allow_nan=False)
+decs = st.floats(min_value=-89.999, max_value=89.999, allow_nan=False)
+
+FULL_SKY_DEG2 = 4 * np.pi * (180 / np.pi) ** 2
+
+
+class TestIdScheme:
+    def test_level0_count(self):
+        assert HtmPixelization(0).num_trixels == 8
+
+    def test_level3_count(self):
+        assert HtmPixelization(3).num_trixels == 8 * 64
+
+    def test_id_range_level0(self):
+        assert HtmPixelization(0).id_range() == (8, 16)
+
+    def test_id_range_level2(self):
+        assert HtmPixelization(2).id_range() == (128, 256)
+
+    def test_level_of(self):
+        assert HtmPixelization.level_of(8) == 0
+        assert HtmPixelization.level_of(15) == 0
+        assert HtmPixelization.level_of(32) == 1
+        assert HtmPixelization.level_of(128) == 2
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            HtmPixelization(-1)
+        with pytest.raises(ValueError):
+            HtmPixelization(25)
+
+    def test_invalid_id_rejected(self):
+        with pytest.raises(ValueError):
+            HtmPixelization.level_of(3)
+
+
+class TestIndexPoints:
+    def test_scalar_returns_int(self):
+        tid = HtmPixelization(5).index_points(10.0, 10.0)
+        assert isinstance(tid, int)
+
+    def test_ids_in_range(self):
+        pix = HtmPixelization(4)
+        rng = np.random.default_rng(42)
+        ra = rng.uniform(0, 360, 500)
+        dec = np.rad2deg(np.arcsin(rng.uniform(-1, 1, 500)))
+        ids = pix.index_points(ra, dec)
+        lo, hi = pix.id_range()
+        assert ids.min() >= lo and ids.max() < hi
+
+    def test_poles_resolve(self):
+        pix = HtmPixelization(6)
+        north = pix.index_points(0.0, 90.0)
+        south = pix.index_points(0.0, -90.0)
+        lo, hi = pix.id_range()
+        assert lo <= north < hi
+        assert lo <= south < hi
+        assert north != south
+
+    def test_level0_octants(self):
+        pix = HtmPixelization(0)
+        # A point at (45, 45) is in the northern octant containing v1,v0,v2 -> N3=15.
+        assert pix.index_points(45.0, 45.0) == 15
+        # (45, -45) is in S0 = 8.
+        assert pix.index_points(45.0, -45.0) == 8
+
+    def test_parent_child_consistency(self):
+        """Indexing at level L then truncating 2 bits gives the level L-1 id."""
+        rng = np.random.default_rng(7)
+        ra = rng.uniform(0, 360, 200)
+        dec = np.rad2deg(np.arcsin(rng.uniform(-1, 1, 200)))
+        fine = HtmPixelization(6).index_points(ra, dec)
+        coarse = HtmPixelization(5).index_points(ra, dec)
+        np.testing.assert_array_equal(fine >> 2, coarse)
+
+    @given(ras, decs)
+    @settings(max_examples=60)
+    def test_point_inside_returned_trixel(self, ra, dec):
+        pix = HtmPixelization(5)
+        tid = pix.index_points(ra, dec)
+        verts = pix.trixel_vertices(tid)
+        from repro.sphgeom.coords import unit_vector
+
+        p = unit_vector(ra, dec)
+        # Inside (with tolerance) of all three bounding planes.
+        a, b, c = verts
+        for u, w in ((a, b), (b, c), (c, a)):
+            assert float(p @ np.cross(u, w)) >= -1e-9
+
+
+class TestTrixelGeometry:
+    def test_root_vertices_are_units(self):
+        pix = HtmPixelization(0)
+        for tid in range(8, 16):
+            verts = pix.trixel_vertices(tid)
+            np.testing.assert_allclose(np.linalg.norm(verts, axis=1), 1.0, atol=1e-12)
+
+    def test_root_areas_equal_octants(self):
+        pix = HtmPixelization(0)
+        for tid in range(8, 16):
+            assert pix.trixel_area(tid) == pytest.approx(FULL_SKY_DEG2 / 8, rel=1e-9)
+
+    def test_areas_sum_to_sphere_level2(self):
+        pix = HtmPixelization(2)
+        lo, hi = pix.id_range()
+        total = sum(pix.trixel_area(t) for t in range(lo, hi))
+        assert total == pytest.approx(FULL_SKY_DEG2, rel=1e-9)
+
+    def test_area_variation_much_lower_than_boxes(self):
+        """Section 7.5: HTM partitions vary in area far less than ra/dec boxes."""
+        pix = HtmPixelization(3)
+        lo, hi = pix.id_range()
+        areas = np.array([pix.trixel_area(t) for t in range(lo, hi)])
+        htm_ratio = areas.max() / areas.min()
+        # Equal-angle dec stripes of the same count: top stripe is tiny.
+        nstripes = 32
+        edges = np.linspace(-90, 90, nstripes + 1)
+        box_areas = np.array(
+            [SphericalBox(0, lod, 11.25, hid).area() for lod, hid in zip(edges[:-1], edges[1:])]
+        )
+        box_ratio = box_areas.max() / box_areas.min()
+        assert htm_ratio < box_ratio / 3
+
+    def test_trixel_center_inside(self):
+        pix = HtmPixelization(4)
+        tid = pix.index_points(33.0, 12.0)
+        cra, cdec = pix.trixel_center(tid)
+        assert pix.index_points(cra, cdec) == tid
+
+
+class TestEnvelope:
+    def test_full_sky_envelope_is_everything(self):
+        pix = HtmPixelization(2)
+        ids = pix.envelope(SphericalBox.full_sky())
+        lo, hi = pix.id_range()
+        assert len(ids) == hi - lo
+
+    def test_small_circle_envelope_small(self):
+        pix = HtmPixelization(6)
+        ids = pix.envelope(SphericalCircle(45, 20, 0.5))
+        assert 0 < len(ids) < 64
+
+    def test_envelope_covers_contained_points(self):
+        """Every point in the region indexes to a trixel in the envelope."""
+        pix = HtmPixelization(5)
+        region = SphericalBox(10, 10, 20, 20)
+        ids = set(pix.envelope(region).tolist())
+        rng = np.random.default_rng(3)
+        ra = rng.uniform(10, 20, 300)
+        dec = rng.uniform(10, 20, 300)
+        pts = pix.index_points(ra, dec)
+        assert set(pts.tolist()) <= ids
+
+    def test_envelope_sorted_unique(self):
+        pix = HtmPixelization(4)
+        ids = pix.envelope(SphericalCircle(0, 0, 5))
+        assert np.all(np.diff(ids) > 0)
+
+    def test_wrapping_box_envelope(self):
+        pix = HtmPixelization(5)
+        region = SphericalBox(358, -7, 365, 7)  # PT1.1 footprint
+        ids = set(pix.envelope(region).tolist())
+        pts = pix.index_points(np.array([359.0, 1.0, 0.5]), np.array([0.0, 0.0, 5.0]))
+        assert set(pts.tolist()) <= ids

@@ -1,0 +1,175 @@
+"""Tests for convex spherical polygons and the areaspec_poly path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sphgeom import (
+    Relationship,
+    SphericalBox,
+    SphericalConvexPolygon,
+    angular_separation,
+)
+
+SQUARE = [(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]
+
+
+class TestConstruction:
+    def test_triangle(self):
+        p = SphericalConvexPolygon([(0, 0), (10, 0), (5, 10)])
+        assert len(p.vertices) == 3
+
+    def test_too_few_vertices(self):
+        with pytest.raises(ValueError):
+            SphericalConvexPolygon([(0, 0), (10, 0)])
+
+    def test_winding_order_irrelevant(self):
+        cw = SphericalConvexPolygon(list(reversed(SQUARE)))
+        ccw = SphericalConvexPolygon(SQUARE)
+        assert cw.contains(5, 5) and ccw.contains(5, 5)
+
+    def test_non_convex_rejected(self):
+        with pytest.raises(ValueError):
+            SphericalConvexPolygon([(0, 0), (10, 0), (5, 2), (10, 10), (0, 10)])
+
+    def test_degenerate_edge_rejected(self):
+        with pytest.raises(ValueError):
+            SphericalConvexPolygon([(0, 0), (0, 0), (10, 10)])
+
+
+class TestContains:
+    def test_inside(self):
+        p = SphericalConvexPolygon(SQUARE)
+        assert p.contains(5, 5)
+
+    def test_outside(self):
+        p = SphericalConvexPolygon(SQUARE)
+        assert not p.contains(15, 5)
+        assert not p.contains(5, -1)
+
+    def test_vertex_inclusive(self):
+        p = SphericalConvexPolygon(SQUARE)
+        assert p.contains(0, 0)
+
+    def test_vectorized(self):
+        p = SphericalConvexPolygon(SQUARE)
+        out = p.contains(np.array([5.0, 15.0]), np.array([5.0, 5.0]))
+        np.testing.assert_array_equal(out, [True, False])
+
+    def test_meridian_crossing_polygon(self):
+        p = SphericalConvexPolygon([(355, -3), (5, -3), (5, 3), (355, 3)])
+        assert p.contains(0, 0)
+        assert p.contains(359, 2)
+        assert not p.contains(10, 0)
+
+    @given(
+        st.floats(min_value=0.5, max_value=9.5),
+        st.floats(min_value=0.5, max_value=9.5),
+    )
+    @settings(max_examples=50)
+    def test_square_membership_matches_box(self, ra, dec):
+        """Away from edges, the small polygon agrees with the lat/long box."""
+        p = SphericalConvexPolygon(SQUARE)
+        box = SphericalBox(0, 0, 10, 10)
+        # Edges differ slightly (great circles vs parallels); stay clear.
+        if 0.3 < dec < 9.0 and 0.3 < ra < 9.7:
+            assert p.contains(ra, dec) == box.contains(ra, dec)
+
+
+class TestGeometry:
+    def test_area_of_octant(self):
+        # The octant (0,0), (90,0), (0,90) is 1/8 of the sphere.
+        p = SphericalConvexPolygon([(0, 0), (90, 0), (0, 90)])
+        assert p.area() == pytest.approx(41252.96 / 8, rel=1e-6)
+
+    def test_small_square_area(self):
+        p = SphericalConvexPolygon(SQUARE)
+        assert p.area() == pytest.approx(SphericalBox(0, 0, 10, 10).area(), rel=0.02)
+
+    def test_bounding_circle_covers_vertices(self):
+        p = SphericalConvexPolygon(SQUARE)
+        bc = p.bounding_circle()
+        for r, d in SQUARE:
+            assert bc.contains(r, d)
+
+    def test_bounding_box_covers_polygon(self):
+        p = SphericalConvexPolygon(SQUARE)
+        bb = p.bounding_box()
+        rng = np.random.default_rng(1)
+        ra = rng.uniform(0, 10, 100)
+        dec = rng.uniform(0, 10, 100)
+        inside = p.contains(ra, dec)
+        assert bb.contains(ra[inside], dec[inside]).all()
+
+
+class TestRelate:
+    def test_disjoint(self):
+        p = SphericalConvexPolygon(SQUARE)
+        far = SphericalBox(100, 40, 120, 60)
+        assert p.relate(far) is Relationship.DISJOINT
+
+    def test_intersects(self):
+        p = SphericalConvexPolygon(SQUARE)
+        box = SphericalBox(5, 5, 15, 15)
+        assert p.intersects(box)
+
+    def test_contains_small_box(self):
+        p = SphericalConvexPolygon(SQUARE)
+        box = SphericalBox(4, 4, 6, 6)
+        assert p.relate(box) is Relationship.CONTAINS
+
+
+class TestQservIntegration:
+    def test_udf(self):
+        from repro.sql.functions import call_function
+
+        out = call_function(
+            "qserv_ptInSphericalPoly",
+            [np.array([5.0, 15.0]), np.array([5.0, 5.0]), 0, 0, 10, 0, 10, 10, 0, 10],
+        )
+        np.testing.assert_array_equal(out, [1, 0])
+
+    def test_udf_bad_arity(self):
+        from repro.sql.functions import call_function
+
+        with pytest.raises(ValueError):
+            call_function("qserv_ptInSphericalPoly", [0, 0, 1, 1, 2, 2])
+
+    def test_analysis_extracts_poly(self):
+        from repro.qserv import CatalogMetadata, analyze
+
+        md = CatalogMetadata.lsst_default()
+        a = analyze(
+            "SELECT COUNT(*) FROM Object "
+            "WHERE qserv_areaspec_poly(0, 0, 10, 0, 10, 10, 0, 10)",
+            md,
+        )
+        assert isinstance(a.region, SphericalConvexPolygon)
+
+    def test_analysis_rejects_bad_poly(self):
+        from repro.qserv import CatalogMetadata, QservAnalysisError, analyze
+
+        md = CatalogMetadata.lsst_default()
+        with pytest.raises(QservAnalysisError):
+            analyze(
+                "SELECT COUNT(*) FROM Object WHERE qserv_areaspec_poly(0, 0, 10, 0)",
+                md,
+            )
+
+    def test_end_to_end_polygon_query(self):
+        """A polygon-restricted aggregate through the whole stack."""
+        from repro.data import build_testbed
+
+        tb = build_testbed(num_workers=2, num_objects=800, seed=71)
+        obj = tb.tables["Object"]
+        poly = SphericalConvexPolygon([(0, -6), (4, -6), (4, 5), (0, 5)])
+        expected = int(
+            np.count_nonzero(poly.contains(obj.column("ra_PS"), obj.column("decl_PS")))
+        )
+        r = tb.query(
+            "SELECT COUNT(*) FROM Object "
+            "WHERE qserv_areaspec_poly(0, -6, 4, -6, 4, 5, 0, 5)"
+        )
+        assert int(r.table.column("COUNT(*)")[0]) == expected
+        assert r.stats.used_region_restriction

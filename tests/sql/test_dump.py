@@ -1,0 +1,133 @@
+"""Tests for mysqldump-style serialization (the results-transfer protocol)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import Database, Table, dump_table, load_dump
+from repro.sql.dump import ROWS_PER_INSERT, dump_size_bytes
+
+
+def roundtrip(table):
+    text = dump_table(table)
+    db = Database()
+    name = load_dump(db, text)
+    return db.get_table(name)
+
+
+class TestDump:
+    def test_contains_protocol_statements(self):
+        t = Table("res", {"a": np.array([1, 2])})
+        text = dump_table(t)
+        assert "DROP TABLE IF EXISTS res;" in text
+        assert "CREATE TABLE res (a BIGINT);" in text
+        assert "INSERT INTO res VALUES" in text
+
+    def test_custom_name(self):
+        t = Table("res", {"a": np.array([1])})
+        assert "CREATE TABLE result_ab12" in dump_table(t, "result_ab12")
+
+    def test_empty_table_no_insert(self):
+        t = Table("res", {"a": np.empty(0, dtype=np.int64)})
+        text = dump_table(t)
+        assert "INSERT" not in text
+
+    def test_batching(self):
+        n = ROWS_PER_INSERT * 2 + 10
+        t = Table("res", {"a": np.arange(n)})
+        text = dump_table(t)
+        assert text.count("INSERT INTO") == 3
+
+    def test_nan_becomes_null(self):
+        t = Table("res", {"x": np.array([np.nan])})
+        assert "NULL" in dump_table(t)
+
+    def test_string_escaping(self):
+        t = Table("res", {"s": np.array(["it's"], dtype=object)})
+        assert r"'it\'s'" in dump_table(t)
+
+    def test_size_bytes(self):
+        t = Table("res", {"a": np.arange(5)})
+        assert dump_size_bytes(t) == len(dump_table(t).encode())
+
+
+class TestRoundTrip:
+    def test_ints(self):
+        t = Table("r", {"a": np.array([1, -2, 3])})
+        out = roundtrip(t)
+        np.testing.assert_array_equal(out.column("a"), [1, -2, 3])
+        assert out.column("a").dtype == np.int64
+
+    def test_floats(self):
+        t = Table("r", {"x": np.array([1.5, -2.25, 1e-17])})
+        out = roundtrip(t)
+        np.testing.assert_array_equal(out.column("x"), [1.5, -2.25, 1e-17])
+
+    def test_float_full_precision(self):
+        # repr() round-trips doubles exactly; the protocol depends on it.
+        val = 0.1 + 0.2
+        t = Table("r", {"x": np.array([val])})
+        assert roundtrip(t).column("x")[0] == val
+
+    def test_nan(self):
+        t = Table("r", {"x": np.array([np.nan, 1.0])})
+        out = roundtrip(t)
+        assert np.isnan(out.column("x")[0])
+
+    def test_strings(self):
+        t = Table("r", {"s": np.array(["a", "b c", "d'e"], dtype=object)})
+        out = roundtrip(t)
+        assert list(out.column("s")) == ["a", "b c", "d'e"]
+
+    def test_bools(self):
+        t = Table("r", {"b": np.array([True, False])})
+        out = roundtrip(t)
+        np.testing.assert_array_equal(out.column("b"), [1, 0])
+
+    def test_mixed_columns(self):
+        t = Table(
+            "r",
+            {
+                "i": np.array([1, 2]),
+                "f": np.array([1.5, 2.5]),
+                "s": np.array(["x", "y"], dtype=object),
+            },
+        )
+        out = roundtrip(t)
+        assert out.num_rows == 2
+        assert out.column_names == ["i", "f", "s"]
+
+    def test_replay_is_idempotent(self):
+        """DROP TABLE IF EXISTS makes a dump safe to replay."""
+        t = Table("r", {"a": np.array([1, 2])})
+        text = dump_table(t)
+        db = Database()
+        load_dump(db, text)
+        load_dump(db, text)
+        assert db.get_table("r").num_rows == 2
+
+    def test_load_requires_create(self):
+        db = Database()
+        with pytest.raises(ValueError):
+            load_dump(db, "SELECT 1")
+
+    @given(
+        st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=64),
+            min_size=0,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_floats_roundtrip_exactly(self, values):
+        t = Table("r", {"x": np.array(values, dtype=np.float64)})
+        out = roundtrip(t)
+        np.testing.assert_array_equal(out.column("x"), np.array(values))
+
+    @given(st.lists(st.integers(min_value=-(2**62), max_value=2**62), max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_property_ints_roundtrip_exactly(self, values):
+        t = Table("r", {"x": np.array(values, dtype=np.int64)})
+        out = roundtrip(t)
+        np.testing.assert_array_equal(out.column("x"), np.array(values, dtype=np.int64))

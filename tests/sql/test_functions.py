@@ -1,0 +1,150 @@
+"""Tests for the scalar-function registry and the Qserv worker UDFs."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sql.functions import FUNCTIONS, call_function, register_function
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert call_function("count", []) if "COUNT" in FUNCTIONS else True
+        assert call_function("ABS", [-2]) == 2
+        assert call_function("abs", [-2]) == 2
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            call_function("NOPE", [])
+
+    def test_register_decorator(self):
+        @register_function("TEST_DOUBLE_IT")
+        def double_it(x):
+            return 2 * np.asarray(x)
+
+        assert call_function("test_double_it", [3]) == 6
+        del FUNCTIONS["TEST_DOUBLE_IT"]
+
+
+class TestGenericFunctions:
+    def test_sqrt_vector(self):
+        np.testing.assert_allclose(call_function("SQRT", [np.array([4.0, 9.0])]), [2, 3])
+
+    def test_sqrt_negative_is_nan(self):
+        assert np.isnan(call_function("SQRT", [np.array([-1.0])])[0])
+
+    def test_pow(self):
+        assert call_function("POW", [2, 10]) == 1024
+
+    def test_log10(self):
+        assert call_function("LOG10", [100.0]) == pytest.approx(2.0)
+
+    def test_floor_ceil(self):
+        assert call_function("FLOOR", [2.7]) == 2
+        assert call_function("CEIL", [2.1]) == 3
+
+    def test_least_greatest(self):
+        np.testing.assert_array_equal(
+            call_function("LEAST", [np.array([1, 5]), np.array([3, 2])]), [1, 2]
+        )
+        np.testing.assert_array_equal(
+            call_function("GREATEST", [np.array([1, 5]), np.array([3, 2])]), [3, 5]
+        )
+
+    def test_if(self):
+        np.testing.assert_array_equal(
+            call_function("IF", [np.array([True, False]), 1, 0]), [1, 0]
+        )
+
+    def test_coalesce(self):
+        out = call_function("COALESCE", [np.array([np.nan, 2.0]), 7.0])
+        np.testing.assert_array_equal(out, [7.0, 2.0])
+
+    def test_like(self):
+        out = call_function("LIKE", [np.array(["abc", "abd", "xbc"], dtype=object), "ab%"])
+        np.testing.assert_array_equal(out, [True, True, False])
+
+    def test_like_underscore(self):
+        assert call_function("LIKE", ["abc", "a_c"])
+
+    def test_mod(self):
+        assert call_function("MOD", [7, 3]) == 1
+
+
+class TestFluxToAbMag:
+    def test_reference_value(self):
+        # 3631 Jy is the AB zero-flux: magnitude 0.
+        assert call_function("fluxToAbMag", [3631.0]) == pytest.approx(0.0, abs=1e-3)
+
+    def test_fainter_is_bigger(self):
+        bright = call_function("fluxToAbMag", [1e-3])
+        faint = call_function("fluxToAbMag", [1e-5])
+        assert faint > bright
+
+    def test_vectorized(self):
+        out = call_function("fluxToAbMag", [np.array([1.0, 10.0])])
+        assert out[0] - out[1] == pytest.approx(2.5)
+
+    def test_nonpositive_flux_is_nan(self):
+        out = call_function("fluxToAbMag", [np.array([0.0, -1.0])])
+        assert np.isnan(out[1]) and np.isinf(out[0])
+
+    @given(st.floats(min_value=1e-9, max_value=1e6))
+    def test_roundtrip_with_abMagToFlux(self, flux):
+        mag = call_function("fluxToAbMag", [flux])
+        back = call_function("abMagToFlux", [mag])
+        assert back == pytest.approx(flux, rel=1e-9)
+
+    def test_sigma_propagation(self):
+        # dm = 2.5/ln(10) * sigma_f / f
+        out = call_function("fluxToAbMagSigma", [100.0, 1.0])
+        assert out == pytest.approx(2.5 / np.log(10) / 100.0)
+
+
+class TestSphericalUdfs:
+    def test_angsep_zero(self):
+        assert call_function("qserv_angSep", [10, 20, 10, 20]) == 0.0
+
+    def test_angsep_matches_sphgeom(self):
+        from repro.sphgeom import angular_separation
+
+        assert call_function("qserv_angSep", [0, 0, 3, 4]) == pytest.approx(
+            angular_separation(0, 0, 3, 4)
+        )
+
+    def test_angsep_vectorized(self):
+        out = call_function(
+            "qserv_angSep", [np.zeros(3), np.zeros(3), np.array([0.0, 1.0, 2.0]), np.zeros(3)]
+        )
+        np.testing.assert_allclose(out, [0, 1, 2], atol=1e-9)
+
+    def test_scisql_alias(self):
+        assert call_function("scisql_angSep", [0, 0, 1, 0]) == pytest.approx(1.0)
+
+    def test_pt_in_box_scalar(self):
+        assert call_function("qserv_ptInSphericalBox", [5, 5, 0, 0, 10, 10]) == 1
+        assert call_function("qserv_ptInSphericalBox", [15, 5, 0, 0, 10, 10]) == 0
+
+    def test_pt_in_box_vector(self):
+        out = call_function(
+            "qserv_ptInSphericalBox",
+            [np.array([5.0, 15.0]), np.array([5.0, 5.0]), 0, 0, 10, 10],
+        )
+        np.testing.assert_array_equal(out, [1, 0])
+        assert out.dtype == np.int64
+
+    def test_pt_in_box_wraparound(self):
+        # Box crossing RA 0 (the PT1.1 footprint shape).
+        assert call_function("qserv_ptInSphericalBox", [1.0, 0.0, 358, -7, 365, 7]) == 1
+
+    def test_pt_in_circle(self):
+        assert call_function("qserv_ptInSphericalCircle", [1.0, 0.0, 0, 0, 2.0]) == 1
+        assert call_function("qserv_ptInSphericalCircle", [5.0, 0.0, 0, 0, 2.0]) == 0
+
+    def test_pt_in_circle_vector(self):
+        out = call_function(
+            "qserv_ptInSphericalCircle",
+            [np.array([1.0, 5.0]), np.zeros(2), 0, 0, 2.0],
+        )
+        np.testing.assert_array_equal(out, [1, 0])

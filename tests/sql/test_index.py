@@ -1,0 +1,77 @@
+"""Tests for hash and sorted indexes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql.index import HashIndex, SortedIndex
+
+
+class TestHashIndex:
+    def test_lookup_unique(self):
+        idx = HashIndex(np.array([10, 20, 30]))
+        np.testing.assert_array_equal(idx.lookup(20), [1])
+
+    def test_lookup_duplicates(self):
+        idx = HashIndex(np.array([5, 3, 5, 3, 5]))
+        np.testing.assert_array_equal(idx.lookup(5), [0, 2, 4])
+        np.testing.assert_array_equal(idx.lookup(3), [1, 3])
+
+    def test_lookup_missing(self):
+        idx = HashIndex(np.array([1, 2, 3]))
+        assert len(idx.lookup(99)) == 0
+
+    def test_lookup_many(self):
+        idx = HashIndex(np.array([1, 2, 3, 2, 1]))
+        np.testing.assert_array_equal(idx.lookup_many([1, 3]), [0, 2, 4])
+
+    def test_lookup_many_empty(self):
+        idx = HashIndex(np.array([1, 2]))
+        assert len(idx.lookup_many([])) == 0
+
+    def test_empty_column(self):
+        idx = HashIndex(np.array([], dtype=np.int64))
+        assert len(idx.lookup(1)) == 0
+
+    def test_len(self):
+        assert len(HashIndex(np.arange(7))) == 7
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_matches_linear_scan(self, values):
+        arr = np.array(values)
+        idx = HashIndex(arr)
+        probe = values[len(values) // 2]
+        np.testing.assert_array_equal(idx.lookup(probe), np.flatnonzero(arr == probe))
+
+
+class TestSortedIndex:
+    def test_range_inclusive(self):
+        idx = SortedIndex(np.array([5.0, 1.0, 3.0, 2.0, 4.0]))
+        # Rows holding values 3.0, 2.0, 4.0 -> positions 2, 3, 4.
+        np.testing.assert_array_equal(idx.range(2, 4), [2, 3, 4])
+
+    def test_range_exclusive(self):
+        idx = SortedIndex(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_array_equal(idx.range(1, 3, include_low=False, include_high=False), [1])
+
+    def test_range_empty(self):
+        idx = SortedIndex(np.array([1.0, 2.0]))
+        assert len(idx.range(5, 6)) == 0
+
+    def test_range_everything(self):
+        idx = SortedIndex(np.array([3.0, 1.0, 2.0]))
+        np.testing.assert_array_equal(idx.range(-np.inf, np.inf), [0, 1, 2])
+
+    @given(
+        st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=1, max_size=100),
+        st.floats(min_value=-50, max_value=0),
+        st.floats(min_value=0, max_value=50),
+    )
+    @settings(max_examples=50)
+    def test_matches_linear_scan(self, values, low, high):
+        arr = np.array(values)
+        idx = SortedIndex(arr)
+        expected = np.flatnonzero((arr >= low) & (arr <= high))
+        np.testing.assert_array_equal(idx.range(low, high), expected)

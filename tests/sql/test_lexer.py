@@ -1,0 +1,118 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sql.lexer import LexError, TokenType, tokenize
+
+
+def kinds(sql, **kw):
+    return [(t.type, t.value) for t in tokenize(sql, **kw)[:-1]]
+
+
+class TestBasics:
+    def test_empty(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].type is TokenType.EOF
+
+    def test_simple_select(self):
+        out = kinds("SELECT a FROM t")
+        assert out == [
+            (TokenType.IDENT, "SELECT"),
+            (TokenType.IDENT, "a"),
+            (TokenType.IDENT, "FROM"),
+            (TokenType.IDENT, "t"),
+        ]
+
+    def test_operators(self):
+        out = [v for _, v in kinds("a <= b >= c != d <> e = f")]
+        assert out == ["a", "<=", "b", ">=", "c", "!=", "d", "<>", "e", "=", "f"]
+
+    def test_punctuation(self):
+        out = [v for _, v in kinds("f(a, b.c);")]
+        assert out == ["f", "(", "a", ",", "b", ".", "c", ")", ";"]
+
+    def test_whitespace_and_newlines(self):
+        assert kinds("a\n\t b") == [(TokenType.IDENT, "a"), (TokenType.IDENT, "b")]
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert kinds("42") == [(TokenType.NUMBER, "42")]
+
+    def test_float(self):
+        assert kinds("4.25") == [(TokenType.NUMBER, "4.25")]
+
+    def test_leading_dot(self):
+        assert kinds(".5") == [(TokenType.NUMBER, ".5")]
+
+    def test_exponent(self):
+        assert kinds("1.5e-3") == [(TokenType.NUMBER, "1.5e-3")]
+
+    def test_exponent_no_sign(self):
+        assert kinds("2E8") == [(TokenType.NUMBER, "2E8")]
+
+    def test_number_then_dot_ident(self):
+        # '1.e' would be ambiguous; a trailing 'e' without digits stays separate.
+        out = kinds("12e")
+        assert out[0] == (TokenType.NUMBER, "12")
+        assert out[1] == (TokenType.IDENT, "e")
+
+
+class TestStrings:
+    def test_single_quoted(self):
+        assert kinds("'hi'") == [(TokenType.STRING, "hi")]
+
+    def test_escaped_quote(self):
+        assert kinds(r"'it\'s'") == [(TokenType.STRING, "it's")]
+
+    def test_doubled_quote(self):
+        assert kinds("'it''s'") == [(TokenType.STRING, "it's")]
+
+    def test_escape_sequences(self):
+        assert kinds(r"'a\nb'") == [(TokenType.STRING, "a\nb")]
+
+    def test_unterminated(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+
+class TestIdentifiers:
+    def test_backticks(self):
+        # The czar's merge queries reference columns like `SUM(uFlux_SG)`.
+        assert kinds("`SUM(uFlux_SG)`") == [(TokenType.IDENT, "SUM(uFlux_SG)")]
+
+    def test_unterminated_backtick(self):
+        with pytest.raises(LexError):
+            tokenize("`oops")
+
+    def test_underscore_and_dollar(self):
+        assert kinds("ra_PS $x") == [(TokenType.IDENT, "ra_PS"), (TokenType.IDENT, "$x")]
+
+
+class TestComments:
+    def test_line_comment_dropped(self):
+        assert kinds("a -- comment\nb") == [(TokenType.IDENT, "a"), (TokenType.IDENT, "b")]
+
+    def test_line_comment_kept(self):
+        out = kinds("-- SUBCHUNKS: 1, 2\nSELECT", keep_comments=True)
+        assert out[0] == (TokenType.COMMENT, "-- SUBCHUNKS: 1, 2")
+
+    def test_block_comment(self):
+        assert kinds("a /* hidden */ b") == [(TokenType.IDENT, "a"), (TokenType.IDENT, "b")]
+
+    def test_unterminated_block(self):
+        with pytest.raises(LexError):
+            tokenize("a /* oops")
+
+    def test_comment_at_eof(self):
+        assert kinds("a -- trailing") == [(TokenType.IDENT, "a")]
+
+
+class TestErrors:
+    def test_unknown_char(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_position_reported(self):
+        toks = tokenize("SELECT a")
+        assert toks[1].pos == 7

@@ -1,0 +1,36 @@
+"""Regression net for the example scripts.
+
+Examples are not imported by the test suite, so a refactor can silently
+break them.  This compiles every script and fully executes the two
+cheapest, keeping examples honest without slowing the suite.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted((pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3  # the deliverable floor; we ship more
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(script):
+    py_compile.compile(str(script), doraise=True)
+
+
+@pytest.mark.parametrize("name", ["quickstart.py", "fault_tolerance.py"])
+def test_example_runs(name):
+    script = next(p for p in EXAMPLES if p.name == name)
+    out = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True, timeout=300
+    )
+    assert out.returncode == 0, out.stderr[-2000:]
+    assert out.stdout.strip()

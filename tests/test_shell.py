@@ -1,0 +1,136 @@
+"""Tests for the interactive shell logic (input loop excluded)."""
+
+import pytest
+
+from repro.data import build_testbed
+from repro.shell import QservShell, _format_table
+
+
+@pytest.fixture(scope="module")
+def shell():
+    tb = build_testbed(num_workers=2, num_objects=400, seed=17)
+    return QservShell(tb)
+
+
+class TestFormatting:
+    def test_basic_table(self):
+        out = _format_table(["a", "bb"], [(1, "x"), (22, "yy")])
+        assert "| a  | bb |" in out
+        assert "2 rows in set" in out
+
+    def test_single_row(self):
+        out = _format_table(["n"], [(5,)])
+        assert "1 row in set" in out
+
+    def test_truncation(self):
+        out = _format_table(["n"], [(i,) for i in range(100)], max_rows=10)
+        assert "... 90 more rows" in out
+        assert "100 rows in set" in out
+
+    def test_float_formatting(self):
+        out = _format_table(["x"], [(1.23456789012,)])
+        assert "1.23457" in out
+
+    def test_no_columns(self):
+        assert _format_table([], []) == "(no columns)"
+
+
+class TestExecution:
+    def test_select(self, shell):
+        out = shell.execute_line("SELECT COUNT(*) FROM Object")
+        assert "COUNT(*)" in out
+        assert "400" in out
+        assert "chunk queries" in out
+
+    def test_trailing_semicolon_stripped(self, shell):
+        out = shell.execute_line("SELECT COUNT(*) FROM Object;")
+        assert "400" in out
+
+    def test_empty_line(self, shell):
+        assert shell.execute_line("   ") == ""
+
+    def test_sql_error_is_printable(self, shell):
+        out = shell.execute_line("SELECT nope FROM Object")
+        assert out.startswith("ERROR:")
+
+    def test_analysis_error_is_printable(self, shell):
+        out = shell.execute_line("FLARGLE")
+        assert out.startswith("ERROR:")
+
+    def test_timing_toggle(self, shell):
+        assert shell.execute_line("\\timing") == "timing off"
+        out = shell.execute_line("SELECT COUNT(*) FROM Object")
+        assert "sec" not in out
+        assert shell.execute_line("\\timing") == "timing on"
+
+
+class TestMetaCommands:
+    def test_describe(self, shell):
+        out = shell.execute_line("\\d")
+        assert "Object" in out
+        assert "director" in out
+        assert "Source" in out
+
+    def test_stats_requires_query(self):
+        tb = build_testbed(num_workers=1, num_objects=100, seed=3)
+        s = QservShell(tb)
+        assert s.execute_line("\\stats") == "no query yet"
+
+    def test_stats_after_query(self, shell):
+        shell.execute_line("SELECT COUNT(*) FROM Object")
+        out = shell.execute_line("\\stats")
+        assert "chunks dispatched" in out
+
+    def test_chunks(self, shell):
+        out = shell.execute_line("\\chunks")
+        assert "worker-000" in out
+        assert "primary chunks" in out
+
+    def test_quit_raises_eof(self, shell):
+        with pytest.raises(EOFError):
+            shell.execute_line("\\q")
+
+    def test_unknown_meta(self, shell):
+        out = shell.execute_line("\\wat")
+        assert "unknown command" in out
+
+
+class TestHealthCommand:
+    def test_health_output(self, shell):
+        out = shell.execute_line("\\health")
+        assert "worker-000" in out
+        assert "cluster: healthy" in out
+
+    def test_health_shows_down_node(self):
+        tb = build_testbed(num_workers=2, num_objects=100, seed=5, replication=2)
+        s = QservShell(tb)
+        tb.servers[tb.placement.nodes[0]].fail()
+        out = s.execute_line("\\health")
+        assert "DOWN" in out
+        assert "DEGRADED" in out
+
+
+class TestMainEntry:
+    def test_execute_mode(self):
+        import subprocess
+        import sys
+
+        out = subprocess.run(
+            [sys.executable, "-m", "repro.shell", "--objects", "80", "--workers", "1",
+             "-e", "SELECT COUNT(*) FROM Object"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert out.returncode == 0
+        assert "| 80" in out.stdout
+
+    def test_repl_pipe(self):
+        import subprocess
+        import sys
+
+        out = subprocess.run(
+            [sys.executable, "-m", "repro.shell", "--objects", "80", "--workers", "1"],
+            input="SELECT COUNT(*) FROM Object;\n\\q\n",
+            capture_output=True, text=True, timeout=120,
+        )
+        assert out.returncode == 0
+        assert "| 80" in out.stdout

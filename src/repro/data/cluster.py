@@ -50,6 +50,7 @@ class QservTestbed:
         return self.proxy.query(sql)
 
     def shutdown(self):
+        self.czar.close()
         for w in self.workers.values():
             w.shutdown()
 
@@ -64,7 +65,8 @@ def build_testbed(
     seed: int = 0,
     worker_slots: int = 0,
     replication: int = 1,
-    dispatch_parallelism: int = 1,
+    dispatch_parallelism: int = 4,
+    wire_format: str = "binary",
     objects: Table | None = None,
     sources: Table | None = None,
     chunker=None,
@@ -75,7 +77,9 @@ def build_testbed(
     ``objects``/``sources`` (e.g. duplicator output) to load custom
     data.  ``worker_slots=0`` executes chunk queries inline
     (deterministic); >0 starts that many threads per worker, the
-    paper's configuration being 4.  ``chunker`` overrides the default
+    paper's configuration being 4.  ``wire_format`` selects the result
+    transport: ``"binary"`` (default) or the paper-faithful
+    ``"sqldump"``.  ``chunker`` overrides the default
     box chunker -- pass an :class:`~repro.partition.HtmChunker` to run
     the whole stack on the section 7.5 alternate partitioning.
     """
@@ -140,6 +144,7 @@ def build_testbed(
         secondary_index=secondary_index,
         available_chunks=placement.chunk_ids,
         dispatch_parallelism=dispatch_parallelism,
+        wire_format=wire_format,
     )
     proxy = QservProxy(czar)
     return QservTestbed(

@@ -12,11 +12,19 @@ One user query becomes:
 3. **dispatch** -- for each chunk, write the generated chunk query to
    ``/query2/<chunkId>`` through the Xrootd client and remember which
    worker accepted it (section 5.4);
-4. **collection** -- read ``/result/<md5>`` from that worker, replay the
-   mysqldump byte stream into the local merge database, and append the
-   rows to the merge table;
-5. **merge** -- run the merge query (final aggregation / ORDER / LIMIT)
-   on the merge table and hand the result back to the proxy.
+4. **collection** -- read ``/result/<md5>`` from that worker and decode
+   the payload: binary columnar wire bytes decode directly into NumPy
+   arrays (section 7.1's planned transfer optimization), while legacy
+   mysqldump byte streams are replayed through the SQL parser;
+5. **merge** -- concatenate all chunk payloads into the merge table in
+   a single pass (one ``np.concatenate`` per column), then run the
+   merge query (final aggregation / ORDER / LIMIT) on it and hand the
+   result back to the proxy.
+
+Repeated query shapes skip parse/analysis entirely: the czar memoizes
+``analyze()`` + aggregation planning + chunk-query generation keyed by
+the normalized SQL text, and dispatch runs on one persistent thread
+pool owned by the czar rather than a pool per query.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
@@ -31,11 +40,18 @@ from typing import Iterable, Optional
 import numpy as np
 
 from ..partition import Chunker
-from ..sql import Database
+from ..sql import Database, Table
 from ..sql.dump import load_dump
 from ..sql.engine import ResultTable
+from ..sql.wire import decode_table, is_wire_payload
 from ..xrd import RedirectError, XrdClient, Redirector
-from ..xrd.protocol import query_hash, query_path, result_path
+from ..xrd.protocol import (
+    WIRE_FORMATS,
+    query_hash,
+    query_path,
+    result_format_header,
+    result_path,
+)
 from .aggregation import build_aggregation_plan
 from .analysis import QservAnalysisError, analyze
 from .metadata import CatalogMetadata
@@ -61,6 +77,11 @@ class QueryStats:
     used_secondary_index: bool = False
     used_region_restriction: bool = False
     elapsed_seconds: float = 0.0
+    #: Result encoding actually collected: 'binary', 'sqldump', or
+    #: 'mixed' (a cluster mid-upgrade); '' when no chunk was dispatched.
+    wire_format: str = ""
+    #: 1 when this query's plan came from the czar's plan cache.
+    plan_cache_hits: int = 0
 
 
 @dataclass
@@ -131,8 +152,19 @@ class Czar:
         partitions belonging to the desired set of cluster nodes" --
         pass a subset here to reproduce that.
     dispatch_parallelism:
-        Worker count of the dispatch/collection thread pool; 1 means
-        fully sequential dispatch.
+        Worker count of the persistent dispatch/collection thread pool;
+        1 means fully sequential dispatch.  The pool is owned by the
+        czar and reused across queries.
+    wire_format:
+        Result encoding requested from workers: ``"binary"`` (default;
+        the section 7.1 transfer optimization) asks for the columnar
+        wire format, ``"sqldump"`` is the paper-faithful mysqldump text
+        (used by benchmarks charging paper-accurate byte volumes).
+        Collection always accepts both -- the payload's magic bytes
+        decide -- so mixed-version clusters keep working.
+    plan_cache_size:
+        Maximum number of memoized query plans (LRU-evicted); 0
+        disables plan caching.
     """
 
     def __init__(
@@ -142,10 +174,18 @@ class Czar:
         chunker: Chunker,
         secondary_index: Optional[SecondaryIndex] = None,
         available_chunks: Optional[Iterable[int]] = None,
-        dispatch_parallelism: int = 1,
+        dispatch_parallelism: int = 4,
+        wire_format: str = "binary",
+        plan_cache_size: int = 256,
     ):
         if dispatch_parallelism < 1:
             raise ValueError("dispatch_parallelism must be >= 1")
+        if wire_format not in WIRE_FORMATS:
+            raise ValueError(
+                f"wire_format must be one of {WIRE_FORMATS}, got {wire_format!r}"
+            )
+        if plan_cache_size < 0:
+            raise ValueError("plan_cache_size must be >= 0")
         self.client = XrdClient(redirector)
         self.metadata = metadata
         self.chunker = chunker
@@ -155,8 +195,28 @@ class Czar:
         else:
             self.available_chunks = set(int(c) for c in available_chunks)
         self.dispatch_parallelism = dispatch_parallelism
+        self.wire_format = wire_format
         self._merge_counter = itertools.count()
         self._merge_lock = threading.Lock()
+        self._pool: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(
+                max_workers=dispatch_parallelism,
+                thread_name_prefix="czar-dispatch",
+            )
+            if dispatch_parallelism > 1
+            else None
+        )
+        self._plan_cache: OrderedDict[str, tuple] = OrderedDict()
+        self._plan_cache_size = plan_cache_size
+        self._plan_lock = threading.Lock()
+        #: Lifetime count of plans served from the cache.
+        self.plan_cache_hits = 0
+
+    def close(self) -> None:
+        """Shut down the persistent dispatch pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
 
     # -- coverage ---------------------------------------------------------------
 
@@ -172,16 +232,46 @@ class Czar:
 
     # -- planning ------------------------------------------------------------------
 
-    def explain(self, sql: str) -> ExplainReport:
-        """Plan a query without dispatching it (the shell's ``\\explain``)."""
+    def _plan(self, sql: str, stats: Optional[QueryStats] = None):
+        """Analysis + aggregation plan + chunk queries, memoized.
+
+        Keyed by whitespace-normalized SQL: a repeated query shape skips
+        parse, analysis, coverage, and rewriting entirely.  Everything
+        cached is derived deterministically from inputs that are fixed
+        for this czar's lifetime (metadata, chunker, available chunks,
+        finalized secondary index), so reuse is sound.
+        """
+        key = " ".join(sql.split())
+        with self._plan_lock:
+            entry = self._plan_cache.get(key)
+            if entry is not None:
+                self._plan_cache.move_to_end(key)
+                self.plan_cache_hits += 1
+                if stats is not None:
+                    stats.plan_cache_hits += 1
+                return entry
         analysis = analyze(sql, self.metadata)
         if not analysis.partitioned_refs:
-            raise QservAnalysisError("query references no partitioned table")
+            raise QservAnalysisError(
+                "query references no partitioned table; submit it to a "
+                "plain database instead"
+            )
         plan = build_aggregation_plan(analysis.select)
         chunk_ids = self.coverage(analysis)
         specs = generate_chunk_queries(
             analysis, plan, self.metadata, self.chunker, chunk_ids
         )
+        entry = (analysis, plan, specs)
+        if self._plan_cache_size > 0:
+            with self._plan_lock:
+                self._plan_cache[key] = entry
+                while len(self._plan_cache) > self._plan_cache_size:
+                    self._plan_cache.popitem(last=False)
+        return entry
+
+    def explain(self, sql: str) -> ExplainReport:
+        """Plan a query without dispatching it (the shell's ``\\explain``)."""
+        analysis, plan, specs = self._plan(sql)
         if analysis.has_index_restriction and self.secondary_index is not None:
             mode = "secondary-index"
         elif analysis.region is not None:
@@ -203,27 +293,16 @@ class Czar:
     def submit(self, sql: str) -> QueryResult:
         """Execute one user query end to end."""
         t0 = time.perf_counter()
-        analysis = analyze(sql, self.metadata)
-        if not analysis.partitioned_refs:
-            raise QservAnalysisError(
-                "query references no partitioned table; submit it to a "
-                "plain database instead"
-            )
-        plan = build_aggregation_plan(analysis.select)
-        chunk_ids = self.coverage(analysis)
-        specs = generate_chunk_queries(
-            analysis, plan, self.metadata, self.chunker, chunk_ids
+        stats = QueryStats()
+        analysis, plan, specs = self._plan(sql, stats)
+        stats.used_secondary_index = (
+            analysis.has_index_restriction and self.secondary_index is not None
         )
-
-        stats = QueryStats(
-            used_secondary_index=analysis.has_index_restriction
-            and self.secondary_index is not None,
-            used_region_restriction=analysis.region is not None,
-        )
+        stats.used_region_restriction = analysis.region is not None
 
         merge_db = Database(self.metadata.database)
-        dumps = self._dispatch_and_collect(specs, stats)
-        merge_name = self._load_into_merge_table(merge_db, dumps, stats)
+        payloads = self._dispatch_and_collect(specs, stats)
+        merge_name = self._load_into_merge_table(merge_db, payloads, stats)
 
         if merge_name is None:
             # Zero chunks dispatched (empty region / unknown objectId).
@@ -243,37 +322,45 @@ class Czar:
         A worker dying *between* accepting the chunk query and serving
         its result loses the result file; the czar re-dispatches the
         chunk, letting the redirector resolve to a surviving replica.
-        """
 
-        def attempt(spec: ChunkQuerySpec) -> tuple[str, bytes]:
-            worker = self.client.write_file(query_path(spec.chunk_id), spec.text)
+        In ``binary`` mode each chunk query is sent with a
+        ``-- RESULT_FORMAT: binary`` header asking the worker for wire
+        bytes; ``sqldump`` mode sends the paper's exact text.
+        """
+        if self.wire_format == "binary":
+            header = result_format_header("binary") + "\n"
+        else:
+            header = ""
+
+        def attempt(spec: ChunkQuerySpec, text: str) -> tuple[str, bytes]:
+            worker = self.client.write_file(query_path(spec.chunk_id), text)
             data = self.client.read_file(
-                result_path(query_hash(spec.text)), server_name=worker
+                result_path(query_hash(text)), server_name=worker
             )
             return worker, data
 
         def one(spec: ChunkQuerySpec) -> bytes:
+            text = header + spec.text
             try:
-                worker, data = attempt(spec)
+                worker, data = attempt(spec, text)
             except RedirectError:
                 # The accepting worker is gone; invalidate its cached
                 # location and retry through the replicas.
                 self.client.redirector.invalidate(query_path(spec.chunk_id))
                 with self._merge_lock:
                     stats.chunks_retried += 1
-                worker, data = attempt(spec)
+                worker, data = attempt(spec, text)
             with self._merge_lock:
                 stats.chunks_dispatched += 1
                 stats.sub_chunk_statements += max(len(spec.sub_chunk_ids), 0)
-                stats.bytes_dispatched += len(spec.text.encode())
+                stats.bytes_dispatched += len(text.encode())
                 stats.bytes_collected += len(data)
                 stats.workers_used.add(worker)
             return data
 
-        if self.dispatch_parallelism == 1 or len(specs) <= 1:
+        if self._pool is None or len(specs) <= 1:
             return [one(s) for s in specs]
-        with ThreadPoolExecutor(max_workers=self.dispatch_parallelism) as pool:
-            return list(pool.map(one, specs))
+        return list(self._pool.map(one, specs))
 
     def _empty_merge_table(self, merge_db: Database, plan, analysis) -> str:
         """A merge table standing in for zero dispatched chunks.
@@ -309,19 +396,37 @@ class Czar:
         return name
 
     def _load_into_merge_table(
-        self, merge_db: Database, dumps: list[bytes], stats: QueryStats
+        self, merge_db: Database, payloads: list[bytes], stats: QueryStats
     ) -> Optional[str]:
-        """Replay each dump and append its rows into one merge table."""
+        """Decode every chunk payload, then build the merge table in one pass.
+
+        Payloads carrying the wire magic decode straight into NumPy
+        columns; anything else is treated as a legacy mysqldump stream
+        and replayed through the SQL engine (mixed-version clusters).
+        All decoded chunk tables are then concatenated with one
+        ``np.concatenate`` per column instead of per-chunk appends.
+        """
         merge_name = f"{_MERGE_TABLE}_{next(self._merge_counter)}"
-        merged = None
-        for data in dumps:
-            loaded_name = load_dump(merge_db, data.decode())
-            loaded = merge_db.get_table(loaded_name)
-            if merged is None:
-                merged = loaded.rename(merge_name)
-                merge_db.create_table(merged, overwrite=True)
-            elif loaded.num_rows:
-                merged.append_rows(loaded.columns())
-            stats.rows_merged += loaded.num_rows
-            merge_db.drop_table(loaded_name)
-        return merge_name if merged is not None else None
+        tables: list[Table] = []
+        binary = legacy = 0
+        for data in payloads:
+            if is_wire_payload(data):
+                tables.append(decode_table(data))
+                binary += 1
+            else:
+                loaded_name = load_dump(merge_db, data.decode())
+                tables.append(merge_db.get_table(loaded_name))
+                merge_db.drop_table(loaded_name)
+                legacy += 1
+        if binary and legacy:
+            stats.wire_format = "mixed"
+        elif binary:
+            stats.wire_format = "binary"
+        elif legacy:
+            stats.wire_format = "sqldump"
+        stats.rows_merged += sum(t.num_rows for t in tables)
+        if not tables:
+            return None
+        merged = Table.concat(merge_name, tables)
+        merge_db.create_table(merged, overwrite=True)
+        return merge_name

@@ -47,6 +47,8 @@ class LoadBalancingFrontend:
         num_masters: int = 2,
         secondary_index: Optional[SecondaryIndex] = None,
         available_chunks: Optional[Iterable[int]] = None,
+        dispatch_parallelism: int = 4,
+        wire_format: str = "binary",
     ):
         if num_masters < 1:
             raise ValueError("num_masters must be >= 1")
@@ -58,6 +60,8 @@ class LoadBalancingFrontend:
                 chunker,
                 secondary_index=secondary_index,
                 available_chunks=chunks,
+                dispatch_parallelism=dispatch_parallelism,
+                wire_format=wire_format,
             )
             for _ in range(num_masters)
         ]
@@ -115,3 +119,8 @@ class LoadBalancingFrontend:
         """(queries, chunks dispatched) per master, in master order."""
         with self._lock:
             return [(s.queries, s.chunks) for s in self._stats]
+
+    def close(self) -> None:
+        """Shut down every master's dispatch pool."""
+        for czar in self.czars:
+            czar.close()

@@ -24,9 +24,11 @@ from dataclasses import dataclass
 
 from ..sql import Database, SqlError, Table, dump_table
 from ..sql.engine import ResultTable
+from ..sql.wire import encode_table
 from ..xrd import OfsPlugin
 from ..xrd.protocol import (
     QUERY_PREFIX,
+    RESULT_FORMAT_HEADER_PREFIX,
     RESULT_PREFIX,
     chunk_id_of_query_path,
     query_hash,
@@ -54,6 +56,9 @@ class WorkerStats:
     result_rows: int = 0
     result_bytes: int = 0
     queue_high_water: int = 0
+    binary_results: int = 0
+    sqldump_results: int = 0
+    results_evicted: int = 0
 
 
 class QservWorker(OfsPlugin):
@@ -99,6 +104,9 @@ class QservWorker(OfsPlugin):
         self._results: dict[str, bytes] = {}
         self._result_ready: dict[str, threading.Event] = {}
         self._errors: dict[str, str] = {}
+        # Reads still owed per result path; with cache_results=False a
+        # result is evicted when the last expected reader has read it.
+        self._pending_reads: dict[str, int] = {}
         self._lock = threading.RLock()
         self._queue: deque[tuple[str, int, str]] = deque()
         self._queue_cv = threading.Condition(self._lock)
@@ -137,6 +145,8 @@ class QservWorker(OfsPlugin):
                 self._result_ready[rpath].set()
                 return
             self._result_ready.setdefault(rpath, threading.Event())
+            if not self.cache_results:
+                self._pending_reads[rpath] = self._pending_reads.get(rpath, 0) + 1
         if self.slots == 0:
             self._run_task(rpath, chunk_id, text)
         else:
@@ -148,7 +158,14 @@ class QservWorker(OfsPlugin):
                 self._queue_cv.notify()
 
     def on_read(self, path: str):
-        """Result bytes, blocking on in-flight execution in threaded mode."""
+        """Result bytes, blocking on in-flight execution in threaded mode.
+
+        Without ``cache_results`` the result, error, and readiness
+        entries are evicted once the master has read them -- a
+        long-lived worker must not grow its result store unboundedly
+        across queries (the bytes were only ever needed for this one
+        transfer).
+        """
         with self._lock:
             event = self._result_ready.get(path)
         if event is None:
@@ -157,8 +174,27 @@ class QservWorker(OfsPlugin):
             return None
         with self._lock:
             if path in self._errors:
-                raise SqlError(f"worker {self.name}: {self._errors[path]}")
-            return self._results.get(path)
+                message = self._errors[path]
+                self._done_reading(path)
+                raise SqlError(f"worker {self.name}: {message}")
+            data = self._results.get(path)
+            if data is not None:
+                self._done_reading(path)
+            return data
+
+    def _done_reading(self, path: str) -> None:
+        """One owed read served; evict at zero (caller holds the lock)."""
+        if self.cache_results:
+            return
+        remaining = self._pending_reads.get(path, 1) - 1
+        if remaining > 0:
+            self._pending_reads[path] = remaining
+            return
+        self._pending_reads.pop(path, None)
+        self._results.pop(path, None)
+        self._errors.pop(path, None)
+        self._result_ready.pop(path, None)
+        self.stats.results_evicted += 1
 
     # -- queue service ------------------------------------------------------------------
 
@@ -186,7 +222,14 @@ class QservWorker(OfsPlugin):
     def _run_task(self, rpath: str, chunk_id: int, text: str):
         try:
             result = self.execute_chunk_query(chunk_id, text)
-            payload = dump_table(result, _RESULT_TABLE).encode()
+            if self._result_format(text) == "binary":
+                payload = encode_table(result, _RESULT_TABLE)
+                with self._lock:
+                    self.stats.binary_results += 1
+            else:
+                payload = dump_table(result, _RESULT_TABLE).encode()
+                with self._lock:
+                    self.stats.sqldump_results += 1
             with self._lock:
                 self._results[rpath] = payload
                 self.stats.result_rows += result.num_rows
@@ -196,7 +239,27 @@ class QservWorker(OfsPlugin):
                 self._errors[rpath] = str(e)
         finally:
             with self._lock:
-                self._result_ready[rpath].set()
+                event = self._result_ready.get(rpath)
+                if event is not None:
+                    event.set()
+
+    @staticmethod
+    def _result_format(text: str) -> str:
+        """The result encoding the master asked for (header negotiation).
+
+        Chunk queries without a ``-- RESULT_FORMAT:`` header get the
+        paper-faithful mysqldump text -- that keeps old masters and
+        paper-accurate benchmark runs working against new workers.
+        """
+        for line in text.lstrip().splitlines():
+            if line.startswith(RESULT_FORMAT_HEADER_PREFIX):
+                requested = line[len(RESULT_FORMAT_HEADER_PREFIX) :].strip()
+                if requested == "binary":
+                    return "binary"
+                return "sqldump"
+            if not line.startswith("--"):
+                break  # headers only appear before the first statement
+        return "sqldump"
 
     # -- chunk query execution ---------------------------------------------------------------
 
@@ -232,11 +295,14 @@ class QservWorker(OfsPlugin):
     def _parse_chunk_query(self, text: str) -> tuple[list[int], list[str]]:
         lines = text.strip().splitlines()
         sub_chunk_ids: list[int] = []
-        if lines and lines[0].startswith(SUBCHUNK_HEADER_PREFIX):
-            spec = lines[0][len(SUBCHUNK_HEADER_PREFIX) :].strip()
-            if spec:
-                sub_chunk_ids = [int(s.strip()) for s in spec.split(",")]
-            lines = lines[1:]
+        # Protocol headers (RESULT_FORMAT, SUBCHUNKS) are leading
+        # comment lines in any order; consume them before the SQL body.
+        while lines and lines[0].startswith("--"):
+            header = lines.pop(0)
+            if header.startswith(SUBCHUNK_HEADER_PREFIX):
+                spec = header[len(SUBCHUNK_HEADER_PREFIX) :].strip()
+                if spec:
+                    sub_chunk_ids = [int(s.strip()) for s in spec.split(",")]
         body = "\n".join(lines)
         statements = [s.strip() for s in body.split(";") if s.strip()]
         return sub_chunk_ids, statements

@@ -118,6 +118,8 @@ class QservShell:
                 ("bytes dispatched", s.bytes_dispatched),
                 ("bytes collected", s.bytes_collected),
                 ("rows merged", s.rows_merged),
+                ("wire format", s.wire_format or "n/a"),
+                ("plan cache hit", bool(s.plan_cache_hits)),
                 ("secondary index", s.used_secondary_index),
                 ("region restriction", s.used_region_restriction),
                 ("elapsed (s)", round(s.elapsed_seconds, 4)),

@@ -21,13 +21,15 @@ relational engine with
   sub-chunk tables, ``INSERT ... VALUES`` for dump loading)
   (:mod:`~repro.sql.engine`), and
 - ``mysqldump``-style table serialization used for results transfer
-  (:mod:`~repro.sql.dump`).
+  (:mod:`~repro.sql.dump`), and the binary columnar wire format that
+  replaces it on the hot path (:mod:`~repro.sql.wire`).
 """
 
 from .table import Column, Table
 from .engine import Database, ResultTable, SqlError
 from .dump import dump_table, load_dump
 from .functions import FUNCTIONS, register_function
+from .wire import WireFormatError, decode_table, encode_table, is_wire_payload
 
 __all__ = [
     "Column",
@@ -37,6 +39,10 @@ __all__ = [
     "SqlError",
     "dump_table",
     "load_dump",
+    "encode_table",
+    "decode_table",
+    "is_wire_payload",
+    "WireFormatError",
     "FUNCTIONS",
     "register_function",
 ]

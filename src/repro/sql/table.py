@@ -167,6 +167,44 @@ class Table:
                 incoming = incoming.astype(existing.dtype, copy=False)
             self._columns[name] = np.concatenate([existing, incoming])
 
+    @classmethod
+    def concat(cls, name: str, tables: list["Table"]) -> "Table":
+        """One table holding all rows of ``tables``, single-pass.
+
+        Each column is built with one :func:`numpy.concatenate` over all
+        inputs instead of repeated :meth:`append_rows` reallocation --
+        the merge-side half of the binary result transport.  Column
+        order and dtypes follow the first table; later tables must have
+        the same column set (empty ones may differ and are skipped,
+        matching the old per-chunk merge behaviour).
+        """
+        if not tables:
+            raise ValueError("concat needs at least one table")
+        first = tables[0]
+        rest = [t for t in tables[1:] if t.num_rows]
+        if not rest:
+            return cls(name, dict(first.columns()))
+        names = first.column_names
+        for t in rest:
+            if set(t.column_names) != set(names):
+                raise ValueError(
+                    f"column mismatch: table has {sorted(names)}, "
+                    f"batch has {sorted(t.column_names)}"
+                )
+        cols: dict[str, np.ndarray] = {}
+        for col_name in names:
+            base = first.column(col_name)
+            parts = [base]
+            for t in rest:
+                arr = t.column(col_name)
+                if base.dtype == object:
+                    arr = arr.astype(object)
+                else:
+                    arr = arr.astype(base.dtype, copy=False)
+                parts.append(arr)
+            cols[col_name] = np.concatenate(parts)
+        return cls(name, cols)
+
     # -- bulk operations ---------------------------------------------------------------
 
     def select_rows(self, selector) -> "Table":

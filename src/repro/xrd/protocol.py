@@ -7,16 +7,48 @@ Dispatch is two file-level transactions:
 2. the master opens ``xrootd://<worker>/result/H`` for reading, where
    ``H`` is the MD5 hash of the chunk query it wrote (32 lowercase hex
    digits), reads to EOF, and closes.
+
+Result-format negotiation (the section 7.1 transfer optimization) rides
+on the same transactions: the master may prepend a
+``-- RESULT_FORMAT: binary`` comment line to the chunk query text,
+asking the worker to publish its result in the binary columnar wire
+format (:mod:`repro.sql.wire`) instead of mysqldump SQL text.  The
+result bytes themselves are carried opaquely either way -- Xrootd never
+inspects them -- and the master distinguishes the two by the wire
+magic, so a worker that ignores the header (an old version, or a
+paper-faithful configuration) degrades safely to the SQL dump.
 """
 
 from __future__ import annotations
 
 import hashlib
 
-__all__ = ["QUERY_PREFIX", "RESULT_PREFIX", "query_path", "result_path", "query_hash"]
+__all__ = [
+    "QUERY_PREFIX",
+    "RESULT_PREFIX",
+    "RESULT_FORMAT_HEADER_PREFIX",
+    "WIRE_FORMATS",
+    "query_path",
+    "result_path",
+    "query_hash",
+    "result_format_header",
+]
 
 QUERY_PREFIX = "/query2/"
 RESULT_PREFIX = "/result/"
+
+#: Chunk-query comment line requesting a result encoding from the worker.
+RESULT_FORMAT_HEADER_PREFIX = "-- RESULT_FORMAT:"
+
+#: Result encodings a czar may request / a worker may publish.
+WIRE_FORMATS = ("binary", "sqldump")
+
+
+def result_format_header(wire_format: str) -> str:
+    """The chunk-query header line requesting ``wire_format`` results."""
+    if wire_format not in WIRE_FORMATS:
+        raise ValueError(f"unknown wire format {wire_format!r}")
+    return f"{RESULT_FORMAT_HEADER_PREFIX} {wire_format}"
 
 
 def query_path(chunk_id: int) -> str:

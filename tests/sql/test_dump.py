@@ -131,3 +131,66 @@ class TestRoundTrip:
         t = Table("r", {"x": np.array(values, dtype=np.int64)})
         out = roundtrip(t)
         np.testing.assert_array_equal(out.column("x"), np.array(values, dtype=np.int64))
+
+
+def reference_dump_table(table, name=None):
+    """The original per-value dump renderer, kept as the golden oracle
+    for the vectorized fast path (byte-for-byte equality required)."""
+    from repro.sql.dump import _ident, _sql_literal
+
+    name = name or table.name
+    lines = [f"DROP TABLE IF EXISTS {name};"]
+    cols = table.schema()
+    col_defs = ", ".join(f"{_ident(c.name)} {c.type_name}" for c in cols)
+    lines.append(f"CREATE TABLE {name} ({col_defs});")
+    n = table.num_rows
+    if n:
+        arrays = [table.column(c.name) for c in cols]
+        for start in range(0, n, ROWS_PER_INSERT):
+            stop = min(start + ROWS_PER_INSERT, n)
+            rows = []
+            for i in range(start, stop):
+                rows.append("(" + ",".join(_sql_literal(a[i]) for a in arrays) + ")")
+            lines.append(f"INSERT INTO {name} VALUES {','.join(rows)};")
+    return "\n".join(lines) + "\n"
+
+
+class TestVectorizedGoldenOutput:
+    """The batched NumPy formatter must match the scalar path exactly."""
+
+    def test_golden_mixed_table(self):
+        rng = np.random.default_rng(13)
+        n = ROWS_PER_INSERT + 137  # spans an INSERT batch boundary
+        floats = rng.uniform(-1e18, 1e18, n)
+        floats[rng.random(n) < 0.1] = np.nan
+        small = rng.lognormal(-12, 4, n)
+        t = Table(
+            "res",
+            {
+                "i": rng.integers(-(2**62), 2**62, n),
+                "f": floats,
+                "g": small,
+                "b": rng.random(n) < 0.5,
+                "s": np.array(
+                    [f"v'{i}\\x" if i % 3 else f"plain{i}" for i in range(n)],
+                    dtype=object,
+                ),
+            },
+        )
+        assert dump_table(t) == reference_dump_table(t)
+
+    def test_golden_edge_floats(self):
+        t = Table(
+            "res",
+            {
+                "x": np.array(
+                    [0.0, -0.0, 1.0, -1.0, np.nan, np.inf, -np.inf,
+                     1e-308, 5e-324, 1.7976931348623157e308, 0.1 + 0.2]
+                )
+            },
+        )
+        assert dump_table(t) == reference_dump_table(t)
+
+    def test_golden_empty(self):
+        t = Table("res", {"a": np.empty(0, dtype=np.int64)})
+        assert dump_table(t) == reference_dump_table(t)

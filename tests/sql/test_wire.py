@@ -1,0 +1,177 @@
+"""Tests for the binary columnar wire format (section 7.1's planned
+transfer optimization): round-trip properties, guards, and corruption
+handling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import Table
+from repro.sql.wire import (
+    WIRE_MAGIC,
+    WireFormatError,
+    decode_table,
+    encode_table,
+    is_wire_payload,
+)
+
+
+def roundtrip(table):
+    return decode_table(encode_table(table))
+
+
+class TestRoundTrip:
+    def test_ints(self):
+        t = Table("r", {"a": np.array([1, -2, 2**62], dtype=np.int64)})
+        out = roundtrip(t)
+        np.testing.assert_array_equal(out.column("a"), [1, -2, 2**62])
+        assert out.column("a").dtype == np.int64
+
+    def test_floats_bit_exact(self):
+        vals = np.array([1.5, -2.25, 1e-17, 0.1 + 0.2, np.inf, -np.inf])
+        t = Table("r", {"x": vals})
+        out = roundtrip(t)
+        np.testing.assert_array_equal(
+            out.column("x").view(np.uint64), vals.view(np.uint64)
+        )
+
+    def test_nan_preserved(self):
+        t = Table("r", {"x": np.array([np.nan, 1.0, np.nan])})
+        out = roundtrip(t)
+        np.testing.assert_array_equal(np.isnan(out.column("x")), [True, False, True])
+
+    def test_bools(self):
+        t = Table("r", {"b": np.array([True, False, True])})
+        out = roundtrip(t)
+        np.testing.assert_array_equal(out.column("b"), [True, False, True])
+        assert out.column("b").dtype == bool
+
+    def test_strings_unicode_and_quotes(self):
+        vals = ["it's", 'a "b"', "back\\slash", "πλειάδες", "", "semi;colon\nline"]
+        t = Table("r", {"s": np.array(vals, dtype=object)})
+        out = roundtrip(t)
+        assert list(out.column("s")) == vals
+        assert out.column("s").dtype == object
+
+    def test_empty_table(self):
+        t = Table(
+            "r",
+            {
+                "a": np.empty(0, dtype=np.int64),
+                "x": np.empty(0, dtype=np.float64),
+                "s": np.empty(0, dtype=object),
+            },
+        )
+        out = roundtrip(t)
+        assert out.num_rows == 0
+        assert out.column_names == ["a", "x", "s"]
+        assert out.column("a").dtype == np.int64
+
+    def test_mixed_columns_order_preserved(self):
+        t = Table(
+            "r",
+            {
+                "i": np.array([1, 2]),
+                "f": np.array([1.5, np.nan]),
+                "s": np.array(["x", "y"], dtype=object),
+                "b": np.array([True, False]),
+            },
+        )
+        out = roundtrip(t)
+        assert out.column_names == ["i", "f", "s", "b"]
+        assert out.num_rows == 2
+
+    def test_table_name_carried(self):
+        t = Table("chunk_result", {"a": np.array([1])})
+        assert roundtrip(t).name == "chunk_result"
+        assert decode_table(encode_table(t, "other")).name == "other"
+
+    def test_decoded_columns_writable(self):
+        t = Table("r", {"a": np.arange(4)})
+        out = roundtrip(t)
+        out.column("a")[0] = 99  # merge tables must stay mutable
+        assert out.column("a")[0] == 99
+
+    def test_zero_column_guard(self):
+        with pytest.raises(WireFormatError, match="no columns"):
+            encode_table(Table("r", {}))
+
+    @given(
+        st.lists(st.floats(width=64), min_size=0, max_size=50),
+        st.lists(st.text(max_size=20), min_size=0, max_size=50),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_mixed_roundtrip(self, floats, strings):
+        n = min(len(floats), len(strings))
+        t = Table(
+            "r",
+            {
+                "f": np.array(floats[:n], dtype=np.float64),
+                "s": np.array(strings[:n], dtype=object),
+                "i": np.arange(n, dtype=np.int64),
+            },
+        )
+        out = roundtrip(t)
+        np.testing.assert_array_equal(
+            out.column("f").view(np.uint64), t.column("f").view(np.uint64)
+        )
+        assert list(out.column("s")) == strings[:n]
+        np.testing.assert_array_equal(out.column("i"), t.column("i"))
+
+
+class TestDetection:
+    def test_magic_detected(self):
+        t = Table("r", {"a": np.array([1])})
+        assert is_wire_payload(encode_table(t))
+
+    def test_sqldump_not_wire(self):
+        assert not is_wire_payload(b"DROP TABLE IF EXISTS r;\nCREATE TABLE r (a BIGINT);")
+        assert not is_wire_payload(b"")
+        assert not is_wire_payload(b"-- comment")
+
+    def test_magic_is_not_ascii_sql(self):
+        # The magic's first byte is non-ASCII, so no SQL-dump text can
+        # ever start with it.
+        assert WIRE_MAGIC[0] >= 0x80
+
+
+class TestCorruption:
+    def payload(self):
+        return encode_table(
+            Table(
+                "r",
+                {
+                    "a": np.arange(10, dtype=np.int64),
+                    "s": np.array([f"v{i}" for i in range(10)], dtype=object),
+                },
+            )
+        )
+
+    def test_bad_magic(self):
+        data = b"XXXX" + self.payload()[4:]
+        with pytest.raises(WireFormatError, match="magic"):
+            decode_table(data)
+
+    def test_bad_version(self):
+        data = bytearray(self.payload())
+        data[4] = 99
+        with pytest.raises(WireFormatError, match="version"):
+            decode_table(bytes(data))
+
+    def test_truncated_header(self):
+        with pytest.raises(WireFormatError, match="truncated"):
+            decode_table(self.payload()[:7])
+
+    def test_truncated_payload(self):
+        data = self.payload()
+        with pytest.raises(WireFormatError, match="truncated"):
+            decode_table(data[: len(data) - 5])
+
+    def test_trailing_garbage(self):
+        with pytest.raises(WireFormatError, match="trailing"):
+            decode_table(self.payload() + b"extra")
+
+    def test_empty_input(self):
+        with pytest.raises(WireFormatError):
+            decode_table(b"")

@@ -70,6 +70,9 @@ def build_testbed(
     objects: Table | None = None,
     sources: Table | None = None,
     chunker=None,
+    retry_policy=None,
+    hedge_policy=None,
+    health=None,
 ) -> QservTestbed:
     """Build, load, and wire a full cluster.
 
@@ -145,6 +148,9 @@ def build_testbed(
         available_chunks=placement.chunk_ids,
         dispatch_parallelism=dispatch_parallelism,
         wire_format=wire_format,
+        retry_policy=retry_policy,
+        hedge_policy=hedge_policy,
+        health=health,
     )
     proxy = QservProxy(czar)
     return QservTestbed(

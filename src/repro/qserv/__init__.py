@@ -30,8 +30,14 @@ from .analysis import QueryAnalysis, analyze, QservAnalysisError
 from .aggregation import AggregationPlan, build_aggregation_plan
 from .rewrite import ChunkQuerySpec, generate_chunk_queries, generate_merge_query
 from .secondary_index import SecondaryIndex
-from .worker import QservWorker
-from .czar import Czar, QueryResult
+from .worker import QservWorker, WorkerShutdownError
+from .czar import (
+    Czar,
+    QueryResult,
+    QueryError,
+    ChunkTimeoutError,
+    HedgePolicy,
+)
 from .proxy import QservProxy
 from .multimaster import LoadBalancingFrontend
 from .admin import ClusterAdmin, ClusterHealth
@@ -50,8 +56,12 @@ __all__ = [
     "generate_merge_query",
     "SecondaryIndex",
     "QservWorker",
+    "WorkerShutdownError",
     "Czar",
     "QueryResult",
+    "QueryError",
+    "ChunkTimeoutError",
+    "HedgePolicy",
     "QservProxy",
     "LoadBalancingFrontend",
     "ClusterAdmin",

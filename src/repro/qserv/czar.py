@@ -25,6 +25,15 @@ Repeated query shapes skip parse/analysis entirely: the czar memoizes
 ``analyze()`` + aggregation planning + chunk-query generation keyed by
 the normalized SQL text, and dispatch runs on one persistent thread
 pool owned by the czar rather than a pool per query.
+
+Dispatch is resilient by construction (the paper's section 5.6
+fail-over, hardened): every chunk runs under a
+:class:`~repro.xrd.retry.RetryPolicy` (bounded attempts, exponential
+backoff with deterministic jitter), an optional per-query deadline is
+propagated down to the worker's result wait so hung executors surface
+as :class:`ChunkTimeoutError` instead of deadlock, stragglers can be
+hedged to a second replica (first result wins), and per-worker health
+tracking steers the redirector away from flapping nodes.
 """
 
 from __future__ import annotations
@@ -32,8 +41,10 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
+from collections import OrderedDict, deque
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from concurrent.futures import wait as _futures_wait
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
@@ -45,8 +56,12 @@ from ..sql.dump import load_dump
 from ..sql.engine import ResultTable
 from ..sql.wire import decode_table, is_wire_payload
 from ..xrd import RedirectError, XrdClient, Redirector
+from ..xrd.filesystem import FileSystemError
+from ..xrd.health import HealthTracker
+from ..xrd.retry import Deadline, RetryPolicy
 from ..xrd.protocol import (
     WIRE_FORMATS,
+    deadline_header,
     query_hash,
     query_path,
     result_format_header,
@@ -57,10 +72,76 @@ from .analysis import QservAnalysisError, analyze
 from .metadata import CatalogMetadata
 from .rewrite import ChunkQuerySpec, generate_chunk_queries, generate_merge_query
 from .secondary_index import SecondaryIndex
+from .worker import WorkerShutdownError
 
-__all__ = ["Czar", "QueryResult", "QueryStats", "ExplainReport"]
+__all__ = [
+    "Czar",
+    "QueryResult",
+    "QueryStats",
+    "ExplainReport",
+    "QueryError",
+    "ChunkTimeoutError",
+    "HedgePolicy",
+]
 
 _MERGE_TABLE = "qserv_merge"
+
+
+def _swallow_future(future) -> None:
+    """Consume an abandoned attempt's exception so it is never re-raised."""
+    future.exception()
+
+
+class QueryError(RedirectError):
+    """A distributed query failed permanently (all replicas/attempts).
+
+    Subclasses :class:`RedirectError` so pre-resilience callers that
+    caught the fabric error keep working.  Carries the query's
+    :class:`QueryStats` (when available) and the chunk ids that failed,
+    so operators see retries/hedges/timeouts even on failure.
+    """
+
+    def __init__(self, message: str, stats=None, failed_chunks=None):
+        super().__init__(message)
+        self.stats = stats
+        self.failed_chunks = list(failed_chunks or [])
+
+
+class ChunkTimeoutError(QueryError):
+    """A chunk query exhausted the query deadline (hung or too slow)."""
+
+
+class _PayloadError(RuntimeError):
+    """A collected result payload failed to decode (wire corruption)."""
+
+    server: Optional[str] = None
+
+
+#: Failures worth re-dispatching through another replica.  Genuine SQL
+#: errors are excluded: re-running a semantically broken query on a
+#: different replica cannot fix it.
+_RETRYABLE = (RedirectError, FileSystemError, _PayloadError, WorkerShutdownError)
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """When to duplicate a straggling chunk query to another replica.
+
+    With ``delay`` set, any attempt still unanswered after that many
+    seconds is hedged.  Otherwise the threshold adapts: once
+    ``min_observations`` chunk latencies are recorded, it is the
+    ``percentile``-th percentile of the recent ``window`` of latencies
+    times ``multiplier`` (never below ``min_delay``).  The first result
+    wins; the loser is abandoned (its worker still evicts the unread
+    result through the refcounted pending-read accounting).
+    """
+
+    delay: Optional[float] = None
+    percentile: float = 95.0
+    multiplier: float = 3.0
+    min_delay: float = 0.02
+    min_observations: int = 20
+    window: int = 512
 
 
 @dataclass
@@ -82,6 +163,16 @@ class QueryStats:
     wire_format: str = ""
     #: 1 when this query's plan came from the czar's plan cache.
     plan_cache_hits: int = 0
+    #: Chunk queries duplicated to a second replica (stragglers).
+    chunks_hedged: int = 0
+    #: Hedged duplicates that answered before the primary attempt.
+    hedges_won: int = 0
+    #: Chunk queries abandoned because the query deadline expired.
+    chunks_timed_out: int = 0
+    #: True when ``allow_partial`` dropped failed chunks from the merge.
+    partial_result: bool = False
+    #: Chunk ids that contributed nothing (timeouts/permanent failures).
+    failed_chunks: list = field(default_factory=list)
 
 
 @dataclass
@@ -165,6 +256,17 @@ class Czar:
     plan_cache_size:
         Maximum number of memoized query plans (LRU-evicted); 0
         disables plan caching.
+    retry_policy:
+        Per-chunk retry behavior (attempts, backoff, jitter); the
+        default allows three attempts with small jittered backoff,
+        replacing the pre-resilience single bare re-dispatch.
+    hedge_policy:
+        Straggler hedging configuration; ``None`` (default) disables
+        hedged dispatch.
+    health:
+        Per-worker circuit breaker shared with the Xrootd client and
+        redirector; pass an explicit tracker to share it across czars,
+        or ``None`` for a private one.
     """
 
     def __init__(
@@ -177,6 +279,9 @@ class Czar:
         dispatch_parallelism: int = 4,
         wire_format: str = "binary",
         plan_cache_size: int = 256,
+        retry_policy: Optional[RetryPolicy] = None,
+        hedge_policy: Optional[HedgePolicy] = None,
+        health: Optional[HealthTracker] = None,
     ):
         if dispatch_parallelism < 1:
             raise ValueError("dispatch_parallelism must be >= 1")
@@ -186,7 +291,14 @@ class Czar:
             )
         if plan_cache_size < 0:
             raise ValueError("plan_cache_size must be >= 0")
-        self.client = XrdClient(redirector)
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=3, base_backoff=0.005, max_backoff=0.25
+        )
+        self.hedge_policy = hedge_policy
+        self.health = health if health is not None else HealthTracker()
+        self.client = XrdClient(
+            redirector, retry_policy=RetryPolicy(max_attempts=1), health=self.health
+        )
         self.metadata = metadata
         self.chunker = chunker
         self.secondary_index = secondary_index
@@ -211,12 +323,52 @@ class Czar:
         self._plan_lock = threading.Lock()
         #: Lifetime count of plans served from the cache.
         self.plan_cache_hits = 0
+        # Recent successful chunk latencies feeding the adaptive hedge
+        # threshold; only maintained when hedging is enabled.
+        window = hedge_policy.window if hedge_policy is not None else 0
+        self._latencies: deque = deque(maxlen=max(window, 1))
+        self._latency_lock = threading.Lock()
+        # Lazy pool for bounded/hedged attempts (deadline or hedging).
+        self._attempt_pool: Optional[ThreadPoolExecutor] = None
+        self._attempt_pool_lock = threading.Lock()
 
     def close(self) -> None:
-        """Shut down the persistent dispatch pool (idempotent)."""
+        """Shut down the persistent dispatch pools (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown(wait=False)
             self._pool = None
+        if self._attempt_pool is not None:
+            self._attempt_pool.shutdown(wait=False)
+            self._attempt_pool = None
+
+    def _ensure_attempt_pool(self) -> ThreadPoolExecutor:
+        with self._attempt_pool_lock:
+            if self._attempt_pool is None:
+                self._attempt_pool = ThreadPoolExecutor(
+                    max_workers=max(8, 2 * self.dispatch_parallelism),
+                    thread_name_prefix="czar-attempt",
+                )
+            return self._attempt_pool
+
+    def _observe_latency(self, seconds: float) -> None:
+        if self.hedge_policy is None:
+            return
+        with self._latency_lock:
+            self._latencies.append(seconds)
+
+    def _hedge_delay(self) -> Optional[float]:
+        """Current straggler threshold in seconds, or None (no hedging)."""
+        hp = self.hedge_policy
+        if hp is None:
+            return None
+        if hp.delay is not None:
+            return max(hp.delay, 0.0)
+        with self._latency_lock:
+            if len(self._latencies) < hp.min_observations:
+                return None
+            observed = np.fromiter(self._latencies, dtype=np.float64)
+        threshold = float(np.percentile(observed, hp.percentile)) * hp.multiplier
+        return max(threshold, hp.min_delay)
 
     # -- coverage ---------------------------------------------------------------
 
@@ -290,77 +442,258 @@ class Czar:
 
     # -- submission ---------------------------------------------------------------
 
-    def submit(self, sql: str) -> QueryResult:
-        """Execute one user query end to end."""
+    def submit(
+        self,
+        sql: str,
+        deadline: Optional[float | Deadline] = None,
+        allow_partial: bool = False,
+    ) -> QueryResult:
+        """Execute one user query end to end.
+
+        ``deadline`` (seconds, or a :class:`~repro.xrd.retry.Deadline`)
+        bounds the whole query: it caps retry backoff, attempt waits,
+        and the workers' result-ready waits, so a hung executor
+        surfaces as :class:`ChunkTimeoutError` instead of blocking
+        forever.  With ``allow_partial=True`` chunks that still fail
+        after retries are dropped from the merge instead of failing the
+        query; the result is annotated via ``stats.partial_result`` and
+        ``stats.failed_chunks``.
+        """
         t0 = time.perf_counter()
+        if deadline is not None and not isinstance(deadline, Deadline):
+            deadline = Deadline.after(float(deadline))
         stats = QueryStats()
-        analysis, plan, specs = self._plan(sql, stats)
-        stats.used_secondary_index = (
-            analysis.has_index_restriction and self.secondary_index is not None
-        )
-        stats.used_region_restriction = analysis.region is not None
+        try:
+            analysis, plan, specs = self._plan(sql, stats)
+            stats.used_secondary_index = (
+                analysis.has_index_restriction and self.secondary_index is not None
+            )
+            stats.used_region_restriction = analysis.region is not None
 
-        merge_db = Database(self.metadata.database)
-        payloads = self._dispatch_and_collect(specs, stats)
-        merge_name = self._load_into_merge_table(merge_db, payloads, stats)
+            merge_db = Database(self.metadata.database)
+            payloads = self._dispatch_and_collect(
+                specs, stats, deadline=deadline, allow_partial=allow_partial
+            )
+            merge_name = self._load_into_merge_table(merge_db, payloads, stats)
 
-        if merge_name is None:
-            # Zero chunks dispatched (empty region / unknown objectId).
-            merge_name = self._empty_merge_table(merge_db, plan, analysis)
-        merge_sql = generate_merge_query(plan, analysis.select, merge_name)
-        result = merge_db.execute(merge_sql)
-        stats.elapsed_seconds = time.perf_counter() - t0
+            if merge_name is None:
+                # Zero chunks dispatched (empty region / unknown objectId).
+                merge_name = self._empty_merge_table(merge_db, plan, analysis)
+            merge_sql = generate_merge_query(plan, analysis.select, merge_name)
+            result = merge_db.execute(merge_sql)
+        finally:
+            stats.elapsed_seconds = time.perf_counter() - t0
         return QueryResult(table=result, stats=stats)
 
     # -- dispatch ----------------------------------------------------------------------
 
     def _dispatch_and_collect(
-        self, specs: list[ChunkQuerySpec], stats: QueryStats
-    ) -> list[bytes]:
+        self,
+        specs: list[ChunkQuerySpec],
+        stats: QueryStats,
+        deadline: Optional[Deadline] = None,
+        allow_partial: bool = False,
+    ) -> list[tuple[str, object]]:
         """Run both file transactions for every chunk query.
 
         A worker dying *between* accepting the chunk query and serving
         its result loses the result file; the czar re-dispatches the
-        chunk, letting the redirector resolve to a surviving replica.
+        chunk under its :class:`RetryPolicy`, letting the redirector
+        resolve to a surviving replica, with backoff between attempts
+        and every wait bounded by the query deadline.  Collected
+        payloads are validated (decoded) here, so wire corruption is
+        caught while a re-read from a replica is still possible.
+        Stragglers may additionally be hedged to a second replica.
 
         In ``binary`` mode each chunk query is sent with a
         ``-- RESULT_FORMAT: binary`` header asking the worker for wire
-        bytes; ``sqldump`` mode sends the paper's exact text.
+        bytes; ``sqldump`` mode sends the paper's exact text.  Returns
+        decoded ``("binary", Table)`` / ``("sqldump", text)`` entries.
         """
         if self.wire_format == "binary":
             header = result_format_header("binary") + "\n"
         else:
             header = ""
+        policy = self.retry_policy
 
-        def attempt(spec: ChunkQuerySpec, text: str) -> tuple[str, bytes]:
-            worker = self.client.write_file(query_path(spec.chunk_id), text)
-            data = self.client.read_file(
-                result_path(query_hash(text)), server_name=worker
+        def build_text(spec: ChunkQuerySpec) -> str:
+            # The deadline header carries the *remaining* budget at
+            # dispatch time, so a retry hands the worker a tighter wait.
+            if deadline is None:
+                return header + spec.text
+            return (
+                header
+                + deadline_header(deadline.remaining())
+                + "\n"
+                + spec.text
             )
-            return worker, data
 
-        def one(spec: ChunkQuerySpec) -> bytes:
-            text = header + spec.text
+        def attempt_once(
+            spec: ChunkQuerySpec, exclude=(), worker_box: Optional[list] = None
+        ):
+            """One full dispatch+collect+validate transaction pair."""
+            t0 = time.perf_counter()
+            text = build_text(spec)
+            worker = self.client.write_file(
+                query_path(spec.chunk_id), text, exclude=exclude, deadline=deadline
+            )
+            if worker_box is not None:
+                worker_box.append(worker)
+            data = self.client.read_file(
+                result_path(query_hash(text)), server_name=worker, deadline=deadline
+            )
             try:
-                worker, data = attempt(spec, text)
-            except RedirectError:
-                # The accepting worker is gone; invalidate its cached
-                # location and retry through the replicas.
-                self.client.redirector.invalidate(query_path(spec.chunk_id))
+                kind, payload = self._validate_payload(data)
+            except _PayloadError as e:
+                e.server = worker
+                self.health.record_failure(worker)
+                raise
+            self._observe_latency(time.perf_counter() - t0)
+            return worker, len(text.encode()), len(data), kind, payload
+
+        def attempt(spec: ChunkQuerySpec):
+            """One logical attempt: bounded by the deadline, maybe hedged."""
+            hedge_delay = self._hedge_delay()
+            if deadline is None and hedge_delay is None:
+                return attempt_once(spec)
+            pool = self._ensure_attempt_pool()
+            primary_workers: list = []
+            primary = pool.submit(attempt_once, spec, (), primary_workers)
+            first_wait = hedge_delay
+            if deadline is not None:
+                left = deadline.remaining()
+                first_wait = left if first_wait is None else min(first_wait, left)
+            try:
+                return primary.result(timeout=first_wait)
+            except _FutureTimeout:
+                pass
+            futures = [primary]
+            if hedge_delay is not None and (deadline is None or not deadline.expired):
                 with self._merge_lock:
-                    stats.chunks_retried += 1
-                worker, data = attempt(spec, text)
+                    stats.chunks_hedged += 1
+                hedge = pool.submit(
+                    attempt_once, spec, tuple(primary_workers), None
+                )
+                futures.append(hedge)
+            pending = set(futures)
+            last: Optional[Exception] = None
+            while pending:
+                budget = deadline.remaining() if deadline is not None else None
+                done, not_done = _futures_wait(
+                    pending, timeout=budget, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    # Deadline hit with every attempt still in flight;
+                    # abandon them (their exceptions are swallowed, and
+                    # workers still evict unread results by refcount).
+                    for f in not_done:
+                        f.add_done_callback(_swallow_future)
+                    raise ChunkTimeoutError(
+                        f"chunk {spec.chunk_id}: no replica answered "
+                        "within the query deadline"
+                    )
+                for f in done:
+                    pending.discard(f)
+                    try:
+                        outcome = f.result()
+                    except Exception as e:  # noqa: BLE001 - retried above
+                        last = e
+                        continue
+                    for p in pending:
+                        p.add_done_callback(_swallow_future)
+                    if len(futures) > 1 and f is futures[1]:
+                        with self._merge_lock:
+                            stats.hedges_won += 1
+                    return outcome
+            assert last is not None
+            raise last
+
+        def collect(spec: ChunkQuerySpec):
+            """Retry loop around :func:`attempt` for one chunk."""
+            key = f"chunk-{spec.chunk_id}"
+            last: Optional[Exception] = None
+            for attempt_no in range(policy.max_attempts):
+                if deadline is not None and deadline.expired:
+                    raise ChunkTimeoutError(
+                        f"chunk {spec.chunk_id}: query deadline expired "
+                        f"after {attempt_no} attempt(s): {last}"
+                    )
+                if attempt_no:
+                    with self._merge_lock:
+                        stats.chunks_retried += 1
+                    if not policy.sleep_before(attempt_no, key, deadline):
+                        raise ChunkTimeoutError(
+                            f"chunk {spec.chunk_id}: query deadline expired "
+                            f"during backoff: {last}"
+                        )
+                try:
+                    return attempt(spec)
+                except ChunkTimeoutError:
+                    raise
+                except _RETRYABLE as e:
+                    last = e
+                    # The accepting worker is suspect; invalidate its
+                    # cached location so the next attempt re-resolves
+                    # through the surviving replicas.
+                    self.client.redirector.invalidate(query_path(spec.chunk_id))
+            if deadline is not None and deadline.expired:
+                raise ChunkTimeoutError(
+                    f"chunk {spec.chunk_id}: query deadline expired "
+                    f"after {policy.max_attempts} attempts: {last}"
+                )
+            raise QueryError(
+                f"chunk {spec.chunk_id} failed after "
+                f"{policy.max_attempts} attempts: {last}"
+            )
+
+        def one(spec: ChunkQuerySpec):
+            try:
+                worker, sent, received, kind, payload = collect(spec)
+            except QueryError as e:
+                timed_out = isinstance(e, ChunkTimeoutError)
+                with self._merge_lock:
+                    if timed_out:
+                        stats.chunks_timed_out += 1
+                    stats.failed_chunks.append(spec.chunk_id)
+                    if allow_partial:
+                        stats.partial_result = True
+                if allow_partial:
+                    return None
+                e.stats = stats
+                e.failed_chunks = [spec.chunk_id]
+                raise
             with self._merge_lock:
                 stats.chunks_dispatched += 1
                 stats.sub_chunk_statements += max(len(spec.sub_chunk_ids), 0)
-                stats.bytes_dispatched += len(text.encode())
-                stats.bytes_collected += len(data)
+                stats.bytes_dispatched += sent
+                stats.bytes_collected += received
                 stats.workers_used.add(worker)
-            return data
+            return kind, payload
 
         if self._pool is None or len(specs) <= 1:
-            return [one(s) for s in specs]
-        return list(self._pool.map(one, specs))
+            collected = [one(s) for s in specs]
+        else:
+            collected = list(self._pool.map(one, specs))
+        return [entry for entry in collected if entry is not None]
+
+    @staticmethod
+    def _validate_payload(data: bytes) -> tuple[str, object]:
+        """Decode one collected payload, surfacing corruption as retryable.
+
+        Wire-magic payloads must decode into a table; anything else
+        must at least be valid text (a legacy mysqldump stream).  A
+        failure here means the bytes were damaged in flight or at rest,
+        and the chunk is re-dispatched so a clean replica can answer.
+        """
+        if is_wire_payload(data):
+            try:
+                return "binary", decode_table(data)
+            except Exception as e:
+                raise _PayloadError(f"corrupt binary result payload: {e}") from e
+        try:
+            return "sqldump", data.decode()
+        except UnicodeDecodeError as e:
+            raise _PayloadError(f"undecodable result payload: {e}") from e
 
     def _empty_merge_table(self, merge_db: Database, plan, analysis) -> str:
         """A merge table standing in for zero dispatched chunks.
@@ -396,25 +729,26 @@ class Czar:
         return name
 
     def _load_into_merge_table(
-        self, merge_db: Database, payloads: list[bytes], stats: QueryStats
+        self, merge_db: Database, payloads: list[tuple[str, object]], stats: QueryStats
     ) -> Optional[str]:
-        """Decode every chunk payload, then build the merge table in one pass.
+        """Build the merge table from decoded chunk payloads in one pass.
 
-        Payloads carrying the wire magic decode straight into NumPy
-        columns; anything else is treated as a legacy mysqldump stream
-        and replayed through the SQL engine (mixed-version clusters).
-        All decoded chunk tables are then concatenated with one
-        ``np.concatenate`` per column instead of per-chunk appends.
+        Payloads were already decoded (and thereby validated) during
+        collection: ``("binary", Table)`` entries are wire decodes,
+        ``("sqldump", text)`` entries are legacy mysqldump streams
+        replayed through the SQL engine (mixed-version clusters).  All
+        chunk tables are then concatenated with one ``np.concatenate``
+        per column instead of per-chunk appends.
         """
         merge_name = f"{_MERGE_TABLE}_{next(self._merge_counter)}"
         tables: list[Table] = []
         binary = legacy = 0
-        for data in payloads:
-            if is_wire_payload(data):
-                tables.append(decode_table(data))
+        for kind, payload in payloads:
+            if kind == "binary":
+                tables.append(payload)
                 binary += 1
             else:
-                loaded_name = load_dump(merge_db, data.decode())
+                loaded_name = load_dump(merge_db, payload)
                 tables.append(merge_db.get_table(loaded_name))
                 merge_db.drop_table(loaded_name)
                 legacy += 1

@@ -18,6 +18,7 @@ from typing import Iterable, Optional, Sequence
 
 from ..partition import Chunker
 from ..xrd import Redirector
+from ..xrd.health import HealthTracker
 from .czar import Czar, QueryResult
 from .metadata import CatalogMetadata
 from .secondary_index import SecondaryIndex
@@ -29,6 +30,7 @@ __all__ = ["LoadBalancingFrontend"]
 class _MasterStats:
     queries: int = 0
     chunks: int = 0
+    failures: int = 0
 
 
 class LoadBalancingFrontend:
@@ -37,6 +39,11 @@ class LoadBalancingFrontend:
     All masters share the metadata, chunker, secondary index, and the
     same Xrootd cluster -- exactly what "launch multiple master
     instances" means; only dispatch/merge work is replicated.
+
+    Masters are health-tracked like any other replica: a master whose
+    queries keep failing trips a circuit breaker and is skipped by the
+    round-robin until its cooldown elapses, at which point one probe
+    query is routed back through it.
     """
 
     def __init__(
@@ -49,6 +56,8 @@ class LoadBalancingFrontend:
         available_chunks: Optional[Iterable[int]] = None,
         dispatch_parallelism: int = 4,
         wire_format: str = "binary",
+        master_health: Optional[HealthTracker] = None,
+        **czar_kwargs,
     ):
         if num_masters < 1:
             raise ValueError("num_masters must be >= 1")
@@ -62,24 +71,49 @@ class LoadBalancingFrontend:
                 available_chunks=chunks,
                 dispatch_parallelism=dispatch_parallelism,
                 wire_format=wire_format,
+                **czar_kwargs,
             )
             for _ in range(num_masters)
         ]
         self._rr = itertools.count()
         self._stats = [_MasterStats() for _ in self.czars]
         self._lock = threading.Lock()
+        self.master_health = master_health or HealthTracker(
+            failure_threshold=3, cooldown=1.0
+        )
 
     @property
     def num_masters(self) -> int:
         return len(self.czars)
 
-    def _pick(self) -> int:
-        return next(self._rr) % len(self.czars)
+    @staticmethod
+    def _master_name(index: int) -> str:
+        return f"master-{index}"
 
-    def query(self, sql: str) -> QueryResult:
-        """Submit one query through the next master, round-robin."""
+    def _pick(self) -> int:
+        """Next healthy master, round-robin; any master if all are tripped."""
+        first = next(self._rr) % len(self.czars)
+        for offset in range(len(self.czars)):
+            index = (first + offset) % len(self.czars)
+            if self.master_health.available(self._master_name(index)):
+                return index
+        return first
+
+    def query(self, sql: str, **submit_kwargs) -> QueryResult:
+        """Submit one query through the next healthy master.
+
+        Extra keyword arguments (``deadline``, ``allow_partial``) are
+        forwarded to :meth:`Czar.submit`.
+        """
         index = self._pick()
-        result = self.czars[index].submit(sql)
+        try:
+            result = self.czars[index].submit(sql, **submit_kwargs)
+        except Exception:
+            with self._lock:
+                self._stats[index].failures += 1
+            self.master_health.record_failure(self._master_name(index))
+            raise
+        self.master_health.record_success(self._master_name(index))
         with self._lock:
             self._stats[index].queries += 1
             self._stats[index].chunks += result.stats.chunks_dispatched
@@ -119,6 +153,14 @@ class LoadBalancingFrontend:
         """(queries, chunks dispatched) per master, in master order."""
         with self._lock:
             return [(s.queries, s.chunks) for s in self._stats]
+
+    def unhealthy_masters(self) -> list[int]:
+        """Indices of masters currently tripped by the circuit breaker."""
+        return [
+            i
+            for i in range(len(self.czars))
+            if self.master_health.state(self._master_name(i)) != "closed"
+        ]
 
     def close(self) -> None:
         """Shut down every master's dispatch pool."""

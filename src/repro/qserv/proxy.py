@@ -42,13 +42,17 @@ class QservProxy:
         self.local_db = local_db
         self.log = SessionLog()
 
-    def query(self, sql: str) -> QueryResult:
-        """Submit one query; raises SqlError/QservAnalysisError on failure."""
+    def query(self, sql: str, **submit_kwargs) -> QueryResult:
+        """Submit one query; raises SqlError/QservAnalysisError on failure.
+
+        Extra keyword arguments (``deadline``, ``allow_partial``) are
+        forwarded to :meth:`Czar.submit`.
+        """
         t0 = time.perf_counter()
         self.log.queries += 1
         try:
             try:
-                result = self.czar.submit(sql)
+                result = self.czar.submit(sql, **submit_kwargs)
                 self.log.distributed_queries += 1
             except QservAnalysisError:
                 if self.local_db is None:

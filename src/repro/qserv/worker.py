@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import re
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
 
@@ -27,6 +28,7 @@ from ..sql.engine import ResultTable
 from ..sql.wire import encode_table
 from ..xrd import OfsPlugin
 from ..xrd.protocol import (
+    DEADLINE_HEADER_PREFIX,
     QUERY_PREFIX,
     RESULT_FORMAT_HEADER_PREFIX,
     RESULT_PREFIX,
@@ -36,12 +38,24 @@ from ..xrd.protocol import (
 )
 from .rewrite import SUBCHUNK_HEADER_PREFIX
 
-__all__ = ["QservWorker", "WorkerStats"]
+__all__ = ["QservWorker", "WorkerStats", "WorkerShutdownError"]
 
 # Physical sub-chunk table names: Object_713_45 / ObjectFullOverlap_713_45.
 _SUBCHUNK_RE = re.compile(r"^(?P<base>\w+?)_(?P<chunk>\d+)_(?P<sub>\d+)$")
 
 _RESULT_TABLE = "chunk_result"
+
+# Error recorded against every result a shutdown abandons.
+_SHUTDOWN_MESSAGE = "worker is shut down"
+
+
+class WorkerShutdownError(SqlError):
+    """The worker shut down before (or while) producing this result.
+
+    Distinguished from ordinary :class:`SqlError` because the master
+    may safely re-dispatch the chunk to a surviving replica -- the
+    query itself is not at fault.
+    """
 
 
 @dataclass
@@ -84,6 +98,12 @@ class QservWorker(OfsPlugin):
         result was cached" observations).  Safe here because the
         catalog is read-only ("Support for updates has not been
         implemented"); off by default to mirror uncached measurements.
+    result_wait_timeout:
+        Upper bound, in seconds, a result read blocks waiting for
+        in-flight execution.  A chunk query carrying a
+        ``-- DEADLINE:`` header tightens the wait further, so a hung
+        executor surfaces to the master as a missing result within the
+        query's budget instead of deadlocking the read.
     """
 
     def __init__(
@@ -93,17 +113,24 @@ class QservWorker(OfsPlugin):
         slots: int = 0,
         cache_sub_chunks: bool = False,
         cache_results: bool = False,
+        result_wait_timeout: float = 300.0,
     ):
         if slots < 0:
             raise ValueError("slots must be >= 0")
+        if result_wait_timeout <= 0:
+            raise ValueError("result_wait_timeout must be > 0")
         self.name = name
         self.db = db or Database("LSST")
         self.cache_sub_chunks = cache_sub_chunks
         self.cache_results = cache_results
+        self.result_wait_timeout = result_wait_timeout
         self.stats = WorkerStats()
         self._results: dict[str, bytes] = {}
         self._result_ready: dict[str, threading.Event] = {}
         self._errors: dict[str, str] = {}
+        # Absolute monotonic deadline per result path, from the chunk
+        # query's -- DEADLINE: header; bounds the on_read wait.
+        self._deadlines: dict[str, float] = {}
         # Reads still owed per result path; with cache_results=False a
         # result is evicted when the last expected reader has read it.
         self._pending_reads: dict[str, int] = {}
@@ -134,7 +161,20 @@ class QservWorker(OfsPlugin):
         chunk_id = chunk_id_of_query_path(path)
         text = data.decode()
         rpath = result_path(query_hash(text))
+        budget = self._deadline_seconds(text)
         with self._lock:
+            if self._shutdown:
+                # A dispatch raced our shutdown; fail it immediately so
+                # the master's read is released with an error instead
+                # of blocking on a result that will never be produced.
+                self._errors[rpath] = _SHUTDOWN_MESSAGE
+                event = self._result_ready.setdefault(rpath, threading.Event())
+                if not self.cache_results:
+                    self._pending_reads[rpath] = (
+                        self._pending_reads.get(rpath, 0) + 1
+                    )
+                event.set()
+                return
             if (
                 self.cache_results
                 and rpath in self._results
@@ -145,6 +185,8 @@ class QservWorker(OfsPlugin):
                 self._result_ready[rpath].set()
                 return
             self._result_ready.setdefault(rpath, threading.Event())
+            if budget is not None:
+                self._deadlines[rpath] = time.monotonic() + budget
             if not self.cache_results:
                 self._pending_reads[rpath] = self._pending_reads.get(rpath, 0) + 1
         if self.slots == 0:
@@ -168,14 +210,20 @@ class QservWorker(OfsPlugin):
         """
         with self._lock:
             event = self._result_ready.get(path)
+            deadline = self._deadlines.get(path)
         if event is None:
             return None
-        if not event.wait(timeout=300.0):
+        timeout = self.result_wait_timeout
+        if deadline is not None:
+            timeout = min(timeout, max(deadline - time.monotonic(), 0.0))
+        if not event.wait(timeout=timeout):
             return None
         with self._lock:
             if path in self._errors:
                 message = self._errors[path]
                 self._done_reading(path)
+                if message == _SHUTDOWN_MESSAGE:
+                    raise WorkerShutdownError(f"worker {self.name}: {message}")
                 raise SqlError(f"worker {self.name}: {message}")
             data = self._results.get(path)
             if data is not None:
@@ -194,6 +242,7 @@ class QservWorker(OfsPlugin):
         self._results.pop(path, None)
         self._errors.pop(path, None)
         self._result_ready.pop(path, None)
+        self._deadlines.pop(path, None)
         self.stats.results_evicted += 1
 
     # -- queue service ------------------------------------------------------------------
@@ -208,12 +257,25 @@ class QservWorker(OfsPlugin):
                 rpath, chunk_id, text = self._queue.popleft()
             self._run_task(rpath, chunk_id, text)
 
-    def shutdown(self):
+    def shutdown(self, timeout: float = 5.0):
+        """Stop serving; release every blocked reader with an error.
+
+        Results still pending (queued but never executed, or in flight
+        on a slot that will not finish) must not leave the master
+        blocked on the result-ready wait: each unset event is failed
+        with a typed error and set, so ``on_read`` returns promptly.
+        """
         with self._queue_cv:
             self._shutdown = True
+            self._queue.clear()
+            # Fail every result nobody has produced yet.
+            for rpath, event in self._result_ready.items():
+                if not event.is_set():
+                    self._errors.setdefault(rpath, _SHUTDOWN_MESSAGE)
+                    event.set()
             self._queue_cv.notify_all()
         for t in self._threads:
-            t.join(timeout=5.0)
+            t.join(timeout=timeout)
 
     def queue_length(self) -> int:
         with self._lock:
@@ -242,6 +304,19 @@ class QservWorker(OfsPlugin):
                 event = self._result_ready.get(rpath)
                 if event is not None:
                     event.set()
+
+    @staticmethod
+    def _deadline_seconds(text: str):
+        """The time budget from the ``-- DEADLINE:`` header, or None."""
+        for line in text.lstrip().splitlines():
+            if line.startswith(DEADLINE_HEADER_PREFIX):
+                try:
+                    return max(float(line[len(DEADLINE_HEADER_PREFIX) :]), 0.0)
+                except ValueError:
+                    return None
+            if not line.startswith("--"):
+                break  # headers only appear before the first statement
+        return None
 
     @staticmethod
     def _result_format(text: str) -> str:

@@ -122,8 +122,13 @@ class QservShell:
                 ("plan cache hit", bool(s.plan_cache_hits)),
                 ("secondary index", s.used_secondary_index),
                 ("region restriction", s.used_region_restriction),
+                ("chunks retried", s.chunks_retried),
+                ("chunks hedged", f"{s.chunks_hedged} ({s.hedges_won} won)"),
+                ("chunks timed out", s.chunks_timed_out),
                 ("elapsed (s)", round(s.elapsed_seconds, 4)),
             ]
+            if s.partial_result:
+                rows.append(("PARTIAL: failed chunks", sorted(s.failed_chunks)))
             return _format_table(["metric", "value"], rows)
         if cmd == "\\chunks":
             placement = self.testbed.placement
@@ -142,13 +147,14 @@ class QservShell:
                 self.testbed.placement, self.testbed.redirector, self.testbed.workers
             )
             h = admin.health()
+            breaker = self.testbed.czar.health
             rows = [
-                (n.name, "up" if n.up else "DOWN", n.primary_chunks, n.hosted_chunks,
-                 n.queries_executed)
+                (n.name, "up" if n.up else "DOWN", breaker.state(n.name),
+                 n.primary_chunks, n.hosted_chunks, n.queries_executed)
                 for n in h.nodes
             ]
             out = _format_table(
-                ["worker", "state", "primary", "hosted", "queries"], rows
+                ["worker", "state", "breaker", "primary", "hosted", "queries"], rows
             )
             out += (
                 f"\ncluster: {'healthy' if h.healthy else 'DEGRADED'}, "

@@ -18,12 +18,22 @@ This subpackage reproduces that structure in-process:
 - :mod:`~repro.xrd.client` -- the client API implementing the paper's
   two file-level transactions (write a chunk query to
   ``/query2/<chunkId>``; read results from ``/result/<md5>``);
-- :mod:`~repro.xrd.protocol` -- the path scheme and MD5 result naming.
+- :mod:`~repro.xrd.protocol` -- the path scheme and MD5 result naming;
+- :mod:`~repro.xrd.retry` -- bounded retries with deterministic-jitter
+  backoff and monotonic deadlines;
+- :mod:`~repro.xrd.health` -- per-server consecutive-failure circuit
+  breaker feeding the redirector's replica choice;
+- :mod:`~repro.xrd.faults` -- seeded, composable fault injection
+  (crash windows, stragglers, corruption, lost results) attachable to
+  any data server.
 """
 
 from .filesystem import FileSystem, FileSystemError
 from .dataserver import DataServer, OfsPlugin
 from .redirector import Redirector, RedirectError
+from .retry import Deadline, RetryPolicy
+from .health import HealthTracker
+from .faults import FaultPlan
 from .client import XrdClient
 from .protocol import query_path, result_path, query_hash
 
@@ -34,6 +44,10 @@ __all__ = [
     "OfsPlugin",
     "Redirector",
     "RedirectError",
+    "RetryPolicy",
+    "Deadline",
+    "HealthTracker",
+    "FaultPlan",
     "XrdClient",
     "query_path",
     "result_path",

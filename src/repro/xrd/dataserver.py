@@ -114,6 +114,10 @@ class DataServer:
         self.plugin = plugin
         self._exports: set[str] = set()
         self.up = True
+        #: Optional :class:`repro.xrd.faults.FaultPlan` consulted on
+        #: every open; None in production.  This is the first-class
+        #: fault-injection seam the chaos tests attach to.
+        self.faults = None
 
     # -- namespace exports ---------------------------------------------------
 
@@ -144,18 +148,25 @@ class DataServer:
     def open(self, path: str, mode: str):
         if not self.up:
             raise FileSystemError(f"server {self.name} is down")
+        if self.faults is not None:
+            self.faults.before_open(self, path, mode)
         if self.plugin is not None and self.plugin.claims(path):
             if mode == "w":
-                return _PluginWriteHandle(self, path)
-            if mode == "r":
+                handle = _PluginWriteHandle(self, path)
+            elif mode == "r":
                 data = self.plugin.on_read(path)
                 if data is None:
                     raise FileSystemError(
                         f"{path}: not available on server {self.name}"
                     )
-                return _PluginReadHandle(path, data)
-            raise FileSystemError(f"bad mode {mode!r}")
-        return self.fs.open(path, mode)
+                handle = _PluginReadHandle(path, data)
+            else:
+                raise FileSystemError(f"bad mode {mode!r}")
+        else:
+            handle = self.fs.open(path, mode)
+        if self.faults is not None:
+            handle = self.faults.wrap_handle(self, path, mode, handle)
+        return handle
 
     def __repr__(self):
         state = "up" if self.up else "down"

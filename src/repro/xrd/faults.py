@@ -1,0 +1,305 @@
+"""First-class fault injection for the dispatch fabric.
+
+Fault-tolerance tests used to express failures as ad-hoc
+``DataServer`` subclasses wired in by hand.  This module replaces them
+with a composable, seeded :class:`FaultPlan` that any server consults
+on every file transaction (``server.faults = plan``, or
+``plan.attach(server)``).  A plan is a chain of injectors:
+
+- :meth:`~FaultPlan.die_after_writes` -- the paper's nastiest window:
+  the node accepts a chunk query (the write *commits*) and then dies
+  before the result can be read;
+- :meth:`~FaultPlan.die_after_reads` -- crash after serving N reads;
+- :meth:`~FaultPlan.fail_opens` -- refuse the next N opens, then
+  recover (flaky-then-recover);
+- :meth:`~FaultPlan.slow_reads` / :meth:`~FaultPlan.slow_writes` --
+  straggler latency, for timeout and hedging tests;
+- :meth:`~FaultPlan.corrupt_reads` -- flip payload bytes past the wire
+  magic, so the czar's decode catches it;
+- :meth:`~FaultPlan.drop_reads` -- the result vanished: reads of
+  matching paths fail as if the file was never published.
+
+All counters are thread-safe, probabilistic faults draw from one
+seeded ``random.Random``, and builders return ``self`` so plans
+compose::
+
+    server.faults = FaultPlan(seed=7).fail_opens(2).slow_reads(0.05, count=3)
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Optional
+
+from .filesystem import FileSystemError
+
+__all__ = ["FaultPlan"]
+
+
+class _Fault:
+    """One injector; subclasses override either hook."""
+
+    def before_open(self, plan: "FaultPlan", server, path: str, mode: str) -> None:
+        """May raise FileSystemError or sleep before the open proceeds."""
+
+    def wrap_handle(self, plan: "FaultPlan", server, path: str, mode: str, handle):
+        """May return a wrapped handle observing reads/writes/close."""
+        return handle
+
+
+class _FaultHandle:
+    """Delegating handle with a close callback and a read transform."""
+
+    def __init__(self, inner, on_close=None, transform_read=None):
+        self._inner = inner
+        self._on_close = on_close
+        self._transform_read = transform_read
+        self.path = inner.path
+        self.mode = inner.mode
+
+    def write(self, data):
+        return self._inner.write(data)
+
+    def read(self, size: int = -1):
+        data = self._inner.read(size)
+        if self._transform_read is not None:
+            data = self._transform_read(data)
+        return data
+
+    def close(self):
+        self._inner.close()
+        if self._on_close is not None:
+            callback, self._on_close = self._on_close, None
+            callback()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        # Mirror the inner handles: close once, even on error exit.
+        if getattr(self._inner, "_closed", False):
+            return False
+        self.close()
+        return False
+
+
+def _matches(path: str, prefix: Optional[str]) -> bool:
+    return prefix is None or path.startswith(prefix)
+
+
+class _DieAfterOps(_Fault):
+    """Crash the server after the Nth matching transaction *commits*."""
+
+    def __init__(self, mode: str, count: int, prefix: Optional[str]):
+        self.mode = mode
+        self.left = count
+        self.prefix = prefix
+
+    def wrap_handle(self, plan, server, path, mode, handle):
+        if mode != self.mode or not _matches(path, self.prefix):
+            return handle
+        with plan._lock:
+            if self.left <= 0:
+                return handle
+            self.left -= 1
+            fatal = self.left == 0
+        if not fatal:
+            return handle
+        return _FaultHandle(handle, on_close=server.fail)
+
+
+class _FailOpens(_Fault):
+    """Refuse the next N matching opens, then behave normally."""
+
+    def __init__(self, count: int, mode: Optional[str], prefix: Optional[str]):
+        self.left = count
+        self.mode = mode
+        self.prefix = prefix
+
+    def before_open(self, plan, server, path, mode):
+        if self.mode is not None and mode != self.mode:
+            return
+        if not _matches(path, self.prefix):
+            return
+        with plan._lock:
+            if self.left <= 0:
+                return
+            self.left -= 1
+        raise FileSystemError(
+            f"server {server.name}: injected open failure for {path!r}"
+        )
+
+
+class _SlowOps(_Fault):
+    """Sleep before matching opens (a straggling disk or network)."""
+
+    def __init__(
+        self, seconds: float, mode: str, prefix: Optional[str], count: Optional[int]
+    ):
+        self.seconds = seconds
+        self.mode = mode
+        self.prefix = prefix
+        self.left = count  # None = every time
+
+    def before_open(self, plan, server, path, mode):
+        if mode != self.mode or not _matches(path, self.prefix):
+            return
+        if self.left is not None:
+            with plan._lock:
+                if self.left <= 0:
+                    return
+                self.left -= 1
+        time.sleep(self.seconds)
+
+
+class _CorruptReads(_Fault):
+    """Flip one payload byte past the wire magic on matching reads."""
+
+    def __init__(
+        self, prefix: Optional[str], probability: float, count: Optional[int]
+    ):
+        self.prefix = prefix
+        self.probability = probability
+        self.left = count
+
+    def wrap_handle(self, plan, server, path, mode, handle):
+        if mode != "r" or not _matches(path, self.prefix):
+            return handle
+        with plan._lock:
+            if self.left is not None and self.left <= 0:
+                return handle
+            if plan.rng.random() >= self.probability:
+                return handle
+            if self.left is not None:
+                self.left -= 1
+            # Seeded, so a run corrupts the same offsets every time.
+            pick = plan.rng.random()
+
+        def corrupt(data: bytes) -> bytes:
+            if len(data) <= 8:
+                return data
+            # Past the first 8 bytes: the wire magic survives, so the
+            # payload still routes to the binary decoder.  A bit flip
+            # alone can land in a numeric column and corrupt silently,
+            # so the tail byte is also dropped -- the decoder's bounds
+            # checks always catch the short payload.
+            offset = 8 + int(pick * (len(data) - 8))
+            mutated = bytearray(data[:-1])
+            if offset < len(mutated):
+                mutated[offset] ^= 0xFF
+            return bytes(mutated)
+
+        return _FaultHandle(handle, transform_read=corrupt)
+
+
+class _DropReads(_Fault):
+    """Matching reads fail as if the file was never published."""
+
+    def __init__(self, prefix: Optional[str], count: Optional[int]):
+        self.prefix = prefix
+        self.left = count
+
+    def before_open(self, plan, server, path, mode):
+        if mode != "r" or not _matches(path, self.prefix):
+            return
+        if self.left is not None:
+            with plan._lock:
+                if self.left <= 0:
+                    return
+                self.left -= 1
+        raise FileSystemError(
+            f"server {server.name}: injected lost result for {path!r}"
+        )
+
+
+class FaultPlan:
+    """A seeded, composable chain of fault injectors for one server."""
+
+    def __init__(self, seed: int = 0):
+        self.rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._faults: list[_Fault] = []
+
+    # -- builders (each returns self, so plans chain) ----------------------------
+
+    def die_after_writes(self, count: int = 1, path_prefix: Optional[str] = None):
+        """Crash after the Nth write commits (accepted query, lost result)."""
+        self._faults.append(_DieAfterOps("w", count, path_prefix))
+        return self
+
+    def die_after_reads(self, count: int = 1, path_prefix: Optional[str] = None):
+        """Crash after serving the Nth read."""
+        self._faults.append(_DieAfterOps("r", count, path_prefix))
+        return self
+
+    def fail_opens(
+        self,
+        count: int,
+        mode: Optional[str] = None,
+        path_prefix: Optional[str] = None,
+    ):
+        """Refuse the next N opens (flaky-then-recover)."""
+        self._faults.append(_FailOpens(count, mode, path_prefix))
+        return self
+
+    def slow_reads(
+        self,
+        seconds: float,
+        path_prefix: Optional[str] = None,
+        count: Optional[int] = None,
+    ):
+        """Delay reads -- a straggling replica (hedging/timeout trigger)."""
+        self._faults.append(_SlowOps(seconds, "r", path_prefix, count))
+        return self
+
+    def slow_writes(
+        self,
+        seconds: float,
+        path_prefix: Optional[str] = None,
+        count: Optional[int] = None,
+    ):
+        """Delay writes -- slow dispatch acceptance."""
+        self._faults.append(_SlowOps(seconds, "w", path_prefix, count))
+        return self
+
+    def corrupt_reads(
+        self,
+        path_prefix: Optional[str] = "/result/",
+        probability: float = 1.0,
+        count: Optional[int] = None,
+    ):
+        """Flip a payload byte on matching reads (wire-level corruption)."""
+        self._faults.append(_CorruptReads(path_prefix, probability, count))
+        return self
+
+    def drop_reads(
+        self,
+        path_prefix: Optional[str] = "/result/",
+        count: Optional[int] = None,
+    ):
+        """Matching reads fail: the published bytes are gone."""
+        self._faults.append(_DropReads(path_prefix, count))
+        return self
+
+    # -- hooks called by DataServer.open ----------------------------------------
+
+    def before_open(self, server, path: str, mode: str) -> None:
+        for fault in self._faults:
+            fault.before_open(self, server, path, mode)
+
+    def wrap_handle(self, server, path: str, mode: str, handle):
+        for fault in self._faults:
+            handle = fault.wrap_handle(self, server, path, mode, handle)
+        return handle
+
+    # -- wiring ------------------------------------------------------------------
+
+    def attach(self, server):
+        """Install this plan on ``server`` and return the server."""
+        server.faults = self
+        return server
+
+    def __repr__(self):
+        return f"FaultPlan({len(self._faults)} injectors)"

@@ -1,0 +1,149 @@
+"""Per-server health tracking: a consecutive-failure circuit breaker.
+
+The redirector's fail-over (re-resolve among surviving replicas) reacts
+to a *down* server, but a flapping or half-broken replica stays ``up``
+and keeps winning the deterministic tie-break.  The tracker watches
+operation outcomes per server name and trips a breaker after N
+consecutive failures; a tripped server is deprioritized by
+:meth:`Redirector.locate` until its cooldown elapses, at which point a
+single probe is allowed back through (half-open).  A probe success
+closes the breaker; a probe failure re-opens it with a doubled cooldown
+(capped).
+
+The same tracker serves the multi-master frontend: czar instances are
+just another kind of replica to route around.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+__all__ = ["HealthTracker", "ServerHealth"]
+
+_CLOSED, _OPEN, _HALF_OPEN = "closed", "open", "half-open"
+
+
+@dataclass
+class ServerHealth:
+    """One server's breaker state (snapshot view)."""
+
+    state: str = _CLOSED
+    consecutive_failures: int = 0
+    failures: int = 0
+    successes: int = 0
+    opened_at: float = 0.0
+    cooldown: float = 0.0
+    probes: int = 0
+
+
+class HealthTracker:
+    """Consecutive-failure circuit breaker over named servers.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the breaker open.
+    cooldown:
+        Seconds a tripped server is deprioritized before one probe is
+        allowed back through; doubles on a failed probe, up to
+        ``max_cooldown``.
+    clock:
+        Injectable monotonic clock (tests advance a fake one).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: float = 1.0,
+        max_cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.max_cooldown = max_cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._servers: Dict[str, ServerHealth] = {}
+
+    def _entry(self, name: str) -> ServerHealth:
+        entry = self._servers.get(name)
+        if entry is None:
+            entry = self._servers[name] = ServerHealth(cooldown=self.cooldown)
+        return entry
+
+    # -- outcome reporting -------------------------------------------------------
+
+    def record_success(self, name: str) -> None:
+        with self._lock:
+            entry = self._entry(name)
+            entry.successes += 1
+            entry.consecutive_failures = 0
+            entry.state = _CLOSED
+            entry.cooldown = self.cooldown
+
+    def record_failure(self, name: str) -> None:
+        with self._lock:
+            entry = self._entry(name)
+            entry.failures += 1
+            entry.consecutive_failures += 1
+            if entry.state == _HALF_OPEN:
+                # The probe failed: back open, with a longer cooldown.
+                entry.state = _OPEN
+                entry.opened_at = self._clock()
+                entry.cooldown = min(entry.cooldown * 2.0, self.max_cooldown)
+            elif (
+                entry.state == _CLOSED
+                and entry.consecutive_failures >= self.failure_threshold
+            ):
+                entry.state = _OPEN
+                entry.opened_at = self._clock()
+
+    # -- routing decisions -------------------------------------------------------
+
+    def available(self, name: str) -> bool:
+        """Should routing prefer this server right now?
+
+        Closed servers: yes.  Open servers: no, until the cooldown
+        elapses -- then the breaker goes half-open and this call admits
+        the probe (returning True once; further calls keep admitting
+        until the probe's outcome is recorded, which is fine for a
+        deprioritization hint).
+        """
+        with self._lock:
+            entry = self._servers.get(name)
+            if entry is None or entry.state == _CLOSED:
+                return True
+            if entry.state == _OPEN:
+                if self._clock() - entry.opened_at >= entry.cooldown:
+                    entry.state = _HALF_OPEN
+                    entry.probes += 1
+                    return True
+                return False
+            return True  # half-open: probe in flight
+
+    def state(self, name: str) -> str:
+        with self._lock:
+            entry = self._servers.get(name)
+            return entry.state if entry is not None else _CLOSED
+
+    def snapshot(self) -> Dict[str, ServerHealth]:
+        """A copy of every tracked server's state (for \\health reports)."""
+        with self._lock:
+            return {
+                name: ServerHealth(**vars(entry))
+                for name, entry in self._servers.items()
+            }
+
+    def __repr__(self):
+        with self._lock:
+            open_count = sum(
+                1 for e in self._servers.values() if e.state != _CLOSED
+            )
+        return f"HealthTracker(tracked={len(self._servers)}, tripped={open_count})"

@@ -27,11 +27,13 @@ __all__ = [
     "QUERY_PREFIX",
     "RESULT_PREFIX",
     "RESULT_FORMAT_HEADER_PREFIX",
+    "DEADLINE_HEADER_PREFIX",
     "WIRE_FORMATS",
     "query_path",
     "result_path",
     "query_hash",
     "result_format_header",
+    "deadline_header",
 ]
 
 QUERY_PREFIX = "/query2/"
@@ -39,6 +41,12 @@ RESULT_PREFIX = "/result/"
 
 #: Chunk-query comment line requesting a result encoding from the worker.
 RESULT_FORMAT_HEADER_PREFIX = "-- RESULT_FORMAT:"
+
+#: Chunk-query comment line carrying the query's remaining time budget
+#: (seconds).  A worker bounds its result-ready wait by it, so a hung
+#: executor surfaces as a missing result instead of a deadlocked read.
+#: Workers without deadline support ignore the comment line.
+DEADLINE_HEADER_PREFIX = "-- DEADLINE:"
 
 #: Result encodings a czar may request / a worker may publish.
 WIRE_FORMATS = ("binary", "sqldump")
@@ -49,6 +57,13 @@ def result_format_header(wire_format: str) -> str:
     if wire_format not in WIRE_FORMATS:
         raise ValueError(f"unknown wire format {wire_format!r}")
     return f"{RESULT_FORMAT_HEADER_PREFIX} {wire_format}"
+
+
+def deadline_header(seconds: float) -> str:
+    """The chunk-query header line carrying a remaining time budget."""
+    if seconds < 0:
+        raise ValueError("deadline seconds must be >= 0")
+    return f"{DEADLINE_HEADER_PREFIX} {seconds:.3f}"
 
 
 def query_path(chunk_id: int) -> str:

@@ -58,32 +58,53 @@ class Redirector:
 
     # -- namespace ------------------------------------------------------------------
 
-    def locate(self, path: str) -> DataServer:
+    def locate(self, path: str, exclude=(), health=None) -> DataServer:
         """The data server a client should contact for ``path``.
 
         Prefers the cached mapping; falls back to scanning exports.  A
         cached-but-down server triggers invalidation and re-resolution
         among remaining replicas.
+
+        ``exclude`` names servers to avoid (hedged dispatch sends the
+        duplicate elsewhere).  ``health`` is an optional
+        :class:`~repro.xrd.health.HealthTracker`: circuit-broken
+        replicas are deprioritized, chosen only when no preferred
+        replica remains (which doubles as the probe that lets a
+        recovered server back in).
         """
+        exclude = set(exclude)
         with self._lock:
             self.lookups += 1
             cached = self._cache.get(path)
             if cached is not None:
                 server = self._servers.get(cached)
-                if server is not None and server.up and server.serves(path):
+                if (
+                    server is not None
+                    and server.up
+                    and server.serves(path)
+                    and server.name not in exclude
+                    and (health is None or health.available(server.name))
+                ):
                     self.cache_hits += 1
                     return server
-                del self._cache[path]
+                if server is None or not server.up or not server.serves(path):
+                    del self._cache[path]
             candidates = [
                 s
                 for s in self._servers.values()
-                if s.up and s.serves(path)
+                if s.up and s.serves(path) and s.name not in exclude
             ]
             if not candidates:
                 raise RedirectError(f"no live server exports {path!r}")
+            preferred = (
+                [s for s in candidates if health.available(s.name)]
+                if health is not None
+                else candidates
+            )
             # Deterministic tie-break; replicas give len(candidates) > 1.
-            chosen = min(candidates, key=lambda s: s.name)
-            self._cache[path] = chosen.name
+            chosen = min(preferred or candidates, key=lambda s: s.name)
+            if not exclude:
+                self._cache[path] = chosen.name
             self.redirects += 1
             return chosen
 
@@ -99,6 +120,16 @@ class Redirector:
                 self._cache.clear()
             else:
                 self._cache.pop(path, None)
+
+    def invalidate_server(self, name: str) -> None:
+        """Drop every cached location pointing at ``name``.
+
+        Called on read-side fail-over: once a server failed to serve a
+        pinned read, none of its cached locations should be re-resolved
+        by later queries.
+        """
+        with self._lock:
+            self._cache = {p: s for p, s in self._cache.items() if s != name}
 
     def __repr__(self):
         return f"Redirector(servers={len(self._servers)}, cached={len(self._cache)})"

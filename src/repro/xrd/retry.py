@@ -1,0 +1,134 @@
+"""Retry and deadline policy for the dispatch fabric.
+
+The paper's fault-tolerance story (section 5.6) is "the czar
+re-dispatches a chunk through a surviving Xrootd replica".  A bare
+re-attempt is not enough for continuous operation under partial
+failure: a hung worker must surface as a timeout instead of a deadlock,
+and a flapping replica must not be hammered in a tight loop.  This
+module provides the two small primitives every layer shares:
+
+- :class:`RetryPolicy` -- bounded attempts with exponential backoff and
+  *deterministic* jitter (keyed on the operation, so a test run is
+  reproducible byte for byte while concurrent chunks still de-correlate);
+- :class:`Deadline` -- an absolute monotonic-clock budget threaded from
+  ``Czar.submit(sql, deadline=...)`` down to the worker's result-ready
+  wait.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["RetryPolicy", "Deadline"]
+
+
+class Deadline:
+    """An absolute point on the monotonic clock; ``None`` means forever.
+
+    Use :meth:`after` to start a budget, :meth:`remaining` to bound a
+    wait, and :attr:`expired` to decide whether another attempt is
+    still worth making.
+    """
+
+    __slots__ = ("expires_at",)
+
+    def __init__(self, expires_at: float):
+        self.expires_at = float(expires_at)
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now."""
+        return cls(time.monotonic() + float(seconds))
+
+    def remaining(self) -> float:
+        """Seconds left; never negative."""
+        return max(self.expires_at - time.monotonic(), 0.0)
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def __repr__(self):
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+def _jitter_fraction(key: str, attempt: int) -> float:
+    """A deterministic pseudo-random fraction in [0, 1).
+
+    CRC32 of ``key:attempt`` -- stable across runs and processes (no
+    ``PYTHONHASHSEED`` dependence), distinct across chunks and attempts
+    so concurrent retries do not thunder in lockstep.
+    """
+    return (zlib.crc32(f"{key}:{attempt}".encode()) & 0xFFFFFFFF) / 2**32
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries for one operation (1 = the old one-shot behavior).
+    base_backoff:
+        Sleep before the second attempt, in seconds; grows by
+        ``backoff_multiplier`` per further attempt, capped at
+        ``max_backoff``.
+    jitter:
+        Fraction of the computed backoff added deterministically from
+        the operation key (0 disables; 0.5 means up to +50%).
+    attempt_timeout:
+        Per-attempt budget in seconds; ``None`` leaves each attempt
+        bounded only by the overall query deadline.
+    """
+
+    max_attempts: int = 3
+    base_backoff: float = 0.01
+    backoff_multiplier: float = 2.0
+    max_backoff: float = 0.5
+    jitter: float = 0.5
+    attempt_timeout: Optional[float] = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoff must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+
+    def backoff(self, attempt: int, key: str = "") -> float:
+        """Sleep before attempt ``attempt`` (attempt 0 never sleeps)."""
+        if attempt <= 0 or self.base_backoff == 0:
+            return 0.0
+        delay = min(
+            self.base_backoff * self.backoff_multiplier ** (attempt - 1),
+            self.max_backoff,
+        )
+        return delay * (1.0 + self.jitter * _jitter_fraction(key, attempt))
+
+    def sleep_before(
+        self, attempt: int, key: str = "", deadline: Optional[Deadline] = None
+    ) -> bool:
+        """Sleep the backoff for ``attempt``; False if the deadline forbids it."""
+        delay = self.backoff(attempt, key)
+        if deadline is not None:
+            left = deadline.remaining()
+            if left <= 0:
+                return False
+            delay = min(delay, left)
+        if delay > 0:
+            time.sleep(delay)
+        return True
+
+    def attempt_deadline(self, deadline: Optional[Deadline]) -> Optional[Deadline]:
+        """The tighter of the per-attempt budget and the overall deadline."""
+        if self.attempt_timeout is None:
+            return deadline
+        per = Deadline.after(self.attempt_timeout)
+        if deadline is None or per.expires_at < deadline.expires_at:
+            return per
+        return deadline

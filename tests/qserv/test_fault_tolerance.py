@@ -1,40 +1,25 @@
-"""Fault-tolerance tests: failures at every stage of the dispatch protocol."""
+"""Fault-tolerance tests: failures at every stage of the dispatch protocol.
 
-import numpy as np
+All failures are expressed through the first-class fault-injection
+layer (:class:`repro.xrd.FaultPlan`) instead of ad-hoc ``DataServer``
+subclasses.
+"""
+
+import time
+
 import pytest
 
 from repro.data import build_testbed
-from repro.xrd import RedirectError
-from repro.xrd.dataserver import DataServer
-
-
-class _DieAfterNWrites(DataServer):
-    """A data server that crashes after accepting N writes.
-
-    Models the nastiest failure window: the worker accepted the chunk
-    query (transaction 1 succeeded) but dies before the master reads
-    the result (transaction 2 fails).
-    """
-
-    def __init__(self, name, plugin, dies_after):
-        super().__init__(name, plugin=plugin)
-        self._writes_left = dies_after
-
-    def open(self, path, mode):
-        handle = super().open(path, mode)
-        if mode == "w":
-            self._writes_left -= 1
-            if self._writes_left <= 0:
-                # The write commits (the plugin got the query), then the
-                # node dies before any read can be served.
-                original_close = handle.close
-
-                def close_and_die():
-                    original_close()
-                    self.fail()
-
-                handle.close = close_and_die
-        return handle
+from repro.qserv import ChunkTimeoutError, Czar, HedgePolicy, QueryError
+from repro.xrd import (
+    DataServer,
+    FaultPlan,
+    HealthTracker,
+    Redirector,
+    RedirectError,
+    RetryPolicy,
+    XrdClient,
+)
 
 
 @pytest.fixture
@@ -44,28 +29,174 @@ def tb():
 
 class TestRetryBetweenWriteAndRead:
     def test_czar_redispatches_to_replica(self, tb):
-        """Kill a worker right after it accepts a chunk query."""
-        victim_name = tb.placement.nodes[0]
-        old = tb.servers[victim_name]
-        # Swap in the self-destructing server with the same worker state.
-        flaky = _DieAfterNWrites(victim_name, old.plugin, dies_after=1)
-        for path in old.exports():
-            flaky.export(path)
-        tb.redirector.unregister(victim_name)
-        tb.redirector.register(flaky)
-        tb.servers[victim_name] = flaky
+        """Kill a worker right after it accepts a chunk query.
+
+        The nastiest failure window: the write *commits* (the worker got
+        the query) but the node dies before the result can be read.
+        """
+        victim = tb.placement.nodes[0]
+        FaultPlan().die_after_writes(1).attach(tb.servers[victim])
 
         r = tb.query("SELECT COUNT(*) FROM Object")
         assert int(r.table.column("COUNT(*)")[0]) == 600
         assert r.stats.chunks_retried >= 1
-        assert not flaky.up  # it really died mid-query
+        assert not tb.servers[victim].up  # it really died mid-query
 
     def test_unreplicated_failure_is_fatal(self):
         tb1 = build_testbed(num_workers=2, num_objects=300, seed=53, replication=1)
         victim = tb1.placement.nodes[0]
         tb1.servers[victim].fail()
-        with pytest.raises(RedirectError):
+        with pytest.raises(QueryError) as exc:
             tb1.czar.submit("SELECT COUNT(*) FROM Object")
+        # Back-compat: QueryError still is-a RedirectError.
+        assert isinstance(exc.value, RedirectError)
+        assert exc.value.failed_chunks
+        assert exc.value.stats.chunks_retried >= 1
+
+
+class TestDoubleFailure:
+    def two_replica_chunks(self, tb, nodes):
+        """Chunks whose entire replica set is ``nodes``."""
+        return [
+            cid
+            for cid in tb.placement.chunk_ids
+            if set(tb.placement.replicas(cid)) == set(nodes)
+        ]
+
+    def test_both_replicas_die_is_clean_error(self, tb):
+        """Both owners of a chunk die: a typed error, not a hang."""
+        doomed = tb.placement.nodes[:2]
+        lost = self.two_replica_chunks(tb, doomed)
+        assert lost, "placement must co-locate some chunk on both victims"
+        for node in doomed:
+            FaultPlan().die_after_writes(1).attach(tb.servers[node])
+
+        t0 = time.perf_counter()
+        with pytest.raises(QueryError) as exc:
+            tb.czar.submit("SELECT COUNT(*) FROM Object", deadline=10.0)
+        assert time.perf_counter() - t0 < 8.0  # bounded, no deadlock
+        assert exc.value.failed_chunks
+        assert set(exc.value.failed_chunks) <= set(lost)
+
+    def test_allow_partial_drops_dead_chunks(self, tb):
+        doomed = tb.placement.nodes[:2]
+        lost = self.two_replica_chunks(tb, doomed)
+        assert lost
+        for node in doomed:
+            FaultPlan().die_after_writes(1).attach(tb.servers[node])
+
+        r = tb.czar.submit(
+            "SELECT COUNT(*) FROM Object", deadline=10.0, allow_partial=True
+        )
+        assert r.stats.partial_result
+        assert set(r.stats.failed_chunks) == set(lost)
+        count = int(r.table.column("COUNT(*)")[0])
+        assert 0 < count < 600  # the lost chunks' rows are missing
+
+
+class TestCorruptPayload:
+    def test_corrupt_wire_payload_is_retried(self, tb):
+        """A flipped payload byte fails decode and triggers a re-read."""
+        primary = tb.placement.nodes[0]
+        FaultPlan(seed=5).corrupt_reads(count=1).attach(tb.servers[primary])
+
+        r = tb.query("SELECT COUNT(*) FROM Object")
+        assert int(r.table.column("COUNT(*)")[0]) == 600
+        assert r.stats.chunks_retried >= 1
+        assert r.stats.wire_format == "binary"
+
+
+class TestDeadline:
+    def test_hung_replicas_surface_as_timeout(self, tb):
+        for server in tb.servers.values():
+            FaultPlan().slow_reads(2.0, path_prefix="/result/").attach(server)
+
+        t0 = time.perf_counter()
+        with pytest.raises(ChunkTimeoutError) as exc:
+            tb.czar.submit("SELECT COUNT(*) FROM Object", deadline=0.4)
+        assert time.perf_counter() - t0 < 1.5
+        assert exc.value.stats.chunks_timed_out >= 1
+        assert isinstance(exc.value, QueryError)
+
+    def test_generous_deadline_is_invisible(self, tb):
+        r = tb.czar.submit("SELECT COUNT(*) FROM Object", deadline=30.0)
+        assert int(r.table.column("COUNT(*)")[0]) == 600
+        assert r.stats.chunks_timed_out == 0
+        assert not r.stats.partial_result
+
+
+class TestHedging:
+    def test_straggler_is_hedged_to_replica(self):
+        tb = build_testbed(
+            num_workers=3,
+            num_objects=600,
+            seed=51,
+            replication=2,
+            hedge_policy=HedgePolicy(delay=0.05),
+        )
+        # The deterministic tie-break makes nodes[0] the primary for
+        # every chunk it holds; stall two of its result reads.
+        straggler = tb.placement.nodes[0]
+        FaultPlan().slow_reads(0.5, path_prefix="/result/", count=2).attach(
+            tb.servers[straggler]
+        )
+
+        r = tb.query("SELECT COUNT(*) FROM Object")
+        assert int(r.table.column("COUNT(*)")[0]) == 600
+        assert r.stats.chunks_hedged >= 1
+        assert r.stats.hedges_won >= 1
+        assert r.stats.chunks_retried == 0  # hedging, not failure
+
+    def test_adaptive_threshold_from_latency_window(self, tb):
+        czar = Czar(
+            tb.redirector,
+            tb.metadata,
+            tb.chunker,
+            available_chunks=tb.placement.chunk_ids,
+            hedge_policy=HedgePolicy(
+                percentile=95.0, multiplier=3.0, min_delay=0.02, min_observations=20
+            ),
+        )
+        try:
+            assert czar._hedge_delay() is None  # too few observations
+            czar._latencies.extend([0.05] * 25)
+            assert czar._hedge_delay() == pytest.approx(0.15)
+            czar._latencies.clear()
+            czar._latencies.extend([0.001] * 25)
+            assert czar._hedge_delay() == 0.02  # clamped to min_delay
+        finally:
+            czar.close()
+
+
+class TestHealthRouting:
+    def test_flaky_replica_deprioritized_then_probed_back(self):
+        redirector = Redirector()
+        a, b = DataServer("a"), DataServer("b")
+        for server in (a, b):
+            redirector.register(server)
+            for i in range(1, 6):
+                server.export(f"/query2/{i}")
+        FaultPlan().fail_opens(3, mode="w").attach(a)
+        health = HealthTracker(failure_threshold=3, cooldown=0.05)
+        client = XrdClient(
+            redirector, retry_policy=RetryPolicy(max_attempts=1), health=health
+        )
+
+        # Three consecutive failures on the preferred replica trip it.
+        for _ in range(3):
+            with pytest.raises(RedirectError):
+                client.write_file("/query2/1", b"q")
+        assert health.state("a") == "open"
+
+        # While open, routing avoids it even though it is the tie-break
+        # winner and nominally up.
+        assert client.write_file("/query2/2", b"q") == "b"
+
+        # After the cooldown one probe goes back through; its success
+        # closes the breaker.
+        time.sleep(0.06)
+        assert client.write_file("/query2/3", b"q") == "a"
+        assert health.state("a") == "closed"
 
 
 class TestRepeatedFailover:

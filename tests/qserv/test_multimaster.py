@@ -84,3 +84,54 @@ class TestChunkAccounting:
         after = frontend.load_per_master()
         deltas = [a[1] - b[1] for a, b in zip(after, before)]
         assert sum(deltas) == 3 * len(tb.placement.chunk_ids)
+
+
+class TestMasterHealth:
+    def make_frontend(self, tb, cooldown=0.05):
+        from repro.xrd import HealthTracker
+
+        return LoadBalancingFrontend(
+            tb.redirector,
+            tb.metadata,
+            tb.chunker,
+            num_masters=2,
+            secondary_index=tb.secondary_index,
+            available_chunks=tb.placement.chunk_ids,
+            master_health=HealthTracker(failure_threshold=3, cooldown=cooldown),
+        )
+
+    def test_failing_master_skipped_then_probed_back(self, tb):
+        import time
+
+        fe = self.make_frontend(tb)
+        try:
+            broken = fe.czars[0]
+            original = broken.submit
+
+            def boom(sql, **kw):
+                raise RuntimeError("master wedged")
+
+            broken.submit = boom
+            # Until the breaker trips, round-robin keeps offering the
+            # broken master and its failures surface to the caller.
+            failures = 0
+            for _ in range(8):
+                try:
+                    fe.query("SELECT COUNT(*) FROM Object")
+                except RuntimeError:
+                    failures += 1
+            assert failures == 3  # exactly the trip threshold
+            assert fe.unhealthy_masters() == [0]
+            # While open, every query routes around master-0.
+            for _ in range(4):
+                fe.query("SELECT COUNT(*) FROM Object")
+
+            # Cooldown elapses; the probe goes back through master-0,
+            # which has recovered, and the breaker closes.
+            broken.submit = original
+            time.sleep(0.06)
+            for _ in range(4):
+                fe.query("SELECT COUNT(*) FROM Object")
+            assert fe.unhealthy_masters() == []
+        finally:
+            fe.close()

@@ -106,7 +106,12 @@ class TestFormatNegotiation:
 
         t1 = Table("c", {"a": np.array([1, 2])})
         t2 = Table("c", {"a": np.array([3])})
-        payloads = [dump_table(t1, "c").encode(), encode_table(t2, "c")]
+        # The magic-sniffing detection now happens at collection time:
+        # _validate_payload routes untagged bytes to the dump loader.
+        payloads = [
+            tb.czar._validate_payload(dump_table(t1, "c").encode()),
+            tb.czar._validate_payload(encode_table(t2, "c")),
+        ]
         stats = QueryStats()
         merge_db = Database("LSST")
         name = tb.czar._load_into_merge_table(merge_db, payloads, stats)

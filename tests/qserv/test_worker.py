@@ -1,10 +1,13 @@
 """Tests for the Qserv worker (ofs plugin, sub-chunk build, FIFO queue)."""
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
 from repro.partition import Chunker
-from repro.qserv import QservWorker
+from repro.qserv import QservWorker, WorkerShutdownError
 from repro.sql import Database, SqlError, Table
 from repro.sql.dump import load_dump
 from repro.xrd.protocol import query_hash, query_path, result_path
@@ -177,6 +180,97 @@ class TestThreadedMode:
     def test_bad_slots(self):
         with pytest.raises(ValueError):
             QservWorker("w", Database(), slots=-1)
+
+
+class TestShutdownReleasesReaders:
+    """Regression: shutdown() must fail pending results, not strand readers."""
+
+    def blocked_worker(self, monkeypatch):
+        """A slots=1 worker whose executor blocks until ``gate`` is set."""
+        w, cid, _ = make_worker(slots=1)
+        gate = threading.Event()
+        original = w.execute_chunk_query
+
+        def stalled(chunk_id, text):
+            gate.wait(timeout=10.0)
+            return original(chunk_id, text)
+
+        monkeypatch.setattr(w, "execute_chunk_query", stalled)
+        return w, cid, gate
+
+    def read_in_thread(self, w, rpath):
+        box = {}
+
+        def run():
+            try:
+                box["data"] = w.on_read(rpath)
+            except Exception as e:  # noqa: BLE001 - inspected by the test
+                box["error"] = e
+
+        t = threading.Thread(target=run)
+        t.start()
+        return t, box
+
+    def test_shutdown_releases_blocked_reader(self, monkeypatch):
+        w, cid, gate = self.blocked_worker(monkeypatch)
+        text = f"SELECT COUNT(*) FROM LSST.Object_{cid} AS o;"
+        w.on_write(query_path(cid), text.encode())
+        t, box = self.read_in_thread(w, result_path(query_hash(text)))
+        time.sleep(0.05)  # the reader is parked on the result-ready wait
+        w.shutdown(timeout=0.1)
+        t.join(timeout=2.0)
+        gate.set()  # let the stalled slot thread finish
+        assert not t.is_alive(), "reader stayed blocked across shutdown"
+        assert isinstance(box.get("error"), WorkerShutdownError)
+
+    def test_shutdown_fails_queued_results(self, monkeypatch):
+        w, cid, gate = self.blocked_worker(monkeypatch)
+        first = f"SELECT COUNT(*) FROM LSST.Object_{cid} AS o WHERE objectId < 1;"
+        second = f"SELECT COUNT(*) FROM LSST.Object_{cid} AS o WHERE objectId < 2;"
+        w.on_write(query_path(cid), first.encode())
+        w.on_write(query_path(cid), second.encode())  # queued, never runs
+        w.shutdown(timeout=0.1)
+        gate.set()
+        with pytest.raises(WorkerShutdownError):
+            w.on_read(result_path(query_hash(second)))
+
+    def test_write_after_shutdown_fails_fast(self):
+        w, cid, _ = make_worker(slots=1)
+        w.shutdown()
+        text = f"SELECT COUNT(*) FROM LSST.Object_{cid} AS o;"
+        w.on_write(query_path(cid), text.encode())
+        t0 = time.perf_counter()
+        with pytest.raises(WorkerShutdownError):
+            w.on_read(result_path(query_hash(text)))
+        assert time.perf_counter() - t0 < 1.0
+
+
+class TestDeadlineHeader:
+    def test_deadline_bounds_result_wait(self, monkeypatch):
+        """A hung executor surfaces as a missing result within the budget."""
+        w, cid, _ = make_worker(slots=1)
+        gate = threading.Event()
+        monkeypatch.setattr(
+            w, "execute_chunk_query", lambda c, t: gate.wait(timeout=10.0)
+        )
+        try:
+            text = f"-- DEADLINE: 0.2\nSELECT COUNT(*) FROM LSST.Object_{cid} AS o;"
+            w.on_write(query_path(cid), text.encode())
+            t0 = time.perf_counter()
+            assert w.on_read(result_path(query_hash(text))) is None
+            elapsed = time.perf_counter() - t0
+            assert 0.1 <= elapsed < 2.0  # the header, not the 300s default
+        finally:
+            gate.set()
+            w.shutdown(timeout=0.5)
+
+    def test_header_parsing(self):
+        parse = QservWorker._deadline_seconds
+        assert parse("-- DEADLINE: 1.500\nSELECT 1;") == pytest.approx(1.5)
+        assert parse("-- RESULT_FORMAT: binary\n-- DEADLINE: 3\nSELECT 1;") == 3.0
+        assert parse("-- DEADLINE: -2\nSELECT 1;") == 0.0  # clamped
+        assert parse("-- DEADLINE: junk\nSELECT 1;") is None
+        assert parse("SELECT 1; -- DEADLINE: 9") is None  # headers lead
 
 
 class TestHostedChunks:

@@ -1,17 +1,27 @@
 """Chaos integration: everything at once, answers never wrong.
 
 Threaded workers, parallel dispatch, 2x replication, concurrent client
-threads, and node failures injected mid-stream.  The invariant under
-all of it: every query that returns, returns the correct answer.
+threads, per-server fault injection (flaky opens, straggler reads,
+wire corruption) and node failures injected mid-stream.  The invariant
+under all of it: every query that returns, returns the correct answer.
+
+The run is seeded via the ``CHAOS_SEED`` environment variable (default
+99); CI sweeps a small set of fixed seeds so the whole scenario --
+synthetic data, placement, and fault offsets -- is reproducible.
 """
 
+import os
 import threading
 
 import numpy as np
 import pytest
 
 from repro.data import build_testbed
+from repro.qserv import HedgePolicy
 from repro.sphgeom import SphericalBox
+from repro.xrd import FaultPlan, RetryPolicy
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "99"))
 
 
 @pytest.fixture
@@ -19,17 +29,30 @@ def tb():
     testbed = build_testbed(
         num_workers=4,
         num_objects=1000,
-        seed=99,
+        seed=CHAOS_SEED,
         replication=2,
         worker_slots=2,
         dispatch_parallelism=4,
+        # Generous attempt budget: the injected faults below can cost a
+        # chunk up to four attempts in the worst alignment.
+        retry_policy=RetryPolicy(max_attempts=6, base_backoff=0.002, max_backoff=0.05),
+        hedge_policy=HedgePolicy(delay=0.2),
     )
     yield testbed
     testbed.shutdown()
 
 
+def inject_faults(testbed):
+    """Arm every server with a seeded, bounded set of injectors."""
+    for i, (name, server) in enumerate(sorted(testbed.servers.items())):
+        FaultPlan(seed=CHAOS_SEED + i).fail_opens(1, mode="w").slow_reads(
+            0.02, path_prefix="/result/", count=3
+        ).corrupt_reads(count=1).attach(server)
+
+
 class TestChaos:
     def test_concurrent_clients_with_failures(self, tb):
+        inject_faults(tb)
         obj = tb.tables["Object"]
         ra, dec = obj.column("ra_PS"), obj.column("decl_PS")
         total = obj.num_rows
@@ -45,8 +68,13 @@ class TestChaos:
                 for i in range(10):
                     kind = (tid + i) % 3
                     if kind == 0:
-                        r = tb.czar.submit("SELECT COUNT(*) FROM Object")
+                        # Deadline plumbing rides along; 30s is far from
+                        # tight, so it must never fire spuriously.
+                        r = tb.czar.submit(
+                            "SELECT COUNT(*) FROM Object", deadline=30.0
+                        )
                         assert int(r.table.column("COUNT(*)")[0]) == total
+                        assert r.stats.chunks_timed_out == 0
                     elif kind == 1:
                         r = tb.czar.submit(
                             "SELECT COUNT(*) FROM Object "
@@ -86,6 +114,7 @@ class TestChaos:
 
     def test_aggregates_consistent_across_stress(self, tb):
         """The same aggregate, many times concurrently: one answer."""
+        inject_faults(tb)
         results = []
         lock = threading.Lock()
 

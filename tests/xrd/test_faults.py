@@ -1,0 +1,142 @@
+"""Unit tests for the first-class fault-injection layer."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.sql import Table, decode_table, encode_table, is_wire_payload
+from repro.sql.wire import WireFormatError
+from repro.xrd import DataServer, FaultPlan, FileSystemError
+
+
+def put(server, path, data):
+    with server.open(path, "w") as fh:
+        fh.write(data)
+
+
+def get(server, path):
+    with server.open(path, "r") as fh:
+        return fh.read()
+
+
+class TestDieAfterWrites:
+    def test_write_commits_then_server_dies(self):
+        s = DataServer("s1")
+        FaultPlan().die_after_writes(2).attach(s)
+        put(s, "/a", b"one")
+        put(s, "/b", b"two")  # commits, then the node dies
+        assert not s.up
+        with pytest.raises(FileSystemError, match="down"):
+            s.open("/b", "r")
+        s.recover()
+        # The fatal write really committed before the crash.
+        assert get(s, "/b") == b"two"
+
+    def test_prefix_filter(self):
+        s = DataServer("s1")
+        FaultPlan().die_after_writes(1, path_prefix="/query2/").attach(s)
+        put(s, "/other", b"x")  # unmatched: no countdown
+        assert s.up
+        put(s, "/query2/7", b"q")
+        assert not s.up
+
+
+class TestDieAfterReads:
+    def test_dies_after_serving_read(self):
+        s = DataServer("s1")
+        put(s, "/a", b"payload")
+        FaultPlan().die_after_reads(1).attach(s)
+        assert get(s, "/a") == b"payload"
+        assert not s.up
+
+
+class TestFailOpens:
+    def test_flaky_then_recover(self):
+        s = DataServer("s1")
+        put(s, "/a", b"x")
+        FaultPlan().fail_opens(2).attach(s)
+        for _ in range(2):
+            with pytest.raises(FileSystemError, match="injected"):
+                s.open("/a", "r")
+        assert get(s, "/a") == b"x"  # recovered
+        assert s.up  # never actually crashed
+
+    def test_mode_filter(self):
+        s = DataServer("s1")
+        put(s, "/a", b"x")
+        FaultPlan().fail_opens(1, mode="w").attach(s)
+        assert get(s, "/a") == b"x"  # reads unaffected
+        with pytest.raises(FileSystemError):
+            s.open("/b", "w")
+
+
+class TestSlowReads:
+    def test_latency_injected_then_exhausted(self):
+        s = DataServer("s1")
+        put(s, "/a", b"x")
+        FaultPlan().slow_reads(0.05, count=1).attach(s)
+        t0 = time.perf_counter()
+        assert get(s, "/a") == b"x"
+        assert time.perf_counter() - t0 >= 0.05
+        t0 = time.perf_counter()
+        assert get(s, "/a") == b"x"
+        assert time.perf_counter() - t0 < 0.05
+
+
+class TestCorruptReads:
+    def make_payload(self):
+        return encode_table(
+            Table("t", {"a": np.arange(100, dtype=np.int64)}), "t"
+        )
+
+    def test_corruption_preserves_magic_but_breaks_decode(self):
+        s = DataServer("s1")
+        payload = self.make_payload()
+        put(s, "/result/abc", payload)
+        FaultPlan(seed=3).corrupt_reads(count=1).attach(s)
+        data = get(s, "/result/abc")
+        assert data != payload
+        assert is_wire_payload(data)  # magic intact: routed to the decoder
+        with pytest.raises(WireFormatError):
+            decode_table(data)
+        # Injector exhausted: the next read is clean.
+        assert get(s, "/result/abc") == payload
+
+    def test_seeded_determinism(self):
+        corrupted = []
+        for _ in range(2):
+            s = DataServer("s1")
+            put(s, "/result/abc", self.make_payload())
+            FaultPlan(seed=11).corrupt_reads(probability=0.5, count=None).attach(s)
+            corrupted.append([get(s, "/result/abc") for _ in range(8)])
+        assert corrupted[0] == corrupted[1]
+
+    def test_prefix_excludes_other_paths(self):
+        s = DataServer("s1")
+        put(s, "/plain", b"A" * 64)
+        FaultPlan().corrupt_reads(path_prefix="/result/").attach(s)
+        assert get(s, "/plain") == b"A" * 64
+
+
+class TestDropReads:
+    def test_result_vanishes(self):
+        s = DataServer("s1")
+        put(s, "/result/abc", b"gone")
+        put(s, "/other", b"kept")
+        FaultPlan().drop_reads().attach(s)
+        with pytest.raises(FileSystemError, match="lost result"):
+            s.open("/result/abc", "r")
+        assert get(s, "/other") == b"kept"
+
+
+class TestComposition:
+    def test_chained_injectors_fire_in_order(self):
+        s = DataServer("s1")
+        put(s, "/a", b"x")
+        FaultPlan().fail_opens(1, mode="r").slow_reads(0.03, count=1).attach(s)
+        with pytest.raises(FileSystemError):
+            s.open("/a", "r")
+        t0 = time.perf_counter()
+        assert get(s, "/a") == b"x"
+        assert time.perf_counter() - t0 >= 0.03

@@ -1,0 +1,36 @@
+"""reprolint: project-specific static analysis + runtime lock sanitizer.
+
+The czar/worker concurrency layer (PR 2) juggles multiple locks, a
+condition variable, hedged attempts, and refcounted result eviction --
+exactly the shared-mutable-state regime where the paper's shared-nothing
+design gets violated by accident, silently.  This package catches that
+class of bug at CI time instead of under chaos seeds:
+
+- :mod:`repro.analysis.lint` -- an AST-based static analyzer
+  (``python -m repro.analysis.lint --strict src/``) with five
+  project-specific rules: guarded-by, lock-order, deadline-threading,
+  exception-swallow, and sql-template.  Findings are suppressed per
+  line with ``# reprolint: disable=<rule> -- <reason>``.
+- :mod:`repro.analysis.sanitizer` -- instrumented Lock/RLock wrappers
+  that record per-thread acquisition order at runtime and raise on
+  lock-order inversions.  Production code creates its locks through
+  :func:`~repro.analysis.sanitizer.make_lock` and friends; setting
+  ``REPRO_SANITIZE=1`` swaps in the instrumented wrappers so the chaos
+  and resilience suites double as race-order tests.
+
+This module deliberately imports nothing heavy: production code pulls
+``repro.analysis.sanitizer`` on every import of the qserv layer, while
+the linter machinery (AST rules, reporters) loads only when linting.
+"""
+
+from __future__ import annotations
+
+__all__ = ["lint_paths", "all_rules", "Finding"]
+
+
+def __getattr__(name):
+    if name in __all__:
+        from . import core
+
+        return getattr(core, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

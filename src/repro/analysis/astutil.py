@@ -1,0 +1,294 @@
+"""Shared AST helpers for the concurrency rules.
+
+The guarded-by and lock-order rules both need the same three pieces of
+structure: which attributes of a class are locks (created with
+``threading.Lock()`` or the sanitizer factories), which lock names a
+``with self._lock:`` block holds (including condition-variable aliases:
+``make_condition(self._lock)`` acquires ``_lock``), and which
+expressions *mutate* state (assignments, ``del``, and calls to the
+usual mutating container methods).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "LOCK_FACTORIES",
+    "CONDITION_FACTORIES",
+    "MUTATOR_METHODS",
+    "ClassLocks",
+    "Mutation",
+    "lock_attrs_of_class",
+    "target_path",
+    "collect_mutations",
+    "iter_classes_with_locks",
+    "iter_own_functions",
+]
+
+#: Call names that construct a mutex (stdlib and sanitizer factories).
+LOCK_FACTORIES = {"Lock", "RLock", "make_lock", "make_rlock"}
+#: Call names that construct a condition variable over a lock.
+CONDITION_FACTORIES = {"Condition", "make_condition"}
+#: Method names that mutate their receiver in place.
+MUTATOR_METHODS = {
+    "append", "appendleft", "extend", "insert",
+    "add", "discard", "remove",
+    "pop", "popleft", "popitem", "clear",
+    "update", "setdefault", "move_to_end",
+}
+
+
+def _call_name(call: ast.Call) -> Optional[str]:
+    """Trailing name of the callee: ``threading.RLock`` -> ``"RLock"``."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.NAME`` -> ``"NAME"``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+@dataclass
+class ClassLocks:
+    """Lock-owning structure of one class."""
+
+    #: Attribute names that are locks (mutexes or condition variables).
+    locks: set[str] = field(default_factory=set)
+    #: Acquiring KEY also holds every name in the alias closure --
+    #: ``_queue_cv = make_condition(self._lock)`` maps ``_queue_cv`` to
+    #: ``{"_queue_cv", "_lock"}``.
+    aliases: dict[str, set[str]] = field(default_factory=dict)
+
+    def held_by(self, attr: str) -> set[str]:
+        return self.aliases.get(attr, {attr})
+
+    def canonical(self, attr: str) -> str:
+        """The underlying mutex for a condition attr (itself otherwise)."""
+        others = self.aliases.get(attr, {attr}) - {attr}
+        return min(others) if others else attr
+
+
+def lock_attrs_of_class(cls: ast.ClassDef) -> ClassLocks:
+    """Find ``self.X = Lock()/RLock()/Condition(...)`` attributes."""
+    out = ClassLocks()
+    pending_conditions: list[tuple[str, Optional[str]]] = []
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        name = _call_name(node.value)
+        for target in node.targets:
+            attr = _self_attr(target)
+            if attr is None:
+                continue
+            if name in LOCK_FACTORIES:
+                out.locks.add(attr)
+                out.aliases.setdefault(attr, {attr})
+            elif name in CONDITION_FACTORIES:
+                wrapped = None
+                if node.value.args:
+                    wrapped = _self_attr(node.value.args[0])
+                pending_conditions.append((attr, wrapped))
+    for attr, wrapped in pending_conditions:
+        closure = {attr}
+        if wrapped is not None and wrapped in out.locks:
+            closure |= out.held_by(wrapped)
+        out.locks.add(attr)
+        out.aliases[attr] = closure
+    return out
+
+
+def target_path(node: ast.AST) -> Optional[tuple[str, tuple[str, ...]]]:
+    """Resolve a mutated expression to ``(root_name, attr_path)``.
+
+    Subscripts are transparent (``self._cache[k]`` mutates
+    ``self._cache``).  Returns None for targets that are not rooted in
+    a plain name (e.g. ``foo().x``) or that have no attribute at all
+    (bare locals are thread-confined by construction).
+    """
+    parts: list[str] = []
+    cur = node
+    while True:
+        if isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        elif isinstance(cur, ast.Subscript):
+            cur = cur.value
+        elif isinstance(cur, ast.Name):
+            root = cur.id
+            break
+        else:
+            return None
+    if not parts:
+        return None
+    parts.reverse()
+    return root, tuple(parts)
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One state mutation and the lock names held around it."""
+
+    root: str
+    path: tuple[str, ...]
+    held: frozenset[str]
+    node: ast.AST
+    function: str
+
+    @property
+    def dotted(self) -> str:
+        return ".".join((self.root, *self.path))
+
+
+class _MutationVisitor(ast.NodeVisitor):
+    """Walk one function body tracking ``with self.<lock>:`` nesting.
+
+    Nested function definitions run *later*, not under the enclosing
+    ``with`` -- their bodies are visited with an empty held set (they
+    are still attributed to the class, closures mutate shared state).
+    """
+
+    def __init__(self, locks: ClassLocks, function: str):
+        self.locks = locks
+        self.function = function
+        self.held: list[str] = []
+        self.mutations: list[Mutation] = []
+        #: (acquired_attr, previously_held_attrs, node) acquisition events.
+        self.acquisitions: list[tuple[str, tuple[str, ...], ast.AST]] = []
+
+    def _record(self, target: ast.AST, node: ast.AST) -> None:
+        resolved = target_path(target)
+        if resolved is None:
+            return
+        root, path = resolved
+        if root == "self" and path and path[0] in self.locks.locks:
+            return  # the locks themselves are not guarded data
+        held: set[str] = set()
+        for attr in self.held:
+            held |= self.locks.held_by(attr)
+        self.mutations.append(
+            Mutation(root, path, frozenset(held), node, self.function)
+        )
+
+    # -- mutations ---------------------------------------------------------------
+
+    @staticmethod
+    def _flatten_targets(target: ast.AST):
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from _MutationVisitor._flatten_targets(element)
+        elif isinstance(target, ast.Starred):
+            yield from _MutationVisitor._flatten_targets(target.value)
+        else:
+            yield target
+
+    def visit_Assign(self, node: ast.Assign):
+        for target in node.targets:
+            for element in self._flatten_targets(target):
+                if isinstance(element, (ast.Attribute, ast.Subscript)):
+                    self._record(element, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign):
+        self._record(node.target, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign):
+        if node.value is not None:
+            self._record(node.target, node)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete):
+        for target in node.targets:
+            self._record(target, node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in MUTATOR_METHODS:
+            self._record(func.value, node)
+        self.generic_visit(node)
+
+    # -- lock scopes ------------------------------------------------------------
+
+    def visit_With(self, node: ast.With):
+        acquired: list[str] = []
+        for item in node.items:
+            attr = _self_attr(item.context_expr)
+            if attr is not None and attr in self.locks.locks:
+                self.acquisitions.append((attr, tuple(self.held), node))
+                acquired.append(attr)
+                self.held.append(attr)
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in acquired:
+            self.held.pop()
+
+    # -- deferred execution boundaries --------------------------------------------
+
+    def _visit_deferred(self, node):
+        saved, self.held = self.held, []
+        for stmt in getattr(node, "body", ()):
+            if isinstance(stmt, ast.AST):
+                self.visit(stmt)
+        self.held = saved
+
+    def visit_FunctionDef(self, node: ast.FunctionDef):
+        self._visit_deferred(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef):
+        self._visit_deferred(node)
+
+    def visit_Lambda(self, node: ast.Lambda):
+        pass  # expression lambdas: no statements to mutate state
+
+
+def iter_classes_with_locks(tree: ast.AST):
+    """Every class in the tree that owns at least one lock attribute."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            locks = lock_attrs_of_class(node)
+            if locks.locks:
+                yield node, locks
+
+
+def iter_own_functions(cls: ast.ClassDef):
+    """The class's direct methods (not methods of nested classes)."""
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield stmt
+
+
+def collect_mutations(
+    cls: ast.ClassDef, locks: ClassLocks
+) -> tuple[list[Mutation], list[tuple[str, tuple[str, ...], ast.AST]]]:
+    """All mutations and lock acquisitions in a class's methods.
+
+    ``__init__`` is exempt (construction is single-threaded) and so is
+    any method whose name ends in ``_locked`` (the project convention
+    for helpers documented as "caller holds the lock").
+    """
+    mutations: list[Mutation] = []
+    acquisitions: list[tuple[str, tuple[str, ...], ast.AST]] = []
+    for fn in iter_own_functions(cls):
+        if fn.name == "__init__" or fn.name.endswith("_locked"):
+            continue
+        visitor = _MutationVisitor(locks, fn.name)
+        for stmt in fn.body:
+            visitor.visit(stmt)
+        mutations.extend(visitor.mutations)
+        acquisitions.extend(visitor.acquisitions)
+    return mutations, acquisitions

@@ -1,0 +1,216 @@
+"""reprolint framework: findings, rule registry, suppressions, runner.
+
+A *rule* is a class with a ``name``, a ``description``, a default
+``severity``, and a ``check(ctx)`` method yielding :class:`Finding`
+objects for one parsed file.  Rules needing whole-tree state (the
+lock-order graph spans czar, worker, and xrd) also implement
+``finalize()``, called once after every file was checked.
+
+Suppression is per line and per rule::
+
+    self._results.pop(path)  # reprolint: disable=guarded-by -- caller holds the lock
+
+A comment-only suppression line covers the *next* source line too, for
+statements too long to share a line with their pragma.  Suppressed
+findings are still collected (reporters can show them) but do not fail
+the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "FileContext",
+    "LintResult",
+    "register",
+    "all_rules",
+    "lint_paths",
+]
+
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"  # "error" | "warning"
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+class Rule:
+    """Base class for checkers; subclasses register via :func:`register`."""
+
+    name: str = ""
+    description: str = ""
+    severity: str = "error"
+
+    def check(self, ctx: "FileContext") -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finalize(self) -> Iterable[Finding]:
+        """Whole-tree findings, after every file was checked."""
+        return ()
+
+    def finding(
+        self, ctx: "FileContext", node: ast.AST, message: str,
+        severity: Optional[str] = None,
+    ) -> Finding:
+        return Finding(
+            rule=self.name,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            severity=severity or self.severity,
+        )
+
+
+class FileContext:
+    """One parsed source file plus its suppression map."""
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        self.suppressions = self._parse_suppressions(self.lines)
+
+    @staticmethod
+    def _parse_suppressions(lines: list[str]) -> dict[int, set[str]]:
+        out: dict[int, set[str]] = {}
+        for i, line in enumerate(lines, start=1):
+            m = _SUPPRESS_RE.search(line)
+            if not m:
+                continue
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            out.setdefault(i, set()).update(rules)
+            if line.lstrip().startswith("#"):
+                # A standalone pragma line also covers the next line.
+                out.setdefault(i + 1, set()).update(rules)
+        return out
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        rules = self.suppressions.get(line)
+        return rules is not None and (rule in rules or "all" in rules)
+
+
+# -- registry ---------------------------------------------------------------------
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.name:
+        raise ValueError(f"rule class {cls.__name__} has no name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    """Every registered rule class, keyed by rule name."""
+    from . import rules  # noqa: F401  -- importing registers the rules
+
+    return dict(sorted(_REGISTRY.items()))
+
+
+# -- runner -----------------------------------------------------------------------
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files: int = 0
+    #: Files that could not be read or parsed: (path, message).
+    errors: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for f in self.findings if f.severity == "error")
+
+    @property
+    def warning_count(self) -> int:
+        return sum(1 for f in self.findings if f.severity == "warning")
+
+    def exit_code(self, strict: bool = False) -> int:
+        if self.errors:
+            return 2
+        if self.error_count:
+            return 1
+        if strict and self.warning_count:
+            return 1
+        return 0
+
+
+def discover_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            out.update(q for q in p.rglob("*.py"))
+        else:
+            out.add(p)
+    return sorted(out)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    rule_names: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Run the selected rules (default: all) over the given paths."""
+    registry = all_rules()
+    if rule_names is None:
+        selected = list(registry)
+    else:
+        selected = list(rule_names)
+        unknown = [r for r in selected if r not in registry]
+        if unknown:
+            raise KeyError(f"unknown rule(s): {', '.join(sorted(unknown))}")
+    rules = [registry[name]() for name in selected]
+
+    result = LintResult()
+    contexts: dict[str, FileContext] = {}
+    for path in discover_files(paths):
+        try:
+            ctx = FileContext(str(path), path.read_text())
+        except (OSError, SyntaxError, ValueError) as e:
+            result.errors.append((str(path), str(e)))
+            continue
+        contexts[ctx.path] = ctx
+        result.files += 1
+        for rule in rules:
+            for finding in rule.check(ctx):
+                _file(result, ctx, finding)
+    for rule in rules:
+        for finding in rule.finalize():
+            ctx = contexts.get(finding.path)
+            _file(result, ctx, finding)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    result.suppressed.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result
+
+
+def _file(result: LintResult, ctx: Optional[FileContext], finding: Finding) -> None:
+    if ctx is not None and ctx.suppressed(finding.rule, finding.line):
+        result.suppressed.append(finding)
+    else:
+        result.findings.append(finding)

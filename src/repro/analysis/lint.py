@@ -1,0 +1,73 @@
+"""Command-line entry point: ``python -m repro.analysis.lint [paths]``.
+
+Exit codes: 0 clean, 1 findings (errors, or warnings under ``--strict``),
+2 when a file could not be read or parsed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import all_rules, lint_paths
+from .reporters import REPORTERS
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="reprolint: project-specific static analysis for the "
+        "czar/worker concurrency layer",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings as failures",
+    )
+    parser.add_argument(
+        "--format", choices=sorted(REPORTERS), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="also show suppressed findings",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for name, cls in all_rules().items():
+            print(f"{name:20s} [{cls.severity:7s}] {cls.description}")
+        return 0
+
+    rule_names = None
+    if args.rules:
+        rule_names = [r.strip() for r in args.rules.split(",") if r.strip()]
+    try:
+        result = lint_paths(args.paths, rule_names)
+    except KeyError as e:
+        print(f"error: {e.args[0]}", file=sys.stderr)
+        return 2
+
+    print(REPORTERS[args.format](result, verbose=args.verbose))
+    return result.exit_code(strict=args.strict)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

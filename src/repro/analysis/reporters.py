@@ -1,0 +1,54 @@
+"""Output formats for lint results: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+
+from .core import LintResult
+
+__all__ = ["render_text", "render_json", "REPORTERS"]
+
+
+def render_text(result: LintResult, *, verbose: bool = False) -> str:
+    lines = []
+    for f in result.findings:
+        lines.append(
+            f"{f.path}:{f.line}:{f.col}: {f.severity}: [{f.rule}] {f.message}"
+        )
+    for path, message in result.errors:
+        lines.append(f"{path}:1:1: error: [parse] {message}")
+    if verbose:
+        for f in result.suppressed:
+            lines.append(
+                f"{f.path}:{f.line}:{f.col}: suppressed: [{f.rule}] {f.message}"
+            )
+    lines.append(
+        f"{result.files} files checked: {result.error_count} error(s), "
+        f"{result.warning_count} warning(s), {len(result.suppressed)} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult, *, verbose: bool = False) -> str:
+    def encode(f):
+        return {
+            "rule": f.rule,
+            "path": f.path,
+            "line": f.line,
+            "col": f.col,
+            "severity": f.severity,
+            "message": f.message,
+        }
+
+    payload = {
+        "files_checked": result.files,
+        "findings": [encode(f) for f in result.findings],
+        "parse_errors": [
+            {"path": path, "message": message} for path, message in result.errors
+        ],
+        "suppressed": [encode(f) for f in result.suppressed],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+REPORTERS = {"text": render_text, "json": render_json}

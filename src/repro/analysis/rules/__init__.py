@@ -1,0 +1,3 @@
+"""Rule modules; importing this package registers every rule."""
+
+from . import deadline, guarded_by, lock_order, sql_template, swallow  # noqa: F401

@@ -1,0 +1,116 @@
+"""deadline-threading: deadline-scoped functions must bound every wait.
+
+PR 2 threads a :class:`~repro.xrd.retry.Deadline` from ``Czar.submit``
+through the Xrootd client down to the worker's result wait.  That
+discipline dies the first time someone adds an unbounded ``.result()``
+or ``.wait()`` on the path: the deadline still *exists* but a hung
+executor blocks forever anyway.
+
+The rule: inside any function that takes a ``deadline`` parameter (or a
+nested function closing over one), every blocking primitive --
+``Future.result``, ``Event/Condition.wait``, ``Thread.join``,
+``concurrent.futures.wait`` -- must either receive a timeout argument
+or mention ``deadline`` in its arguments (forwarding it to a
+deadline-aware callee counts).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import Rule, register
+
+__all__ = ["DeadlineRule"]
+
+#: Method names that block until an external event.
+BLOCKING_METHODS = {"result", "wait", "join"}
+
+
+def _mentions_deadline(call: ast.Call) -> bool:
+    for arg in list(call.args) + [kw.value for kw in call.keywords]:
+        for node in ast.walk(arg):
+            if isinstance(node, ast.Name) and node.id == "deadline":
+                return True
+    return False
+
+
+def _has_timeout(call: ast.Call) -> bool:
+    if any(kw.arg == "timeout" for kw in call.keywords):
+        return True
+    # Positional form: event.wait(t), future.result(t), thread.join(t).
+    return bool(call.args) and isinstance(call.func, ast.Attribute)
+
+
+def _is_module_level_wait(func: ast.expr) -> bool:
+    """``wait(...)`` / ``_futures_wait(...)`` (concurrent.futures.wait)."""
+    return isinstance(func, ast.Name) and (
+        func.id == "wait" or func.id.endswith("_wait")
+    )
+
+
+class _Scope(ast.NodeVisitor):
+    """Visit one deadline-scoped function body, including nested defs."""
+
+    def __init__(self, rule: "DeadlineRule", ctx):
+        self.rule = rule
+        self.ctx = ctx
+        self.findings = []
+
+    def visit_FunctionDef(self, node):
+        # A nested def that *rebinds* deadline starts a fresh scope and
+        # is picked up by the outer module walk on its own merits.
+        if "deadline" in _param_names(node):
+            return
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Call(self, node: ast.Call):
+        func = node.func
+        blocking = (
+            isinstance(func, ast.Attribute) and func.attr in BLOCKING_METHODS
+        ) or _is_module_level_wait(func)
+        if blocking and not _mentions_deadline(node) and not _has_timeout(node):
+            what = (
+                f".{func.attr}()" if isinstance(func, ast.Attribute)
+                else f"{func.id}()"
+            )
+            self.findings.append(
+                self.rule.finding(
+                    self.ctx,
+                    node,
+                    f"unbounded {what} inside a deadline-scoped function: "
+                    "pass timeout=... or forward the deadline",
+                )
+            )
+        self.generic_visit(node)
+
+
+def _param_names(fn) -> set[str]:
+    args = fn.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return set(names)
+
+
+@register
+class DeadlineRule(Rule):
+    name = "deadline-threading"
+    description = (
+        "functions taking a deadline must forward it to every blocking call"
+    )
+    severity = "error"
+
+    def check(self, ctx):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if "deadline" not in _param_names(node):
+                continue
+            scope = _Scope(self, ctx)
+            for stmt in node.body:
+                scope.visit(stmt)
+            yield from scope.findings

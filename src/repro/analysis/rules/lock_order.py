@@ -1,0 +1,115 @@
+"""lock-order: cycles in the static nested-``with`` acquisition graph.
+
+Every syntactic ``with self.<lockA>:`` block containing a nested ``with
+self.<lockB>:`` contributes an edge ``ClassName.lockA ->
+ClassName.lockB`` to a whole-tree graph (condition variables collapse
+onto the mutex they wrap, so ``_queue_cv`` nesting inside ``_lock`` is
+not a false self-edge).  After all files are checked, any cycle in the
+graph is reported once, anchored at the witness acquisition that closed
+it.
+
+This is the static half of the lock-order story; acquisitions hidden
+behind method calls are covered at runtime by
+:mod:`repro.analysis.sanitizer` (``REPRO_SANITIZE=1``).
+"""
+
+from __future__ import annotations
+
+from ..astutil import collect_mutations, iter_classes_with_locks
+from ..core import Finding, Rule, register
+
+__all__ = ["LockOrderRule"]
+
+
+@register
+class LockOrderRule(Rule):
+    name = "lock-order"
+    description = "nested with-blocks must acquire locks in one global order"
+    severity = "error"
+
+    def __init__(self):
+        #: edge (a, b) -> (path, line, human description) first witness
+        self._edges: dict[tuple[str, str], tuple[str, int, str]] = {}
+
+    def check(self, ctx):
+        for cls, locks in iter_classes_with_locks(ctx.tree):
+            _, acquisitions = collect_mutations(cls, locks)
+            for attr, held_attrs, node in acquisitions:
+                if not held_attrs:
+                    continue
+                inner = f"{cls.name}.{locks.canonical(attr)}"
+                for held in held_attrs:
+                    outer = f"{cls.name}.{locks.canonical(held)}"
+                    if outer == inner:
+                        continue
+                    self._edges.setdefault(
+                        (outer, inner),
+                        (
+                            ctx.path,
+                            getattr(node, "lineno", 1),
+                            f"{inner} acquired while holding {outer}",
+                        ),
+                    )
+        return ()
+
+    def finalize(self):
+        graph: dict[str, set[str]] = {}
+        for a, b in self._edges:
+            graph.setdefault(a, set()).add(b)
+            graph.setdefault(b, set())
+
+        findings: list[Finding] = []
+        seen_cycles: set[frozenset] = set()
+        # Iterative DFS with colors; report each back-edge's cycle once.
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {n: WHITE for n in graph}
+        stack_path: list[str] = []
+
+        def dfs(start: str):
+            work: list[tuple[str, str | None]] = [(start, None)]
+            while work:
+                node, phase = work.pop()
+                if phase == "exit":
+                    color[node] = BLACK
+                    stack_path.pop()
+                    continue
+                if color[node] == BLACK:
+                    continue
+                if color[node] == GRAY:
+                    continue
+                color[node] = GRAY
+                stack_path.append(node)
+                work.append((node, "exit"))
+                for succ in sorted(graph[node]):
+                    if color[succ] == GRAY:
+                        cycle = stack_path[stack_path.index(succ):] + [succ]
+                        key = frozenset(cycle)
+                        if key not in seen_cycles:
+                            seen_cycles.add(key)
+                            findings.append(self._cycle_finding(cycle))
+                    elif color[succ] == WHITE:
+                        work.append((succ, None))
+
+        for node in sorted(graph):
+            if color[node] == WHITE:
+                dfs(node)
+        return findings
+
+    def _cycle_finding(self, cycle: list[str]) -> Finding:
+        hops = []
+        witness_path, witness_line = "<unknown>", 1
+        for a, b in zip(cycle, cycle[1:]):
+            path, line, desc = self._edges[(a, b)]
+            hops.append(f"{desc} at {path}:{line}")
+            witness_path, witness_line = path, line
+        return Finding(
+            rule=self.name,
+            path=witness_path,
+            line=witness_line,
+            col=1,
+            message=(
+                "lock-order cycle: " + " -> ".join(cycle)
+                + " [" + "; ".join(hops) + "]"
+            ),
+            severity=self.severity,
+        )

@@ -1,0 +1,129 @@
+"""sql-template: SQL built by string formatting must parse in our dialect.
+
+The czar, worker, and secondary index build a handful of SQL statements
+with f-strings (``CREATE TABLE {name} AS SELECT ...``).  Nothing checks
+that text until a worker executes it -- dialect drift between what the
+frontend emits and what :mod:`repro.sql.parser` accepts shows up as a
+runtime chunk failure.  This rule extracts every SQL-looking template
+(f-string, ``%``-format, ``str.format``), substitutes neutral
+placeholder identifiers for the interpolated holes, and round-trips the
+result through the project parser: parse, regenerate with ``to_sql()``,
+parse again.  Both failures are findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from ..core import Rule, register
+
+__all__ = ["SqlTemplateRule"]
+
+#: First keyword -> allowed second keywords (None = anything).  Prose
+#: that merely *starts* with a verb ("INSERT columns ... do not match")
+#: is not a statement; real INSERTs continue with INTO.
+_SQL_STARTERS = {
+    "SELECT": None,
+    "UPDATE": None,
+    "INSERT": {"INTO", "IGNORE", "OR"},
+    "REPLACE": {"INTO"},
+    "DELETE": {"FROM"},
+    "CREATE": {"TABLE", "INDEX", "DATABASE", "TEMPORARY", "UNIQUE", "OR"},
+    "DROP": {"TABLE", "INDEX", "DATABASE"},
+}
+_PERCENT_RE = re.compile(r"%\(?[A-Za-z_][A-Za-z0-9_]*\)?[sdifrx]|%[sdifrx]")
+_FORMAT_RE = re.compile(r"\{[^{}]*\}")
+# LIMIT/OFFSET take integer literals, not identifiers.
+_LIMIT_RE = re.compile(r"\b(LIMIT|OFFSET)\s+(__ph\d+__)", re.IGNORECASE)
+
+
+def _looks_like_sql(text: str) -> bool:
+    words = text.lstrip().split(None, 2)
+    if not words or words[0].upper() not in _SQL_STARTERS:
+        return False
+    second = _SQL_STARTERS[words[0].upper()]
+    if second is None:
+        return True
+    return len(words) > 1 and words[1].upper() in second
+
+
+class _Placeholders:
+    def __init__(self):
+        self.n = 0
+
+    def next(self) -> str:
+        self.n += 1
+        return f"__ph{self.n}__"
+
+
+def _render_joinedstr(node: ast.JoinedStr, ph: _Placeholders) -> str:
+    parts = []
+    for value in node.values:
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            parts.append(value.value)
+        else:
+            parts.append(ph.next())
+    return "".join(parts)
+
+
+def extract_templates(tree: ast.AST):
+    """Yield ``(node, rendered_sql_text)`` for every SQL-looking template."""
+    for node in ast.walk(tree):
+        ph = _Placeholders()
+        if isinstance(node, ast.JoinedStr):
+            text = _render_joinedstr(node, ph)
+        elif (
+            isinstance(node, ast.BinOp)
+            and isinstance(node.op, ast.Mod)
+            and isinstance(node.left, ast.Constant)
+            and isinstance(node.left.value, str)
+        ):
+            text = _PERCENT_RE.sub(lambda _: ph.next(), node.left.value)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "format"
+            and isinstance(node.func.value, ast.Constant)
+            and isinstance(node.func.value.value, str)
+        ):
+            text = _FORMAT_RE.sub(lambda _: ph.next(), node.func.value.value)
+        else:
+            continue
+        if _looks_like_sql(text):
+            yield node, _LIMIT_RE.sub(r"\1 1", text)
+
+
+@register
+class SqlTemplateRule(Rule):
+    name = "sql-template"
+    description = (
+        "string-formatted SQL must round-trip through repro.sql.parser"
+    )
+    severity = "error"
+
+    def check(self, ctx):
+        from ...sql.parser import ParseError, parse
+
+        for node, text in extract_templates(ctx.tree):
+            try:
+                statements = parse(text)
+            except ParseError as e:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"SQL template does not parse in the project dialect: {e} "
+                    f"[template: {text!r}]",
+                )
+                continue
+            for stmt in statements:
+                regenerated = stmt.to_sql()
+                try:
+                    parse(regenerated)
+                except ParseError as e:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "SQL template parses but does not round-trip "
+                        f"through to_sql(): {e} [regenerated: {regenerated!r}]",
+                    )

@@ -1,0 +1,87 @@
+"""exception-swallow: broad catches must re-raise, log, or be suppressed.
+
+A dispatch-path ``except Exception: pass`` turns a worker bug into a
+silently missing chunk.  The rule flags two shapes:
+
+- a *broad* handler (bare ``except:``, ``except Exception``, ``except
+  BaseException``) that neither re-raises, nor uses the bound exception
+  value, nor calls a logging method;
+- any handler -- typed or not -- whose body is exactly ``pass``
+  (silent discard; legitimate ones carry a suppression with a reason).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import Rule, register
+
+__all__ = ["SwallowRule"]
+
+_BROAD = {"Exception", "BaseException"}
+_LOG_METHODS = {
+    "debug", "info", "warning", "error", "exception", "critical", "log",
+}
+
+
+def _type_names(node) -> list[str]:
+    if node is None:
+        return []
+    if isinstance(node, ast.Tuple):
+        return [n for e in node.elts for n in _type_names(e)]
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, ast.Attribute):
+        return [node.attr]
+    return []
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    return any(name in _BROAD for name in _type_names(handler.type))
+
+
+@register
+class SwallowRule(Rule):
+    name = "exception-swallow"
+    description = "broad except handlers must re-raise, log, or use the error"
+    severity = "warning"
+
+    def check(self, ctx):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            body_is_pass = all(isinstance(s, ast.Pass) for s in node.body)
+            broad = _is_broad(node)
+            if not broad and not body_is_pass:
+                continue
+            if body_is_pass:
+                kind = "silently discarded"
+            else:
+                raises = uses = logs = False
+                for sub in ast.walk(ast.Module(body=node.body, type_ignores=[])):
+                    if isinstance(sub, ast.Raise):
+                        raises = True
+                    elif (
+                        isinstance(sub, ast.Name)
+                        and node.name is not None
+                        and sub.id == node.name
+                    ):
+                        uses = True
+                    elif (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr in _LOG_METHODS
+                    ):
+                        logs = True
+                if raises or uses or logs:
+                    continue
+                kind = "swallowed without re-raise, logging, or inspection"
+            caught = ", ".join(_type_names(node.type)) or "everything"
+            yield self.finding(
+                ctx,
+                node,
+                f"exception ({caught}) {kind}: re-raise, log, or add "
+                "'# reprolint: disable=exception-swallow -- <reason>'",
+            )

@@ -71,12 +71,14 @@ def _infer_schema(header: list[str], first_row: list[str]) -> list[Column]:
             int(value)
             out.append(Column(name, "BIGINT"))
             continue
+        # reprolint: disable=exception-swallow -- type sniffing: not an int, try float
         except ValueError:
             pass
         try:
             float(value)
             out.append(Column(name, "DOUBLE"))
             continue
+        # reprolint: disable=exception-swallow -- type sniffing: not a number, keep TEXT
         except ValueError:
             pass
         out.append(Column(name, "TEXT"))

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..partition import Placement
-from ..xrd import Redirector
+from ..xrd import Redirector, RedirectError
 from .worker import QservWorker
 
 __all__ = ["ClusterAdmin", "ClusterHealth", "NodeReport"]
@@ -73,8 +73,8 @@ class ClusterAdmin:
     def _server_up(self, name: str) -> bool:
         try:
             return self.redirector.server(name).up
-        except Exception:
-            return False
+        except RedirectError:
+            return False  # not registered with the redirector => down
 
     def health(self) -> ClusterHealth:
         """The full health report."""

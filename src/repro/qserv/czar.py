@@ -50,6 +50,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from ..analysis.sanitizer import make_lock
 from ..partition import Chunker
 from ..sql import Database, Table
 from ..sql.dump import load_dump
@@ -309,7 +310,7 @@ class Czar:
         self.dispatch_parallelism = dispatch_parallelism
         self.wire_format = wire_format
         self._merge_counter = itertools.count()
-        self._merge_lock = threading.Lock()
+        self._merge_lock = make_lock("Czar._merge_lock")
         self._pool: Optional[ThreadPoolExecutor] = (
             ThreadPoolExecutor(
                 max_workers=dispatch_parallelism,
@@ -320,26 +321,27 @@ class Czar:
         )
         self._plan_cache: OrderedDict[str, tuple] = OrderedDict()
         self._plan_cache_size = plan_cache_size
-        self._plan_lock = threading.Lock()
+        self._plan_lock = make_lock("Czar._plan_lock")
         #: Lifetime count of plans served from the cache.
         self.plan_cache_hits = 0
         # Recent successful chunk latencies feeding the adaptive hedge
         # threshold; only maintained when hedging is enabled.
         window = hedge_policy.window if hedge_policy is not None else 0
         self._latencies: deque = deque(maxlen=max(window, 1))
-        self._latency_lock = threading.Lock()
+        self._latency_lock = make_lock("Czar._latency_lock")
         # Lazy pool for bounded/hedged attempts (deadline or hedging).
         self._attempt_pool: Optional[ThreadPoolExecutor] = None
-        self._attempt_pool_lock = threading.Lock()
+        self._attempt_pool_lock = make_lock("Czar._attempt_pool_lock")
 
     def close(self) -> None:
         """Shut down the persistent dispatch pools (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown(wait=False)
             self._pool = None
-        if self._attempt_pool is not None:
-            self._attempt_pool.shutdown(wait=False)
-            self._attempt_pool = None
+        with self._attempt_pool_lock:
+            attempt_pool, self._attempt_pool = self._attempt_pool, None
+        if attempt_pool is not None:
+            attempt_pool.shutdown(wait=False)
 
     def _ensure_attempt_pool(self) -> ThreadPoolExecutor:
         with self._attempt_pool_lock:
@@ -465,10 +467,12 @@ class Czar:
         stats = QueryStats()
         try:
             analysis, plan, specs = self._plan(sql, stats)
-            stats.used_secondary_index = (
-                analysis.has_index_restriction and self.secondary_index is not None
-            )
-            stats.used_region_restriction = analysis.region is not None
+            with self._merge_lock:
+                stats.used_secondary_index = (
+                    analysis.has_index_restriction
+                    and self.secondary_index is not None
+                )
+                stats.used_region_restriction = analysis.region is not None
 
             merge_db = Database(self.metadata.database)
             payloads = self._dispatch_and_collect(
@@ -482,7 +486,8 @@ class Czar:
             merge_sql = generate_merge_query(plan, analysis.select, merge_name)
             result = merge_db.execute(merge_sql)
         finally:
-            stats.elapsed_seconds = time.perf_counter() - t0
+            with self._merge_lock:
+                stats.elapsed_seconds = time.perf_counter() - t0
         return QueryResult(table=result, stats=stats)
 
     # -- dispatch ----------------------------------------------------------------------
@@ -565,6 +570,9 @@ class Czar:
                 first_wait = left if first_wait is None else min(first_wait, left)
             try:
                 return primary.result(timeout=first_wait)
+            # Hedge trigger: the primary is slow, fall through and race
+            # a second attempt against it.
+            # reprolint: disable=exception-swallow -- intentional hedge trigger
             except _FutureTimeout:
                 pass
             futures = [primary]
@@ -595,6 +603,7 @@ class Czar:
                 for f in done:
                     pending.discard(f)
                     try:
+                        # reprolint: disable=deadline-threading -- f is done, no block
                         outcome = f.result()
                     except Exception as e:  # noqa: BLE001 - retried above
                         last = e
@@ -752,13 +761,14 @@ class Czar:
                 tables.append(merge_db.get_table(loaded_name))
                 merge_db.drop_table(loaded_name)
                 legacy += 1
-        if binary and legacy:
-            stats.wire_format = "mixed"
-        elif binary:
-            stats.wire_format = "binary"
-        elif legacy:
-            stats.wire_format = "sqldump"
-        stats.rows_merged += sum(t.num_rows for t in tables)
+        with self._merge_lock:
+            if binary and legacy:
+                stats.wire_format = "mixed"
+            elif binary:
+                stats.wire_format = "binary"
+            elif legacy:
+                stats.wire_format = "sqldump"
+            stats.rows_merged += sum(t.num_rows for t in tables)
         if not tables:
             return None
         merged = Table.concat(merge_name, tables)

@@ -16,6 +16,7 @@ import threading
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
+from ..analysis.sanitizer import make_lock
 from ..partition import Chunker
 from ..xrd import Redirector
 from ..xrd.health import HealthTracker
@@ -77,7 +78,7 @@ class LoadBalancingFrontend:
         ]
         self._rr = itertools.count()
         self._stats = [_MasterStats() for _ in self.czars]
-        self._lock = threading.Lock()
+        self._lock = make_lock("LoadBalancingFrontend._lock")
         self.master_health = master_health or HealthTracker(
             failure_threshold=3, cooldown=1.0
         )

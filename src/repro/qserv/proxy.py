@@ -11,6 +11,7 @@ plain backend.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Optional
@@ -20,6 +21,8 @@ from .analysis import QservAnalysisError
 from .czar import Czar, QueryResult
 
 __all__ = ["QservProxy", "SessionLog"]
+
+_log = logging.getLogger(__name__)
 
 
 @dataclass
@@ -64,8 +67,9 @@ class QservProxy:
 
                 result = QueryResult(table=table, stats=QueryStats())
                 self.log.local_queries += 1
-        except Exception:
+        except Exception as e:
             self.log.failed_queries += 1
+            _log.debug("query failed: %s: %s", type(e).__name__, e)
             raise
         finally:
             elapsed = time.perf_counter() - t0

@@ -23,6 +23,7 @@ import time
 from collections import deque
 from dataclasses import dataclass
 
+from ..analysis.sanitizer import make_condition, make_lock, make_rlock
 from ..sql import Database, SqlError, Table, dump_table
 from ..sql.engine import ResultTable
 from ..sql.wire import encode_table
@@ -134,13 +135,13 @@ class QservWorker(OfsPlugin):
         # Reads still owed per result path; with cache_results=False a
         # result is evicted when the last expected reader has read it.
         self._pending_reads: dict[str, int] = {}
-        self._lock = threading.RLock()
+        self._lock = make_rlock("QservWorker._lock")
         self._queue: deque[tuple[str, int, str]] = deque()
-        self._queue_cv = threading.Condition(self._lock)
+        self._queue_cv = make_condition(self._lock, "QservWorker._queue_cv")
         # Sub-chunk tables are shared across concurrent queries on the
         # same chunk; refcounts keep one query from dropping a table
         # another is still scanning.
-        self._build_lock = threading.Lock()
+        self._build_lock = make_lock("QservWorker._build_lock")
         self._sub_chunk_refs: dict[str, int] = {}
         self.slots = slots
         self._threads: list[threading.Thread] = []
@@ -221,16 +222,16 @@ class QservWorker(OfsPlugin):
         with self._lock:
             if path in self._errors:
                 message = self._errors[path]
-                self._done_reading(path)
+                self._done_reading_locked(path)
                 if message == _SHUTDOWN_MESSAGE:
                     raise WorkerShutdownError(f"worker {self.name}: {message}")
                 raise SqlError(f"worker {self.name}: {message}")
             data = self._results.get(path)
             if data is not None:
-                self._done_reading(path)
+                self._done_reading_locked(path)
             return data
 
-    def _done_reading(self, path: str) -> None:
+    def _done_reading_locked(self, path: str) -> None:
         """One owed read served; evict at zero (caller holds the lock)."""
         if self.cache_results:
             return

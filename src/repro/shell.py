@@ -20,6 +20,7 @@ Meta-commands (backslash-prefixed, like ``mysql``'s):
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
 
@@ -28,6 +29,8 @@ from .qserv import QservAnalysisError
 from .sql import SqlError
 
 __all__ = ["QservShell", "main"]
+
+_log = logging.getLogger(__name__)
 
 
 def _format_table(column_names, rows, max_rows=40) -> str:
@@ -81,7 +84,10 @@ class QservShell:
             result = self.testbed.query(line)
         except (SqlError, QservAnalysisError) as e:
             return f"ERROR: {e}"
-        except Exception as e:  # surface anything else readably
+        except Exception as e:
+            # Anything else is a bug, not a user error: keep the shell
+            # alive but leave the traceback in the log.
+            _log.exception("unexpected failure running %r", line)
             return f"ERROR: {type(e).__name__}: {e}"
         self.last_result = result
         elapsed = time.perf_counter() - t0

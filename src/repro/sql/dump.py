@@ -75,7 +75,7 @@ def dump_table(table: Table, name: str | None = None) -> str:
     lines = [f"DROP TABLE IF EXISTS {name};"]
     cols = table.schema()
     col_defs = ", ".join(f"{_ident(c.name)} {c.type_name}" for c in cols)
-    lines.append(f"CREATE TABLE {name} ({col_defs});")
+    lines.append(f"CREATE TABLE {name} ({col_defs});")  # reprolint: disable=sql-template -- serializer: holes are multi-token
 
     n = table.num_rows
     if n:
@@ -84,7 +84,7 @@ def dump_table(table: Table, name: str | None = None) -> str:
             stop = min(start + ROWS_PER_INSERT, n)
             batches = [lit[start:stop] for lit in literals]
             rows = [f"({','.join(vals)})" for vals in zip(*batches)]
-            lines.append(f"INSERT INTO {name} VALUES {','.join(rows)};")
+            lines.append(f"INSERT INTO {name} VALUES {','.join(rows)};")  # reprolint: disable=sql-template -- serializer: holes are multi-token
     return "\n".join(lines) + "\n"
 
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import threading
 
+from ..analysis.sanitizer import make_lock
+
 __all__ = ["FileSystem", "FileSystemError", "FileHandle"]
 
 
@@ -78,7 +80,7 @@ class FileSystem:
 
     def __init__(self):
         self._files: dict[str, bytes] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("FileSystem._lock")
 
     def open(self, path: str, mode: str) -> FileHandle:
         return FileHandle(self, path, mode)

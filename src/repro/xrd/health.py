@@ -21,6 +21,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict
 
+from ..analysis.sanitizer import make_lock
+
 __all__ = ["HealthTracker", "ServerHealth"]
 
 _CLOSED, _OPEN, _HALF_OPEN = "closed", "open", "half-open"
@@ -69,10 +71,10 @@ class HealthTracker:
         self.cooldown = cooldown
         self.max_cooldown = max_cooldown
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = make_lock("HealthTracker._lock")
         self._servers: Dict[str, ServerHealth] = {}
 
-    def _entry(self, name: str) -> ServerHealth:
+    def _entry_locked(self, name: str) -> ServerHealth:
         entry = self._servers.get(name)
         if entry is None:
             entry = self._servers[name] = ServerHealth(cooldown=self.cooldown)
@@ -82,7 +84,7 @@ class HealthTracker:
 
     def record_success(self, name: str) -> None:
         with self._lock:
-            entry = self._entry(name)
+            entry = self._entry_locked(name)
             entry.successes += 1
             entry.consecutive_failures = 0
             entry.state = _CLOSED
@@ -90,7 +92,7 @@ class HealthTracker:
 
     def record_failure(self, name: str) -> None:
         with self._lock:
-            entry = self._entry(name)
+            entry = self._entry_locked(name)
             entry.failures += 1
             entry.consecutive_failures += 1
             if entry.state == _HALF_OPEN:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import threading
 
+from ..analysis.sanitizer import make_lock
 from .dataserver import DataServer
 
 __all__ = ["Redirector", "RedirectError"]
@@ -27,7 +28,7 @@ class Redirector:
     def __init__(self):
         self._servers: dict[str, DataServer] = {}
         self._cache: dict[str, str] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("Redirector._lock")
         # Monotonic counters for observability and the timing model.
         self.lookups = 0
         self.cache_hits = 0

@@ -1,0 +1,10 @@
+"""Fixture: deadline-scoped functions with unbounded blocking calls."""
+
+
+def collect(future, deadline):
+    return future.result()  # unbounded wait despite having a deadline
+
+
+def drain(event, deadline):
+    event.wait()  # same
+    return True

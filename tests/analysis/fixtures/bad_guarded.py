@@ -1,0 +1,24 @@
+"""Fixture: attribute guarded in one method, mutated bare in another."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+        self.items = []
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+
+    def stash(self, x):
+        with self._lock:
+            self.items.append(x)
+
+    def sloppy_bump(self):
+        self.value += 1  # line 21: mutation without the guard
+
+    def sloppy_stash(self, x):
+        self.items.append(x)  # line 24: mutator call without the guard

@@ -1,0 +1,23 @@
+"""Fixture: two locks taken in both orders -- a static deadlock cycle."""
+
+import threading
+
+
+class TwoLocks:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self.x = 0
+        self.y = 0
+
+    def forward(self):
+        with self._a:
+            with self._b:
+                self.x += 1
+                self.y += 1
+
+    def backward(self):
+        with self._b:
+            with self._a:
+                self.x += 1
+                self.y += 1

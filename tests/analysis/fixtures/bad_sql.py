@@ -1,0 +1,9 @@
+"""Fixture: a string-formatted SQL template the project parser rejects."""
+
+
+def broken(table):
+    return f"SELECT * FRM {table}"
+
+
+def also_broken(table):
+    return "DELETE FROM %s WHERE" % table

@@ -1,0 +1,16 @@
+"""Fixture: exception handlers that hide failures."""
+
+
+def broad_swallow():
+    try:
+        return 1
+    except Exception:
+        return None  # broad catch, error vanishes
+
+
+def silent_discard(value):
+    try:
+        return int(value)
+    except ValueError:
+        pass  # typed but pass-only: silent discard
+    return 0

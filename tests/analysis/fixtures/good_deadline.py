@@ -1,0 +1,21 @@
+"""Fixture: deadline-scoped functions that bound every wait."""
+
+
+def collect(future, deadline):
+    return future.result(timeout=deadline.remaining())
+
+
+def forwarded(client, path, deadline):
+    return client.read(path, deadline=deadline)
+
+
+def nested(pool, spec, deadline):
+    def attempt():
+        # Closes over deadline: nested defs inherit the obligation.
+        return pool.submit(spec).result(timeout=deadline.remaining())
+
+    return attempt()
+
+
+def unrelated(future):
+    return future.result()  # no deadline parameter: out of scope

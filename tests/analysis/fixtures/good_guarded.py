@@ -1,0 +1,21 @@
+"""Fixture: consistent guard discipline -- zero guarded-by findings."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0  # __init__ is exempt: construction is single-threaded
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+
+    def bump_many(self, n):
+        with self._lock:
+            for _ in range(n):
+                self._bump_locked()
+
+    def _bump_locked(self):
+        self.value += 1  # *_locked methods are exempt: caller holds the lock

@@ -1,0 +1,22 @@
+"""Fixture: nested locks always in one order; condition aliases collapse."""
+
+import threading
+
+
+class OrderedLocks:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self._cv = threading.Condition(self._a)
+        self.x = 0
+
+    def forward(self):
+        with self._a:
+            with self._b:
+                self.x += 1
+
+    def also_forward(self):
+        # _cv wraps _a, so this is the same a -> b edge, not a cycle.
+        with self._cv:
+            with self._b:
+                self.x += 1

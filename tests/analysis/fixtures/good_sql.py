@@ -1,0 +1,14 @@
+"""Fixture: well-formed SQL templates plus prose that merely starts
+with a SQL verb (must not be treated as a statement)."""
+
+
+def query(table, value):
+    return f"SELECT * FROM {table} WHERE objectId = {value}"
+
+
+def drop(table):
+    return f"DROP TABLE IF EXISTS {table}"
+
+
+def error_message(n):
+    return f"INSERT row has {n} values"  # prose, not SQL

@@ -1,0 +1,27 @@
+"""Fixture: handlers that re-raise, log, or inspect the error."""
+
+import logging
+
+_log = logging.getLogger(__name__)
+
+
+def reraises():
+    try:
+        return 1
+    except Exception:
+        raise
+
+
+def logs():
+    try:
+        return 1
+    except Exception:
+        _log.exception("failed")
+        return None
+
+
+def uses(value):
+    try:
+        return int(value)
+    except Exception as e:
+        return f"bad value: {e}"

@@ -1,0 +1,23 @@
+"""Fixture: findings silenced by reprolint pragmas."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+
+    def inline_pragma(self):
+        self.value += 1  # reprolint: disable=guarded-by -- single-threaded path
+
+    def standalone_pragma(self):
+        # reprolint: disable=guarded-by -- benchmark-only, no concurrency
+        self.value += 1
+
+    def wildcard(self):
+        self.value += 1  # reprolint: disable=all -- fixture exercise

@@ -1,0 +1,171 @@
+"""Framework behavior: suppression parsing, reporters, CLI contract."""
+
+import json
+
+import pytest
+
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    LintResult,
+    all_rules,
+    lint_paths,
+)
+from repro.analysis.lint import main
+from repro.analysis.reporters import render_json, render_text
+
+BAD_CLASS = (
+    "import threading\n"
+    "class C:\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self.n = 0\n"
+    "    def f(self):\n"
+    "        with self._lock:\n"
+    "            self.n += 1\n"
+    "    def g(self):\n"
+    "        self.n += 1\n"
+)
+
+
+# -- suppressions -------------------------------------------------------------------
+
+
+def test_inline_suppression_covers_its_line():
+    ctx = FileContext("x.py", "x = 1  # reprolint: disable=guarded-by\n")
+    assert ctx.suppressed("guarded-by", 1)
+    assert not ctx.suppressed("lock-order", 1)
+    assert not ctx.suppressed("guarded-by", 2)
+
+
+def test_standalone_suppression_covers_next_line():
+    src = "# reprolint: disable=guarded-by -- reason here\nx = 1\n"
+    ctx = FileContext("x.py", src)
+    assert ctx.suppressed("guarded-by", 1)
+    assert ctx.suppressed("guarded-by", 2)
+
+
+def test_multi_rule_and_wildcard_suppression():
+    ctx = FileContext(
+        "x.py",
+        "a = 1  # reprolint: disable=guarded-by, lock-order\n"
+        "b = 2  # reprolint: disable=all\n",
+    )
+    assert ctx.suppressed("guarded-by", 1)
+    assert ctx.suppressed("lock-order", 1)
+    assert not ctx.suppressed("sql-template", 1)
+    assert ctx.suppressed("sql-template", 2)
+
+
+# -- registry -----------------------------------------------------------------------
+
+
+def test_all_five_rules_registered():
+    assert set(all_rules()) == {
+        "deadline-threading",
+        "exception-swallow",
+        "guarded-by",
+        "lock-order",
+        "sql-template",
+    }
+
+
+def test_unknown_rule_selection_raises():
+    with pytest.raises(KeyError):
+        lint_paths([], ["no-such-rule"])
+
+
+# -- reporters ----------------------------------------------------------------------
+
+
+def sample_result():
+    result = LintResult(files=2)
+    result.findings.append(
+        Finding("guarded-by", "a.py", 10, 5, "unguarded", "error")
+    )
+    result.findings.append(
+        Finding("exception-swallow", "b.py", 3, 1, "swallowed", "warning")
+    )
+    result.suppressed.append(
+        Finding("guarded-by", "a.py", 20, 5, "quieted", "error")
+    )
+    return result
+
+
+def test_text_reporter():
+    out = render_text(sample_result())
+    assert "a.py:10:5: error: [guarded-by] unguarded" in out
+    assert "b.py:3:1: warning: [exception-swallow] swallowed" in out
+    assert "quieted" not in out
+    assert "2 files checked: 1 error(s), 1 warning(s), 1 suppressed" in out
+    assert "quieted" in render_text(sample_result(), verbose=True)
+
+
+def test_json_reporter_round_trips():
+    payload = json.loads(render_json(sample_result()))
+    assert payload["files_checked"] == 2
+    assert len(payload["findings"]) == 2
+    assert payload["findings"][0]["rule"] == "guarded-by"
+    assert len(payload["suppressed"]) == 1
+
+
+# -- exit codes ---------------------------------------------------------------------
+
+
+def test_exit_code_ladder():
+    clean = LintResult()
+    assert clean.exit_code() == 0 and clean.exit_code(strict=True) == 0
+
+    warn = LintResult(findings=[Finding("r", "p", 1, 1, "m", "warning")])
+    assert warn.exit_code() == 0
+    assert warn.exit_code(strict=True) == 1
+
+    err = LintResult(findings=[Finding("r", "p", 1, 1, "m", "error")])
+    assert err.exit_code() == 1
+
+    broken = LintResult(errors=[("p", "boom")])
+    assert broken.exit_code() == 2
+
+
+# -- CLI ----------------------------------------------------------------------------
+
+
+def test_cli_clean_file(tmp_path, capsys):
+    f = tmp_path / "ok.py"
+    f.write_text("x = 1\n")
+    assert main([str(f)]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_cli_findings_fail(tmp_path, capsys):
+    f = tmp_path / "bad.py"
+    f.write_text(BAD_CLASS)
+    assert main([str(f)]) == 1
+    out = capsys.readouterr().out
+    assert "[guarded-by]" in out and "bad.py:10" in out
+
+
+def test_cli_syntax_error_is_exit_2(tmp_path, capsys):
+    f = tmp_path / "broken.py"
+    f.write_text("def f(:\n")
+    assert main([str(f)]) == 2
+    assert "[parse]" in capsys.readouterr().out
+
+
+def test_cli_rule_subset_and_json(tmp_path, capsys):
+    f = tmp_path / "bad.py"
+    f.write_text(BAD_CLASS)
+    assert main([str(f), "--rules", "lock-order", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"] == []
+
+
+def test_cli_unknown_rule(tmp_path, capsys):
+    assert main([str(tmp_path), "--rules", "bogus"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "guarded-by" in out and "sql-template" in out

@@ -1,0 +1,130 @@
+"""Each lint rule against its bad/good fixture pair."""
+
+from pathlib import Path
+
+from repro.analysis.core import lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run(fixture: str, rule: str):
+    result = lint_paths([FIXTURES / fixture], [rule])
+    assert not result.errors, result.errors
+    return result
+
+
+# -- guarded-by --------------------------------------------------------------------
+
+
+def test_guarded_by_flags_unguarded_mutations():
+    result = run("bad_guarded.py", "guarded-by")
+    lines = sorted(f.line for f in result.findings)
+    assert lines == [21, 24]
+    assert all(f.rule == "guarded-by" for f in result.findings)
+    assert "_lock" in result.findings[0].message
+
+
+def test_guarded_by_clean_on_disciplined_class():
+    result = run("good_guarded.py", "guarded-by")
+    assert result.findings == []
+
+
+# -- lock-order --------------------------------------------------------------------
+
+
+def test_lock_order_reports_cycle():
+    result = run("bad_lock_order.py", "lock-order")
+    assert len(result.findings) == 1
+    msg = result.findings[0].message
+    assert "TwoLocks._a" in msg and "TwoLocks._b" in msg
+    assert "cycle" in msg
+
+
+def test_lock_order_clean_on_consistent_nesting():
+    result = run("good_lock_order.py", "lock-order")
+    assert result.findings == []
+
+
+def test_lock_order_cycle_spanning_files(tmp_path):
+    # The graph is whole-tree: each file alone is consistent, together
+    # they invert.  (Same class name so the roles collide, as two
+    # halves of one class split across a refactor would.)
+    (tmp_path / "one.py").write_text(
+        "import threading\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self._a = threading.Lock()\n"
+        "        self._b = threading.Lock()\n"
+        "    def f(self):\n"
+        "        with self._a:\n"
+        "            with self._b:\n"
+        "                pass\n"
+    )
+    (tmp_path / "two.py").write_text(
+        "import threading\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self._a = threading.Lock()\n"
+        "        self._b = threading.Lock()\n"
+        "    def g(self):\n"
+        "        with self._b:\n"
+        "            with self._a:\n"
+        "                pass\n"
+    )
+    result = lint_paths([tmp_path], ["lock-order"])
+    assert len(result.findings) == 1
+    assert "cycle" in result.findings[0].message
+
+
+# -- deadline-threading -------------------------------------------------------------
+
+
+def test_deadline_flags_unbounded_waits():
+    result = run("bad_deadline.py", "deadline-threading")
+    assert len(result.findings) == 2
+    assert any(".result()" in f.message for f in result.findings)
+    assert any(".wait()" in f.message for f in result.findings)
+
+
+def test_deadline_clean_when_bounded_or_forwarded():
+    result = run("good_deadline.py", "deadline-threading")
+    assert result.findings == []
+
+
+# -- exception-swallow --------------------------------------------------------------
+
+
+def test_swallow_flags_broad_and_silent_handlers():
+    result = run("bad_swallow.py", "exception-swallow")
+    assert len(result.findings) == 2
+    assert all(f.severity == "warning" for f in result.findings)
+    kinds = " ".join(f.message for f in result.findings)
+    assert "swallowed" in kinds and "silently discarded" in kinds
+
+
+def test_swallow_clean_when_reraised_logged_or_used():
+    result = run("good_swallow.py", "exception-swallow")
+    assert result.findings == []
+
+
+# -- sql-template -------------------------------------------------------------------
+
+
+def test_sql_template_flags_unparseable_templates():
+    result = run("bad_sql.py", "sql-template")
+    assert len(result.findings) == 2
+    assert all("does not parse" in f.message for f in result.findings)
+
+
+def test_sql_template_clean_on_valid_templates_and_prose():
+    result = run("good_sql.py", "sql-template")
+    assert result.findings == []
+
+
+# -- suppressions -------------------------------------------------------------------
+
+
+def test_suppressions_silence_but_are_recorded():
+    result = run("suppressed.py", "guarded-by")
+    assert result.findings == []
+    assert len(result.suppressed) == 3

@@ -1,0 +1,205 @@
+"""Runtime lock-order sanitizer: monitor, wrappers, factories, and an
+end-to-end run over the real Redirector/HealthTracker pair."""
+
+import threading
+
+import pytest
+
+from repro.analysis import sanitizer
+from repro.analysis.sanitizer import (
+    LockOrderMonitor,
+    LockOrderViolation,
+    SanitizedLock,
+    SanitizedRLock,
+    make_condition,
+    make_lock,
+    make_rlock,
+)
+
+
+@pytest.fixture
+def forced():
+    sanitizer.enable()
+    yield
+    sanitizer.disable()
+    sanitizer.reset()
+
+
+# -- monitor ------------------------------------------------------------------------
+
+
+def test_consistent_order_is_fine():
+    m = LockOrderMonitor()
+    for _ in range(3):
+        m.on_acquire("A")
+        m.on_acquire("B")
+        m.on_release("B")
+        m.on_release("A")
+    assert "B" in m.edges()["A"]
+    assert m.held() == ()
+
+
+def test_inversion_raises_with_witness():
+    m = LockOrderMonitor()
+    m.on_acquire("A")
+    m.on_acquire("B")
+    m.on_release("B")
+    m.on_release("A")
+    m.on_acquire("B")
+    with pytest.raises(LockOrderViolation) as exc:
+        m.on_acquire("A")
+    assert "'A'" in str(exc.value) and "'B'" in str(exc.value)
+    assert "first seen at" in str(exc.value)
+
+
+def test_transitive_inversion_detected():
+    m = LockOrderMonitor()
+    for outer, inner in [("A", "B"), ("B", "C")]:
+        m.on_acquire(outer)
+        m.on_acquire(inner)
+        m.on_release(inner)
+        m.on_release(outer)
+    m.on_acquire("C")
+    with pytest.raises(LockOrderViolation):
+        m.on_acquire("A")  # C -> A closes the A -> B -> C chain
+
+
+def test_reentrant_reacquire_is_not_a_violation():
+    m = LockOrderMonitor()
+    m.on_acquire("A")
+    m.on_acquire("A")
+    m.on_release("A")
+    assert m.held() == ("A",)
+    m.on_release("A")
+    assert m.held() == ()
+
+
+def test_cross_thread_orders_share_one_graph():
+    m = LockOrderMonitor()
+
+    def t1():
+        m.on_acquire("A")
+        m.on_acquire("B")
+        m.on_release("B")
+        m.on_release("A")
+
+    t = threading.Thread(target=t1)
+    t.start()
+    t.join()
+    # This thread never held A, but the other thread's ordering binds.
+    m.on_acquire("B")
+    with pytest.raises(LockOrderViolation):
+        m.on_acquire("A")
+
+
+# -- wrappers -----------------------------------------------------------------------
+
+
+def test_sanitized_lock_inversion_raises_instead_of_deadlocking():
+    m = LockOrderMonitor()
+    a = SanitizedLock("A", m)
+    b = SanitizedLock("B", m)
+    with a:
+        with b:
+            pass
+    with b:
+        with pytest.raises(LockOrderViolation):
+            a.acquire()
+
+
+def test_sanitized_rlock_reentrancy():
+    m = LockOrderMonitor()
+    a = SanitizedRLock("A", m)
+    with a:
+        with a:
+            assert m.held() == ("A", "A")
+    assert m.held() == ()
+
+
+def test_failed_try_acquire_leaves_stack_clean():
+    m = LockOrderMonitor()
+    a = SanitizedLock("A", m)
+    a.acquire()
+    got = [None]
+
+    def contender():
+        got[0] = a.acquire(blocking=False)
+
+    t = threading.Thread(target=contender)
+    t.start()
+    t.join()
+    assert got[0] is False
+    a.release()
+    assert m.held() == ()
+
+
+def test_condition_over_sanitized_rlock():
+    m = LockOrderMonitor()
+    lock = SanitizedRLock("QLock", m)
+    cv = threading.Condition(lock)
+    hits = []
+
+    def waiter():
+        with cv:
+            while not hits:
+                cv.wait(timeout=5)
+            hits.append("woke")
+
+    t = threading.Thread(target=waiter)
+    t.start()
+    with cv:
+        hits.append("posted")
+        cv.notify()
+    t.join(timeout=5)
+    assert not t.is_alive()
+    assert hits == ["posted", "woke"]
+    assert m.held() == ()
+
+
+# -- factories ----------------------------------------------------------------------
+
+
+def test_factories_return_plain_locks_when_disabled(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    sanitizer.disable()
+    assert isinstance(make_lock("X"), type(threading.Lock()))
+    assert isinstance(make_rlock("X"), type(threading.RLock()))
+    assert isinstance(make_condition(), threading.Condition)
+
+
+def test_factories_return_sanitized_locks_when_enabled(forced):
+    assert isinstance(make_lock("X"), SanitizedLock)
+    assert isinstance(make_rlock("X"), SanitizedRLock)
+    cv = make_condition(name="X")
+    assert isinstance(cv, threading.Condition)
+
+
+def test_env_var_activates(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    sanitizer.disable()  # defer to the environment
+    assert isinstance(make_lock("X"), SanitizedLock)
+
+
+# -- end to end over real components -----------------------------------------------
+
+
+def test_redirector_health_nesting_is_recorded_not_flagged(forced):
+    from repro.xrd.dataserver import DataServer
+    from repro.xrd.health import HealthTracker
+    from repro.xrd.redirector import Redirector
+
+    redirector = Redirector()
+    health = HealthTracker()
+    for name in ("w1", "w2"):
+        server = DataServer(name)
+        server.export("/chunk_1")
+        redirector.register(server)
+    for _ in range(10):
+        health.record_failure("w1")
+
+    # locate() consults health.available() while holding its own lock:
+    # the dynamic edge the static lock-order rule cannot see.
+    chosen = redirector.locate("/chunk_1", health=health)
+    assert chosen.name == "w2"
+    edges = sanitizer.MONITOR.edges()
+    assert "HealthTracker._lock" in edges.get("Redirector._lock", {})

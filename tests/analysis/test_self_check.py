@@ -1,0 +1,33 @@
+"""Golden self-check: the shipped tree is lint-clean under --strict.
+
+This is the gate CI enforces; keeping it in the suite means a change
+that introduces an unguarded mutation, a lock-order cycle, an unbounded
+wait on a deadline path, a silent swallow, or a malformed SQL template
+fails locally before it ever reaches CI.
+"""
+
+from pathlib import Path
+
+from repro.analysis.core import lint_paths
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_source_tree_is_lint_clean():
+    result = lint_paths([SRC])
+    assert not result.errors, result.errors
+    assert result.findings == [], "\n".join(
+        f"{f.path}:{f.line}: [{f.rule}] {f.message}" for f in result.findings
+    )
+
+
+def test_suppressions_carry_reasons():
+    # Every pragma in the shipped tree must say *why*: "-- <reason>".
+    offenders = []
+    for path in SRC.rglob("*.py"):
+        for i, line in enumerate(path.read_text().splitlines(), start=1):
+            if "reprolint: disable=" in line and "--" not in line.split(
+                "reprolint:", 1
+            )[1]:
+                offenders.append(f"{path}:{i}")
+    assert offenders == []

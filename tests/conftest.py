@@ -1,0 +1,19 @@
+"""Suite-wide fixtures.
+
+With ``REPRO_SANITIZE=1`` in the environment every lock built through
+:mod:`repro.analysis.sanitizer` is instrumented, and the whole suite --
+chaos and resilience runs included -- doubles as a lock-order test.
+The autouse fixture below clears the global order graph between tests
+so one test's deliberate inversion cannot poison the next.
+"""
+
+import pytest
+
+from repro.analysis import sanitizer
+
+
+@pytest.fixture(autouse=True)
+def _reset_lock_monitor():
+    sanitizer.reset()
+    yield
+    sanitizer.reset()

@@ -1,3 +1,10 @@
 """Rule modules; importing this package registers every rule."""
 
-from . import deadline, guarded_by, lock_order, sql_template, swallow  # noqa: F401
+from . import (  # noqa: F401
+    deadline,
+    guarded_by,
+    lock_order,
+    span_leak,
+    sql_template,
+    swallow,
+)

@@ -1,0 +1,142 @@
+"""span-leak: every started trace span must be closed on all paths.
+
+A :func:`repro.obs.trace.span` starts timing at the call; a span that
+is neither used as a context manager nor explicitly ``.end()``-ed stays
+open forever when an exception unwinds the frame -- the trace then
+renders an "unfinished" span and its duration is garbage.  The rule
+accepts three closing shapes, checked per function scope:
+
+- the call is the context expression of a ``with`` statement (directly,
+  or via a variable later used in a ``with``);
+- the variable has an explicit ``.end(...)`` call somewhere in the same
+  scope (typically inside ``finally:``);
+- the span visibly *escapes* the scope -- passed as a call argument
+  (``pool.submit(run, sp)``), returned, or stored into an attribute or
+  subscript -- so responsibility moves to the receiver.
+
+Calls are matched conservatively: a bare ``span(...)`` name, or an
+attribute call ``X.span(...)`` where ``X`` is named ``trace`` /
+``obs_trace`` or is itself a ``.trace`` attribute -- i.e. the
+``repro.obs.trace`` API, not arbitrary ``.span()`` methods.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import Rule, register
+
+__all__ = ["SpanLeakRule"]
+
+_TRACE_OWNERS = {"trace", "obs_trace"}
+
+_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _is_span_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "span"
+    if isinstance(func, ast.Attribute) and func.attr == "span":
+        owner = func.value
+        if isinstance(owner, ast.Name):
+            return owner.id in _TRACE_OWNERS
+        if isinstance(owner, ast.Attribute):
+            return owner.attr in _TRACE_OWNERS or owner.attr == "trace"
+    return False
+
+
+def _scope_nodes(scope: ast.AST) -> list:
+    """Every node lexically in ``scope``, not descending into nested defs."""
+    out = []
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        if not isinstance(node, _SCOPES):
+            stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+def _name_is_closed(name: str, nodes: list) -> bool:
+    """Does any node in the scope close or hand off the named span?"""
+    for node in nodes:
+        if isinstance(node, ast.withitem):
+            ce = node.context_expr
+            if isinstance(ce, ast.Name) and ce.id == name:
+                return True
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "end"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == name
+            ):
+                return True
+            values = list(node.args) + [kw.value for kw in node.keywords]
+            if any(isinstance(a, ast.Name) and a.id == name for a in values):
+                return True  # handed off as a call argument
+        elif isinstance(node, ast.Return):
+            if any(
+                isinstance(sub, ast.Name) and sub.id == name
+                for sub in ast.walk(node)
+            ):
+                return True  # returned to the caller
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            value = node.value
+            if isinstance(value, ast.Name) and value.id == name:
+                return True  # stored (self.x = sp / d[k] = sp / aliased)
+    return False
+
+
+@register
+class SpanLeakRule(Rule):
+    name = "span-leak"
+    description = "obs.trace.span(...) must be with-managed, .end()-ed, or handed off"
+    severity = "error"
+
+    def check(self, ctx):
+        scopes = [ctx.tree] + [
+            node for node in ast.walk(ctx.tree) if isinstance(node, _SCOPES)
+        ]
+        for scope in scopes:
+            nodes = _scope_nodes(scope)
+            parent = {}
+            for node in nodes:
+                for child in ast.iter_child_nodes(node):
+                    parent.setdefault(child, node)
+            for node in nodes:
+                if not isinstance(node, ast.Call) or not _is_span_call(node):
+                    continue
+                holder = parent.get(node)
+                if isinstance(holder, ast.withitem) and holder.context_expr is node:
+                    continue  # with obs_trace.span(...):
+                if isinstance(holder, (ast.Call, ast.Return)):
+                    continue  # passed along / returned: receiver closes it
+                if isinstance(holder, ast.Attribute) and holder.attr in (
+                    "end",
+                    "__enter__",
+                ):
+                    continue  # span(...).end() chained directly
+                if isinstance(holder, (ast.Assign, ast.AnnAssign)):
+                    targets = (
+                        holder.targets
+                        if isinstance(holder, ast.Assign)
+                        else [holder.target]
+                    )
+                    names = [t.id for t in targets if isinstance(t, ast.Name)]
+                    if not names:
+                        continue  # stored into an attribute/subscript
+                    if any(_name_is_closed(n, nodes) for n in names):
+                        continue
+                    label = repr(names[0])
+                else:
+                    label = "the started span"
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"span is started but {label} is never closed: use it in "
+                    "a 'with' statement, call .end() on every path (e.g. in "
+                    "'finally:'), or hand it off explicitly",
+                )

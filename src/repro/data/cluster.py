@@ -45,9 +45,9 @@ class QservTestbed:
     tables: dict[str, Table]
     load_report: LoadReport
 
-    def query(self, sql: str):
-        """Submit a query through the proxy."""
-        return self.proxy.query(sql)
+    def query(self, sql: str, **kwargs):
+        """Submit a query through the proxy (kwargs reach Czar.submit)."""
+        return self.proxy.query(sql, **kwargs)
 
     def shutdown(self):
         self.czar.close()

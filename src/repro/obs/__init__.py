@@ -1,0 +1,24 @@
+"""Observability for the czar/xrd/worker pipeline (paper section 4.1/5).
+
+The paper's czar carries a "query management" duty -- tracking every
+in-flight query from analysis through dispatch, merge, and delivery.
+This package is that duty made inspectable, in three parts:
+
+- :mod:`repro.obs.trace` -- per-query span trees with czar-to-worker
+  context propagation (the ``-- TRACE:`` chunk-query header) and
+  Chrome/Perfetto trace-event JSON export;
+- :mod:`repro.obs.metrics` -- a hierarchy of named counters, gauges,
+  and fixed-bucket histograms (per-query -> per-czar -> process-global);
+- :mod:`repro.obs.events` -- a ring-buffered log of typed operational
+  records (retries, hedges, breaker transitions, shutdowns).
+
+All three are near-zero-cost when idle: tracing returns a shared no-op
+span unless enabled (``REPRO_TRACE=1``, sampling via
+``REPRO_TRACE_SAMPLE``), metric updates are one uncontended lock per
+registry level, and the event ring is bounded.  The shell surfaces the
+layer as ``SHOW METRICS``, ``SHOW EVENTS``, and ``TRACE <sql>``.
+"""
+
+from . import events, metrics, trace
+
+__all__ = ["events", "metrics", "trace"]

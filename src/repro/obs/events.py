@@ -1,0 +1,141 @@
+"""Structured events: a ring-buffered log of typed operational records.
+
+Where :mod:`repro.obs.trace` answers "where did *this query* spend its
+time" and :mod:`repro.obs.metrics` answers "how much, in aggregate",
+the event log answers "what *happened*, in order": retries, hedges,
+breaker trips, shutdowns -- the records the proxy/health layers used to
+bury in free-text ``logging`` messages.
+
+Event types currently emitted:
+
+==================  ====================================================
+``query_start``     proxy accepted a query (``sql``)
+``query_end``       query finished (``sql``, ``seconds``, ``rows``)
+``query_failed``    query raised (``sql``, ``error``)
+``chunk_retry``     chunk re-dispatched (``chunk``, ``attempt``, ``error``)
+``hedge_fired``     straggling chunk duplicated (``chunk``, ``delay``)
+``hedge_won``       the duplicate answered first (``chunk``)
+``chunk_timeout``   chunk abandoned at the deadline (``chunk``)
+``partial_result``  failed chunks dropped from a merge (``chunks``)
+``breaker_open``    circuit breaker tripped (``server``, ``cooldown``)
+``breaker_probe``   half-open probe admitted (``server``)
+``breaker_close``   breaker closed after success (``server``)
+``worker_shutdown`` worker stopped serving (``worker``, ``pending``)
+==================  ====================================================
+
+The ring (default 1024 records) bounds memory on long sessions; every
+``emit`` also forwards to the stdlib ``repro.obs.events`` logger at
+DEBUG, so existing log-based tooling keeps working.  The shell renders
+the ring via ``SHOW EVENTS``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from collections import deque
+from typing import Optional
+
+from ..analysis.sanitizer import make_lock
+
+__all__ = ["Event", "EventLog", "LOG", "emit", "recent", "clear", "to_json"]
+
+_log = logging.getLogger("repro.obs.events")
+
+
+class Event:
+    """One typed record: sequence number, wall-clock time, type, fields."""
+
+    __slots__ = ("seq", "ts", "type", "fields")
+
+    def __init__(self, seq: int, ts: float, etype: str, fields: dict):
+        self.seq = seq
+        self.ts = ts
+        self.type = etype
+        self.fields = fields
+
+    def as_dict(self) -> dict:
+        return {"seq": self.seq, "ts": self.ts, "type": self.type, "fields": self.fields}
+
+    def __repr__(self):
+        return f"Event(#{self.seq} {self.type} {self.fields!r})"
+
+
+class EventLog:
+    """A bounded, append-only ring of :class:`Event` records."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._lock = make_lock("obs.EventLog._lock")
+        self._events: deque = deque(maxlen=capacity)
+        self._seq = 0
+
+    def emit(self, etype: str, **fields) -> Event:
+        ts = time.time()
+        with self._lock:
+            self._seq += 1
+            ev = Event(self._seq, ts, etype, fields)
+            self._events.append(ev)
+        # Forward outside the lock: a logging handler must never run
+        # under (or order against) the ring's lock.
+        _log.debug("%s %s", etype, fields)
+        return ev
+
+    def recent(self, n: Optional[int] = None, type: Optional[str] = None) -> list:
+        """The most recent events, oldest first, optionally filtered by type."""
+        with self._lock:
+            events = list(self._events)
+        if type is not None:
+            events = [e for e in events if e.type == type]
+        if n is not None:
+            events = events[-n:]
+        return events
+
+    def counts(self) -> dict:
+        """``{event_type: occurrences}`` over the current ring contents."""
+        out: dict = {}
+        for e in self.recent():
+            out[e.type] = out.get(e.type, 0) + 1
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def resize(self, capacity: int) -> None:
+        """Change the ring capacity, keeping the newest records."""
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        with self._lock:
+            self._events = deque(self._events, maxlen=capacity)
+
+    def to_json(self, n: Optional[int] = None, indent=2) -> str:
+        return json.dumps(
+            [e.as_dict() for e in self.recent(n)], indent=indent, sort_keys=True
+        )
+
+    def __len__(self):
+        with self._lock:
+            return len(self._events)
+
+
+#: The process-global event log every emitter feeds.
+LOG = EventLog()
+
+
+def emit(etype: str, **fields) -> Event:
+    return LOG.emit(etype, **fields)
+
+
+def recent(n: Optional[int] = None, type: Optional[str] = None) -> list:
+    return LOG.recent(n, type=type)
+
+
+def clear() -> None:
+    LOG.clear()
+
+
+def to_json(n: Optional[int] = None, indent=2) -> str:
+    return LOG.to_json(n, indent=indent)

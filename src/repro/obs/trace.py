@@ -1,0 +1,453 @@
+"""Lightweight per-query tracing with cross-boundary propagation.
+
+A :class:`Trace` is one query's tree of timed :class:`Span`\\ s.  Spans
+start when created and must be closed -- either as a context manager::
+
+    with obs_trace.span("merge", parent=root, rows=n):
+        ...
+
+or explicitly (the ``span-leak`` lint rule enforces one of the two
+shapes, or a visible hand-off to code that will close it)::
+
+    sp = obs_trace.span("attempt", parent=dispatch_span)
+    pool.submit(run_attempt, spec, sp)   # run_attempt closes it
+
+The czar propagates trace context to workers *inside the chunk query
+text* as a ``-- TRACE: <trace_id>/<span_id>`` header line (exactly like
+``-- DEADLINE:``), so worker-side execute/dump spans parent correctly
+under the czar's dispatch span even across retries and hedged
+duplicates.  Workers resolve the id through :func:`lookup` against the
+bounded in-process trace collector.
+
+Cost model: when tracing is off (the default -- enable with
+``REPRO_TRACE=1`` or :func:`configure`), :func:`span` returns the
+shared :data:`NOOP_SPAN` after a couple of attribute checks and no
+allocation, so instrumented code paths stay effectively free.  A
+sampling knob (``REPRO_TRACE_SAMPLE``, deterministic pacing rather than
+randomness) bounds the cost when tracing is on.
+
+Clocks are explicit and injectable: a trace stamps every span through
+its own ``clock`` (default ``time.perf_counter``), so tests can drive
+spans with a fake clock and get exact durations.
+
+Export: :meth:`Trace.to_chrome_json` emits Chrome/Perfetto trace-event
+JSON (``ph: "X"`` complete events, microsecond timestamps) that loads
+directly in ``chrome://tracing`` or https://ui.perfetto.dev;
+:meth:`Trace.pretty` renders the indented span tree the shell's
+``TRACE <sql>`` command prints.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import math
+import os
+import threading
+import time
+from collections import OrderedDict
+from typing import Optional
+
+from ..analysis.sanitizer import make_lock
+
+__all__ = [
+    "Span",
+    "Trace",
+    "NOOP_SPAN",
+    "span",
+    "start_trace",
+    "lookup",
+    "current_span",
+    "configure",
+    "is_enabled",
+    "sample_rate",
+    "reset",
+]
+
+#: Traces kept by the in-process collector (oldest evicted first).  The
+#: collector exists so workers can resolve a ``-- TRACE:`` header back
+#: to the czar's live trace; 64 in-flight queries is far beyond what
+#: the in-process cluster ever runs concurrently.
+_MAX_TRACES = 64
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_TRACE", "0").strip().lower() not in (
+        "",
+        "0",
+        "false",
+        "no",
+        "off",
+    )
+
+
+def _env_sample_rate() -> float:
+    raw = os.environ.get("REPRO_TRACE_SAMPLE", "").strip()
+    if not raw:
+        return 1.0
+    try:
+        return min(max(float(raw), 0.0), 1.0)
+    except ValueError:
+        return 1.0
+
+
+_config_lock = make_lock("obs.trace._config_lock")
+_enabled = _env_enabled()
+_sample_rate = _env_sample_rate()
+_clock = time.perf_counter
+_traces: "OrderedDict[str, Trace]" = OrderedDict()
+_trace_counter = itertools.count()
+
+_tls = threading.local()
+
+
+def _stack() -> list:
+    st = getattr(_tls, "stack", None)
+    if st is None:
+        st = _tls.stack = []
+    return st
+
+
+class _NoopSpan:
+    """The do-nothing span returned whenever tracing is off/unsampled."""
+
+    __slots__ = ()
+
+    name = ""
+    span_id = ""
+    parent_id = None
+    trace = None
+    status = "noop"
+    attrs: dict = {}
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def set(self, **attrs):
+        return self
+
+    def end(self, status: Optional[str] = None):
+        return self
+
+    def cancel(self):
+        return self
+
+    def __bool__(self):
+        return False
+
+    def __repr__(self):
+        return "NOOP_SPAN"
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One timed operation in a trace; starts at construction."""
+
+    __slots__ = (
+        "trace",
+        "name",
+        "span_id",
+        "parent_id",
+        "attrs",
+        "thread",
+        "status",
+        "start",
+        "end_time",
+    )
+
+    def __init__(self, trace: "Trace", name: str, parent_id=None, attrs=None):
+        self.trace = trace
+        self.name = name
+        self.span_id = trace._next_span_id()
+        self.parent_id = parent_id
+        self.attrs = dict(attrs) if attrs else {}
+        self.thread = threading.get_ident()
+        self.status = "open"
+        self.end_time: Optional[float] = None
+        self.start = trace.clock()
+        trace._add(self)
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes (merged into the span's ``attrs`` dict)."""
+        self.attrs.update(attrs)
+        return self
+
+    def end(self, status: Optional[str] = None) -> "Span":
+        """Close the span (idempotent); cancelled spans stay cancelled."""
+        if self.end_time is not None:
+            return self
+        self.end_time = self.trace.clock()
+        if self.status != "cancelled":
+            self.status = status or "ok"
+        return self
+
+    def cancel(self) -> "Span":
+        """Mark the span abandoned (a losing hedge attempt).
+
+        Takes effect immediately even if the span's thread is still
+        running -- its eventual ``end()`` records the finish time but
+        keeps the ``cancelled`` status.
+        """
+        self.status = "cancelled"
+        return self
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end_time is None:
+            return None
+        return self.end_time - self.start
+
+    def __enter__(self) -> "Span":
+        _stack().append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        st = _stack()
+        if st and st[-1] is self:
+            st.pop()
+        if exc is not None and self.end_time is None:
+            self.set(error=f"{exc_type.__name__}: {exc}")
+            self.end("error")
+        else:
+            self.end()
+        return False
+
+    def __repr__(self):
+        dur = self.duration
+        timing = f"{dur * 1e3:.3f}ms" if dur is not None else "open"
+        return f"Span({self.name!r}, id={self.span_id}, {self.status}, {timing})"
+
+
+class Trace:
+    """One query's spans, with the clock that stamps them."""
+
+    def __init__(self, trace_id: str, clock=None):
+        self.trace_id = trace_id
+        self.clock = clock if clock is not None else time.perf_counter
+        self._lock = make_lock("obs.Trace._lock")
+        self._spans: list = []
+        self._span_ids = itertools.count(1)
+
+    def _next_span_id(self) -> str:
+        return f"s{next(self._span_ids)}"
+
+    def _add(self, sp: Span) -> None:
+        with self._lock:
+            self._spans.append(sp)
+
+    @property
+    def spans(self) -> list:
+        with self._lock:
+            return list(self._spans)
+
+    def find(self, name: str) -> Optional[Span]:
+        """The first span with this name, or None."""
+        for sp in self.spans:
+            if sp.name == name:
+                return sp
+        return None
+
+    def _tree(self):
+        spans = sorted(self.spans, key=lambda s: (s.start, s.span_id))
+        ids = {s.span_id for s in spans}
+        children: dict = {}
+        roots = []
+        for sp in spans:
+            if sp.parent_id is not None and sp.parent_id in ids:
+                children.setdefault(sp.parent_id, []).append(sp)
+            else:
+                roots.append(sp)
+        return roots, children
+
+    def pretty(self) -> str:
+        """The indented span tree ``TRACE <sql>`` prints."""
+        roots, children = self._tree()
+        lines = []
+
+        def walk(sp: Span, depth: int) -> None:
+            dur = sp.duration
+            timing = f"{dur * 1e3:.2f} ms" if dur is not None else "unfinished"
+            status = "" if sp.status == "ok" else f" [{sp.status}]"
+            attrs = " ".join(
+                f"{k}={v}" for k, v in sorted(sp.attrs.items()) if k != "track"
+            )
+            line = f"{'  ' * depth}{sp.name}  ({timing}){status}"
+            if attrs:
+                line += f"  {attrs}"
+            lines.append(line)
+            for child in children.get(sp.span_id, ()):
+                walk(child, depth + 1)
+
+        for root in roots:
+            walk(root, 0)
+        return "\n".join(lines)
+
+    def to_chrome_json(self) -> str:
+        """Chrome/Perfetto trace-event JSON for this trace.
+
+        Complete (``ph: "X"``) events with microsecond timestamps
+        relative to the earliest span, one Perfetto track per thread,
+        named from each span's ``track`` attribute (czar vs. worker
+        names).  Unfinished spans extend to the latest timestamp seen.
+        """
+        spans = self.spans
+        events = []
+        if spans:
+            t0 = min(s.start for s in spans)
+            t_last = max(
+                s.end_time if s.end_time is not None else s.start for s in spans
+            )
+            tids: dict = {}
+            track_names: dict = {}
+            for sp in spans:
+                tid = tids.setdefault(sp.thread, len(tids) + 1)
+                track = sp.attrs.get("track")
+                if track and tid not in track_names:
+                    track_names[tid] = str(track)
+                end = sp.end_time if sp.end_time is not None else t_last
+                args = {k: _jsonable(v) for k, v in sp.attrs.items()}
+                args.update(
+                    span_id=sp.span_id,
+                    parent_id=sp.parent_id,
+                    status=sp.status,
+                    trace_id=self.trace_id,
+                )
+                events.append(
+                    {
+                        "name": sp.name,
+                        "cat": "qserv",
+                        "ph": "X",
+                        "pid": 1,
+                        "tid": tid,
+                        "ts": round((sp.start - t0) * 1e6, 3),
+                        "dur": round(max(end - sp.start, 0.0) * 1e6, 3),
+                        "args": args,
+                    }
+                )
+            for tid in sorted(tids.values()):
+                events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": 1,
+                        "tid": tid,
+                        "args": {"name": track_names.get(tid, f"thread-{tid}")},
+                    }
+                )
+        return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
+
+    def __repr__(self):
+        return f"Trace({self.trace_id!r}, spans={len(self.spans)})"
+
+
+def _jsonable(v):
+    if isinstance(v, (str, int, float, bool)) or v is None:
+        return v
+    return str(v)
+
+
+def configure(enabled=None, sample_rate=None, clock=None) -> None:
+    """Override the env-derived tracing configuration (tests, benchmarks)."""
+    global _enabled, _sample_rate, _clock
+    with _config_lock:
+        if enabled is not None:
+            _enabled = bool(enabled)
+        if sample_rate is not None:
+            _sample_rate = min(max(float(sample_rate), 0.0), 1.0)
+        if clock is not None:
+            _clock = clock
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+def sample_rate() -> float:
+    return _sample_rate
+
+
+def reset() -> None:
+    """Re-derive config from the environment and clear the collector."""
+    global _enabled, _sample_rate, _clock
+    with _config_lock:
+        _enabled = _env_enabled()
+        _sample_rate = _env_sample_rate()
+        _clock = time.perf_counter
+        _traces.clear()
+
+
+def _sampled(n: int, rate: float) -> bool:
+    # Deterministic pacing: of any N consecutive queries, floor(N*rate)
+    # are sampled, spread evenly -- no RNG, so runs are reproducible.
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    return math.floor((n + 1) * rate) > math.floor(n * rate)
+
+
+def start_trace(force: bool = False) -> Optional["Trace"]:
+    """A new registered trace, or None (disabled / not sampled).
+
+    ``force=True`` bypasses both the enable flag and the sampler -- the
+    shell's ``TRACE <sql>`` and explicit ``submit(..., trace=True)``.
+    """
+    if not force and not _enabled:
+        return None
+    with _config_lock:
+        n = next(_trace_counter)
+        if not force and not _sampled(n, _sample_rate):
+            return None
+        tr = Trace(f"t{n:06d}", clock=_clock)
+        _traces[tr.trace_id] = tr
+        while len(_traces) > _MAX_TRACES:
+            _traces.popitem(last=False)
+    return tr
+
+
+def lookup(trace_id: Optional[str]) -> Optional["Trace"]:
+    """Resolve a propagated trace id against the collector (worker side)."""
+    if not trace_id:
+        return None
+    with _config_lock:
+        return _traces.get(trace_id)
+
+
+def current_span() -> Optional[Span]:
+    """The innermost span entered on this thread, or None."""
+    st = getattr(_tls, "stack", None)
+    return st[-1] if st else None
+
+
+def span(name: str, parent=None, trace=None, parent_id=None, **attrs):
+    """Start a span; the near-zero-cost entry point for instrumentation.
+
+    Resolution order for the owning trace: explicit ``trace``, then the
+    ``parent`` span's trace, then the innermost span entered on this
+    thread.  When none resolves (tracing off, query unsampled, unknown
+    propagated id) the shared :data:`NOOP_SPAN` is returned and nothing
+    is recorded.  ``parent_id`` carries a *remote* parent -- the worker
+    parenting its spans under the czar's attempt span by id.
+    """
+    if trace is None:
+        if parent is not None:
+            trace = parent.trace
+            if trace is None:
+                return NOOP_SPAN
+            if parent_id is None:
+                parent_id = parent.span_id
+        else:
+            cur = current_span()
+            if cur is None:
+                return NOOP_SPAN
+            trace = cur.trace
+            if parent_id is None:
+                parent_id = cur.span_id
+    elif parent is not None and parent_id is None and parent.span_id:
+        parent_id = parent.span_id
+    return Span(trace, name, parent_id=parent_id, attrs=attrs)

@@ -34,6 +34,14 @@ propagated down to the worker's result wait so hung executors surface
 as :class:`ChunkTimeoutError` instead of deadlock, stragglers can be
 hedged to a second replica (first result wins), and per-worker health
 tracking steers the redirector away from flapping nodes.
+
+The whole pipeline is observable through :mod:`repro.obs`: every query
+can carry a span tree (root ``query`` span, per-chunk ``dispatch``
+spans with one ``attempt`` child per retry/hedge, worker-side
+``worker.execute``/``worker.dump`` leaves parented via the
+``-- TRACE:`` chunk-query header), and :class:`QueryStats` is a thin
+view over a per-query metrics registry parented to the czar's lifetime
+registry and the process-global one.
 """
 
 from __future__ import annotations
@@ -45,12 +53,15 @@ from collections import OrderedDict, deque
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeout
 from concurrent.futures import wait as _futures_wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 import numpy as np
 
 from ..analysis.sanitizer import make_lock
+from ..obs import events as obs_events
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..partition import Chunker
 from ..sql import Database, Table
 from ..sql.dump import load_dump
@@ -67,6 +78,7 @@ from ..xrd.protocol import (
     query_path,
     result_format_header,
     result_path,
+    trace_header,
 )
 from .aggregation import build_aggregation_plan
 from .analysis import QservAnalysisError, analyze
@@ -145,35 +157,91 @@ class HedgePolicy:
     window: int = 512
 
 
-@dataclass
-class QueryStats:
-    """Observable cost of one user query."""
+#: QueryStats counter-like fields and the per-query metric backing each.
+_STATS_COUNTERS = {
+    "chunks_dispatched": "czar.chunks.dispatched",
+    "chunks_retried": "czar.chunks.retried",
+    "sub_chunk_statements": "czar.subchunk.statements",
+    "bytes_dispatched": "czar.bytes.dispatched",
+    "bytes_collected": "czar.bytes.collected",
+    "rows_merged": "czar.rows.merged",
+    "plan_cache_hits": "czar.plan_cache.hits",
+    "chunks_hedged": "czar.chunks.hedged",
+    "hedges_won": "czar.hedges.won",
+    "chunks_timed_out": "czar.chunks.timed_out",
+}
 
-    chunks_dispatched: int = 0
-    chunks_retried: int = 0
-    sub_chunk_statements: int = 0
-    bytes_dispatched: int = 0
-    bytes_collected: int = 0
-    rows_merged: int = 0
-    workers_used: set = field(default_factory=set)
-    used_secondary_index: bool = False
-    used_region_restriction: bool = False
-    elapsed_seconds: float = 0.0
-    #: Result encoding actually collected: 'binary', 'sqldump', or
-    #: 'mixed' (a cluster mid-upgrade); '' when no chunk was dispatched.
-    wire_format: str = ""
-    #: 1 when this query's plan came from the czar's plan cache.
-    plan_cache_hits: int = 0
-    #: Chunk queries duplicated to a second replica (stragglers).
-    chunks_hedged: int = 0
-    #: Hedged duplicates that answered before the primary attempt.
-    hedges_won: int = 0
-    #: Chunk queries abandoned because the query deadline expired.
-    chunks_timed_out: int = 0
-    #: True when ``allow_partial`` dropped failed chunks from the merge.
-    partial_result: bool = False
-    #: Chunk ids that contributed nothing (timeouts/permanent failures).
-    failed_chunks: list = field(default_factory=list)
+
+class QueryStats:
+    """Observable cost of one user query.
+
+    A thin view over the observability layer rather than a
+    hand-maintained parallel structure: every counter-like field
+    (``chunks_dispatched``, ``chunks_retried``, ``plan_cache_hits``,
+    ``chunks_hedged``, ``hedges_won``, ``chunks_timed_out``, byte/row
+    totals, ...) is a property backed by a named counter in a per-query
+    :class:`repro.obs.metrics.Registry`.  The czar parents that
+    registry to its own lifetime registry (itself parented to the
+    process-global one), so a single ``stats.chunks_retried += 1``
+    updates the per-query view, the czar's lifetime totals, and ``SHOW
+    METRICS`` in one call -- which is also what de-duplicated the old
+    side-by-side ``Czar.plan_cache_hits`` / ``stats.plan_cache_hits``
+    accounting.
+
+    Plain attributes: ``workers_used`` (set), ``used_secondary_index``,
+    ``used_region_restriction``, ``elapsed_seconds``, ``wire_format``
+    ('binary', 'sqldump', 'mixed', or '' when nothing was dispatched),
+    ``partial_result`` (True when ``allow_partial`` dropped failed
+    chunks), ``failed_chunks`` (chunk ids that contributed nothing),
+    and ``trace`` -- the query's :class:`repro.obs.trace.Trace` when it
+    was sampled, else None.
+    """
+
+    def __init__(self, parent=None, trace=None, **initial):
+        self._registry = obs_metrics.Registry(parent=parent)
+        self.trace = trace
+        self.workers_used: set = set()
+        self.used_secondary_index = False
+        self.used_region_restriction = False
+        self.elapsed_seconds = 0.0
+        self.wire_format = ""
+        self.partial_result = False
+        self.failed_chunks: list = []
+        for name, value in initial.items():
+            setattr(self, name, value)
+
+    def as_dict(self) -> dict:
+        out = {name: getattr(self, name) for name in _STATS_COUNTERS}
+        out.update(
+            workers_used=set(self.workers_used),
+            used_secondary_index=self.used_secondary_index,
+            used_region_restriction=self.used_region_restriction,
+            elapsed_seconds=self.elapsed_seconds,
+            wire_format=self.wire_format,
+            partial_result=self.partial_result,
+            failed_chunks=list(self.failed_chunks),
+        )
+        return out
+
+    def __repr__(self):
+        parts = ", ".join(f"{k}={v!r}" for k, v in sorted(self.as_dict().items()))
+        return f"QueryStats({parts})"
+
+
+def _stats_counter(metric: str) -> property:
+    def _get(self):
+        return self._registry.counter(metric).value
+
+    def _set(self, value):
+        c = self._registry.counter(metric)
+        c.add(value - c.value)
+
+    return property(_get, _set)
+
+
+for _field_name, _metric_name in _STATS_COUNTERS.items():
+    setattr(QueryStats, _field_name, _stats_counter(_metric_name))
+del _field_name, _metric_name
 
 
 @dataclass
@@ -322,8 +390,10 @@ class Czar:
         self._plan_cache: OrderedDict[str, tuple] = OrderedDict()
         self._plan_cache_size = plan_cache_size
         self._plan_lock = make_lock("Czar._plan_lock")
-        #: Lifetime count of plans served from the cache.
-        self.plan_cache_hits = 0
+        #: This czar's lifetime metrics; per-query registries (behind
+        #: QueryStats) parent here, and this one feeds the global
+        #: registry, so one increment updates all three levels.
+        self.metrics = obs_metrics.Registry(parent=obs_metrics.REGISTRY)
         # Recent successful chunk latencies feeding the adaptive hedge
         # threshold; only maintained when hedging is enabled.
         window = hedge_policy.window if hedge_policy is not None else 0
@@ -332,6 +402,17 @@ class Czar:
         # Lazy pool for bounded/hedged attempts (deadline or hedging).
         self._attempt_pool: Optional[ThreadPoolExecutor] = None
         self._attempt_pool_lock = make_lock("Czar._attempt_pool_lock")
+
+    @property
+    def plan_cache_hits(self) -> int:
+        """Lifetime count of plans served from the cache.
+
+        Reads the ``czar.plan_cache.hits`` counter of this czar's
+        registry -- the same counter every per-query
+        ``stats.plan_cache_hits`` increment propagates into, replacing
+        the old duplicated side-by-side accounting.
+        """
+        return self.metrics.counter("czar.plan_cache.hits").value
 
     def close(self) -> None:
         """Shut down the persistent dispatch pools (idempotent)."""
@@ -400,10 +481,15 @@ class Czar:
             entry = self._plan_cache.get(key)
             if entry is not None:
                 self._plan_cache.move_to_end(key)
-                self.plan_cache_hits += 1
+                # One increment: the per-query counter propagates to
+                # the czar's lifetime registry (the plan_cache_hits
+                # property) and the process-global one.
                 if stats is not None:
                     stats.plan_cache_hits += 1
+                else:
+                    self.metrics.counter("czar.plan_cache.hits").add(1)
                 return entry
+        self.metrics.counter("czar.plan_cache.misses").add(1)
         analysis = analyze(sql, self.metadata)
         if not analysis.partitioned_refs:
             raise QservAnalysisError(
@@ -449,6 +535,7 @@ class Czar:
         sql: str,
         deadline: Optional[float | Deadline] = None,
         allow_partial: bool = False,
+        trace: Optional[bool] = None,
     ) -> QueryResult:
         """Execute one user query end to end.
 
@@ -460,34 +547,72 @@ class Czar:
         after retries are dropped from the merge instead of failing the
         query; the result is annotated via ``stats.partial_result`` and
         ``stats.failed_chunks``.
+
+        ``trace`` forces span recording for this query (True -- the
+        shell's ``TRACE <sql>``), suppresses it (False), or defers to
+        the module-level enable flag and sampling knob (None, the
+        default; see :func:`repro.obs.trace.start_trace`).  The
+        recorded trace rides on ``result.stats.trace``.
         """
         t0 = time.perf_counter()
         if deadline is not None and not isinstance(deadline, Deadline):
             deadline = Deadline.after(float(deadline))
-        stats = QueryStats()
+        if trace is False:
+            query_trace = None
+        else:
+            query_trace = obs_trace.start_trace(force=trace is True)
+        stats = QueryStats(parent=self.metrics, trace=query_trace)
+        self.metrics.counter("czar.queries").add(1)
+        root = obs_trace.span(
+            "query", trace=query_trace, track="czar", sql=" ".join(sql.split())[:200]
+        )
         try:
-            analysis, plan, specs = self._plan(sql, stats)
-            with self._merge_lock:
-                stats.used_secondary_index = (
-                    analysis.has_index_restriction
-                    and self.secondary_index is not None
+            with root:
+                with obs_trace.span("plan", parent=root, track="czar") as plan_span:
+                    analysis, plan, specs = self._plan(sql, stats)
+                    plan_span.set(
+                        chunks=len(specs), cache_hit=bool(stats.plan_cache_hits)
+                    )
+                with self._merge_lock:
+                    stats.used_secondary_index = (
+                        analysis.has_index_restriction
+                        and self.secondary_index is not None
+                    )
+                    stats.used_region_restriction = analysis.region is not None
+
+                merge_db = Database(self.metadata.database)
+                payloads = self._dispatch_and_collect(
+                    specs,
+                    stats,
+                    deadline=deadline,
+                    allow_partial=allow_partial,
+                    parent_span=root,
                 )
-                stats.used_region_restriction = analysis.region is not None
+                merge_t0 = time.perf_counter()
+                with obs_trace.span("merge", parent=root, track="czar") as merge_span:
+                    merge_name = self._load_into_merge_table(merge_db, payloads, stats)
 
-            merge_db = Database(self.metadata.database)
-            payloads = self._dispatch_and_collect(
-                specs, stats, deadline=deadline, allow_partial=allow_partial
-            )
-            merge_name = self._load_into_merge_table(merge_db, payloads, stats)
-
-            if merge_name is None:
-                # Zero chunks dispatched (empty region / unknown objectId).
-                merge_name = self._empty_merge_table(merge_db, plan, analysis)
-            merge_sql = generate_merge_query(plan, analysis.select, merge_name)
-            result = merge_db.execute(merge_sql)
+                    if merge_name is None:
+                        # Zero chunks dispatched (empty region / unknown
+                        # objectId).
+                        merge_name = self._empty_merge_table(merge_db, plan, analysis)
+                    merge_sql = generate_merge_query(plan, analysis.select, merge_name)
+                    result = merge_db.execute(merge_sql)
+                    merge_span.set(rows=stats.rows_merged)
+                self.metrics.histogram("czar.merge.seconds").observe(
+                    time.perf_counter() - merge_t0
+                )
+        except Exception:
+            self.metrics.counter("czar.queries.failed").add(1)
+            raise
         finally:
             with self._merge_lock:
                 stats.elapsed_seconds = time.perf_counter() - t0
+            self.metrics.histogram("czar.query.seconds").observe(stats.elapsed_seconds)
+        if stats.partial_result:
+            obs_events.emit(
+                "partial_result", sql=sql, chunks=sorted(stats.failed_chunks)
+            )
         return QueryResult(table=result, stats=stats)
 
     # -- dispatch ----------------------------------------------------------------------
@@ -498,6 +623,7 @@ class Czar:
         stats: QueryStats,
         deadline: Optional[Deadline] = None,
         allow_partial: bool = False,
+        parent_span=obs_trace.NOOP_SPAN,
     ) -> list[tuple[str, object]]:
         """Run both file transactions for every chunk query.
 
@@ -521,49 +647,77 @@ class Czar:
             header = ""
         policy = self.retry_policy
 
-        def build_text(spec: ChunkQuerySpec) -> str:
+        def build_text(spec: ChunkQuerySpec, attempt_span) -> str:
             # The deadline header carries the *remaining* budget at
-            # dispatch time, so a retry hands the worker a tighter wait.
-            if deadline is None:
-                return header + spec.text
-            return (
-                header
-                + deadline_header(deadline.remaining())
-                + "\n"
-                + spec.text
-            )
+            # dispatch time, so a retry hands the worker a tighter
+            # wait; the trace header carries this attempt's span as the
+            # remote parent for the worker-side spans.
+            text = header
+            if deadline is not None:
+                text += deadline_header(deadline.remaining()) + "\n"
+            if attempt_span.trace is not None:
+                text += (
+                    trace_header(attempt_span.trace.trace_id, attempt_span.span_id)
+                    + "\n"
+                )
+            return text + spec.text
 
         def attempt_once(
-            spec: ChunkQuerySpec, exclude=(), worker_box: Optional[list] = None
+            spec: ChunkQuerySpec,
+            exclude=(),
+            worker_box: Optional[list] = None,
+            span=obs_trace.NOOP_SPAN,
         ):
             """One full dispatch+collect+validate transaction pair."""
-            t0 = time.perf_counter()
-            text = build_text(spec)
-            worker = self.client.write_file(
-                query_path(spec.chunk_id), text, exclude=exclude, deadline=deadline
-            )
-            if worker_box is not None:
-                worker_box.append(worker)
-            data = self.client.read_file(
-                result_path(query_hash(text)), server_name=worker, deadline=deadline
-            )
-            try:
-                kind, payload = self._validate_payload(data)
-            except _PayloadError as e:
-                e.server = worker
-                self.health.record_failure(worker)
-                raise
-            self._observe_latency(time.perf_counter() - t0)
-            return worker, len(text.encode()), len(data), kind, payload
+            with span:
+                t0 = time.perf_counter()
+                text = build_text(spec, span)
+                worker = self.client.write_file(
+                    query_path(spec.chunk_id), text, exclude=exclude, deadline=deadline
+                )
+                span.set(worker=worker)
+                if worker_box is not None:
+                    worker_box.append(worker)
+                data = self.client.read_file(
+                    result_path(query_hash(text)), server_name=worker, deadline=deadline
+                )
+                try:
+                    kind, payload = self._validate_payload(data)
+                except _PayloadError as e:
+                    e.server = worker
+                    self.health.record_failure(worker)
+                    raise
+                elapsed = time.perf_counter() - t0
+                self._observe_latency(elapsed)
+                self.metrics.histogram("czar.chunk.seconds").observe(elapsed)
+                span.set(bytes=len(data), format=kind)
+                return worker, len(text.encode()), len(data), kind, payload
 
-        def attempt(spec: ChunkQuerySpec):
+        def attempt(spec: ChunkQuerySpec, dispatch_span, attempt_no: int):
             """One logical attempt: bounded by the deadline, maybe hedged."""
             hedge_delay = self._hedge_delay()
             if deadline is None and hedge_delay is None:
-                return attempt_once(spec)
+                primary_span = obs_trace.span(
+                    "attempt",
+                    parent=dispatch_span,
+                    track="czar",
+                    chunk=spec.chunk_id,
+                    n=attempt_no,
+                    kind="primary",
+                )
+                return attempt_once(spec, span=primary_span)
             pool = self._ensure_attempt_pool()
             primary_workers: list = []
-            primary = pool.submit(attempt_once, spec, (), primary_workers)
+            primary_span = obs_trace.span(
+                "attempt",
+                parent=dispatch_span,
+                track="czar",
+                chunk=spec.chunk_id,
+                n=attempt_no,
+                kind="primary",
+            )
+            primary = pool.submit(attempt_once, spec, (), primary_workers, primary_span)
+            attempt_spans = {primary: primary_span}
             first_wait = hedge_delay
             if deadline is not None:
                 left = deadline.remaining()
@@ -579,9 +733,21 @@ class Czar:
             if hedge_delay is not None and (deadline is None or not deadline.expired):
                 with self._merge_lock:
                     stats.chunks_hedged += 1
-                hedge = pool.submit(
-                    attempt_once, spec, tuple(primary_workers), None
+                obs_events.emit(
+                    "hedge_fired", chunk=spec.chunk_id, delay=round(hedge_delay, 6)
                 )
+                hedge_span = obs_trace.span(
+                    "attempt",
+                    parent=dispatch_span,
+                    track="czar",
+                    chunk=spec.chunk_id,
+                    n=attempt_no,
+                    kind="hedge",
+                )
+                hedge = pool.submit(
+                    attempt_once, spec, tuple(primary_workers), None, hedge_span
+                )
+                attempt_spans[hedge] = hedge_span
                 futures.append(hedge)
             pending = set(futures)
             last: Optional[Exception] = None
@@ -596,6 +762,7 @@ class Czar:
                     # workers still evict unread results by refcount).
                     for f in not_done:
                         f.add_done_callback(_swallow_future)
+                        attempt_spans[f].cancel()
                     raise ChunkTimeoutError(
                         f"chunk {spec.chunk_id}: no replica answered "
                         "within the query deadline"
@@ -610,14 +777,16 @@ class Czar:
                         continue
                     for p in pending:
                         p.add_done_callback(_swallow_future)
+                        attempt_spans[p].cancel()
                     if len(futures) > 1 and f is futures[1]:
                         with self._merge_lock:
                             stats.hedges_won += 1
+                        obs_events.emit("hedge_won", chunk=spec.chunk_id)
                     return outcome
             assert last is not None
             raise last
 
-        def collect(spec: ChunkQuerySpec):
+        def collect(spec: ChunkQuerySpec, dispatch_span):
             """Retry loop around :func:`attempt` for one chunk."""
             key = f"chunk-{spec.chunk_id}"
             last: Optional[Exception] = None
@@ -630,13 +799,19 @@ class Czar:
                 if attempt_no:
                     with self._merge_lock:
                         stats.chunks_retried += 1
+                    obs_events.emit(
+                        "chunk_retry",
+                        chunk=spec.chunk_id,
+                        attempt=attempt_no,
+                        error=str(last),
+                    )
                     if not policy.sleep_before(attempt_no, key, deadline):
                         raise ChunkTimeoutError(
                             f"chunk {spec.chunk_id}: query deadline expired "
                             f"during backoff: {last}"
                         )
                 try:
-                    return attempt(spec)
+                    return attempt(spec, dispatch_span, attempt_no)
                 except ChunkTimeoutError:
                     raise
                 except _RETRYABLE as e:
@@ -656,21 +831,29 @@ class Czar:
             )
 
         def one(spec: ChunkQuerySpec):
+            dispatch_span = obs_trace.span(
+                "dispatch", parent=parent_span, track="czar", chunk=spec.chunk_id
+            )
             try:
-                worker, sent, received, kind, payload = collect(spec)
+                with dispatch_span:
+                    worker, sent, received, kind, payload = collect(spec, dispatch_span)
             except QueryError as e:
                 timed_out = isinstance(e, ChunkTimeoutError)
+                if timed_out:
+                    obs_events.emit("chunk_timeout", chunk=spec.chunk_id)
                 with self._merge_lock:
                     if timed_out:
                         stats.chunks_timed_out += 1
                     stats.failed_chunks.append(spec.chunk_id)
                     if allow_partial:
                         stats.partial_result = True
+                self.metrics.counter("czar.chunks.failed").add(1)
                 if allow_partial:
                     return None
                 e.stats = stats
                 e.failed_chunks = [spec.chunk_id]
                 raise
+            self.metrics.counter(f"czar.bytes.collected.{kind}").add(received)
             with self._merge_lock:
                 stats.chunks_dispatched += 1
                 stats.sub_chunk_statements += max(len(spec.sub_chunk_ids), 0)

@@ -11,18 +11,16 @@ plain backend.
 
 from __future__ import annotations
 
-import logging
 import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..obs import events as obs_events
 from ..sql import Database
 from .analysis import QservAnalysisError
 from .czar import Czar, QueryResult
 
 __all__ = ["QservProxy", "SessionLog"]
-
-_log = logging.getLogger(__name__)
 
 
 @dataclass
@@ -53,6 +51,7 @@ class QservProxy:
         """
         t0 = time.perf_counter()
         self.log.queries += 1
+        obs_events.emit("query_start", sql=sql)
         try:
             try:
                 result = self.czar.submit(sql, **submit_kwargs)
@@ -69,12 +68,20 @@ class QservProxy:
                 self.log.local_queries += 1
         except Exception as e:
             self.log.failed_queries += 1
-            _log.debug("query failed: %s: %s", type(e).__name__, e)
+            obs_events.emit(
+                "query_failed", sql=sql, error=f"{type(e).__name__}: {e}"
+            )
             raise
         finally:
             elapsed = time.perf_counter() - t0
             self.log.total_seconds += elapsed
             self.log.history.append((sql, elapsed))
+        obs_events.emit(
+            "query_end",
+            sql=sql,
+            seconds=round(elapsed, 6),
+            rows=result.table.num_rows,
+        )
         return result
 
     def fetch_all(self, sql: str) -> tuple[list[str], list[tuple]]:

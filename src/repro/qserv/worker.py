@@ -24,6 +24,9 @@ from collections import deque
 from dataclasses import dataclass
 
 from ..analysis.sanitizer import make_condition, make_lock, make_rlock
+from ..obs import events as obs_events
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..sql import Database, SqlError, Table, dump_table
 from ..sql.engine import ResultTable
 from ..sql.wire import encode_table
@@ -34,6 +37,7 @@ from ..xrd.protocol import (
     RESULT_FORMAT_HEADER_PREFIX,
     RESULT_PREFIX,
     chunk_id_of_query_path,
+    parse_trace_header,
     query_hash,
     result_path,
 )
@@ -126,6 +130,8 @@ class QservWorker(OfsPlugin):
         self.cache_results = cache_results
         self.result_wait_timeout = result_wait_timeout
         self.stats = WorkerStats()
+        #: This worker's lifetime metrics, feeding the global registry.
+        self.metrics = obs_metrics.Registry(parent=obs_metrics.REGISTRY)
         self._results: dict[str, bytes] = {}
         self._result_ready: dict[str, threading.Event] = {}
         self._errors: dict[str, str] = {}
@@ -198,7 +204,9 @@ class QservWorker(OfsPlugin):
                 self.stats.queue_high_water = max(
                     self.stats.queue_high_water, len(self._queue)
                 )
+                depth = len(self._queue)
                 self._queue_cv.notify()
+            self.metrics.gauge(f"worker.queue.depth.{self.name}").set(depth)
 
     def on_read(self, path: str):
         """Result bytes, blocking on in-flight execution in threaded mode.
@@ -245,6 +253,7 @@ class QservWorker(OfsPlugin):
         self._result_ready.pop(path, None)
         self._deadlines.pop(path, None)
         self.stats.results_evicted += 1
+        self.metrics.counter("worker.results.evicted").add(1)
 
     # -- queue service ------------------------------------------------------------------
 
@@ -256,6 +265,8 @@ class QservWorker(OfsPlugin):
                 if self._shutdown:
                     return
                 rpath, chunk_id, text = self._queue.popleft()
+                depth = len(self._queue)
+            self.metrics.gauge(f"worker.queue.depth.{self.name}").set(depth)
             self._run_task(rpath, chunk_id, text)
 
     def shutdown(self, timeout: float = 5.0):
@@ -266,6 +277,7 @@ class QservWorker(OfsPlugin):
         blocked on the result-ready wait: each unset event is failed
         with a typed error and set, so ``on_read`` returns promptly.
         """
+        pending = 0
         with self._queue_cv:
             self._shutdown = True
             self._queue.clear()
@@ -274,7 +286,9 @@ class QservWorker(OfsPlugin):
                 if not event.is_set():
                     self._errors.setdefault(rpath, _SHUTDOWN_MESSAGE)
                     event.set()
+                    pending += 1
             self._queue_cv.notify_all()
+        obs_events.emit("worker_shutdown", worker=self.name, pending=pending)
         for t in self._threads:
             t.join(timeout=timeout)
 
@@ -283,21 +297,56 @@ class QservWorker(OfsPlugin):
             return len(self._queue)
 
     def _run_task(self, rpath: str, chunk_id: int, text: str):
+        # Trace context, if the master propagated any: the ``-- TRACE:``
+        # header names the dispatching attempt's span, so the execute
+        # and dump spans recorded here parent under it -- correctly per
+        # attempt, even across retries and hedged duplicates.
+        query_trace, parent_span_id = self._trace_context(text)
         try:
-            result = self.execute_chunk_query(chunk_id, text)
-            if self._result_format(text) == "binary":
-                payload = encode_table(result, _RESULT_TABLE)
-                with self._lock:
-                    self.stats.binary_results += 1
-            else:
-                payload = dump_table(result, _RESULT_TABLE).encode()
-                with self._lock:
-                    self.stats.sqldump_results += 1
+            t0 = time.perf_counter()
+            with obs_trace.span(
+                "worker.execute",
+                trace=query_trace,
+                parent_id=parent_span_id,
+                track=self.name,
+                worker=self.name,
+                chunk=chunk_id,
+            ) as execute_span:
+                result = self.execute_chunk_query(chunk_id, text)
+                execute_span.set(rows=result.num_rows)
+            self.metrics.histogram("worker.execute.seconds").observe(
+                time.perf_counter() - t0
+            )
+            fmt = self._result_format(text)
+            t1 = time.perf_counter()
+            with obs_trace.span(
+                "worker.dump",
+                trace=query_trace,
+                parent_id=parent_span_id,
+                track=self.name,
+                worker=self.name,
+                chunk=chunk_id,
+                format=fmt,
+            ):
+                if fmt == "binary":
+                    payload = encode_table(result, _RESULT_TABLE)
+                    with self._lock:
+                        self.stats.binary_results += 1
+                else:
+                    payload = dump_table(result, _RESULT_TABLE).encode()
+                    with self._lock:
+                        self.stats.sqldump_results += 1
+            self.metrics.histogram("worker.dump.seconds").observe(
+                time.perf_counter() - t1
+            )
+            self.metrics.counter("worker.queries").add(1)
+            self.metrics.counter("worker.result.bytes").add(len(payload))
             with self._lock:
                 self._results[rpath] = payload
                 self.stats.result_rows += result.num_rows
                 self.stats.result_bytes += len(payload)
         except Exception as e:  # surfaced to the master on read
+            self.metrics.counter("worker.errors").add(1)
             with self._lock:
                 self._errors[rpath] = str(e)
         finally:
@@ -305,6 +354,19 @@ class QservWorker(OfsPlugin):
                 event = self._result_ready.get(rpath)
                 if event is not None:
                     event.set()
+
+    @staticmethod
+    def _trace_context(text: str):
+        """``(Trace, parent_span_id)`` from the ``-- TRACE:`` header.
+
+        ``(None, None)`` when the header is absent or the trace id is
+        unknown to the in-process collector (e.g. tracing sampled this
+        query out) -- spans then degrade to no-ops.
+        """
+        ctx = parse_trace_header(text)
+        if ctx is None:
+            return None, None
+        return obs_trace.lookup(ctx[0]), ctx[1]
 
     @staticmethod
     def _deadline_seconds(text: str):

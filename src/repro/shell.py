@@ -15,6 +15,14 @@ Meta-commands (backslash-prefixed, like ``mysql``'s):
 \\timing   toggle per-query timing output
 \\q        quit
 ========  =====================================================
+
+Observability statements (SQL-flavored, uppercase keywords):
+
+==================  ===============================================
+``SHOW METRICS``     snapshot of the process-global metrics registry
+``SHOW EVENTS [n]``  the most recent structured events (default 20)
+``TRACE <sql>``      run the query traced; print its span tree
+==================  ===============================================
 """
 
 from __future__ import annotations
@@ -64,6 +72,10 @@ def _fmt(v) -> str:
     return str(v)
 
 
+def _clip(s: str, width: int = 48) -> str:
+    return s if len(s) <= width else s[: width - 3] + "..."
+
+
 class QservShell:
     """Stateful shell logic, separated from the input loop for testing."""
 
@@ -79,6 +91,13 @@ class QservShell:
             return ""
         if line.startswith("\\"):
             return self._meta(line)
+        upper = line.upper()
+        if upper == "SHOW METRICS":
+            return self._show_metrics()
+        if upper == "SHOW EVENTS" or upper.startswith("SHOW EVENTS "):
+            return self._show_events(line)
+        if upper == "TRACE" or upper.startswith("TRACE "):
+            return self._trace_query(line[len("TRACE") :])
         t0 = time.perf_counter()
         try:
             result = self.testbed.query(line)
@@ -95,6 +114,76 @@ class QservShell:
         if self.timing:
             out += f" ({elapsed:.3f} sec, {result.stats.chunks_dispatched} chunk queries)"
         return out
+
+    def _show_metrics(self) -> str:
+        """``SHOW METRICS``: render the process-global registry snapshot."""
+        from .obs import metrics as obs_metrics
+
+        snap = obs_metrics.snapshot()
+        if not snap:
+            return "no metrics recorded yet"
+        rows = []
+        for name, value in sorted(snap.items()):
+            if isinstance(value, dict):  # histogram summary
+                rows.append(
+                    (
+                        name,
+                        f"count={value['count']} avg={value['avg']:.6g}s "
+                        f"min={value['min']:.6g}s max={value['max']:.6g}s",
+                    )
+                )
+            else:
+                rows.append((name, value))
+        return _format_table(["metric", "value"], rows, max_rows=len(rows))
+
+    def _show_events(self, line: str) -> str:
+        """``SHOW EVENTS [n]``: the most recent structured events."""
+        from .obs import events as obs_events
+
+        parts = line.split()
+        n = 20
+        if len(parts) > 2:
+            try:
+                n = max(int(parts[2]), 1)
+            except ValueError:
+                return "usage: SHOW EVENTS [n]"
+        events = obs_events.recent(n)
+        if not events:
+            return "no events recorded yet"
+        rows = [
+            (
+                e.seq,
+                time.strftime("%H:%M:%S", time.localtime(e.ts)),
+                e.type,
+                ", ".join(f"{k}={_clip(_fmt(v))}" for k, v in e.fields.items()),
+            )
+            for e in events
+        ]
+        return _format_table(["seq", "time", "event", "fields"], rows, max_rows=n)
+
+    def _trace_query(self, sql: str) -> str:
+        """``TRACE <sql>``: run the query traced; print its span tree."""
+        sql = sql.strip().rstrip(";")
+        if not sql:
+            return "usage: TRACE <SELECT ...>"
+        try:
+            result = self.testbed.proxy.query(sql, trace=True)
+        except (SqlError, QservAnalysisError) as e:
+            return f"ERROR: {e}"
+        except Exception as e:
+            _log.exception("unexpected failure tracing %r", sql)
+            return f"ERROR: {type(e).__name__}: {e}"
+        self.last_result = result
+        trace = result.stats.trace
+        if trace is None:
+            return "no trace captured (query ran outside the czar)"
+        header = (
+            f"trace {trace.trace_id}: {len(trace.spans)} spans, "
+            f"{result.stats.chunks_dispatched} chunk queries, "
+            f"{len(result.rows())} result rows, "
+            f"{result.stats.elapsed_seconds:.3f}s"
+        )
+        return header + "\n" + trace.pretty()
 
     def _meta(self, line: str) -> str:
         cmd = line.split()[0]

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..obs import metrics as obs_metrics
 from .dataserver import DataServer
 from .filesystem import FileSystemError
 from .health import HealthTracker
@@ -100,6 +101,7 @@ class XrdClient:
                 with server.open(path, "w") as fh:
                     fh.write(data)
                 self.bytes_written += len(data)
+                obs_metrics.counter("xrd.bytes.written").add(len(data))
                 self._report(server.name, ok=True)
                 return server.name
             except FileSystemError as e:
@@ -146,6 +148,7 @@ class XrdClient:
                 with server.open(path, "r") as fh:
                     data = fh.read()
                 self.bytes_read += len(data)
+                obs_metrics.counter("xrd.bytes.read").add(len(data))
                 self._report(server.name, ok=True)
                 return data
             except FileSystemError as e:

@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict
 
 from ..analysis.sanitizer import make_lock
+from ..obs import events as obs_events
+from ..obs import metrics as obs_metrics
 
 __all__ = ["HealthTracker", "ServerHealth"]
 
@@ -83,14 +85,22 @@ class HealthTracker:
     # -- outcome reporting -------------------------------------------------------
 
     def record_success(self, name: str) -> None:
+        # State transitions are computed under the lock but reported
+        # (events + metrics) after releasing it: reporting takes its
+        # own locks and must never order against this one.
         with self._lock:
             entry = self._entry_locked(name)
             entry.successes += 1
             entry.consecutive_failures = 0
+            closed_now = entry.state != _CLOSED
             entry.state = _CLOSED
             entry.cooldown = self.cooldown
+        if closed_now:
+            obs_events.emit("breaker_close", server=name)
+            obs_metrics.counter("health.breaker.closed").add(1)
 
     def record_failure(self, name: str) -> None:
+        opened_now = False
         with self._lock:
             entry = self._entry_locked(name)
             entry.failures += 1
@@ -100,12 +110,24 @@ class HealthTracker:
                 entry.state = _OPEN
                 entry.opened_at = self._clock()
                 entry.cooldown = min(entry.cooldown * 2.0, self.max_cooldown)
+                opened_now = True
             elif (
                 entry.state == _CLOSED
                 and entry.consecutive_failures >= self.failure_threshold
             ):
                 entry.state = _OPEN
                 entry.opened_at = self._clock()
+                opened_now = True
+            failures = entry.consecutive_failures
+            cooldown = entry.cooldown
+        if opened_now:
+            obs_events.emit(
+                "breaker_open",
+                server=name,
+                consecutive_failures=failures,
+                cooldown=cooldown,
+            )
+            obs_metrics.counter("health.breaker.opened").add(1)
 
     # -- routing decisions -------------------------------------------------------
 
@@ -118,6 +140,7 @@ class HealthTracker:
         until the probe's outcome is recorded, which is fine for a
         deprioritization hint).
         """
+        probe_admitted = False
         with self._lock:
             entry = self._servers.get(name)
             if entry is None or entry.state == _CLOSED:
@@ -126,9 +149,14 @@ class HealthTracker:
                 if self._clock() - entry.opened_at >= entry.cooldown:
                     entry.state = _HALF_OPEN
                     entry.probes += 1
-                    return True
-                return False
-            return True  # half-open: probe in flight
+                    probe_admitted = True
+                else:
+                    return False
+            # Half-open (pre-existing or just admitted): probe allowed.
+        if probe_admitted:
+            obs_events.emit("breaker_probe", server=name)
+            obs_metrics.counter("health.breaker.probes").add(1)
+        return True
 
     def state(self, name: str) -> str:
         with self._lock:

@@ -28,12 +28,15 @@ __all__ = [
     "RESULT_PREFIX",
     "RESULT_FORMAT_HEADER_PREFIX",
     "DEADLINE_HEADER_PREFIX",
+    "TRACE_HEADER_PREFIX",
     "WIRE_FORMATS",
     "query_path",
     "result_path",
     "query_hash",
     "result_format_header",
     "deadline_header",
+    "trace_header",
+    "parse_trace_header",
 ]
 
 QUERY_PREFIX = "/query2/"
@@ -47,6 +50,14 @@ RESULT_FORMAT_HEADER_PREFIX = "-- RESULT_FORMAT:"
 #: executor surfaces as a missing result instead of a deadlocked read.
 #: Workers without deadline support ignore the comment line.
 DEADLINE_HEADER_PREFIX = "-- DEADLINE:"
+
+#: Chunk-query comment line propagating the czar's trace context
+#: (``<trace_id>/<parent_span_id>``) so worker-side execute/dump spans
+#: parent under the dispatching attempt's span.  Pure observability
+#: metadata: workers without tracing support ignore the line, and it is
+#: excluded from :func:`query_hash` so the result identity -- and with
+#: it worker-side result caching -- is unchanged by tracing.
+TRACE_HEADER_PREFIX = "-- TRACE:"
 
 #: Result encodings a czar may request / a worker may publish.
 WIRE_FORMATS = ("binary", "sqldump")
@@ -66,13 +77,48 @@ def deadline_header(seconds: float) -> str:
     return f"{DEADLINE_HEADER_PREFIX} {seconds:.3f}"
 
 
+def trace_header(trace_id: str, span_id: str) -> str:
+    """The chunk-query header line carrying the czar's trace context."""
+    return f"{TRACE_HEADER_PREFIX} {trace_id}/{span_id}"
+
+
+def parse_trace_header(text: str):
+    """``(trace_id, parent_span_id)`` from a chunk query, or ``None``.
+
+    Only the leading comment-header block is scanned, mirroring how
+    workers consume every other header.
+    """
+    for line in text.lstrip().splitlines():
+        if line.startswith(TRACE_HEADER_PREFIX):
+            value = line[len(TRACE_HEADER_PREFIX) :].strip()
+            trace_id, sep, span_id = value.partition("/")
+            if not sep or not trace_id or not span_id:
+                return None
+            return trace_id, span_id
+        if not line.startswith("--"):
+            break  # headers only appear before the first statement
+    return None
+
+
 def query_path(chunk_id: int) -> str:
     """The write path for dispatching a chunk query."""
     return f"{QUERY_PREFIX}{int(chunk_id)}"
 
 
 def query_hash(query_text: str) -> str:
-    """MD5 of the chunk query text, as 32 hex digits (the paper's H)."""
+    """MD5 of the chunk query text, as 32 hex digits (the paper's H).
+
+    ``-- TRACE:`` header lines are excluded from the hash: trace
+    context is per-attempt observability metadata, and folding it into
+    the result identity would defeat worker-side result caching (and
+    change every result path) whenever tracing is enabled.
+    """
+    if TRACE_HEADER_PREFIX in query_text:
+        query_text = "\n".join(
+            line
+            for line in query_text.splitlines()
+            if not line.startswith(TRACE_HEADER_PREFIX)
+        )
     return hashlib.md5(query_text.encode()).hexdigest()
 
 

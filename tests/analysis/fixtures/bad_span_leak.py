@@ -1,0 +1,21 @@
+"""Fixture: spans that are started but never closed."""
+
+from repro.obs import trace as obs_trace
+
+
+def bare_expression():
+    obs_trace.span("query")  # started, dropped on the floor
+    return 1
+
+
+def assigned_never_closed(chunk):
+    sp = obs_trace.span("dispatch", chunk=chunk)
+    sp.set(worker="w0")  # .set() is not a close
+    return chunk * 2
+
+
+def closed_on_one_path_only(trace, ok):
+    sp = trace.span("attempt")
+    if ok:
+        return 1
+    return 0  # span leaks: neither ended nor handed off

@@ -1,0 +1,38 @@
+"""Fixture: every started span is with-managed, ended, or handed off."""
+
+from repro.obs import trace as obs_trace
+
+
+def with_form(sql):
+    with obs_trace.span("query", sql=sql):
+        return 1
+
+
+def with_as_form(trace):
+    with trace.span("merge") as sp:
+        sp.set(rows=10)
+        return 2
+
+
+def explicit_end(chunk):
+    sp = obs_trace.span("dispatch", chunk=chunk)
+    try:
+        return chunk * 2
+    finally:
+        sp.end()
+
+
+def variable_then_with(trace):
+    sp = trace.span("plan")
+    with sp:
+        return 3
+
+
+def handed_off(pool, run, chunk):
+    sp = obs_trace.span("attempt", chunk=chunk)
+    return pool.submit(run, chunk, sp)
+
+
+def stored_for_later(self_like):
+    self_like.span = obs_trace.span("background")
+    return self_like

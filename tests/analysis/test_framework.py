@@ -60,12 +60,13 @@ def test_multi_rule_and_wildcard_suppression():
 # -- registry -----------------------------------------------------------------------
 
 
-def test_all_five_rules_registered():
+def test_all_rules_registered():
     assert set(all_rules()) == {
         "deadline-threading",
         "exception-swallow",
         "guarded-by",
         "lock-order",
+        "span-leak",
         "sql-template",
     }
 

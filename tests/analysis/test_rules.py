@@ -121,6 +121,23 @@ def test_sql_template_clean_on_valid_templates_and_prose():
     assert result.findings == []
 
 
+# -- span-leak ----------------------------------------------------------------------
+
+
+def test_span_leak_flags_unclosed_spans():
+    result = run("bad_span_leak.py", "span-leak")
+    lines = sorted(f.line for f in result.findings)
+    assert lines == [7, 12, 18]
+    assert all(f.rule == "span-leak" for f in result.findings)
+    assert all(f.severity == "error" for f in result.findings)
+    assert "never closed" in result.findings[0].message
+
+
+def test_span_leak_clean_on_closed_or_handed_off_spans():
+    result = run("good_span_leak.py", "span-leak")
+    assert result.findings == []
+
+
 # -- suppressions -------------------------------------------------------------------
 
 

@@ -10,6 +10,8 @@ so one test's deliberate inversion cannot poison the next.
 import pytest
 
 from repro.analysis import sanitizer
+from repro.obs import events as obs_events
+from repro.obs import trace as obs_trace
 
 
 @pytest.fixture(autouse=True)
@@ -17,3 +19,16 @@ def _reset_lock_monitor():
     sanitizer.reset()
     yield
     sanitizer.reset()
+
+
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    # Re-derive trace config from the environment and drop collected
+    # traces/events so tests never see each other's telemetry.  The
+    # global metrics registry is deliberately left alone: counters are
+    # monotonic and tests assert on deltas, not absolutes.
+    obs_trace.reset()
+    obs_events.clear()
+    yield
+    obs_trace.reset()
+    obs_events.clear()

@@ -1,0 +1,77 @@
+"""Unit tests for the ring-buffered structured event log."""
+
+import json
+
+import pytest
+
+from repro.obs.events import EventLog
+
+
+class TestEmitAndRecent:
+    def test_events_come_back_oldest_first_with_monotonic_seq(self):
+        log = EventLog()
+        log.emit("query_start", sql="SELECT 1")
+        log.emit("query_end", sql="SELECT 1", rows=1)
+        events = log.recent()
+        assert [e.type for e in events] == ["query_start", "query_end"]
+        assert events[0].seq < events[1].seq
+        assert events[1].fields == {"sql": "SELECT 1", "rows": 1}
+
+    def test_recent_n_takes_the_newest(self):
+        log = EventLog()
+        for i in range(5):
+            log.emit("tick", i=i)
+        assert [e.fields["i"] for e in log.recent(2)] == [3, 4]
+
+    def test_filter_by_type(self):
+        log = EventLog()
+        log.emit("chunk_retry", chunk=1)
+        log.emit("hedge_fired", chunk=2)
+        log.emit("chunk_retry", chunk=3)
+        assert [e.fields["chunk"] for e in log.recent(type="chunk_retry")] == [1, 3]
+
+    def test_counts(self):
+        log = EventLog()
+        log.emit("a")
+        log.emit("a")
+        log.emit("b")
+        assert log.counts() == {"a": 2, "b": 1}
+
+
+class TestRing:
+    def test_capacity_drops_the_oldest(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.emit("tick", i=i)
+        assert len(log) == 3
+        assert [e.fields["i"] for e in log.recent()] == [2, 3, 4]
+        assert log.recent()[0].seq == 3  # seq keeps counting past evictions
+
+    def test_resize_keeps_the_newest(self):
+        log = EventLog()
+        for i in range(5):
+            log.emit("tick", i=i)
+        log.resize(2)
+        assert [e.fields["i"] for e in log.recent()] == [3, 4]
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+        with pytest.raises(ValueError):
+            EventLog().resize(0)
+
+    def test_clear(self):
+        log = EventLog()
+        log.emit("tick")
+        log.clear()
+        assert len(log) == 0 and log.recent() == []
+
+
+class TestExport:
+    def test_to_json_round_trips(self):
+        log = EventLog()
+        log.emit("breaker_open", server="worker-000", cooldown=0.5)
+        payload = json.loads(log.to_json())
+        assert payload[0]["type"] == "breaker_open"
+        assert payload[0]["fields"]["server"] == "worker-000"
+        assert payload[0]["ts"] > 0

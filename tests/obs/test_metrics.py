@@ -1,0 +1,114 @@
+"""Unit tests for the metrics registry and its parent-propagation chain."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BUCKETS, Registry
+
+
+class TestCounter:
+    def test_add_and_value(self):
+        reg = Registry()
+        c = reg.counter("q")
+        c.add()
+        c.add(4)
+        assert c.value == 5
+        assert reg.snapshot() == {"q": 5}
+
+    def test_same_name_returns_same_instrument(self):
+        reg = Registry()
+        assert reg.counter("q") is reg.counter("q")
+
+    def test_three_level_propagation(self):
+        # The czar's exact shape: per-query -> czar -> process-global.
+        root = Registry()
+        mid = Registry(parent=root)
+        leaf = Registry(parent=mid)
+        leaf.counter("chunks").add(3)
+        mid.counter("chunks").add(1)
+        assert leaf.counter("chunks").value == 3
+        assert mid.counter("chunks").value == 4
+        assert root.counter("chunks").value == 4
+
+    def test_kind_conflict_raises(self):
+        reg = Registry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            reg.gauge("x")
+
+
+class TestGauge:
+    def test_set_is_last_writer_wins_up_the_chain(self):
+        root = Registry()
+        leaf = Registry(parent=root)
+        leaf.gauge("depth").set(7)
+        leaf.gauge("depth").set(2)
+        assert leaf.gauge("depth").value == 2
+        assert root.gauge("depth").value == 2
+
+    def test_add_applies_a_delta(self):
+        reg = Registry()
+        g = reg.gauge("depth")
+        g.set(5)
+        g.add(-2)
+        assert g.value == 3
+
+
+class TestHistogram:
+    def test_observations_land_in_the_right_buckets(self):
+        reg = Registry()
+        h = reg.histogram("lat", buckets=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.05, 0.5, 5.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["buckets"] == {"<=0.01": 1, "<=0.1": 1, "<=1": 1, "+Inf": 1}
+        assert snap["count"] == 4
+        assert snap["min"] == 0.005 and snap["max"] == 5.0
+        assert snap["avg"] == pytest.approx(sum((0.005, 0.05, 0.5, 5.0)) / 4)
+
+    def test_boundary_value_goes_in_its_upper_bound_bucket(self):
+        reg = Registry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.1)
+        assert h.snapshot()["buckets"]["<=0.1"] == 1
+
+    def test_default_buckets_and_empty_snapshot(self):
+        reg = Registry()
+        snap = reg.histogram("lat").snapshot()
+        assert len(snap["buckets"]) == len(DEFAULT_BUCKETS) + 1
+        assert snap["count"] == 0 and snap["avg"] == 0.0
+
+    def test_propagation(self):
+        root = Registry()
+        leaf = Registry(parent=root)
+        leaf.histogram("lat").observe(0.2)
+        assert root.histogram("lat").count == 1
+
+
+class TestRegistry:
+    def test_snapshot_and_json_round_trip(self):
+        reg = Registry()
+        reg.counter("a").add(2)
+        reg.gauge("b").set(9)
+        reg.histogram("c").observe(0.01)
+        payload = json.loads(reg.to_json())
+        assert payload["a"] == 2
+        assert payload["b"] == 9
+        assert payload["c"]["count"] == 1
+
+    def test_reset_and_len(self):
+        reg = Registry()
+        reg.counter("a")
+        reg.counter("b")
+        assert len(reg) == 2
+        reg.reset()
+        assert len(reg) == 0 and reg.snapshot() == {}
+
+    def test_reset_detaches_from_parent(self):
+        root = Registry()
+        leaf = Registry(parent=root)
+        leaf.counter("a").add(1)
+        leaf.reset()
+        leaf.counter("a").add(1)  # re-created, re-linked
+        assert root.counter("a").value == 2

@@ -1,0 +1,186 @@
+"""Unit tests for the tracing core: spans, sampling, export."""
+
+import json
+
+import pytest
+
+from repro.obs import trace as obs_trace
+
+
+class FakeClock:
+    """Deterministic clock: each call advances by ``step`` seconds."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        t = self.now
+        self.now += self.step
+        return t
+
+
+def forced_trace(clock=None):
+    obs_trace.configure(clock=clock or (lambda: 0.0))
+    tr = obs_trace.start_trace(force=True)
+    assert tr is not None
+    return tr
+
+
+class TestDisabledFastPath:
+    def test_start_trace_returns_none_when_disabled(self):
+        obs_trace.configure(enabled=False)
+        assert obs_trace.start_trace() is None
+
+    def test_span_with_no_trace_is_the_shared_noop(self):
+        sp = obs_trace.span("query")
+        assert sp is obs_trace.NOOP_SPAN
+        assert not sp  # falsy: cheap "is tracing live" check
+
+    def test_noop_span_absorbs_the_full_api(self):
+        with obs_trace.NOOP_SPAN as sp:
+            sp.set(rows=1).end().cancel()
+        assert sp.trace is None
+        assert obs_trace.current_span() is None  # never pushed on TLS
+
+    def test_noop_parent_yields_noop_child(self):
+        child = obs_trace.span("child", parent=obs_trace.NOOP_SPAN)
+        assert child is obs_trace.NOOP_SPAN
+
+    def test_force_bypasses_the_enable_flag(self):
+        obs_trace.configure(enabled=False)
+        assert obs_trace.start_trace(force=True) is not None
+
+
+class TestSpanLifecycle:
+    def test_fake_clock_gives_exact_durations(self):
+        tr = forced_trace(FakeClock(step=1.0))
+        sp = obs_trace.span("work", trace=tr)
+        sp.end()
+        assert sp.duration == pytest.approx(1.0)
+        assert sp.status == "ok"
+
+    def test_end_is_idempotent(self):
+        tr = forced_trace(FakeClock())
+        sp = obs_trace.span("work", trace=tr).end()
+        first = sp.end_time
+        sp.end("error")
+        assert sp.end_time == first and sp.status == "ok"
+
+    def test_cancel_survives_end(self):
+        tr = forced_trace()
+        sp = obs_trace.span("attempt", trace=tr)
+        sp.cancel()
+        sp.end()
+        assert sp.status == "cancelled"
+        assert sp.end_time is not None
+
+    def test_exception_marks_span_error(self):
+        tr = forced_trace()
+        with pytest.raises(ValueError):
+            with obs_trace.span("work", trace=tr) as sp:
+                raise ValueError("boom")
+        assert sp.status == "error"
+        assert "ValueError: boom" in sp.attrs["error"]
+
+    def test_with_nesting_parents_through_the_thread_stack(self):
+        tr = forced_trace()
+        with obs_trace.span("outer", trace=tr) as outer:
+            assert obs_trace.current_span() is outer
+            with obs_trace.span("inner") as inner:
+                assert inner.trace is tr
+                assert inner.parent_id == outer.span_id
+                leaf = obs_trace.span("leaf").end()
+                assert leaf.parent_id == inner.span_id
+        assert obs_trace.current_span() is None
+
+    def test_explicit_parent_and_remote_parent_id(self):
+        tr = forced_trace()
+        root = obs_trace.span("root", trace=tr)
+        child = obs_trace.span("child", parent=root).end()
+        assert child.parent_id == root.span_id
+        remote = obs_trace.span("remote", trace=tr, parent_id="s42").end()
+        assert remote.parent_id == "s42"
+        root.end()
+
+    def test_set_merges_attributes(self):
+        tr = forced_trace()
+        with obs_trace.span("work", trace=tr, chunk=7) as sp:
+            sp.set(rows=10)
+        assert sp.attrs == {"chunk": 7, "rows": 10}
+
+
+class TestSamplingAndCollector:
+    def test_half_rate_samples_exactly_five_of_ten(self):
+        obs_trace.configure(enabled=True, sample_rate=0.5)
+        got = [obs_trace.start_trace() for _ in range(10)]
+        assert sum(1 for t in got if t is not None) == 5
+
+    def test_zero_rate_samples_nothing_but_force_still_works(self):
+        obs_trace.configure(enabled=True, sample_rate=0.0)
+        assert all(obs_trace.start_trace() is None for _ in range(5))
+        assert obs_trace.start_trace(force=True) is not None
+
+    def test_lookup_resolves_registered_ids_only(self):
+        tr = forced_trace()
+        assert obs_trace.lookup(tr.trace_id) is tr
+        assert obs_trace.lookup("t999999") is None
+        assert obs_trace.lookup(None) is None
+        assert obs_trace.lookup("") is None
+
+    def test_collector_is_bounded_oldest_evicted(self):
+        traces = [obs_trace.start_trace(force=True) for _ in range(70)]
+        assert obs_trace.lookup(traces[0].trace_id) is None  # evicted
+        assert obs_trace.lookup(traces[-1].trace_id) is traces[-1]
+
+    def test_reset_rederives_config_and_clears(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "0.25")
+        tr = forced_trace()
+        obs_trace.reset()
+        assert obs_trace.is_enabled()
+        assert obs_trace.sample_rate() == 0.25
+        assert obs_trace.lookup(tr.trace_id) is None
+
+
+class TestExport:
+    def build(self):
+        tr = forced_trace(FakeClock(step=1.0))
+        with obs_trace.span("query", trace=tr, track="czar") as root:
+            with obs_trace.span("dispatch", parent=root, chunk=3):
+                pass
+        return tr
+
+    def test_pretty_renders_an_indented_tree(self):
+        out = self.build().pretty()
+        lines = out.splitlines()
+        assert lines[0].startswith("query ")
+        assert lines[1].startswith("  dispatch ")
+        assert "chunk=3" in lines[1]
+        assert "track=" not in out  # track is export-only plumbing
+
+    def test_pretty_marks_non_ok_statuses(self):
+        tr = forced_trace()
+        obs_trace.span("attempt", trace=tr).cancel().end()
+        assert "[cancelled]" in tr.pretty()
+
+    def test_chrome_json_shape(self):
+        payload = json.loads(self.build().to_chrome_json())
+        assert payload["displayTimeUnit"] == "ms"
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert {e["name"] for e in complete} == {"query", "dispatch"}
+        for e in complete:
+            assert e["ts"] >= 0 and e["dur"] >= 0  # µs, relative to t0
+            assert e["args"]["trace_id"].startswith("t")
+        assert meta and meta[0]["name"] == "thread_name"
+        assert meta[0]["args"]["name"] == "czar"  # from the track attr
+
+    def test_chrome_json_empty_trace(self):
+        tr = forced_trace()
+        assert json.loads(tr.to_chrome_json())["traceEvents"] == []
+
+    def test_find(self):
+        tr = self.build()
+        assert tr.find("dispatch").attrs["chunk"] == 3
+        assert tr.find("nope") is None

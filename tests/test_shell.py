@@ -110,6 +110,51 @@ class TestHealthCommand:
         assert "DEGRADED" in out
 
 
+class TestObservabilityStatements:
+    def test_show_metrics_after_a_query(self, shell):
+        shell.execute_line("SELECT COUNT(*) FROM Object")
+        out = shell.execute_line("SHOW METRICS")
+        assert "czar.chunks.dispatched" in out
+        assert "czar.query.seconds" in out
+        assert "count=" in out  # histogram summary rendering
+
+    def test_show_events_after_a_query(self, shell):
+        shell.execute_line("SELECT COUNT(*) FROM Object")
+        out = shell.execute_line("SHOW EVENTS")
+        assert "query_start" in out
+        assert "query_end" in out
+
+    def test_show_events_rejects_bad_count(self, shell):
+        assert shell.execute_line("SHOW EVENTS zap") == "usage: SHOW EVENTS [n]"
+
+    def test_show_events_empty(self, shell):
+        from repro.obs import events as obs_events
+
+        obs_events.clear()
+        assert shell.execute_line("SHOW EVENTS") == "no events recorded yet"
+
+    def test_trace_prints_the_span_tree(self, shell):
+        out = shell.execute_line(
+            "TRACE SELECT chunkId, COUNT(*) FROM Object GROUP BY chunkId"
+        )
+        assert out.startswith("trace t")
+        assert "spans," in out and "chunk queries" in out
+        for name in ("query", "dispatch", "attempt", "worker.execute", "merge"):
+            assert name in out
+        # The tree indents workers under czar attempts.
+        assert "\n      worker.execute" in out
+
+    def test_trace_usage_and_errors(self, shell):
+        assert shell.execute_line("TRACE") == "usage: TRACE <SELECT ...>"
+        out = shell.execute_line("TRACE SELECT nope FROM Object")
+        assert out.startswith("ERROR:")
+
+    def test_trace_sets_last_result_for_stats(self, shell):
+        shell.execute_line("TRACE SELECT COUNT(*) FROM Object")
+        out = shell.execute_line("\\stats")
+        assert "chunks dispatched" in out
+
+
 class TestMainEntry:
     def test_execute_mode(self):
         import subprocess

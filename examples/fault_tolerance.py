@@ -1,16 +1,29 @@
 #!/usr/bin/env python
-"""Fault tolerance: replicated chunks survive a worker failure.
+"""Fault tolerance and self-healing: kill, repair, re-query.
 
 The paper leans on Xrootd for a "distributed, data-addressed,
 replicated, fault-tolerant communication facility".  This example loads
-chunks with 2x replication, kills a worker mid-session, and shows the
-redirector failing dispatch over to the surviving replicas -- plus an
-elastic-growth step (add a node, move a minimal set of chunks).
+chunks with 2x replication and walks the full self-healing loop:
+
+1. a worker is armed with a fault plan that crashes it the moment it
+   accepts a chunk query -- the nastiest window, after the write
+   commits but before the result can be read;
+2. the query still returns the right answer (the czar retries against
+   the surviving replicas and kicks off mid-query repair);
+3. the repair manager re-replicates the dead node's chunks from the
+   survivors over the ``/chunk/`` file protocol, verifying every copy
+   by read-back digest, until nothing is under-replicated;
+4. the integrity scrubber catches an at-rest corrupted replica,
+   quarantines it, and heals it in place;
+5. a brand-new empty node joins and is populated through the same
+   verified copy path, then an old node is decommissioned without a
+   single failed query.
 
 Run:  python examples/fault_tolerance.py
 """
 
 from repro.data import build_testbed
+from repro.xrd import FaultPlan
 
 
 def count_all(tb, label):
@@ -19,6 +32,7 @@ def count_all(tb, label):
     print(
         f"  [{label}] COUNT(*) = {int(r.table.column('COUNT(*)')[0])} "
         f"via {r.stats.chunks_dispatched} chunks on {workers}"
+        + (f", {r.stats.chunks_retried} retried" if r.stats.chunks_retried else "")
     )
     return r
 
@@ -31,33 +45,72 @@ def main():
             f"  {node}: primary={len(tb.placement.chunks_of(node))} "
             f"hosted={len(tb.placement.chunks_hosted_by(node))} chunks"
         )
-
     before = count_all(tb, "healthy")
 
+    # -- 1+2: die mid-query, survive it ------------------------------------
     victim = tb.placement.nodes[0]
-    print(f"\nKilling {victim}...")
-    tb.servers[victim].fail()
+    print(f"\nArming {victim} to crash after it accepts its next chunk query...")
+    FaultPlan().die_after_writes(1).attach(tb.servers[victim])
+    during = count_all(tb, "mid-failure")
+    assert during.rows() == before.rows(), "results must survive the failure"
+    assert not tb.servers[victim].up
+    print(f"  {victim} is down; identical results via the surviving replicas.")
 
-    after = count_all(tb, "degraded")
-    assert after.rows() == before.rows(), "results must survive the failure"
-    print("  identical results: the redirector re-resolved every chunk "
-          "to a surviving replica.")
-
-    print(f"\nRecovering {victim} and rebalancing onto a new node...")
-    tb.servers[victim].recover()
-    moved = tb.placement.add_node("worker-new")
+    # -- 3: repair back to full replication --------------------------------
+    degraded = tb.repair.under_replicated()
+    print(f"\n{len(degraded)} chunks are under-replicated; repairing...")
+    copies = tb.repair.repair_all()
     print(
-        f"  placement moved only {len(moved)} of "
-        f"{len(tb.placement.chunk_ids)} chunks to the new node "
-        f"(imbalance now {tb.placement.imbalance():.2f}) -- the paper's "
-        f"many-chunks-per-node elasticity argument (section 4.4)."
+        f"  repair made {copies} verified copies; "
+        f"under-replicated now: {len(tb.repair.under_replicated())}"
     )
+    assert not tb.repair.under_replicated()
+    count_all(tb, "repaired")
+
+    # -- 4: scrub an at-rest corrupted replica -----------------------------
+    node = tb.placement.nodes[1]
+    cid = sorted(tb.placement.chunks_hosted_by(node))[0]
+    worker = tb.workers[node]
+    table_name = next(
+        n for n in worker.chunk_tables(cid) if "FullOverlap" not in n
+    )
+    tbl = worker.db.tables[table_name]
+    col = tbl.column_names[0]
+    arr = tbl.column(col).copy()
+    arr[0] += 1  # one flipped value in one replica
+    tbl._columns[col] = arr
+    print(f"\nCorrupting {table_name} on {node} at rest, then scrubbing...")
+    report = tb.scrubber.scrub_all()
+    print(
+        f"  scrub checked {report.tables_verified} tables: "
+        f"{len(report.mismatches)} mismatch(es), {report.healed} healed in place"
+    )
+    assert tb.scrubber.scrub_all().clean
+    count_all(tb, "scrubbed")
+
+    # -- 5: membership -- join a node, retire a node -----------------------
+    print("\nJoining empty node worker-new (populated over the wire)...")
+    tb.membership.join("worker-new")
+    print(
+        f"  worker-new hosts {len(tb.placement.chunks_hosted_by('worker-new'))} "
+        f"chunks; states: {tb.membership.states()}"
+    )
+    retiree = tb.placement.nodes[1]
+    print(f"Decommissioning {retiree} (drain, re-replicate, remove)...")
+    copies = tb.membership.decommission(retiree)
+    print(
+        f"  {copies} chunks re-replicated before removal; "
+        f"under-replicated: {len(tb.repair.under_replicated())}"
+    )
+    after = count_all(tb, "reshaped")
+    assert after.rows() == before.rows()
 
     redirector = tb.redirector
     print(
         f"\nRedirector counters: {redirector.lookups} lookups, "
         f"{redirector.cache_hits} cache hits, {redirector.redirects} redirects"
     )
+    tb.shutdown()
 
 
 if __name__ == "__main__":

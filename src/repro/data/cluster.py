@@ -20,9 +20,12 @@ from ..qserv import (
     QservWorker,
     SecondaryIndex,
 )
+from ..qserv.membership import ClusterMembership
 from ..sql import Database, Table
 from ..xrd import DataServer, Redirector
+from ..xrd.health import HealthTracker
 from ..xrd.protocol import query_path
+from ..xrd.repair import ChunkChecksums, IntegrityScrubber, RepairManager
 from .loader import LoadReport, load_tables
 from .synthesis import synthesize_objects, synthesize_sources
 
@@ -44,12 +47,19 @@ class QservTestbed:
     proxy: QservProxy
     tables: dict[str, Table]
     load_report: LoadReport
+    health: HealthTracker
+    checksums: ChunkChecksums
+    repair: RepairManager
+    scrubber: IntegrityScrubber
+    membership: ClusterMembership
 
     def query(self, sql: str, **kwargs):
         """Submit a query through the proxy (kwargs reach Czar.submit)."""
         return self.proxy.query(sql, **kwargs)
 
     def shutdown(self):
+        self.repair.stop()
+        self.scrubber.stop()
         self.czar.close()
         for w in self.workers.values():
             w.shutdown()
@@ -130,6 +140,7 @@ def build_testbed(
             servers[node].export(query_path(cid))
 
     secondary_index = SecondaryIndex()
+    checksums = ChunkChecksums()
     load_report = load_tables(
         tables,
         metadata,
@@ -137,8 +148,30 @@ def build_testbed(
         placement,
         {n: w.db for n, w in workers.items()},
         secondary_index=secondary_index,
+        checksums=checksums,
     )
     secondary_index.finalize()
+
+    # The self-healing plane: one health tracker shared by czar and
+    # repair, a repair manager subscribed to breaker-open transitions,
+    # a scrubber that heals what it quarantines, and the membership
+    # lifecycle over all of it.  Background threads stay off here --
+    # tests drive repair_all()/scrub_all() deterministically; call
+    # testbed.repair.start() / testbed.scrubber.start() to run live.
+    if health is None:
+        health = HealthTracker()
+    repair = RepairManager(redirector, placement, checksums=checksums, health=health)
+    health.add_listener(repair.on_breaker)
+    scrubber = IntegrityScrubber(redirector, checksums=checksums, repair=repair)
+    membership = ClusterMembership(
+        redirector,
+        placement,
+        workers,
+        servers,
+        repair,
+        metadata=metadata,
+        worker_slots=worker_slots,
+    )
 
     czar = Czar(
         redirector,
@@ -151,6 +184,7 @@ def build_testbed(
         retry_policy=retry_policy,
         hedge_policy=hedge_policy,
         health=health,
+        repair=repair,
     )
     proxy = QservProxy(czar)
     return QservTestbed(
@@ -165,4 +199,9 @@ def build_testbed(
         proxy=proxy,
         tables=tables,
         load_report=load_report,
+        health=health,
+        checksums=checksums,
+        repair=repair,
+        scrubber=scrubber,
+        membership=membership,
     )

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..partition import Chunker, Placement
 from ..sql import Database, Table
+from ..sql.wire import encode_table
 from ..qserv.metadata import CatalogMetadata
 from ..qserv.rewrite import chunk_table_name, overlap_table_name
 from ..qserv.secondary_index import SecondaryIndex
@@ -40,12 +41,19 @@ def load_tables(
     placement: Placement,
     worker_dbs: dict[str, Database],
     secondary_index: SecondaryIndex | None = None,
+    checksums=None,
 ) -> LoadReport:
     """Partition ``tables`` onto ``worker_dbs`` according to ``placement``.
 
     Every chunk id in the placement receives a physical table on each
     of its replica nodes -- empty where the logical table has no rows
     there, so any dispatched chunk query finds its tables.
+
+    ``checksums`` (a :class:`repro.xrd.repair.ChunkChecksums`) records
+    the reference digest of every chunk table as it is installed --
+    replicas are byte-identical in the wire encoding, so ingest is the
+    one moment the ground truth is known for free.  The integrity
+    scrubber verifies replicas against these for the catalog's lifetime.
     """
     report = LoadReport()
     for name, table in tables.items():
@@ -57,7 +65,7 @@ def load_tables(
             continue
         _load_partitioned(
             name, table, metadata, chunker, placement, worker_dbs, report,
-            secondary_index,
+            secondary_index, checksums,
         )
     return report
 
@@ -71,6 +79,7 @@ def _load_partitioned(
     worker_dbs: dict[str, Database],
     report: LoadReport,
     secondary_index: SecondaryIndex | None,
+    checksums=None,
 ) -> None:
     info = metadata.info(name)
     ra = table.column(info.ra_column)
@@ -112,6 +121,17 @@ def _load_partitioned(
                 name, full, ra, dec, chunker, cid
             )
             total_overlap += overlap_table.num_rows
+        if checksums is not None:
+            # One digest per table name covers every replica: the wire
+            # encoding is a pure function of (name, columns, rows).
+            checksums.record_bytes(
+                chunk_table.name, encode_table(chunk_table, chunk_table.name)
+            )
+            if overlap_table is not None:
+                checksums.record_bytes(
+                    overlap_table.name,
+                    encode_table(overlap_table, overlap_table.name),
+                )
         for node in placement.replicas(cid):
             db = worker_dbs[node]
             db.create_table(chunk_table.rename(chunk_table.name), overwrite=True)

@@ -64,6 +64,19 @@ class Placement:
         return list(self._nodes)
 
     @property
+    def effective_replication(self) -> int:
+        """The replication factor actually achievable right now.
+
+        The configured factor clamped to the node count: asking for 3
+        copies on a 2-node cluster deterministically yields 2 distinct
+        replicas per chunk (and grows back toward 3 as nodes join).
+        Health reporting and the repair manager target this, never the
+        raw configured factor, so a small cluster is not permanently
+        reported (or repaired) as under-replicated.
+        """
+        return min(self.replication, len(self._nodes))
+
+    @property
     def chunk_ids(self) -> list[int]:
         return sorted(self._replicas)
 
@@ -99,6 +112,45 @@ class Placement:
         loads = np.array(list(self.load().values()), dtype=np.float64)
         mean = loads.mean()
         return float(loads.max() / mean) if mean > 0 else 1.0
+
+    # -- replica bookkeeping -----------------------------------------------------
+
+    def add_replica(self, chunk_id: int, node: str) -> bool:
+        """Record that ``node`` now hosts ``chunk_id`` (repair finished).
+
+        Returns False (a no-op) when the node already hosts the chunk,
+        which is what makes repair idempotent at the placement level.
+        """
+        cid = int(chunk_id)
+        if node not in self._nodes:
+            raise KeyError(f"unknown node {node!r}")
+        if cid not in self._replicas:
+            raise KeyError(f"unknown chunk {cid}")
+        owners = self._replicas[cid]
+        if node in owners:
+            return False
+        owners.append(node)
+        return True
+
+    def drop_replica(self, chunk_id: int, node: str) -> bool:
+        """Forget ``node``'s copy of ``chunk_id`` (scrub gave up on it).
+
+        The last copy can never be dropped: a chunk with no owner would
+        silently vanish from coverage, which is exactly the misassignment
+        this class exists to prevent.
+        """
+        cid = int(chunk_id)
+        if cid not in self._replicas:
+            raise KeyError(f"unknown chunk {cid}")
+        owners = self._replicas[cid]
+        if node not in owners:
+            return False
+        if len(owners) == 1:
+            raise ValueError(
+                f"cannot drop the last replica of chunk {cid} (on {node!r})"
+            )
+        owners.remove(node)
+        return True
 
     # -- membership changes ------------------------------------------------------
 
@@ -173,17 +225,29 @@ class Placement:
         return sorted(moved)
 
     def _repair_replicas(self):
-        """Top replica lists back up to the replication factor."""
-        want = min(self.replication, len(self._nodes))
-        for cid, owners in self._replicas.items():
+        """Top replica lists back up to the replication factor.
+
+        Candidates are chosen least-hosted-first with the node name as
+        a deterministic tie-break.  (An earlier version indexed
+        candidates by ``chunk_id % len(nodes)``, which skews badly when
+        chunk ids are strided -- a spatial chunker handing out every
+        third id would pile all new replicas onto one node.)
+        """
+        want = self.effective_replication
+        hosted = {n: 0 for n in self._nodes}
+        for owners in self._replicas.values():
+            for owner in owners:
+                hosted[owner] += 1
+        for cid, owners in sorted(self._replicas.items()):
             seen = set(owners)
-            i = 0
             while len(owners) < want:
-                cand = self._nodes[(cid + i) % len(self._nodes)]
-                i += 1
-                if cand not in seen:
-                    owners.append(cand)
-                    seen.add(cand)
+                cand = min(
+                    (n for n in self._nodes if n not in seen),
+                    key=lambda n: (hosted[n], n),
+                )
+                owners.append(cand)
+                seen.add(cand)
+                hosted[cand] += 1
 
     def __repr__(self):
         return (

@@ -22,7 +22,9 @@ substrates in :mod:`repro.sql` (per-node engine), :mod:`repro.xrd`
   result publication (sections 5.1.2, 5.4, 6.4);
 - :mod:`~repro.qserv.czar` -- the master: coverage computation, dispatch
   over Xrootd paths, result collection/merging, final aggregation;
-- :mod:`~repro.qserv.proxy` -- the MySQL-proxy-shaped frontend.
+- :mod:`~repro.qserv.proxy` -- the MySQL-proxy-shaped frontend;
+- :mod:`~repro.qserv.membership` -- the node lifecycle (join / drain /
+  decommission) coordinated over placement, routing, and repair.
 """
 
 from .metadata import CatalogMetadata, TablePartitionInfo
@@ -42,6 +44,7 @@ from .proxy import QservProxy
 from .multimaster import LoadBalancingFrontend
 from .admin import ClusterAdmin, ClusterHealth
 from .czar import ExplainReport
+from .membership import ClusterMembership, MembershipError
 
 __all__ = [
     "CatalogMetadata",
@@ -67,4 +70,6 @@ __all__ = [
     "ClusterAdmin",
     "ClusterHealth",
     "ExplainReport",
+    "ClusterMembership",
+    "MembershipError",
 ]

@@ -100,7 +100,7 @@ class ClusterAdmin:
                     queries_executed=worker.stats.queries_executed if worker else 0,
                 )
             )
-        want = min(self.placement.replication, len(self.placement.nodes))
+        want = self.placement.effective_replication
         for cid in self.placement.chunk_ids:
             live_replicas = [
                 n for n in self.placement.replicas(cid) if n in live

@@ -336,6 +336,14 @@ class Czar:
         Per-worker circuit breaker shared with the Xrootd client and
         redirector; pass an explicit tracker to share it across czars,
         or ``None`` for a private one.
+    repair:
+        Optional :class:`~repro.xrd.repair.RepairManager`.  When a
+        chunk dispatch fails retryably (a replica just died), the czar
+        asks it to restore the chunk's replication before the next
+        attempt -- so the cluster converges back to full replication
+        while the query is still in flight instead of waiting for a
+        background scan.  Advisory: repair errors are recorded and the
+        retry loop still decides the query's fate.
     """
 
     def __init__(
@@ -351,6 +359,7 @@ class Czar:
         retry_policy: Optional[RetryPolicy] = None,
         hedge_policy: Optional[HedgePolicy] = None,
         health: Optional[HealthTracker] = None,
+        repair=None,
     ):
         if dispatch_parallelism < 1:
             raise ValueError("dispatch_parallelism must be >= 1")
@@ -365,6 +374,7 @@ class Czar:
         )
         self.hedge_policy = hedge_policy
         self.health = health if health is not None else HealthTracker()
+        self.repair = repair
         self.client = XrdClient(
             redirector, retry_policy=RetryPolicy(max_attempts=1), health=self.health
         )
@@ -820,6 +830,27 @@ class Czar:
                     # cached location so the next attempt re-resolves
                     # through the surviving replicas.
                     self.client.redirector.invalidate(query_path(spec.chunk_id))
+                    if self.repair is not None:
+                        # A retryable failure is evidence a replica just
+                        # died: restore the chunk's replication before
+                        # the next attempt, so the replica set is back
+                        # at target while this query is still running.
+                        try:
+                            if self.repair.ensure_chunk(spec.chunk_id):
+                                obs_events.emit(
+                                    "chunk_repaired_midquery",
+                                    chunk=spec.chunk_id,
+                                    attempt=attempt_no,
+                                )
+                        except Exception as repair_error:  # noqa: BLE001
+                            # Advisory path: a broken repair must not
+                            # mask the dispatch error the retry loop is
+                            # handling.  Recorded, not swallowed.
+                            obs_events.emit(
+                                "repair_error",
+                                chunk=spec.chunk_id,
+                                error=str(repair_error),
+                            )
             if deadline is not None and deadline.expired:
                 raise ChunkTimeoutError(
                     f"chunk {spec.chunk_id}: query deadline expired "

@@ -29,17 +29,22 @@ from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..sql import Database, SqlError, Table, dump_table
 from ..sql.engine import ResultTable
-from ..sql.wire import encode_table
+from ..sql.wire import decode_table, encode_table
 from ..xrd import OfsPlugin
+from ..xrd.filesystem import FileSystemError
 from ..xrd.protocol import (
+    CHUNK_PREFIX,
     DEADLINE_HEADER_PREFIX,
+    MANIFEST_PREFIX,
     QUERY_PREFIX,
     RESULT_FORMAT_HEADER_PREFIX,
     RESULT_PREFIX,
+    chunk_id_of_manifest_path,
     chunk_id_of_query_path,
     parse_trace_header,
     query_hash,
     result_path,
+    table_of_chunk_path,
 )
 from .rewrite import SUBCHUNK_HEADER_PREFIX
 
@@ -162,9 +167,17 @@ class QservWorker(OfsPlugin):
     # -- ofs plugin interface --------------------------------------------------------
 
     def claims(self, path: str) -> bool:
-        return path.startswith(QUERY_PREFIX) or path.startswith(RESULT_PREFIX)
+        return (
+            path.startswith(QUERY_PREFIX)
+            or path.startswith(RESULT_PREFIX)
+            or path.startswith(CHUNK_PREFIX)
+            or path.startswith(MANIFEST_PREFIX)
+        )
 
     def on_write(self, path: str, data: bytes) -> None:
+        if path.startswith(CHUNK_PREFIX):
+            self._install_chunk_table(path, data)
+            return
         chunk_id = chunk_id_of_query_path(path)
         text = data.decode()
         rpath = result_path(query_hash(text))
@@ -217,6 +230,10 @@ class QservWorker(OfsPlugin):
         across queries (the bytes were only ever needed for this one
         transfer).
         """
+        if path.startswith(CHUNK_PREFIX):
+            return self._dump_chunk_table(path)
+        if path.startswith(MANIFEST_PREFIX):
+            return self._chunk_manifest(path)
         with self._lock:
             event = self._result_ready.get(path)
             deadline = self._deadlines.get(path)
@@ -496,7 +513,68 @@ class QservWorker(OfsPlugin):
             if refs <= 0 and not self.cache_sub_chunks:
                 self.db.drop_table(table_name, if_exists=True)
 
+    # -- chunk transfer (the repair fabric) ----------------------------------------------------
+
+    def _dump_chunk_table(self, path: str):
+        """Serve one chunk table as wire bytes (a repair copy's read side).
+
+        The repair manager reads ``/chunk/<table>`` off a surviving
+        replica through the ordinary file protocol, so every fault a
+        :class:`~repro.xrd.faults.FaultPlan` can inject on reads --
+        corruption, crashes, slowness -- applies to repair traffic too.
+        """
+        table_name = table_of_chunk_path(path)
+        with self._build_lock:
+            table = self.db.tables.get(table_name)
+        if table is None:
+            return None
+        return encode_table(table, table_name)
+
+    def _install_chunk_table(self, path: str, data: bytes) -> None:
+        """Install a repair copy: decode wire bytes into a local table.
+
+        Overwrites any existing copy -- re-running a repair (or healing
+        a quarantined replica in place) must converge, not error.
+        """
+        table_name = table_of_chunk_path(path)
+        try:
+            table = decode_table(data)
+        except Exception as e:
+            # Damaged in flight or at rest: refuse the install as a
+            # failed file transaction so the repairer retries the write
+            # instead of an undecodable table landing half-installed.
+            raise FileSystemError(
+                f"chunk payload for {table_name!r} failed to decode: {e}"
+            ) from e
+        if table.name != table_name:
+            table = table.rename(table_name)
+        with self._build_lock:
+            self.db.create_table(table, overwrite=True)
+        self.metrics.counter("worker.chunks.installed").add(1)
+
+    def _chunk_manifest(self, path: str):
+        """Newline-joined chunk-level table names for one chunk id.
+
+        Lets a repairer discover what a chunk physically consists of
+        (director table plus overlap table, typically) without knowing
+        the schema; None when this worker does not host the chunk.
+        """
+        names = self.chunk_tables(chunk_id_of_manifest_path(path))
+        if not names:
+            return None
+        return "\n".join(names).encode()
+
     # -- hosting -----------------------------------------------------------------------------
+
+    def chunk_tables(self, chunk_id: int) -> list[str]:
+        """Chunk-level tables for ``chunk_id`` (base + overlap, no sub-chunks)."""
+        cid = int(chunk_id)
+        out = []
+        for name in self.db.tables:
+            parts = name.split("_")
+            if len(parts) == 2 and parts[1].isdigit() and int(parts[1]) == cid:
+                out.append(name)
+        return sorted(out)
 
     def hosted_chunks(self) -> list[int]:
         """Chunk ids present in this worker's database (director tables)."""

@@ -21,6 +21,7 @@ Observability statements (SQL-flavored, uppercase keywords):
 ==================  ===============================================
 ``SHOW METRICS``     snapshot of the process-global metrics registry
 ``SHOW EVENTS [n]``  the most recent structured events (default 20)
+``SHOW CLUSTER``     membership, replication, and integrity status
 ``TRACE <sql>``      run the query traced; print its span tree
 ==================  ===============================================
 """
@@ -96,6 +97,8 @@ class QservShell:
             return self._show_metrics()
         if upper == "SHOW EVENTS" or upper.startswith("SHOW EVENTS "):
             return self._show_events(line)
+        if upper == "SHOW CLUSTER":
+            return self._show_cluster()
         if upper == "TRACE" or upper.startswith("TRACE "):
             return self._trace_query(line[len("TRACE") :])
         t0 = time.perf_counter()
@@ -160,6 +163,61 @@ class QservShell:
             for e in events
         ]
         return _format_table(["seq", "time", "event", "fields"], rows, max_rows=n)
+
+    def _show_cluster(self) -> str:
+        """``SHOW CLUSTER``: the self-healing data plane's status page."""
+        from .obs import metrics as obs_metrics
+        from .xrd import RedirectError
+
+        tb = self.testbed
+        membership = getattr(tb, "membership", None)
+        repair = getattr(tb, "repair", None)
+        states = membership.states() if membership is not None else {}
+        placement = tb.placement
+        quarantine = getattr(tb.redirector, "quarantine", None)
+        quarantined = quarantine.snapshot() if quarantine is not None else []
+        blocked_by_server: dict[str, int] = {}
+        for server_name, _path in quarantined:
+            blocked_by_server[server_name] = blocked_by_server.get(server_name, 0) + 1
+        rows = []
+        for name in sorted(set(placement.nodes) | set(states)):
+            state = states.get(name, "up")
+            if state != "decommissioned":
+                try:
+                    if not tb.redirector.server(name).up:
+                        state = "DOWN"
+                except RedirectError:
+                    state = "unregistered"
+            in_placement = name in placement.nodes
+            rows.append(
+                (
+                    name,
+                    state,
+                    len(placement.chunks_of(name)) if in_placement else 0,
+                    len(placement.chunks_hosted_by(name)) if in_placement else 0,
+                    blocked_by_server.get(name, 0),
+                )
+            )
+        out = _format_table(
+            ["worker", "state", "primary", "hosted", "quarantined"], rows
+        )
+        degraded = repair.under_replicated() if repair is not None else {}
+        snap = obs_metrics.snapshot()
+        out += (
+            f"\nreplication target {placement.effective_replication}: "
+            f"{len(degraded)} under-replicated chunk"
+            f"{'s' if len(degraded) != 1 else ''}, "
+            f"{len(quarantined)} quarantined replica"
+            f"{'s' if len(quarantined) != 1 else ''}"
+        )
+        out += (
+            f"\nrepair: {snap.get('repair.copies', 0)} copies "
+            f"({snap.get('repair.verify.failures', 0)} verify failures); "
+            f"scrub: {snap.get('scrub.passes', 0)} passes, "
+            f"{snap.get('scrub.tables.checked', 0)} tables checked, "
+            f"{snap.get('scrub.mismatches', 0)} mismatches"
+        )
+        return out
 
     def _trace_query(self, sql: str) -> str:
         """``TRACE <sql>``: run the query traced; print its span tree."""
@@ -277,6 +335,9 @@ def main(argv=None):
     parser.add_argument("--objects", type=int, default=2000, help="objects to synthesize")
     parser.add_argument("--workers", type=int, default=4, help="worker nodes")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--replication", type=int, default=1, help="chunk replicas per node"
+    )
     parser.add_argument("--stripes", type=int, default=18)
     parser.add_argument("--sub-stripes", type=int, default=6)
     parser.add_argument(
@@ -292,6 +353,7 @@ def main(argv=None):
         num_workers=args.workers,
         num_objects=args.objects,
         seed=args.seed,
+        replication=args.replication,
         num_stripes=args.stripes,
         num_sub_stripes=args.sub_stripes,
     )

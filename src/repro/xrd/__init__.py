@@ -25,17 +25,28 @@ This subpackage reproduces that structure in-process:
   breaker feeding the redirector's replica choice;
 - :mod:`~repro.xrd.faults` -- seeded, composable fault injection
   (crash windows, stragglers, corruption, lost results) attachable to
-  any data server.
+  any data server;
+- :mod:`~repro.xrd.repair` -- the self-healing data plane:
+  re-replication of under-replicated chunks over the ``/chunk/`` file
+  protocol and background integrity scrubbing with per-replica
+  quarantine.
 """
 
 from .filesystem import FileSystem, FileSystemError
 from .dataserver import DataServer, OfsPlugin
 from .redirector import Redirector, RedirectError
 from .retry import Deadline, RetryPolicy
-from .health import HealthTracker
+from .health import HealthTracker, PathQuarantine
 from .faults import FaultPlan
 from .client import XrdClient
 from .protocol import query_path, result_path, query_hash
+from .repair import (
+    ChunkChecksums,
+    IntegrityScrubber,
+    RepairError,
+    RepairManager,
+    ScrubReport,
+)
 
 __all__ = [
     "FileSystem",
@@ -47,9 +58,15 @@ __all__ = [
     "RetryPolicy",
     "Deadline",
     "HealthTracker",
+    "PathQuarantine",
     "FaultPlan",
     "XrdClient",
     "query_path",
     "result_path",
     "query_hash",
+    "ChunkChecksums",
+    "RepairManager",
+    "RepairError",
+    "IntegrityScrubber",
+    "ScrubReport",
 ]

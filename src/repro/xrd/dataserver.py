@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Optional
 
 from .filesystem import FileSystem, FileSystemError
+from .protocol import QUERY_PREFIX
 
 __all__ = ["OfsPlugin", "DataServer"]
 
@@ -114,6 +115,11 @@ class DataServer:
         self.plugin = plugin
         self._exports: set[str] = set()
         self.up = True
+        #: Draining: the membership lifecycle's graceful-exit state.  A
+        #: draining server finishes what it already accepted (reads of
+        #: published results keep working) but refuses *new* chunk-query
+        #: opens, and the redirector stops routing new work to it.
+        self.draining = False
         #: Optional :class:`repro.xrd.faults.FaultPlan` consulted on
         #: every open; None in production.  This is the first-class
         #: fault-injection seam the chaos tests attach to.
@@ -143,11 +149,22 @@ class DataServer:
     def recover(self) -> None:
         self.up = True
 
+    @property
+    def routable(self) -> bool:
+        """Should the redirector send *new* work here?"""
+        return self.up and not self.draining
+
     # -- file transactions ---------------------------------------------------------
 
     def open(self, path: str, mode: str):
         if not self.up:
             raise FileSystemError(f"server {self.name} is down")
+        if self.draining and mode == "w" and path.startswith(QUERY_PREFIX):
+            # Graceful exit: in-flight work (result reads, repair
+            # copies onto other paths) proceeds, new queries do not.
+            raise FileSystemError(
+                f"server {self.name} is draining; not accepting new queries"
+            )
         if self.faults is not None:
             self.faults.before_open(self, path, mode)
         if self.plugin is not None and self.plugin.claims(path):

@@ -16,6 +16,9 @@ on every file transaction (``server.faults = plan``, or
   straggler latency, for timeout and hedging tests;
 - :meth:`~FaultPlan.corrupt_reads` -- flip payload bytes past the wire
   magic, so the czar's decode catches it;
+- :meth:`~FaultPlan.corrupt_writes` -- flip a committed byte on a
+  matching write (bad receiving disk), so repair read-back verification
+  catches it;
 - :meth:`~FaultPlan.drop_reads` -- the result vanished: reads of
   matching paths fail as if the file was never published.
 
@@ -194,6 +197,69 @@ class _CorruptReads(_Fault):
         return _FaultHandle(handle, transform_read=corrupt)
 
 
+class _CorruptWrites(_Fault):
+    """Flip one byte of the committed payload on matching writes.
+
+    Models a bad disk or NIC on the *receiving* side of a copy: the
+    transaction succeeds but what landed differs from what was sent.
+    The repair path's read-back verification is what catches this.
+    """
+
+    def __init__(
+        self, prefix: Optional[str], probability: float, count: Optional[int]
+    ):
+        self.prefix = prefix
+        self.probability = probability
+        self.left = count
+
+    def wrap_handle(self, plan, server, path, mode, handle):
+        if mode != "w" or not _matches(path, self.prefix):
+            return handle
+        with plan._lock:
+            if self.left is not None and self.left <= 0:
+                return handle
+            if plan.rng.random() >= self.probability:
+                return handle
+            if self.left is not None:
+                self.left -= 1
+            pick = plan.rng.random()
+
+        class _Corrupting:
+            """Write-side wrapper flipping one byte before commit."""
+
+            def __init__(self, inner):
+                self._inner = inner
+                self.path = inner.path
+                self.mode = inner.mode
+
+            def write(self, data):
+                if isinstance(data, str):
+                    data = data.encode()
+                if len(data) > 8:
+                    offset = 8 + int(pick * (len(data) - 8))
+                    mutated = bytearray(data)
+                    mutated[offset] ^= 0xFF
+                    data = bytes(mutated)
+                return self._inner.write(data)
+
+            def read(self, size: int = -1):
+                return self._inner.read(size)
+
+            def close(self):
+                self._inner.close()
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                if getattr(self._inner, "_closed", False):
+                    return False
+                self.close()
+                return False
+
+        return _Corrupting(handle)
+
+
 class _DropReads(_Fault):
     """Matching reads fail as if the file was never published."""
 
@@ -272,6 +338,16 @@ class FaultPlan:
     ):
         """Flip a payload byte on matching reads (wire-level corruption)."""
         self._faults.append(_CorruptReads(path_prefix, probability, count))
+        return self
+
+    def corrupt_writes(
+        self,
+        path_prefix: Optional[str] = "/chunk/",
+        probability: float = 1.0,
+        count: Optional[int] = None,
+    ):
+        """Flip a committed byte on matching writes (bad receiving disk)."""
+        self._faults.append(_CorruptWrites(path_prefix, probability, count))
         return self
 
     def drop_reads(

@@ -25,7 +25,7 @@ from ..analysis.sanitizer import make_lock
 from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics
 
-__all__ = ["HealthTracker", "ServerHealth"]
+__all__ = ["HealthTracker", "ServerHealth", "PathQuarantine"]
 
 _CLOSED, _OPEN, _HALF_OPEN = "closed", "open", "half-open"
 
@@ -75,6 +75,27 @@ class HealthTracker:
         self._clock = clock
         self._lock = make_lock("HealthTracker._lock")
         self._servers: Dict[str, ServerHealth] = {}
+        # Breaker-transition listeners (the repair manager watches
+        # breaker-open events to schedule re-replication scans).
+        # Appended-to under the lock, iterated over a snapshot outside
+        # it: listeners may take their own locks.
+        self._listeners: list = []
+
+    def add_listener(self, fn) -> None:
+        """Register ``fn(server_name, transition)`` for breaker changes.
+
+        ``transition`` is ``"open"`` or ``"close"``.  Called *after*
+        the state change commits and outside the tracker's lock, so a
+        listener may safely query the tracker or take its own locks.
+        """
+        with self._lock:
+            self._listeners.append(fn)
+
+    def _notify(self, name: str, transition: str) -> None:
+        with self._lock:
+            listeners = list(self._listeners)
+        for fn in listeners:
+            fn(name, transition)
 
     def _entry_locked(self, name: str) -> ServerHealth:
         entry = self._servers.get(name)
@@ -98,6 +119,7 @@ class HealthTracker:
         if closed_now:
             obs_events.emit("breaker_close", server=name)
             obs_metrics.counter("health.breaker.closed").add(1)
+            self._notify(name, "close")
 
     def record_failure(self, name: str) -> None:
         opened_now = False
@@ -128,6 +150,7 @@ class HealthTracker:
                 cooldown=cooldown,
             )
             obs_metrics.counter("health.breaker.opened").add(1)
+            self._notify(name, "open")
 
     # -- routing decisions -------------------------------------------------------
 
@@ -177,3 +200,63 @@ class HealthTracker:
                 1 for e in self._servers.values() if e.state != _CLOSED
             )
         return f"HealthTracker(tracked={len(self._servers)}, tripped={open_count})"
+
+
+class PathQuarantine:
+    """Per-(server, path) quarantine: a breaker keyed by replica, not node.
+
+    The :class:`HealthTracker` deprioritizes a whole flapping server;
+    the quarantine blocks one *replica* -- a single path on a single
+    server whose content failed an integrity check -- while the same
+    server keeps serving its other, verified paths.  Unlike the health
+    breaker it is a hard block with no time-based probe: corrupted
+    bytes do not heal with a cooldown, so only the scrubber's
+    verified-clean re-check (after a repair copy) lifts it.
+    """
+
+    def __init__(self):
+        self._lock = make_lock("PathQuarantine._lock")
+        self._blocked: set = set()
+
+    def quarantine(self, server: str, path: str) -> bool:
+        """Block ``path`` on ``server``; True if newly quarantined."""
+        with self._lock:
+            key = (server, path)
+            if key in self._blocked:
+                return False
+            self._blocked.add(key)
+        obs_events.emit("quarantine_set", server=server, path=path)
+        obs_metrics.counter("scrub.quarantines").add(1)
+        return True
+
+    def clear(self, server: str, path: str) -> bool:
+        """Lift the block (a repair restored verified-clean content)."""
+        with self._lock:
+            key = (server, path)
+            if key not in self._blocked:
+                return False
+            self._blocked.discard(key)
+        obs_events.emit("quarantine_clear", server=server, path=path)
+        obs_metrics.counter("scrub.quarantines.cleared").add(1)
+        return True
+
+    def blocked(self, server: str, path: str) -> bool:
+        with self._lock:
+            return (server, path) in self._blocked
+
+    def servers_blocked_for(self, path: str) -> set:
+        """Names of every server quarantined for ``path``."""
+        with self._lock:
+            return {s for s, p in self._blocked if p == path}
+
+    def snapshot(self) -> list:
+        """Sorted ``(server, path)`` pairs currently blocked."""
+        with self._lock:
+            return sorted(self._blocked)
+
+    def __len__(self):
+        with self._lock:
+            return len(self._blocked)
+
+    def __repr__(self):
+        return f"PathQuarantine(blocked={len(self)})"

@@ -26,6 +26,8 @@ import hashlib
 __all__ = [
     "QUERY_PREFIX",
     "RESULT_PREFIX",
+    "CHUNK_PREFIX",
+    "MANIFEST_PREFIX",
     "RESULT_FORMAT_HEADER_PREFIX",
     "DEADLINE_HEADER_PREFIX",
     "TRACE_HEADER_PREFIX",
@@ -33,6 +35,10 @@ __all__ = [
     "query_path",
     "result_path",
     "query_hash",
+    "chunk_path",
+    "manifest_path",
+    "table_of_chunk_path",
+    "chunk_id_of_manifest_path",
     "result_format_header",
     "deadline_header",
     "trace_header",
@@ -41,6 +47,19 @@ __all__ = [
 
 QUERY_PREFIX = "/query2/"
 RESULT_PREFIX = "/result/"
+
+#: Chunk-table dump/load paths, used by the self-healing data plane.
+#: Reading ``/chunk/<table>`` from a worker returns the named chunk
+#: table as binary wire bytes (:mod:`repro.sql.wire`); writing installs
+#: the decoded table into the worker's local database.  Repair copies
+#: ride the same open/read-write/close file transactions as dispatch,
+#: so fault injection and health tracking apply to them unchanged.
+CHUNK_PREFIX = "/chunk/"
+
+#: Reading ``/chunkmanifest/<chunkId>`` from a worker returns the
+#: newline-separated names of every physical table it holds for that
+#: chunk (the chunk table per logical table plus overlap companions).
+MANIFEST_PREFIX = "/chunkmanifest/"
 
 #: Chunk-query comment line requesting a result encoding from the worker.
 RESULT_FORMAT_HEADER_PREFIX = "-- RESULT_FORMAT:"
@@ -132,6 +151,30 @@ def result_path(query_text_or_hash: str) -> str:
     if not (len(h) == 32 and all(c in "0123456789abcdef" for c in h)):
         h = query_hash(query_text_or_hash)
     return f"{RESULT_PREFIX}{h}"
+
+
+def chunk_path(table_name: str) -> str:
+    """The dump/load path for one physical chunk table."""
+    return f"{CHUNK_PREFIX}{table_name}"
+
+
+def table_of_chunk_path(path: str) -> str:
+    """Parse the table name back out of a chunk path."""
+    if not path.startswith(CHUNK_PREFIX):
+        raise ValueError(f"not a chunk path: {path!r}")
+    return path[len(CHUNK_PREFIX) :]
+
+
+def manifest_path(chunk_id: int) -> str:
+    """The read path listing a worker's physical tables for a chunk."""
+    return f"{MANIFEST_PREFIX}{int(chunk_id)}"
+
+
+def chunk_id_of_manifest_path(path: str) -> int:
+    """Parse the chunk id back out of a manifest path."""
+    if not path.startswith(MANIFEST_PREFIX):
+        raise ValueError(f"not a manifest path: {path!r}")
+    return int(path[len(MANIFEST_PREFIX) :])
 
 
 def chunk_id_of_query_path(path: str) -> int:

@@ -14,6 +14,7 @@ import threading
 
 from ..analysis.sanitizer import make_lock
 from .dataserver import DataServer
+from .health import PathQuarantine
 
 __all__ = ["Redirector", "RedirectError"]
 
@@ -29,6 +30,11 @@ class Redirector:
         self._servers: dict[str, DataServer] = {}
         self._cache: dict[str, str] = {}
         self._lock = make_lock("Redirector._lock")
+        #: Per-(server, path) integrity quarantine, consulted on every
+        #: locate: a replica whose content failed a scrub check is
+        #: *hard*-excluded from routing -- serving known-corrupt rows
+        #: is strictly worse than failing over or failing loudly.
+        self.quarantine = PathQuarantine()
         # Monotonic counters for observability and the timing model.
         self.lookups = 0
         self.cache_hits = 0
@@ -81,19 +87,23 @@ class Redirector:
                 server = self._servers.get(cached)
                 if (
                     server is not None
-                    and server.up
+                    and server.routable
                     and server.serves(path)
                     and server.name not in exclude
+                    and not self.quarantine.blocked(server.name, path)
                     and (health is None or health.available(server.name))
                 ):
                     self.cache_hits += 1
                     return server
-                if server is None or not server.up or not server.serves(path):
+                if server is None or not server.routable or not server.serves(path):
                     del self._cache[path]
             candidates = [
                 s
                 for s in self._servers.values()
-                if s.up and s.serves(path) and s.name not in exclude
+                if s.routable
+                and s.serves(path)
+                and s.name not in exclude
+                and not self.quarantine.blocked(s.name, path)
             ]
             if not candidates:
                 raise RedirectError(f"no live server exports {path!r}")

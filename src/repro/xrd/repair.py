@@ -1,0 +1,691 @@
+"""The self-healing data plane: re-replication and integrity scrubbing.
+
+The resilience layer (retries, hedging, health tracking) keeps *queries*
+alive through failures, but the data itself stays degraded: a dead
+worker's chunks run on fewer replicas forever, and a corrupted replica
+keeps serving wrong bytes until a czar happens to notice.  This module
+closes both loops:
+
+- :class:`ChunkChecksums` records a reference digest per physical chunk
+  table at ingest time (the digest of its binary wire encoding, which
+  is identical across replicas by construction);
+- :class:`RepairManager` watches for under-replicated chunks -- via the
+  health tracker's breaker-open notifications, the czar's dispatch
+  failures, or an explicit scan -- and copies chunk tables from a
+  surviving replica to a healthy server over the ordinary ``/chunk/``
+  file protocol, verifying every copy by read-back digest;
+- :class:`IntegrityScrubber` re-reads replicas in the background,
+  compares them against the reference (or quorum) digest, quarantines
+  mismatches through the redirector's :class:`~.health.PathQuarantine`,
+  and asks the repair manager to heal the bad copy in place.
+
+Repair traffic rides the same ``open``/``read``/``write``/``close``
+transactions as dispatch, so a :class:`~.faults.FaultPlan` attached to
+a server faults repair copies exactly like queries -- which is how the
+chaos tests exercise repairs that crash or corrupt mid-copy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..analysis.sanitizer import make_lock
+from ..obs import events as obs_events
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from .filesystem import FileSystemError
+from .protocol import QUERY_PREFIX, chunk_path, manifest_path, query_path
+
+__all__ = [
+    "ChunkChecksums",
+    "RepairManager",
+    "RepairError",
+    "IntegrityScrubber",
+    "ScrubReport",
+    "table_digest",
+]
+
+
+def table_digest(data: bytes) -> str:
+    """The content digest of one chunk table's wire bytes (32 hex chars)."""
+    return hashlib.md5(data).hexdigest()
+
+
+class ChunkChecksums:
+    """Reference digests of physical chunk tables, recorded at ingest.
+
+    Replicas of a chunk table are byte-identical in the wire encoding
+    (same name, same columns, same rows), so one digest per *table
+    name* suffices for every copy.  The loader records digests as it
+    installs tables; the scrubber and repair manager verify against
+    them.  Tables without a recorded digest fall back to quorum
+    comparison across replicas.
+    """
+
+    def __init__(self):
+        self._lock = make_lock("ChunkChecksums._lock")
+        self._digests: dict[str, str] = {}
+
+    def record(self, table_name: str, digest: str) -> None:
+        with self._lock:
+            self._digests[table_name] = digest
+
+    def record_bytes(self, table_name: str, data: bytes) -> str:
+        """Record (and return) the digest of ``data`` for ``table_name``."""
+        digest = table_digest(data)
+        self.record(table_name, digest)
+        return digest
+
+    def expected(self, table_name: str) -> Optional[str]:
+        with self._lock:
+            return self._digests.get(table_name)
+
+    def __len__(self):
+        with self._lock:
+            return len(self._digests)
+
+    def __repr__(self):
+        return f"ChunkChecksums(tables={len(self)})"
+
+
+class RepairError(FileSystemError):
+    """A repair copy could not be completed (no source, or a bad dest)."""
+
+
+def _read_all(server, path: str) -> bytes:
+    with server.open(path, "r") as handle:
+        return handle.read()
+
+
+class RepairManager:
+    """Detects and repairs under-replicated chunks.
+
+    Parameters
+    ----------
+    redirector:
+        The cluster's redirector (server set, exports, quarantine).
+    placement:
+        The chunk-to-node placement; its ``effective_replication`` is
+        the target copy count, and successful copies are recorded back
+        into it via :meth:`~repro.partition.Placement.add_replica`.
+    checksums:
+        Reference digests for copy verification; optional (without it,
+        a copy is verified against the digest of the source bytes).
+    health:
+        Optional :class:`~.health.HealthTracker`; subscribe with
+        ``health.add_listener(manager.on_breaker)`` to mark the cluster
+        dirty when a breaker opens.
+    copy_attempts:
+        Write-verify retries per table before a destination is given
+        up on (a flaky destination disk gets this many chances).
+    throttle:
+        Seconds slept between chunk-table copies, bounding how hard
+        background repair hits the fabric.  0 (default) for tests.
+    """
+
+    def __init__(
+        self,
+        redirector,
+        placement,
+        checksums: Optional[ChunkChecksums] = None,
+        health=None,
+        copy_attempts: int = 3,
+        throttle: float = 0.0,
+    ):
+        if copy_attempts < 1:
+            raise ValueError("copy_attempts must be >= 1")
+        self.redirector = redirector
+        self.placement = placement
+        self.checksums = checksums
+        self.health = health
+        self.copy_attempts = copy_attempts
+        self.throttle = throttle
+        self._lock = make_lock("RepairManager._lock")
+        # Chunk ids with a repair in flight: concurrent ensure_chunk
+        # calls (czar dispatch threads) dedupe here instead of racing
+        # duplicate copies.  Idempotent either way -- installs
+        # overwrite -- but the dedupe keeps repair traffic bounded.
+        self._inflight: set[int] = set()
+        # Set when a breaker opens / a scan is requested; the
+        # background thread (when running) wakes on it.
+        self._dirty = threading.Event()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.metrics = obs_metrics.Registry(parent=obs_metrics.REGISTRY)
+
+    # -- observation --------------------------------------------------------------
+
+    def exporters(self, chunk_id: int) -> list:
+        """Routable, non-quarantined servers currently exporting the chunk."""
+        path = query_path(chunk_id)
+        return [
+            s
+            for s in self.redirector.servers()
+            if s.routable
+            and s.serves(path)
+            and not self.redirector.quarantine.blocked(s.name, path)
+        ]
+
+    def under_replicated(self) -> dict[int, tuple[int, int]]:
+        """``{chunk_id: (have, want)}`` for every chunk below target."""
+        want = self.placement.effective_replication
+        out: dict[int, tuple[int, int]] = {}
+        for cid in self.placement.chunk_ids:
+            have = len(self.exporters(cid))
+            if have < want:
+                out[cid] = (have, want)
+        return out
+
+    # -- triggers -----------------------------------------------------------------
+
+    def on_breaker(self, server_name: str, transition: str) -> None:
+        """Health-tracker listener: a breaker opening marks us dirty."""
+        if transition == "open":
+            obs_events.emit("repair_scan_requested", server=server_name)
+            self._dirty.set()
+
+    def ensure_chunk(self, chunk_id: int) -> bool:
+        """Bring one chunk back to target replication if it is below it.
+
+        The czar calls this when a chunk dispatch fails retryably: the
+        failure is evidence a replica just died, so repair starts *now*
+        instead of waiting for the next background scan.  Returns True
+        when at least one copy was made; False when the chunk was
+        already at target, another repair was in flight, or no copy was
+        possible (which the caller must tolerate -- repair is advisory,
+        the retry loop still decides the query's fate).
+        """
+        cid = int(chunk_id)
+        with self._lock:
+            if cid in self._inflight:
+                return False
+            self._inflight.add(cid)
+        try:
+            return len(self.repair_chunk(cid)) > 0
+        finally:
+            with self._lock:
+                self._inflight.discard(cid)
+
+    # -- repair -------------------------------------------------------------------
+
+    def repair_chunk(self, chunk_id: int, exclude=()) -> list[str]:
+        """Copy ``chunk_id`` to healthy servers until it meets target.
+
+        ``exclude`` names servers that must not count as replicas nor
+        receive copies (decommission excludes the leaving node).
+        Returns the names of servers that received a verified copy;
+        empty when the chunk was already at target or nothing could be
+        done (no live source, no eligible destination).
+        """
+        cid = int(chunk_id)
+        exclude = set(exclude)
+        want = min(
+            self.placement.effective_replication,
+            max(len(self.placement.nodes) - len(exclude), 1),
+        )
+        copied: list[str] = []
+        # One destination per pass; re-evaluate exporters after each
+        # copy so a failed destination does not stall the loop.
+        for _ in range(want):
+            # A fresh copy exports the path, so it counts here on the
+            # next iteration -- no separate tally needed.
+            current = [s for s in self.exporters(cid) if s.name not in exclude]
+            if len(current) >= want:
+                break
+            dest = self._pick_destination(cid, exclude | {s.name for s in current})
+            if dest is None:
+                obs_events.emit("repair_stalled", chunk=cid, reason="no destination")
+                break
+            if not self._copy_chunk(cid, dest, sources=current):
+                exclude.add(dest.name)  # this destination is not working out
+                continue
+            copied.append(dest.name)
+        return copied
+
+    def repair_all(self) -> int:
+        """One full convergence pass; returns the number of copies made."""
+        total = 0
+        degraded = self.under_replicated()
+        if degraded:
+            obs_events.emit("repair_scan", degraded=len(degraded))
+        for cid in sorted(degraded):
+            with self._lock:
+                if cid in self._inflight:
+                    continue
+                self._inflight.add(cid)
+            try:
+                total += len(self.repair_chunk(cid))
+            finally:
+                with self._lock:
+                    self._inflight.discard(cid)
+        return total
+
+    def populate(self, node_name: str) -> int:
+        """Materialize every chunk the placement assigns to ``node_name``.
+
+        The join path: after ``placement.add_node`` hands chunks to a
+        fresh (empty) server, this copies them in and exports their
+        dispatch paths.  Returns the number of chunks copied.
+        """
+        dest = self.redirector.server(node_name)
+        done = 0
+        for cid in self.placement.chunks_hosted_by(node_name):
+            if dest.serves(query_path(cid)):
+                continue
+            sources = [s for s in self.exporters(cid) if s.name != node_name]
+            if self._copy_chunk(cid, dest, sources=sources):
+                done += 1
+        return done
+
+    def trim_chunk(self, chunk_id: int) -> list[str]:
+        """Drop excess physical copies the placement no longer lists.
+
+        Rebalancing (``placement.add_node``) moves a chunk's ownership
+        without deleting the donor's bytes; once the new owner's copy
+        is live, the stale one is garbage.  Only copies *above* the
+        replication target and *outside* the placement's owner list are
+        dropped -- trimming never reduces availability below target.
+        Returns the names of servers a copy was removed from.
+        """
+        cid = int(chunk_id)
+        path = query_path(cid)
+        owners = set(self.placement.replicas(cid))
+        want = self.placement.effective_replication
+        removed: list[str] = []
+        for server in sorted(self.redirector.servers(), key=lambda s: s.name):
+            if len(self.exporters(cid)) <= want:
+                break
+            if not server.serves(path) or server.name in owners:
+                continue
+            server.unexport(path)
+            self.redirector.invalidate(path)
+            plugin = getattr(server, "plugin", None)
+            if plugin is not None and hasattr(plugin, "chunk_tables"):
+                for table_name in plugin.chunk_tables(cid):
+                    plugin.db.drop_table(table_name, if_exists=True)
+            removed.append(server.name)
+            self.metrics.counter("repair.trims").add(1)
+            obs_events.emit("repair_trim", chunk=cid, server=server.name)
+        return removed
+
+    def trim_excess(self) -> int:
+        """Trim every over-replicated chunk; returns copies removed."""
+        return sum(len(self.trim_chunk(cid)) for cid in self.placement.chunk_ids)
+
+    def heal_replica(self, chunk_id: int, server_name: str) -> bool:
+        """Overwrite one known-bad replica with verified-clean content.
+
+        The scrubber's repair hook: the copy lands on the quarantined
+        server, is read back and digest-verified, and only then is the
+        quarantine lifted.  Returns True on success.
+        """
+        cid = int(chunk_id)
+        dest = self.redirector.server(server_name)
+        sources = [s for s in self.exporters(cid) if s.name != server_name]
+        if not self._copy_chunk(cid, dest, sources=sources):
+            return False
+        self.redirector.quarantine.clear(server_name, query_path(cid))
+        return True
+
+    # -- the copy itself ----------------------------------------------------------
+
+    def _pick_destination(self, chunk_id: int, exclude: set):
+        """The best server to receive a new copy of ``chunk_id``.
+
+        Prefers nodes the placement already lists as owners (a joined
+        node waiting for its data); otherwise the routable node hosting
+        the fewest chunks, name-tie-broken, for deterministic balance.
+        """
+        path = query_path(chunk_id)
+        candidates = [
+            s
+            for s in self.redirector.servers()
+            if s.routable and not s.serves(path) and s.name not in exclude
+        ]
+        if not candidates:
+            return None
+        owners = set(self.placement.replicas(chunk_id))
+        return min(
+            candidates,
+            key=lambda s: (
+                s.name not in owners,
+                sum(1 for p in s.exports() if p.startswith(QUERY_PREFIX)),
+                s.name,
+            ),
+        )
+
+    def _copy_chunk(self, chunk_id: int, dest, sources) -> bool:
+        """Copy every table of one chunk from a live source to ``dest``.
+
+        Verified end to end: source bytes are checked against the
+        recorded digest (a corrupt source is quarantined and the next
+        source tried), and each table written to ``dest`` is read back
+        and digest-compared, retrying up to ``copy_attempts`` times --
+        so a fault that corrupts the landing bytes converges to a clean
+        copy instead of silently propagating damage.
+        """
+        cid = int(chunk_id)
+        t0 = time.perf_counter()
+        with obs_trace.span("repair.copy", track="repair", chunk=cid, dest=dest.name):
+            for source in sorted(sources, key=lambda s: s.name):
+                try:
+                    tables = self._read_source(cid, source)
+                except FileSystemError as e:
+                    obs_events.emit(
+                        "repair_source_failed",
+                        chunk=cid,
+                        source=source.name,
+                        error=str(e),
+                    )
+                    continue
+                if tables is None:
+                    continue  # source content failed verification
+                try:
+                    nbytes = self._install(cid, dest, tables)
+                except FileSystemError as e:
+                    obs_events.emit(
+                        "repair_failed", chunk=cid, dest=dest.name, error=str(e)
+                    )
+                    self.metrics.counter("repair.copy.failures").add(1)
+                    return False
+                self.placement.add_replica(cid, dest.name)
+                dest.export(query_path(cid))
+                elapsed = time.perf_counter() - t0
+                self.metrics.counter("repair.copies").add(1)
+                self.metrics.counter("repair.bytes").add(nbytes)
+                self.metrics.histogram("repair.copy.seconds").observe(elapsed)
+                obs_events.emit(
+                    "repair_copy",
+                    chunk=cid,
+                    source=source.name,
+                    dest=dest.name,
+                    tables=len(tables),
+                    bytes=nbytes,
+                )
+                if self.throttle:
+                    time.sleep(self.throttle)
+                return True
+        obs_events.emit("repair_stalled", chunk=cid, reason="no live source")
+        self.metrics.counter("repair.copy.failures").add(1)
+        return False
+
+    def _read_source(self, chunk_id: int, source):
+        """``{table_name: (bytes, digest)}`` from one source, verified.
+
+        None when the source served content that fails its recorded
+        digest -- that replica is quarantined on the spot (scrubbing by
+        side effect) so the caller moves on to the next source.
+        """
+        manifest = _read_all(source, manifest_path(chunk_id)).decode()
+        tables: dict[str, tuple[bytes, str]] = {}
+        for table_name in manifest.splitlines():
+            data = _read_all(source, chunk_path(table_name))
+            digest = table_digest(data)
+            expected = (
+                self.checksums.expected(table_name) if self.checksums else None
+            )
+            if expected is not None and digest != expected:
+                self.redirector.quarantine.quarantine(
+                    source.name, query_path(chunk_id)
+                )
+                obs_events.emit(
+                    "repair_source_corrupt",
+                    chunk=chunk_id,
+                    source=source.name,
+                    table=table_name,
+                )
+                return None
+            tables[table_name] = (data, expected or digest)
+        return tables
+
+    def _install(self, chunk_id: int, dest, tables) -> int:
+        """Write + read-back-verify every table on ``dest``; total bytes.
+
+        Raises :class:`RepairError` when a table still verifies wrong
+        after ``copy_attempts`` write attempts, and lets the fabric's
+        :class:`FileSystemError` propagate when ``dest`` dies mid-copy.
+        """
+        nbytes = 0
+        for table_name, (data, digest) in sorted(tables.items()):
+            for attempt in range(self.copy_attempts):
+                try:
+                    with dest.open(chunk_path(table_name), "w") as handle:
+                        handle.write(data)
+                    landed = table_digest(_read_all(dest, chunk_path(table_name)))
+                except FileSystemError:
+                    if not dest.up:
+                        raise  # the destination died mid-copy
+                    # The transaction failed but the server lives: the
+                    # payload landed damaged (e.g. refused decode) --
+                    # same recovery as a read-back mismatch, retry.
+                    landed = None
+                if landed == digest:
+                    break
+                obs_events.emit(
+                    "repair_verify_failed",
+                    chunk=chunk_id,
+                    dest=dest.name,
+                    table=table_name,
+                    attempt=attempt + 1,
+                )
+                self.metrics.counter("repair.verify.failures").add(1)
+            else:
+                raise RepairError(
+                    f"table {table_name!r} still corrupt on {dest.name} "
+                    f"after {self.copy_attempts} write attempts"
+                )
+            nbytes += len(data)
+        return nbytes
+
+    # -- background operation -----------------------------------------------------
+
+    def start(self, interval: float = 0.25) -> None:
+        """Run convergence passes on a daemon thread.
+
+        Wakes early when a breaker-open notification marks the cluster
+        dirty; otherwise scans every ``interval`` seconds.  Off by
+        default -- deterministic tests drive :meth:`repair_all`
+        directly.
+        """
+        if self._thread is not None:
+            return
+        self._stop.clear()
+
+        def _loop():
+            while not self._stop.is_set():
+                self._dirty.wait(timeout=interval)
+                if self._stop.is_set():
+                    return
+                self._dirty.clear()
+                self.repair_all()
+
+        self._thread = threading.Thread(
+            target=_loop, name="repair-manager", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        thread, self._thread = self._thread, None
+        if thread is None:
+            return
+        self._stop.set()
+        self._dirty.set()
+        thread.join(timeout=timeout)
+
+    def __repr__(self):
+        return f"RepairManager(chunks={len(self.placement.chunk_ids)})"
+
+
+@dataclass
+class ScrubReport:
+    """What one scrub pass found and did."""
+
+    chunks: int = 0
+    replicas_checked: int = 0
+    tables_verified: int = 0
+    #: ``(server, table)`` pairs whose content failed verification.
+    mismatches: list = field(default_factory=list)
+    #: ``(server, table)`` pairs that could not be read at all.
+    unreadable: list = field(default_factory=list)
+    healed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.mismatches and not self.unreadable
+
+
+class IntegrityScrubber:
+    """Verifies replica content against reference (or quorum) digests.
+
+    Reads every replica's chunk tables *through the file protocol* --
+    the same path a repair copy or a hypothetical read would take -- so
+    both at-rest damage and read-path corruption are caught.  A replica
+    that fails verification is quarantined via the redirector (queries
+    stop routing to it immediately) and, when a repair manager is
+    wired, healed in place and un-quarantined.
+    """
+
+    def __init__(
+        self,
+        redirector,
+        checksums: Optional[ChunkChecksums] = None,
+        repair: Optional[RepairManager] = None,
+    ):
+        self.redirector = redirector
+        self.checksums = checksums
+        self.repair = repair
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.metrics = obs_metrics.Registry(parent=obs_metrics.REGISTRY)
+
+    def _chunk_ids(self) -> list[int]:
+        """Every chunk id any live server exports a dispatch path for."""
+        prefix = QUERY_PREFIX
+        out: set[int] = set()
+        for server in self.redirector.servers():
+            for path in server.exports():
+                if path.startswith(prefix):
+                    out.add(int(path[len(prefix) :]))
+        return sorted(out)
+
+    def scrub_chunk(self, chunk_id: int, report: Optional[ScrubReport] = None):
+        """Verify every replica of one chunk; quarantine and heal bad ones."""
+        report = report if report is not None else ScrubReport()
+        cid = int(chunk_id)
+        path = query_path(cid)
+        # Replicas quarantined on an earlier pass are re-healed first:
+        # repair's destination picker skips servers already exporting
+        # the path, so nothing else ever writes a blocked replica back
+        # to health.  A heal that fails (the damage persists, e.g. a
+        # still-corrupting read path) leaves the block in place.
+        if self.repair is not None:
+            for server_name in sorted(
+                self.redirector.quarantine.servers_blocked_for(path)
+            ):
+                if self.repair.heal_replica(cid, server_name):
+                    report.healed += 1
+        replicas = [
+            s
+            for s in self.redirector.servers()
+            if s.up
+            and s.serves(path)
+            and not self.redirector.quarantine.blocked(s.name, path)
+        ]
+        report.chunks += 1
+        # digests[table][server] -- gathered first so tables without a
+        # recorded reference can fall back to quorum comparison.
+        digests: dict[str, dict[str, str]] = {}
+        for server in replicas:
+            report.replicas_checked += 1
+            try:
+                manifest = _read_all(server, manifest_path(cid)).decode()
+                for table_name in manifest.splitlines():
+                    data = _read_all(server, chunk_path(table_name))
+                    digests.setdefault(table_name, {})[server.name] = table_digest(
+                        data
+                    )
+            except FileSystemError:
+                report.unreadable.append((server.name, f"chunk {cid}"))
+                self.metrics.counter("scrub.unreadable").add(1)
+        bad: set[str] = set()
+        for table_name, by_server in sorted(digests.items()):
+            expected = (
+                self.checksums.expected(table_name) if self.checksums else None
+            )
+            if expected is None:
+                counts = Counter(by_server.values())
+                top, votes = counts.most_common(1)[0]
+                # A quorum needs a strict majority; a 1-1 split (or a
+                # single unreferenced replica) is undecidable -- skip
+                # rather than quarantine on a coin flip.
+                if votes * 2 <= len(by_server):
+                    continue
+                expected = top
+            for server_name, digest in sorted(by_server.items()):
+                self.metrics.counter("scrub.tables.checked").add(1)
+                if digest == expected:
+                    report.tables_verified += 1
+                    continue
+                report.mismatches.append((server_name, table_name))
+                self.metrics.counter("scrub.mismatches").add(1)
+                obs_events.emit(
+                    "scrub_mismatch",
+                    server=server_name,
+                    chunk=cid,
+                    table=table_name,
+                )
+                bad.add(server_name)
+        for server_name in sorted(bad):
+            self.redirector.quarantine.quarantine(server_name, path)
+            if self.repair is not None and self.repair.heal_replica(
+                cid, server_name
+            ):
+                report.healed += 1
+        return report
+
+    def scrub_all(self) -> ScrubReport:
+        """One full pass over every exported chunk."""
+        report = ScrubReport()
+        with obs_trace.span("scrub.pass", track="repair"):
+            for cid in self._chunk_ids():
+                self.scrub_chunk(cid, report)
+        self.metrics.counter("scrub.passes").add(1)
+        obs_events.emit(
+            "scrub_pass",
+            chunks=report.chunks,
+            mismatches=len(report.mismatches),
+            healed=report.healed,
+        )
+        return report
+
+    # -- background operation -----------------------------------------------------
+
+    def start(self, interval: float = 1.0) -> None:
+        """Scrub continuously on a daemon thread (off by default)."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+
+        def _loop():
+            while not self._stop.wait(timeout=interval):
+                self.scrub_all()
+
+        self._thread = threading.Thread(
+            target=_loop, name="integrity-scrubber", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        thread, self._thread = self._thread, None
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=timeout)
+
+    def __repr__(self):
+        return f"IntegrityScrubber(repair={'on' if self.repair else 'off'})"

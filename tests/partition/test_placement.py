@@ -128,6 +128,76 @@ class TestRemoveNode:
             p.remove_node("worker-000")
 
 
+class TestReplicaRepairEdgeCases:
+    """The replica top-up path under clamped and skewed inputs."""
+
+    def test_effective_replication_clamped(self):
+        p = Placement(range(10), nodes(2), replication=5)
+        assert p.effective_replication == 2
+        p.add_node("worker-new")
+        assert p.effective_replication == 3
+        for c in range(10):
+            assert len(set(p.replicas(c))) == 3
+
+    def test_effective_replication_grows_only_to_factor(self):
+        p = Placement(range(10), nodes(2), replication=2)
+        p.add_node("worker-new")
+        assert p.effective_replication == 2
+        for c in range(10):
+            assert len(p.replicas(c)) == 2
+
+    def test_strided_chunk_ids_stay_balanced_after_removal(self):
+        # Spatial chunkers hand out strided ids (every Nth); the old
+        # ``chunk_id % len(nodes)`` candidate choice piled all repaired
+        # replicas onto one node when the stride divided the node count.
+        p = Placement([3 * i for i in range(30)], nodes(4), replication=2)
+        p.remove_node("worker-000")
+        hosted = {n: len(p.chunks_hosted_by(n)) for n in p.nodes}
+        assert sum(hosted.values()) == 60  # 30 chunks x 2 copies
+        assert max(hosted.values()) - min(hosted.values()) <= 2
+
+    def test_repair_is_deterministic(self):
+        def build():
+            p = Placement([7 * i for i in range(40)], nodes(5), replication=3)
+            p.remove_node("worker-001")
+            return {c: list(p.replicas(c)) for c in p.chunk_ids}
+
+        assert build() == build()
+
+    def test_add_replica_bookkeeping(self):
+        p = Placement(range(10), nodes(3), replication=2)
+        cid = 0
+        extra = next(n for n in p.nodes if n not in p.replicas(cid))
+        assert p.add_replica(cid, extra) is True
+        assert extra in p.replicas(cid)
+        assert p.add_replica(cid, extra) is False  # idempotent no-op
+        with pytest.raises(KeyError):
+            p.add_replica(cid, "nope")
+
+    def test_drop_replica_refuses_last_copy(self):
+        p = Placement(range(10), nodes(3), replication=1)
+        cid = 0
+        (only,) = p.replicas(cid)
+        with pytest.raises(ValueError):
+            p.drop_replica(cid, only)
+
+    def test_drop_replica_removes_copy(self):
+        p = Placement(range(10), nodes(3), replication=2)
+        cid = 0
+        victim = p.replicas(cid)[-1]
+        p.drop_replica(cid, victim)
+        assert victim not in p.replicas(cid)
+        assert len(p.replicas(cid)) == 1
+
+    def test_uneven_counts_with_replication(self):
+        # 101 chunks on 10 nodes at 3x: hosted counts within one of
+        # each other, nobody starved, nobody overloaded.
+        p = Placement(range(101), nodes(10), replication=3)
+        hosted = sorted(len(p.chunks_hosted_by(n)) for n in p.nodes)
+        assert sum(hosted) == 303
+        assert hosted[-1] - hosted[0] <= 2
+
+
 class TestProperties:
     @given(st.integers(min_value=1, max_value=200), st.integers(min_value=1, max_value=20))
     @settings(max_examples=30)

@@ -65,6 +65,10 @@ class TestDoubleFailure:
 
     def test_both_replicas_die_is_clean_error(self, tb):
         """Both owners of a chunk die: a typed error, not a hang."""
+        # This targets the dispatch layer's error path; unhook mid-query
+        # repair, which could race a rescue copy in after the first
+        # death and (nondeterministically) save the doomed chunk.
+        tb.czar.repair = None
         doomed = tb.placement.nodes[:2]
         lost = self.two_replica_chunks(tb, doomed)
         assert lost, "placement must co-locate some chunk on both victims"
@@ -102,7 +106,12 @@ class TestDoubleFailure:
             "SELECT COUNT(*) FROM Object", deadline=10.0, allow_partial=True
         )
         assert r.stats.partial_result
-        assert set(r.stats.failed_chunks) == set(lost)
+        # Mid-query repair can rescue a doomed chunk: when the first
+        # victim dies the czar re-replicates that chunk onto the
+        # surviving third node between attempts, so failed_chunks is a
+        # (non-empty) subset of the co-located set, not all of it.
+        assert r.stats.failed_chunks
+        assert set(r.stats.failed_chunks) <= set(lost)
         count = int(r.table.column("COUNT(*)")[0])
         assert 0 < count < 600  # the lost chunks' rows are missing
 

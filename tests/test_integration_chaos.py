@@ -131,3 +131,200 @@ class TestChaos:
         assert len(set(results)) == 1
         ids = tb.tables["Object"].column("objectId")
         assert results[0] == (int(ids.sum()), len(ids))
+
+
+class TestSelfHealingChaos:
+    """The repair/scrub/membership loops under injected faults.
+
+    Same invariant as above -- every query that returns is correct --
+    plus a convergence invariant: after the dust settles, one
+    ``repair_all`` pass restores full replication.
+    """
+
+    def test_kill_one_mid_query_then_converge(self, tb):
+        """Kill a replica mid-stream; answers stay right, repair heals."""
+        # The deterministic min-name tie-break routes dispatch through
+        # the first node wherever it holds a replica, so it is the one
+        # guaranteed to see traffic (and die).
+        victim = tb.placement.nodes[0]
+        FaultPlan(seed=CHAOS_SEED).die_after_writes(1).attach(tb.servers[victim])
+        total = tb.tables["Object"].num_rows
+
+        errors: list[Exception] = []
+        lock = threading.Lock()
+
+        def client():
+            try:
+                for _ in range(5):
+                    r = tb.czar.submit("SELECT COUNT(*) FROM Object", deadline=30.0)
+                    assert int(r.table.column("COUNT(*)")[0]) == total
+            except Exception as e:  # pragma: no cover - failure reporting
+                with lock:
+                    errors.append(e)
+
+        threads = [threading.Thread(target=client) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors[:3]
+        assert not tb.servers[victim].up  # it really died mid-stream
+
+        # Convergence: repair brings every chunk the victim hosted back
+        # to target replication on the survivors.  (A subset may have
+        # been healed already: the czar's mid-query repair hook fires on
+        # the retryable failures the death caused.)
+        degraded = tb.repair.under_replicated()
+        assert set(degraded) <= set(tb.placement.chunks_hosted_by(victim))
+        copies = tb.repair.repair_all()
+        assert copies == len(degraded)
+        assert tb.repair.under_replicated() == {}
+        # Repair was observable and the exports physically restored.
+        from repro.obs import events as obs_events
+        from repro.xrd.protocol import query_path
+
+        assert any(e.type == "repair_copy" for e in obs_events.recent(500))
+        for cid in tb.placement.chunks_hosted_by(victim):
+            assert len(tb.repair.exporters(cid)) >= 2
+            assert all(s.serves(query_path(cid)) for s in tb.repair.exporters(cid))
+        r = tb.czar.submit("SELECT COUNT(*) FROM Object")
+        assert int(r.table.column("COUNT(*)")[0]) == total
+        assert victim not in r.stats.workers_used
+
+    def test_repair_survives_dying_destination(self, tb):
+        """die_after_writes on repair traffic: idempotent retry converges."""
+        victim = tb.placement.nodes[0]
+        tb.servers[victim].fail()
+        survivors = [n for n in tb.placement.nodes if n != victim]
+        for i, name in enumerate(survivors):
+            FaultPlan(seed=CHAOS_SEED + i).die_after_writes(
+                1, path_prefix="/chunk/"
+            ).attach(tb.servers[name])
+
+        # First pass: some destinations die mid-copy.  Recover them and
+        # keep passing; each pass only re-copies what is still missing.
+        for _ in range(6):
+            tb.repair.repair_all()
+            if not tb.repair.under_replicated():
+                break
+            for name in survivors:
+                if not tb.servers[name].up:
+                    tb.servers[name].recover()
+        assert tb.repair.under_replicated() == {}
+        # Every landed copy was digest-verified despite the carnage.
+        assert tb.scrubber.scrub_all().clean
+        r = tb.czar.submit("SELECT COUNT(*) FROM Object")
+        assert int(r.table.column("COUNT(*)")[0]) == tb.tables["Object"].num_rows
+
+    def test_corrupt_replica_quarantined_never_wrong(self):
+        """corrupt_reads on one of three replicas: wrong rows never escape."""
+        tb3 = build_testbed(
+            num_workers=3,
+            num_objects=900,
+            seed=CHAOS_SEED,
+            replication=3,
+            retry_policy=RetryPolicy(max_attempts=6, base_backoff=0.002),
+        )
+        try:
+            victim = tb3.placement.nodes[CHAOS_SEED % 3]
+            # Permanent read corruption on the victim's chunk transfers:
+            # the scrubber reads through the same path queries would.
+            FaultPlan(seed=CHAOS_SEED).corrupt_reads(
+                path_prefix="/chunk/", count=None
+            ).attach(tb3.servers[victim])
+            total = tb3.tables["Object"].num_rows
+
+            report = tb3.scrubber.scrub_all()
+            assert report.mismatches or report.unreadable
+            assert all(s == victim for s, _ in report.mismatches)
+            # heal_replica read-back goes through the still-corrupting
+            # path, so the quarantine must hold rather than lift.
+            from repro.xrd.protocol import query_path
+
+            blocked = [
+                cid
+                for cid in tb3.placement.chunk_ids
+                if tb3.redirector.quarantine.blocked(victim, query_path(cid))
+            ]
+            assert blocked
+            for _ in range(5):
+                r = tb3.czar.submit("SELECT COUNT(*) FROM Object")
+                assert int(r.table.column("COUNT(*)")[0]) == total
+
+            # Lift the fault: the next scrub heals the bad replicas in
+            # place with verified-clean copies and clears the blocks.
+            tb3.servers[victim].faults = None
+            tb3.scrubber.scrub_all()
+            assert tb3.scrubber.scrub_all().clean
+            assert not any(
+                tb3.redirector.quarantine.blocked(victim, query_path(cid))
+                for cid in tb3.placement.chunk_ids
+            )
+        finally:
+            tb3.shutdown()
+
+    def test_drain_decommission_under_load_zero_failures(self, tb):
+        """A node leaves gracefully while clients hammer the cluster."""
+        total = tb.tables["Object"].num_rows
+        victim = tb.placement.nodes[-1]
+        errors: list[Exception] = []
+        stop = threading.Event()
+        lock = threading.Lock()
+
+        def client():
+            try:
+                while not stop.is_set():
+                    r = tb.czar.submit("SELECT COUNT(*) FROM Object", deadline=30.0)
+                    assert int(r.table.column("COUNT(*)")[0]) == total
+            except Exception as e:  # pragma: no cover - failure reporting
+                with lock:
+                    errors.append(e)
+
+        threads = [threading.Thread(target=client) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            tb.membership.drain(victim)
+            copies = tb.membership.decommission(victim)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert not errors, errors[:3]
+        assert copies >= 1
+        assert victim not in tb.placement.nodes
+        assert tb.repair.under_replicated() == {}
+        r = tb.czar.submit("SELECT COUNT(*) FROM Object")
+        assert int(r.table.column("COUNT(*)")[0]) == total
+        assert victim not in r.stats.workers_used
+
+    def test_join_empty_node_serves_chunks(self):
+        """A joined node gets data over the wire and answers queries.
+
+        A two-node cluster so the rebalancer has chunks to hand the
+        newcomer (the 4-worker fixture's few chunks divide evenly and
+        move nothing).
+        """
+        tb2 = build_testbed(
+            num_workers=2, num_objects=800, seed=CHAOS_SEED, replication=2
+        )
+        try:
+            total = tb2.tables["Object"].num_rows
+            tb2.membership.join("worker-joined")
+            hosted = sorted(tb2.placement.chunks_hosted_by("worker-joined"))
+            assert hosted
+            # Placement and physical exports agree for every chunk.
+            for cid in tb2.placement.chunk_ids:
+                assert sorted(tb2.placement.replicas(cid)) == sorted(
+                    s.name for s in tb2.repair.exporters(cid)
+                )
+            # Make the joined node the only live replica of its first
+            # hosted chunk; the query must route through it.
+            for name in tb2.placement.replicas(hosted[0]):
+                if name != "worker-joined":
+                    tb2.servers[name].fail()
+            r = tb2.czar.submit("SELECT COUNT(*) FROM Object", deadline=30.0)
+            assert int(r.table.column("COUNT(*)")[0]) == total
+            assert "worker-joined" in r.stats.workers_used
+        finally:
+            tb2.shutdown()

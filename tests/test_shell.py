@@ -1,5 +1,7 @@
 """Tests for the interactive shell logic (input loop excluded)."""
 
+import re
+
 import pytest
 
 from repro.data import build_testbed
@@ -153,6 +155,55 @@ class TestObservabilityStatements:
         shell.execute_line("TRACE SELECT COUNT(*) FROM Object")
         out = shell.execute_line("\\stats")
         assert "chunks dispatched" in out
+
+
+class TestShowCluster:
+    def test_healthy_cluster(self, shell):
+        out = shell.execute_line("SHOW CLUSTER")
+        assert "worker-000" in out and "worker-001" in out
+        assert "up" in out
+        assert "0 under-replicated chunks" in out
+        assert "0 quarantined replicas" in out
+        assert "scrub:" in out and "repair:" in out
+
+    def test_down_and_draining_states(self):
+        tb = build_testbed(num_workers=3, num_objects=300, seed=5, replication=2)
+        s = QservShell(tb)
+        tb.servers[tb.placement.nodes[0]].fail()
+        tb.membership.drain(tb.placement.nodes[1])
+        out = s.execute_line("SHOW CLUSTER")
+        assert "DOWN" in out
+        assert "draining" in out
+        assert "under-replicated chunk" in out
+        assert "0 under-replicated chunks" not in out
+        tb.shutdown()
+
+    def test_decommissioned_and_quarantined(self):
+        tb = build_testbed(num_workers=3, num_objects=300, seed=5, replication=2)
+        s = QservShell(tb)
+        victim = tb.placement.nodes[0]
+        cid = sorted(tb.placement.chunks_hosted_by(victim))[0]
+        from repro.xrd.protocol import query_path
+
+        tb.redirector.quarantine.quarantine(victim, query_path(cid))
+        tb.membership.decommission(tb.placement.nodes[-1])
+        out = s.execute_line("SHOW CLUSTER")
+        assert "decommissioned" in out
+        assert "1 quarantined replica" in out
+        tb.shutdown()
+
+    def test_repair_counters_surface(self):
+        tb = build_testbed(num_workers=3, num_objects=300, seed=5, replication=2)
+        s = QservShell(tb)
+        tb.servers[tb.placement.nodes[0]].fail()
+        copied = tb.repair.repair_all()
+        assert copied > 0
+        tb.scrubber.scrub_all()
+        out = s.execute_line("SHOW CLUSTER")
+        match = re.search(r"repair: (\d+) copies", out)
+        assert match and int(match.group(1)) >= copied  # the repair is visible
+        assert re.search(r"scrub: [1-9]\d* passes", out)
+        tb.shutdown()
 
 
 class TestMainEntry:

@@ -1,0 +1,353 @@
+"""Unit tests for the self-healing data plane.
+
+Covers the repair manager (detection, verified copy, idempotency,
+trim), the integrity scrubber (reference and quorum verification,
+quarantine, heal), and the membership lifecycle state machine.
+"""
+
+import pytest
+
+from repro.data import build_testbed
+from repro.obs import events as obs_events
+from repro.qserv import MembershipError
+from repro.xrd import ChunkChecksums, FaultPlan
+from repro.xrd.protocol import query_path
+from repro.xrd.repair import IntegrityScrubber, table_digest
+
+
+@pytest.fixture
+def tb():
+    return build_testbed(num_workers=3, num_objects=600, seed=51, replication=2)
+
+
+def hosted_chunk(tb, name):
+    """A chunk id hosted by ``name`` whose tables live in its engine."""
+    return sorted(tb.placement.chunks_hosted_by(name))[0]
+
+
+def corrupt_at_rest(tb, node, chunk_id):
+    """Flip a value inside one replica's chunk table, in place.
+
+    Table.rename shares column arrays between replicas, so the column
+    must be copied before mutation or every replica changes at once.
+    """
+    worker = tb.workers[node]
+    table_name = next(
+        n for n in worker.chunk_tables(chunk_id) if "FullOverlap" not in n
+    )
+    tbl = worker.db.tables[table_name]
+    col = tbl.column_names[0]
+    arr = tbl.column(col).copy()
+    arr[0] += 1
+    tbl._columns[col] = arr
+    return table_name
+
+
+def events_since(seq, n=500):
+    """Event types emitted after sequence number ``seq``."""
+    return [e.type for e in obs_events.recent(n) if e.seq > seq]
+
+
+def last_seq():
+    recent = obs_events.recent(1)
+    return recent[-1].seq if recent else 0
+
+
+class TestChunkChecksums:
+    def test_record_and_expected(self):
+        cs = ChunkChecksums()
+        assert cs.expected("Object_5") is None
+        cs.record("Object_5", "abc")
+        assert cs.expected("Object_5") == "abc"
+        assert len(cs) == 1
+
+    def test_record_bytes_matches_digest(self):
+        cs = ChunkChecksums()
+        digest = cs.record_bytes("T", b"payload")
+        assert digest == table_digest(b"payload")
+        assert cs.expected("T") == digest
+
+    def test_digest_sensitive_to_any_byte(self):
+        data = bytearray(b"x" * 64)
+        base = table_digest(bytes(data))
+        data[17] ^= 1
+        assert table_digest(bytes(data)) != base
+
+    def test_loader_records_every_chunk_table(self, tb):
+        # Every physical chunk table on every worker has a reference.
+        for worker in tb.workers.values():
+            for cid in tb.placement.chunks_hosted_by(worker.name):
+                for table_name in worker.chunk_tables(cid):
+                    assert tb.checksums.expected(table_name) is not None
+
+
+class TestDetection:
+    def test_healthy_cluster_has_no_degraded_chunks(self, tb):
+        assert tb.repair.under_replicated() == {}
+
+    def test_dead_node_degrades_its_chunks(self, tb):
+        victim = tb.placement.nodes[0]
+        tb.servers[victim].fail()
+        degraded = tb.repair.under_replicated()
+        assert set(degraded) == set(tb.placement.chunks_hosted_by(victim))
+        assert all(have == 1 and want == 2 for have, want in degraded.values())
+
+    def test_quarantined_replica_counts_as_missing(self, tb):
+        victim = tb.placement.nodes[0]
+        cid = hosted_chunk(tb, victim)
+        tb.redirector.quarantine.quarantine(victim, query_path(cid))
+        assert tb.repair.under_replicated() == {cid: (1, 2)}
+
+    def test_breaker_open_marks_dirty(self, tb):
+        assert not tb.repair._dirty.is_set()
+        seq = last_seq()
+        # The testbed wires health.add_listener(repair.on_breaker).
+        for _ in range(tb.health.failure_threshold):
+            tb.health.record_failure("worker-000")
+        assert tb.repair._dirty.is_set()
+        assert "repair_scan_requested" in events_since(seq)
+
+
+class TestRepair:
+    def test_repair_all_converges_after_failure(self, tb):
+        victim = tb.placement.nodes[0]
+        tb.servers[victim].fail()
+        copies = tb.repair.repair_all()
+        assert copies == len(tb.placement.chunks_hosted_by(victim))
+        assert tb.repair.under_replicated() == {}
+        r = tb.query("SELECT COUNT(*) FROM Object")
+        assert int(r.table.column("COUNT(*)")[0]) == 600
+        assert victim not in r.stats.workers_used
+
+    def test_repair_is_idempotent(self, tb):
+        victim = tb.placement.nodes[0]
+        tb.servers[victim].fail()
+        assert tb.repair.repair_all() > 0
+        assert tb.repair.repair_all() == 0  # second pass: nothing to do
+
+    def test_repair_records_placement(self, tb):
+        victim = tb.placement.nodes[0]
+        cid = hosted_chunk(tb, victim)
+        tb.servers[victim].fail()
+        copied = tb.repair.repair_chunk(cid)
+        assert len(copied) == 1
+        assert copied[0] in tb.placement.replicas(cid)
+        assert tb.servers[copied[0]].serves(query_path(cid))
+
+    def test_ensure_chunk_noop_at_target(self, tb):
+        assert tb.repair.ensure_chunk(hosted_chunk(tb, tb.placement.nodes[0])) is False
+
+    def test_ensure_chunk_dedupes_inflight(self, tb):
+        victim = tb.placement.nodes[0]
+        cid = hosted_chunk(tb, victim)
+        tb.servers[victim].fail()
+        with tb.repair._lock:
+            tb.repair._inflight.add(cid)
+        try:
+            assert tb.repair.ensure_chunk(cid) is False  # someone else is on it
+        finally:
+            with tb.repair._lock:
+                tb.repair._inflight.discard(cid)
+        assert tb.repair.ensure_chunk(cid) is True
+
+    def test_no_live_source_stalls_cleanly(self, tb):
+        cid = hosted_chunk(tb, tb.placement.nodes[0])
+        for name in tb.placement.replicas(cid):
+            tb.servers[name].fail()
+        seq = last_seq()
+        assert tb.repair.repair_chunk(cid) == []
+        assert "repair_stalled" in events_since(seq)
+
+    def test_verified_copy_survives_corrupting_destination(self, tb):
+        victim = tb.placement.nodes[0]
+        cid = hosted_chunk(tb, victim)
+        tb.servers[victim].fail()
+        # Every potential destination damages the first landing write;
+        # the read-back verify catches it and the retry goes clean.
+        seq = last_seq()
+        for name in tb.placement.nodes[1:]:
+            FaultPlan(seed=3).corrupt_writes(path_prefix="/chunk/", count=1).attach(
+                tb.servers[name]
+            )
+        copied = tb.repair.repair_chunk(cid)
+        assert len(copied) == 1
+        assert "repair_verify_failed" in events_since(seq)
+        assert tb.scrubber.scrub_chunk(cid).clean
+
+    def test_destination_death_mid_copy_is_recoverable(self, tb):
+        victim = tb.placement.nodes[0]
+        cid = hosted_chunk(tb, victim)
+        tb.servers[victim].fail()
+        dests = [
+            n for n in tb.placement.nodes[1:] if n not in tb.placement.replicas(cid)
+        ]
+        assert dests  # with 3 nodes at 2x there is exactly one
+        for name in dests:
+            FaultPlan(seed=7).die_after_writes(1, path_prefix="/chunk/").attach(
+                tb.servers[name]
+            )
+        assert tb.repair.repair_chunk(cid) == []  # every destination died
+        for name in dests:
+            tb.servers[name].recover()
+        assert len(tb.repair.repair_chunk(cid)) == 1  # idempotent retry lands
+        assert tb.repair.under_replicated().get(cid) is None
+
+    def test_trim_drops_only_excess_non_owners(self, tb):
+        cid = hosted_chunk(tb, tb.placement.nodes[0])
+        extra = next(
+            n for n in tb.placement.nodes if n not in tb.placement.replicas(cid)
+        )
+        # Hand-copy a third replica the placement does not list.
+        assert tb.repair._copy_chunk(
+            cid, tb.servers[extra], sources=tb.repair.exporters(cid)
+        )
+        tb.placement.drop_replica(cid, extra)  # placement says: not an owner
+        assert len(tb.repair.exporters(cid)) == 3
+        removed = tb.repair.trim_chunk(cid)
+        assert removed == [extra]
+        assert len(tb.repair.exporters(cid)) == 2
+        assert not tb.workers[extra].chunk_tables(cid)
+
+    def test_trim_never_drops_below_target(self, tb):
+        cid = hosted_chunk(tb, tb.placement.nodes[0])
+        assert tb.repair.trim_chunk(cid) == []
+        assert len(tb.repair.exporters(cid)) == 2
+
+
+class TestScrubber:
+    def test_clean_cluster_scrubs_clean(self, tb):
+        report = tb.scrubber.scrub_all()
+        assert report.clean
+        assert report.chunks == len(tb.placement.chunk_ids)
+        assert report.tables_verified > 0
+
+    def test_at_rest_corruption_quarantined_and_healed(self, tb):
+        victim = tb.placement.nodes[0]
+        cid = hosted_chunk(tb, victim)
+        corrupt_at_rest(tb, victim, cid)
+        report = tb.scrubber.scrub_chunk(cid)
+        assert any(s == victim for s, _ in report.mismatches)
+        assert report.healed == 1
+        # Healed in place: quarantine lifted, content verified clean.
+        assert not tb.redirector.quarantine.blocked(victim, query_path(cid))
+        assert tb.scrubber.scrub_chunk(cid).clean
+
+    def test_unhealed_corruption_stays_quarantined(self, tb):
+        scrubber = IntegrityScrubber(
+            tb.redirector, checksums=tb.checksums, repair=None
+        )
+        victim = tb.placement.nodes[0]
+        cid = hosted_chunk(tb, victim)
+        corrupt_at_rest(tb, victim, cid)
+        report = scrubber.scrub_chunk(cid)
+        assert report.healed == 0
+        assert tb.redirector.quarantine.blocked(victim, query_path(cid))
+        # Queries keep working off the surviving replica.
+        r = tb.query("SELECT COUNT(*) FROM Object")
+        assert int(r.table.column("COUNT(*)")[0]) == 600
+
+    def test_quorum_fallback_without_reference_digests(self):
+        tb3 = build_testbed(num_workers=3, num_objects=600, seed=51, replication=3)
+        try:
+            scrubber = IntegrityScrubber(tb3.redirector, checksums=None, repair=None)
+            victim = tb3.placement.nodes[1]
+            cid = hosted_chunk(tb3, victim)
+            corrupt_at_rest(tb3, victim, cid)
+            report = scrubber.scrub_chunk(cid)
+            # Two of three replicas agree: the odd one out is the bad one.
+            assert any(s == victim for s, _ in report.mismatches)
+            assert tb3.redirector.quarantine.blocked(victim, query_path(cid))
+        finally:
+            tb3.shutdown()
+
+    def test_quorum_tie_is_not_quarantined(self):
+        tb2 = build_testbed(num_workers=2, num_objects=400, seed=51, replication=2)
+        try:
+            scrubber = IntegrityScrubber(tb2.redirector, checksums=None, repair=None)
+            victim = tb2.placement.nodes[0]
+            cid = hosted_chunk(tb2, victim)
+            corrupt_at_rest(tb2, victim, cid)
+            report = scrubber.scrub_chunk(cid)
+            # A 1-1 split is undecidable: no quarantine on a coin flip.
+            assert report.mismatches == []
+            assert not tb2.redirector.quarantine.blocked(victim, query_path(cid))
+        finally:
+            tb2.shutdown()
+
+
+class TestMembership:
+    def test_initial_states(self, tb):
+        assert set(tb.membership.states().values()) == {"up"}
+
+    def test_drain_and_resume(self, tb):
+        victim = tb.placement.nodes[0]
+        tb.membership.drain(victim)
+        assert tb.membership.state(victim) == "draining"
+        assert tb.servers[victim].draining
+        r = tb.query("SELECT COUNT(*) FROM Object")
+        assert int(r.table.column("COUNT(*)")[0]) == 600
+        assert victim not in r.stats.workers_used
+        tb.membership.resume(victim)
+        assert tb.membership.state(victim) == "up"
+        assert not tb.servers[victim].draining
+
+    def test_resume_requires_draining(self, tb):
+        with pytest.raises(MembershipError):
+            tb.membership.resume(tb.placement.nodes[0])
+
+    def test_unknown_node_rejected(self, tb):
+        with pytest.raises(KeyError):
+            tb.membership.drain("nope")
+        with pytest.raises(KeyError):
+            tb.membership.state("nope")
+
+    def test_decommission_re_replicates_then_removes(self, tb):
+        victim = tb.placement.nodes[0]
+        hosted = len(tb.placement.chunks_hosted_by(victim))
+        copies = tb.membership.decommission(victim)
+        assert copies == hosted
+        assert tb.membership.state(victim) == "decommissioned"
+        assert victim not in tb.placement.nodes
+        assert tb.repair.under_replicated() == {}
+        r = tb.query("SELECT COUNT(*) FROM Object")
+        assert int(r.table.column("COUNT(*)")[0]) == 600
+        assert victim not in r.stats.workers_used
+        with pytest.raises(MembershipError):
+            tb.membership.decommission(victim)
+
+    def test_join_populates_and_serves(self, tb):
+        tb.membership.join("worker-new")
+        assert tb.membership.state("worker-new") == "up"
+        hosted = tb.placement.chunks_hosted_by("worker-new")
+        assert hosted
+        for cid in hosted:
+            assert tb.servers["worker-new"].serves(query_path(cid))
+        # Placement and physical exports agree exactly after the trim.
+        for cid in tb.placement.chunk_ids:
+            assert sorted(tb.placement.replicas(cid)) == sorted(
+                s.name for s in tb.repair.exporters(cid)
+            )
+        # Kill the other replicas of one hosted chunk: the joined node
+        # is now the only source, so the query must route through it.
+        cid = sorted(hosted)[0]
+        for name in tb.placement.replicas(cid):
+            if name != "worker-new":
+                tb.servers[name].fail()
+        r = tb.query("SELECT COUNT(*) FROM Object")
+        assert int(r.table.column("COUNT(*)")[0]) == 600
+        assert "worker-new" in r.stats.workers_used
+
+    def test_join_duplicate_rejected(self, tb):
+        with pytest.raises(MembershipError):
+            tb.membership.join(tb.placement.nodes[0])
+
+    def test_join_copies_replicated_tables(self, tb):
+        worker = tb.membership.join("worker-new")
+        peer = tb.workers[tb.placement.nodes[0]]
+        whole = [
+            n
+            for n in peer.db.tables
+            if not (n.split("_")[-1].isdigit() and "_" in n)
+        ]
+        for name in whole:
+            assert name in worker.db.tables

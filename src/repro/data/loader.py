@@ -42,6 +42,7 @@ def load_tables(
     worker_dbs: dict[str, Database],
     secondary_index: SecondaryIndex | None = None,
     checksums=None,
+    stores=None,
 ) -> LoadReport:
     """Partition ``tables`` onto ``worker_dbs`` according to ``placement``.
 
@@ -54,20 +55,33 @@ def load_tables(
     replicas are byte-identical in the wire encoding, so ingest is the
     one moment the ground truth is known for free.  The integrity
     scrubber verifies replicas against these for the catalog's lifetime.
+
+    ``stores`` optionally maps node name to a
+    :class:`~repro.sql.colstore.ColumnStore`; tables landing on those
+    nodes are persisted to disk and installed as mmap-backed tables, so
+    a node's hosted data is bounded by its residency budget, not RAM.
     """
     report = LoadReport()
+    stores = stores or {}
     for name, table in tables.items():
         if not metadata.is_partitioned(name):
             # Unpartitioned tables are replicated whole to every node.
-            for db in worker_dbs.values():
-                db.create_table(table.rename(name), overwrite=True)
+            for node, db in worker_dbs.items():
+                _install(db, stores.get(node), table.rename(name))
             report.rows_loaded[name] = table.num_rows * len(worker_dbs)
             continue
         _load_partitioned(
             name, table, metadata, chunker, placement, worker_dbs, report,
-            secondary_index, checksums,
+            secondary_index, checksums, stores,
         )
     return report
+
+
+def _install(db: Database, store, table: Table) -> None:
+    """Register ``table`` on ``db``, through the node's store if it has one."""
+    if store is not None:
+        table = store.save_table(table, table.name)
+    db.create_table(table, overwrite=True)
 
 
 def _load_partitioned(
@@ -80,7 +94,9 @@ def _load_partitioned(
     report: LoadReport,
     secondary_index: SecondaryIndex | None,
     checksums=None,
+    stores=None,
 ) -> None:
+    stores = stores or {}
     info = metadata.info(name)
     ra = table.column(info.ra_column)
     dec = table.column(info.dec_column)
@@ -134,9 +150,10 @@ def _load_partitioned(
                 )
         for node in placement.replicas(cid):
             db = worker_dbs[node]
-            db.create_table(chunk_table.rename(chunk_table.name), overwrite=True)
+            store = stores.get(node)
+            _install(db, store, chunk_table.rename(chunk_table.name))
             if overlap_table is not None:
-                db.create_table(overlap_table.rename(overlap_table.name), overwrite=True)
+                _install(db, store, overlap_table.rename(overlap_table.name))
         loaded += 1
         total_rows += len(rows)
         if len(rows) == 0:

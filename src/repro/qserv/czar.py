@@ -66,6 +66,7 @@ from ..partition import Chunker
 from ..sql import Database, Table
 from ..sql.dump import load_dump
 from ..sql.engine import ResultTable
+from ..sql.kernels import KernelCache
 from ..sql.wire import decode_table, is_wire_payload
 from ..xrd import RedirectError, XrdClient, Redirector
 from ..xrd.filesystem import FileSystemError
@@ -389,6 +390,12 @@ class Czar:
         self.wire_format = wire_format
         self._merge_counter = itertools.count()
         self._merge_lock = make_lock("Czar._merge_lock")
+        # One compiled-kernel cache shared by every per-query merge
+        # Database: merge queries repeat the same shapes (same select
+        # list over qserv_merge_N), so compiling once per czar -- not
+        # once per user query -- keeps the merge stage on the fused
+        # path from the second query on.
+        self._merge_kernel_cache = KernelCache()
         self._pool: Optional[ThreadPoolExecutor] = (
             ThreadPoolExecutor(
                 max_workers=dispatch_parallelism,
@@ -590,7 +597,10 @@ class Czar:
                     )
                     stats.used_region_restriction = analysis.region is not None
 
-                merge_db = Database(self.metadata.database)
+                merge_db = Database(
+                    self.metadata.database,
+                    kernel_cache=self._merge_kernel_cache,
+                )
                 payloads = self._dispatch_and_collect(
                     specs,
                     stats,
@@ -910,7 +920,10 @@ class Czar:
         """
         if is_wire_payload(data):
             try:
-                return "binary", decode_table(data)
+                # Zero-copy decode: columns are read-only views over the
+                # response buffer; the merge's Table.concat reads them
+                # directly and allocates only the concatenated output.
+                return "binary", decode_table(data, copy=False)
             except Exception as e:
                 raise _PayloadError(f"corrupt binary result payload: {e}") from e
         try:

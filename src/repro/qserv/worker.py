@@ -114,6 +114,13 @@ class QservWorker(OfsPlugin):
         ``-- DEADLINE:`` header tightens the wait further, so a hung
         executor surfaces to the master as a missing result within the
         query's budget instead of deadlocking the read.
+    store:
+        Optional :class:`~repro.sql.colstore.ColumnStore`.  When set,
+        chunk tables installed over the wire (repair copies, loader
+        pushes) are persisted to disk and registered as mmap-backed
+        tables, so this worker can host chunk data far larger than its
+        residency budget.  ``None`` (default) keeps the paper-era
+        all-in-RAM behaviour.
     """
 
     def __init__(
@@ -124,6 +131,7 @@ class QservWorker(OfsPlugin):
         cache_sub_chunks: bool = False,
         cache_results: bool = False,
         result_wait_timeout: float = 300.0,
+        store=None,
     ):
         if slots < 0:
             raise ValueError("slots must be >= 0")
@@ -131,6 +139,7 @@ class QservWorker(OfsPlugin):
             raise ValueError("result_wait_timeout must be > 0")
         self.name = name
         self.db = db or Database("LSST")
+        self.store = store
         self.cache_sub_chunks = cache_sub_chunks
         self.cache_results = cache_results
         self.result_wait_timeout = result_wait_timeout
@@ -549,6 +558,11 @@ class QservWorker(OfsPlugin):
         if table.name != table_name:
             table = table.rename(table_name)
         with self._build_lock:
+            if self.store is not None:
+                # Persist to the on-disk column store and serve the
+                # chunk through its mmap handle: installs never hold
+                # the full table in RAM past this decode.
+                table = self.store.save_table(table, table_name)
             self.db.create_table(table, overwrite=True)
         self.metrics.counter("worker.chunks.installed").add(1)
 

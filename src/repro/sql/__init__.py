@@ -22,14 +22,26 @@ relational engine with
   (:mod:`~repro.sql.engine`), and
 - ``mysqldump``-style table serialization used for results transfer
   (:mod:`~repro.sql.dump`), and the binary columnar wire format that
-  replaces it on the hot path (:mod:`~repro.sql.wire`).
+  replaces it on the hot path (:mod:`~repro.sql.wire`),
+- a compiler that fuses each chunk-query plan into one cached NumPy
+  kernel (:mod:`~repro.sql.kernels`), and an mmap-backed on-disk
+  column store so workers host datasets larger than RAM
+  (:mod:`~repro.sql.colstore`).
 """
 
 from .table import Column, Table
 from .engine import Database, ResultTable, SqlError
+from .kernels import KernelCache
+from .colstore import ColumnStore, MmapTable, ResidencyBudget
 from .dump import dump_table, load_dump
 from .functions import FUNCTIONS, register_function
-from .wire import WireFormatError, decode_table, encode_table, is_wire_payload
+from .wire import (
+    WireFormatError,
+    decode_table,
+    encode_table,
+    encode_table_parts,
+    is_wire_payload,
+)
 
 __all__ = [
     "Column",
@@ -37,9 +49,14 @@ __all__ = [
     "Database",
     "ResultTable",
     "SqlError",
+    "KernelCache",
+    "ColumnStore",
+    "MmapTable",
+    "ResidencyBudget",
     "dump_table",
     "load_dump",
     "encode_table",
+    "encode_table_parts",
     "decode_table",
     "is_wire_payload",
     "WireFormatError",

@@ -21,13 +21,18 @@ rejected at parse time just as in the paper's prototype.
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
 import numpy as np
 
+from ..obs import trace as obs_trace
 from . import ast
+from . import kernels as _kernels
+from .errors import SqlError
 from .expr_eval import Environment, contains_aggregate, evaluate
 from .index import HashIndex
+from .kernels import KernelCache
 from .parser import ParseError, parse
 from .table import Column, Table
 
@@ -40,10 +45,6 @@ MAX_CROSS_PAIRS = 30_000_000
 # Sentinel row-index meaning "every row, original order" (avoids paying
 # for an arange and identity comparisons on the hot full-scan path).
 _IDENTITY = object()
-
-
-class SqlError(Exception):
-    """Execution-level SQL error (unknown table, type clash, ...)."""
 
 
 class ResultTable(Table):
@@ -59,10 +60,22 @@ class Database:
     too.
     """
 
-    def __init__(self, name: str = "LSST"):
+    def __init__(
+        self,
+        name: str = "LSST",
+        use_kernels: bool | None = None,
+        kernel_cache: KernelCache | None = None,
+    ):
+        if use_kernels is None:
+            use_kernels = os.environ.get("REPRO_KERNELS", "1") != "0"
         self.name = name
         self.tables: dict[str, Table] = {}
         self._indexes: dict[tuple[str, str], HashIndex] = {}
+        self.use_kernels = use_kernels
+        if kernel_cache is not None:
+            self.kernel_cache = kernel_cache
+        else:
+            self.kernel_cache = KernelCache() if use_kernels else None
 
     # -- catalog management -----------------------------------------------------
 
@@ -192,6 +205,15 @@ class Database:
     # -- SELECT --------------------------------------------------------------------
 
     def _exec_select(self, sel: ast.Select) -> ResultTable:
+        kernel_cols = self._try_kernel(sel)
+        if kernel_cols is not None:
+            result = ResultTable("result", kernel_cols)
+            if sel.distinct:
+                result = _distinct(result)
+            # Kernel compilation guaranteed every ORDER BY key resolves
+            # against the output columns, so no row env is needed here.
+            return self._order_and_limit(sel, result, Environment({}, result.num_rows))
+
         bound = self._bind_tables(sel)
         env = self._join_and_filter(sel, bound)
 
@@ -205,6 +227,36 @@ class Database:
             result = _distinct(result)
         result = self._order_and_limit(sel, result, env)
         return result
+
+    def _try_kernel(self, sel: ast.Select) -> Optional[dict[str, np.ndarray]]:
+        """Result columns from the compiled-kernel fast path, or None.
+
+        The kernel path only claims queries it can answer bit-identically
+        to the interpreter; anything else (joins, indexed tables where
+        the section-5.5 point-lookup probe should win, unknown names --
+        which must raise the interpreter's errors) returns None.
+        """
+        cache = self.kernel_cache
+        if cache is None or not self.use_kernels:
+            return None
+        if len(sel.tables) != 1 or sel.joins:
+            return None
+        ref = sel.tables[0]
+        if ref.database is not None and ref.database != self.name:
+            return None
+        table = self.tables.get(ref.table)
+        if table is None:
+            return None
+        if any(key[0] == ref.table for key in self._indexes):
+            return None
+        kernel = cache.get_or_compile(sel, table.schema())
+        sp = obs_trace.current_span()
+        if sp is not None:
+            sp.set(kernel=kernel is not None)
+        if kernel is None:
+            return None
+        _kernels.obs_metrics.counter("kernel.executions").add(1)
+        return kernel(table)
 
     # -- binding and joining ----------------------------------------------------------
 
@@ -335,12 +387,19 @@ class Database:
         return None
 
     def _eval_on_partial(self, expr: ast.Expr, idx, tables):
+        # Only the columns the expression touches are materialized --
+        # on an mmap-backed table this avoids faulting in every column.
+        wanted = _expr_columns(expr)
         cols = {}
         length = None
         for n, rows in idx.items():
-            for cname, arr in tables[n].columns().items():
+            table = tables[n]
+            for cname in table.column_names:
+                if cname not in wanted:
+                    continue
+                arr = table.column(cname)
                 cols[(n, cname)] = arr if rows is _IDENTITY else arr[rows]
-            length = tables[n].num_rows if rows is _IDENTITY else len(rows)
+            length = table.num_rows if rows is _IDENTITY else len(rows)
         env = Environment(cols, length or 0)
         return np.asarray(evaluate(expr, env))
 
@@ -349,6 +408,8 @@ class Database:
 
         With a single table and the identity index, columns are passed
         through as views (no copies) -- the common full-scan path.
+        Columns are fetched by name so mmap-backed tables only map what
+        the query references.
         """
         referenced = _referenced_columns(sel)
         cols: dict[tuple[str, str], np.ndarray] = {}
@@ -358,9 +419,10 @@ class Database:
             identity = rows is _IDENTITY
             length = table.num_rows if identity else len(rows)
             want_all = _wants_all_columns(sel, n)
-            for cname, arr in table.columns().items():
+            for cname in table.column_names:
                 if not want_all and (cname not in referenced):
                     continue
+                arr = table.column(cname)
                 cols[(n, cname)] = arr if identity else arr[rows]
         return Environment(cols, length)
 
@@ -368,177 +430,15 @@ class Database:
 
     def _collect_aggregates(self, sel: ast.Select) -> list[ast.FuncCall]:
         """All distinct aggregate calls in select list, HAVING, and ORDER BY."""
-        found: dict[ast.FuncCall, None] = {}
-
-        def walk(expr):
-            if expr is None:
-                return
-            if isinstance(expr, ast.FuncCall):
-                if expr.is_aggregate:
-                    found.setdefault(expr)
-                    return
-                for a in expr.args:
-                    walk(a)
-            elif isinstance(expr, ast.BinaryOp):
-                walk(expr.left)
-                walk(expr.right)
-            elif isinstance(expr, ast.UnaryOp):
-                walk(expr.operand)
-            elif isinstance(expr, ast.Between):
-                walk(expr.value), walk(expr.low), walk(expr.high)
-            elif isinstance(expr, ast.InList):
-                walk(expr.value)
-                for i in expr.items:
-                    walk(i)
-            elif isinstance(expr, ast.IsNull):
-                walk(expr.value)
-
-        for item in sel.items:
-            walk(item.expr)
-        walk(sel.having)
-        for o in sel.order_by:
-            walk(o.expr)
-        return list(found)
+        return _kernels.collect_aggregates(sel)
 
     def _grouped_projection(
         self, sel: ast.Select, env: Environment, aggregates: list[ast.FuncCall]
     ) -> ResultTable:
-        n = env.length
-        if sel.group_by:
-            keys = []
-            for gexpr in sel.group_by:
-                arr = np.asarray(evaluate(gexpr, env))
-                if arr.ndim == 0:
-                    arr = np.full(n, arr)
-                keys.append(arr)
-            if n == 0:
-                group_starts = np.empty(0, dtype=np.int64)
-                order = np.empty(0, dtype=np.int64)
-            else:
-                order = np.lexsort(keys[::-1])
-                sorted_keys = [k[order] for k in keys]
-                changed = np.zeros(n, dtype=bool)
-                changed[0] = True
-                for k in sorted_keys:
-                    changed[1:] |= k[1:] != k[:-1]
-                group_starts = np.flatnonzero(changed)
-        else:
-            # One global group (even over zero rows: COUNT(*) = 0).
-            order = np.arange(n)
-            group_starts = np.array([0], dtype=np.int64)
-
-        num_groups = len(group_starts)
-        agg_values: dict[ast.FuncCall, np.ndarray] = {}
-        for agg in aggregates:
-            agg_values[agg] = self._compute_aggregate(agg, env, order, group_starts, n)
-
-        # Representative-row environment: first member of each group.
-        if n > 0:
-            rep_rows = order[group_starts[group_starts < n]]
-        else:
-            rep_rows = np.empty(0, dtype=np.int64)
-        rep_cols = {}
-        for key, arr in env.columns.items():
-            if n > 0:
-                rep_cols[key] = arr[rep_rows]
-            else:
-                rep_cols[key] = arr[:0]
-        # For a global aggregate over zero rows there is still one output
-        # group; representative columns are empty, which is fine because
-        # projection expressions must be pure aggregates in that case.
-        rep_env = Environment(rep_cols, num_groups if n > 0 else num_groups)
-
-        out_cols: dict[str, np.ndarray] = {}
-        for item in sel.items:
-            name = item.output_name()
-            if contains_aggregate(item.expr):
-                val = evaluate(item.expr, rep_env, aggregates=agg_values)
-            else:
-                if n == 0 and not sel.group_by:
-                    raise SqlError(
-                        f"non-aggregate select item {name!r} in a global "
-                        "aggregate over an empty table"
-                    )
-                val = evaluate(item.expr, rep_env)
-            val = np.asarray(val)
-            if val.ndim == 0:
-                val = np.full(num_groups, val)
-            out_cols[name] = val
-
-        result = ResultTable("result", out_cols)
-
-        if sel.having is not None:
-            mask = np.asarray(evaluate(sel.having, rep_env, aggregates=agg_values))
-            if mask.dtype != bool:
-                mask = mask != 0
-            result = ResultTable("result", {k: v[mask] for k, v in result.columns().items()})
-        return result
-
-    def _compute_aggregate(self, agg, env, order, group_starts, n) -> np.ndarray:
-        name = agg.name.upper()
-        num_groups = len(group_starts)
-        if n == 0:
-            if name == "COUNT":
-                return np.zeros(num_groups, dtype=np.int64)
-            return np.full(num_groups, np.nan)
-
-        is_star = len(agg.args) == 1 and isinstance(agg.args[0], ast.Star)
-        if name == "COUNT" and is_star:
-            ends = np.append(group_starts[1:], n)
-            return (ends - group_starts).astype(np.int64)
-
-        if is_star:
-            raise SqlError(f"{name}(*) is only valid for COUNT")
-        arr = np.asarray(evaluate(agg.args[0], env))
-        if arr.ndim == 0:
-            arr = np.full(n, arr)
-        sorted_vals = arr[order]
-        ends = np.append(group_starts[1:], n)
-
-        if name == "COUNT":
-            if agg.distinct:
-                # Distinct count per group: sort values inside each group
-                # and count boundaries.  Values were sorted by group only,
-                # so do a (group, value) lexsort.
-                gid = np.repeat(np.arange(num_groups), ends - group_starts)
-                so = np.lexsort((sorted_vals, gid))
-                sv, sg = sorted_vals[so], gid[so]
-                newval = np.ones(n, dtype=bool)
-                newval[1:] = (sv[1:] != sv[:-1]) | (sg[1:] != sg[:-1])
-                return np.bincount(sg[newval], minlength=num_groups).astype(np.int64)
-            if np.issubdtype(sorted_vals.dtype, np.floating):
-                valid = (~np.isnan(sorted_vals)).astype(np.int64)
-                return np.add.reduceat(valid, group_starts)
-            return (ends - group_starts).astype(np.int64)
-
-        if name == "SUM" and np.issubdtype(sorted_vals.dtype, np.integer):
-            # Integer sums stay integer (MySQL semantics for COUNT merges).
-            return np.add.reduceat(sorted_vals, group_starts)
-        vals = sorted_vals.astype(np.float64, copy=False) if name in ("SUM", "AVG") else sorted_vals
-        if name == "SUM":
-            # MySQL: SUM ignores NULLs, but a group of only NULLs sums
-            # to NULL (NaN), not 0.
-            valid = ~np.isnan(vals)
-            sums = np.add.reduceat(np.where(valid, vals, 0.0), group_starts)
-            counts = np.add.reduceat(valid.astype(np.int64), group_starts)
-            return np.where(counts > 0, sums, np.nan)
-        if name == "AVG":
-            valid = ~np.isnan(vals)
-            sums = np.add.reduceat(np.where(valid, vals, 0.0), group_starts)
-            counts = np.add.reduceat(valid.astype(np.float64), group_starts)
-            with np.errstate(invalid="ignore", divide="ignore"):
-                return sums / counts
-        if name in ("MIN", "MAX"):
-            # MySQL MIN/MAX ignore NULLs; a group of only NULLs yields
-            # NULL.  np.fmin/fmax skip NaN (vs minimum/maximum, which
-            # propagate it) -- essential when merging per-chunk partials
-            # where empty chunks contributed NULL.
-            if np.issubdtype(vals.dtype, np.floating):
-                op = np.fmin if name == "MIN" else np.fmax
-                return op.reduceat(vals, group_starts)
-            op = np.minimum if name == "MIN" else np.maximum
-            return op.reduceat(vals, group_starts)
-        raise SqlError(f"unsupported aggregate {name}")
+        # Grouping, aggregation (MySQL NULL semantics), and HAVING live
+        # in repro.sql.kernels and are shared verbatim with the compiled
+        # kernels, so the two paths cannot diverge.
+        return ResultTable("result", _kernels.grouped_projection(sel, env, aggregates))
 
     # -- projection ---------------------------------------------------------------------
 
@@ -663,13 +563,35 @@ def _distinct(result: ResultTable) -> ResultTable:
     )
 
 
-def _split_conjuncts(expr: Optional[ast.Expr]) -> list[ast.Expr]:
-    """Flatten a chain of ANDs into a conjunct list."""
-    if expr is None:
-        return []
-    if isinstance(expr, ast.BinaryOp) and expr.op.upper() == "AND":
-        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
-    return [expr]
+# Shared with the compiled-kernel planner.
+_split_conjuncts = _kernels.split_conjuncts
+
+
+def _expr_columns(expr: ast.Expr) -> set[str]:
+    """Unqualified column names referenced by one expression."""
+    out: set[str] = set()
+
+    def walk(e):
+        if isinstance(e, ast.ColumnRef):
+            out.add(e.column)
+        elif isinstance(e, ast.FuncCall):
+            for a in e.args:
+                walk(a)
+        elif isinstance(e, ast.BinaryOp):
+            walk(e.left), walk(e.right)
+        elif isinstance(e, ast.UnaryOp):
+            walk(e.operand)
+        elif isinstance(e, ast.Between):
+            walk(e.value), walk(e.low), walk(e.high)
+        elif isinstance(e, ast.InList):
+            walk(e.value)
+            for i in e.items:
+                walk(i)
+        elif isinstance(e, ast.IsNull):
+            walk(e.value)
+
+    walk(expr)
+    return out
 
 
 def _expr_tables(expr: ast.Expr) -> set[str]:
@@ -735,42 +657,7 @@ def _equi_join(left_vals: np.ndarray, right_vals: np.ndarray):
     return left_idx, right_idx
 
 
-def _referenced_columns(sel: ast.Select) -> set[str]:
-    """Unqualified column names referenced anywhere in the query."""
-    out: set[str] = set()
-
-    def walk(e):
-        if e is None:
-            return
-        if isinstance(e, ast.ColumnRef):
-            out.add(e.column)
-        elif isinstance(e, ast.FuncCall):
-            for a in e.args:
-                walk(a)
-        elif isinstance(e, ast.BinaryOp):
-            walk(e.left), walk(e.right)
-        elif isinstance(e, ast.UnaryOp):
-            walk(e.operand)
-        elif isinstance(e, ast.Between):
-            walk(e.value), walk(e.low), walk(e.high)
-        elif isinstance(e, ast.InList):
-            walk(e.value)
-            for i in e.items:
-                walk(i)
-        elif isinstance(e, ast.IsNull):
-            walk(e.value)
-
-    for item in sel.items:
-        walk(item.expr)
-    walk(sel.where)
-    for g in sel.group_by:
-        walk(g)
-    walk(sel.having)
-    for o in sel.order_by:
-        walk(o.expr)
-    for j in sel.joins:
-        walk(j.on)
-    return out
+_referenced_columns = _kernels.referenced_columns
 
 
 def _wants_all_columns(sel: ast.Select, table_name: str) -> bool:

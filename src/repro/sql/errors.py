@@ -1,0 +1,15 @@
+"""Execution-level SQL errors.
+
+Lives in its own leaf module so both the interpreter
+(:mod:`repro.sql.engine`) and the compiled-kernel runtime
+(:mod:`repro.sql.kernels`) raise the *same* exception type for the
+same query without importing each other.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SqlError"]
+
+
+class SqlError(Exception):
+    """Execution-level SQL error (unknown table, type clash, ...)."""

@@ -17,7 +17,14 @@ import numpy as np
 from . import ast
 from .functions import call_function
 
-__all__ = ["Environment", "evaluate", "contains_aggregate", "EvalError"]
+__all__ = [
+    "Environment",
+    "evaluate",
+    "contains_aggregate",
+    "EvalError",
+    "literal_in_values",
+    "in_list_mask",
+]
 
 
 class EvalError(ValueError):
@@ -86,6 +93,61 @@ def contains_aggregate(expr: ast.Expr) -> bool:
     return False
 
 
+def literal_in_values(items) -> np.ndarray | None:
+    """Candidate array for the ``np.isin`` IN-list fast path, or None.
+
+    The fast path is only taken when it is provably equivalent to the
+    per-item equality loop: every item is a plain literal and the values
+    are homogeneous -- all numeric (NaN-free: the sort-based ``np.isin``
+    would treat NaN == NaN, the loop does not) or all strings.  Shared
+    by the interpreter and the compiled kernels so the decision can
+    never diverge between the two paths.
+    """
+    values = []
+    for item in items:
+        if not isinstance(item, ast.Literal):
+            return None
+        values.append(item.value)
+    if not values:
+        return None
+    if all(
+        isinstance(v, (int, float)) and not isinstance(v, bool) for v in values
+    ):
+        if any(isinstance(v, float) for v in values):
+            arr = np.asarray(values, dtype=np.float64)
+            if np.isnan(arr).any():
+                return None
+            return arr
+        return np.asarray(values, dtype=np.int64)
+    if all(isinstance(v, str) for v in values):
+        return np.asarray(values, dtype=object)
+    return None
+
+
+def in_list_mask(val, candidates, item_values) -> np.ndarray:
+    """Membership mask for ``val IN (...)`` (negation is the caller's job).
+
+    ``candidates`` is the array from :func:`literal_in_values` (or None);
+    ``item_values`` the already-evaluated item values for the loop path.
+    One ``np.isin`` pass replaces the O(items x rows) equality loop when
+    the value array's dtype makes the two provably equivalent; the loop
+    is kept for non-literal items and mixed-dtype comparisons.
+    """
+    val = np.asarray(val)
+    if candidates is not None:
+        if candidates.dtype == object:
+            safe = val.dtype == object
+        else:
+            safe = val.dtype == np.bool_ or np.issubdtype(val.dtype, np.number)
+        if safe and val.ndim > 0:
+            return np.isin(val, candidates)
+        item_values = candidates  # literal values; fall through to the loop
+    out = np.zeros(val.shape, dtype=bool)
+    for iv in item_values:
+        out |= val == iv
+    return out
+
+
 def evaluate(expr: ast.Expr, env: Environment, aggregates: dict | None = None):
     """Evaluate ``expr`` to a NumPy array (or scalar for literal-only input).
 
@@ -130,11 +192,13 @@ def evaluate(expr: ast.Expr, env: Environment, aggregates: dict | None = None):
         out = (val >= low) & (val <= high)
         return ~out if expr.negated else out
     if isinstance(expr, ast.InList):
-        val = evaluate(expr.value, env, aggregates)
-        val = np.asarray(val)
-        out = np.zeros(val.shape, dtype=bool)
-        for item in expr.items:
-            out |= val == evaluate(item, env, aggregates)
+        val = np.asarray(evaluate(expr.value, env, aggregates))
+        candidates = literal_in_values(expr.items)
+        if candidates is None:
+            items = [evaluate(item, env, aggregates) for item in expr.items]
+        else:
+            items = None
+        out = in_list_mask(val, candidates, items)
         return ~out if expr.negated else out
     if isinstance(expr, ast.IsNull):
         val = np.asarray(evaluate(expr.value, env, aggregates))

@@ -1,0 +1,878 @@
+"""Compiled fused query kernels (the per-node engine fast path).
+
+The interpreter in :mod:`repro.sql.engine` walks the AST node-by-node
+for every statement, allocating an intermediate array per operator and
+evaluating every WHERE conjunct over the full table.  Chunk queries are
+templates, though: the czar dispatches the *same* rewritten SELECT to
+hundreds of chunk tables, so the per-query plan is worth compiling
+once and replaying.  This module compiles a single-table SELECT into
+one fused, cached callable:
+
+- **Mask stage** (codegen): all *cheap* WHERE conjuncts -- comparisons,
+  BETWEEN, IN lists (``np.isin`` for literal lists), IS NULL, boolean
+  combinations -- are emitted as one generated Python/NumPy function
+  that folds conjunct masks together with ``np.logical_and(..., out=m)``
+  scratch reuse instead of N ``evaluate`` dispatches.
+- **Survivor stages** (codegen): conjuncts containing function calls
+  (the expensive UDFs: ``fluxToAbMag``, spherical-geometry predicates)
+  are compiled into per-conjunct functions that run only on the rows
+  surviving the cheap mask -- a selective spatial cut means the UDF
+  touches a few percent of the table instead of all of it.  All
+  registered functions are elementwise, so survivor-order evaluation is
+  bit-identical to full-table evaluation.
+- **Projection stage**: plain projections are codegen'd over the
+  gathered survivor columns; grouped/aggregate queries go through the
+  *shared* group/reduce helpers below (:func:`grouped_projection` /
+  :func:`compute_aggregate`), which are also what the interpreter
+  calls -- a single source of truth, so kernel aggregation cannot
+  diverge from interpreted aggregation by construction.
+
+Kernels are cached in a :class:`KernelCache` (the worker-side analogue
+of the czar plan cache) keyed by *normalized* SQL -- the physical chunk
+table name is replaced by a placeholder so ``Object_713`` and
+``Object_714`` share one kernel -- plus the table's schema signature.
+Cache traffic is exported as ``kernel.cache.*`` metrics and annotated
+on the enclosing trace span.
+
+Queries a kernel cannot express (joins, multi-table FROM, shapes that
+need the interpreter's fallback behaviours) raise
+:class:`KernelFallback` at compile time; the negative result is cached
+too, so the decision costs one dict hit per statement.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import replace
+
+import numpy as np
+
+from ..analysis.sanitizer import make_lock
+from ..obs import metrics as obs_metrics
+from . import ast
+from .errors import SqlError
+from .expr_eval import (
+    Environment,
+    contains_aggregate,
+    evaluate,
+    in_list_mask,
+    literal_in_values,
+)
+from .functions import FUNCTIONS
+
+__all__ = [
+    "KernelCache",
+    "CompiledKernel",
+    "KernelFallback",
+    "compile_select",
+    "normalize_select",
+    "split_conjuncts",
+    "referenced_columns",
+    "collect_aggregates",
+    "grouped_projection",
+    "compute_aggregate",
+    "group_structure",
+]
+
+#: Placeholder substituted for the physical table name in cache keys,
+#: so one compiled kernel serves every chunk of the same template.
+TABLE_PLACEHOLDER = "_T_"
+
+
+class KernelFallback(Exception):
+    """The query shape is not kernel-compilable; use the interpreter."""
+
+
+# -- AST helpers shared with the engine -------------------------------------------
+
+
+def split_conjuncts(expr: ast.Expr | None) -> list[ast.Expr]:
+    """Flatten a chain of ANDs into a conjunct list."""
+    if expr is None:
+        return []
+    if isinstance(expr, ast.BinaryOp) and expr.op.upper() == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def _walk(e, fn):
+    if e is None:
+        return
+    fn(e)
+    if isinstance(e, ast.FuncCall):
+        for a in e.args:
+            _walk(a, fn)
+    elif isinstance(e, ast.BinaryOp):
+        _walk(e.left, fn)
+        _walk(e.right, fn)
+    elif isinstance(e, ast.UnaryOp):
+        _walk(e.operand, fn)
+    elif isinstance(e, ast.Between):
+        _walk(e.value, fn)
+        _walk(e.low, fn)
+        _walk(e.high, fn)
+    elif isinstance(e, ast.InList):
+        _walk(e.value, fn)
+        for i in e.items:
+            _walk(i, fn)
+    elif isinstance(e, ast.IsNull):
+        _walk(e.value, fn)
+
+
+def _all_exprs(sel: ast.Select, include_order_by: bool = True):
+    for item in sel.items:
+        yield item.expr
+    if sel.where is not None:
+        yield sel.where
+    for g in sel.group_by:
+        yield g
+    if sel.having is not None:
+        yield sel.having
+    if include_order_by:
+        for o in sel.order_by:
+            yield o.expr
+    for j in sel.joins:
+        if j.on is not None:
+            yield j.on
+
+
+def referenced_columns(sel: ast.Select) -> set[str]:
+    """Unqualified column names referenced anywhere in the query."""
+    out: set[str] = set()
+
+    def fn(e):
+        if isinstance(e, ast.ColumnRef):
+            out.add(e.column)
+
+    for expr in _all_exprs(sel):
+        _walk(expr, fn)
+    return out
+
+
+def collect_aggregates(sel: ast.Select) -> list[ast.FuncCall]:
+    """All distinct aggregate calls in select list, HAVING, and ORDER BY."""
+    found: dict[ast.FuncCall, None] = {}
+
+    def walk(expr):
+        if expr is None:
+            return
+        if isinstance(expr, ast.FuncCall):
+            if expr.is_aggregate:
+                found.setdefault(expr)
+                return
+            for a in expr.args:
+                walk(a)
+        elif isinstance(expr, ast.BinaryOp):
+            walk(expr.left)
+            walk(expr.right)
+        elif isinstance(expr, ast.UnaryOp):
+            walk(expr.operand)
+        elif isinstance(expr, ast.Between):
+            walk(expr.value), walk(expr.low), walk(expr.high)
+        elif isinstance(expr, ast.InList):
+            walk(expr.value)
+            for i in expr.items:
+                walk(i)
+        elif isinstance(expr, ast.IsNull):
+            walk(expr.value)
+
+    for item in sel.items:
+        walk(item.expr)
+    walk(sel.having)
+    for o in sel.order_by:
+        walk(o.expr)
+    return list(found)
+
+
+def _contains_func(expr: ast.Expr) -> bool:
+    """True if the expression contains any function call (aggregate or not)."""
+    found = [False]
+
+    def fn(e):
+        if isinstance(e, ast.FuncCall):
+            found[0] = True
+
+    _walk(expr, fn)
+    return found[0]
+
+
+def normalize_select(sel: ast.Select) -> tuple[ast.Select, str]:
+    """(cache-keyable select, binding name) for a single-table SELECT.
+
+    The physical table name is replaced by :data:`TABLE_PLACEHOLDER` so
+    chunk queries (``... FROM LSST.Object_713 AS Object``) and per-query
+    merge tables (``... FROM qserv_merge_7``) of the same template share
+    one cache entry.  When the table is unaliased *and* its name is used
+    as a column qualifier or in ``t.*``, anonymizing would change result
+    column names, so the select is keyed as-is (still cached, just
+    per-table-name).
+    """
+    ref = sel.tables[0]
+    if ref.alias:
+        # Column refs use the alias; only the physical name moves.
+        anon = replace(
+            sel,
+            tables=(ast.TableRef(table=TABLE_PLACEHOLDER, alias=ref.alias),),
+        )
+        return anon, ref.alias
+
+    binding = ref.table
+    uses_qualifier = [False]
+
+    def check(e):
+        if isinstance(e, (ast.ColumnRef, ast.Star)) and e.table == binding:
+            uses_qualifier[0] = True
+
+    for expr in _all_exprs(sel):
+        _walk(expr, check)
+    if uses_qualifier[0]:
+        return sel, binding
+    return (
+        replace(sel, tables=(ast.TableRef(table=TABLE_PLACEHOLDER),)),
+        TABLE_PLACEHOLDER,
+    )
+
+
+# -- shared group/reduce helpers (used by interpreter AND kernels) ------------------
+
+
+def group_structure(keys: list[np.ndarray], n: int):
+    """(order, group_starts) for GROUP BY keys via lexsort + boundary flags."""
+    if n == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    order = np.lexsort(keys[::-1])
+    sorted_keys = [k[order] for k in keys]
+    changed = np.zeros(n, dtype=bool)
+    changed[0] = True
+    for k in sorted_keys:
+        changed[1:] |= k[1:] != k[:-1]
+    return order, np.flatnonzero(changed)
+
+
+def compute_aggregate(agg: ast.FuncCall, env: Environment, order, group_starts, n):
+    """One aggregate column over pre-sorted groups (MySQL NULL semantics)."""
+    name = agg.name.upper()
+    num_groups = len(group_starts)
+    if n == 0:
+        if name == "COUNT":
+            return np.zeros(num_groups, dtype=np.int64)
+        return np.full(num_groups, np.nan)
+
+    is_star = len(agg.args) == 1 and isinstance(agg.args[0], ast.Star)
+    if name == "COUNT" and is_star:
+        ends = np.append(group_starts[1:], n)
+        return (ends - group_starts).astype(np.int64)
+
+    if is_star:
+        raise SqlError(f"{name}(*) is only valid for COUNT")
+    arr = np.asarray(evaluate(agg.args[0], env))
+    if arr.ndim == 0:
+        arr = np.full(n, arr)
+    sorted_vals = arr[order]
+    ends = np.append(group_starts[1:], n)
+
+    if name == "COUNT":
+        if agg.distinct:
+            # Distinct count per group: sort values inside each group
+            # and count boundaries.  Values were sorted by group only,
+            # so do a (group, value) lexsort.
+            gid = np.repeat(np.arange(num_groups), ends - group_starts)
+            so = np.lexsort((sorted_vals, gid))
+            sv, sg = sorted_vals[so], gid[so]
+            newval = np.ones(n, dtype=bool)
+            newval[1:] = (sv[1:] != sv[:-1]) | (sg[1:] != sg[:-1])
+            return np.bincount(sg[newval], minlength=num_groups).astype(np.int64)
+        if np.issubdtype(sorted_vals.dtype, np.floating):
+            valid = (~np.isnan(sorted_vals)).astype(np.int64)
+            return np.add.reduceat(valid, group_starts)
+        return (ends - group_starts).astype(np.int64)
+
+    if name == "SUM" and np.issubdtype(sorted_vals.dtype, np.integer):
+        # Integer sums stay integer (MySQL semantics for COUNT merges).
+        return np.add.reduceat(sorted_vals, group_starts)
+    vals = (
+        sorted_vals.astype(np.float64, copy=False)
+        if name in ("SUM", "AVG")
+        else sorted_vals
+    )
+    if name == "SUM":
+        # MySQL: SUM ignores NULLs, but a group of only NULLs sums
+        # to NULL (NaN), not 0.
+        valid = ~np.isnan(vals)
+        sums = np.add.reduceat(np.where(valid, vals, 0.0), group_starts)
+        counts = np.add.reduceat(valid.astype(np.int64), group_starts)
+        return np.where(counts > 0, sums, np.nan)
+    if name == "AVG":
+        valid = ~np.isnan(vals)
+        sums = np.add.reduceat(np.where(valid, vals, 0.0), group_starts)
+        counts = np.add.reduceat(valid.astype(np.float64), group_starts)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return sums / counts
+    if name in ("MIN", "MAX"):
+        # MySQL MIN/MAX ignore NULLs; a group of only NULLs yields
+        # NULL.  np.fmin/fmax skip NaN (vs minimum/maximum, which
+        # propagate it) -- essential when merging per-chunk partials
+        # where empty chunks contributed NULL.
+        if np.issubdtype(vals.dtype, np.floating):
+            op = np.fmin if name == "MIN" else np.fmax
+            return op.reduceat(vals, group_starts)
+        op = np.minimum if name == "MIN" else np.maximum
+        return op.reduceat(vals, group_starts)
+    raise SqlError(f"unsupported aggregate {name}")
+
+
+def grouped_projection(
+    sel: ast.Select, env: Environment, aggregates: list[ast.FuncCall]
+) -> dict[str, np.ndarray]:
+    """Group, aggregate, project, and apply HAVING; returns result columns.
+
+    This is the single implementation behind both the interpreter's
+    grouped path and the compiled kernels' aggregate stage.
+    """
+    n = env.length
+    if sel.group_by:
+        keys = []
+        for gexpr in sel.group_by:
+            arr = np.asarray(evaluate(gexpr, env))
+            if arr.ndim == 0:
+                arr = np.full(n, arr)
+            keys.append(arr)
+        order, group_starts = group_structure(keys, n)
+    else:
+        # One global group (even over zero rows: COUNT(*) = 0).
+        order = np.arange(n)
+        group_starts = np.array([0], dtype=np.int64)
+
+    num_groups = len(group_starts)
+    agg_values: dict[ast.FuncCall, np.ndarray] = {}
+    for agg in aggregates:
+        agg_values[agg] = compute_aggregate(agg, env, order, group_starts, n)
+
+    # Representative-row environment: first member of each group.
+    if n > 0:
+        rep_rows = order[group_starts[group_starts < n]]
+    else:
+        rep_rows = np.empty(0, dtype=np.int64)
+    rep_cols = {}
+    for key, arr in env.columns.items():
+        if n > 0:
+            rep_cols[key] = arr[rep_rows]
+        else:
+            rep_cols[key] = arr[:0]
+    # For a global aggregate over zero rows there is still one output
+    # group; representative columns are empty, which is fine because
+    # projection expressions must be pure aggregates in that case.
+    rep_env = Environment(rep_cols, num_groups)
+
+    out_cols: dict[str, np.ndarray] = {}
+    for item in sel.items:
+        name = item.output_name()
+        if contains_aggregate(item.expr):
+            val = evaluate(item.expr, rep_env, aggregates=agg_values)
+        else:
+            if n == 0 and not sel.group_by:
+                raise SqlError(
+                    f"non-aggregate select item {name!r} in a global "
+                    "aggregate over an empty table"
+                )
+            val = evaluate(item.expr, rep_env)
+        val = np.asarray(val)
+        if val.ndim == 0:
+            val = np.full(num_groups, val)
+        out_cols[name] = val
+
+    if sel.having is not None:
+        mask = np.asarray(evaluate(sel.having, rep_env, aggregates=agg_values))
+        if mask.dtype != bool:
+            mask = mask != 0
+        out_cols = {k: v[mask] for k, v in out_cols.items()}
+    return out_cols
+
+
+# -- codegen runtime helpers --------------------------------------------------------
+#
+# Each helper mirrors one interpreter behaviour exactly (same ufuncs,
+# same errstate guards, same coercions), so a generated expression is
+# bit-identical to the evaluate() walk it replaces.
+
+
+class _Helpers:
+    np = np
+    nan = np.nan
+
+    @staticmethod
+    def as_bool(val):
+        arr = np.asarray(val)
+        if arr.dtype == bool:
+            return arr
+        return arr != 0
+
+    @staticmethod
+    def as_mask(val, n):
+        """Coerce a conjunct result to a boolean mask of length n."""
+        arr = np.asarray(val)
+        if arr.dtype != bool:
+            arr = arr != 0
+        if arr.ndim == 0:
+            arr = np.full(n, bool(arr))
+        return arr
+
+    @staticmethod
+    def as_col(val, n):
+        """Coerce a projection result to a column of length n."""
+        arr = np.asarray(val)
+        if arr.ndim == 0:
+            arr = np.full(n, val)
+        return arr
+
+    @staticmethod
+    def div(left, right):
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.divide(left, np.asarray(right, dtype=np.float64))
+
+    @staticmethod
+    def between(val, low, high, negated):
+        out = (val >= low) & (val <= high)
+        return ~out if negated else out
+
+    @staticmethod
+    def in_list(val, candidates, items):
+        return in_list_mask(val, candidates, items)
+
+    @staticmethod
+    def isnull(val, negated):
+        val = np.asarray(val)
+        if np.issubdtype(val.dtype, np.floating):
+            out = np.isnan(val)
+        else:
+            out = np.zeros(val.shape, dtype=bool)
+        return ~out if negated else out
+
+    @staticmethod
+    def gather(arr, s):
+        return arr if s is None else arr[s]
+
+
+_HELPERS = _Helpers()
+
+_BINOP_FUNCS = {
+    "+": "np.add",
+    "-": "np.subtract",
+    "*": "np.multiply",
+    "%": "np.mod",
+    "=": "np.equal",
+    "<=>": "np.equal",
+    "!=": "np.not_equal",
+    "<": "np.less",
+    "<=": "np.less_equal",
+    ">": "np.greater",
+    ">=": "np.greater_equal",
+}
+
+
+class _Emitter:
+    """Translates a validated expression tree to Python/NumPy source."""
+
+    def __init__(self, binding: str, colset: set[str], col):
+        self.binding = binding
+        self.colset = colset
+        self.col = col  # column name -> source string
+        self.consts: list = []
+
+    def const(self, value) -> str:
+        self.consts.append(value)
+        return f"K[{len(self.consts) - 1}]"
+
+    def emit(self, e: ast.Expr) -> str:
+        if isinstance(e, ast.Literal):
+            return repr(e.value)
+        if isinstance(e, ast.Null):
+            return "H.nan"
+        if isinstance(e, ast.ColumnRef):
+            if e.table is not None and e.table != self.binding:
+                raise KernelFallback(f"unresolvable qualifier {e.table!r}")
+            if e.column not in self.colset:
+                raise KernelFallback(f"unknown column {e.column!r}")
+            return self.col(e.column)
+        if isinstance(e, ast.FuncCall):
+            if e.is_aggregate:
+                raise KernelFallback("aggregate outside aggregation context")
+            fname = e.name.upper()
+            if fname not in FUNCTIONS:
+                raise KernelFallback(f"unknown function {e.name!r}")
+            args = ", ".join(self.emit(a) for a in e.args)
+            return f"F[{fname!r}]({args})"
+        if isinstance(e, ast.UnaryOp):
+            inner = self.emit(e.operand)
+            if e.op == "-":
+                return f"np.negative({inner})"
+            if e.op.upper() == "NOT":
+                return f"(~H.as_bool({inner}))"
+            raise KernelFallback(f"unknown unary operator {e.op!r}")
+        if isinstance(e, ast.BinaryOp):
+            op = e.op.upper() if e.op.isalpha() else e.op
+            if op in ("AND", "OR"):
+                glue = "&" if op == "AND" else "|"
+                left = self.emit(e.left)
+                right = self.emit(e.right)
+                return f"(H.as_bool({left}) {glue} H.as_bool({right}))"
+            left = self.emit(e.left)
+            right = self.emit(e.right)
+            if op == "/":
+                return f"H.div({left}, {right})"
+            if op in _BINOP_FUNCS:
+                return f"{_BINOP_FUNCS[op]}({left}, {right})"
+            raise KernelFallback(f"unknown operator {e.op!r}")
+        if isinstance(e, ast.Between):
+            src = (
+                f"H.between({self.emit(e.value)}, {self.emit(e.low)}, "
+                f"{self.emit(e.high)}, {e.negated!r})"
+            )
+            return src
+        if isinstance(e, ast.InList):
+            val = self.emit(e.value)
+            candidates = literal_in_values(e.items)
+            if candidates is not None:
+                src = f"H.in_list({val}, {self.const(candidates)}, None)"
+            else:
+                items = ", ".join(self.emit(i) for i in e.items)
+                src = f"H.in_list({val}, None, ({items},))"
+            return f"(~{src})" if e.negated else src
+        if isinstance(e, ast.IsNull):
+            return f"H.isnull({self.emit(e.value)}, {e.negated!r})"
+        raise KernelFallback(f"cannot compile {type(e).__name__}")
+
+
+def _compile_fn(name: str, lines: list[str], consts: list, label: str):
+    """exec() the generated function source in a minimal namespace."""
+    src = "\n".join(lines)
+    ns = {"np": np, "H": _HELPERS, "F": FUNCTIONS, "K": consts}
+    exec(compile(src, f"<kernel:{label}>", "exec"), ns)  # noqa: S102 - codegen
+    fn = ns[name]
+    fn.__kernel_source__ = src
+    return fn
+
+
+class CompiledKernel:
+    """One fused filter+project(+aggregate) callable for a query template.
+
+    Calling it with a table returns the result columns (pre-DISTINCT,
+    pre-ORDER BY -- the engine applies those on the output, exactly as
+    it does for the interpreted path).
+    """
+
+    __slots__ = (
+        "sel",
+        "binding",
+        "needed",
+        "mask_fn",
+        "stage_fns",
+        "project_fn",
+        "grouped",
+        "aggregates",
+        "env_cols",
+        "sources",
+    )
+
+    def __init__(self, sel, binding, needed, mask_fn, stage_fns, project_fn,
+                 grouped, aggregates, env_cols, sources):
+        self.sel = sel
+        self.binding = binding
+        self.needed = needed
+        self.mask_fn = mask_fn
+        self.stage_fns = stage_fns
+        self.project_fn = project_fn
+        self.grouped = grouped
+        self.aggregates = aggregates
+        self.env_cols = env_cols
+        self.sources = sources
+
+    def __call__(self, table) -> dict[str, np.ndarray]:
+        C = {name: table.column(name) for name in self.needed}
+        n = table.num_rows
+        scanned = 0
+        for arr in C.values():
+            scanned += 8 * arr.size if arr.dtype == object else arr.nbytes
+        obs_metrics.counter("engine.scan.bytes").add(scanned)
+
+        m = self.mask_fn(C, n) if self.mask_fn is not None else None
+        if self.stage_fns:
+            s = np.flatnonzero(m) if m is not None else np.arange(n)
+            for fn in self.stage_fns:
+                keep = fn(C, s, len(s))
+                s = s[keep]
+            sel_idx: object = s
+            ns = len(s)
+        elif m is not None:
+            sel_idx = m
+            ns = int(np.count_nonzero(m))
+        else:
+            sel_idx = None
+            ns = n
+
+        if self.grouped:
+            cols = {
+                (self.binding, c): _Helpers.gather(C[c], sel_idx)
+                for c in self.env_cols
+            }
+            env = Environment(cols, ns)
+            return grouped_projection(self.sel, env, self.aggregates)
+        return self.project_fn(C, sel_idx, ns)
+
+
+def _output_names(sel: ast.Select, schema_names: list[str], binding: str,
+                  grouped: bool) -> list[str]:
+    """Result column names, replicating the engine's duplicate handling.
+
+    The grouped path assigns into a dict (duplicates overwrite, keeping
+    the first position); the plain path suffixes ``_2``, ``_3``, ...
+    """
+    names: list[str] = []
+
+    def add_plain(name):
+        if name in names:
+            i = 2
+            while f"{name}_{i}" in names:
+                i += 1
+            name = f"{name}_{i}"
+        names.append(name)
+
+    for item in sel.items:
+        if isinstance(item.expr, ast.Star):
+            if grouped:
+                raise KernelFallback("'*' in an aggregate query")
+            if item.expr.table is not None and item.expr.table != binding:
+                raise KernelFallback(f"unknown table {item.expr.table!r} in '.*'")
+            for cname in schema_names:
+                add_plain(cname)
+            continue
+        name = item.output_name()
+        if grouped:
+            if name not in names:
+                names.append(name)
+        else:
+            add_plain(name)
+    return names
+
+
+def _check_order_by(sel: ast.Select, out_names: list[str]):
+    """Every ORDER BY key must resolve against the output columns."""
+    for o in sel.order_by:
+        e = o.expr
+        if isinstance(e, ast.Literal) and isinstance(e.value, int):
+            if 1 <= e.value <= len(out_names):
+                continue
+            raise KernelFallback("ORDER BY position out of range")
+        if isinstance(e, ast.ColumnRef) and e.table is None and e.column in out_names:
+            continue
+        if isinstance(e, ast.FuncCall) and e.to_sql() in out_names:
+            continue
+        raise KernelFallback("ORDER BY key not resolvable from output columns")
+
+
+def compile_select(sel: ast.Select, binding: str, schema) -> CompiledKernel:
+    """Compile a single-table SELECT into a :class:`CompiledKernel`.
+
+    ``schema`` is the ordered column list of the target table; ``sel``
+    should already be normalized (see :func:`normalize_select`).  Raises
+    :class:`KernelFallback` for any shape where the interpreter must run
+    instead (joins, unknown names, unsupported ORDER BY keys, ...).
+    """
+    if len(sel.tables) != 1 or sel.joins:
+        raise KernelFallback("only single-table queries compile")
+    schema_names = [c.name for c in schema]
+    colset = set(schema_names)
+
+    aggregates = collect_aggregates(sel)
+    grouped = bool(aggregates or sel.group_by)
+    if sel.having is not None and not grouped:
+        raise KernelFallback("HAVING without aggregation")
+
+    out_names = _output_names(sel, schema_names, binding, grouped)
+    # ORDER BY keys resolve against the *output* columns (aliases
+    # included), checked here; they are therefore excluded from the
+    # table-reference validation below.
+    _check_order_by(sel, out_names)
+
+    # Validate every other column reference up front (the grouped path
+    # is not codegen'd expression-by-expression, so _Emitter will not
+    # see it).
+    problems: list[str] = []
+
+    def check_ref(e):
+        if isinstance(e, ast.ColumnRef):
+            if e.table is not None and e.table != binding:
+                problems.append(f"qualifier {e.table!r}")
+            elif e.column not in colset:
+                problems.append(f"column {e.column!r}")
+
+    for expr in _all_exprs(sel, include_order_by=False):
+        _walk(expr, check_ref)
+    if problems:
+        raise KernelFallback(f"unresolvable reference: {problems[0]}")
+
+    # -- WHERE: cheap conjuncts fused full-table, UDF conjuncts on survivors --
+    conjuncts = split_conjuncts(sel.where)
+    cheap = [c for c in conjuncts if not _contains_func(c)]
+    expensive = [c for c in conjuncts if _contains_func(c)]
+    for c in expensive:
+        if contains_aggregate(c):
+            raise KernelFallback("aggregate in WHERE")
+
+    sources: list[str] = []
+    mask_fn = None
+    if cheap:
+        em = _Emitter(binding, colset, lambda cn: f"C[{cn!r}]")
+        exprs = [f"H.as_mask({em.emit(c)}, n)" for c in cheap]
+        lines = ["def _mask(C, n):"]
+        if len(exprs) == 1:
+            lines.append(f"    m = {exprs[0]}")
+        else:
+            # First combine allocates fresh (the operands may be column
+            # views); later conjuncts fold in-place into the scratch mask.
+            lines.append(f"    m = np.logical_and({exprs[0]}, {exprs[1]})")
+            for e in exprs[2:]:
+                lines.append(f"    np.logical_and(m, {e}, out=m)")
+        lines.append("    return m")
+        mask_fn = _compile_fn("_mask", lines, em.consts, "mask")
+        sources.append(mask_fn.__kernel_source__)
+
+    stage_fns = []
+    for si, c in enumerate(expensive):
+        cols_used: dict[str, str] = {}
+
+        def col(cn, cols_used=cols_used):
+            if cn not in cols_used:
+                cols_used[cn] = f"g{len(cols_used)}"
+            return cols_used[cn]
+
+        em = _Emitter(binding, colset, col)
+        expr_src = em.emit(c)
+        lines = [f"def _stage(C, s, ns):"]
+        for cn, var in cols_used.items():
+            lines.append(f"    {var} = H.gather(C[{cn!r}], s)")
+        lines.append(f"    return H.as_mask({expr_src}, ns)")
+        fn = _compile_fn("_stage", lines, em.consts, f"stage{si}")
+        stage_fns.append(fn)
+        sources.append(fn.__kernel_source__)
+
+    # -- projection ---------------------------------------------------------------
+    project_fn = None
+    env_cols: list[str] = []
+    if grouped:
+        env_cols = [c for c in schema_names if c in referenced_columns(sel)]
+    else:
+        cols_used = {}
+
+        def col(cn):
+            if cn not in cols_used:
+                cols_used[cn] = f"g{len(cols_used)}"
+            return cols_used[cn]
+
+        em = _Emitter(binding, colset, col)
+        outputs: list[tuple[str, str]] = []
+        name_iter = iter(out_names)
+        for item in sel.items:
+            if isinstance(item.expr, ast.Star):
+                for cname in schema_names:
+                    outputs.append((next(name_iter), col(cname)))
+                continue
+            outputs.append((next(name_iter), em.emit(item.expr)))
+        lines = ["def _project(C, s, ns):"]
+        for cn, var in cols_used.items():
+            lines.append(f"    {var} = H.gather(C[{cn!r}], s)")
+        lines.append("    out = {}")
+        for name, src in outputs:
+            lines.append(f"    out[{name!r}] = H.as_col({src}, ns)")
+        lines.append("    return out")
+        project_fn = _compile_fn("_project", lines, em.consts, "project")
+        sources.append(project_fn.__kernel_source__)
+
+    wants_star = any(isinstance(i.expr, ast.Star) for i in sel.items)
+    needed = set(referenced_columns(sel)) & colset
+    if wants_star:
+        needed |= colset
+    # Preserve schema order for deterministic scans.
+    needed_ordered = [c for c in schema_names if c in needed]
+
+    return CompiledKernel(
+        sel=sel,
+        binding=binding,
+        needed=needed_ordered,
+        mask_fn=mask_fn,
+        stage_fns=stage_fns,
+        project_fn=project_fn,
+        grouped=grouped,
+        aggregates=aggregates,
+        env_cols=env_cols,
+        sources=sources,
+    )
+
+
+# -- the cache ----------------------------------------------------------------------
+
+#: Cache value marking "compilation declined; use the interpreter".
+FALLBACK = object()
+
+
+class KernelCache:
+    """LRU cache of compiled kernels, keyed like the czar plan cache.
+
+    Keys are (normalized SQL, schema signature); values are
+    :class:`CompiledKernel` objects or the :data:`FALLBACK` sentinel so
+    repeated un-compilable statements cost one lookup, not one failed
+    compile.  Safe to share across worker slots and merge databases --
+    kernels are stateless and the cache takes a sanitizer-aware lock.
+    """
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = capacity
+        self._lock = make_lock("KernelCache._lock")
+        self._entries: "OrderedDict[tuple, object]" = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def lookup(self, key):
+        """The cached entry (kernel or FALLBACK), or None on a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+        if entry is not None:
+            obs_metrics.counter("kernel.cache.hits").add(1)
+        else:
+            obs_metrics.counter("kernel.cache.misses").add(1)
+        return entry
+
+    def store(self, key, entry) -> None:
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+            size = len(self._entries)
+        obs_metrics.gauge("kernel.cache.size").set(size)
+
+    def get_or_compile(self, sel: ast.Select, schema):
+        """Kernel for a single-table select, or None (interpreter path).
+
+        Handles normalization, cache lookup, compilation, and metrics;
+        the caller has already checked table existence and indexes.
+        """
+        sig = tuple((c.name, c.type_name) for c in schema)
+        norm_sel, binding = normalize_select(sel)
+        key = (norm_sel.to_sql(), sig)
+        entry = self.lookup(key)
+        if entry is None:
+            try:
+                entry = compile_select(norm_sel, binding, schema)
+                obs_metrics.counter("kernel.compiled").add(1)
+            except KernelFallback:
+                entry = FALLBACK
+                obs_metrics.counter("kernel.fallbacks").add(1)
+            self.store(key, entry)
+        if entry is FALLBACK:
+            return None
+        return entry

@@ -20,6 +20,18 @@ CHAR/VARCHAR/TEXT str (object array)
 NULL handling follows the engine's needs: float columns use NaN as
 NULL; other types are non-nullable (the LSST catalog schemas the paper
 queries are fully populated for the tested columns).
+
+Ingest is amortized-linear: :meth:`Table.append_rows` over-allocates
+with capacity doubling and tracks a logical row count, so bulk loading
+N rows in B batches costs O(N) copies total instead of the O(N*B) of
+re-concatenating every batch.  Accessors hand out trimmed views of the
+capacity buffers -- writable and write-through, but only ``num_rows``
+long.
+
+All derived operations (row access, selection, packing) go through the
+public primitives ``column()`` / ``columns()`` / ``num_rows`` so that
+storage subclasses (e.g. the mmap-backed tables in
+:mod:`repro.sql.colstore`) only need to override those.
 """
 
 from __future__ import annotations
@@ -78,7 +90,9 @@ class Table:
 
     def __init__(self, name: str, columns: dict[str, np.ndarray] | None = None):
         self.name = name
+        # Capacity buffers; the first self._length entries of each are live.
         self._columns: dict[str, np.ndarray] = {}
+        self._length = 0
         if columns:
             length = None
             for col_name, arr in columns.items():
@@ -92,6 +106,7 @@ class Table:
                         f"column {col_name!r} has length {len(arr)}, expected {length}"
                     )
                 self._columns[col_name] = arr
+            self._length = length or 0
 
     # -- construction --------------------------------------------------------
 
@@ -105,9 +120,7 @@ class Table:
 
     @property
     def num_rows(self) -> int:
-        if not self._columns:
-            return 0
-        return len(next(iter(self._columns.values())))
+        return self._length
 
     @property
     def column_names(self) -> list[str]:
@@ -117,39 +130,54 @@ class Table:
         return self.num_rows
 
     def __contains__(self, column: str) -> bool:
-        return column in self._columns
+        return column in self.column_names
 
     # -- access ------------------------------------------------------------------
 
     def column(self, name: str) -> np.ndarray:
+        """One column as a writable, write-through array of ``num_rows``.
+
+        When the capacity buffer is exactly full this is the buffer
+        itself (zero cost); otherwise a trimmed basic-slice view.
+        """
         try:
-            return self._columns[name]
+            arr = self._columns[name]
         except KeyError:
             raise KeyError(
                 f"no column {name!r} in table {self.name!r} "
                 f"(have {self.column_names})"
             ) from None
+        if len(arr) != self._length:
+            return arr[: self._length]
+        return arr
 
     def columns(self) -> dict[str, np.ndarray]:
-        """The underlying column dict (not a copy; treat as read-only)."""
-        return self._columns
+        """Column dict of trimmed views (treat membership as read-only)."""
+        return {n: self.column(n) for n in self._columns}
 
     def schema(self) -> list[Column]:
-        return [Column(n, dtype_to_sql_type(a.dtype)) for n, a in self._columns.items()]
+        return [
+            Column(n, dtype_to_sql_type(a.dtype)) for n, a in self.columns().items()
+        ]
 
     def row(self, i: int) -> tuple:
         """A single row as a tuple (slow path; for tests and display)."""
-        return tuple(self._columns[n][i] for n in self._columns)
+        return tuple(self.column(n)[i] for n in self.column_names)
 
     def rows(self) -> list[tuple]:
         """All rows as tuples (slow path; for tests and display)."""
-        cols = list(self._columns.values())
+        cols = list(self.columns().values())
         return list(zip(*cols)) if cols else []
 
     # -- mutation -------------------------------------------------------------------
 
     def append_rows(self, data: dict[str, np.ndarray]) -> None:
-        """Append a batch of rows given as a column dict."""
+        """Append a batch of rows given as a column dict.
+
+        Amortized O(batch): capacity buffers double when full, so a
+        bulk load of many batches never re-copies the whole table per
+        batch.
+        """
         if set(data) != set(self._columns):
             raise ValueError(
                 f"column mismatch: table has {sorted(self._columns)}, "
@@ -158,6 +186,11 @@ class Table:
         lengths = {len(np.asarray(v)) for v in data.values()}
         if len(lengths) > 1:
             raise ValueError(f"ragged batch: lengths {sorted(lengths)}")
+        extra = lengths.pop() if lengths else 0
+        if extra == 0:
+            return
+        n = self._length
+        needed = n + extra
         for name in self._columns:
             incoming = np.asarray(data[name])
             existing = self._columns[name]
@@ -165,7 +198,14 @@ class Table:
                 incoming = incoming.astype(object)
             else:
                 incoming = incoming.astype(existing.dtype, copy=False)
-            self._columns[name] = np.concatenate([existing, incoming])
+            if needed > len(existing):
+                grown = np.empty(
+                    max(needed, 2 * len(existing)), dtype=existing.dtype
+                )
+                grown[:n] = existing[:n]
+                self._columns[name] = existing = grown
+            existing[n:needed] = incoming
+        self._length = needed
 
     @classmethod
     def concat(cls, name: str, tables: list["Table"]) -> "Table":
@@ -177,6 +217,9 @@ class Table:
         order and dtypes follow the first table; later tables must have
         the same column set (empty ones may differ and are skipped,
         matching the old per-chunk merge behaviour).
+
+        Inputs may be zero-copy wire views (read-only): concatenation
+        always produces fresh writable arrays.
         """
         if not tables:
             raise ValueError("concat needs at least one table")
@@ -209,7 +252,7 @@ class Table:
 
     def select_rows(self, selector) -> "Table":
         """A new table with rows chosen by a boolean mask or index array."""
-        cols = {n: a[selector] for n, a in self._columns.items()}
+        cols = {n: a[selector] for n, a in self.columns().items()}
         return Table(self.name, cols)
 
     def select_columns(self, names: list[str]) -> "Table":
@@ -218,10 +261,10 @@ class Table:
 
     def rename(self, name: str) -> "Table":
         """Same data under a different table name (columns shared, not copied)."""
-        return Table(name, dict(self._columns))
+        return Table(name, self.columns())
 
     def copy(self) -> "Table":
-        return Table(self.name, {n: a.copy() for n, a in self._columns.items()})
+        return Table(self.name, {n: a.copy() for n, a in self.columns().items()})
 
     def to_row_store(self) -> np.ndarray:
         """The same data as one C-contiguous structured array (row-major).
@@ -231,8 +274,9 @@ class Table:
         against the column layout.  Object (string) columns cannot be
         packed and are rejected.
         """
+        cols = self.columns()
         fields = []
-        for name, arr in self._columns.items():
+        for name, arr in cols.items():
             if arr.dtype == object:
                 raise ValueError(
                     f"column {name!r} has object dtype; row-store packing "
@@ -240,7 +284,7 @@ class Table:
                 )
             fields.append((name, arr.dtype))
         out = np.empty(self.num_rows, dtype=np.dtype(fields))
-        for name, arr in self._columns.items():
+        for name, arr in cols.items():
             out[name] = arr
         return out
 
@@ -253,9 +297,9 @@ class Table:
         return cls(name, cols)
 
     def nbytes(self) -> int:
-        """Approximate in-memory footprint of the column data."""
+        """Approximate in-memory footprint of the live column data."""
         total = 0
-        for arr in self._columns.values():
+        for arr in self.columns().values():
             if arr.dtype == object:
                 total += sum(len(str(v)) for v in arr) + 8 * len(arr)
             else:

@@ -31,6 +31,15 @@ The format is deliberately dumb -- no compression, no framing beyond
 the header -- because the win over the SQL dump comes from skipping
 per-value rendering on the worker and re-parsing on the master, not
 from shaving bytes (though it is also several times smaller).
+
+The encode side is zero-copy for fixed-width columns:
+:func:`encode_table_parts` hands out ``memoryview``\\ s over the live
+column buffers (bools reinterpreted as uint8 views), so the only copy
+on the whole worker-to-czar path is the final gather into one bytes
+object.  The decode side mirrors it: ``decode_table(data, copy=False)``
+returns read-only ``np.frombuffer`` views over the payload -- the
+czar's merge (:meth:`Table.concat`) reads those views directly and
+produces fresh writable arrays in its single concatenation pass.
 """
 
 from __future__ import annotations
@@ -46,6 +55,7 @@ __all__ = [
     "WIRE_VERSION",
     "WireFormatError",
     "encode_table",
+    "encode_table_parts",
     "decode_table",
     "is_wire_payload",
 ]
@@ -69,7 +79,7 @@ class WireFormatError(ValueError):
 
 def is_wire_payload(data: bytes) -> bool:
     """True when ``data`` starts with the wire magic (vs SQL-dump text)."""
-    return data[: len(WIRE_MAGIC)] == WIRE_MAGIC
+    return bytes(data[: len(WIRE_MAGIC)]) == WIRE_MAGIC
 
 
 def _dtype_code(name: str, arr: np.ndarray) -> int:
@@ -84,15 +94,21 @@ def _dtype_code(name: str, arr: np.ndarray) -> int:
     raise WireFormatError(f"column {name!r} has unsupported dtype {arr.dtype}")
 
 
-def encode_table(table: Table, name: str | None = None) -> bytes:
-    """Serialize ``table`` to wire bytes (the worker's half)."""
+def encode_table_parts(table: Table, name: str | None = None) -> list:
+    """The wire encoding as a list of buffers (bytes and memoryviews).
+
+    Fixed-width columns that are already contiguous and in wire layout
+    contribute ``memoryview``\\ s over their live buffers -- no copy is
+    made until the caller joins (or writes) the parts.  String columns
+    are rendered (inherently a copy).
+    """
     name = name or table.name
     cols = table.columns()
     if not cols:
         raise WireFormatError("cannot encode a table with no columns")
     nrows = table.num_rows
 
-    parts: list[bytes] = [_HEAD.pack(WIRE_MAGIC, WIRE_VERSION)]
+    parts: list = [_HEAD.pack(WIRE_MAGIC, WIRE_VERSION)]
     name_b = name.encode()
     parts.append(_U16.pack(len(name_b)))
     parts.append(name_b)
@@ -110,29 +126,43 @@ def encode_table(table: Table, name: str | None = None) -> bytes:
 
     for code, arr in zip(codes, cols.values()):
         if code == _DTYPE_INT64:
-            parts.append(np.ascontiguousarray(arr, dtype="<i8").tobytes())
+            parts.append(np.ascontiguousarray(arr, dtype="<i8").data)
         elif code == _DTYPE_FLOAT64:
-            parts.append(np.ascontiguousarray(arr, dtype="<f8").tobytes())
+            parts.append(np.ascontiguousarray(arr, dtype="<f8").data)
         elif code == _DTYPE_BOOL:
-            parts.append(np.ascontiguousarray(arr, dtype=np.uint8).tobytes())
+            # bool is 1 byte; reinterpret in place instead of astype-copying.
+            parts.append(np.ascontiguousarray(arr).view(np.uint8).data)
         else:  # string: u32 lengths, then the concatenated utf-8 blob
             encoded = [str(v).encode() for v in arr]
             lengths = np.fromiter(
                 (len(b) for b in encoded), dtype="<u4", count=len(encoded)
             )
-            parts.append(lengths.tobytes())
+            parts.append(lengths.data)
             parts.append(b"".join(encoded))
-    return b"".join(parts)
+    return parts
+
+
+def encode_table(table: Table, name: str | None = None) -> bytes:
+    """Serialize ``table`` to wire bytes (the worker's half).
+
+    One gather-copy total: ``join`` concatenates the zero-copy parts
+    from :func:`encode_table_parts` into the response payload.
+    """
+    return b"".join(encode_table_parts(table, name))
 
 
 class _Reader:
-    """Bounds-checked cursor over the payload bytes."""
+    """Bounds-checked cursor over the payload bytes.
+
+    Operates on a memoryview so ``take`` is zero-copy; header fields
+    convert their few bytes explicitly.
+    """
 
     def __init__(self, data: bytes):
-        self.data = data
+        self.data = memoryview(data)
         self.pos = 0
 
-    def take(self, n: int) -> bytes:
+    def take(self, n: int) -> memoryview:
         if self.pos + n > len(self.data):
             raise WireFormatError(
                 f"truncated payload: need {n} bytes at offset {self.pos}, "
@@ -149,8 +179,15 @@ class _Reader:
         return _U64.unpack(self.take(8))[0]
 
 
-def decode_table(data: bytes) -> Table:
+def decode_table(data: bytes, copy: bool = True) -> Table:
     """Decode wire bytes back into a Table (the czar's half).
+
+    With ``copy=True`` (default) every column is a fresh writable
+    array.  With ``copy=False`` fixed-width columns are *read-only*
+    ``np.frombuffer`` views over ``data`` -- the zero-copy merge path:
+    the czar validates and concatenates straight out of the response
+    buffer, and only the concatenation allocates.  Callers that mutate
+    decoded columns must use ``copy=True``.
 
     Raises :class:`WireFormatError` on a bad magic, unknown version, or
     any truncation/corruption the bounds checks can catch.
@@ -161,7 +198,7 @@ def decode_table(data: bytes) -> Table:
         raise WireFormatError(f"bad magic {magic!r} (not a wire payload)")
     if version != WIRE_VERSION:
         raise WireFormatError(f"unsupported wire version {version}")
-    name = r.take(r.u16()).decode()
+    name = bytes(r.take(r.u16())).decode()
     ncols = r.u16()
     if ncols == 0:
         raise WireFormatError("payload declares zero columns")
@@ -169,7 +206,7 @@ def decode_table(data: bytes) -> Table:
 
     schema: list[tuple[str, int]] = []
     for _ in range(ncols):
-        col_name = r.take(r.u16()).decode()
+        col_name = bytes(r.take(r.u16())).decode()
         code = r.take(1)[0]
         if code not in (_DTYPE_INT64, _DTYPE_FLOAT64, _DTYPE_BOOL, _DTYPE_STRING):
             raise WireFormatError(f"column {col_name!r} has unknown dtype code {code}")
@@ -177,21 +214,19 @@ def decode_table(data: bytes) -> Table:
 
     cols: dict[str, np.ndarray] = {}
     for col_name, code in schema:
-        # .astype() always copies here: frombuffer views are read-only
-        # and downstream merge tables must stay writable.
+        # copy=True: .astype() always copies here -- frombuffer views
+        # are read-only and callers that mutate need writable arrays.
         if code == _DTYPE_INT64:
-            cols[col_name] = np.frombuffer(r.take(nrows * 8), dtype="<i8").astype(
-                np.int64
-            )
+            view = np.frombuffer(r.take(nrows * 8), dtype="<i8")
+            cols[col_name] = view.astype(np.int64) if copy else view
         elif code == _DTYPE_FLOAT64:
-            cols[col_name] = np.frombuffer(r.take(nrows * 8), dtype="<f8").astype(
-                np.float64
-            )
+            view = np.frombuffer(r.take(nrows * 8), dtype="<f8")
+            cols[col_name] = view.astype(np.float64) if copy else view
         elif code == _DTYPE_BOOL:
             raw = np.frombuffer(r.take(nrows), dtype=np.uint8)
             if raw.size and raw.max() > 1:
                 raise WireFormatError(f"column {col_name!r} has non-boolean bytes")
-            cols[col_name] = raw.astype(bool)
+            cols[col_name] = raw.astype(bool) if copy else raw.view(np.bool_)
         else:
             lengths = np.frombuffer(r.take(nrows * 4), dtype="<u4")
             blob = r.take(int(lengths.sum()))
@@ -199,7 +234,7 @@ def decode_table(data: bytes) -> Table:
             offset = 0
             for i, ln in enumerate(lengths):
                 ln = int(ln)
-                out[i] = blob[offset : offset + ln].decode()
+                out[i] = bytes(blob[offset : offset + ln]).decode()
                 offset += ln
             cols[col_name] = out
     if r.pos != len(data):

@@ -1,0 +1,323 @@
+"""Differential equivalence: compiled kernels vs the interpreter.
+
+Every supported query shape runs through both execution paths over the
+same seeded data and must be *bit-identical*: same column names in the
+same order, same dtypes, same values (NaN compared as equal, float
+payloads otherwise exact).  A handful of hand-computed goldens anchor
+both paths to MySQL semantics so the two cannot agree on a shared bug
+for those shapes.
+
+The suite also asserts the kernel path actually executed (via the
+``kernel.executions`` metric delta) for shapes that must compile, and
+that known-unsupported shapes fall back cleanly rather than erroring.
+A final section repeats representative shapes under ``REPRO_SANITIZE=1``
+so the instrumented-lock build stays equivalent too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.sql.engine import Database
+from repro.sql.kernels import KernelCache
+from repro.sql.table import Table
+
+
+def seeded_table(n=4000, seed=1234) -> Table:
+    rng = np.random.default_rng(seed)
+    flux = rng.uniform(1e-9, 1e-6, n)
+    flux[rng.random(n) < 0.05] = np.nan  # NULLs in a measured column
+    gflux = rng.uniform(1e-9, 1e-6, n)
+    gflux[rng.random(n) < 0.05] = np.nan
+    return Table(
+        "Object_713",
+        {
+            "objectId": rng.permutation(np.arange(n, dtype=np.int64)),
+            "chunkId": np.full(n, 713, dtype=np.int64),
+            "subChunkId": rng.integers(0, 8, n),
+            "ra_PS": rng.uniform(0.0, 360.0, n),
+            "decl_PS": rng.uniform(-90.0, 90.0, n),
+            "uFlux_PS": flux,
+            "gFlux_PS": gflux,
+            "flags": rng.integers(0, 2, n).astype(bool),
+            "filterName": np.array(
+                [["u", "g", "r", "i", "z"][i % 5] for i in range(n)], dtype=object
+            ),
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def data():
+    return seeded_table()
+
+
+def fresh_pair(table: Table):
+    """(interpreter db, kernel db) over independent copies of ``table``."""
+    db_i = Database(use_kernels=False)
+    db_i.create_table(Table(table.name, {n: a.copy() for n, a in table.columns().items()}))
+    db_k = Database(use_kernels=True)
+    db_k.create_table(Table(table.name, {n: a.copy() for n, a in table.columns().items()}))
+    return db_i, db_k
+
+
+def metric(name: str) -> float:
+    return obs_metrics.REGISTRY.snapshot().get(name, 0)
+
+
+def assert_identical(a, b):
+    assert a.column_names == b.column_names
+    assert a.num_rows == b.num_rows
+    for name in a.column_names:
+        ca, cb = a.column(name), b.column(name)
+        assert ca.dtype == cb.dtype, f"{name}: {ca.dtype} != {cb.dtype}"
+        if np.issubdtype(ca.dtype, np.floating):
+            np.testing.assert_array_equal(
+                np.nan_to_num(ca, nan=0.0).view(np.uint64),
+                np.nan_to_num(cb, nan=0.0).view(np.uint64),
+                err_msg=name,
+            )
+            np.testing.assert_array_equal(np.isnan(ca), np.isnan(cb), err_msg=name)
+        else:
+            np.testing.assert_array_equal(ca, cb, err_msg=name)
+
+
+def check(data, sql, expect_kernel=True):
+    db_i, db_k = fresh_pair(data)
+    r_i = db_i.execute(sql)
+    before = metric("kernel.executions")
+    fallbacks = metric("kernel.fallbacks")
+    r_k = db_k.execute(sql)
+    if expect_kernel:
+        assert metric("kernel.executions") == before + 1, sql
+    else:
+        assert metric("kernel.executions") == before, sql
+        assert metric("kernel.fallbacks") >= fallbacks, sql
+    assert_identical(r_i, r_k)
+    return r_k
+
+
+SUPPORTED_SHAPES = [
+    # projection and scalar expressions
+    "SELECT objectId, ra_PS FROM Object_713",
+    "SELECT ra_PS + 1.0 AS r1, decl_PS * 2 - 1 AS d2 FROM Object_713",
+    "SELECT ra_PS / decl_PS AS q, objectId % 7 AS m FROM Object_713",
+    "SELECT -decl_PS AS neg, NOT flags AS inv FROM Object_713",
+    "SELECT 1 + 2 AS c, objectId FROM Object_713",
+    "SELECT * FROM Object_713 WHERE decl_PS > 75",
+    # conjunct predicates, every comparison operator
+    "SELECT objectId FROM Object_713 WHERE ra_PS > 10 AND ra_PS < 350 "
+    "AND decl_PS >= -45 AND decl_PS <= 45 AND subChunkId != 3 AND flags = 1",
+    "SELECT objectId FROM Object_713 WHERE subChunkId <=> 2",
+    "SELECT objectId FROM Object_713 WHERE ra_PS BETWEEN 30 AND 60",
+    "SELECT objectId FROM Object_713 WHERE decl_PS NOT BETWEEN -80 AND 80",
+    "SELECT objectId FROM Object_713 WHERE flags = 1 OR decl_PS < -85",
+    # IN lists: ints, floats, strings, negated, non-literal items
+    "SELECT objectId FROM Object_713 WHERE subChunkId IN (1, 3, 5)",
+    "SELECT objectId FROM Object_713 WHERE subChunkId NOT IN (0, 7)",
+    "SELECT objectId FROM Object_713 WHERE filterName IN ('u', 'z')",
+    "SELECT objectId FROM Object_713 WHERE ra_PS IN (1.5, 2.5)",
+    "SELECT objectId FROM Object_713 WHERE subChunkId IN (1, 1 + 2)",
+    # NULL handling
+    "SELECT objectId FROM Object_713 WHERE uFlux_PS IS NULL",
+    "SELECT objectId FROM Object_713 WHERE uFlux_PS IS NOT NULL AND gFlux_PS IS NOT NULL",
+    # UDFs in predicates and projections (the expensive-conjunct stages)
+    "SELECT objectId, fluxToAbMag(uFlux_PS) AS mag FROM Object_713 "
+    "WHERE fluxToAbMag(uFlux_PS) - fluxToAbMag(gFlux_PS) BETWEEN 0.2 AND 1.1",
+    "SELECT objectId FROM Object_713 "
+    "WHERE qserv_ptInSphericalBox(ra_PS, decl_PS, 10, -10, 50, 10) = 1",
+    "SELECT objectId FROM Object_713 "
+    "WHERE qserv_angSep(ra_PS, decl_PS, 180.0, 0.0) < 30 AND flags = 1",
+    # aggregates: global and grouped, all functions, DISTINCT, HAVING
+    "SELECT COUNT(*) AS n FROM Object_713 WHERE decl_PS > 0",
+    "SELECT COUNT(uFlux_PS) AS n, SUM(uFlux_PS) AS s, AVG(decl_PS) AS a, "
+    "MIN(ra_PS) AS lo, MAX(ra_PS) AS hi FROM Object_713",
+    "SELECT COUNT(*) AS n FROM Object_713 WHERE ra_PS > 9999",
+    "SELECT SUM(uFlux_PS) AS s FROM Object_713 WHERE ra_PS > 9999",
+    "SELECT COUNT(DISTINCT subChunkId) AS d FROM Object_713",
+    "SELECT subChunkId, COUNT(*) AS n, AVG(ra_PS) AS a FROM Object_713 "
+    "GROUP BY subChunkId ORDER BY subChunkId",
+    "SELECT filterName, COUNT(uFlux_PS) AS n, MIN(decl_PS) AS lo FROM Object_713 "
+    "WHERE flags = 1 GROUP BY filterName ORDER BY filterName",
+    "SELECT subChunkId, COUNT(*) AS n FROM Object_713 "
+    "GROUP BY subChunkId HAVING COUNT(*) > 480 ORDER BY n DESC, subChunkId",
+    "SELECT subChunkId, SUM(uFlux_PS) AS s FROM Object_713 "
+    "GROUP BY subChunkId HAVING SUM(uFlux_PS) > 0 ORDER BY subChunkId",
+    # DISTINCT / ORDER BY / LIMIT
+    "SELECT DISTINCT filterName FROM Object_713 ORDER BY filterName",
+    "SELECT DISTINCT subChunkId % 2 AS p FROM Object_713 ORDER BY p",
+    "SELECT objectId, ra_PS FROM Object_713 ORDER BY ra_PS DESC LIMIT 17",
+    "SELECT objectId, decl_PS FROM Object_713 ORDER BY 2, 1 LIMIT 9",
+    "SELECT objectId FROM Object_713 WHERE flags = 1 ORDER BY objectId LIMIT 5",
+    # duplicate/aliased output names
+    "SELECT objectId AS b, objectId FROM Object_713 LIMIT 4",
+    "SELECT ra_PS, ra_PS FROM Object_713 LIMIT 4",
+]
+
+
+@pytest.mark.parametrize("sql", SUPPORTED_SHAPES)
+def test_supported_shape_bit_identical(data, sql):
+    check(data, sql, expect_kernel=True)
+
+
+FALLBACK_SHAPES = [
+    # ORDER BY key that is not an output column
+    "SELECT objectId FROM Object_713 ORDER BY decl_PS LIMIT 10",
+    # HAVING without any aggregation is interpreter-only
+    "SELECT objectId FROM Object_713 HAVING objectId > 100 ORDER BY objectId LIMIT 5",
+]
+
+
+@pytest.mark.parametrize("sql", FALLBACK_SHAPES)
+def test_fallback_shape_still_identical(data, sql):
+    check(data, sql, expect_kernel=False)
+
+
+class TestGoldenResults:
+    """Hand-computed MySQL-semantics anchors, run through both paths."""
+
+    @pytest.fixture()
+    def tiny(self):
+        return Table(
+            "T",
+            {
+                "a": np.array([1, 2, 2, 3, 3], dtype=np.int64),
+                "x": np.array([1.0, np.nan, 3.0, np.nan, 5.0]),
+                "s": np.array(["u", "g", "u", "g", "u"], dtype=object),
+            },
+        )
+
+    def run_both(self, tiny, sql):
+        db_i, db_k = fresh_pair(tiny)
+        r_i, r_k = db_i.execute(sql), db_k.execute(sql)
+        assert_identical(r_i, r_k)
+        return r_k
+
+    def test_count_ignores_nulls(self, tiny):
+        r = self.run_both(tiny, "SELECT COUNT(*) AS c, COUNT(x) AS cx FROM T")
+        assert r.rows() == [(5, 3)]
+
+    def test_sum_avg_skip_nulls(self, tiny):
+        r = self.run_both(tiny, "SELECT SUM(x) AS s, AVG(x) AS a FROM T")
+        assert r.rows() == [(9.0, 3.0)]
+
+    def test_sum_all_null_is_null(self, tiny):
+        r = self.run_both(tiny, "SELECT SUM(x) AS s FROM T WHERE a = 99")
+        assert r.num_rows == 1 and np.isnan(r.column("s")[0])
+
+    def test_count_zero_rows(self, tiny):
+        r = self.run_both(tiny, "SELECT COUNT(*) AS c FROM T WHERE a = 99")
+        assert r.rows() == [(0,)]
+
+    def test_grouped_min_max(self, tiny):
+        r = self.run_both(
+            tiny,
+            "SELECT s, MIN(x) AS lo, MAX(x) AS hi, COUNT(*) AS n FROM T "
+            "GROUP BY s ORDER BY s",
+        )
+        # MySQL MIN/MAX skip NULLs; an all-NULL group yields NULL.
+        assert list(r.column("s")) == ["g", "u"]
+        assert np.isnan(r.column("lo")[0]) and r.column("lo")[1] == 1.0
+        assert np.isnan(r.column("hi")[0]) and r.column("hi")[1] == 5.0
+        np.testing.assert_array_equal(r.column("n"), [2, 3])
+
+    def test_count_distinct_per_group(self, tiny):
+        r = self.run_both(
+            tiny,
+            "SELECT a, COUNT(DISTINCT s) AS d FROM T GROUP BY a ORDER BY a",
+        )
+        assert r.rows() == [(1, 1), (2, 2), (3, 2)]
+
+    def test_in_list_string(self, tiny):
+        r = self.run_both(tiny, "SELECT a FROM T WHERE s IN ('u') ORDER BY a")
+        assert r.rows() == [(1,), (2,), (3,)]
+
+    def test_null_never_in_list(self, tiny):
+        # NaN (NULL) must not match any IN-list item on either path.
+        r = self.run_both(tiny, "SELECT a FROM T WHERE x IN (1.0, 3.0, 5.0) ORDER BY a")
+        assert r.rows() == [(1,), (2,), (3,)]
+
+
+class TestKernelMachinery:
+    def test_cache_hit_on_repeat(self, data):
+        _, db_k = fresh_pair(data)
+        sql = "SELECT COUNT(*) AS n FROM Object_713 WHERE decl_PS > 0"
+        db_k.execute(sql)
+        hits = metric("kernel.cache.hits")
+        db_k.execute(sql)
+        assert metric("kernel.cache.hits") == hits + 1
+
+    def test_alias_shapes_share_one_kernel(self, data):
+        # The czar emits `LSST.Object_<chunk> AS Object`; every chunk
+        # must reuse one compiled kernel keyed on the anonymized shape.
+        db = Database(use_kernels=True)
+        for cid in (7, 8):
+            cols = {n: a.copy() for n, a in data.columns().items()}
+            db.create_table(Table(f"Object_{cid}", cols))
+        compiled = metric("kernel.compiled")
+        r7 = db.execute(
+            "SELECT COUNT(*) AS n FROM LSST.Object_7 AS Object "
+            "WHERE Object.decl_PS > 0"
+        )
+        r8 = db.execute(
+            "SELECT COUNT(*) AS n FROM LSST.Object_8 AS Object "
+            "WHERE Object.decl_PS > 0"
+        )
+        assert metric("kernel.compiled") == compiled + 1
+        assert_identical(r7, r8)
+
+    def test_env_toggle_disables_kernels(self, data, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "0")
+        db = Database()
+        assert not db.use_kernels
+        db.create_table(Table(data.name, dict(data.columns())))
+        before = metric("kernel.executions")
+        r = db.execute("SELECT COUNT(*) AS n FROM Object_713")
+        assert metric("kernel.executions") == before
+        assert r.rows() == [(data.num_rows,)]
+
+    def test_indexed_table_bypasses_kernels(self, data):
+        db_i, db_k = fresh_pair(data)
+        db_k.create_index("Object_713", "objectId")
+        db_i.create_index("Object_713", "objectId")
+        oid = int(data.column("objectId")[17])
+        before = metric("kernel.executions")
+        sql = f"SELECT objectId, ra_PS FROM Object_713 WHERE objectId = {oid}"
+        assert_identical(db_i.execute(sql), db_k.execute(sql))
+        assert metric("kernel.executions") == before  # point lookup kept
+
+    def test_shared_cache_across_databases(self, data):
+        cache = KernelCache()
+        dbs = []
+        for i in range(2):
+            db = Database(use_kernels=True, kernel_cache=cache)
+            db.create_table(Table(data.name, {n: a.copy() for n, a in data.columns().items()}))
+            dbs.append(db)
+        compiled = metric("kernel.compiled")
+        for db in dbs:
+            db.execute("SELECT AVG(ra_PS) AS a FROM Object_713 WHERE flags = 1")
+        assert metric("kernel.compiled") == compiled + 1
+
+
+class TestUnderSanitizer:
+    """The instrumented-lock build must stay bit-identical too."""
+
+    @pytest.fixture()
+    def sanitized(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        yield
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT subChunkId, COUNT(*) AS n, AVG(ra_PS) AS a FROM Object_713 "
+            "GROUP BY subChunkId ORDER BY subChunkId",
+            "SELECT objectId FROM Object_713 WHERE subChunkId IN (1, 3, 5) "
+            "AND uFlux_PS IS NOT NULL ORDER BY objectId LIMIT 20",
+            "SELECT objectId, fluxToAbMag(uFlux_PS) AS mag FROM Object_713 "
+            "WHERE fluxToAbMag(uFlux_PS) - fluxToAbMag(gFlux_PS) BETWEEN 0.2 AND 1.1",
+        ],
+    )
+    def test_sanitized_equivalence(self, sanitized, data, sql):
+        # Fresh objects so every lock is created under REPRO_SANITIZE=1.
+        check(data, sql, expect_kernel=True)

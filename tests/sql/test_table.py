@@ -179,3 +179,52 @@ class TestRowStore:
         t = Table("t", {"a": np.arange(4, dtype=np.int64), "b": np.arange(4.0)})
         back = Table.from_row_store("t2", t.to_row_store())
         assert back.column("a").flags["C_CONTIGUOUS"]
+
+
+class TestAmortizedAppend:
+    """Ingest must be amortized-linear: capacity doubling, trimmed views."""
+
+    def test_many_small_batches_amortized(self):
+        import numpy as np
+
+        t = Table("t", {"a": np.empty(0, dtype=np.int64)})
+        grows = 0
+        last_capacity = 0
+        for i in range(200):
+            t.append_rows({"a": np.array([i], dtype=np.int64)})
+            capacity = len(t._columns["a"])
+            if capacity != last_capacity:
+                grows += 1
+                last_capacity = capacity
+        assert t.num_rows == 200
+        # Doubling means O(log n) reallocations, not one per batch.
+        assert grows <= 10
+        np.testing.assert_array_equal(t.column("a"), np.arange(200))
+
+    def test_trimmed_view_is_write_through(self):
+        import numpy as np
+
+        t = Table("t", {"a": np.arange(4, dtype=np.int64)})
+        t.append_rows({"a": np.array([4], dtype=np.int64)})  # forces spare capacity
+        view = t.column("a")
+        assert len(view) == 5
+        view[0] = 99
+        assert t.column("a")[0] == 99  # same backing buffer
+
+    def test_len_reports_logical_rows_not_capacity(self):
+        import numpy as np
+
+        t = Table("t", {"a": np.arange(3, dtype=np.int64)})
+        t.append_rows({"a": np.arange(3, dtype=np.int64)})
+        assert len(t) == 6
+        assert t.num_rows == 6
+        assert len(t.column("a")) == 6
+        assert t.rows() == [(0,), (1,), (2,), (0,), (1,), (2,)]
+
+    def test_concat_sees_only_live_rows(self):
+        import numpy as np
+
+        t = Table("t", {"a": np.arange(2, dtype=np.int64)})
+        t.append_rows({"a": np.array([2], dtype=np.int64)})
+        out = Table.concat("c", [t, t])
+        np.testing.assert_array_equal(out.column("a"), [0, 1, 2, 0, 1, 2])

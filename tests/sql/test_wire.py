@@ -175,3 +175,81 @@ class TestCorruption:
     def test_empty_input(self):
         with pytest.raises(WireFormatError):
             decode_table(b"")
+
+
+class TestZeroCopy:
+    def test_encode_parts_are_views_over_live_buffers(self):
+        t = Table(
+            "r",
+            {
+                "a": np.arange(8, dtype=np.int64),
+                "x": np.linspace(0, 1, 8),
+                "b": np.array([True, False] * 4),
+            },
+        )
+        from repro.sql.wire import encode_table_parts
+
+        parts = encode_table_parts(t)
+        views = [p for p in parts if isinstance(p, memoryview)]
+        # One memoryview per fixed-width column, each over the column's
+        # own memory -- mutating the table is visible through the part.
+        assert len(views) == 3
+        t.column("a")[0] = 77
+        assert b"".join(parts) == encode_table(t)
+
+    def test_join_equals_encode(self):
+        from repro.sql.wire import encode_table_parts
+
+        t = Table("r", {"a": np.arange(3, dtype=np.int64), "s": np.array(["x", "yz", ""], dtype=object)})
+        assert b"".join(encode_table_parts(t)) == encode_table(t)
+
+    def test_decode_no_copy_views_are_read_only(self):
+        t = Table(
+            "r",
+            {
+                "a": np.arange(5, dtype=np.int64),
+                "x": np.array([1.0, np.nan, 3.0, 4.0, 5.0]),
+                "b": np.array([True, False, True, False, True]),
+            },
+        )
+        out = decode_table(encode_table(t), copy=False)
+        for name in ("a", "x", "b"):
+            col = out.column(name)
+            assert not col.flags.writeable
+            assert col.base is not None  # a view, not a fresh allocation
+        np.testing.assert_array_equal(out.column("a"), t.column("a"))
+        np.testing.assert_array_equal(out.column("b"), t.column("b"))
+        np.testing.assert_array_equal(
+            np.isnan(out.column("x")), np.isnan(t.column("x"))
+        )
+
+    def test_no_copy_values_bit_identical_to_copy(self):
+        rng = np.random.default_rng(9)
+        t = Table(
+            "r",
+            {
+                "i": rng.integers(-(2**62), 2**62, 64),
+                "f": rng.uniform(-1e18, 1e18, 64),
+            },
+        )
+        data = encode_table(t)
+        a, b = decode_table(data, copy=True), decode_table(data, copy=False)
+        np.testing.assert_array_equal(a.column("i"), b.column("i"))
+        np.testing.assert_array_equal(
+            a.column("f").view(np.uint64), b.column("f").view(np.uint64)
+        )
+
+    def test_no_copy_concat_produces_writable_merge(self):
+        t = Table("r", {"a": np.arange(4, dtype=np.int64)})
+        data = encode_table(t)
+        parts = [decode_table(data, copy=False) for _ in range(3)]
+        merged = Table.concat("m", parts)
+        assert merged.column("a").flags.writeable
+        np.testing.assert_array_equal(merged.column("a"), list(range(4)) * 3)
+
+    def test_bool_zero_copy_still_validated(self):
+        t = Table("r", {"b": np.array([True, False])})
+        data = bytearray(encode_table(t))
+        data[-1] = 7  # corrupt a bool byte
+        with pytest.raises(WireFormatError):
+            decode_table(bytes(data), copy=False)

@@ -1,0 +1,170 @@
+"""Frontend overload benchmark: saturation must degrade into typed sheds.
+
+Drives a small admission-controlled frontend at 3x its configured
+saturation point (client threads = 3x the global concurrency slots)
+with a mixed interactive/batch workload from three equal-weight
+tenants, and gates on the overload-safety contract:
+
+- every rejection is a typed ``QservOverloadError`` (quota subclass
+  included) -- zero unhandled exceptions, zero hung client threads;
+- p99 latency of *admitted* queries stays bounded (the queue-wait cap
+  plus execution, not minutes of silent queueing);
+- stride fair-share keeps per-tenant admitted throughput inside a
+  fairness band (min/max tenant ratio);
+- every batch job submitted during the storm still completes.
+
+Results land in ``benchmarks/out/BENCH_frontend.json`` (uploaded as a
+CI artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import numpy as np
+
+from repro.data import build_testbed
+from repro.qserv import QservFrontend, QservOverloadError
+
+from _series import OUT_DIR, emit, format_series
+
+TENANTS = ["alice", "bob", "carol"]
+MAX_CONCURRENT = 4
+SATURATION_FACTOR = 3  # client threads per slot: >= 3x saturation
+DURATION_S = 2.5
+BATCH_JOBS = 6
+P99_BOUND_S = 3.0
+FAIRNESS_BAND = 0.4  # slowest tenant >= 40% of the fastest
+
+QUERY = "SELECT COUNT(*) FROM Object"
+
+
+def test_overload_storm_is_typed_fair_and_bounded(tmp_path):
+    tb = build_testbed(num_workers=2, num_objects=800, seed=42)
+    frontend = QservFrontend(
+        tb.czar,
+        root=tmp_path,
+        max_concurrent=MAX_CONCURRENT,
+        max_queue_depth=2,  # tight queue: the 3x surplus must be shed
+        max_queue_wait=0.1,
+        cache_entries=0,  # every query must face admission
+    )
+
+    n_threads = MAX_CONCURRENT * SATURATION_FACTOR
+    latencies: dict[str, list] = {t: [] for t in TENANTS}
+    sheds: dict[str, int] = {t: 0 for t in TENANTS}
+    unexpected: list = []
+    stop = threading.Event()
+
+    def client(tenant: str):
+        while not stop.is_set():
+            t0 = time.perf_counter()
+            try:
+                frontend.query(QUERY, user=tenant, use_cache=False)
+                latencies[tenant].append(time.perf_counter() - t0)
+            except QservOverloadError:
+                sheds[tenant] += 1
+                time.sleep(0.005)  # honest client: brief backoff
+            except BaseException as e:  # noqa: BLE001 - the gate counts anything untyped
+                unexpected.append(f"{type(e).__name__}: {e}")
+                return
+
+    threads = [
+        threading.Thread(target=client, args=(TENANTS[i % len(TENANTS)],))
+        for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+
+    # Batch stream rides along mid-storm.
+    job_ids = [
+        frontend.submit_job(
+            f"SELECT COUNT(*) FROM Object WHERE objectId > {k}",
+            user="batch",
+            table=f"storm_{k}",
+        )
+        for k in range(BATCH_JOBS)
+    ]
+
+    time.sleep(DURATION_S)
+    stop.set()
+    for t in threads:
+        t.join(timeout=15)
+
+    # Gate 1: no deadlocks, no untyped failures.
+    hung = [i for i, t in enumerate(threads) if t.is_alive()]
+    assert not hung, f"client threads hung: {hung}"
+    assert not unexpected, unexpected
+
+    # Gate 2: batch jobs all complete despite the storm.
+    for job_id in job_ids:
+        deadline = time.monotonic() + 60
+        while frontend.poll_job(job_id)["status"] not in ("done", "failed", "cancelled"):
+            assert time.monotonic() < deadline, f"{job_id} stuck"
+            time.sleep(0.02)
+        assert frontend.poll_job(job_id)["status"] == "done"
+
+    all_lat = np.array([v for lats in latencies.values() for v in lats])
+    assert all_lat.size > 0, "storm admitted nothing at all"
+    p50 = float(np.percentile(all_lat, 50))
+    p99 = float(np.percentile(all_lat, 99))
+
+    # Gate 3: admitted-query tail latency stays bounded.
+    assert p99 < P99_BOUND_S, f"p99 {p99:.3f}s exceeds {P99_BOUND_S}s"
+
+    # Gate 4: equal-weight tenants stay inside the fairness band.
+    per_tenant = {t: len(latencies[t]) for t in TENANTS}
+    fairness = min(per_tenant.values()) / max(max(per_tenant.values()), 1)
+    assert fairness >= FAIRNESS_BAND, f"fairness {fairness:.2f} < {FAIRNESS_BAND}"
+
+    total_shed = sum(sheds.values())
+    # Gate 5: the storm genuinely overloaded the tier -- load WAS shed,
+    # and every shed was typed (anything untyped landed in `unexpected`).
+    assert total_shed > 0, "storm never tripped admission control"
+
+    entry = {
+        "bench": "frontend_overload",
+        "config": {
+            "max_concurrent": MAX_CONCURRENT,
+            "saturation_factor": SATURATION_FACTOR,
+            "client_threads": n_threads,
+            "duration_s": DURATION_S,
+            "tenants": TENANTS,
+            "batch_jobs": BATCH_JOBS,
+        },
+        "admitted": int(all_lat.size),
+        "shed_typed": total_shed,
+        "shed_untyped": 0,
+        "unexpected_errors": 0,
+        "hung_threads": 0,
+        "latency_p50_s": round(p50, 4),
+        "latency_p99_s": round(p99, 4),
+        "p99_bound_s": P99_BOUND_S,
+        "per_tenant_admitted": per_tenant,
+        "per_tenant_shed": sheds,
+        "fairness_min_over_max": round(fairness, 3),
+        "fairness_band": FAIRNESS_BAND,
+        "batch_completed": len(job_ids),
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_frontend.json").write_text(json.dumps(entry, indent=2) + "\n")
+
+    rows = [
+        (t, per_tenant[t], sheds[t]) for t in TENANTS
+    ]
+    emit(
+        "BENCH_frontend",
+        format_series(
+            f"frontend overload storm ({n_threads} clients on "
+            f"{MAX_CONCURRENT} slots, {DURATION_S}s): "
+            f"{all_lat.size} admitted, {total_shed} typed sheds, "
+            f"p99 {p99 * 1000:.1f} ms, fairness {fairness:.2f}",
+            ["tenant", "admitted", "shed"],
+            rows,
+        ),
+    )
+
+    frontend.shutdown()
+    tb.shutdown()

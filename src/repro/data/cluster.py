@@ -16,6 +16,7 @@ from ..partition import Chunker, Placement
 from ..qserv import (
     CatalogMetadata,
     Czar,
+    QservFrontend,
     QservProxy,
     QservWorker,
     SecondaryIndex,
@@ -45,6 +46,7 @@ class QservTestbed:
     secondary_index: SecondaryIndex
     czar: Czar
     proxy: QservProxy
+    frontend: QservFrontend
     tables: dict[str, Table]
     load_report: LoadReport
     health: HealthTracker
@@ -58,6 +60,7 @@ class QservTestbed:
         return self.proxy.query(sql, **kwargs)
 
     def shutdown(self):
+        self.frontend.shutdown()
         self.repair.stop()
         self.scrubber.stop()
         self.czar.close()
@@ -83,6 +86,7 @@ def build_testbed(
     retry_policy=None,
     hedge_policy=None,
     health=None,
+    frontend_root=None,
 ) -> QservTestbed:
     """Build, load, and wire a full cluster.
 
@@ -187,6 +191,11 @@ def build_testbed(
         repair=repair,
     )
     proxy = QservProxy(czar)
+    # The multi-tenant tier over the czar: admission control, result
+    # cache, MyDB, and the durable batch job queue.  Pass
+    # ``frontend_root`` to persist the job journal across testbeds
+    # (crash-recovery tests rebuild on the same directory).
+    frontend = QservFrontend(czar, root=frontend_root)
     return QservTestbed(
         chunker=chunker,
         metadata=metadata,
@@ -197,6 +206,7 @@ def build_testbed(
         secondary_index=secondary_index,
         czar=czar,
         proxy=proxy,
+        frontend=frontend,
         tables=tables,
         load_report=load_report,
         health=health,

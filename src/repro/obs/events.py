@@ -9,9 +9,10 @@ bury in free-text ``logging`` messages.
 Event types currently emitted:
 
 ==================  ====================================================
-``query_start``     proxy accepted a query (``sql``)
-``query_end``       query finished (``sql``, ``seconds``, ``rows``)
-``query_failed``    query raised (``sql``, ``error``)
+``query_start``     proxy accepted a query (``sql``, ``session``, ``user``)
+``query_end``       query finished (``sql``, ``seconds``, ``rows``, ``session``, ``user``)
+``query_failed``    query raised (``sql``, ``error``, ``session``, ``user``)
+``query_shed``      admission rejected a query (``tenant``, ``reason``, ``retry_after``)
 ``chunk_retry``     chunk re-dispatched (``chunk``, ``attempt``, ``error``)
 ``hedge_fired``     straggling chunk duplicated (``chunk``, ``delay``)
 ``hedge_won``       the duplicate answered first (``chunk``)
@@ -21,6 +22,18 @@ Event types currently emitted:
 ``breaker_probe``   half-open probe admitted (``server``)
 ``breaker_close``   breaker closed after success (``server``)
 ``worker_shutdown`` worker stopped serving (``worker``, ``pending``)
+``chunk_cancelled`` worker withdrew a chunk query (``worker``, ``path``, ``queued``)
+``chunk_expired``   worker skipped a deadline-dead task (``worker``, ``path``)
+``cancel_notify_failed``  best-effort withdrawal write failed (``worker``, ``error``)
+``job_submitted``   batch job journaled and queued (``job``, ``user``, ``table``)
+``job_started``     runner began an execution (``job``, ``user``, ``attempt``)
+``job_completed``   result committed to MyDB (``job``, ``user``, ``rows``, ``bytes``)
+``job_failed``      job raised / shed out (``job``, ``error``)
+``job_cancel``      cancellation requested (``job``, ``reason``)
+``job_cancelled``   cancellation took effect (``job``, ``reason``)
+``job_requeued``    shed batch job backing off (``job``, ``retry_after``)
+``job_recovered``   journal replay resolved a job (``job``, ``user``, ``how``)
+``frontend_crash``  simulated frontend crash (``jobs``)
 ==================  ====================================================
 
 The ring (default 1024 records) bounds memory on long sessions; every

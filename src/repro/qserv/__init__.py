@@ -23,6 +23,9 @@ substrates in :mod:`repro.sql` (per-node engine), :mod:`repro.xrd`
 - :mod:`~repro.qserv.czar` -- the master: coverage computation, dispatch
   over Xrootd paths, result collection/merging, final aggregation;
 - :mod:`~repro.qserv.proxy` -- the MySQL-proxy-shaped frontend;
+- :mod:`~repro.qserv.frontend` -- the overload-safe multi-tenant tier
+  (admission control, fair-share scheduling, result cache, MyDB, and
+  the crash-recoverable batch job queue);
 - :mod:`~repro.qserv.membership` -- the node lifecycle (join / drain /
   decommission) coordinated over placement, routing, and repair.
 """
@@ -32,15 +35,25 @@ from .analysis import QueryAnalysis, analyze, QservAnalysisError
 from .aggregation import AggregationPlan, build_aggregation_plan
 from .rewrite import ChunkQuerySpec, generate_chunk_queries, generate_merge_query
 from .secondary_index import SecondaryIndex
-from .worker import QservWorker, WorkerShutdownError
+from .worker import QservWorker, WorkerShutdownError, WorkerCancelledError
 from .czar import (
     Czar,
     QueryResult,
     QueryError,
     ChunkTimeoutError,
+    QueryCancelledError,
     HedgePolicy,
 )
 from .proxy import QservProxy
+from .frontend import (
+    QservFrontend,
+    AdmissionController,
+    TenantPolicy,
+    QservOverloadError,
+    QservQuotaError,
+    BatchJobQueue,
+    MyDb,
+)
 from .multimaster import LoadBalancingFrontend
 from .admin import ClusterAdmin, ClusterHealth
 from .czar import ExplainReport
@@ -60,12 +73,21 @@ __all__ = [
     "SecondaryIndex",
     "QservWorker",
     "WorkerShutdownError",
+    "WorkerCancelledError",
     "Czar",
     "QueryResult",
     "QueryError",
     "ChunkTimeoutError",
+    "QueryCancelledError",
     "HedgePolicy",
     "QservProxy",
+    "QservFrontend",
+    "AdmissionController",
+    "TenantPolicy",
+    "QservOverloadError",
+    "QservQuotaError",
+    "BatchJobQueue",
+    "MyDb",
     "LoadBalancingFrontend",
     "ClusterAdmin",
     "ClusterHealth",

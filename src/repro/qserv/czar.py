@@ -71,9 +71,11 @@ from ..sql.wire import decode_table, is_wire_payload
 from ..xrd import RedirectError, XrdClient, Redirector
 from ..xrd.filesystem import FileSystemError
 from ..xrd.health import HealthTracker
-from ..xrd.retry import Deadline, RetryPolicy
+from ..xrd.retry import CancelToken, Deadline, RetryPolicy
 from ..xrd.protocol import (
+    RESULT_PREFIX,
     WIRE_FORMATS,
+    cancel_path,
     deadline_header,
     query_hash,
     query_path,
@@ -95,6 +97,7 @@ __all__ = [
     "ExplainReport",
     "QueryError",
     "ChunkTimeoutError",
+    "QueryCancelledError",
     "HedgePolicy",
 ]
 
@@ -123,6 +126,16 @@ class QueryError(RedirectError):
 
 class ChunkTimeoutError(QueryError):
     """A chunk query exhausted the query deadline (hung or too slow)."""
+
+
+class QueryCancelledError(QueryError):
+    """The query's :class:`~repro.xrd.retry.CancelToken` fired.
+
+    Raised from the dispatch loops at the next poll point after
+    ``cancel()``; chunk queries already accepted by workers are
+    withdrawn best-effort through the ``/cancel/<H>`` protocol so
+    queued tasks free their slots instead of executing for nobody.
+    """
 
 
 class _PayloadError(RuntimeError):
@@ -553,6 +566,7 @@ class Czar:
         deadline: Optional[float | Deadline] = None,
         allow_partial: bool = False,
         trace: Optional[bool] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> QueryResult:
         """Execute one user query end to end.
 
@@ -570,6 +584,11 @@ class Czar:
         the module-level enable flag and sampling knob (None, the
         default; see :func:`repro.obs.trace.start_trace`).  The
         recorded trace rides on ``result.stats.trace``.
+
+        ``cancel`` is a :class:`~repro.xrd.retry.CancelToken` the
+        caller may fire from another thread; the dispatch loops poll it
+        and unwind with :class:`QueryCancelledError`, withdrawing
+        accepted chunk queries from their workers best-effort.
         """
         t0 = time.perf_counter()
         if deadline is not None and not isinstance(deadline, Deadline):
@@ -607,6 +626,7 @@ class Czar:
                     deadline=deadline,
                     allow_partial=allow_partial,
                     parent_span=root,
+                    cancel=cancel,
                 )
                 merge_t0 = time.perf_counter()
                 with obs_trace.span("merge", parent=root, track="czar") as merge_span:
@@ -622,6 +642,9 @@ class Czar:
                 self.metrics.histogram("czar.merge.seconds").observe(
                     time.perf_counter() - merge_t0
                 )
+        except QueryCancelledError:
+            self.metrics.counter("czar.queries.cancelled").add(1)
+            raise
         except Exception:
             self.metrics.counter("czar.queries.failed").add(1)
             raise
@@ -644,6 +667,7 @@ class Czar:
         deadline: Optional[Deadline] = None,
         allow_partial: bool = False,
         parent_span=obs_trace.NOOP_SPAN,
+        cancel: Optional[CancelToken] = None,
     ) -> list[tuple[str, object]]:
         """Run both file transactions for every chunk query.
 
@@ -687,6 +711,7 @@ class Czar:
             exclude=(),
             worker_box: Optional[list] = None,
             span=obs_trace.NOOP_SPAN,
+            inflight: Optional[list] = None,
         ):
             """One full dispatch+collect+validate transaction pair."""
             with span:
@@ -698,8 +723,16 @@ class Czar:
                 span.set(worker=worker)
                 if worker_box is not None:
                     worker_box.append(worker)
+                rpath = result_path(query_hash(text))
+                if inflight is not None:
+                    # Accepted by this worker: remember the (worker,
+                    # result-hash) pair so a cancellation can withdraw
+                    # the task.  Plain append -- lists are safe to
+                    # append concurrently, and readers only run after
+                    # the attempts are abandoned.
+                    inflight.append((worker, rpath))
                 data = self.client.read_file(
-                    result_path(query_hash(text)), server_name=worker, deadline=deadline
+                    rpath, server_name=worker, deadline=deadline
                 )
                 try:
                     kind, payload = self._validate_payload(data)
@@ -713,10 +746,11 @@ class Czar:
                 span.set(bytes=len(data), format=kind)
                 return worker, len(text.encode()), len(data), kind, payload
 
-        def attempt(spec: ChunkQuerySpec, dispatch_span, attempt_no: int):
-            """One logical attempt: bounded by the deadline, maybe hedged."""
+        def attempt(spec: ChunkQuerySpec, dispatch_span, attempt_no: int, inflight):
+            """One logical attempt: bounded by the deadline, maybe hedged,
+            unwound promptly when the cancel token fires."""
             hedge_delay = self._hedge_delay()
-            if deadline is None and hedge_delay is None:
+            if deadline is None and hedge_delay is None and cancel is None:
                 primary_span = obs_trace.span(
                     "attempt",
                     parent=dispatch_span,
@@ -736,57 +770,90 @@ class Czar:
                 n=attempt_no,
                 kind="primary",
             )
-            primary = pool.submit(attempt_once, spec, (), primary_workers, primary_span)
+            primary = pool.submit(
+                attempt_once, spec, (), primary_workers, primary_span, inflight
+            )
             attempt_spans = {primary: primary_span}
-            first_wait = hedge_delay
-            if deadline is not None:
-                left = deadline.remaining()
-                first_wait = left if first_wait is None else min(first_wait, left)
-            try:
-                return primary.result(timeout=first_wait)
-            # Hedge trigger: the primary is slow, fall through and race
-            # a second attempt against it.
-            # reprolint: disable=exception-swallow -- intentional hedge trigger
-            except _FutureTimeout:
-                pass
+            hedge_at = (
+                time.monotonic() + hedge_delay if hedge_delay is not None else None
+            )
+
+            def abandon(futures_left):
+                for f in futures_left:
+                    f.add_done_callback(_swallow_future)
+                    attempt_spans[f].cancel()
+
             futures = [primary]
-            if hedge_delay is not None and (deadline is None or not deadline.expired):
-                with self._merge_lock:
-                    stats.chunks_hedged += 1
-                obs_events.emit(
-                    "hedge_fired", chunk=spec.chunk_id, delay=round(hedge_delay, 6)
-                )
-                hedge_span = obs_trace.span(
-                    "attempt",
-                    parent=dispatch_span,
-                    track="czar",
-                    chunk=spec.chunk_id,
-                    n=attempt_no,
-                    kind="hedge",
-                )
-                hedge = pool.submit(
-                    attempt_once, spec, tuple(primary_workers), None, hedge_span
-                )
-                attempt_spans[hedge] = hedge_span
-                futures.append(hedge)
             pending = set(futures)
             last: Optional[Exception] = None
             while pending:
+                # The wait budget is the nearest of: the query deadline,
+                # the hedge trigger, and the cancel poll interval.
                 budget = deadline.remaining() if deadline is not None else None
+                if hedge_at is not None and len(futures) == 1:
+                    until_hedge = max(hedge_at - time.monotonic(), 0.0)
+                    budget = (
+                        until_hedge if budget is None else min(budget, until_hedge)
+                    )
+                if cancel is not None:
+                    budget = 0.05 if budget is None else min(budget, 0.05)
                 done, not_done = _futures_wait(
                     pending, timeout=budget, return_when=FIRST_COMPLETED
                 )
-                if not done:
-                    # Deadline hit with every attempt still in flight;
-                    # abandon them (their exceptions are swallowed, and
-                    # workers still evict unread results by refcount).
-                    for f in not_done:
-                        f.add_done_callback(_swallow_future)
-                        attempt_spans[f].cancel()
-                    raise ChunkTimeoutError(
-                        f"chunk {spec.chunk_id}: no replica answered "
-                        "within the query deadline"
+                if cancel is not None and cancel.cancelled:
+                    # Abandoned on purpose: the in-flight attempts are
+                    # swallowed and their accepted chunk queries are
+                    # withdrawn from the workers by the caller.
+                    abandon(not_done)
+                    raise QueryCancelledError(
+                        f"chunk {spec.chunk_id}: query cancelled "
+                        f"({cancel.reason or 'cancelled'})"
                     )
+                if not done:
+                    if deadline is not None and deadline.expired:
+                        # Deadline hit with every attempt still in
+                        # flight; abandon them (their exceptions are
+                        # swallowed, and workers still evict unread
+                        # results by refcount).
+                        abandon(not_done)
+                        raise ChunkTimeoutError(
+                            f"chunk {spec.chunk_id}: no replica answered "
+                            "within the query deadline"
+                        )
+                    if (
+                        hedge_at is not None
+                        and len(futures) == 1
+                        and time.monotonic() >= hedge_at
+                    ):
+                        # Hedge trigger: the primary is slow, race a
+                        # second attempt against it.
+                        with self._merge_lock:
+                            stats.chunks_hedged += 1
+                        obs_events.emit(
+                            "hedge_fired",
+                            chunk=spec.chunk_id,
+                            delay=round(hedge_delay, 6),
+                        )
+                        hedge_span = obs_trace.span(
+                            "attempt",
+                            parent=dispatch_span,
+                            track="czar",
+                            chunk=spec.chunk_id,
+                            n=attempt_no,
+                            kind="hedge",
+                        )
+                        hedge = pool.submit(
+                            attempt_once,
+                            spec,
+                            tuple(primary_workers),
+                            None,
+                            hedge_span,
+                            inflight,
+                        )
+                        attempt_spans[hedge] = hedge_span
+                        futures.append(hedge)
+                        pending.add(hedge)
+                    continue
                 for f in done:
                     pending.discard(f)
                     try:
@@ -795,9 +862,7 @@ class Czar:
                     except Exception as e:  # noqa: BLE001 - retried above
                         last = e
                         continue
-                    for p in pending:
-                        p.add_done_callback(_swallow_future)
-                        attempt_spans[p].cancel()
+                    abandon(pending)
                     if len(futures) > 1 and f is futures[1]:
                         with self._merge_lock:
                             stats.hedges_won += 1
@@ -806,11 +871,16 @@ class Czar:
             assert last is not None
             raise last
 
-        def collect(spec: ChunkQuerySpec, dispatch_span):
+        def collect(spec: ChunkQuerySpec, dispatch_span, inflight):
             """Retry loop around :func:`attempt` for one chunk."""
             key = f"chunk-{spec.chunk_id}"
             last: Optional[Exception] = None
             for attempt_no in range(policy.max_attempts):
+                if cancel is not None and cancel.cancelled:
+                    raise QueryCancelledError(
+                        f"chunk {spec.chunk_id}: query cancelled "
+                        f"({cancel.reason or 'cancelled'})"
+                    )
                 if deadline is not None and deadline.expired:
                     raise ChunkTimeoutError(
                         f"chunk {spec.chunk_id}: query deadline expired "
@@ -831,7 +901,9 @@ class Czar:
                             f"during backoff: {last}"
                         )
                 try:
-                    return attempt(spec, dispatch_span, attempt_no)
+                    return attempt(spec, dispatch_span, attempt_no, inflight)
+                except QueryCancelledError:
+                    raise
                 except ChunkTimeoutError:
                     raise
                 except _RETRYABLE as e:
@@ -875,9 +947,20 @@ class Czar:
             dispatch_span = obs_trace.span(
                 "dispatch", parent=parent_span, track="czar", chunk=spec.chunk_id
             )
+            # (worker, result-hash) pairs accepted during this chunk's
+            # attempts; consulted only for cancellation withdrawal.
+            inflight: list[tuple[str, str]] = []
             try:
                 with dispatch_span:
-                    worker, sent, received, kind, payload = collect(spec, dispatch_span)
+                    worker, sent, received, kind, payload = collect(
+                        spec, dispatch_span, inflight
+                    )
+            except QueryCancelledError:
+                self.metrics.counter("czar.chunks.cancelled").add(1)
+                self._withdraw_chunk_queries(inflight)
+                with self._merge_lock:
+                    stats.failed_chunks.append(spec.chunk_id)
+                raise
             except QueryError as e:
                 timed_out = isinstance(e, ChunkTimeoutError)
                 if timed_out:
@@ -908,6 +991,25 @@ class Czar:
         else:
             collected = list(self._pool.map(one, specs))
         return [entry for entry in collected if entry is not None]
+
+    def _withdraw_chunk_queries(self, inflight: list[tuple[str, str]]) -> None:
+        """Best-effort ``/cancel/<H>`` writes for accepted chunk queries.
+
+        Frees worker slots a cancelled query would otherwise consume:
+        queued tasks are discarded without executing, in-flight results
+        are dropped at completion.  Failures are recorded as events --
+        the worker may be dead, which cancels the work even harder.
+        """
+        for worker, rpath in inflight:
+            path = cancel_path(rpath[len(RESULT_PREFIX) :])
+            try:
+                server = self.client.redirector.server(worker)
+                with server.open(path, "w") as fh:
+                    fh.write(b"")
+            except Exception as e:  # noqa: BLE001 - advisory withdrawal
+                obs_events.emit(
+                    "cancel_notify_failed", worker=worker, error=str(e)
+                )
 
     @staticmethod
     def _validate_payload(data: bytes) -> tuple[str, object]:

@@ -1,0 +1,35 @@
+"""The overload-safe multi-tenant frontend tier.
+
+Everything between the user and the czar: admission control with typed
+load shedding (:mod:`.admission`), an LRU result cache (:mod:`.cache`),
+per-user durable result tables (:mod:`.mydb`), the crash-recoverable
+batch job queue (:mod:`.jobs`), and the :class:`QservFrontend` facade
+tying them together (:mod:`.frontend`).
+"""
+
+from .admission import (
+    AdmissionController,
+    AdmissionTicket,
+    QservOverloadError,
+    QservQuotaError,
+    TenantPolicy,
+)
+from .cache import ResultCache
+from .frontend import QservFrontend
+from .jobs import BatchJobQueue, JobError, JobJournal
+from .mydb import MyDb, MyDbError
+
+__all__ = [
+    "QservFrontend",
+    "AdmissionController",
+    "AdmissionTicket",
+    "TenantPolicy",
+    "QservOverloadError",
+    "QservQuotaError",
+    "ResultCache",
+    "MyDb",
+    "MyDbError",
+    "BatchJobQueue",
+    "JobJournal",
+    "JobError",
+]

@@ -1,0 +1,432 @@
+"""Admission control and weighted fair-share scheduling for the frontend.
+
+A production catalog service sits in front of thousands of interactive
+users plus long-running batch jobs (the SDSS CasJobs shape).  Left
+uncontrolled, a traffic burst turns into unbounded queues, memory
+growth, and tail latencies measured in minutes.  This module bounds all
+of it:
+
+- **global concurrency** is capped at ``max_concurrent`` slots (scaled
+  down while worker circuit breakers are open -- a half-dead cluster
+  should admit less, not queue more);
+- **per-tenant concurrency** is capped by that tenant's
+  :class:`TenantPolicy`;
+- **waiting** is bounded in both depth (``max_queue_depth`` global,
+  ``policy.max_queued`` per tenant) and time (``max_queue_wait``, or
+  the caller's deadline if tighter) -- anything past a bound is *shed*
+  with a typed :class:`QservOverloadError` carrying a ``retry_after``
+  hint, so saturation degrades into fast, honest rejections instead of
+  OOM or deadlock;
+- **fairness** between tenants uses stride scheduling: each grant
+  advances the tenant's pass value by ``1 / weight``, and the waiter
+  with the lowest pass value goes next, so a tenant flooding the queue
+  cannot starve the others no matter how many requests it posts;
+- **quotas**: cumulative result-row/byte budgets per tenant, enforced
+  at admission time with :class:`QservQuotaError`.
+
+The controller is fed by the observability layer (admitted queries
+report their duration, rows, and bytes on release; an EWMA of recent
+durations prices the ``retry_after`` hint) and by the PR 2 breaker
+state through an optional :class:`~repro.xrd.health.HealthTracker`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from ...analysis.sanitizer import make_condition, make_lock
+from ...obs import events as obs_events
+from ...obs import metrics as obs_metrics
+from ...xrd.retry import Deadline
+
+__all__ = [
+    "QservOverloadError",
+    "QservQuotaError",
+    "TenantPolicy",
+    "AdmissionController",
+    "AdmissionTicket",
+]
+
+
+class QservOverloadError(RuntimeError):
+    """The frontend shed this query; try again after ``retry_after``.
+
+    Typed load shedding: every rejection the admission controller makes
+    raises this (or the :class:`QservQuotaError` subclass), never a
+    bare queue overflow or a deadlock.  ``retry_after`` is a seconds
+    hint priced from the recent admitted-query latency and the current
+    backlog.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0, reason: str = ""):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+        self.reason = reason or "overload"
+
+
+class QservQuotaError(QservOverloadError):
+    """The tenant exhausted a quota (concurrency is not the issue).
+
+    Subclasses :class:`QservOverloadError` so "every rejection is
+    typed" holds with one except-clause; ``reason`` distinguishes the
+    two for accounting.
+    """
+
+    def __init__(self, message: str, reason: str = "quota"):
+        super().__init__(message, retry_after=60.0, reason=reason)
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant limits and scheduling weight.
+
+    ``weight`` scales the fair share (2.0 gets twice the slots of 1.0
+    under contention).  ``row_budget`` / ``byte_budget`` are cumulative
+    result-volume quotas; ``None`` means unlimited.
+    """
+
+    weight: float = 1.0
+    max_concurrent: int = 4
+    max_queued: int = 16
+    row_budget: Optional[int] = None
+    byte_budget: Optional[int] = None
+
+    def __post_init__(self):
+        if self.weight <= 0:
+            raise ValueError("weight must be > 0")
+        if self.max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if self.max_queued < 0:
+            raise ValueError("max_queued must be >= 0")
+
+
+class _Waiter:
+    """One queued admission request (granted under the controller lock)."""
+
+    __slots__ = ("granted", "abandoned")
+
+    def __init__(self):
+        self.granted = False
+        self.abandoned = False
+
+
+class _Tenant:
+    """Mutable per-tenant scheduling state (guarded by the controller lock)."""
+
+    __slots__ = (
+        "name",
+        "policy",
+        "running",
+        "pass_value",
+        "waiters",
+        "rows_used",
+        "bytes_used",
+        "admitted",
+        "shed",
+        "completed",
+    )
+
+    def __init__(self, name: str, policy: TenantPolicy):
+        self.name = name
+        self.policy = policy
+        self.running = 0
+        self.pass_value = 0.0
+        self.waiters: deque[_Waiter] = deque()
+        self.rows_used = 0
+        self.bytes_used = 0
+        self.admitted = 0
+        self.shed = 0
+        self.completed = 0
+
+
+class AdmissionTicket:
+    """One admitted slot; release it exactly once (context manager).
+
+    ``release(rows=..., result_bytes=...)`` charges the tenant's
+    quotas and feeds the latency estimate; the ``with`` form releases
+    uncharged on error exits.
+    """
+
+    __slots__ = ("_controller", "tenant", "_t0", "_released")
+
+    def __init__(self, controller: "AdmissionController", tenant: str, t0: float):
+        self._controller = controller
+        self.tenant = tenant
+        self._t0 = t0
+        self._released = False
+
+    def release(self, rows: int = 0, result_bytes: int = 0) -> None:
+        if self._released:
+            return
+        self._released = True
+        self._controller._release(self.tenant, self._t0, rows, result_bytes)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.release()
+        return False
+
+
+class AdmissionController:
+    """Bounded, fair, health-aware admission over one czar.
+
+    Parameters
+    ----------
+    max_concurrent:
+        Global in-flight query slots (scaled down by open breakers).
+    max_queue_depth:
+        Total queued admission requests across all tenants; anything
+        past it is shed immediately.
+    max_queue_wait:
+        Longest a request may sit queued before being shed, in seconds
+        (a caller deadline tightens it further).
+    default_policy:
+        The :class:`TenantPolicy` applied to tenants without an
+        explicit one.
+    health:
+        Optional :class:`~repro.xrd.health.HealthTracker`; while a
+        fraction of the cluster's breakers are open, the global slot
+        count shrinks proportionally (never below one slot).
+    """
+
+    def __init__(
+        self,
+        max_concurrent: int = 8,
+        max_queue_depth: int = 64,
+        max_queue_wait: float = 5.0,
+        default_policy: Optional[TenantPolicy] = None,
+        health=None,
+        clock=time.monotonic,
+    ):
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0")
+        if max_queue_wait <= 0:
+            raise ValueError("max_queue_wait must be > 0")
+        self.max_concurrent = max_concurrent
+        self.max_queue_depth = max_queue_depth
+        self.max_queue_wait = max_queue_wait
+        self.default_policy = default_policy or TenantPolicy()
+        self.health = health
+        self._clock = clock
+        self._lock = make_lock("AdmissionController._lock")
+        self._cv = make_condition(self._lock, "AdmissionController._cv")
+        self._tenants: dict[str, _Tenant] = {}
+        self._running = 0
+        self._queued = 0
+        # EWMA of admitted-query wall time, pricing retry_after hints.
+        self._avg_seconds = 0.05
+        self.metrics = obs_metrics.Registry(parent=obs_metrics.REGISTRY)
+
+    # -- policy ------------------------------------------------------------------
+
+    def set_policy(self, tenant: str, policy: TenantPolicy) -> None:
+        with self._cv:
+            self._tenant_locked(tenant).policy = policy
+            self._grant_locked()
+            self._cv.notify_all()
+
+    def _tenant_locked(self, name: str) -> _Tenant:
+        t = self._tenants.get(name)
+        if t is None:
+            t = self._tenants[name] = _Tenant(name, self.default_policy)
+        return t
+
+    # -- capacity ----------------------------------------------------------------
+
+    def _capacity_locked(self) -> int:
+        """Current global slot count, shrunk while breakers are open."""
+        if self.health is None:
+            return self.max_concurrent
+        snap = self.health.snapshot()
+        if not snap:
+            return self.max_concurrent
+        open_count = sum(1 for h in snap.values() if h.state == "open")
+        healthy_fraction = 1.0 - open_count / len(snap)
+        return max(1, int(round(self.max_concurrent * healthy_fraction)))
+
+    def _retry_after_locked(self) -> float:
+        """Seconds until a slot plausibly frees, from backlog x latency."""
+        capacity = max(self._capacity_locked(), 1)
+        backlog = self._queued + max(self._running - capacity + 1, 1)
+        estimate = backlog * self._avg_seconds / capacity
+        return min(max(estimate, 0.05), 30.0)
+
+    # -- admission ---------------------------------------------------------------
+
+    def acquire(
+        self,
+        tenant: str = "anon",
+        deadline: Optional[Deadline] = None,
+        timeout: Optional[float] = None,
+    ) -> AdmissionTicket:
+        """Admit one query for ``tenant`` or raise a typed rejection.
+
+        Returns an :class:`AdmissionTicket` once a slot is granted.
+        Raises :class:`QservQuotaError` when the tenant is over budget
+        and :class:`QservOverloadError` when the queue bounds or the
+        wait budget (``timeout``, ``max_queue_wait``, or the caller's
+        ``deadline``, whichever is tightest) are exceeded.
+        """
+        waiter = _Waiter()
+        with self._cv:
+            t = self._tenant_locked(tenant)
+            self._check_quota_locked(t)
+            budget = self.max_queue_wait if timeout is None else timeout
+            if deadline is not None:
+                budget = min(budget, deadline.remaining())
+            expires = self._clock() + budget
+            if not t.waiters:
+                # Stride "virtual time" catch-up: a tenant re-joining
+                # after idling resumes at the backlogged minimum pass
+                # instead of cashing in banked credit as a burst.
+                active = [
+                    x.pass_value
+                    for x in self._tenants.values()
+                    if x.waiters or x.running
+                ]
+                if active:
+                    t.pass_value = max(t.pass_value, min(active))
+            t.waiters.append(waiter)
+            self._queued += 1
+            queued_t0 = self._clock()
+            self._grant_locked()
+            if not waiter.granted and (
+                self._queued > self.max_queue_depth
+                or len(t.waiters) > t.policy.max_queued
+            ):
+                # No free slot and the queue bounds are breached:
+                # shed rather than park (depth bounds only apply to
+                # actual waiting, never to an immediate grant).
+                self._abandon_locked(t, waiter)
+                self._shed_locked(t, "queue_full")
+            while not waiter.granted:
+                left = expires - self._clock()
+                if left <= 0:
+                    self._abandon_locked(t, waiter)
+                    self._shed_locked(t, "queue_wait")
+                self._cv.wait(timeout=left)
+            self.metrics.histogram("frontend.queue.seconds").observe(
+                self._clock() - queued_t0
+            )
+            t.admitted += 1
+        self.metrics.counter("frontend.admitted").add(1)
+        return AdmissionTicket(self, tenant, self._clock())
+
+    def _check_quota_locked(self, t: _Tenant) -> None:
+        p = t.policy
+        if p.row_budget is not None and t.rows_used >= p.row_budget:
+            t.shed += 1
+            self.metrics.counter("frontend.quota_rejected").add(1)
+            raise QservQuotaError(
+                f"tenant {t.name!r} exhausted its row budget "
+                f"({t.rows_used} of {p.row_budget})",
+                reason="row_budget",
+            )
+        if p.byte_budget is not None and t.bytes_used >= p.byte_budget:
+            t.shed += 1
+            self.metrics.counter("frontend.quota_rejected").add(1)
+            raise QservQuotaError(
+                f"tenant {t.name!r} exhausted its byte budget "
+                f"({t.bytes_used} of {p.byte_budget})",
+                reason="byte_budget",
+            )
+
+    def _shed_locked(self, t: _Tenant, reason: str):
+        t.shed += 1
+        retry_after = self._retry_after_locked()
+        self.metrics.counter("frontend.shed").add(1)
+        obs_events.emit(
+            "query_shed",
+            tenant=t.name,
+            reason=reason,
+            retry_after=round(retry_after, 3),
+        )
+        raise QservOverloadError(
+            f"frontend overloaded ({reason}): tenant {t.name!r}, "
+            f"{self._queued} queued, {self._running} running; "
+            f"retry after {retry_after:.2f}s",
+            retry_after=retry_after,
+            reason=reason,
+        )
+
+    def _abandon_locked(self, t: _Tenant, waiter: _Waiter) -> None:
+        """Remove a timed-out waiter; re-grant in case order changed."""
+        waiter.abandoned = True
+        try:
+            t.waiters.remove(waiter)
+        except ValueError:  # reprolint: disable=exception-swallow -- already granted and dequeued
+            pass
+        else:
+            self._queued -= 1
+            self.metrics.gauge("frontend.queue.depth").set(self._queued)
+        self._grant_locked()
+        self._cv.notify_all()
+
+    def _grant_locked(self) -> None:
+        """Stride scheduling: grant free slots to the lowest-pass tenants."""
+        capacity = self._capacity_locked()
+        while self._running < capacity:
+            best: Optional[_Tenant] = None
+            for t in self._tenants.values():
+                if not t.waiters or t.running >= t.policy.max_concurrent:
+                    continue
+                if best is None or t.pass_value < best.pass_value:
+                    best = t
+            if best is None:
+                return
+            waiter = best.waiters.popleft()
+            self._queued -= 1
+            waiter.granted = True
+            best.running += 1
+            best.pass_value += 1.0 / best.policy.weight
+            self._running += 1
+        self.metrics.gauge("frontend.queue.depth").set(self._queued)
+        self.metrics.gauge("frontend.active").set(self._running)
+
+    def _release(self, tenant: str, t0: float, rows: int, result_bytes: int):
+        elapsed = max(self._clock() - t0, 0.0)
+        with self._cv:
+            t = self._tenant_locked(tenant)
+            t.running = max(t.running - 1, 0)
+            t.completed += 1
+            t.rows_used += int(rows)
+            t.bytes_used += int(result_bytes)
+            self._running = max(self._running - 1, 0)
+            self._avg_seconds += 0.2 * (elapsed - self._avg_seconds)
+            self.metrics.gauge("frontend.active").set(self._running)
+            self._grant_locked()
+            self._cv.notify_all()
+        self.metrics.histogram("frontend.query.seconds").observe(elapsed)
+
+    # -- introspection -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Per-tenant accounting for ``SHOW JOBS``-style surfaces."""
+        with self._lock:
+            return {
+                name: {
+                    "running": t.running,
+                    "queued": len(t.waiters),
+                    "admitted": t.admitted,
+                    "completed": t.completed,
+                    "shed": t.shed,
+                    "rows_used": t.rows_used,
+                    "bytes_used": t.bytes_used,
+                    "weight": t.policy.weight,
+                }
+                for name, t in sorted(self._tenants.items())
+            }
+
+    def __repr__(self):
+        with self._lock:
+            return (
+                f"AdmissionController(running={self._running}, "
+                f"queued={self._queued}, tenants={len(self._tenants)})"
+            )

@@ -1,0 +1,90 @@
+"""An LRU cache of merged query results, keyed on the query hash.
+
+Interactive astronomy traffic is repetitive -- the same cone searches
+and object lookups arrive from notebooks, dashboards, and retried
+sessions.  The catalog is read-only between data releases, so a merged
+result is valid for as long as the process lives and a tiny LRU in the
+frontend absorbs that repetition before it ever reaches admission
+control or the czar.
+
+Keys reuse :func:`repro.xrd.protocol.query_hash` over the normalized
+(whitespace-collapsed, case-folded keywords aside) SQL text, the same
+identity the dispatch fabric uses for chunk results, so two textually
+trivially-different spellings of a query share an entry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from ...analysis.sanitizer import make_lock
+from ...obs import metrics as obs_metrics
+from ...xrd.protocol import query_hash
+
+__all__ = ["ResultCache", "normalize_sql"]
+
+
+def normalize_sql(sql: str) -> str:
+    """Collapse whitespace so spelling variants share a cache key."""
+    return " ".join(sql.strip().rstrip(";").split())
+
+
+class ResultCache:
+    """A bounded, thread-safe LRU of :class:`~repro.qserv.czar.QueryResult`.
+
+    ``capacity`` counts entries, not bytes -- merged interactive results
+    are small by construction (aggregates, cone searches), and an entry
+    cap keeps eviction O(1).  A ``capacity`` of 0 disables the cache
+    (every ``get`` misses, ``put`` is a no-op), which tests use to pin
+    execution counts.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._lock = make_lock("ResultCache._lock")
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self.metrics = obs_metrics.Registry(parent=obs_metrics.REGISTRY)
+
+    @staticmethod
+    def key(sql: str) -> str:
+        return query_hash(normalize_sql(sql))
+
+    def get(self, sql: str) -> Optional[object]:
+        """The cached result for ``sql``, or None (counts hit/miss)."""
+        k = self.key(sql)
+        with self._lock:
+            entry = self._entries.get(k)
+            if entry is not None:
+                self._entries.move_to_end(k)
+        if entry is None:
+            self.metrics.counter("frontend.cache.misses").add(1)
+        else:
+            self.metrics.counter("frontend.cache.hits").add(1)
+        return entry
+
+    def put(self, sql: str, result) -> None:
+        if self.capacity == 0:
+            return
+        k = self.key(sql)
+        with self._lock:
+            self._entries[k] = result
+            self._entries.move_to_end(k)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.metrics.counter("frontend.cache.evicted").add(1)
+            self.metrics.gauge("frontend.cache.size").set(len(self._entries))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.metrics.gauge("frontend.cache.size").set(0)
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self):
+        return f"ResultCache(entries={len(self)}, capacity={self.capacity})"

@@ -1,0 +1,226 @@
+"""The overload-safe multi-tenant frontend over one czar.
+
+:class:`QservFrontend` is the process users actually talk to: it owns
+per-user proxy sessions, an admission controller with fair-share
+scheduling and quotas, an LRU result cache, the per-user MyDB result
+store, and the crash-recoverable batch job queue.  The czar below it
+stays a pure query engine; everything about *who* may run *how much*
+*when* lives here.
+
+Two traffic classes share one admission controller:
+
+- **interactive** queries (:meth:`query`) check the result cache, then
+  wait at most ``max_queue_wait`` (or their deadline) for a slot, then
+  run with the caller's deadline and cancel token threaded through to
+  the czar;
+- **batch** jobs (:meth:`submit_job`) are journaled first, then
+  executed by runner threads through the *same* admission gate with a
+  more patient queue wait -- batch riding the fair-share scheduler is
+  what keeps a bulk scan from starving interactive tenants, and shed
+  batch work requeues instead of failing.
+
+:meth:`kill` simulates a frontend crash (for fault drills and the
+crash-recovery test); :meth:`shutdown` drains gracefully.  Build a new
+frontend on the same ``root`` to recover the journal.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from ...analysis.sanitizer import make_lock
+from ...obs import metrics as obs_metrics
+from ...xrd.retry import CancelToken, Deadline
+from ..czar import Czar, QueryResult
+from ..proxy import QservProxy
+from .admission import AdmissionController, TenantPolicy
+from .cache import ResultCache
+from .jobs import BatchJobQueue
+from .mydb import MyDb
+
+__all__ = ["QservFrontend"]
+
+
+class QservFrontend:
+    """Admission-controlled, multi-tenant session/job surface over a czar.
+
+    Parameters
+    ----------
+    czar:
+        The query engine; its health tracker feeds admission capacity.
+    root:
+        Directory for durable state (job journal + MyDB).  ``None``
+        uses a private temporary directory (gone with the process --
+        fine for interactive-only use, useless for crash recovery).
+    local_db:
+        Optional non-partitioned fallback database for sessions.
+    batch_queue_wait:
+        How patiently a batch job waits for an admission slot before
+        being shed back to the job queue for a requeue.
+    """
+
+    def __init__(
+        self,
+        czar: Czar,
+        root=None,
+        local_db=None,
+        max_concurrent: int = 8,
+        max_queue_depth: int = 64,
+        max_queue_wait: float = 5.0,
+        batch_queue_wait: float = 30.0,
+        default_policy: Optional[TenantPolicy] = None,
+        cache_entries: int = 64,
+        job_slots: int = 1,
+        max_jobs: int = 1024,
+    ):
+        self.czar = czar
+        self.local_db = local_db
+        self._tmp = None
+        if root is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="qserv-frontend-")
+            root = self._tmp.name
+        self.root = Path(root)
+        self.batch_queue_wait = batch_queue_wait
+        self.admission = AdmissionController(
+            max_concurrent=max_concurrent,
+            max_queue_depth=max_queue_depth,
+            max_queue_wait=max_queue_wait,
+            default_policy=default_policy,
+            health=getattr(czar, "health", None),
+        )
+        self.cache = ResultCache(cache_entries)
+        self.mydb = MyDb(self.root / "mydb")
+        self.jobs = BatchJobQueue(
+            self._execute_batch,
+            self.root / "jobs",
+            mydb=self.mydb,
+            slots=job_slots,
+            max_jobs=max_jobs,
+        )
+        self._sessions: dict[str, QservProxy] = {}
+        self._sessions_lock = make_lock("QservFrontend._sessions_lock")
+        self.metrics = obs_metrics.Registry(parent=obs_metrics.REGISTRY)
+        self._down = False
+
+    # -- sessions ----------------------------------------------------------------
+
+    def session(self, user: str = "anon") -> QservProxy:
+        """The user's proxy session (created on first use)."""
+        with self._sessions_lock:
+            proxy = self._sessions.get(user)
+            if proxy is None:
+                proxy = self._sessions[user] = QservProxy(
+                    self.czar, local_db=self.local_db, user=user
+                )
+            return proxy
+
+    def set_policy(self, user: str, policy: TenantPolicy) -> None:
+        self.admission.set_policy(user, policy)
+
+    # -- interactive path --------------------------------------------------------
+
+    def query(
+        self,
+        sql: str,
+        user: str = "anon",
+        deadline: Optional[Deadline] = None,
+        cancel: Optional[CancelToken] = None,
+        use_cache: bool = True,
+        **submit_kwargs,
+    ) -> QueryResult:
+        """Run one interactive query under admission control.
+
+        Raises :class:`~repro.qserv.frontend.admission.QservOverloadError`
+        (or its quota subclass) when shed -- the caller sees a typed,
+        retryable rejection, never a queue timeout dressed as a query
+        failure.  Cache hits bypass admission entirely: they consume no
+        czar slot and charge no quota.
+        """
+        if self._down:
+            raise RuntimeError("frontend is shut down")
+        if use_cache:
+            cached = self.cache.get(sql)
+            if cached is not None:
+                self.metrics.counter("frontend.queries.cached").add(1)
+                return cached
+        ticket = self.admission.acquire(user, deadline=deadline)
+        try:
+            result = self.session(user).query(
+                sql, deadline=deadline, cancel=cancel, **submit_kwargs
+            )
+        except BaseException:
+            ticket.release()
+            raise
+        ticket.release(
+            rows=result.table.num_rows,
+            result_bytes=result.stats.bytes_collected,
+        )
+        if use_cache:
+            self.cache.put(sql, result)
+        self.metrics.counter("frontend.queries").add(1)
+        return result
+
+    def fetch_all(self, sql: str, user: str = "anon"):
+        result = self.query(sql, user=user)
+        return result.column_names, result.rows()
+
+    # -- batch path --------------------------------------------------------------
+
+    def _execute_batch(self, sql: str, user: str, cancel: CancelToken) -> QueryResult:
+        """The job queue's execute hook: same admission gate, patient wait."""
+        ticket = self.admission.acquire(user, timeout=self.batch_queue_wait)
+        try:
+            result = self.session(user).query(sql, cancel=cancel)
+        except BaseException:
+            ticket.release()
+            raise
+        ticket.release(
+            rows=result.table.num_rows,
+            result_bytes=result.stats.bytes_collected,
+        )
+        return result
+
+    def submit_job(self, sql: str, user: str = "anon", table: Optional[str] = None) -> str:
+        """Accept a durable batch job; returns its id once journaled."""
+        return self.jobs.submit(user, sql, table=table)
+
+    def poll_job(self, job_id: str) -> dict:
+        return self.jobs.poll(job_id)
+
+    def fetch_job(self, job_id: str):
+        return self.jobs.fetch(job_id)
+
+    def cancel_job(self, job_id: str, reason: str = "cancelled by user") -> bool:
+        return self.jobs.cancel(job_id, reason=reason)
+
+    def list_jobs(self, user: Optional[str] = None) -> list:
+        return self.jobs.jobs(user=user)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Graceful drain: running jobs finish, sessions close."""
+        if self._down:
+            return
+        self._down = True
+        self.jobs.stop()
+        if self._tmp is not None:
+            self._tmp.cleanup()
+            self._tmp = None
+
+    def kill(self) -> None:
+        """Simulate a frontend crash (journal freezes, work is torn down)."""
+        self._down = True
+        self.jobs.kill()
+
+    def inject_crash(self, point: str = "commit", after: int = 1) -> None:
+        """Arm a simulated crash at a job-journal window (fault drills)."""
+        self.jobs.inject_crash(point=point, after=after)
+
+    def __repr__(self):
+        return (
+            f"QservFrontend(root={str(self.root)!r}, "
+            f"sessions={len(self._sessions)}, down={self._down})"
+        )

@@ -1,0 +1,585 @@
+"""A crash-recoverable batch job queue (submit -> poll -> fetch).
+
+Long-running catalog scans cannot ride an interactive session: the
+connection outlives no laptop lid-close, and a frontend restart must
+not silently discard hours of accepted work.  This module journals
+every job-state transition to an append-only JSONL file *before*
+acknowledging it, and materializes results through the atomic-rename
+MyDB store, giving the queue a crash-recovery contract:
+
+**every accepted job is resumed or cleanly re-runnable after a crash --
+never lost, never double-executed.**
+
+The mechanism is a classic write-ahead discipline with one commit
+point:
+
+1. ``submit`` appends a ``submit`` record (flush + fsync) before
+   returning the job id -- an acknowledged job is always on disk;
+2. a runner appends ``start`` before executing;
+3. the merged result is written to MyDB via tmp-file + ``os.replace``
+   (atomic on POSIX) -- *this rename is the commit point*;
+4. only then is the terminal ``done`` record appended.
+
+Recovery replays the journal.  A job with a terminal record is final.
+A job caught between steps 3 and 4 (result file exists, no ``done``
+record) is finalized as ``done`` with ``recovered: true`` -- it is
+**not** re-executed, which is what makes completion exactly-once.  A
+job caught before step 3 is re-enqueued and re-runs from scratch;
+since nothing of its first attempt was committed, the re-run is
+indistinguishable from a single clean execution (results byte-identical
+by construction: same SQL, same read-only catalog, atomic replace).
+
+``kill()`` simulates the crash for tests and fault drills: the journal
+stops accepting records at the crash instant, in-flight cancel tokens
+fire so czar dispatch unwinds and worker slots free, and runner threads
+exit without journaling -- exactly the on-disk state a ``kill -9``
+would leave behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Callable, Optional
+
+from ...analysis.sanitizer import make_condition, make_lock
+from ...obs import events as obs_events
+from ...obs import metrics as obs_metrics
+from ...xrd.retry import CancelToken
+from ..czar import QueryCancelledError
+from .admission import QservOverloadError
+from .mydb import MyDb
+
+__all__ = ["BatchJobQueue", "JobJournal", "JobError"]
+
+#: Terminal job statuses (no further transitions, no recovery action).
+_TERMINAL = ("done", "failed", "cancelled")
+
+
+class JobError(RuntimeError):
+    """A job-queue operation failed (unknown id, wrong state)."""
+
+
+class JobJournal:
+    """Append-only JSONL journal with per-record flush + fsync.
+
+    ``mark_dead()`` freezes the journal at a simulated crash instant:
+    every later append is silently dropped, exactly as if the process
+    had died -- records that would have been written after the crash
+    never reach disk.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = make_lock("JobJournal._lock")
+        self._dead = False
+
+    def append(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            if self._dead:
+                return
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    def mark_dead(self) -> None:
+        with self._lock:
+            self._dead = True
+
+    def replay(self) -> list:
+        """Every decodable record, in append order.
+
+        A torn final line (crash mid-append) is skipped: fsync-per-record
+        means at most the last line can be partial.
+        """
+        if not self.path.exists():
+            return []
+        records = []
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except ValueError:
+                    continue  # reprolint: disable=exception-swallow -- torn tail line from a crash mid-append
+        return records
+
+
+class _Job:
+    """Mutable job state (guarded by the queue lock)."""
+
+    __slots__ = (
+        "job_id",
+        "user",
+        "sql",
+        "table",
+        "status",
+        "error",
+        "rows",
+        "result_bytes",
+        "attempts",
+        "requeues",
+        "recovered",
+        "cancel_token",
+        "submitted_at",
+        "finished_at",
+    )
+
+    def __init__(self, job_id: str, user: str, sql: str, table: str):
+        self.job_id = job_id
+        self.user = user
+        self.sql = sql
+        self.table = table
+        self.status = "queued"
+        self.error = ""
+        self.rows = 0
+        self.result_bytes = 0
+        self.attempts = 0
+        self.requeues = 0
+        self.recovered = False
+        self.cancel_token: Optional[CancelToken] = None
+        self.submitted_at = time.time()
+        self.finished_at: Optional[float] = None
+
+    def snapshot(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "user": self.user,
+            "sql": self.sql,
+            "table": self.table,
+            "status": self.status,
+            "error": self.error,
+            "rows": self.rows,
+            "result_bytes": self.result_bytes,
+            "attempts": self.attempts,
+            "requeues": self.requeues,
+            "recovered": self.recovered,
+        }
+
+
+class BatchJobQueue:
+    """Durable submit/poll/fetch job execution over one execute callable.
+
+    Parameters
+    ----------
+    execute:
+        ``execute(sql, user, cancel)`` returning a
+        :class:`~repro.qserv.czar.QueryResult`; the frontend passes its
+        admission-controlled czar path here.
+    root:
+        Directory holding ``journal.jsonl``; pass the same directory
+        across restarts to recover.
+    mydb:
+        The :class:`MyDb` results land in (one table per job).
+    slots:
+        Runner threads (batch concurrency *before* admission control;
+        admission still bounds what reaches the czar).
+    max_jobs:
+        Bound on queued-plus-running jobs; past it, ``submit`` sheds
+        with a typed :class:`QservOverloadError`.
+    """
+
+    def __init__(
+        self,
+        execute: Callable,
+        root,
+        mydb: Optional[MyDb] = None,
+        slots: int = 1,
+        max_jobs: int = 1024,
+        start: bool = True,
+    ):
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._execute = execute
+        self.mydb = mydb if mydb is not None else MyDb(self.root / "mydb")
+        self.journal = JobJournal(self.root / "journal.jsonl")
+        self.max_jobs = max_jobs
+        self._lock = make_lock("BatchJobQueue._lock")
+        self._cv = make_condition(self._lock, "BatchJobQueue._cv")
+        self._jobs: dict[str, _Job] = {}
+        self._queue: deque[str] = deque()
+        self._seq = 0
+        self._stopping = False
+        self._dead = False
+        self._crash_point: Optional[str] = None
+        self._crash_after = 0
+        self.metrics = obs_metrics.Registry(parent=obs_metrics.REGISTRY)
+        self._recover()
+        self._runners = [
+            threading.Thread(
+                target=self._serve, name=f"job-runner-{i}", daemon=True
+            )
+            for i in range(slots)
+        ]
+        if start:
+            for t in self._runners:
+                t.start()
+            self._started = True
+        else:
+            self._started = False
+
+    # -- recovery ----------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Rebuild state from the journal; finalize or re-enqueue survivors.
+
+        Runs in ``__init__`` before the runner threads start, but takes
+        the queue lock anyway so the guarded-state invariants hold
+        uniformly; finalization records are journaled after the lock is
+        dropped (the journal has its own lock, and fsync must never run
+        under the queue lock).
+        """
+        to_journal = []
+        with self._cv:
+            self._recover_locked(to_journal)
+        for rec in to_journal:
+            self.journal.append(rec)
+
+    def _recover_locked(self, to_journal: list) -> None:
+        for rec in self.journal.replay():
+            kind = rec.get("type")
+            job_id = rec.get("job", "")
+            if kind == "submit":
+                job = _Job(job_id, rec.get("user", "anon"), rec.get("sql", ""), rec.get("table", ""))
+                self._jobs[job_id] = job
+                try:
+                    self._seq = max(self._seq, int(job_id.rsplit("-", 1)[-1]))
+                except ValueError:  # reprolint: disable=exception-swallow -- foreign id format; seq just advances past known ones
+                    pass
+            elif job_id in self._jobs:
+                job = self._jobs[job_id]
+                if kind == "start":
+                    job.attempts = int(rec.get("attempt", job.attempts + 1))
+                elif kind == "done":
+                    job.status = "done"
+                    job.rows = int(rec.get("rows", 0))
+                    job.result_bytes = int(rec.get("bytes", 0))
+                    job.recovered = bool(rec.get("recovered", False))
+                elif kind == "failed":
+                    job.status = "failed"
+                    job.error = rec.get("error", "")
+                elif kind == "cancelled":
+                    job.status = "cancelled"
+                    job.error = rec.get("reason", "cancelled")
+        for job in self._jobs.values():
+            if job.status in _TERMINAL:
+                continue
+            if job.table and self.mydb.exists(job.user, job.table):
+                # Crashed between the result-file commit point and the
+                # ``done`` record: finalize without re-executing.
+                table = self.mydb.load(job.user, job.table)
+                job.status = "done"
+                job.rows = table.num_rows
+                job.result_bytes = self.mydb.path(job.user, job.table).stat().st_size
+                job.recovered = True
+                to_journal.append(
+                    {
+                        "type": "done",
+                        "job": job.job_id,
+                        "rows": job.rows,
+                        "bytes": job.result_bytes,
+                        "recovered": True,
+                    }
+                )
+                self.metrics.counter("job.recovered").add(1)
+                obs_events.emit("job_recovered", job=job.job_id, user=job.user, how="finalized")
+            else:
+                # Crashed before the commit point: nothing of the first
+                # run survived, so a clean re-run is exactly-once.
+                job.status = "queued"
+                self._queue.append(job.job_id)
+                self.metrics.counter("job.recovered").add(1)
+                obs_events.emit("job_recovered", job=job.job_id, user=job.user, how="requeued")
+
+    # -- submission surface ------------------------------------------------------
+
+    def submit(self, user: str, sql: str, table: Optional[str] = None) -> str:
+        """Accept a job; its id is returned only once it is on disk."""
+        with self._cv:
+            if self._dead or self._stopping:
+                raise JobError("job queue is shut down")
+            active = sum(1 for j in self._jobs.values() if j.status not in _TERMINAL)
+            if active >= self.max_jobs:
+                self.metrics.counter("job.shed").add(1)
+                raise QservOverloadError(
+                    f"batch queue full ({active} active jobs)",
+                    retry_after=30.0,
+                    reason="job_queue_full",
+                )
+            self._seq += 1
+            job_id = f"job-{self._seq:06d}"
+            job = _Job(job_id, user, sql, table or job_id.replace("-", "_"))
+            self.mydb.path(user, job.table)  # validates names before accepting
+            self._jobs[job_id] = job
+        # The durability contract: the submit record reaches disk before
+        # the id is returned AND before the job becomes runnable (it is
+        # not enqueued yet, so no runner can have started it).  The
+        # append happens outside the queue lock -- the journal has its
+        # own lock, and per-record fsync must never stall pollers.
+        self.journal.append(
+            {
+                "type": "submit",
+                "job": job_id,
+                "user": user,
+                "sql": sql,
+                "table": job.table,
+            }
+        )
+        with self._cv:
+            self._queue.append(job_id)
+            self._cv.notify()
+        self.metrics.counter("job.submitted").add(1)
+        obs_events.emit("job_submitted", job=job_id, user=user, table=job.table)
+        return job_id
+
+    def poll(self, job_id: str) -> dict:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise JobError(f"unknown job {job_id!r}")
+            return job.snapshot()
+
+    def fetch(self, job_id: str):
+        """The finished job's result table, loaded from MyDB."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise JobError(f"unknown job {job_id!r}")
+            if job.status != "done":
+                raise JobError(f"job {job_id} is {job.status}, not done")
+            user, table = job.user, job.table
+        return self.mydb.load(user, table)
+
+    def cancel(self, job_id: str, reason: str = "cancelled by user") -> bool:
+        """Cancel a queued or running job; False if already terminal."""
+        record = None
+        with self._cv:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise JobError(f"unknown job {job_id!r}")
+            if job.status in _TERMINAL:
+                return False
+            if job.status == "queued":
+                try:
+                    self._queue.remove(job_id)
+                except ValueError:  # reprolint: disable=exception-swallow -- already dequeued by a runner
+                    pass
+                self._finish_locked(job, "cancelled", reason=reason)
+                record = {"type": "cancelled", "job": job_id, "reason": reason}
+            else:
+                # Running: fire the cooperative token; the runner
+                # journals the terminal record when dispatch unwinds.
+                if job.cancel_token is not None:
+                    job.cancel_token.cancel(reason)
+            self._cv.notify_all()
+        if record is not None:
+            self.journal.append(record)
+        self.metrics.counter("job.cancel_requested").add(1)
+        obs_events.emit("job_cancel", job=job_id, reason=reason)
+        return True
+
+    def jobs(self, user: Optional[str] = None) -> list:
+        with self._lock:
+            return [
+                j.snapshot()
+                for j in sorted(self._jobs.values(), key=lambda j: j.job_id)
+                if user is None or j.user == user
+            ]
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Graceful drain: running jobs finish, queued jobs stay journaled."""
+        with self._cv:
+            self._stopping = True
+            self._cv.notify_all()
+        if self._started:
+            per = max(timeout / max(len(self._runners), 1), 0.1)
+            for t in self._runners:
+                t.join(timeout=per)
+
+    def kill(self) -> None:
+        """Simulate a frontend crash at this instant."""
+        self._die()
+        if self._started:
+            me = threading.current_thread()
+            for t in self._runners:
+                if t is not me:
+                    t.join(timeout=5.0)
+
+    def _die(self) -> None:
+        """The crash itself (no thread joins, callable from a runner).
+
+        Ordering matters: the journal dies *first*, so a completion
+        racing the crash cannot append a post-crash ``done`` record;
+        then in-flight cancel tokens fire so czar dispatch unwinds and
+        worker slots are withdrawn, as the broken TCP sessions of a
+        real crash eventually would.
+        """
+        self.journal.mark_dead()
+        with self._cv:
+            self._dead = True
+            for job in self._jobs.values():
+                if job.status == "running" and job.cancel_token is not None:
+                    job.cancel_token.cancel("frontend crash (simulated)")
+            self._cv.notify_all()
+        obs_events.emit("frontend_crash", jobs=len(self._jobs))
+
+    # -- fault injection ---------------------------------------------------------
+
+    def inject_crash(self, point: str = "commit", after: int = 1) -> None:
+        """Arm a simulated crash at a journaling window.
+
+        ``point="start"`` crashes right after the Nth ``start`` record
+        reaches disk (recovery must re-enqueue and re-run the job);
+        ``point="commit"`` crashes between the atomic result-file
+        rename and the ``done`` record (recovery must finalize without
+        re-executing).  Together they cover both sides of the
+        exactly-once commit point.
+        """
+        if point not in ("start", "commit"):
+            raise ValueError(f"unknown crash point {point!r}")
+        if after < 1:
+            raise ValueError("after must be >= 1")
+        with self._cv:
+            self._crash_point = point
+            self._crash_after = after
+
+    def _maybe_crash(self, point: str) -> None:
+        with self._cv:
+            if self._crash_point != point:
+                return
+            self._crash_after -= 1
+            if self._crash_after > 0:
+                return
+            self._crash_point = None
+        self._die()
+
+    # -- execution ---------------------------------------------------------------
+
+    def _serve(self) -> None:
+        while True:
+            with self._cv:
+                while not self._queue and not self._stopping and not self._dead:
+                    self._cv.wait()
+                if self._dead or (self._stopping and not self._queue):
+                    return
+                job_id = self._queue.popleft()
+                job = self._jobs[job_id]
+                if job.status != "queued":
+                    continue
+                job.status = "running"
+                job.cancel_token = CancelToken()
+                job.attempts += 1
+                attempt = job.attempts
+                self.metrics.gauge("job.queue.depth").set(len(self._queue))
+            self.journal.append({"type": "start", "job": job_id, "attempt": attempt})
+            self._maybe_crash("start")
+            obs_events.emit("job_started", job=job_id, user=job.user, attempt=attempt)
+            self._run_one(job)
+
+    def _run_one(self, job: _Job) -> None:
+        t0 = time.monotonic()
+        try:
+            result = self._execute(job.sql, job.user, job.cancel_token)
+            path = self.mydb.save(job.user, job.table, result.table)
+            self._maybe_crash("commit")
+        except QueryCancelledError:
+            if self._dead:
+                return  # crash teardown, not a user cancel: journal nothing
+            reason = job.cancel_token.reason if job.cancel_token else "cancelled"
+            with self._cv:
+                self._finish_locked(job, "cancelled", reason=reason)
+            self.journal.append(
+                {"type": "cancelled", "job": job.job_id, "reason": reason}
+            )
+            self.metrics.counter("job.cancelled").add(1)
+            obs_events.emit("job_cancelled", job=job.job_id, reason=reason)
+        except QservOverloadError as e:
+            if self._dead:
+                return
+            self._requeue(job, e)
+        except Exception as e:  # noqa: BLE001 - any query error fails the job
+            if self._dead:
+                return
+            with self._cv:
+                self._finish_locked(job, "failed", reason=str(e))
+            self.journal.append(
+                {"type": "failed", "job": job.job_id, "error": str(e)}
+            )
+            self.metrics.counter("job.failed").add(1)
+            obs_events.emit("job_failed", job=job.job_id, error=str(e))
+        else:
+            if self._dead:
+                return  # result committed, but the crash beat the done record
+            rows = result.table.num_rows
+            size = path.stat().st_size
+            with self._cv:
+                job.rows = rows
+                job.result_bytes = size
+                self._finish_locked(job, "done")
+            self.journal.append(
+                {"type": "done", "job": job.job_id, "rows": rows, "bytes": size}
+            )
+            self.metrics.counter("job.completed").add(1)
+            self.metrics.histogram("job.seconds").observe(time.monotonic() - t0)
+            obs_events.emit(
+                "job_completed", job=job.job_id, user=job.user, rows=rows, bytes=size
+            )
+
+    def _requeue(self, job: _Job, err: QservOverloadError) -> None:
+        """Back off and retry a shed batch job (bounded, crash-aware)."""
+        with self._cv:
+            job.requeues += 1
+            requeues = job.requeues
+        if requeues > 100:
+            with self._cv:
+                self._finish_locked(job, "failed", reason=f"shed too many times: {err}")
+            self.journal.append(
+                {"type": "failed", "job": job.job_id, "error": str(err)}
+            )
+            self.metrics.counter("job.failed").add(1)
+            return
+        self.metrics.counter("job.requeued").add(1)
+        obs_events.emit(
+            "job_requeued", job=job.job_id, retry_after=round(err.retry_after, 3)
+        )
+        time.sleep(min(err.retry_after, 0.2))
+        with self._cv:
+            if self._dead or self._stopping:
+                return
+            if job.cancel_token is not None and job.cancel_token.cancelled:
+                reason = job.cancel_token.reason
+                self._finish_locked(job, "cancelled", reason=reason)
+            else:
+                job.status = "queued"
+                self._queue.append(job.job_id)
+                self._cv.notify()
+                return
+        self.journal.append(
+            {"type": "cancelled", "job": job.job_id, "reason": reason}
+        )
+        self.metrics.counter("job.cancelled").add(1)
+        obs_events.emit("job_cancelled", job=job.job_id, reason=reason)
+
+    def _finish_locked(self, job: _Job, status: str, reason: str = "") -> None:
+        job.status = status
+        job.error = reason
+        job.finished_at = time.time()
+        job.cancel_token = None
+
+    def __repr__(self):
+        with self._lock:
+            active = sum(1 for j in self._jobs.values() if j.status not in _TERMINAL)
+            return f"BatchJobQueue(jobs={len(self._jobs)}, active={active})"

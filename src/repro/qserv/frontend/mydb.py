@@ -1,0 +1,116 @@
+"""Per-user durable result tables (the CasJobs "MyDB" shape).
+
+Batch astronomy workflows do not stream results back over a session --
+they materialize them server-side, then fetch, join, or refine later.
+:class:`MyDb` is that store: one directory per user, one file per
+table, each file the binary columnar wire encoding
+(:mod:`repro.sql.wire`) of a merged result table.
+
+Durability contract: a table either exists completely or not at all.
+Saves write to a temporary file in the same directory, flush + fsync,
+then atomically rename over the final name -- a frontend crash mid-save
+leaves at most a ``*.tmp`` orphan (swept on open), never a truncated
+table.  This is the property the batch job queue's exactly-once
+recovery leans on: "the result file exists" is a reliable commit point.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+
+from ...analysis.sanitizer import make_lock
+from ...sql.wire import decode_table, encode_table
+
+__all__ = ["MyDb", "MyDbError"]
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_SUFFIX = ".qtab"
+
+
+class MyDbError(RuntimeError):
+    """A MyDB operation failed (unknown table, bad name)."""
+
+
+def _check_name(kind: str, name: str) -> str:
+    if not _NAME_RE.fullmatch(name or ""):
+        raise MyDbError(f"invalid {kind} name {name!r} (want [A-Za-z_][A-Za-z0-9_]*)")
+    return name
+
+
+class MyDb:
+    """Per-user result-table storage rooted at one directory."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = make_lock("MyDb._lock")
+        # Sweep tmp orphans from a previous crash-interrupted save.
+        for orphan in self.root.glob(f"*/*{_SUFFIX}.tmp"):
+            try:
+                orphan.unlink()
+            except OSError:  # reprolint: disable=exception-swallow -- orphan sweep is best-effort
+                pass
+
+    def path(self, user: str, table: str) -> Path:
+        return self.root / _check_name("user", user) / (
+            _check_name("table", table) + _SUFFIX
+        )
+
+    def save(self, user: str, table_name: str, table) -> Path:
+        """Atomically persist ``table`` as ``user``'s ``table_name``.
+
+        Returns the final path.  Idempotent: re-saving the same table
+        replaces the file atomically, so a crash-retried job that
+        re-materializes identical bytes is indistinguishable from a
+        single run.
+        """
+        final = self.path(user, table_name)
+        payload = encode_table(table, name=table_name)
+        with self._lock:
+            final.parent.mkdir(parents=True, exist_ok=True)
+            tmp = final.with_name(final.name + ".tmp")
+            with open(tmp, "wb") as fh:
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, final)
+        return final
+
+    def load(self, user: str, table_name: str):
+        """The stored table, decoded; raises :class:`MyDbError` if absent."""
+        path = self.path(user, table_name)
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            raise MyDbError(
+                f"no MyDB table {table_name!r} for user {user!r}"
+            ) from None
+        return decode_table(data)
+
+    def exists(self, user: str, table_name: str) -> bool:
+        return self.path(user, table_name).exists()
+
+    def tables(self, user: str) -> list:
+        """The user's table names, sorted."""
+        userdir = self.root / _check_name("user", user)
+        if not userdir.is_dir():
+            return []
+        return sorted(
+            p.name[: -len(_SUFFIX)]
+            for p in userdir.iterdir()
+            if p.name.endswith(_SUFFIX)
+        )
+
+    def drop(self, user: str, table_name: str) -> None:
+        path = self.path(user, table_name)
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            raise MyDbError(
+                f"no MyDB table {table_name!r} for user {user!r}"
+            ) from None
+
+    def __repr__(self):
+        return f"MyDb(root={str(self.root)!r})"

@@ -7,11 +7,19 @@ rows back, with per-session accounting.  Queries that touch no
 partitioned table fall through to a local database when one is
 attached, mimicking the proxy passing non-distributed statements to a
 plain backend.
+
+Sessions carry an identity (``user`` plus a unique ``session_id``)
+that tags every ``query_start`` / ``query_end`` / ``query_failed``
+event, so the event log can be sliced per tenant -- which is what the
+frontend's fair-share accounting and the operator's "who is hammering
+the cluster" question both need.
 """
 
 from __future__ import annotations
 
+import itertools
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -20,7 +28,15 @@ from ..sql import Database
 from .analysis import QservAnalysisError
 from .czar import Czar, QueryResult
 
-__all__ = ["QservProxy", "SessionLog"]
+__all__ = ["QservProxy", "SessionLog", "HISTORY_LIMIT"]
+
+#: Retained ``(sql, seconds)`` history entries per session.  A session
+#: is long-lived (think a notebook kernel attached for days), so an
+#: unbounded list is a slow memory leak; older entries roll off and are
+#: counted in :attr:`SessionLog.history_dropped`.
+HISTORY_LIMIT = 256
+
+_session_ids = itertools.count(1)
 
 
 @dataclass
@@ -32,26 +48,44 @@ class SessionLog:
     local_queries: int = 0
     failed_queries: int = 0
     total_seconds: float = 0.0
-    history: list = field(default_factory=list)
+    #: Most recent ``(sql, seconds)`` pairs, bounded at HISTORY_LIMIT.
+    history: deque = field(default_factory=lambda: deque(maxlen=HISTORY_LIMIT))
+    #: Entries that rolled off the bounded history.
+    history_dropped: int = 0
+
+    def record(self, sql: str, seconds: float) -> None:
+        if len(self.history) == self.history.maxlen:
+            self.history_dropped += 1
+        self.history.append((sql, seconds))
 
 
 class QservProxy:
-    """A client session against one czar."""
+    """A client session against one czar, tagged with a user identity."""
 
-    def __init__(self, czar: Czar, local_db: Optional[Database] = None):
+    def __init__(
+        self,
+        czar: Czar,
+        local_db: Optional[Database] = None,
+        user: str = "anon",
+        session_id: Optional[str] = None,
+    ):
         self.czar = czar
         self.local_db = local_db
+        self.user = user
+        self.session_id = session_id or f"session-{next(_session_ids)}"
         self.log = SessionLog()
 
     def query(self, sql: str, **submit_kwargs) -> QueryResult:
         """Submit one query; raises SqlError/QservAnalysisError on failure.
 
-        Extra keyword arguments (``deadline``, ``allow_partial``) are
-        forwarded to :meth:`Czar.submit`.
+        Extra keyword arguments (``deadline``, ``allow_partial``,
+        ``cancel``) are forwarded to :meth:`Czar.submit`.
         """
         t0 = time.perf_counter()
         self.log.queries += 1
-        obs_events.emit("query_start", sql=sql)
+        obs_events.emit(
+            "query_start", sql=sql, session=self.session_id, user=self.user
+        )
         try:
             try:
                 result = self.czar.submit(sql, **submit_kwargs)
@@ -69,18 +103,24 @@ class QservProxy:
         except Exception as e:
             self.log.failed_queries += 1
             obs_events.emit(
-                "query_failed", sql=sql, error=f"{type(e).__name__}: {e}"
+                "query_failed",
+                sql=sql,
+                error=f"{type(e).__name__}: {e}",
+                session=self.session_id,
+                user=self.user,
             )
             raise
         finally:
             elapsed = time.perf_counter() - t0
             self.log.total_seconds += elapsed
-            self.log.history.append((sql, elapsed))
+            self.log.record(sql, elapsed)
         obs_events.emit(
             "query_end",
             sql=sql,
             seconds=round(elapsed, 6),
             rows=result.table.num_rows,
+            session=self.session_id,
+            user=self.user,
         )
         return result
 

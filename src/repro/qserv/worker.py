@@ -20,7 +20,7 @@ from __future__ import annotations
 import re
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 
 from ..analysis.sanitizer import make_condition, make_lock, make_rlock
@@ -33,6 +33,7 @@ from ..sql.wire import decode_table, encode_table
 from ..xrd import OfsPlugin
 from ..xrd.filesystem import FileSystemError
 from ..xrd.protocol import (
+    CANCEL_PREFIX,
     CHUNK_PREFIX,
     DEADLINE_HEADER_PREFIX,
     MANIFEST_PREFIX,
@@ -41,6 +42,7 @@ from ..xrd.protocol import (
     RESULT_PREFIX,
     chunk_id_of_manifest_path,
     chunk_id_of_query_path,
+    hash_of_cancel_path,
     parse_trace_header,
     query_hash,
     result_path,
@@ -48,7 +50,12 @@ from ..xrd.protocol import (
 )
 from .rewrite import SUBCHUNK_HEADER_PREFIX
 
-__all__ = ["QservWorker", "WorkerStats", "WorkerShutdownError"]
+__all__ = [
+    "QservWorker",
+    "WorkerStats",
+    "WorkerShutdownError",
+    "WorkerCancelledError",
+]
 
 # Physical sub-chunk table names: Object_713_45 / ObjectFullOverlap_713_45.
 _SUBCHUNK_RE = re.compile(r"^(?P<base>\w+?)_(?P<chunk>\d+)_(?P<sub>\d+)$")
@@ -58,6 +65,14 @@ _RESULT_TABLE = "chunk_result"
 # Error recorded against every result a shutdown abandons.
 _SHUTDOWN_MESSAGE = "worker is shut down"
 
+# Error recorded against a result withdrawn through /cancel/<H>.
+_CANCELLED_MESSAGE = "chunk query cancelled by master"
+
+# Cancelled result hashes remembered, so a late-arriving dispatch of a
+# withdrawn query is discarded instead of executed.  LRU-capped: when a
+# hash rotates out, all its result bookkeeping goes with it.
+_CANCEL_MEMORY = 4096
+
 
 class WorkerShutdownError(SqlError):
     """The worker shut down before (or while) producing this result.
@@ -65,6 +80,15 @@ class WorkerShutdownError(SqlError):
     Distinguished from ordinary :class:`SqlError` because the master
     may safely re-dispatch the chunk to a surviving replica -- the
     query itself is not at fault.
+    """
+
+
+class WorkerCancelledError(SqlError):
+    """This result was withdrawn through the ``/cancel/<H>`` protocol.
+
+    A master normally never reads a result it cancelled; this surfaces
+    only when a blocked result read races the cancellation, and tells
+    the reader not to retry -- the query was abandoned on purpose.
     """
 
 
@@ -83,6 +107,8 @@ class WorkerStats:
     binary_results: int = 0
     sqldump_results: int = 0
     results_evicted: int = 0
+    queries_cancelled: int = 0
+    queries_expired: int = 0
 
 
 class QservWorker(OfsPlugin):
@@ -155,6 +181,10 @@ class QservWorker(OfsPlugin):
         # Reads still owed per result path; with cache_results=False a
         # result is evicted when the last expected reader has read it.
         self._pending_reads: dict[str, int] = {}
+        # Result paths withdrawn via /cancel/<H>, LRU-capped: a queued
+        # task is discarded at dequeue, an in-flight result is dropped
+        # at completion, and a late dispatch is refused outright.
+        self._cancelled: OrderedDict[str, None] = OrderedDict()
         self._lock = make_rlock("QservWorker._lock")
         self._queue: deque[tuple[str, int, str]] = deque()
         self._queue_cv = make_condition(self._lock, "QservWorker._queue_cv")
@@ -181,17 +211,33 @@ class QservWorker(OfsPlugin):
             or path.startswith(RESULT_PREFIX)
             or path.startswith(CHUNK_PREFIX)
             or path.startswith(MANIFEST_PREFIX)
+            or path.startswith(CANCEL_PREFIX)
         )
 
     def on_write(self, path: str, data: bytes) -> None:
         if path.startswith(CHUNK_PREFIX):
             self._install_chunk_table(path, data)
             return
+        if path.startswith(CANCEL_PREFIX):
+            self._cancel_result(result_path(hash_of_cancel_path(path)))
+            return
         chunk_id = chunk_id_of_query_path(path)
         text = data.decode()
         rpath = result_path(query_hash(text))
         budget = self._deadline_seconds(text)
         with self._lock:
+            if rpath in self._cancelled:
+                # The master withdrew this query before (or while) the
+                # dispatch landed; refuse it with the typed error so a
+                # racing result read is released, and never execute.
+                self._errors[rpath] = _CANCELLED_MESSAGE
+                event = self._result_ready.setdefault(rpath, threading.Event())
+                if not self.cache_results:
+                    self._pending_reads[rpath] = (
+                        self._pending_reads.get(rpath, 0) + 1
+                    )
+                event.set()
+                return
             if self._shutdown:
                 # A dispatch raced our shutdown; fail it immediately so
                 # the master's read is released with an error instead
@@ -259,6 +305,8 @@ class QservWorker(OfsPlugin):
                 self._done_reading_locked(path)
                 if message == _SHUTDOWN_MESSAGE:
                     raise WorkerShutdownError(f"worker {self.name}: {message}")
+                if message == _CANCELLED_MESSAGE:
+                    raise WorkerCancelledError(f"worker {self.name}: {message}")
                 raise SqlError(f"worker {self.name}: {message}")
             data = self._results.get(path)
             if data is not None:
@@ -322,7 +370,88 @@ class QservWorker(OfsPlugin):
         with self._lock:
             return len(self._queue)
 
+    # -- cancellation --------------------------------------------------------------
+
+    def _cancel_result(self, rpath: str) -> None:
+        """Withdraw one result path (the ``/cancel/<H>`` write).
+
+        Frees the execution slot a queued task would have consumed,
+        releases any reader blocked on the result-ready event with a
+        typed error, and remembers the hash so an in-flight execution's
+        payload is dropped at completion and a late re-dispatch of the
+        same query is refused.  Idempotent.
+        """
+        dropped_from_queue = False
+        with self._queue_cv:
+            self._remember_cancel_locked(rpath)
+            for i, item in enumerate(self._queue):
+                if item[0] == rpath:
+                    del self._queue[i]
+                    dropped_from_queue = True
+                    break
+            self._errors[rpath] = _CANCELLED_MESSAGE
+            self._results.pop(rpath, None)
+            event = self._result_ready.setdefault(rpath, threading.Event())
+            self.stats.queries_cancelled += 1
+            event.set()
+        self.metrics.counter("worker.queries.cancelled").add(1)
+        obs_events.emit(
+            "chunk_cancelled",
+            worker=self.name,
+            path=rpath,
+            queued=dropped_from_queue,
+        )
+
+    def _remember_cancel_locked(self, rpath: str) -> None:
+        """Record a cancelled hash; purge the oldest past the cap.
+
+        A cancelled result is normally never read, so its bookkeeping
+        (error entry, readiness event, owed-read count) has no
+        refcounted eviction path; it is reclaimed here when the hash
+        rotates out of the bounded cancel memory instead.
+        """
+        self._cancelled[rpath] = None
+        self._cancelled.move_to_end(rpath)
+        while len(self._cancelled) > _CANCEL_MEMORY:
+            stale, _ = self._cancelled.popitem(last=False)
+            self._results.pop(stale, None)
+            self._errors.pop(stale, None)
+            self._result_ready.pop(stale, None)
+            self._deadlines.pop(stale, None)
+            self._pending_reads.pop(stale, None)
+
+    def _abandon_locked(self, rpath: str, message: str) -> None:
+        """Record ``message`` for a task skipped without executing."""
+        self._errors[rpath] = message
+        event = self._result_ready.get(rpath)
+        if event is not None:
+            event.set()
+
     def _run_task(self, rpath: str, chunk_id: int, text: str):
+        with self._lock:
+            if self._shutdown:
+                self._abandon_locked(rpath, _SHUTDOWN_MESSAGE)
+                return
+            if rpath in self._cancelled:
+                # Counted by _cancel_result; just refuse to execute.
+                self._abandon_locked(rpath, _CANCELLED_MESSAGE)
+                return
+            deadline = self._deadlines.get(rpath)
+        if deadline is not None and time.monotonic() >= deadline:
+            # The query's whole budget elapsed while this task sat in
+            # the FIFO; the master has already timed out, so executing
+            # now would only burn the slot.  Same monotonic clock, and
+            # the worker's deadline is never earlier than the master's,
+            # so this can only fire after the master gave up.
+            with self._lock:
+                self.stats.queries_expired += 1
+                self._abandon_locked(rpath, "deadline expired before execution")
+            self.metrics.counter("worker.queries.expired").add(1)
+            obs_events.emit("chunk_expired", worker=self.name, chunk=chunk_id)
+            return
+        self._execute_task(rpath, chunk_id, text)
+
+    def _execute_task(self, rpath: str, chunk_id: int, text: str):
         # Trace context, if the master propagated any: the ``-- TRACE:``
         # header names the dispatching attempt's span, so the execute
         # and dump spans recorded here parent under it -- correctly per
@@ -368,9 +497,15 @@ class QservWorker(OfsPlugin):
             self.metrics.counter("worker.queries").add(1)
             self.metrics.counter("worker.result.bytes").add(len(payload))
             with self._lock:
-                self._results[rpath] = payload
-                self.stats.result_rows += result.num_rows
-                self.stats.result_bytes += len(payload)
+                if rpath in self._cancelled:
+                    # Withdrawn while executing: the payload is dropped
+                    # and the typed error (already recorded by
+                    # _cancel_result) stands.
+                    self._results.pop(rpath, None)
+                else:
+                    self._results[rpath] = payload
+                    self.stats.result_rows += result.num_rows
+                    self.stats.result_bytes += len(payload)
         except Exception as e:  # surfaced to the master on read
             self.metrics.counter("worker.errors").add(1)
             with self._lock:

@@ -18,12 +18,16 @@ Meta-commands (backslash-prefixed, like ``mysql``'s):
 
 Observability statements (SQL-flavored, uppercase keywords):
 
-==================  ===============================================
-``SHOW METRICS``     snapshot of the process-global metrics registry
-``SHOW EVENTS [n]``  the most recent structured events (default 20)
-``SHOW CLUSTER``     membership, replication, and integrity status
-``TRACE <sql>``      run the query traced; print its span tree
-==================  ===============================================
+====================  ===============================================
+``SHOW METRICS``       snapshot of the process-global metrics registry
+``SHOW EVENTS [n]``    the most recent structured events (default 20)
+``SHOW CLUSTER``       membership, replication, and integrity status
+``TRACE <sql>``        run the query traced; print its span tree
+``SUBMIT JOB <sql>``   enqueue a durable batch job; prints its id
+``SHOW JOBS``          the batch job queue (id, status, rows, table)
+``FETCH JOB <id>``     print a finished job's result table
+``CANCEL JOB <id>``    cancel a queued or running job
+====================  ===============================================
 """
 
 from __future__ import annotations
@@ -101,6 +105,14 @@ class QservShell:
             return self._show_cluster()
         if upper == "TRACE" or upper.startswith("TRACE "):
             return self._trace_query(line[len("TRACE") :])
+        if upper == "SUBMIT JOB" or upper.startswith("SUBMIT JOB "):
+            return self._submit_job(line[len("SUBMIT JOB") :])
+        if upper == "SHOW JOBS":
+            return self._show_jobs()
+        if upper.startswith("FETCH JOB"):
+            return self._fetch_job(line[len("FETCH JOB") :])
+        if upper.startswith("CANCEL JOB"):
+            return self._cancel_job(line[len("CANCEL JOB") :])
         t0 = time.perf_counter()
         try:
             result = self.testbed.query(line)
@@ -242,6 +254,71 @@ class QservShell:
             f"{result.stats.elapsed_seconds:.3f}s"
         )
         return header + "\n" + trace.pretty()
+
+    def _submit_job(self, sql: str) -> str:
+        """``SUBMIT JOB <sql>``: enqueue a durable batch job."""
+        sql = sql.strip().rstrip(";")
+        if not sql:
+            return "usage: SUBMIT JOB <SELECT ...>"
+        frontend = getattr(self.testbed, "frontend", None)
+        if frontend is None:
+            return "ERROR: no frontend attached to this testbed"
+        try:
+            job_id = frontend.submit_job(sql, user="shell")
+        except Exception as e:  # noqa: BLE001 - shed/validation errors reach the user
+            return f"ERROR: {type(e).__name__}: {e}"
+        return f"accepted {job_id} (poll with SHOW JOBS, results with FETCH JOB {job_id})"
+
+    def _show_jobs(self) -> str:
+        """``SHOW JOBS``: the batch queue, most recent last."""
+        frontend = getattr(self.testbed, "frontend", None)
+        if frontend is None:
+            return "ERROR: no frontend attached to this testbed"
+        jobs = frontend.list_jobs()
+        if not jobs:
+            return "no jobs submitted yet"
+        rows = [
+            (
+                j["job_id"],
+                j["user"],
+                j["status"] + (" (recovered)" if j["recovered"] else ""),
+                j["rows"],
+                j["table"],
+                _clip(j["error"] or j["sql"]),
+            )
+            for j in jobs
+        ]
+        return _format_table(
+            ["job", "user", "status", "rows", "mydb table", "detail"], rows
+        )
+
+    def _fetch_job(self, arg: str) -> str:
+        """``FETCH JOB <id>``: print a finished job's result table."""
+        job_id = arg.strip()
+        frontend = getattr(self.testbed, "frontend", None)
+        if frontend is None:
+            return "ERROR: no frontend attached to this testbed"
+        if not job_id:
+            return "usage: FETCH JOB <job-id>"
+        try:
+            table = frontend.fetch_job(job_id)
+        except Exception as e:  # noqa: BLE001 - unknown/unfinished jobs reach the user
+            return f"ERROR: {type(e).__name__}: {e}"
+        return _format_table(table.column_names, table.rows())
+
+    def _cancel_job(self, arg: str) -> str:
+        """``CANCEL JOB <id>``: cancel a queued or running job."""
+        job_id = arg.strip()
+        frontend = getattr(self.testbed, "frontend", None)
+        if frontend is None:
+            return "ERROR: no frontend attached to this testbed"
+        if not job_id:
+            return "usage: CANCEL JOB <job-id>"
+        try:
+            cancelled = frontend.cancel_job(job_id)
+        except Exception as e:  # noqa: BLE001 - unknown jobs reach the user
+            return f"ERROR: {type(e).__name__}: {e}"
+        return f"{job_id} {'cancel requested' if cancelled else 'already finished'}"
 
     def _meta(self, line: str) -> str:
         cmd = line.split()[0]

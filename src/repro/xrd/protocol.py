@@ -28,6 +28,7 @@ __all__ = [
     "RESULT_PREFIX",
     "CHUNK_PREFIX",
     "MANIFEST_PREFIX",
+    "CANCEL_PREFIX",
     "RESULT_FORMAT_HEADER_PREFIX",
     "DEADLINE_HEADER_PREFIX",
     "TRACE_HEADER_PREFIX",
@@ -36,6 +37,8 @@ __all__ = [
     "result_path",
     "query_hash",
     "chunk_path",
+    "cancel_path",
+    "hash_of_cancel_path",
     "manifest_path",
     "table_of_chunk_path",
     "chunk_id_of_manifest_path",
@@ -60,6 +63,15 @@ CHUNK_PREFIX = "/chunk/"
 #: newline-separated names of every physical table it holds for that
 #: chunk (the chunk table per logical table plus overlap companions).
 MANIFEST_PREFIX = "/chunkmanifest/"
+
+#: Writing ``/cancel/<H>`` to a worker withdraws the chunk query whose
+#: result would be published at ``/result/<H>``: a still-queued task is
+#: discarded without executing (the slot is freed), an in-flight task's
+#: result is dropped on completion, and any blocked result read is
+#: released with a typed cancellation error.  Best-effort and
+#: idempotent -- a worker that never saw the query records the
+#: cancellation and ignores a late-arriving dispatch of the same hash.
+CANCEL_PREFIX = "/cancel/"
 
 #: Chunk-query comment line requesting a result encoding from the worker.
 RESULT_FORMAT_HEADER_PREFIX = "-- RESULT_FORMAT:"
@@ -163,6 +175,25 @@ def table_of_chunk_path(path: str) -> str:
     if not path.startswith(CHUNK_PREFIX):
         raise ValueError(f"not a chunk path: {path!r}")
     return path[len(CHUNK_PREFIX) :]
+
+
+def cancel_path(query_text_or_hash: str) -> str:
+    """The write path withdrawing one dispatched chunk query.
+
+    Accepts the chunk query text or its 32-hex-digit hash, mirroring
+    :func:`result_path` -- the cancel targets the same ``H``.
+    """
+    h = query_text_or_hash
+    if not (len(h) == 32 and all(c in "0123456789abcdef" for c in h)):
+        h = query_hash(query_text_or_hash)
+    return f"{CANCEL_PREFIX}{h}"
+
+
+def hash_of_cancel_path(path: str) -> str:
+    """Parse the result hash back out of a cancel path."""
+    if not path.startswith(CANCEL_PREFIX):
+        raise ValueError(f"not a cancel path: {path!r}")
+    return path[len(CANCEL_PREFIX) :]
 
 
 def manifest_path(chunk_id: int) -> str:

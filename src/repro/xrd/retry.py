@@ -12,17 +12,22 @@ module provides the two small primitives every layer shares:
   reproducible byte for byte while concurrent chunks still de-correlate);
 - :class:`Deadline` -- an absolute monotonic-clock budget threaded from
   ``Czar.submit(sql, deadline=...)`` down to the worker's result-ready
-  wait.
+  wait;
+- :class:`CancelToken` -- a cooperative cancellation flag threaded from
+  the frontend's job/kill surface through ``Czar.submit`` into the
+  dispatch loops, so an abandoned query stops consuming attempts and
+  worker slots instead of running to completion unobserved.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 import zlib
 from dataclasses import dataclass
 from typing import Optional
 
-__all__ = ["RetryPolicy", "Deadline"]
+__all__ = ["RetryPolicy", "Deadline", "CancelToken"]
 
 
 class Deadline:
@@ -53,6 +58,33 @@ class Deadline:
 
     def __repr__(self):
         return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+class CancelToken:
+    """A one-way cooperative cancellation flag.
+
+    ``cancel()`` is idempotent and thread-safe; holders poll
+    :attr:`cancelled` at loop boundaries (the dispatch retry loop, the
+    attempt-wait loop, the worker's dequeue) and unwind with a typed
+    error.  ``reason`` records who pulled the trigger, for events.
+    """
+
+    __slots__ = ("_event", "reason")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self.reason: str = ""
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        self.reason = self.reason or reason
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def __repr__(self):
+        return f"CancelToken(cancelled={self.cancelled})"
 
 
 def _jitter_fraction(key: str, attempt: int) -> float:

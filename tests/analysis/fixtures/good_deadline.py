@@ -17,5 +17,14 @@ def nested(pool, spec, deadline):
     return attempt()
 
 
+def queued(cv, deadline):
+    # The admission-controller shape: a condition wait bounded by the
+    # budget remaining on the deadline, recomputed each pass.
+    left = deadline.remaining()
+    if left <= 0:
+        return False
+    return cv.wait(timeout=left)
+
+
 def unrelated(future):
     return future.result()  # no deadline parameter: out of scope

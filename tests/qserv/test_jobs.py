@@ -1,0 +1,343 @@
+"""Batch job queue tests: durability, MyDB, and crash recovery.
+
+The acceptance test for the frontend tier lives here: kill the
+frontend mid-batch-job under a seeded :class:`~repro.xrd.FaultPlan`,
+restart a new frontend against the same journal, and verify every
+accepted job completes **exactly once** with results **byte-identical**
+to an uninterrupted run.
+"""
+
+import json
+import os
+import threading
+import time
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.data import build_testbed
+from repro.qserv import QservFrontend, QueryCancelledError
+from repro.qserv.frontend import BatchJobQueue, JobError, MyDb, MyDbError
+from repro.sql import Table
+from repro.sql.wire import encode_table
+from repro.xrd import FaultPlan
+
+# Matches the chaos CI matrix: the crash-recovery fault plans are
+# seeded from CHAOS_SEED so each matrix leg exercises a different
+# turbulence schedule around the frontend crash.
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "7"))
+
+
+def small_table(n=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return Table(
+        "t",
+        {
+            "objectId": np.arange(n, dtype=np.int64),
+            "ra_PS": rng.uniform(0, 360, n),
+        },
+    )
+
+
+def fake_result(table):
+    return SimpleNamespace(table=table, stats=SimpleNamespace(bytes_collected=0))
+
+
+def wait_status(queue, job_id, statuses=("done", "failed", "cancelled"), timeout=10.0):
+    t0 = time.monotonic()
+    while time.monotonic() - t0 < timeout:
+        snap = queue.poll(job_id)
+        if snap["status"] in statuses:
+            return snap
+        time.sleep(0.01)
+    raise AssertionError(f"job {job_id} stuck at {queue.poll(job_id)!r}")
+
+
+def journal_records(root):
+    # Bare BatchJobQueue roots hold journal.jsonl directly; a frontend
+    # root nests it under jobs/.
+    for path in (root / "journal.jsonl", root / "jobs" / "journal.jsonl"):
+        if path.exists():
+            return [
+                json.loads(line)
+                for line in path.read_text().splitlines()
+                if line.strip()
+            ]
+    return []
+
+
+class TestMyDb:
+    def test_roundtrip_is_byte_stable(self, tmp_path):
+        db = MyDb(tmp_path)
+        t = small_table()
+        p = db.save("alice", "cone1", t)
+        assert p.read_bytes() == encode_table(t, name="cone1")
+        loaded = db.load("alice", "cone1")
+        assert loaded.rows() == t.rows()
+        # Re-saving identical data is idempotent byte-for-byte.
+        before = p.read_bytes()
+        db.save("alice", "cone1", t)
+        assert p.read_bytes() == before
+
+    def test_listing_and_drop(self, tmp_path):
+        db = MyDb(tmp_path)
+        db.save("alice", "b_second", small_table())
+        db.save("alice", "a_first", small_table())
+        db.save("bob", "other", small_table())
+        assert db.tables("alice") == ["a_first", "b_second"]
+        db.drop("alice", "a_first")
+        assert db.tables("alice") == ["b_second"]
+        with pytest.raises(MyDbError):
+            db.load("alice", "a_first")
+
+    def test_bad_names_rejected(self, tmp_path):
+        db = MyDb(tmp_path)
+        with pytest.raises(MyDbError):
+            db.save("../evil", "t", small_table())
+        with pytest.raises(MyDbError):
+            db.save("alice", "t; DROP", small_table())
+
+    def test_tmp_orphans_swept_on_open(self, tmp_path):
+        db = MyDb(tmp_path)
+        db.save("alice", "keep", small_table())
+        orphan = tmp_path / "alice" / "torn.qtab.tmp"
+        orphan.write_bytes(b"partial")
+        db2 = MyDb(tmp_path)  # reopening sweeps crash debris
+        assert not orphan.exists()
+        assert db2.tables("alice") == ["keep"]
+
+
+class TestJobQueueBasics:
+    def test_submit_poll_fetch(self, tmp_path):
+        t = small_table(7)
+        q = BatchJobQueue(lambda sql, user, cancel: fake_result(t), tmp_path)
+        job_id = q.submit("alice", "SELECT 1", table="mine")
+        snap = wait_status(q, job_id)
+        assert snap["status"] == "done"
+        assert snap["rows"] == 7
+        assert q.fetch(job_id).rows() == t.rows()
+        assert q.mydb.tables("alice") == ["mine"]
+        q.stop()
+
+    def test_submit_is_journaled_before_ack(self, tmp_path):
+        q = BatchJobQueue(
+            lambda sql, user, cancel: fake_result(small_table()), tmp_path
+        )
+        job_id = q.submit("alice", "SELECT 1")
+        kinds = [r["type"] for r in journal_records(tmp_path) if r["job"] == job_id]
+        assert "submit" in kinds  # on disk by the time submit returned
+        wait_status(q, job_id)
+        q.stop()
+
+    def test_failed_job_is_terminal_with_error(self, tmp_path):
+        def boom(sql, user, cancel):
+            raise ValueError("no such column")
+
+        q = BatchJobQueue(boom, tmp_path)
+        job_id = q.submit("alice", "SELECT nope")
+        snap = wait_status(q, job_id)
+        assert snap["status"] == "failed"
+        assert "no such column" in snap["error"]
+        with pytest.raises(JobError):
+            q.fetch(job_id)
+        q.stop()
+
+    def test_cancel_queued_job(self, tmp_path):
+        gate = threading.Event()
+
+        def slow(sql, user, cancel):
+            gate.wait(timeout=5)
+            return fake_result(small_table())
+
+        q = BatchJobQueue(slow, tmp_path, slots=1)
+        blocker = q.submit("alice", "SELECT slow")
+        victim = q.submit("alice", "SELECT queued")
+        assert q.cancel(victim)
+        gate.set()
+        assert wait_status(q, victim)["status"] == "cancelled"
+        assert wait_status(q, blocker)["status"] == "done"
+        kinds = [r["type"] for r in journal_records(tmp_path) if r["job"] == victim]
+        assert kinds == ["submit", "cancelled"]  # never started
+        q.stop()
+
+    def test_cancel_running_job_fires_token(self, tmp_path):
+        started = threading.Event()
+
+        def cooperative(sql, user, cancel):
+            started.set()
+            while not cancel.cancelled:
+                time.sleep(0.005)
+            raise QueryCancelledError("query cancelled: " + cancel.reason)
+
+        q = BatchJobQueue(cooperative, tmp_path, slots=1)
+        job_id = q.submit("alice", "SELECT forever")
+        assert started.wait(timeout=5)
+        assert q.cancel(job_id, reason="operator kill")
+        snap = wait_status(q, job_id)
+        assert snap["status"] == "cancelled"
+        assert "operator kill" in snap["error"]
+        q.stop()
+
+    def test_cancel_terminal_job_is_false(self, tmp_path):
+        q = BatchJobQueue(
+            lambda sql, user, cancel: fake_result(small_table()), tmp_path
+        )
+        job_id = q.submit("alice", "SELECT 1")
+        wait_status(q, job_id)
+        assert q.cancel(job_id) is False
+        q.stop()
+
+
+class TestCrashRecoveryUnit:
+    """Crash windows driven deterministically against a fake executor."""
+
+    def test_crash_after_start_reruns_job(self, tmp_path):
+        calls = []
+
+        def execute(sql, user, cancel):
+            calls.append(sql)
+            return fake_result(small_table())
+
+        q = BatchJobQueue(execute, tmp_path, slots=1)
+        q.inject_crash(point="start", after=1)
+        job_id = q.submit("alice", "SELECT 1")
+        deadline = time.monotonic() + 5
+        while not q.journal._dead and time.monotonic() < deadline:
+            time.sleep(0.01)
+        q.kill()
+
+        q2 = BatchJobQueue(execute, tmp_path, slots=1)
+        snap = wait_status(q2, job_id)
+        assert snap["status"] == "done"
+        dones = [
+            r for r in journal_records(tmp_path)
+            if r["type"] == "done" and r["job"] == job_id
+        ]
+        assert len(dones) == 1  # exactly one completion on disk
+        q2.stop()
+
+    def test_crash_after_commit_finalizes_without_rerun(self, tmp_path):
+        calls = []
+
+        def execute(sql, user, cancel):
+            calls.append(sql)
+            return fake_result(small_table())
+
+        q = BatchJobQueue(execute, tmp_path, slots=1)
+        q.inject_crash(point="commit", after=1)
+        job_id = q.submit("alice", "SELECT 1")
+        deadline = time.monotonic() + 5
+        while not q.journal._dead and time.monotonic() < deadline:
+            time.sleep(0.01)
+        q.kill()
+        assert calls == ["SELECT 1"]
+        # The crash hit between the result-file rename and the done
+        # record: on disk there is a result but no completion.
+        kinds = [r["type"] for r in journal_records(tmp_path)]
+        assert "done" not in kinds
+
+        q2 = BatchJobQueue(execute, tmp_path, slots=1)
+        snap = q2.poll(job_id)
+        assert snap["status"] == "done"
+        assert snap["recovered"] is True
+        assert calls == ["SELECT 1"]  # never re-executed
+        recs = journal_records(tmp_path)
+        assert [r["type"] for r in recs if r["job"] == job_id].count("done") == 1
+        assert [r for r in recs if r["type"] == "done"][0]["recovered"] is True
+        q2.stop()
+
+
+class TestCrashRecoveryEndToEnd:
+    """The ISSUE acceptance test: frontend crash mid-batch under faults."""
+
+    QUERIES = [
+        "SELECT COUNT(*) FROM Object",
+        "SELECT COUNT(*) FROM Source",
+        "SELECT objectId, ra_PS, decl_PS FROM Object WHERE ra_PS < 180",
+        "SELECT AVG(ra_PS), AVG(decl_PS) FROM Object",
+    ]
+
+    def _run_all(self, frontend, tables):
+        ids = [
+            frontend.submit_job(sql, user="batch", table=t)
+            for sql, t in zip(self.QUERIES, tables)
+        ]
+        for job_id in ids:
+            snap = wait_status(frontend.jobs, job_id, timeout=30.0)
+            assert snap["status"] == "done", snap
+        return ids
+
+    def test_kill_mid_job_then_recover_exactly_once(self, tmp_path):
+        tables = [f"job_table_{i}" for i in range(len(self.QUERIES))]
+
+        # Uninterrupted baseline run.
+        tb_a = build_testbed(
+            num_workers=2,
+            num_objects=500,
+            seed=23,
+            frontend_root=tmp_path / "baseline",
+        )
+        self._run_all(tb_a.frontend, tables)
+        baseline = {
+            t: tb_a.frontend.mydb.path("batch", t).read_bytes() for t in tables
+        }
+        tb_a.shutdown()
+
+        # Interrupted run: seeded fault turbulence on the fabric plus a
+        # frontend crash right after the second job's start record.
+        root = tmp_path / "crashy"
+        tb = build_testbed(
+            num_workers=2, num_objects=500, seed=23, frontend_root=root
+        )
+        for server in tb.servers.values():
+            FaultPlan(seed=CHAOS_SEED).slow_reads(0.01, count=4).attach(server)
+        tb.frontend.inject_crash(point="start", after=2)
+        ids = [
+            tb.frontend.submit_job(sql, user="batch", table=t)
+            for sql, t in zip(self.QUERIES, tables)
+        ]
+        deadline = time.monotonic() + 20
+        while not tb.frontend.jobs.journal._dead and time.monotonic() < deadline:
+            time.sleep(0.01)
+        tb.frontend.kill()
+        assert tb.frontend.jobs.journal._dead  # it really crashed
+
+        # Restart a fresh frontend against the same journal and czar.
+        frontend2 = QservFrontend(tb.czar, root=root)
+        for job_id in ids:
+            snap = wait_status(frontend2.jobs, job_id, timeout=30.0)
+            assert snap["status"] == "done", snap
+
+        # Exactly-once: one done record per accepted job, no more.
+        recs = journal_records(root)
+        for job_id in ids:
+            dones = [
+                r for r in recs if r["type"] == "done" and r["job"] == job_id
+            ]
+            assert len(dones) == 1, (job_id, dones)
+
+        # Byte-identical to the uninterrupted run.
+        for t in tables:
+            got = frontend2.mydb.path("batch", t).read_bytes()
+            assert got == baseline[t], f"table {t} differs after recovery"
+
+        frontend2.shutdown()
+        tb.shutdown()
+
+
+class TestShellJobSurface:
+    def test_submit_show_fetch_cancel(self):
+        from repro.shell import QservShell
+
+        tb = build_testbed(num_workers=2, num_objects=300, seed=31)
+        sh = QservShell(tb)
+        out = sh.execute_line("SUBMIT JOB SELECT COUNT(*) FROM Object")
+        assert "accepted job-" in out
+        job_id = out.split()[1]
+        wait_status(tb.frontend.jobs, job_id)
+        assert job_id in sh.execute_line("SHOW JOBS")
+        fetched = sh.execute_line(f"FETCH JOB {job_id}")
+        assert "COUNT(*)" in fetched and "300" in fetched
+        assert "already finished" in sh.execute_line(f"CANCEL JOB {job_id}")
+        tb.shutdown()

@@ -49,6 +49,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+import uuid
 from collections import OrderedDict, deque
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeout
@@ -75,6 +76,7 @@ from ..xrd.retry import CancelToken, Deadline, RetryPolicy
 from ..xrd.protocol import (
     RESULT_PREFIX,
     WIRE_FORMATS,
+    attempt_header,
     cancel_path,
     deadline_header,
     query_hash,
@@ -88,7 +90,7 @@ from .analysis import QservAnalysisError, analyze
 from .metadata import CatalogMetadata
 from .rewrite import ChunkQuerySpec, generate_chunk_queries, generate_merge_query
 from .secondary_index import SecondaryIndex
-from .worker import WorkerShutdownError
+from .worker import WorkerCancelledError, WorkerShutdownError
 
 __all__ = [
     "Czar",
@@ -146,8 +148,19 @@ class _PayloadError(RuntimeError):
 
 #: Failures worth re-dispatching through another replica.  Genuine SQL
 #: errors are excluded: re-running a semantically broken query on a
-#: different replica cannot fix it.
-_RETRYABLE = (RedirectError, FileSystemError, _PayloadError, WorkerShutdownError)
+#: different replica cannot fix it.  :class:`WorkerCancelledError` is
+#: retryable because ``collect()`` checks this query's own CancelToken
+#: before every attempt: reaching the retry path with an unfired token
+#: means a worker refused (or poisoned) the dispatch on cancel state
+#: left by an earlier withdrawn submission of the same SQL, and a
+#: re-dispatch carrying this submission's nonce executes cleanly.
+_RETRYABLE = (
+    RedirectError,
+    FileSystemError,
+    _PayloadError,
+    WorkerShutdownError,
+    WorkerCancelledError,
+)
 
 
 @dataclass(frozen=True)
@@ -690,6 +703,13 @@ class Czar:
         else:
             header = ""
         policy = self.retry_policy
+        # One nonce per cancellable submission, shared by every retry
+        # and hedge: /cancel/<H> writes carry it, so workers withdraw
+        # exactly this submission's dispatches and a later re-run of
+        # the identical SQL (same hash) is not refused on stale cancel
+        # memory.  Excluded from query_hash, so the result path -- and
+        # worker-side result caching -- is unchanged.
+        cancel_nonce = uuid.uuid4().hex if cancel is not None else ""
 
         def build_text(spec: ChunkQuerySpec, attempt_span) -> str:
             # The deadline header carries the *remaining* budget at
@@ -699,6 +719,8 @@ class Czar:
             text = header
             if deadline is not None:
                 text += deadline_header(deadline.remaining()) + "\n"
+            if cancel_nonce:
+                text += attempt_header(cancel_nonce) + "\n"
             if attempt_span.trace is not None:
                 text += (
                     trace_header(attempt_span.trace.trace_id, attempt_span.span_id)
@@ -957,7 +979,7 @@ class Czar:
                     )
             except QueryCancelledError:
                 self.metrics.counter("czar.chunks.cancelled").add(1)
-                self._withdraw_chunk_queries(inflight)
+                self._withdraw_chunk_queries(inflight, cancel_nonce)
                 with self._merge_lock:
                     stats.failed_chunks.append(spec.chunk_id)
                 raise
@@ -992,12 +1014,16 @@ class Czar:
             collected = list(self._pool.map(one, specs))
         return [entry for entry in collected if entry is not None]
 
-    def _withdraw_chunk_queries(self, inflight: list[tuple[str, str]]) -> None:
+    def _withdraw_chunk_queries(
+        self, inflight: list[tuple[str, str]], nonce: str = ""
+    ) -> None:
         """Best-effort ``/cancel/<H>`` writes for accepted chunk queries.
 
         Frees worker slots a cancelled query would otherwise consume:
         queued tasks are discarded without executing, in-flight results
-        are dropped at completion.  Failures are recorded as events --
+        are dropped at completion.  The payload carries this
+        submission's nonce, scoping the withdrawal so a later re-run of
+        the same SQL is not refused.  Failures are recorded as events --
         the worker may be dead, which cancels the work even harder.
         """
         for worker, rpath in inflight:
@@ -1005,7 +1031,7 @@ class Czar:
             try:
                 server = self.client.redirector.server(worker)
                 with server.open(path, "w") as fh:
-                    fh.write(b"")
+                    fh.write(nonce.encode())
             except Exception as e:  # noqa: BLE001 - advisory withdrawal
                 obs_events.emit(
                     "cancel_notify_failed", worker=worker, error=str(e)

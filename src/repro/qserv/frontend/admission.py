@@ -22,7 +22,12 @@ of it:
   with the lowest pass value goes next, so a tenant flooding the queue
   cannot starve the others no matter how many requests it posts;
 - **quotas**: cumulative result-row/byte budgets per tenant, enforced
-  at admission time with :class:`QservQuotaError`.
+  at admission time with :class:`QservQuotaError` and re-checked at
+  every grant, so waiters queued before the tenant went over budget
+  are failed instead of granted (in-flight queries can still finish
+  and overshoot -- their result volume is unknown until completion --
+  but the overshoot is bounded by the concurrency cap, never by queue
+  depth).
 
 The controller is fed by the observability layer (admitted queries
 report their duration, rows, and bytes on release; an EWMA of recent
@@ -106,11 +111,14 @@ class TenantPolicy:
 class _Waiter:
     """One queued admission request (granted under the controller lock)."""
 
-    __slots__ = ("granted", "abandoned")
+    __slots__ = ("granted", "abandoned", "error")
 
     def __init__(self):
         self.granted = False
         self.abandoned = False
+        # Set instead of ``granted`` when the tenant went over quota
+        # while this request waited; the owning thread raises it.
+        self.error: Optional[QservQuotaError] = None
 
 
 class _Tenant:
@@ -297,6 +305,8 @@ class AdmissionController:
             self._queued += 1
             queued_t0 = self._clock()
             self._grant_locked()
+            if waiter.error is not None:
+                raise waiter.error
             if not waiter.granted and (
                 self._queued > self.max_queue_depth
                 or len(t.waiters) > t.policy.max_queued
@@ -307,6 +317,8 @@ class AdmissionController:
                 self._abandon_locked(t, waiter)
                 self._shed_locked(t, "queue_full")
             while not waiter.granted:
+                if waiter.error is not None:
+                    raise waiter.error
                 left = expires - self._clock()
                 if left <= 0:
                     self._abandon_locked(t, waiter)
@@ -319,24 +331,43 @@ class AdmissionController:
         self.metrics.counter("frontend.admitted").add(1)
         return AdmissionTicket(self, tenant, self._clock())
 
-    def _check_quota_locked(self, t: _Tenant) -> None:
+    def _quota_error_locked(self, t: _Tenant) -> Optional[QservQuotaError]:
+        """The tenant's current quota violation, or ``None``.  Pure check."""
         p = t.policy
         if p.row_budget is not None and t.rows_used >= p.row_budget:
-            t.shed += 1
-            self.metrics.counter("frontend.quota_rejected").add(1)
-            raise QservQuotaError(
+            return QservQuotaError(
                 f"tenant {t.name!r} exhausted its row budget "
                 f"({t.rows_used} of {p.row_budget})",
                 reason="row_budget",
             )
         if p.byte_budget is not None and t.bytes_used >= p.byte_budget:
-            t.shed += 1
-            self.metrics.counter("frontend.quota_rejected").add(1)
-            raise QservQuotaError(
+            return QservQuotaError(
                 f"tenant {t.name!r} exhausted its byte budget "
                 f"({t.bytes_used} of {p.byte_budget})",
                 reason="byte_budget",
             )
+        return None
+
+    def _check_quota_locked(self, t: _Tenant) -> None:
+        err = self._quota_error_locked(t)
+        if err is not None:
+            t.shed += 1
+            self.metrics.counter("frontend.quota_rejected").add(1)
+            raise err
+
+    def _fail_waiters_locked(self, t: _Tenant, err: QservQuotaError) -> None:
+        """Shed every queued waiter of a tenant that went over budget."""
+        while t.waiters:
+            waiter = t.waiters.popleft()
+            waiter.abandoned = True
+            # A fresh exception per waiter: one instance raised from
+            # several threads would share (and clobber) a traceback.
+            waiter.error = QservQuotaError(str(err), reason=err.reason)
+            self._queued -= 1
+            t.shed += 1
+            self.metrics.counter("frontend.quota_rejected").add(1)
+        self.metrics.gauge("frontend.queue.depth").set(self._queued)
+        self._cv.notify_all()
 
     def _shed_locked(self, t: _Tenant, reason: str):
         t.shed += 1
@@ -371,6 +402,16 @@ class AdmissionController:
 
     def _grant_locked(self) -> None:
         """Stride scheduling: grant free slots to the lowest-pass tenants."""
+        # Quotas are charged on release, so a tenant can go over budget
+        # while requests sit queued; re-check here so those waiters are
+        # failed at grant time instead of admitted against a spent
+        # budget.  Enqueue-time checking alone would let a tenant
+        # overshoot by a whole queue's worth of result volume.
+        for t in self._tenants.values():
+            if t.waiters:
+                err = self._quota_error_locked(t)
+                if err is not None:
+                    self._fail_waiters_locked(t, err)
         capacity = self._capacity_locked()
         while self._running < capacity:
             best: Optional[_Tenant] = None

@@ -16,16 +16,23 @@ point:
 1. ``submit`` appends a ``submit`` record (flush + fsync) before
    returning the job id -- an acknowledged job is always on disk;
 2. a runner appends ``start`` before executing;
-3. the merged result is written to MyDB via tmp-file + ``os.replace``
-   (atomic on POSIX) -- *this rename is the commit point*;
-4. only then is the terminal ``done`` record appended.
+3. the merged result is *staged* under the job id via tmp-file +
+   ``os.replace`` (atomic on POSIX) -- *this rename is the commit
+   point*, and it is job-unique: a user-supplied table name that
+   already exists from an earlier job can never be mistaken for this
+   job's output;
+4. the staged bytes are published (another atomic rename) as the
+   user's MyDB table;
+5. only then is the terminal ``done`` record appended, after which the
+   staged file is dropped.
 
-Recovery replays the journal.  A job with a terminal record is final.
-A job caught between steps 3 and 4 (result file exists, no ``done``
-record) is finalized as ``done`` with ``recovered: true`` -- it is
-**not** re-executed, which is what makes completion exactly-once.  A
-job caught before step 3 is re-enqueued and re-runs from scratch;
-since nothing of its first attempt was committed, the re-run is
+Recovery replays the journal.  A job with a terminal record is final
+(any leftover staged file is swept).  A job caught between steps 3 and
+5 (staged file exists, no ``done`` record) is republished and
+finalized as ``done`` with ``recovered: true`` -- it is **not**
+re-executed, which is what makes completion exactly-once.  A job
+caught before step 3 is re-enqueued and re-runs from scratch; since
+nothing of its first attempt was committed, the re-run is
 indistinguishable from a single clean execution (results byte-identical
 by construction: same SQL, same read-only catalog, atomic replace).
 
@@ -79,15 +86,22 @@ class JobJournal:
         self._lock = make_lock("JobJournal._lock")
         self._dead = False
 
-    def append(self, record: dict) -> None:
+    def append(self, record: dict) -> bool:
+        """Write one record; ``False`` when the dead journal dropped it.
+
+        Callers that acknowledge state to users (``submit``) must check
+        the return value -- a dropped record means the "crash" beat the
+        write and the state survives neither in memory nor on disk.
+        """
         line = json.dumps(record, sort_keys=True)
         with self._lock:
             if self._dead:
-                return
+                return False
             with open(self.path, "a", encoding="utf-8") as fh:
                 fh.write(line + "\n")
                 fh.flush()
                 os.fsync(fh.fileno())
+        return True
 
     def mark_dead(self) -> None:
         with self._lock:
@@ -238,15 +252,20 @@ class BatchJobQueue:
         the queue lock anyway so the guarded-state invariants hold
         uniformly; finalization records are journaled after the lock is
         dropped (the journal has its own lock, and fsync must never run
-        under the queue lock).
+        under the queue lock).  Staged files are dropped only after the
+        ``done`` record that finalizes them is durable, so a crash
+        during recovery itself stays replayable.
         """
         to_journal = []
+        to_unstage = []
         with self._cv:
-            self._recover_locked(to_journal)
+            self._recover_locked(to_journal, to_unstage)
         for rec in to_journal:
             self.journal.append(rec)
+        for key in to_unstage:
+            self.mydb.unstage(key)
 
-    def _recover_locked(self, to_journal: list) -> None:
+    def _recover_locked(self, to_journal: list, to_unstage: list) -> None:
         for rec in self.journal.replay():
             kind = rec.get("type")
             job_id = rec.get("job", "")
@@ -274,14 +293,21 @@ class BatchJobQueue:
                     job.error = rec.get("reason", "cancelled")
         for job in self._jobs.values():
             if job.status in _TERMINAL:
+                # Crash between the terminal record and cleanup: sweep.
+                if self.mydb.staged(job.job_id) is not None:
+                    to_unstage.append(job.job_id)
                 continue
-            if job.table and self.mydb.exists(job.user, job.table):
-                # Crashed between the result-file commit point and the
-                # ``done`` record: finalize without re-executing.
+            if job.table and self.mydb.staged(job.job_id) is not None:
+                # Crashed between the job-unique staged commit point
+                # and the ``done`` record: publish (idempotent -- same
+                # bytes) and finalize without re-executing.  The staged
+                # file is keyed by job id, so a pre-existing user table
+                # of the same name can never fake this job's completion.
+                path = self.mydb.publish(job.user, job.table, job.job_id)
                 table = self.mydb.load(job.user, job.table)
                 job.status = "done"
                 job.rows = table.num_rows
-                job.result_bytes = self.mydb.path(job.user, job.table).stat().st_size
+                job.result_bytes = path.stat().st_size
                 job.recovered = True
                 to_journal.append(
                     {
@@ -292,6 +318,7 @@ class BatchJobQueue:
                         "recovered": True,
                     }
                 )
+                to_unstage.append(job.job_id)
                 self.metrics.counter("job.recovered").add(1)
                 obs_events.emit("job_recovered", job=job.job_id, user=job.user, how="finalized")
             else:
@@ -327,7 +354,7 @@ class BatchJobQueue:
         # not enqueued yet, so no runner can have started it).  The
         # append happens outside the queue lock -- the journal has its
         # own lock, and per-record fsync must never stall pollers.
-        self.journal.append(
+        written = self.journal.append(
             {
                 "type": "submit",
                 "job": job_id,
@@ -336,9 +363,20 @@ class BatchJobQueue:
                 "table": job.table,
             }
         )
+        if not written:
+            # kill() won the race: the record never reached disk, so
+            # acknowledging the id would name a job that survives
+            # neither in memory nor through recovery.  Refuse instead.
+            with self._cv:
+                self._jobs.pop(job_id, None)
+            raise JobError("job queue crashed during submit; job not accepted")
         with self._cv:
-            self._queue.append(job_id)
-            self._cv.notify()
+            # Re-check under the lock: a crash after the durable append
+            # means the job is recoverable but must not be handed to
+            # runner threads that are already tearing down.
+            if not self._dead:
+                self._queue.append(job_id)
+                self._cv.notify()
         self.metrics.counter("job.submitted").add(1)
         obs_events.emit("job_submitted", job=job_id, user=user, table=job.table)
         return job_id
@@ -493,8 +531,13 @@ class BatchJobQueue:
         t0 = time.monotonic()
         try:
             result = self._execute(job.sql, job.user, job.cancel_token)
-            path = self.mydb.save(job.user, job.table, result.table)
+            # The commit point: the staged file is keyed by *job id*,
+            # not the user-supplied table name, so recovery can tell
+            # "this job's result was committed" apart from "a table of
+            # that name happened to exist already".
+            self.mydb.stage(job.job_id, job.table, result.table)
             self._maybe_crash("commit")
+            path = self.mydb.publish(job.user, job.table, job.job_id)
         except QueryCancelledError:
             if self._dead:
                 return  # crash teardown, not a user cancel: journal nothing
@@ -515,9 +558,10 @@ class BatchJobQueue:
                 return
             with self._cv:
                 self._finish_locked(job, "failed", reason=str(e))
-            self.journal.append(
+            if self.journal.append(
                 {"type": "failed", "job": job.job_id, "error": str(e)}
-            )
+            ):
+                self.mydb.unstage(job.job_id)  # e.g. the publish itself failed
             self.metrics.counter("job.failed").add(1)
             obs_events.emit("job_failed", job=job.job_id, error=str(e))
         else:
@@ -529,9 +573,13 @@ class BatchJobQueue:
                 job.rows = rows
                 job.result_bytes = size
                 self._finish_locked(job, "done")
-            self.journal.append(
+            if self.journal.append(
                 {"type": "done", "job": job.job_id, "rows": rows, "bytes": size}
-            )
+            ):
+                # Only once the completion is durable may the staged
+                # commit-point file go; a dead journal means recovery
+                # must still find it and replay the finalization.
+                self.mydb.unstage(job.job_id)
             self.metrics.counter("job.completed").add(1)
             self.metrics.histogram("job.seconds").observe(time.monotonic() - t0)
             obs_events.emit(

@@ -10,8 +10,16 @@ Durability contract: a table either exists completely or not at all.
 Saves write to a temporary file in the same directory, flush + fsync,
 then atomically rename over the final name -- a frontend crash mid-save
 leaves at most a ``*.tmp`` orphan (swept on open), never a truncated
-table.  This is the property the batch job queue's exactly-once
-recovery leans on: "the result file exists" is a reliable commit point.
+table.
+
+The batch job queue's exactly-once recovery leans on the *staging*
+variant of that contract: :meth:`MyDb.stage` persists a result under a
+job-unique key in a hidden ``.stage/`` directory (the same atomic
+tmp + rename discipline), and "the staged file for this job exists" is
+the commit point.  The user-visible table name is only an alias
+installed by :meth:`MyDb.publish` -- it is never the commit point
+itself, because a user may reuse a table name across jobs and a
+pre-existing table must not masquerade as a later job's output.
 """
 
 from __future__ import annotations
@@ -27,6 +35,12 @@ __all__ = ["MyDb", "MyDbError"]
 
 _NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
 _SUFFIX = ".qtab"
+
+# Staged (committed but not yet published) results live here.  The
+# leading dot keeps the directory out of the user namespace: no valid
+# user name can collide with it, and listings never see it.
+_STAGE_DIR = ".stage"
+_STAGE_KEY_RE = re.compile(r"^[A-Za-z0-9_.-]+$")
 
 
 class MyDbError(RuntimeError):
@@ -69,14 +83,80 @@ class MyDb:
         final = self.path(user, table_name)
         payload = encode_table(table, name=table_name)
         with self._lock:
+            self._write_atomic_locked(final, payload)
+        return final
+
+    def _write_atomic_locked(self, final: Path, payload: bytes) -> None:
+        final.parent.mkdir(parents=True, exist_ok=True)
+        tmp = final.with_name(final.name + ".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+
+    # -- staged results (the job queue's exactly-once commit point) -----------
+
+    def _staged_path(self, key: str) -> Path:
+        if not _STAGE_KEY_RE.fullmatch(key or ""):
+            raise MyDbError(f"invalid stage key {key!r}")
+        return self.root / _STAGE_DIR / (key + _SUFFIX)
+
+    def stage(self, key: str, table_name: str, table) -> Path:
+        """Atomically persist ``table`` as the staged result for ``key``.
+
+        ``key`` is job-unique (the job id); ``table_name`` is the
+        user-visible name the bytes will carry when published, so the
+        published file is byte-identical to a direct :meth:`save`.
+        The rename performed here is the job's commit point.
+        """
+        staged = self._staged_path(key)
+        payload = encode_table(table, name=_check_name("table", table_name))
+        with self._lock:
+            self._write_atomic_locked(staged, payload)
+        return staged
+
+    def staged(self, key: str):
+        """The staged file's path for ``key``, or ``None`` if absent."""
+        staged = self._staged_path(key)
+        return staged if staged.exists() else None
+
+    def publish(self, user: str, table_name: str, key: str) -> Path:
+        """Atomically install the staged result ``key`` as ``user``'s table.
+
+        The staged file is kept -- the caller removes it with
+        :meth:`unstage` only after its own commit record is durable, so
+        a crash anywhere around publication can always be replayed.
+        Idempotent: republishing replaces the file with the same bytes.
+        """
+        staged = self._staged_path(key)
+        final = self.path(user, table_name)
+        with self._lock:
+            if not staged.exists():
+                raise MyDbError(f"no staged result for key {key!r}")
             final.parent.mkdir(parents=True, exist_ok=True)
             tmp = final.with_name(final.name + ".tmp")
-            with open(tmp, "wb") as fh:
-                fh.write(payload)
-                fh.flush()
-                os.fsync(fh.fileno())
+            try:
+                tmp.unlink()
+            except FileNotFoundError:  # reprolint: disable=exception-swallow -- stale tmp from a crashed publish
+                pass
+            try:
+                os.link(staged, tmp)
+            except OSError:
+                # Filesystem without hard links: fall back to copying.
+                with open(tmp, "wb") as fh:
+                    fh.write(staged.read_bytes())
+                    fh.flush()
+                    os.fsync(fh.fileno())
             os.replace(tmp, final)
         return final
+
+    def unstage(self, key: str) -> None:
+        """Drop the staged result for ``key`` (idempotent)."""
+        try:
+            self._staged_path(key).unlink()
+        except FileNotFoundError:  # reprolint: disable=exception-swallow -- already unstaged
+            pass
 
     def load(self, user: str, table_name: str):
         """The stored table, decoded; raises :class:`MyDbError` if absent."""

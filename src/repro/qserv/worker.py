@@ -43,6 +43,7 @@ from ..xrd.protocol import (
     chunk_id_of_manifest_path,
     chunk_id_of_query_path,
     hash_of_cancel_path,
+    parse_attempt_header,
     parse_trace_header,
     query_hash,
     result_path,
@@ -68,8 +69,9 @@ _SHUTDOWN_MESSAGE = "worker is shut down"
 # Error recorded against a result withdrawn through /cancel/<H>.
 _CANCELLED_MESSAGE = "chunk query cancelled by master"
 
-# Cancelled result hashes remembered, so a late-arriving dispatch of a
-# withdrawn query is discarded instead of executed.  LRU-capped: when a
+# Cancelled result hashes remembered (with the withdrawn submissions'
+# attempt nonces), so a late-arriving dispatch of a withdrawn
+# submission is discarded instead of executed.  LRU-capped: when a
 # hash rotates out, all its result bookkeeping goes with it.
 _CANCEL_MEMORY = 4096
 
@@ -87,8 +89,11 @@ class WorkerCancelledError(SqlError):
     """This result was withdrawn through the ``/cancel/<H>`` protocol.
 
     A master normally never reads a result it cancelled; this surfaces
-    only when a blocked result read races the cancellation, and tells
-    the reader not to retry -- the query was abandoned on purpose.
+    when a blocked result read races the cancellation, or when a
+    dispatch is refused on remembered cancel state.  A master whose own
+    cancel token has *not* fired may safely retry: the refusal then
+    stems from a different (withdrawn) submission of the same SQL, and
+    a re-dispatch carrying the live submission's nonce executes.
     """
 
 
@@ -181,10 +186,13 @@ class QservWorker(OfsPlugin):
         # Reads still owed per result path; with cache_results=False a
         # result is evicted when the last expected reader has read it.
         self._pending_reads: dict[str, int] = {}
-        # Result paths withdrawn via /cancel/<H>, LRU-capped: a queued
-        # task is discarded at dequeue, an in-flight result is dropped
-        # at completion, and a late dispatch is refused outright.
-        self._cancelled: OrderedDict[str, None] = OrderedDict()
+        # Result paths withdrawn via /cancel/<H> mapped to the set of
+        # withdrawn submissions' attempt nonces, LRU-capped: a queued
+        # task of a withdrawn submission is discarded at dequeue, its
+        # in-flight result is dropped at completion, and its late
+        # dispatch is refused outright.  A dispatch carrying a *fresh*
+        # nonce (a new submission of the same SQL) is never refused.
+        self._cancelled: OrderedDict[str, set] = OrderedDict()
         self._lock = make_rlock("QservWorker._lock")
         self._queue: deque[tuple[str, int, str]] = deque()
         self._queue_cv = make_condition(self._lock, "QservWorker._queue_cv")
@@ -219,17 +227,21 @@ class QservWorker(OfsPlugin):
             self._install_chunk_table(path, data)
             return
         if path.startswith(CANCEL_PREFIX):
-            self._cancel_result(result_path(hash_of_cancel_path(path)))
+            self._cancel_result(
+                result_path(hash_of_cancel_path(path)), data.decode().strip()
+            )
             return
         chunk_id = chunk_id_of_query_path(path)
         text = data.decode()
         rpath = result_path(query_hash(text))
+        nonce = parse_attempt_header(text)
         budget = self._deadline_seconds(text)
         with self._lock:
-            if rpath in self._cancelled:
-                # The master withdrew this query before (or while) the
-                # dispatch landed; refuse it with the typed error so a
-                # racing result read is released, and never execute.
+            withdrawn = self._cancelled.get(rpath)
+            if withdrawn is not None and nonce in withdrawn:
+                # The master withdrew this submission before (or while)
+                # the dispatch landed; refuse it with the typed error so
+                # a racing result read is released, and never execute.
                 self._errors[rpath] = _CANCELLED_MESSAGE
                 event = self._result_ready.setdefault(rpath, threading.Event())
                 if not self.cache_results:
@@ -238,6 +250,18 @@ class QservWorker(OfsPlugin):
                     )
                 event.set()
                 return
+            if withdrawn is not None:
+                # Same hash, different submission: an earlier submission
+                # of this SQL was cancelled, but *this* dispatch is a
+                # fresh one and must execute.  Clear the old cancel's
+                # terminal state so it cannot poison the fresh result
+                # (the cancel memory itself is kept -- late duplicates
+                # of the withdrawn submission are still refused).
+                if self._errors.get(rpath) == _CANCELLED_MESSAGE:
+                    self._errors.pop(rpath)
+                    event = self._result_ready.get(rpath)
+                    if event is not None and event.is_set():
+                        self._result_ready[rpath] = threading.Event()
             if self._shutdown:
                 # A dispatch raced our shutdown; fail it immediately so
                 # the master's read is released with an error instead
@@ -372,20 +396,24 @@ class QservWorker(OfsPlugin):
 
     # -- cancellation --------------------------------------------------------------
 
-    def _cancel_result(self, rpath: str) -> None:
-        """Withdraw one result path (the ``/cancel/<H>`` write).
+    def _cancel_result(self, rpath: str, nonce: str = "") -> None:
+        """Withdraw one submission's result path (the ``/cancel/<H>`` write).
 
-        Frees the execution slot a queued task would have consumed,
-        releases any reader blocked on the result-ready event with a
-        typed error, and remembers the hash so an in-flight execution's
-        payload is dropped at completion and a late re-dispatch of the
-        same query is refused.  Idempotent.
+        ``nonce`` is the withdrawn submission's ``-- ATTEMPT:`` value
+        (empty for header-less dispatches); cancellation is scoped to
+        it.  Frees the execution slot a queued task of that submission
+        would have consumed, releases any reader blocked on the
+        result-ready event with a typed error, and remembers the
+        (hash, nonce) pair so an in-flight execution's payload is
+        dropped at completion and a late re-dispatch of the *same*
+        submission is refused -- while a fresh submission of identical
+        SQL executes normally.  Idempotent.
         """
         dropped_from_queue = False
         with self._queue_cv:
-            self._remember_cancel_locked(rpath)
+            self._remember_cancel_locked(rpath, nonce)
             for i, item in enumerate(self._queue):
-                if item[0] == rpath:
+                if item[0] == rpath and parse_attempt_header(item[2]) == nonce:
                     del self._queue[i]
                     dropped_from_queue = True
                     break
@@ -402,15 +430,18 @@ class QservWorker(OfsPlugin):
             queued=dropped_from_queue,
         )
 
-    def _remember_cancel_locked(self, rpath: str) -> None:
-        """Record a cancelled hash; purge the oldest past the cap.
+    def _remember_cancel_locked(self, rpath: str, nonce: str) -> None:
+        """Record a cancelled (hash, nonce); purge the oldest past the cap.
 
         A cancelled result is normally never read, so its bookkeeping
         (error entry, readiness event, owed-read count) has no
         refcounted eviction path; it is reclaimed here when the hash
         rotates out of the bounded cancel memory instead.
         """
-        self._cancelled[rpath] = None
+        nonces = self._cancelled.get(rpath)
+        if nonces is None:
+            nonces = self._cancelled[rpath] = set()
+        nonces.add(nonce)
         self._cancelled.move_to_end(rpath)
         while len(self._cancelled) > _CANCEL_MEMORY:
             stale, _ = self._cancelled.popitem(last=False)
@@ -432,8 +463,11 @@ class QservWorker(OfsPlugin):
             if self._shutdown:
                 self._abandon_locked(rpath, _SHUTDOWN_MESSAGE)
                 return
-            if rpath in self._cancelled:
-                # Counted by _cancel_result; just refuse to execute.
+            if parse_attempt_header(text) in self._cancelled.get(rpath, ()):
+                # This submission was withdrawn while the task sat in
+                # the FIFO (counted by _cancel_result); refuse to
+                # execute.  A same-hash task from a *different*
+                # submission runs normally.
                 self._abandon_locked(rpath, _CANCELLED_MESSAGE)
                 return
             deadline = self._deadlines.get(rpath)
@@ -497,12 +531,16 @@ class QservWorker(OfsPlugin):
             self.metrics.counter("worker.queries").add(1)
             self.metrics.counter("worker.result.bytes").add(len(payload))
             with self._lock:
-                if rpath in self._cancelled:
+                if parse_attempt_header(text) in self._cancelled.get(rpath, ()):
                     # Withdrawn while executing: the payload is dropped
                     # and the typed error (already recorded by
                     # _cancel_result) stands.
                     self._results.pop(rpath, None)
                 else:
+                    # A stale cancel of an *earlier* submission may have
+                    # recorded its typed error against this shared path
+                    # while we executed; the fresh result wins.
+                    self._errors.pop(rpath, None)
                     self._results[rpath] = payload
                     self.stats.result_rows += result.num_rows
                     self.stats.result_bytes += len(payload)

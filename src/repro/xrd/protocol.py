@@ -32,6 +32,7 @@ __all__ = [
     "RESULT_FORMAT_HEADER_PREFIX",
     "DEADLINE_HEADER_PREFIX",
     "TRACE_HEADER_PREFIX",
+    "ATTEMPT_HEADER_PREFIX",
     "WIRE_FORMATS",
     "query_path",
     "result_path",
@@ -46,6 +47,8 @@ __all__ = [
     "deadline_header",
     "trace_header",
     "parse_trace_header",
+    "attempt_header",
+    "parse_attempt_header",
 ]
 
 QUERY_PREFIX = "/query2/"
@@ -69,8 +72,11 @@ MANIFEST_PREFIX = "/chunkmanifest/"
 #: discarded without executing (the slot is freed), an in-flight task's
 #: result is dropped on completion, and any blocked result read is
 #: released with a typed cancellation error.  Best-effort and
-#: idempotent -- a worker that never saw the query records the
-#: cancellation and ignores a late-arriving dispatch of the same hash.
+#: idempotent.  The write's payload carries the withdrawn submission's
+#: ``-- ATTEMPT:`` nonce (empty for header-less dispatches), and the
+#: worker refuses only late-arriving dispatches of that *same*
+#: submission -- a fresh submission of identical SQL has a fresh nonce
+#: and executes normally instead of being poisoned by the old cancel.
 CANCEL_PREFIX = "/cancel/"
 
 #: Chunk-query comment line requesting a result encoding from the worker.
@@ -89,6 +95,16 @@ DEADLINE_HEADER_PREFIX = "-- DEADLINE:"
 #: excluded from :func:`query_hash` so the result identity -- and with
 #: it worker-side result caching -- is unchanged by tracing.
 TRACE_HEADER_PREFIX = "-- TRACE:"
+
+#: Chunk-query comment line naming the czar submission this dispatch
+#: belongs to (an opaque per-``Czar.submit`` nonce shared by every
+#: retry and hedge of that query).  Cancellation is scoped by it: a
+#: ``/cancel/<H>`` write withdraws only dispatches carrying the same
+#: nonce, so re-running the identical SQL later -- same hash ``H`` --
+#: is not refused by a worker's cancel memory.  Excluded from
+#: :func:`query_hash` like the trace header, so the result path (and
+#: worker-side result caching) is unchanged by cancellation support.
+ATTEMPT_HEADER_PREFIX = "-- ATTEMPT:"
 
 #: Result encodings a czar may request / a worker may publish.
 WIRE_FORMATS = ("binary", "sqldump")
@@ -131,6 +147,25 @@ def parse_trace_header(text: str):
     return None
 
 
+def attempt_header(nonce: str) -> str:
+    """The chunk-query header line naming the czar submission."""
+    return f"{ATTEMPT_HEADER_PREFIX} {nonce}"
+
+
+def parse_attempt_header(text: str) -> str:
+    """The submission nonce from a chunk query, or ``""`` when absent.
+
+    Only the leading comment-header block is scanned, mirroring how
+    workers consume every other header.
+    """
+    for line in text.lstrip().splitlines():
+        if line.startswith(ATTEMPT_HEADER_PREFIX):
+            return line[len(ATTEMPT_HEADER_PREFIX) :].strip()
+        if not line.startswith("--"):
+            break  # headers only appear before the first statement
+    return ""
+
+
 def query_path(chunk_id: int) -> str:
     """The write path for dispatching a chunk query."""
     return f"{QUERY_PREFIX}{int(chunk_id)}"
@@ -139,16 +174,17 @@ def query_path(chunk_id: int) -> str:
 def query_hash(query_text: str) -> str:
     """MD5 of the chunk query text, as 32 hex digits (the paper's H).
 
-    ``-- TRACE:`` header lines are excluded from the hash: trace
-    context is per-attempt observability metadata, and folding it into
-    the result identity would defeat worker-side result caching (and
-    change every result path) whenever tracing is enabled.
+    ``-- TRACE:`` and ``-- ATTEMPT:`` header lines are excluded from
+    the hash: trace context and the submission nonce are per-attempt
+    metadata, and folding either into the result identity would defeat
+    worker-side result caching (and change every result path) whenever
+    tracing or cancellable submission is enabled.
     """
-    if TRACE_HEADER_PREFIX in query_text:
+    if TRACE_HEADER_PREFIX in query_text or ATTEMPT_HEADER_PREFIX in query_text:
         query_text = "\n".join(
             line
             for line in query_text.splitlines()
-            if not line.startswith(TRACE_HEADER_PREFIX)
+            if not line.startswith((TRACE_HEADER_PREFIX, ATTEMPT_HEADER_PREFIX))
         )
     return hashlib.md5(query_text.encode()).hexdigest()
 

@@ -27,7 +27,13 @@ from repro.qserv import (
 )
 from repro.sql import Database, SqlError, Table
 from repro.xrd import FaultPlan, RedirectError
-from repro.xrd.protocol import cancel_path, query_hash, query_path, result_path
+from repro.xrd.protocol import (
+    attempt_header,
+    cancel_path,
+    query_hash,
+    query_path,
+    result_path,
+)
 from repro.xrd.retry import CancelToken
 
 
@@ -98,6 +104,29 @@ class TestWorkerCancellation:
             w.on_read(result_path(query_hash(q)))
         assert w.stats.queries_executed == 0
 
+    def test_cancel_is_scoped_to_the_submission_nonce(self):
+        """Cancel memory withdraws one submission, not the SQL forever."""
+        w, cid = make_worker(slots=0)
+        sql = f"SELECT COUNT(*) FROM LSST.Object_{cid} AS Object;"
+        old = attempt_header("attempt-old") + "\n" + sql
+        fresh = attempt_header("attempt-new") + "\n" + sql
+        # The nonce is per-attempt metadata: all three share one hash.
+        assert query_hash(old) == query_hash(fresh) == query_hash(sql)
+
+        w.on_write(cancel_path(query_hash(sql)), b"attempt-old")
+        w.on_write(query_path(cid), old.encode())  # the withdrawn attempt
+        with pytest.raises(WorkerCancelledError):
+            w.on_read(result_path(query_hash(sql)))
+        assert w.stats.queries_executed == 0
+
+        # A fresh submission of the identical SQL is not poisoned --
+        # neither with a new nonce nor with no attempt header at all.
+        w.on_write(query_path(cid), fresh.encode())
+        assert w.on_read(result_path(query_hash(sql))) is not None
+        assert w.stats.queries_executed == 1
+        w.on_write(query_path(cid), sql.encode())
+        assert w.on_read(result_path(query_hash(sql))) is not None
+
     def test_cancel_unknown_hash_is_harmless(self):
         w, cid = make_worker(slots=0)
         w.on_write(cancel_path("f" * 32), b"")
@@ -156,6 +185,28 @@ class TestCzarCancellation:
         # The cluster is still healthy for the next (uncancelled) query.
         r = tb.czar.submit("SELECT COUNT(*) FROM Object")
         assert int(r.table.column("COUNT(*)")[0]) == 300
+        tb.shutdown()
+
+    def test_resubmitting_cancelled_sql_executes(self):
+        """A withdrawn query's SQL can be run again (same result hash)."""
+        tb = build_testbed(num_workers=2, num_objects=300, seed=61)
+        for server in tb.servers.values():
+            FaultPlan(seed=61).slow_writes(0.25).attach(server)
+        token = CancelToken()
+        timer = threading.Timer(0.05, token.cancel, args=("changed my mind",))
+        timer.start()
+        with pytest.raises(QueryCancelledError):
+            tb.czar.submit("SELECT objectId, ra_PS FROM Object", cancel=token)
+        timer.cancel()
+        # Fresh submissions of the identical SQL -- with and without a
+        # token -- must execute despite worker cancel memories left by
+        # the withdrawal, instead of failing with WorkerCancelledError.
+        r1 = tb.czar.submit("SELECT objectId, ra_PS FROM Object")
+        r2 = tb.czar.submit(
+            "SELECT objectId, ra_PS FROM Object", cancel=CancelToken()
+        )
+        assert r1.table.num_rows == 300
+        assert r2.table.num_rows == 300
         tb.shutdown()
 
     def test_uncancelled_token_changes_nothing(self):

@@ -128,6 +128,34 @@ class TestQuotas:
             ac.acquire("a")
         assert exc.value.reason == "byte_budget"
 
+    def test_queued_waiter_fails_when_inflight_release_spends_budget(self):
+        """Quota is re-checked at grant time, not only at enqueue."""
+        ac = AdmissionController(
+            max_concurrent=1,
+            max_queue_wait=5.0,
+            default_policy=TenantPolicy(row_budget=100),
+        )
+        held = ac.acquire("a")
+        outcome = []
+
+        def waiter():
+            try:
+                ac.acquire("a").release()
+                outcome.append("granted")
+            except QservQuotaError as e:
+                outcome.append(e.reason)
+
+        th = threading.Thread(target=waiter)
+        th.start()
+        time.sleep(0.05)  # genuinely queued behind the held slot
+        held.release(rows=150)  # the in-flight query spends the budget
+        th.join(timeout=5)
+        assert outcome == ["row_budget"]
+        # Accounted like any other quota rejection, and never admitted.
+        snap = ac.snapshot()["a"]
+        assert snap["shed"] == 1
+        assert snap["admitted"] == 1  # only the first acquire
+
     def test_budget_is_per_tenant(self):
         ac = AdmissionController(default_policy=TenantPolicy(row_budget=100))
         ac.acquire("a").release(rows=150)

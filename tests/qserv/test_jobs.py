@@ -217,6 +217,49 @@ class TestCrashRecoveryUnit:
         assert len(dones) == 1  # exactly one completion on disk
         q2.stop()
 
+    def test_preexisting_user_table_is_not_mistaken_for_commit(self, tmp_path):
+        """A table the user already had must not fake-finalize a crashed job."""
+        stale = small_table(3, seed=1)
+        MyDb(tmp_path / "mydb").save("alice", "mine", stale)
+        # Hand-written journal: the job was accepted and started against
+        # the pre-existing table name, then the frontend crashed before
+        # any result was committed.
+        (tmp_path / "journal.jsonl").write_text(
+            json.dumps(
+                {"type": "submit", "job": "job-000001", "user": "alice",
+                 "sql": "SELECT 1", "table": "mine"}
+            )
+            + "\n"
+            + json.dumps({"type": "start", "job": "job-000001", "attempt": 1})
+            + "\n"
+        )
+        calls = []
+        fresh = small_table(9, seed=3)
+
+        def execute(sql, user, cancel):
+            calls.append(sql)
+            return fake_result(fresh)
+
+        q = BatchJobQueue(execute, tmp_path, slots=1)
+        snap = wait_status(q, "job-000001")
+        assert snap["status"] == "done"
+        assert calls == ["SELECT 1"]  # re-executed, not finalized from stale bytes
+        assert snap["recovered"] is False
+        assert q.fetch("job-000001").rows() == fresh.rows()
+        q.stop()
+
+    def test_submit_racing_kill_raises_instead_of_ghost_job(self, tmp_path):
+        """A submit whose journal record was dropped must not be acked."""
+        q = BatchJobQueue(
+            lambda sql, user, cancel: fake_result(small_table()), tmp_path
+        )
+        q.journal.mark_dead()  # the crash wins the race before the append
+        with pytest.raises(JobError):
+            q.submit("alice", "SELECT 1")
+        assert q.jobs() == []  # the refused job was not registered
+        assert journal_records(tmp_path) == []  # and never reached disk
+        q.stop()
+
     def test_crash_after_commit_finalizes_without_rerun(self, tmp_path):
         calls = []
 

@@ -72,6 +72,9 @@ class ClassLocks:
     #: ``_queue_cv = make_condition(self._lock)`` maps ``_queue_cv`` to
     #: ``{"_queue_cv", "_lock"}``.
     aliases: dict[str, set[str]] = field(default_factory=dict)
+    #: The subset of :attr:`locks` that are condition variables (their
+    #: ``.wait`` / ``.wait_for`` calls are legitimate blocking points).
+    conditions: set[str] = field(default_factory=set)
 
     def held_by(self, attr: str) -> set[str]:
         return self.aliases.get(attr, {attr})
@@ -107,6 +110,7 @@ def lock_attrs_of_class(cls: ast.ClassDef) -> ClassLocks:
         if wrapped is not None and wrapped in out.locks:
             closure |= out.held_by(wrapped)
         out.locks.add(attr)
+        out.conditions.add(attr)
         out.aliases[attr] = closure
     return out
 
@@ -161,15 +165,21 @@ class _MutationVisitor(ast.NodeVisitor):
     are still attributed to the class, closures mutate shared state).
     """
 
-    def __init__(self, locks: ClassLocks, function: str):
+    def __init__(self, locks: ClassLocks, function: str, armed: bool = True):
         self.locks = locks
         self.function = function
         self.held: list[str] = []
         self.mutations: list[Mutation] = []
         #: (acquired_attr, previously_held_attrs, node) acquisition events.
         self.acquisitions: list[tuple[str, tuple[str, ...], ast.AST]] = []
+        #: ``__init__`` bodies start disarmed: construction is
+        #: single-threaded *until* a worker thread is started, so only
+        #: the writes lexically after the first ``.start()`` call count.
+        self.armed = armed
 
     def _record(self, target: ast.AST, node: ast.AST) -> None:
+        if not self.armed:
+            return
         resolved = target_path(target)
         if resolved is None:
             return
@@ -220,6 +230,15 @@ class _MutationVisitor(ast.NodeVisitor):
         func = node.func
         if isinstance(func, ast.Attribute) and func.attr in MUTATOR_METHODS:
             self._record(func.value, node)
+        if (
+            not self.armed
+            and isinstance(func, ast.Attribute)
+            and func.attr == "start"
+            and not node.args
+        ):
+            # ``t.start()`` in __init__: from here on another thread may
+            # observe the instance, so subsequent writes are real.
+            self.armed = True
         self.generic_visit(node)
 
     # -- lock scopes ------------------------------------------------------------
@@ -241,10 +260,14 @@ class _MutationVisitor(ast.NodeVisitor):
 
     def _visit_deferred(self, node):
         saved, self.held = self.held, []
+        # A closure defined pre-start still *runs* on the worker thread,
+        # so deferred bodies are always armed.
+        saved_armed, self.armed = self.armed, True
         for stmt in getattr(node, "body", ()):
             if isinstance(stmt, ast.AST):
                 self.visit(stmt)
         self.held = saved
+        self.armed = saved_armed
 
     def visit_FunctionDef(self, node: ast.FunctionDef):
         self._visit_deferred(node)
@@ -277,16 +300,19 @@ def collect_mutations(
 ) -> tuple[list[Mutation], list[tuple[str, tuple[str, ...], ast.AST]]]:
     """All mutations and lock acquisitions in a class's methods.
 
-    ``__init__`` is exempt (construction is single-threaded) and so is
-    any method whose name ends in ``_locked`` (the project convention
-    for helpers documented as "caller holds the lock").
+    Methods named ``*_locked`` (the project convention for "caller
+    holds the lock") are exempt.  ``__init__`` bodies are visited
+    *disarmed*: writes before the first ``t.start()`` call are safe
+    (construction is single-threaded until a worker thread exists) and
+    are skipped, while writes after it are collected like any other
+    method's.
     """
     mutations: list[Mutation] = []
     acquisitions: list[tuple[str, tuple[str, ...], ast.AST]] = []
     for fn in iter_own_functions(cls):
-        if fn.name == "__init__" or fn.name.endswith("_locked"):
+        if fn.name.endswith("_locked"):
             continue
-        visitor = _MutationVisitor(locks, fn.name)
+        visitor = _MutationVisitor(locks, fn.name, armed=fn.name != "__init__")
         for stmt in fn.body:
             visitor.visit(stmt)
         mutations.extend(visitor.mutations)

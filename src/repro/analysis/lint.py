@@ -7,12 +7,41 @@ Exit codes: 0 clean, 1 findings (errors, or warnings under ``--strict``),
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
+from pathlib import Path
 
 from .core import all_rules, lint_paths
 from .reporters import REPORTERS
 
-__all__ = ["main"]
+__all__ = ["main", "changed_files"]
+
+
+def changed_files(base_ref: str, paths: list[str]) -> list[str]:
+    """Python files under ``paths`` differing from ``base_ref`` (or untracked).
+
+    The fast pre-commit path: ``reprolint --changed-only`` lints only
+    what the commit touches, while CI keeps the full ``--strict src/``
+    sweep.  Deleted files are excluded; raises ``RuntimeError`` when git
+    cannot produce a diff (not a repository, unknown ref).
+    """
+    diff = subprocess.run(
+        ["git", "diff", "--name-only", "--diff-filter=d", base_ref, "--", *paths],
+        capture_output=True, text=True,
+    )
+    if diff.returncode != 0:
+        raise RuntimeError(diff.stderr.strip() or "git diff failed")
+    untracked = subprocess.run(
+        ["git", "ls-files", "--others", "--exclude-standard", "--", *paths],
+        capture_output=True, text=True,
+    )
+    names = set(diff.stdout.splitlines())
+    if untracked.returncode == 0:
+        names.update(untracked.stdout.splitlines())
+    return sorted(
+        name for name in names
+        if name.endswith(".py") and Path(name).exists()
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -38,6 +67,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated subset of rules to run (default: all)",
     )
     parser.add_argument(
+        "--changed-only", action="store_true",
+        help="lint only files that differ from --base-ref (plus "
+        "untracked files) -- the fast pre-commit path",
+    )
+    parser.add_argument(
+        "--base-ref", default="HEAD",
+        help="git ref --changed-only diffs against (default: HEAD)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true",
         help="also show suppressed findings",
     )
@@ -56,11 +94,22 @@ def main(argv=None) -> int:
             print(f"{name:20s} [{cls.severity:7s}] {cls.description}")
         return 0
 
+    paths = args.paths
+    if args.changed_only:
+        try:
+            paths = changed_files(args.base_ref, args.paths)
+        except RuntimeError as e:
+            print(f"error: --changed-only: {e}", file=sys.stderr)
+            return 2
+        if not paths:
+            print(f"no python files changed vs {args.base_ref}")
+            return 0
+
     rule_names = None
     if args.rules:
         rule_names = [r.strip() for r in args.rules.split(",") if r.strip()]
     try:
-        result = lint_paths(args.paths, rule_names)
+        result = lint_paths(paths, rule_names)
     except KeyError as e:
         print(f"error: {e.args[0]}", file=sys.stderr)
         return 2

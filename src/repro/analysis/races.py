@@ -1,0 +1,857 @@
+"""Happens-before data-race detector: vector clocks over tracked state.
+
+The lock-order sanitizer (:mod:`repro.analysis.sanitizer`) catches
+*deadlocks*; it says nothing about two threads touching the same
+attribute without any ordering at all -- the PR 7 review races
+(submit-vs-kill on the job journal, admission quota double-grant) were
+exactly that shape.  This module adds the data half:
+
+- a **vector-clock engine** with the FastTrack epoch optimization: each
+  thread carries a clock vector, each tracked memory cell remembers its
+  last write as a cheap ``(tid, clock)`` epoch (promoting reads to a
+  full vector only when they become genuinely shared), and an access
+  that is not ordered *happens-before* the previous conflicting access
+  is a data race -- regardless of whether this particular run
+  interleaved badly;
+- **happens-before edges** from every synchronization primitive the
+  project actually uses: lock release -> next acquire (fed by the
+  sanitizer's instrumented ``make_lock``/``make_rlock``/
+  ``make_condition`` wrappers), ``Thread.start`` -> child,
+  child -> ``Thread.join``, ``Future.set_result``/``set_exception`` ->
+  ``Future.result``/``exception``, and ``ThreadPoolExecutor.submit`` ->
+  task body (the stdlib is patched while the detector is enabled);
+- a **tracked-attribute protocol**: decorate a class with
+  ``@track_shared("_results", "_errors")`` (or call
+  ``track(obj, "attr")``) and, while the detector is enabled, those
+  attributes are wrapped in read/write-recording descriptors.  Plain
+  ``dict``/``OrderedDict``/``set``/``list``/``deque`` values are
+  additionally wrapped in recording containers, because most real races
+  here are on *container contents* (``self._results[h] = ...``), which
+  an attribute descriptor alone would see as a read.
+
+Modes (``REPRO_SANITIZE`` environment variable, or :func:`enable`):
+
+- ``race``        -- raise :class:`DataRaceViolation` at the racing access;
+- ``race:report`` -- log the violation, collect it in :func:`race_report`,
+                     and keep going (used for overhead measurement and
+                     whole-suite sweeps).
+
+Both modes also force the lock factories into their sanitized forms, so
+the detector always sees acquire/release edges.  When the detector is
+off, ``@track_shared`` only appends to a registry list and the
+descriptors are not installed -- zero steady-state overhead.
+
+Caveats (documented, deliberate): tracked container attributes must
+*own* their container (the wrapper is installed by re-binding the
+attribute, so an outside alias created before tracking would bypass
+it); and like every happens-before detector, a lock edge that merely
+*happened* to order two accesses this run hides the race -- the
+deterministic scheduler in :mod:`repro.analysis.sched` exists to explore
+the other interleavings.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+import threading
+import weakref
+from collections import OrderedDict, deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Optional
+
+from . import sanitizer as _sanitizer
+
+__all__ = [
+    "DataRaceViolation",
+    "Access",
+    "RaceEngine",
+    "track",
+    "track_shared",
+    "enabled",
+    "report_mode",
+    "enable",
+    "disable",
+    "reset",
+    "race_report",
+]
+
+log = logging.getLogger("repro.races")
+
+_THIS_FILE = __file__
+_MISSING = object()
+
+#: The active engine (None when the detector is off).
+_ENGINE: Optional["RaceEngine"] = None
+
+#: Set by :mod:`repro.analysis.sched` while a Scheduler is active.
+_SCHEDULER = None
+
+
+def _sched_yield() -> None:
+    s = _SCHEDULER
+    if s is not None:
+        s.yield_point()
+
+
+# -- reporting ---------------------------------------------------------------------
+
+
+def _capture_stack(limit: int = 6) -> tuple[tuple[str, int, str], ...]:
+    """A cheap ``(file, line, function)`` stack, detector frames skipped."""
+    out: list[tuple[str, int, str]] = []
+    frame = sys._getframe(1)
+    while frame is not None and len(out) < limit:
+        code = frame.f_code
+        if code.co_filename != _THIS_FILE:
+            out.append((code.co_filename, frame.f_lineno, code.co_name))
+        frame = frame.f_back
+    return tuple(out)
+
+
+class Access:
+    """One recorded read or write: who, where, and under what."""
+
+    __slots__ = ("thread", "tid", "clock", "stack", "locks", "vc")
+
+    def __init__(self, thread, tid, clock, stack, locks, vc):
+        self.thread = thread
+        self.tid = tid
+        self.clock = clock
+        self.stack = stack
+        self.locks = locks
+        self.vc = vc
+
+    def describe(self) -> str:
+        held = ", ".join(self.locks) if self.locks else "no locks"
+        lines = [
+            f"thread {self.thread!r} (tid {self.tid}, clock {self.clock}) "
+            f"holding [{held}], vc {dict(sorted(self.vc.items()))}"
+        ]
+        for filename, lineno, func in self.stack:
+            lines.append(f"      {filename}:{lineno} in {func}")
+        return "\n".join(lines)
+
+
+class DataRaceViolation(RuntimeError):
+    """Two accesses to the same tracked cell with no happens-before order."""
+
+    def __init__(self, label: str, kind: str, prior: Access, current: Access):
+        self.label = label
+        self.kind = kind
+        self.prior = prior
+        self.current = current
+        super().__init__(
+            f"data race ({kind}) on {label!r}:\n"
+            f"  prior access by {prior.describe()}\n"
+            f"  racing access by {current.describe()}"
+        )
+
+
+# -- vector-clock engine -----------------------------------------------------------
+
+
+def _join(dst: dict, src: dict) -> bool:
+    changed = False
+    for tid, clk in src.items():
+        if clk > dst.get(tid, 0):
+            dst[tid] = clk
+            changed = True
+    return changed
+
+
+class _ThreadState:
+    #: ``gen`` counts external joins into ``vc`` (lock acquires, thread
+    #: joins, future results).  Between two moments with the same gen,
+    #: only the thread's own component can have advanced -- the lock
+    #: hooks use that to skip full vector-clock joins.
+    __slots__ = ("tid", "vc", "name", "gen")
+
+    def __init__(self, tid: int, vc: dict, name: str):
+        self.tid = tid
+        self.vc = vc
+        self.name = name
+        self.gen = 0
+
+
+class _LockVC:
+    """A lock's vector clock plus release-ownership fast-path state."""
+
+    __slots__ = ("vc", "owner_tid", "owner_gen")
+
+    def __init__(self):
+        self.vc: dict = {}
+        self.owner_tid = -1
+        self.owner_gen = -1
+
+
+class _Cell:
+    """FastTrack per-variable state: write epoch, read epoch or read VC."""
+
+    __slots__ = (
+        "gen", "label",
+        "write", "write_access",
+        "read", "read_access", "read_vc",
+    )
+
+    def __init__(self, label: str):
+        self.label = label
+        self.gen = None
+        self.write = None          # (tid, clock) epoch of the last write
+        self.write_access = None
+        self.read = None           # exclusive read epoch ...
+        self.read_access = None
+        self.read_vc = None        # ... or shared reads: {tid: (clock, Access)}
+
+    def clear(self, gen) -> None:
+        self.gen = gen
+        self.write = self.write_access = None
+        self.read = self.read_access = None
+        self.read_vc = None
+
+
+class RaceEngine:
+    """Global detector state: thread clocks, lock clocks, violations."""
+
+    def __init__(self, report_only: bool = False):
+        # A plain leaf lock: taken inside sanitized locks, calls out to
+        # nothing that could acquire another lock.
+        self._mu = threading.Lock()
+        self.report_only = report_only
+        self.reports: list[DataRaceViolation] = []
+        self._seen: set = set()
+        self._next_tid = 1
+        self._local = threading.local()
+        self._by_thread: "weakref.WeakKeyDictionary[threading.Thread, _ThreadState]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._lock_vcs: "weakref.WeakKeyDictionary[Any, dict]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    # -- thread registry ---------------------------------------------------------
+
+    def _tstate(self) -> _ThreadState:
+        st = getattr(self._local, "state", None)
+        if st is None:
+            thread = threading.current_thread()
+            with self._mu:
+                tid = self._next_tid
+                self._next_tid += 1
+                vc: dict = {}
+                parent = getattr(thread, "_race_parent_vc", None)
+                if parent is not None:
+                    _join(vc, parent)
+                vc[tid] = vc.get(tid, 0) + 1
+                st = _ThreadState(tid, vc, thread.name)
+                self._by_thread[thread] = st
+            self._local.state = st
+        return st
+
+    @staticmethod
+    def _hb(epoch: tuple, vc: dict) -> bool:
+        """Did the access at ``epoch`` happen-before the thread at ``vc``?"""
+        return epoch[1] <= vc.get(epoch[0], 0)
+
+    def _access(self, st: _ThreadState) -> Access:
+        return Access(
+            thread=st.name,
+            tid=st.tid,
+            clock=st.vc[st.tid],
+            stack=_capture_stack(),
+            locks=tuple(_sanitizer.MONITOR.held()),
+            vc=dict(st.vc),  # sorted lazily in describe()
+        )
+
+    # -- memory accesses ---------------------------------------------------------
+
+    def record(self, cell: _Cell, is_write: bool) -> None:
+        _sched_yield()
+        st = self._tstate()
+        # FastTrack same-epoch fast path: this thread already recorded
+        # an equal-or-stronger access to this cell at its current clock,
+        # so the outcome is identical -- skip the capture and the mutex.
+        # Reading cell fields unlocked is benign: a stale miss just
+        # falls through to the locked slow path.
+        if cell.gen is self:
+            epoch = (st.tid, st.vc[st.tid])
+            if cell.write == epoch:
+                return
+            if not is_write:
+                if cell.read == epoch:
+                    return
+                rvc = cell.read_vc
+                if rvc is not None:
+                    entry = rvc.get(st.tid)
+                    if entry is not None and entry[0] == epoch[1]:
+                        return
+        prior: Optional[Access] = None
+        kind = ""
+        # The access snapshot (stack walk, lock set) is the expensive
+        # part; build it before taking the mutex so concurrent threads
+        # do not serialize on it.
+        cur = self._access(st)
+        with self._mu:
+            if cell.gen is not self:
+                cell.clear(self)
+            vc = st.vc
+            if is_write:
+                if (
+                    cell.write is not None
+                    and cell.write[0] != st.tid
+                    and not self._hb(cell.write, vc)
+                ):
+                    prior, kind = cell.write_access, "write-write"
+                if (
+                    prior is None
+                    and cell.read is not None
+                    and cell.read[0] != st.tid
+                    and not self._hb(cell.read, vc)
+                ):
+                    prior, kind = cell.read_access, "read-write"
+                if prior is None and cell.read_vc is not None:
+                    for tid, (clk, access) in cell.read_vc.items():
+                        if tid != st.tid and clk > vc.get(tid, 0):
+                            prior, kind = access, "read-write"
+                            break
+                cell.write = (st.tid, vc[st.tid])
+                cell.write_access = cur
+                cell.read = cell.read_access = None
+                cell.read_vc = None
+            else:
+                if (
+                    cell.write is not None
+                    and cell.write[0] != st.tid
+                    and not self._hb(cell.write, vc)
+                ):
+                    prior, kind = cell.write_access, "write-read"
+                if cell.read_vc is not None:
+                    cell.read_vc[st.tid] = (vc[st.tid], cur)
+                elif (
+                    cell.read is None
+                    or cell.read[0] == st.tid
+                    or self._hb(cell.read, vc)
+                ):
+                    cell.read = (st.tid, vc[st.tid])
+                    cell.read_access = cur
+                else:
+                    cell.read_vc = {
+                        cell.read[0]: (cell.read[1], cell.read_access),
+                        st.tid: (vc[st.tid], cur),
+                    }
+                    cell.read = cell.read_access = None
+        if prior is not None:
+            self._violate(cell.label, kind, prior, cur)
+
+    def _violate(self, label: str, kind: str, prior: Access, current: Access) -> None:
+        violation = DataRaceViolation(label, kind, prior, current)
+        if not self.report_only:
+            raise violation
+        key = (
+            label, kind,
+            prior.stack[0] if prior.stack else None,
+            current.stack[0] if current.stack else None,
+        )
+        with self._mu:
+            if key in self._seen:
+                return
+            self._seen.add(key)
+            self.reports.append(violation)
+        log.warning("%s", violation)
+
+    # -- happens-before edges ----------------------------------------------------
+
+    # The lock's vector clock lives on the lock object itself, tagged
+    # with its owning engine.  Both hooks run while the caller HOLDS the
+    # lock (acquire joins after acquiring, release joins before
+    # releasing), so the lock serializes every touch of its own clock --
+    # no global mutex needed on this very hot path.  ``st.vc`` is only
+    # ever mutated by its owning thread; cross-thread readers snapshot.
+
+    def _lock_vc(self, lock: Any, create: bool):
+        tagged = getattr(lock, "_race_vc", None)
+        if tagged is not None and tagged[0] is self:
+            return tagged[1]
+        if not create:
+            return None
+        ls = _LockVC()
+        try:
+            lock._race_vc = (self, ls)
+        except AttributeError:
+            # No instance dict (e.g. a raw _thread.lock): fall back to
+            # the shared side table under the engine mutex.
+            with self._mu:
+                ls = self._lock_vcs.setdefault(lock, _LockVC())
+        return ls
+
+    def lock_acquired(self, lock: Any) -> None:
+        ls = self._lock_vc(lock, create=False)
+        if ls is None and self._lock_vcs:
+            with self._mu:
+                ls = self._lock_vcs.get(lock)
+        if ls is None:
+            return
+        st = self._tstate()
+        # Ownership fast path: this thread was the last releaser and the
+        # lock's clock never exceeds its releaser's, so there is nothing
+        # new to learn -- skip the O(threads) join.
+        if ls.owner_tid == st.tid:
+            return
+        if _join(st.vc, ls.vc):
+            st.gen += 1  # reprolint: disable=guarded-by -- own-thread counter, never read cross-thread
+
+    def lock_released(self, lock: Any) -> None:
+        st = self._tstate()
+        ls = self._lock_vc(lock, create=True)
+        # Ownership fast path: since this thread's last release of this
+        # lock it learned nothing external (gen unchanged), so only its
+        # own component advanced -- one store instead of a full join.
+        if ls.owner_tid == st.tid and ls.owner_gen == st.gen:
+            ls.vc[st.tid] = st.vc[st.tid]
+        else:
+            _join(ls.vc, st.vc)
+            ls.owner_tid = st.tid
+            ls.owner_gen = st.gen
+        st.vc[st.tid] += 1  # reprolint: disable=guarded-by -- own-thread clock; cross-thread readers snapshot under _mu
+
+    def fork_snapshot(self) -> dict:
+        """Snapshot the caller's clock for a release-style edge (start/submit)."""
+        st = self._tstate()
+        with self._mu:
+            snap = dict(st.vc)
+            st.vc[st.tid] += 1
+        return snap
+
+    def join_vc(self, vc: dict) -> None:
+        st = self._tstate()
+        with self._mu:
+            if _join(st.vc, vc):
+                st.gen += 1
+
+    def join_thread(self, thread: threading.Thread) -> None:
+        st = self._tstate()
+        with self._mu:
+            other = self._by_thread.get(thread)
+            if other is not None and other is not st:
+                # Snapshot: the joined thread may still be finishing its
+                # own clock bumps; dict() is atomic under the GIL.
+                if _join(st.vc, dict(other.vc)):
+                    st.gen += 1
+
+
+# -- tracked attributes ------------------------------------------------------------
+
+
+class TrackedAttribute:
+    """Data descriptor recording every read/write of one attribute.
+
+    The value lives in the instance ``__dict__`` under a slot name; a
+    value stored *before* the descriptor was installed (under the plain
+    name) is migrated lazily on first access, and a plain class-level
+    default (e.g. a dataclass field default) is served when the
+    instance has no value at all.
+    """
+
+    def __init__(self, name: str, label: str, default=_MISSING):
+        self.name = name
+        self.label = label
+        self.default = default
+        self.slot = "__tracked_" + name
+        self.cellslot = "__racecell_" + name
+        #: Live instances whose value moved into the slot; uninstalling
+        #: the descriptor must move it back or the attribute vanishes.
+        #: Keyed by id() -- a WeakSet would reject unhashable instances
+        #: (e.g. dataclasses with eq=True).
+        self.instances: dict[int, weakref.ref] = {}
+
+    def _remember(self, obj) -> None:
+        key = id(obj)
+        if key in self.instances:
+            return
+        gone = self.instances
+        try:
+            self.instances[key] = weakref.ref(
+                obj, lambda _r, k=key: gone.pop(k, None)
+            )
+        # reprolint: disable=exception-swallow -- non-weakrefable instance: nothing to restore later
+        except TypeError:
+            pass
+
+    def restore_instances(self) -> None:
+        """Move slot values back under the plain name (pre-uninstall)."""
+        for ref in list(self.instances.values()):
+            obj = ref()
+            if obj is None:
+                continue
+            d = obj.__dict__
+            if self.slot in d:
+                d[self.name] = d.pop(self.slot)
+            d.pop(self.cellslot, None)
+        self.instances.clear()
+
+    def _cell(self, d: dict) -> _Cell:
+        cell = d.get(self.cellslot)
+        if cell is None:
+            cell = d.setdefault(self.cellslot, _Cell(self.label))
+        return cell
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        d = obj.__dict__
+        value = d.get(self.slot, _MISSING)
+        if value is _MISSING:
+            if self.name in d:
+                # Pre-install value migrating into the slot: wrap it so
+                # container mutations record just like post-install sets.
+                value = d.pop(self.name)
+                if _ENGINE is not None:
+                    value = _wrap_container(value, self.label)
+                d[self.slot] = value
+                self._remember(obj)
+            elif self.default is not _MISSING:
+                value = self.default
+            else:
+                raise AttributeError(self.name)
+        engine = _ENGINE
+        if engine is not None:
+            engine.record(self._cell(d), False)
+        return value
+
+    def __set__(self, obj, value):
+        d = obj.__dict__
+        engine = _ENGINE
+        if engine is not None:
+            value = _wrap_container(value, self.label)
+            engine.record(self._cell(d), True)
+        if self.slot not in d:
+            self._remember(obj)
+        d[self.slot] = value
+
+    def __delete__(self, obj):
+        d = obj.__dict__
+        engine = _ENGINE
+        if engine is not None:
+            engine.record(self._cell(d), True)
+        d.pop(self.slot, None)
+
+
+#: Classes that asked for tracking: [(cls, (attr, ...)), ...].
+_REGISTERED: list[tuple[type, tuple[str, ...]]] = []
+#: Currently installed descriptors: [(cls, name, saved_class_value), ...].
+_INSTALLED: list[tuple[type, str, Any]] = []
+
+
+def track_shared(*names: str):
+    """Class decorator declaring attributes as shared, race-checked state.
+
+    Free when the detector is off; under ``REPRO_SANITIZE=race`` (or
+    after :func:`enable`) the named attributes are wrapped in recording
+    descriptors.  The declaration is also consumed statically by the
+    ``shared-mutation`` lint rule.
+    """
+
+    attrs = tuple(names)
+
+    def deco(cls: type) -> type:
+        _REGISTERED.append((cls, attrs))
+        if _ENGINE is not None:
+            _install_class(cls, attrs)
+        return cls
+
+    return deco
+
+
+def track(obj, *names: str):
+    """Imperatively track attributes on ``obj`` (or a class) by name."""
+    cls = obj if isinstance(obj, type) else type(obj)
+    attrs = tuple(names)
+    _REGISTERED.append((cls, attrs))
+    if _ENGINE is not None:
+        _install_class(cls, attrs)
+    return obj
+
+
+def _install_class(cls: type, names: tuple[str, ...]) -> None:
+    for name in names:
+        existing = cls.__dict__.get(name, _MISSING)
+        if isinstance(existing, TrackedAttribute):
+            continue
+        _INSTALLED.append((cls, name, existing))
+        setattr(
+            cls, name,
+            TrackedAttribute(name, f"{cls.__name__}.{name}", default=existing),
+        )
+
+
+def _uninstall_all() -> None:
+    while _INSTALLED:
+        cls, name, saved = _INSTALLED.pop()
+        desc = cls.__dict__.get(name)
+        if isinstance(desc, TrackedAttribute):
+            desc.restore_instances()
+        if saved is _MISSING:
+            try:
+                delattr(cls, name)
+            # reprolint: disable=exception-swallow -- already uninstalled: nothing to restore
+            except AttributeError:
+                pass
+        else:
+            setattr(cls, name, saved)
+
+
+# -- recording containers ----------------------------------------------------------
+
+
+def _reader(base: type, name: str):
+    orig = getattr(base, name)
+
+    def method(self, *args, **kwargs):
+        engine = _ENGINE
+        if engine is not None:
+            engine.record(self._cell, False)
+        return orig(self, *args, **kwargs)
+
+    method.__name__ = name
+    return method
+
+
+def _writer(base: type, name: str):
+    orig = getattr(base, name)
+
+    def method(self, *args, **kwargs):
+        engine = _ENGINE
+        if engine is not None:
+            engine.record(self._cell, True)
+        return orig(self, *args, **kwargs)
+
+    method.__name__ = name
+    return method
+
+
+_DICT_READS = ("__getitem__", "__contains__", "__len__", "__iter__", "get",
+               "keys", "values", "items", "copy")
+_DICT_WRITES = ("__setitem__", "__delitem__", "pop", "popitem", "clear",
+                "update", "setdefault")
+_SET_READS = ("__contains__", "__len__", "__iter__", "copy")
+_SET_WRITES = ("add", "discard", "remove", "pop", "clear", "update",
+               "difference_update", "intersection_update")
+_LIST_READS = ("__getitem__", "__contains__", "__len__", "__iter__", "copy",
+               "index", "count")
+_LIST_WRITES = ("__setitem__", "__delitem__", "append", "extend", "insert",
+                "pop", "remove", "clear", "sort", "reverse")
+_DEQUE_READS = ("__getitem__", "__contains__", "__len__", "__iter__", "count")
+_DEQUE_WRITES = ("__setitem__", "append", "appendleft", "extend", "extendleft",
+                 "pop", "popleft", "remove", "clear", "rotate")
+
+
+# NOTE: every proxy assigns ``_cell`` *before* the base ``__init__``:
+# OrderedDict's C initializer populates a non-empty source through the
+# subclass's (instrumented) ``__setitem__``, which needs the cell.
+
+
+class _TrackedDict(dict):
+    def __init__(self, value=(), label: str = ""):
+        self._cell = _Cell(label + "{}")
+        dict.__init__(self, value)
+
+
+class _TrackedOrderedDict(OrderedDict):
+    def __init__(self, value=(), label: str = ""):
+        self._cell = _Cell(label + "{}")
+        OrderedDict.__init__(self, value)
+
+
+class _TrackedSet(set):
+    def __init__(self, value=(), label: str = ""):
+        self._cell = _Cell(label + "{}")
+        set.__init__(self, value)
+
+
+class _TrackedList(list):
+    def __init__(self, value=(), label: str = ""):
+        self._cell = _Cell(label + "[]")
+        list.__init__(self, value)
+
+
+class _TrackedDeque(deque):
+    def __init__(self, value=(), label: str = ""):
+        maxlen = value.maxlen if isinstance(value, deque) else None
+        self._cell = _Cell(label + "[]")
+        deque.__init__(self, value, maxlen)
+
+
+def _instrument_container(proxy: type, base: type, reads, writes) -> None:
+    for name in reads:
+        setattr(proxy, name, _reader(base, name))
+    for name in writes:
+        setattr(proxy, name, _writer(base, name))
+
+
+_instrument_container(_TrackedDict, dict, _DICT_READS, _DICT_WRITES)
+_instrument_container(_TrackedOrderedDict, OrderedDict,
+                      _DICT_READS, _DICT_WRITES + ("move_to_end",))
+_instrument_container(_TrackedSet, set, _SET_READS, _SET_WRITES)
+_instrument_container(_TrackedList, list, _LIST_READS, _LIST_WRITES)
+_instrument_container(_TrackedDeque, deque, _DEQUE_READS, _DEQUE_WRITES)
+
+_PROXIES = {
+    dict: _TrackedDict,
+    OrderedDict: _TrackedOrderedDict,
+    set: _TrackedSet,
+    list: _TrackedList,
+    deque: _TrackedDeque,
+}
+
+
+def _wrap_container(value, label: str):
+    proxy = _PROXIES.get(type(value))
+    if proxy is None:
+        return value
+    return proxy(value, label)
+
+
+# -- stdlib happens-before patches -------------------------------------------------
+
+_ORIG: dict[str, Any] = {}
+
+
+def _join_future(future: Future) -> None:
+    engine = _ENGINE
+    if engine is None:
+        return
+    vc = getattr(future, "_race_vc", None)
+    if vc is not None:
+        engine.join_vc(vc)
+
+
+def _install_patches() -> None:
+    if _ORIG:
+        return
+    _ORIG["thread_start"] = threading.Thread.start
+    _ORIG["thread_join"] = threading.Thread.join
+    _ORIG["future_set_result"] = Future.set_result
+    _ORIG["future_set_exception"] = Future.set_exception
+    _ORIG["future_result"] = Future.result
+    _ORIG["future_exception"] = Future.exception
+    _ORIG["executor_submit"] = ThreadPoolExecutor.submit
+
+    def start(thread):
+        engine = _ENGINE
+        if engine is not None:
+            thread._race_parent_vc = engine.fork_snapshot()
+        return _ORIG["thread_start"](thread)
+
+    def join(thread, timeout=None):
+        _ORIG["thread_join"](thread, timeout)
+        engine = _ENGINE
+        if engine is not None and not thread.is_alive():
+            engine.join_thread(thread)
+
+    def set_result(future, result):
+        engine = _ENGINE
+        if engine is not None:
+            future._race_vc = engine.fork_snapshot()
+        return _ORIG["future_set_result"](future, result)
+
+    def set_exception(future, exc):
+        engine = _ENGINE
+        if engine is not None:
+            future._race_vc = engine.fork_snapshot()
+        return _ORIG["future_set_exception"](future, exc)
+
+    def result(future, timeout=None):
+        try:
+            return _ORIG["future_result"](future, timeout)
+        finally:
+            _join_future(future)
+
+    def exception(future, timeout=None):
+        try:
+            return _ORIG["future_exception"](future, timeout)
+        finally:
+            _join_future(future)
+
+    def submit(pool, fn, /, *args, **kwargs):
+        engine = _ENGINE
+        if engine is None:
+            return _ORIG["executor_submit"](pool, fn, *args, **kwargs)
+        snap = engine.fork_snapshot()
+
+        def task(*a, **k):
+            live = _ENGINE
+            if live is not None:
+                live.join_vc(snap)
+            return fn(*a, **k)
+
+        task.__name__ = getattr(fn, "__name__", "task")
+        return _ORIG["executor_submit"](pool, task, *args, **kwargs)
+
+    threading.Thread.start = start
+    threading.Thread.join = join
+    Future.set_result = set_result
+    Future.set_exception = set_exception
+    Future.result = result
+    Future.exception = exception
+    ThreadPoolExecutor.submit = submit
+
+
+def _uninstall_patches() -> None:
+    if not _ORIG:
+        return
+    threading.Thread.start = _ORIG.pop("thread_start")
+    threading.Thread.join = _ORIG.pop("thread_join")
+    Future.set_result = _ORIG.pop("future_set_result")
+    Future.set_exception = _ORIG.pop("future_set_exception")
+    Future.result = _ORIG.pop("future_result")
+    Future.exception = _ORIG.pop("future_exception")
+    ThreadPoolExecutor.submit = _ORIG.pop("executor_submit")
+
+
+# -- lifecycle ---------------------------------------------------------------------
+
+
+def enabled() -> bool:
+    """Is the race detector currently recording accesses?"""
+    return _ENGINE is not None
+
+
+def report_mode() -> bool:
+    """True when violations are collected instead of raised."""
+    return _ENGINE is not None and _ENGINE.report_only
+
+
+def enable(report: bool = False) -> None:
+    """Turn the detector on: install descriptors and stdlib HB patches."""
+    global _ENGINE
+    _ENGINE = RaceEngine(report_only=report)
+    for cls, names in list(_REGISTERED):
+        _install_class(cls, names)
+    _install_patches()
+    _sanitizer._RACE_ENGINE = _ENGINE
+
+
+def disable() -> None:
+    """Turn the detector off and remove all instrumentation."""
+    global _ENGINE
+    _ENGINE = None
+    _sanitizer._RACE_ENGINE = None
+    _uninstall_all()
+    _uninstall_patches()
+
+
+def reset() -> None:
+    """Fresh engine state (between tests); instrumentation stays installed."""
+    global _ENGINE
+    if _ENGINE is not None:
+        _ENGINE = RaceEngine(report_only=_ENGINE.report_only)
+        _sanitizer._RACE_ENGINE = _ENGINE
+
+
+def race_report() -> list[DataRaceViolation]:
+    """Violations collected so far (report mode; empty in raise mode)."""
+    if _ENGINE is None:
+        return []
+    with _ENGINE._mu:
+        return list(_ENGINE.reports)

@@ -1,9 +1,12 @@
 """Rule modules; importing this package registers every rule."""
 
 from . import (  # noqa: F401
+    blocking_lock,
     deadline,
+    fsync_ack,
     guarded_by,
     lock_order,
+    shared_mutation,
     span_leak,
     sql_template,
     swallow,

@@ -1,0 +1,155 @@
+"""blocking-under-lock: no blocking calls inside a mutex scope.
+
+A thread that sleeps, waits on a future, joins another thread, or does
+file/socket IO while holding one of the class's locks stalls every
+other thread contending for that lock -- the exact convoy shape that
+turned the admission controller's p99 pathological under overload.
+Inside any ``with self.<lock>:`` body (in a class that owns locks
+created through the sanitizer factories or ``threading`` directly), the
+rule flags:
+
+- ``time.sleep(...)`` (also a bare ``sleep(...)`` import);
+- ``<anything>.result(...)`` -- a ``Future.result`` rendezvous;
+- ``<anything>.join()`` with zero positional arguments or a timeout
+  keyword (``str.join`` takes exactly one positional and is ignored);
+- ``<anything>.wait(...)`` / ``.wait_for(...)`` / bare ``wait(...)`` --
+  **except** on the class's own condition variables: a cv wait
+  *releases* the mutex, which is the one legitimate way to block under
+  a lock;
+- file and socket IO openings: ``open(...)``, ``os.fsync(...)``, and
+  socket verbs (``connect``/``accept``/``recv``/``send``/``sendall``).
+
+Deliberately lexical: a blocking call hidden behind a method call in
+the same class is not followed (the runtime sanitizer and race modes
+cover dynamic composition).  Durable-write paths that *must* fsync
+under their journal lock carry a per-line suppression with a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..astutil import iter_classes_with_locks, iter_own_functions
+from ..core import Rule, register
+
+__all__ = ["BlockingUnderLockRule"]
+
+_SOCKET_VERBS = {"connect", "accept", "recv", "recv_into", "send", "sendall"}
+
+
+def _self_attr(node: ast.AST):
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _BlockingVisitor(ast.NodeVisitor):
+    """Track ``with self.<lock>:`` nesting; collect blocking calls inside."""
+
+    def __init__(self, locks, function: str):
+        self.locks = locks
+        self.function = function
+        self.depth = 0
+        self.hits: list[tuple[ast.Call, str]] = []
+
+    def _blocking(self, node: ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "sleep":
+                return "time.sleep"
+            if func.id == "open":
+                return "file open"
+            if func.id == "wait":
+                return "blocking wait"
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        attr = func.attr
+        if attr == "sleep":
+            return "time.sleep"
+        if attr == "fsync":
+            return "os.fsync"
+        if attr == "result":
+            return "Future.result"
+        if attr == "open":
+            return "file open"
+        if attr in _SOCKET_VERBS:
+            return f"socket .{attr}()"
+        if attr == "join":
+            # str.join takes exactly one positional arg and no keywords;
+            # Thread/queue joins take none (or a timeout keyword).
+            if len(node.args) == 1 and not node.keywords:
+                return None
+            return "join"
+        if attr in ("wait", "wait_for"):
+            receiver = _self_attr(func.value)
+            if receiver is not None and receiver in self.locks.conditions:
+                return None  # cv wait releases the mutex: legitimate
+            return "blocking wait"
+        return None
+
+    def visit_Call(self, node: ast.Call):
+        if self.depth > 0:
+            why = self._blocking(node)
+            if why is not None:
+                self.hits.append((node, why))
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With):
+        acquired = 0
+        for item in node.items:
+            attr = _self_attr(item.context_expr)
+            if attr is not None and attr in self.locks.locks:
+                acquired += 1
+            else:
+                # ``with open(...)`` nested in a lock scope blocks too.
+                self.visit(item.context_expr)
+        self.depth += acquired
+        for stmt in node.body:
+            self.visit(stmt)
+        self.depth -= acquired
+
+    def _visit_deferred(self, node):
+        saved, self.depth = self.depth, 0
+        for stmt in getattr(node, "body", ()):
+            if isinstance(stmt, ast.AST):
+                self.visit(stmt)
+        self.depth = saved
+
+    def visit_FunctionDef(self, node: ast.FunctionDef):
+        self._visit_deferred(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef):
+        self._visit_deferred(node)
+
+    def visit_Lambda(self, node: ast.Lambda):
+        pass
+
+
+@register
+class BlockingUnderLockRule(Rule):
+    name = "blocking-under-lock"
+    description = (
+        "no sleeps, future/thread waits, or file/socket IO while "
+        "holding a lock (condition-variable waits exempt)"
+    )
+    severity = "error"
+
+    def check(self, ctx):
+        for cls, locks in iter_classes_with_locks(ctx.tree):
+            for fn in iter_own_functions(cls):
+                visitor = _BlockingVisitor(locks, fn.name)
+                for stmt in fn.body:
+                    visitor.visit(stmt)
+                for node, why in visitor.hits:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{why} inside a lock scope in "
+                        f"{cls.name}.{fn.name}: blocking while holding a "
+                        f"lock convoys every contender",
+                    )

@@ -1,0 +1,125 @@
+"""fsync-before-ack: durable append paths must reach fsync before acking.
+
+PR 7's crash-recovery contract is that ``JobJournal.append`` returning
+True *means* the record is on disk: the submit path treats that return
+value as the commit acknowledgement, and a crash after an ack must
+replay the record.  A refactor that moves the ``os.fsync`` after an
+early ``return True`` (or drops it) silently breaks exactly-once
+recovery -- and no test notices until a kill lands in the window.
+
+The rule pins that contract structurally.  In any class whose name
+contains ``Journal`` or ``WAL``, every ``append*``/``commit*``/
+``log_*`` method that performs a file write (an ``open(...)`` or
+``.write(...)`` call) must:
+
+- contain an ``os.fsync(...)`` call at all, and
+- place every *acknowledging* return -- ``return`` of anything other
+  than the constants ``None``/``False`` -- lexically **after** the last
+  ``fsync`` call.  ``return False`` / bare ``return`` are refusal
+  paths and may appear anywhere (``JobJournal.append`` refuses before
+  writing when the queue is dead).
+
+Lexical position approximates path sensitivity: a truthy return above
+the fsync line is reachable without syncing on every straight-line
+reading of the method, which is precisely the bug shape being pinned.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from ..core import Rule, register
+
+__all__ = ["FsyncBeforeAckRule"]
+
+_CLASS_RE = re.compile(r"Journal|WAL|Wal")
+_METHOD_RE = re.compile(r"^(append|commit|log_)")
+
+
+def _calls(fn: ast.AST):
+    """Calls in the method body, skipping nested function definitions."""
+    stack = list(getattr(fn, "body", ()))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _returns(fn: ast.AST):
+    stack = list(getattr(fn, "body", ()))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Return):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_ack(ret: ast.Return) -> bool:
+    """Does this return acknowledge (anything but None/False constants)?"""
+    if ret.value is None:
+        return False
+    if isinstance(ret.value, ast.Constant) and ret.value.value in (None, False):
+        return False
+    return True
+
+
+def _call_name(call: ast.Call):
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+@register
+class FsyncBeforeAckRule(Rule):
+    name = "fsync-before-ack"
+    description = (
+        "journal/WAL append methods must os.fsync before any "
+        "acknowledging return"
+    )
+    severity = "error"
+
+    def check(self, ctx):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef) or not _CLASS_RE.search(node.name):
+                continue
+            for fn in node.body:
+                if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if not _METHOD_RE.match(fn.name):
+                    continue
+                writes = fsync_line = None
+                for call in _calls(fn):
+                    name = _call_name(call)
+                    if name in ("open", "write"):
+                        writes = call
+                    if name == "fsync":
+                        fsync_line = max(fsync_line or 0, call.lineno)
+                if writes is None:
+                    continue  # not a durable append (no file IO)
+                if fsync_line is None:
+                    yield self.finding(
+                        ctx,
+                        fn,
+                        f"{node.name}.{fn.name} writes to a file but never "
+                        f"calls os.fsync: an acked record may not survive "
+                        f"a crash",
+                    )
+                    continue
+                for ret in _returns(fn):
+                    if _is_ack(ret) and ret.lineno < fsync_line:
+                        yield self.finding(
+                            ctx,
+                            ret,
+                            f"{node.name}.{fn.name} acknowledges at line "
+                            f"{ret.lineno} before the os.fsync at line "
+                            f"{fsync_line}: the ack can outrun durability",
+                        )

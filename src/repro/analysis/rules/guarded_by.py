@@ -17,8 +17,11 @@ hold at least one of its associated locks:
   same variable name ~ same shared object role) -- it is exactly how
   the czar threads one ``QueryStats`` through its dispatch closures.
 
-``__init__`` bodies and methods named ``*_locked`` (the documented
-"caller holds the lock" convention) are exempt.
+Methods named ``*_locked`` (the documented "caller holds the lock"
+convention) are exempt.  ``__init__`` is exempt only *up to* the first
+``t.start()`` call: before a worker thread exists construction is
+single-threaded, but a write landing after ``start()`` races with that
+thread like any other unguarded mutation.
 """
 
 from __future__ import annotations

@@ -1,0 +1,219 @@
+"""shared-mutation: guarded state must not leak out through aliases.
+
+The guarded-by rule checks ``self._entries[k] = v`` directly; it cannot
+see the laundered version::
+
+    with self._lock:
+        entries = self._entries    # alias taken under the lock
+    entries[k] = v                 # ...mutated after it was released
+
+The alias is the same object, so the mutation races exactly like the
+direct one -- but the attribute path is gone.  This rule tracks local
+aliases of *protected* attributes and flags any in-place mutation of an
+alias made while holding none of the attribute's guard locks.
+
+Protected attributes are the union of:
+
+- attributes the class mutates under one of its locks somewhere
+  (the guarded-by association, ``__init__`` pre-start writes exempt);
+- attributes declared shared via the runtime race detector's
+  ``@track_shared("attr", ...)`` class decorator -- the static half of
+  the tracking contract, guarded by *any* of the class's locks.
+
+An alias dies when its name is rebound.  Rebinding to a *copy*
+(``list(self._x)``, ``dict(self._x)``, ``self._x.copy()``) never
+creates an alias in the first place -- only a bare ``local = self.attr``
+does.  Mutations inside nested functions count with an empty held set:
+a closure runs after the ``with`` block exited, which is exactly the
+escape this rule exists to catch.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..astutil import (
+    MUTATOR_METHODS,
+    collect_mutations,
+    iter_classes_with_locks,
+    iter_own_functions,
+)
+from ..core import Rule, register
+
+__all__ = ["SharedMutationRule"]
+
+
+def _self_attr(node: ast.AST):
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _tracked_attrs(cls: ast.ClassDef) -> set[str]:
+    """Attribute names declared via ``@track_shared("a", "b")``."""
+    out: set[str] = set()
+    for deco in cls.decorator_list:
+        if not isinstance(deco, ast.Call):
+            continue
+        func = deco.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+        if name != "track_shared":
+            continue
+        for arg in deco.args:
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                out.add(arg.value)
+    return out
+
+
+class _AliasVisitor(ast.NodeVisitor):
+    """Track lock nesting plus live aliases of protected attributes."""
+
+    def __init__(self, guards: dict[str, set[str]], locks, function: str):
+        self.guards = guards          # attr -> lock names that satisfy it
+        self.locks = locks
+        self.function = function
+        self.held: list[str] = []
+        self.aliases: dict[str, str] = {}   # local name -> attr
+        self.hits: list[tuple[ast.AST, str, str]] = []
+
+    def _held_closure(self) -> set[str]:
+        held: set[str] = set()
+        for attr in self.held:
+            held |= self.locks.held_by(attr)
+        return held
+
+    def _flag(self, node: ast.AST, local: str) -> None:
+        attr = self.aliases[local]
+        if self._held_closure() & self.guards[attr]:
+            return
+        self.hits.append((node, local, attr))
+
+    def _root_name(self, node: ast.AST):
+        cur = node
+        while isinstance(cur, (ast.Attribute, ast.Subscript)):
+            cur = cur.value
+        return cur.id if isinstance(cur, ast.Name) else None
+
+    # -- alias creation / death --------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign):
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                attr = _self_attr(node.value)
+                if attr is not None and attr in self.guards:
+                    self.aliases[target.id] = attr
+                else:
+                    self.aliases.pop(target.id, None)
+            elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                root = self._root_name(target)
+                if root is not None and root in self.aliases:
+                    self._flag(node, root)
+        self.generic_visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign):
+        root = self._root_name(node.target)
+        if root is not None and root in self.aliases:
+            # ``alias[k] += 1`` mutates; plain ``alias += 1`` rebinds.
+            if isinstance(node.target, (ast.Subscript, ast.Attribute)):
+                self._flag(node, root)
+            else:
+                self.aliases.pop(root, None)
+        self.generic_visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete):
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self.aliases.pop(target.id, None)
+            else:
+                root = self._root_name(target)
+                if root is not None and root in self.aliases:
+                    self._flag(node, root)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in MUTATOR_METHODS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.aliases
+        ):
+            self._flag(node, func.value.id)
+        self.generic_visit(node)
+
+    # -- lock scopes --------------------------------------------------------------
+
+    def visit_With(self, node: ast.With):
+        acquired: list[str] = []
+        for item in node.items:
+            attr = _self_attr(item.context_expr)
+            if attr is not None and attr in self.locks.locks:
+                acquired.append(attr)
+                self.held.append(attr)
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in acquired:
+            self.held.pop()
+
+    # -- deferred bodies: closures escape the lock scope by construction -----------
+
+    def _visit_deferred(self, node):
+        saved, self.held = self.held, []
+        for stmt in getattr(node, "body", ()):
+            if isinstance(stmt, ast.AST):
+                self.visit(stmt)
+        self.held = saved
+
+    def visit_FunctionDef(self, node: ast.FunctionDef):
+        self._visit_deferred(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef):
+        self._visit_deferred(node)
+
+    def visit_Lambda(self, node: ast.Lambda):
+        pass
+
+
+@register
+class SharedMutationRule(Rule):
+    name = "shared-mutation"
+    description = (
+        "guarded/tracked attributes must not be mutated through "
+        "aliases escaping the lock scope"
+    )
+    severity = "error"
+
+    def check(self, ctx):
+        for cls, locks in iter_classes_with_locks(ctx.tree):
+            mutations, _ = collect_mutations(cls, locks)
+            guards: dict[str, set[str]] = {}
+            for m in mutations:
+                if m.root != "self" or not m.path:
+                    continue
+                locked = m.held & locks.locks
+                if locked:
+                    guards.setdefault(m.path[0], set()).update(locked)
+            for attr in _tracked_attrs(cls):
+                guards.setdefault(attr, set()).update(locks.locks)
+            if not guards:
+                continue
+            for fn in iter_own_functions(cls):
+                if fn.name.endswith("_locked") or fn.name == "__init__":
+                    continue
+                visitor = _AliasVisitor(guards, locks, fn.name)
+                for stmt in fn.body:
+                    visitor.visit(stmt)
+                for node, local, attr in visitor.hits:
+                    lock_names = ", ".join(sorted(guards[attr]))
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"'{local}' aliases guarded attribute "
+                        f"'self.{attr}' and is mutated in "
+                        f"{cls.name}.{fn.name} without holding "
+                        f"{lock_names}: the alias escapes the lock scope",
+                    )

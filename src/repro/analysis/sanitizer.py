@@ -194,6 +194,13 @@ class LockOrderMonitor:
 #: The process-wide monitor every sanitized lock reports to by default.
 MONITOR = LockOrderMonitor()
 
+#: Set by :mod:`repro.analysis.races` while the data-race detector is
+#: enabled: sanitized locks feed it release->acquire happens-before edges.
+_RACE_ENGINE = None
+#: Set by :mod:`repro.analysis.sched` while a deterministic scheduler is
+#: active: lock operations become cooperative yield points.
+_SCHEDULER = None
+
 
 class SanitizedLock:
     """A ``threading.Lock`` that reports acquisition order to a monitor."""
@@ -221,7 +228,11 @@ class SanitizedLock:
         if not reentry:
             # Check *before* blocking so a would-be deadlock raises.
             self._monitor.on_acquire(self.name)
-        got = self._lock.acquire(blocking, timeout)
+        scheduler = _SCHEDULER
+        if blocking and scheduler is not None and scheduler.manages_current():
+            got = self._acquire_cooperative(scheduler)
+        else:
+            got = self._lock.acquire(blocking, timeout)
         if not got:
             if not reentry:
                 self._monitor.on_release(self.name)
@@ -229,12 +240,37 @@ class SanitizedLock:
         if reentry:
             self._monitor.on_acquire(self.name)  # depth bump, no re-check
         self._depth_set(self._depth_get() + 1)
+        if not reentry:
+            engine = _RACE_ENGINE
+            if engine is not None:
+                engine.lock_acquired(self)
         return True
 
+    def _acquire_cooperative(self, scheduler) -> bool:
+        """Yield/try-acquire loop so a managed thread never really blocks."""
+        while True:
+            scheduler.yield_point()
+            if self._lock.acquire(False):
+                return True
+            if not scheduler.block_on_lock(self):
+                # Scheduler entered free-run (stall/finish): block for real.
+                return self._lock.acquire(True)
+
     def release(self) -> None:
+        depth = self._depth_get()
+        if depth <= 1:
+            # Publish this thread's clock on the lock *before* the next
+            # owner can acquire it: release->acquire is an HB edge.
+            engine = _RACE_ENGINE
+            if engine is not None:
+                engine.lock_released(self)
         self._lock.release()
-        self._depth_set(max(self._depth_get() - 1, 0))
+        self._depth_set(max(depth - 1, 0))
         self._monitor.on_release(self.name)
+        if depth <= 1:
+            scheduler = _SCHEDULER
+            if scheduler is not None:
+                scheduler.lock_released(self)
 
     def __enter__(self):
         self.acquire()
@@ -268,11 +304,17 @@ class SanitizedRLock(SanitizedLock):
     # -- Condition protocol ------------------------------------------------------
 
     def _release_save(self):
+        engine = _RACE_ENGINE
+        if engine is not None:
+            engine.lock_released(self)
         state = self._lock._release_save()
         depth = self._depth_get()
         self._depth_set(0)
         for _ in range(depth):
             self._monitor.on_release(self.name)
+        scheduler = _SCHEDULER
+        if scheduler is not None:
+            scheduler.lock_released(self)
         return (state, depth)
 
     def _acquire_restore(self, state):
@@ -282,6 +324,9 @@ class SanitizedRLock(SanitizedLock):
         self._depth_set(depth)
         for _ in range(depth - 1):
             self._monitor.on_acquire(self.name)
+        engine = _RACE_ENGINE
+        if engine is not None:
+            engine.lock_acquired(self)
 
     def _is_owned(self) -> bool:
         return self._lock._is_owned()
@@ -293,10 +338,18 @@ _FORCED: Optional[bool] = None
 
 
 def enabled() -> bool:
-    """Is sanitization active for locks created *from now on*?"""
+    """Is sanitization active for locks created *from now on*?
+
+    True under ``REPRO_SANITIZE=1`` (lock order only), under the race
+    modes (``race`` / ``race:report``, which need acquire/release HB
+    edges), and while a deterministic scheduler or the race engine is
+    active in-process.
+    """
     if _FORCED is not None:
         return _FORCED
-    return os.environ.get("REPRO_SANITIZE") == "1"
+    if _RACE_ENGINE is not None or _SCHEDULER is not None:
+        return True
+    return os.environ.get("REPRO_SANITIZE", "") in {"1", "race", "race:report"}
 
 
 def enable() -> None:
@@ -339,4 +392,21 @@ def make_condition(lock=None, name: str = "condition") -> threading.Condition:
     """
     if lock is None:
         lock = make_rlock(name)
+    if _SCHEDULER is not None:
+        # Under a deterministic scheduler a real Condition.wait would
+        # park the managed thread (and the token) in the OS; the
+        # cooperative variant parks on the scheduler instead.
+        from . import sched as _sched
+
+        return _sched.CooperativeCondition(lock, name)
     return threading.Condition(lock)
+
+
+# Under the race modes the detector must exist before any tracked class
+# is constructed, so importing the lock factories (which every qserv
+# module does) boots it straight from the environment.
+_env_mode = os.environ.get("REPRO_SANITIZE", "")
+if _env_mode.startswith("race"):
+    from . import races as _races_mod
+
+    _races_mod.enable(report=_env_mode == "race:report")

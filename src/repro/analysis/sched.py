@@ -1,0 +1,505 @@
+"""Deterministic interleaving explorer: a cooperative PCT-style scheduler.
+
+A happens-before detector (:mod:`repro.analysis.races`) flags races it
+can *see*, but which accesses overlap depends on the interleaving the
+OS happened to produce.  This module removes the OS from the equation:
+while a :class:`Scheduler` is active, every thread started inside it is
+*managed* -- exactly one managed thread runs at a time, and the running
+thread hands the token over only at controlled yield points:
+
+- every tracked attribute/container access (the race detector calls
+  :meth:`Scheduler.yield_point` before recording),
+- every sanitized lock acquire (``make_lock``/``make_rlock`` wrappers
+  go through a cooperative try-acquire loop instead of blocking),
+- ``Thread.start`` and explicit ``yield_point()`` calls in scenarios.
+
+Schedules are driven by seeded random priorities with a few demotion
+points (the PCT algorithm's shape): same seed => same decision sequence
+=> same interleaving, recorded in :attr:`Scheduler.trace` so tests can
+assert determinism, and :func:`sweep` replays a scenario across a seed
+range to *find* the interleaving that breaks an invariant.
+
+Blocking primitives are made cooperative rather than forbidden:
+
+- sanitized locks spin through ``yield_point``/try-acquire and park the
+  thread on the scheduler when contended (woken by the instrumented
+  release);
+- ``make_condition`` returns a :class:`CooperativeCondition` while a
+  scheduler is active: waiters park on the scheduler, ``notify`` marks
+  them runnable, and a ``wait(timeout=...)`` is timed *logically* --
+  fired deterministically only when nothing else can run (production
+  waits are predicate loops, so a logically-early timeout is just a
+  spurious wakeup).
+
+If no managed thread can run and no timed wait remains, the scheduler
+declares :class:`SchedulerStall`, releases every parked thread into
+free-running mode (so nothing leaks), and raises with a per-thread
+diagnostic.  A wall-clock timeout and a step budget backstop scenario
+bugs.  Construct the objects under test *inside* the scheduler context:
+conditions created before it are real stdlib conditions, and a managed
+thread blocking in one would hold the token forever.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Callable, Iterable, Optional
+
+from . import races as _races
+from . import sanitizer as _sanitizer
+
+__all__ = [
+    "Scheduler",
+    "SchedulerStall",
+    "CooperativeCondition",
+    "sweep",
+]
+
+_RUNNABLE = "runnable"
+_RUNNING = "running"
+_BLOCKED_LOCK = "blocked-on-lock"
+_BLOCKED_CV = "blocked-on-cv"
+_FINISHED = "finished"
+
+
+class SchedulerStall(RuntimeError):
+    """No managed thread can make progress under the current schedule."""
+
+
+class _TState:
+    __slots__ = (
+        "thread", "name", "index", "priority", "event", "status",
+        "blocked_on", "timeout", "timed_out", "error", "spawned",
+    )
+
+    def __init__(self, thread: threading.Thread, index: int,
+                 priority: float, spawned: bool):
+        self.thread = thread
+        self.name = thread.name
+        self.index = index
+        self.priority = priority
+        self.event = threading.Event()
+        self.status = _RUNNABLE
+        self.blocked_on = None
+        self.timeout: Optional[float] = None
+        self.timed_out = False
+        self.error: Optional[BaseException] = None
+        self.spawned = spawned
+
+
+class Scheduler:
+    """Serializes managed threads onto one seeded, replayable schedule."""
+
+    def __init__(self, seed: int = 0, change_points: int = 3,
+                 horizon: int = 64, max_steps: int = 20000,
+                 wall_timeout: float = 30.0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._mu = threading.Lock()  # plain leaf lock, never sanitized
+        self._states: dict[threading.Thread, _TState] = {}
+        self._order: list[_TState] = []
+        self._spawned: list[_TState] = []
+        self.trace: list[str] = []
+        self._step = 0
+        self._max_steps = max_steps
+        self._wall_timeout = wall_timeout
+        if change_points > 0:
+            # PCT-style demotion points, sampled inside the expected
+            # schedule length (``horizon`` steps) -- sampling over the
+            # whole step budget would land them past short scenarios
+            # and degenerate into pure priority runs.
+            window = max(horizon, change_points + 1)
+            self._change_steps = sorted(
+                self._rng.sample(range(1, window), min(change_points, window - 1))
+            )
+        else:
+            self._change_steps = []
+        self._change_idx = 0
+        self._free_run = False
+        self._done = threading.Event()
+        self._stall: Optional[str] = None
+        self._active = False
+        self._orig_start = None
+
+    # -- activation --------------------------------------------------------------
+
+    def __enter__(self) -> "Scheduler":
+        self._active = True
+        _sanitizer._SCHEDULER = self
+        _races._SCHEDULER = self
+        self._orig_start = threading.Thread.start
+        scheduler = self
+
+        def start(thread):
+            if scheduler._active and not scheduler._free_run:
+                scheduler._adopt(thread)
+            scheduler._orig_start(thread)
+            me = scheduler._states.get(threading.current_thread())
+            if me is not None and not scheduler._free_run:
+                scheduler.yield_point()
+
+        threading.Thread.start = start
+        return self
+
+    def __exit__(self, *exc):
+        self._active = False
+        if self._orig_start is not None:
+            threading.Thread.start = self._orig_start
+        _sanitizer._SCHEDULER = None
+        _races._SCHEDULER = None
+        # Release anything still parked so no thread leaks.
+        with self._mu:
+            self._free_run = True
+            for st in self._order:
+                st.event.set()
+            self._done.set()
+        return False
+
+    # -- registration ------------------------------------------------------------
+
+    def _register(self, thread: threading.Thread, spawned: bool) -> _TState:
+        with self._mu:
+            existing = self._states.get(thread)
+            if existing is not None:
+                return existing
+            state = _TState(thread, len(self._order), self._rng.random(), spawned)
+            self._states[thread] = state
+            self._order.append(state)
+            if spawned:
+                self._spawned.append(state)
+        orig_run = thread.run
+        scheduler = self
+
+        def run():
+            state.event.wait()
+            error = None
+            try:
+                orig_run()
+            except BaseException as e:  # noqa: BLE001 -- reported via run()
+                error = e
+            finally:
+                scheduler._thread_finished(state, error)
+
+        thread.run = run
+        return state
+
+    def spawn(self, fn: Callable, *args, name: Optional[str] = None,
+              **kwargs) -> threading.Thread:
+        """Declare a scenario thread; started (in order) by :meth:`run`."""
+        thread = threading.Thread(
+            target=fn, args=args, kwargs=kwargs,
+            name=name or f"sched-{len(self._spawned)}", daemon=True,
+        )
+        self._register(thread, spawned=True)
+        return thread
+
+    def _adopt(self, thread: threading.Thread) -> None:
+        """A thread started while the scheduler is active becomes managed."""
+        self._register(thread, spawned=False)
+
+    # -- the schedule ------------------------------------------------------------
+
+    def _pick_locked(self) -> Optional[_TState]:
+        runnable = [st for st in self._order if st.status == _RUNNABLE]
+        if not runnable:
+            return None
+        return max(runnable, key=lambda st: (st.priority, -st.index))
+
+    def _grant_locked(self, state: _TState) -> None:
+        state.status = _RUNNING
+        state.event.set()
+
+    def _maybe_change_locked(self, state: Optional[_TState]) -> None:
+        while (
+            self._change_idx < len(self._change_steps)
+            and self._step >= self._change_steps[self._change_idx]
+        ):
+            self._change_idx += 1
+            if state is not None:
+                state.priority = -float(self._change_idx)
+
+    def _finish_locked(self) -> None:
+        self._free_run = True
+        for st in self._order:
+            st.event.set()
+        self._done.set()
+
+    def _abandon_locked(self, why: str) -> None:
+        lines = [why]
+        for st in self._order:
+            lines.append(
+                f"  {st.name}: {st.status}"
+                + (f" (on {st.blocked_on})" if st.blocked_on is not None else "")
+            )
+        self._stall = "\n".join(lines)
+        self._finish_locked()
+
+    def _schedule_next_locked(self) -> None:
+        """The current thread gave up the token: pick who runs next."""
+        nxt = self._pick_locked()
+        if nxt is not None:
+            self.trace.append(nxt.name)
+            self._grant_locked(nxt)
+            return
+        if self._spawned and all(st.status == _FINISHED for st in self._spawned):
+            self._finish_locked()
+            return
+        waiters = [
+            st for st in self._order
+            if st.status == _BLOCKED_CV and st.timeout is not None
+        ]
+        if waiters:
+            st = min(waiters, key=lambda s: (s.timeout, s.index))
+            st.timed_out = True
+            st.status = _RUNNABLE
+            self.trace.append(st.name + ":timeout")
+            self._grant_locked(st)
+            return
+        self._abandon_locked("deadlock: no runnable threads and no timed waits")
+
+    def _thread_finished(self, state: _TState,
+                         error: Optional[BaseException] = None) -> None:
+        if self._free_run or not self._active:
+            with self._mu:
+                state.error = error
+                state.status = _FINISHED
+            return
+        with self._mu:
+            state.error = error
+            state.status = _FINISHED
+            if self._spawned and all(
+                st.status == _FINISHED for st in self._spawned
+            ):
+                self._finish_locked()
+                return
+            self._schedule_next_locked()
+
+    # -- yield points (called from instrumented code) ------------------------------
+
+    def yield_point(self) -> None:
+        """Maybe hand the token to another runnable thread (seeded choice)."""
+        if not self._active or self._free_run:
+            return
+        me = self._states.get(threading.current_thread())
+        if me is None or me.status == _FINISHED:
+            return
+        with self._mu:
+            if self._free_run:
+                return
+            self._step += 1
+            if self._step >= self._max_steps:
+                self._abandon_locked(f"exceeded max_steps={self._max_steps}")
+                return
+            self._maybe_change_locked(me)
+            me.status = _RUNNABLE
+            nxt = self._pick_locked()
+            if nxt is me or nxt is None:
+                me.status = _RUNNING
+                return
+            self.trace.append(nxt.name)
+            me.event.clear()
+            self._grant_locked(nxt)
+        me.event.wait()
+
+    def manages_current(self) -> bool:
+        return (
+            self._active
+            and not self._free_run
+            and threading.current_thread() in self._states
+        )
+
+    def block_on_lock(self, lock) -> bool:
+        """Park until the lock's release; False => fall back to real blocking."""
+        if not self._active or self._free_run:
+            return False
+        me = self._states.get(threading.current_thread())
+        if me is None:
+            return False
+        with self._mu:
+            if self._free_run:
+                return False
+            me.status = _BLOCKED_LOCK
+            me.blocked_on = lock
+            me.event.clear()
+            self._schedule_next_locked()
+        me.event.wait()
+        return not self._free_run
+
+    def lock_released(self, lock) -> None:
+        """Instrumented release: contenders parked on this lock can retry."""
+        if not self._active or self._free_run:
+            return
+        with self._mu:
+            for st in self._order:
+                if st.status == _BLOCKED_LOCK and st.blocked_on is lock:
+                    st.status = _RUNNABLE
+                    st.blocked_on = None
+
+    def block_on_cv(self, state: _TState, timeout: Optional[float]) -> None:
+        """Park the current (managed) thread as a condition waiter."""
+        with self._mu:
+            state.status = _BLOCKED_CV
+            state.timeout = timeout
+            state.timed_out = False
+            state.event.clear()
+            self._schedule_next_locked()
+        state.event.wait()
+        with self._mu:
+            state.timeout = None
+
+    def cv_notified(self, state: _TState) -> None:
+        with self._mu:
+            if state.status == _BLOCKED_CV:
+                state.status = _RUNNABLE
+
+    # -- driving -----------------------------------------------------------------
+
+    def run(self) -> None:
+        """Start every spawned thread and drive the schedule to completion."""
+        for st in list(self._spawned):
+            if not st.thread.is_alive() and st.status != _FINISHED:
+                st.thread.start()
+        with self._mu:
+            if not self._free_run:
+                self._schedule_next_locked()
+        if not self._done.wait(self._wall_timeout):
+            with self._mu:
+                self._abandon_locked(
+                    f"wall-clock timeout after {self._wall_timeout}s"
+                )
+        for st in self._spawned:
+            st.thread.join(5.0)
+        if self._stall is not None:
+            raise SchedulerStall(self._stall)
+        for st in self._spawned:
+            if st.error is not None:
+                raise st.error
+
+
+def _current() -> Optional[Scheduler]:
+    """The active scheduler, if any (read by the sanitizer's factories)."""
+    s = _sanitizer._SCHEDULER
+    return s if isinstance(s, Scheduler) else None
+
+
+class _Waiter:
+    __slots__ = ("notified", "state", "real_event")
+
+    def __init__(self, state: Optional[_TState]):
+        self.notified = False
+        self.state = state
+        self.real_event = threading.Event()
+
+
+class CooperativeCondition:
+    """A condition variable whose waits park on the active scheduler.
+
+    Returned by ``make_condition`` while a :class:`Scheduler` is active.
+    Managed waiters hand the token back instead of blocking; unmanaged
+    threads (or free-running ones after a stall) fall back to a real
+    event wait, so the object keeps working after the scheduler exits.
+    """
+
+    def __init__(self, lock, name: str = "condition"):
+        self.name = name
+        self._lock = lock
+        self._waiters: list[_Waiter] = []
+
+    # -- lock protocol ----------------------------------------------------------
+
+    def acquire(self, *args, **kwargs):
+        return self._lock.acquire(*args, **kwargs)
+
+    def release(self):
+        self._lock.release()
+
+    def __enter__(self):
+        self._lock.acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self._lock.release()
+        return False
+
+    def _depth(self) -> int:
+        getter = getattr(self._lock, "_depth_get", None)
+        return getter() if getter is not None else 1
+
+    # -- waiting ----------------------------------------------------------------
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Release the lock, park until notify/timeout, reacquire."""
+        scheduler = _current()
+        state = None
+        if scheduler is not None and scheduler.manages_current():
+            state = scheduler._states.get(threading.current_thread())
+        waiter = _Waiter(state)
+        self._waiters.append(waiter)
+        depth = self._depth()
+        for _ in range(depth):
+            self._lock.release()
+        try:
+            if state is not None:
+                scheduler.block_on_cv(state, timeout)
+                timed_out = state.timed_out and not waiter.notified
+                state.timed_out = False
+            else:
+                notified = waiter.real_event.wait(timeout)
+                timed_out = not notified
+        finally:
+            for _ in range(depth):
+                self._lock.acquire()
+            if waiter in self._waiters:
+                self._waiters.remove(waiter)
+        return not timed_out
+
+    def wait_for(self, predicate, timeout: Optional[float] = None):
+        result = predicate()
+        while not result:
+            if not self.wait(timeout):
+                return predicate()
+            result = predicate()
+        return result
+
+    def notify(self, n: int = 1) -> None:
+        scheduler = _current()
+        woken = 0
+        for waiter in self._waiters:
+            if waiter.notified:
+                continue
+            waiter.notified = True
+            if waiter.state is not None and scheduler is not None:
+                scheduler.cv_notified(waiter.state)
+            waiter.real_event.set()
+            woken += 1
+            if woken >= n:
+                break
+
+    def notify_all(self) -> None:
+        self.notify(len(self._waiters))
+
+    def __repr__(self):
+        return f"CooperativeCondition({self.name!r})"
+
+
+def sweep(scenario: Callable[[Scheduler], None],
+          seeds: Iterable[int] = range(100),
+          catch: tuple = (Exception,),
+          **scheduler_kwargs) -> dict[int, BaseException]:
+    """Replay ``scenario`` across seeds; map each failing seed to its error.
+
+    ``scenario`` receives an *entered* scheduler: it should construct
+    its objects, ``spawn`` its threads, call ``run()``, and assert its
+    invariants.  Any exception in ``catch`` (scheduler stalls included)
+    is recorded instead of propagated, so a 100-seed sweep reports every
+    interleaving that broke something.
+    """
+    failures: dict[int, BaseException] = {}
+    for seed in seeds:
+        try:
+            with Scheduler(seed=seed, **scheduler_kwargs) as scheduler:
+                scenario(scheduler)
+        except catch as e:  # noqa: BLE001 -- the point is to collect them
+            failures[seed] = e
+    return failures

@@ -59,6 +59,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from ..analysis.races import track_shared
 from ..analysis.sanitizer import make_lock
 from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics
@@ -199,6 +200,7 @@ _STATS_COUNTERS = {
 }
 
 
+@track_shared("workers_used", "failed_chunks")
 class QueryStats:
     """Observable cost of one user query.
 
@@ -318,6 +320,7 @@ class ExplainReport:
         return "\n".join(lines)
 
 
+@track_shared("_plan_cache", "_latencies")
 class Czar:
     """The Qserv frontend master.
 
@@ -459,9 +462,9 @@ class Czar:
 
     def close(self) -> None:
         """Shut down the persistent dispatch pools (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=False)
-            self._pool = None
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
         with self._attempt_pool_lock:
             attempt_pool, self._attempt_pool = self._attempt_pool, None
         if attempt_pool is not None:
@@ -1008,10 +1011,13 @@ class Czar:
                 stats.workers_used.add(worker)
             return kind, payload
 
-        if self._pool is None or len(specs) <= 1:
+        # Single read: close() nulls _pool from another thread, and a
+        # check-then-use pair would race it (None between the two reads).
+        pool = self._pool
+        if pool is None or len(specs) <= 1:
             collected = [one(s) for s in specs]
         else:
-            collected = list(self._pool.map(one, specs))
+            collected = list(pool.map(one, specs))
         return [entry for entry in collected if entry is not None]
 
     def _withdraw_chunk_queries(

@@ -42,6 +42,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Optional
 
+from ...analysis.races import track_shared
 from ...analysis.sanitizer import make_condition, make_lock
 from ...obs import events as obs_events
 from ...obs import metrics as obs_metrics
@@ -180,6 +181,7 @@ class AdmissionTicket:
         return False
 
 
+@track_shared("_tenants", "_running", "_queued", "_avg_seconds")
 class AdmissionController:
     """Bounded, fair, health-aware admission over one czar.
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional
 
+from ...analysis.races import track_shared
 from ...analysis.sanitizer import make_lock
 from ...obs import metrics as obs_metrics
 from ...xrd.protocol import query_hash
@@ -30,6 +31,7 @@ def normalize_sql(sql: str) -> str:
     return " ".join(sql.strip().rstrip(";").split())
 
 
+@track_shared("_entries")
 class ResultCache:
     """A bounded, thread-safe LRU of :class:`~repro.qserv.czar.QueryResult`.
 

@@ -53,6 +53,7 @@ from collections import deque
 from pathlib import Path
 from typing import Callable, Optional
 
+from ...analysis.races import track_shared
 from ...analysis.sanitizer import make_condition, make_lock
 from ...obs import events as obs_events
 from ...obs import metrics as obs_metrics
@@ -97,9 +98,11 @@ class JobJournal:
         with self._lock:
             if self._dead:
                 return False
+            # reprolint: disable=blocking-under-lock -- the journal lock IS the append order: serialized durable writes
             with open(self.path, "a", encoding="utf-8") as fh:
                 fh.write(line + "\n")
                 fh.flush()
+                # reprolint: disable=blocking-under-lock -- fsync-per-record under the lock is the durability contract
                 os.fsync(fh.fileno())
         return True
 
@@ -180,6 +183,9 @@ class _Job:
         }
 
 
+@track_shared(
+    "_jobs", "_queue", "_seq", "_stopping", "_dead", "_crash_point", "_crash_after"
+)
 class BatchJobQueue:
     """Durable submit/poll/fetch job execution over one execute callable.
 
@@ -468,11 +474,12 @@ class BatchJobQueue:
         self.journal.mark_dead()
         with self._cv:
             self._dead = True
+            job_count = len(self._jobs)
             for job in self._jobs.values():
                 if job.status == "running" and job.cancel_token is not None:
                     job.cancel_token.cancel("frontend crash (simulated)")
             self._cv.notify_all()
-        obs_events.emit("frontend_crash", jobs=len(self._jobs))
+        obs_events.emit("frontend_crash", jobs=job_count)
 
     # -- fault injection ---------------------------------------------------------
 
@@ -527,6 +534,16 @@ class BatchJobQueue:
             obs_events.emit("job_started", job=job_id, user=job.user, attempt=attempt)
             self._run_one(job)
 
+    def _crashed(self) -> bool:
+        """``_dead``, read under the queue lock.
+
+        Runner threads consult this after dispatch unwinds; an unlocked
+        read races :meth:`_die` setting the flag (the race detector
+        flags exactly that interleaving).
+        """
+        with self._lock:
+            return self._dead
+
     def _run_one(self, job: _Job) -> None:
         t0 = time.monotonic()
         try:
@@ -539,7 +556,7 @@ class BatchJobQueue:
             self._maybe_crash("commit")
             path = self.mydb.publish(job.user, job.table, job.job_id)
         except QueryCancelledError:
-            if self._dead:
+            if self._crashed():
                 return  # crash teardown, not a user cancel: journal nothing
             reason = job.cancel_token.reason if job.cancel_token else "cancelled"
             with self._cv:
@@ -550,11 +567,11 @@ class BatchJobQueue:
             self.metrics.counter("job.cancelled").add(1)
             obs_events.emit("job_cancelled", job=job.job_id, reason=reason)
         except QservOverloadError as e:
-            if self._dead:
+            if self._crashed():
                 return
             self._requeue(job, e)
         except Exception as e:  # noqa: BLE001 - any query error fails the job
-            if self._dead:
+            if self._crashed():
                 return
             with self._cv:
                 self._finish_locked(job, "failed", reason=str(e))
@@ -565,7 +582,7 @@ class BatchJobQueue:
             self.metrics.counter("job.failed").add(1)
             obs_events.emit("job_failed", job=job.job_id, error=str(e))
         else:
-            if self._dead:
+            if self._crashed():
                 return  # result committed, but the crash beat the done record
             rows = result.table.num_rows
             size = path.stat().st_size

@@ -144,9 +144,11 @@ class MyDb:
                 os.link(staged, tmp)
             except OSError:
                 # Filesystem without hard links: fall back to copying.
+                # reprolint: disable=blocking-under-lock -- atomic publish: the copy must finish under the user lock
                 with open(tmp, "wb") as fh:
                     fh.write(staged.read_bytes())
                     fh.flush()
+                    # reprolint: disable=blocking-under-lock -- durable before os.replace commits the publish
                     os.fsync(fh.fileno())
             os.replace(tmp, final)
         return final

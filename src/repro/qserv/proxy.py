@@ -23,6 +23,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..analysis.races import track_shared
+from ..analysis.sanitizer import make_lock
 from ..obs import events as obs_events
 from ..sql import Database
 from .analysis import QservAnalysisError
@@ -39,9 +41,25 @@ HISTORY_LIMIT = 256
 _session_ids = itertools.count(1)
 
 
+@track_shared(
+    "queries",
+    "distributed_queries",
+    "local_queries",
+    "failed_queries",
+    "total_seconds",
+    "history",
+    "history_dropped",
+)
 @dataclass
 class SessionLog:
-    """Per-session query accounting (what a proxy would log)."""
+    """Per-session query accounting (what a proxy would log).
+
+    A session object is shared: a notebook kernel's helper threads (or
+    a connection pool handing the same session around) submit through
+    one proxy concurrently, so every counter update goes through the
+    locked ``note_*`` / ``record`` methods -- the bare ``+=`` the log
+    used to do from :meth:`QservProxy.query` was a lost-update race.
+    """
 
     queries: int = 0
     distributed_queries: int = 0
@@ -53,10 +71,31 @@ class SessionLog:
     #: Entries that rolled off the bounded history.
     history_dropped: int = 0
 
+    def __post_init__(self):
+        self._mu = make_lock("SessionLog._mu")
+
+    def note_submitted(self) -> None:
+        with self._mu:
+            self.queries += 1
+
+    def note_distributed(self) -> None:
+        with self._mu:
+            self.distributed_queries += 1
+
+    def note_local(self) -> None:
+        with self._mu:
+            self.local_queries += 1
+
+    def note_failed(self) -> None:
+        with self._mu:
+            self.failed_queries += 1
+
     def record(self, sql: str, seconds: float) -> None:
-        if len(self.history) == self.history.maxlen:
-            self.history_dropped += 1
-        self.history.append((sql, seconds))
+        with self._mu:
+            self.total_seconds += seconds
+            if len(self.history) == self.history.maxlen:
+                self.history_dropped += 1
+            self.history.append((sql, seconds))
 
 
 class QservProxy:
@@ -82,14 +121,14 @@ class QservProxy:
         ``cancel``) are forwarded to :meth:`Czar.submit`.
         """
         t0 = time.perf_counter()
-        self.log.queries += 1
+        self.log.note_submitted()
         obs_events.emit(
             "query_start", sql=sql, session=self.session_id, user=self.user
         )
         try:
             try:
                 result = self.czar.submit(sql, **submit_kwargs)
-                self.log.distributed_queries += 1
+                self.log.note_distributed()
             except QservAnalysisError:
                 if self.local_db is None:
                     raise
@@ -99,9 +138,9 @@ class QservProxy:
                 from .czar import QueryStats
 
                 result = QueryResult(table=table, stats=QueryStats())
-                self.log.local_queries += 1
+                self.log.note_local()
         except Exception as e:
-            self.log.failed_queries += 1
+            self.log.note_failed()
             obs_events.emit(
                 "query_failed",
                 sql=sql,
@@ -112,7 +151,6 @@ class QservProxy:
             raise
         finally:
             elapsed = time.perf_counter() - t0
-            self.log.total_seconds += elapsed
             self.log.record(sql, elapsed)
         obs_events.emit(
             "query_end",

@@ -23,6 +23,7 @@ import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass
 
+from ..analysis.races import track_shared
 from ..analysis.sanitizer import make_condition, make_lock, make_rlock
 from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics
@@ -116,6 +117,9 @@ class WorkerStats:
     queries_expired: int = 0
 
 
+@track_shared(
+    "_results", "_errors", "_deadlines", "_pending_reads", "_cancelled"
+)
 class QservWorker(OfsPlugin):
     """One worker node: local database + ofs plugin + FIFO queue.
 

@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict
 
+from ..analysis.races import track_shared
 from ..analysis.sanitizer import make_lock
 from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics
@@ -43,6 +44,7 @@ class ServerHealth:
     probes: int = 0
 
 
+@track_shared("_servers", "_listeners")
 class HealthTracker:
     """Consecutive-failure circuit breaker over named servers.
 

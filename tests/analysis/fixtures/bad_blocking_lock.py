@@ -1,0 +1,29 @@
+"""Fixture: blocking calls while holding a mutex -- the convoy shape."""
+
+import os
+import time
+import threading
+
+
+class Convoy:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.results = []
+
+    def sleep_under_lock(self):
+        with self._lock:
+            time.sleep(0.1)  # line 15: time.sleep while holding the lock
+
+    def rendezvous_under_lock(self, fut):
+        with self._lock:
+            self.results.append(fut.result())  # line 19: Future.result
+
+    def join_under_lock(self, worker):
+        with self._lock:
+            worker.join()  # line 23: thread join under the lock
+
+    def io_under_lock(self, path):
+        with self._lock:
+            with open(path, "a") as fh:  # line 27: file open under the lock
+                fh.write("x")
+                os.fsync(fh.fileno())  # line 29: fsync under the lock

@@ -1,0 +1,21 @@
+"""Fixture: journal appends acknowledging before the bytes are durable."""
+
+import os
+
+
+class JobJournal:
+    def __init__(self, path):
+        self.path = path
+
+    def append(self, record):  # line 10: writes but never fsyncs
+        with open(self.path, "a") as fh:
+            fh.write(record)
+        return True
+
+    def commit(self, record):
+        with open(self.path, "a") as fh:
+            fh.write(record)
+            if record.startswith("{"):
+                return True  # line 19: ack before the fsync below
+            os.fsync(fh.fileno())
+        return True

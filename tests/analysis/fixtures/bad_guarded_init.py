@@ -1,0 +1,20 @@
+"""Fixture: an __init__ write landing after the worker thread starts."""
+
+import threading
+
+
+class Service:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.jobs = []  # pre-start: single-threaded, exempt
+        self._worker = threading.Thread(target=self._serve)
+        self._worker.start()
+        self.jobs.append("warmup")  # line 12: post-start, races with _serve
+
+    def _serve(self):
+        with self._lock:
+            self.jobs.append("served")
+
+    def enqueue(self, job):
+        with self._lock:
+            self.jobs.append(job)

@@ -1,0 +1,35 @@
+"""Fixture: guarded state mutated through aliases outside the lock."""
+
+import threading
+
+from repro.analysis.races import track_shared
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+
+    def sneaky_clear(self):
+        entries = self._entries  # alias to guarded state
+        entries.clear()  # line 19: mutation with the lock not held
+
+    def escape_scope(self, key, value):
+        with self._lock:
+            m = self._entries  # alias taken under the lock...
+        m[key] = value  # line 24: ...mutated after it was released
+
+
+@track_shared("window")
+class Tracker:
+    def __init__(self):
+        self._mu = threading.Lock()
+        self.window = []
+
+    def trim(self):
+        w = self.window
+        w.pop()  # line 35: tracked attribute mutated via alias, no lock

@@ -1,0 +1,30 @@
+"""Fixture: disciplined blocking -- outside locks, or via cv waits."""
+
+import threading
+
+
+class Disciplined:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cv = threading.Condition(self._lock)
+        self.items = []
+
+    def wait_for_item(self):
+        with self._cv:
+            while not self.items:
+                self._cv.wait(1.0)  # cv wait releases the mutex: exempt
+            return self.items.pop()
+
+    def copy_then_block(self, fut):
+        with self._lock:
+            snapshot = list(self.items)  # only the copy happens locked
+        return fut.result(), snapshot  # the rendezvous is outside
+
+    def render(self, parts):
+        with self._lock:
+            return ", ".join(parts)  # str.join (one positional): exempt
+
+    def spawn_and_wait(self, fn):
+        t = threading.Thread(target=fn)
+        t.start()
+        t.join()  # no lock held here

@@ -1,0 +1,36 @@
+"""Fixture: durable-before-ack journal appends -- zero findings."""
+
+import os
+
+
+class WalJournal:
+    def __init__(self, path):
+        self.path = path
+        self.dead = False
+
+    def append(self, record):
+        if self.dead:
+            return False  # refusal path: allowed before the fsync
+        with open(self.path, "a") as fh:
+            fh.write(record)
+            fh.flush()
+            os.fsync(fh.fileno())
+        return True
+
+    def commit_batch(self, records):
+        with open(self.path, "a") as fh:
+            for record in records:
+                fh.write(record)
+            os.fsync(fh.fileno())
+        return len(records)
+
+    def status(self):
+        return "ok"  # not an append-shaped method: exempt
+
+
+class Collector:
+    """Not journal-named: its append has no durability contract."""
+
+    def append(self, item, fh):
+        fh.write(item)
+        return True

@@ -1,0 +1,18 @@
+"""Fixture: all bare __init__ writes precede the worker-thread start."""
+
+import threading
+
+
+class Service:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.jobs = []
+        self.jobs.append("warmup")  # pre-start: exempt
+        self._worker = threading.Thread(target=self._serve)
+        self._worker.start()
+        with self._lock:
+            self.jobs.append("first")  # post-start but correctly guarded
+
+    def _serve(self):
+        with self._lock:
+            self.jobs.append("served")

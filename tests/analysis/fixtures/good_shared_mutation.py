@@ -1,0 +1,31 @@
+"""Fixture: aliases to guarded state stay inside the lock scope."""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+
+    def locked_alias(self, key, value):
+        with self._lock:
+            m = self._entries
+            m[key] = value  # mutated while the guard is held
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._entries)  # a copy, never an alias
+
+    def drain_locked(self):
+        m = self._entries
+        m.clear()  # *_locked: the caller holds the lock
+
+    def rebind(self):
+        m = self._entries
+        m = {}  # rebinding kills the alias
+        m["fresh"] = 1

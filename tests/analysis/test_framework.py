@@ -62,10 +62,13 @@ def test_multi_rule_and_wildcard_suppression():
 
 def test_all_rules_registered():
     assert set(all_rules()) == {
+        "blocking-under-lock",
         "deadline-threading",
         "exception-swallow",
+        "fsync-before-ack",
         "guarded-by",
         "lock-order",
+        "shared-mutation",
         "span-leak",
         "sql-template",
     }
@@ -170,3 +173,67 @@ def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     assert "guarded-by" in out and "sql-template" in out
+
+
+# -- --changed-only -----------------------------------------------------------------
+
+
+def _git(repo, *argv):
+    import subprocess
+
+    cmd = subprocess.run(
+        ["git", "-C", str(repo), *argv], capture_output=True, text=True
+    )
+    assert cmd.returncode == 0, cmd.stderr
+    return cmd.stdout
+
+
+@pytest.fixture()
+def git_repo(tmp_path, monkeypatch):
+    """A throwaway repo with one clean committed file, cwd inside it."""
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "config", "user.email", "lint@test")
+    _git(tmp_path, "config", "user.name", "lint")
+    (tmp_path / "clean.py").write_text("x = 1\n")
+    _git(tmp_path, "add", "clean.py")
+    _git(tmp_path, "commit", "-qm", "seed")
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def test_changed_files_diffs_and_untracked(git_repo):
+    from repro.analysis.lint import changed_files
+
+    (git_repo / "clean.py").write_text(BAD_CLASS)  # modified
+    (git_repo / "fresh.py").write_text("y = 2\n")  # untracked
+    (git_repo / "notes.txt").write_text("prose\n")  # not python
+    assert changed_files("HEAD", ["."]) == ["clean.py", "fresh.py"]
+
+
+def test_changed_files_excludes_deleted(git_repo):
+    from repro.analysis.lint import changed_files
+
+    (git_repo / "clean.py").unlink()
+    assert changed_files("HEAD", ["."]) == []
+
+
+def test_cli_changed_only_lints_only_the_diff(git_repo, capsys):
+    (git_repo / "fresh.py").write_text(BAD_CLASS)
+    assert main(["--changed-only", "."]) == 1
+    out = capsys.readouterr().out
+    assert "[guarded-by]" in out and "fresh.py" in out
+    assert "clean.py" not in out  # the committed file was not linted
+
+
+def test_cli_changed_only_clean_when_no_diff(git_repo, capsys):
+    assert main(["--changed-only", "."]) == 0
+    assert "no python files changed" in capsys.readouterr().out
+
+
+def test_cli_changed_only_outside_repo_is_exit_2(tmp_path, monkeypatch, capsys):
+    outside = tmp_path / "plain"
+    outside.mkdir()
+    monkeypatch.chdir(outside)
+    monkeypatch.setenv("GIT_CEILING_DIRECTORIES", str(tmp_path))
+    assert main(["--changed-only", "."]) == 2
+    assert "--changed-only" in capsys.readouterr().err

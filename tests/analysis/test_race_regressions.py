@@ -1,0 +1,331 @@
+"""Seeded interleaving regressions for the races fixed in production code.
+
+Each fixed race ships as a pair here: a *buggy replica* reproducing the
+pre-fix shape, which the detector (or a functional oracle) must flag
+under a deterministic seeded schedule, and the *fixed* production shape,
+which must come up clean under the same scenario.  The replicas keep
+the exact access pattern of the removed code so a regression that
+reintroduces the shape is caught by construction, not by luck.
+"""
+
+import threading
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.analysis import races
+from repro.analysis.races import DataRaceViolation, track, track_shared
+from repro.analysis.sanitizer import make_lock
+from repro.analysis.sched import Scheduler, sweep
+from repro.qserv.frontend import BatchJobQueue
+from repro.qserv.proxy import SessionLog
+from repro.sql import Table
+
+#: The CI race-matrix seeds; the acceptance scenarios must be
+#: deterministic on every one of them.
+SEEDS = (7, 23, 99)
+
+
+@pytest.fixture()
+def detector():
+    races.enable()
+    yield
+    races.disable()
+
+
+@pytest.fixture()
+def reporter():
+    races.enable(report=True)
+    yield
+    races.disable()
+
+
+def small_table(n=3):
+    return Table(
+        "t",
+        {
+            "objectId": np.arange(n, dtype=np.int64),
+            "ra_PS": np.linspace(0.0, 1.0, n),
+        },
+    )
+
+
+# -- the PR 7 submit-vs-kill journal race (acceptance scenario) --------------------
+
+
+@track_shared("dead", "records")
+class BuggyJournal:
+    """The pre-fix journal shape: liveness flag read/written with no lock.
+
+    ``append`` checks ``dead`` and extends ``records`` bare; ``mark_dead``
+    flips the flag bare.  A submit racing a kill could append *after*
+    the journal died -- acknowledging a record that recovery never sees.
+    """
+
+    def __init__(self):
+        self.dead = False
+        self.records = []
+
+    def append(self, record) -> bool:
+        if self.dead:
+            return False
+        self.records.append(record)
+        return True
+
+    def mark_dead(self) -> None:
+        self.dead = True
+
+
+@track_shared("dead", "records")
+class FixedJournal:
+    """The shipped shape: every flag and record access under one lock."""
+
+    def __init__(self):
+        self._mu = make_lock("FixedJournal._mu")
+        self.dead = False
+        self.records = []
+
+    def append(self, record) -> bool:
+        with self._mu:
+            if self.dead:
+                return False
+            self.records.append(record)
+            return True
+
+    def mark_dead(self) -> None:
+        with self._mu:
+            self.dead = True
+
+
+class TestSubmitVsKillJournal:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_detector_catches_reverted_race(self, detector, seed):
+        """The buggy journal trips the detector on every CI seed."""
+        with Scheduler(seed=seed) as scheduler:
+            journal = BuggyJournal()
+            scheduler.spawn(
+                lambda: journal.append({"type": "submit"}), name="submitter"
+            )
+            scheduler.spawn(journal.mark_dead, name="killer")
+            with pytest.raises(DataRaceViolation) as exc:
+                scheduler.run()
+        assert "dead" in str(exc.value) or "records" in str(exc.value)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fixed_journal_clean_same_seeds(self, detector, seed):
+        with Scheduler(seed=seed) as scheduler:
+            journal = FixedJournal()
+            scheduler.spawn(
+                lambda: journal.append({"type": "submit"}), name="submitter"
+            )
+            scheduler.spawn(journal.mark_dead, name="killer")
+            scheduler.run()  # no DataRaceViolation
+        assert journal.dead
+
+    def test_fixed_journal_clean_across_sweep(self, detector):
+        def scenario(scheduler):
+            journal = FixedJournal()
+            scheduler.spawn(
+                lambda: journal.append({"type": "submit"}), name="submitter"
+            )
+            scheduler.spawn(journal.mark_dead, name="killer")
+            scheduler.run()
+
+        failures = sweep(
+            scenario, seeds=range(25), catch=(DataRaceViolation,), horizon=8
+        )
+        assert failures == {}
+
+
+# -- BatchJobQueue._dead: unguarded runner reads vs _die ---------------------------
+
+
+class BuggyDeadFlag:
+    """Replica of the old ``_run_one`` tail: bare ``self._dead`` read."""
+
+    def __init__(self):
+        self._lock = make_lock("BuggyDeadFlag._lock")
+        self._dead = False
+        self.journaled = []
+
+    def die(self):
+        with self._lock:
+            self._dead = True
+
+    def finish_job(self, job_id):
+        if self._dead:  # the unguarded read the fix removed
+            return
+        self.journaled.append(job_id)
+
+
+class TestJobQueueDeadFlag:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_unguarded_dead_read_detected(self, detector, seed):
+        track(BuggyDeadFlag, "_dead")
+        with Scheduler(seed=seed) as scheduler:
+            q = BuggyDeadFlag()
+            scheduler.spawn(lambda: q.finish_job("job-1"), name="runner")
+            scheduler.spawn(q.die, name="killer")
+            with pytest.raises(DataRaceViolation) as exc:
+                scheduler.run()
+        assert "_dead" in str(exc.value)
+
+    def test_real_queue_submit_vs_kill_clean(self, tmp_path, reporter):
+        """The shipped queue survives submit-vs-kill with zero reports."""
+        table = small_table()
+
+        def execute(sql, user, cancel):
+            return SimpleNamespace(
+                table=table, stats=SimpleNamespace(bytes_collected=0)
+            )
+
+        q = BatchJobQueue(execute, tmp_path, slots=2)
+        started = threading.Event()
+
+        def submitter():
+            started.set()
+            for i in range(20):
+                try:
+                    q.submit("alice", f"SELECT {i}")
+                except Exception:  # JobError once the kill lands: expected
+                    return
+
+        t = threading.Thread(target=submitter)
+        t.start()
+        started.wait()
+        q.kill()
+        t.join()
+        violations = races.race_report()
+        assert violations == [], "\n\n".join(str(v) for v in violations)
+
+
+# -- Czar._pool check-then-use TOCTOU ----------------------------------------------
+
+
+class _Pool:
+    def use(self):
+        return "pooled"
+
+
+class PoolOwner:
+    """The dispatch/close shape: ``close`` nulls the pool concurrently."""
+
+    def __init__(self):
+        self.pool = _Pool()
+
+    def close(self):
+        pool, self.pool = self.pool, None
+        return pool
+
+    def dispatch_buggy(self):
+        # The removed shape: two reads with a window between them.
+        if self.pool is None:
+            return "inline"
+        return self.pool.use()
+
+    def dispatch_fixed(self):
+        # The shipped shape: one read, then only the local is used.
+        pool = self.pool
+        if pool is None:
+            return "inline"
+        return pool.use()
+
+
+class TestPoolToctou:
+    @staticmethod
+    def _scenario(dispatch_name):
+        def scenario(scheduler):
+            owner = track(PoolOwner(), "pool")
+            outcome = {}
+
+            def dispatch():
+                outcome["result"] = getattr(owner, dispatch_name)()
+
+            scheduler.spawn(dispatch, name="dispatcher")
+            scheduler.spawn(owner.close, name="closer")
+            scheduler.run()
+            assert outcome["result"] in ("pooled", "inline")
+
+        return scenario
+
+    def test_buggy_check_then_use_crashes_some_seed(self, reporter):
+        failures = sweep(
+            self._scenario("dispatch_buggy"),
+            seeds=range(100),
+            catch=(AttributeError,),
+            horizon=8,
+        )
+        assert failures, "no seed landed close() inside the TOCTOU window"
+        assert all(isinstance(e, AttributeError) for e in failures.values())
+
+    def test_fixed_single_read_never_crashes(self, reporter):
+        failures = sweep(
+            self._scenario("dispatch_fixed"),
+            seeds=range(100),
+            catch=(AttributeError,),
+            horizon=8,
+        )
+        assert failures == {}
+
+
+# -- SessionLog: shared-session counter updates ------------------------------------
+
+
+class BuggySessionLog:
+    """The pre-fix proxy accounting: bare ``+=`` on shared counters."""
+
+    def __init__(self):
+        self.queries = 0
+        self.total_seconds = 0.0
+
+    def note(self, seconds):
+        self.queries += 1
+        self.total_seconds += seconds
+
+
+class TestSessionLog:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_bare_increment_detected(self, detector, seed):
+        track(BuggySessionLog, "queries", "total_seconds")
+        with Scheduler(seed=seed) as scheduler:
+            log = BuggySessionLog()
+            scheduler.spawn(lambda: log.note(0.1), name="nb-thread-1")
+            scheduler.spawn(lambda: log.note(0.2), name="nb-thread-2")
+            with pytest.raises(DataRaceViolation):
+                scheduler.run()
+
+    def test_shipped_sessionlog_clean_and_exact(self, detector):
+        """Concurrent note/record calls: no race, no lost update."""
+        log = SessionLog()
+
+        def use():
+            for i in range(25):
+                log.note_submitted()
+                log.note_distributed()
+                log.record(f"SELECT {i}", 0.001)
+
+        threads = [threading.Thread(target=use) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert log.queries == 100
+        assert log.distributed_queries == 100
+        assert len(log.history) == 100
+        assert abs(log.total_seconds - 0.1) < 1e-9
+
+    def test_shipped_sessionlog_clean_under_scheduler(self, detector):
+        def scenario(scheduler):
+            log = SessionLog()
+            scheduler.spawn(lambda: (log.note_submitted(), log.record("a", 0.1)),
+                            name="s1")
+            scheduler.spawn(lambda: (log.note_submitted(), log.record("b", 0.1)),
+                            name="s2")
+            scheduler.run()
+            assert log.queries == 2
+
+        failures = sweep(
+            scenario, seeds=SEEDS, catch=(DataRaceViolation,), horizon=8
+        )
+        assert failures == {}

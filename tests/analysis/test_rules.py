@@ -138,6 +138,75 @@ def test_span_leak_clean_on_closed_or_handed_off_spans():
     assert result.findings == []
 
 
+# -- guarded-by: __init__ arming on thread start -------------------------------------
+
+
+def test_guarded_by_flags_init_writes_after_thread_start():
+    result = run("bad_guarded_init.py", "guarded-by")
+    assert [f.line for f in result.findings] == [12]
+    assert "__init__" in result.findings[0].message
+
+
+def test_guarded_by_exempts_init_writes_before_thread_start():
+    result = run("good_guarded_init.py", "guarded-by")
+    assert result.findings == []
+
+
+# -- blocking-under-lock ------------------------------------------------------------
+
+
+def test_blocking_flags_sleeps_waits_and_io_under_lock():
+    result = run("bad_blocking_lock.py", "blocking-under-lock")
+    lines = sorted(f.line for f in result.findings)
+    assert lines == [15, 19, 23, 27, 29]
+    reasons = " ".join(f.message for f in result.findings)
+    assert "time.sleep" in reasons
+    assert "Future.result" in reasons
+    assert "join" in reasons
+    assert "file open" in reasons
+    assert "os.fsync" in reasons
+
+
+def test_blocking_clean_on_cv_waits_and_unlocked_blocking():
+    result = run("good_blocking_lock.py", "blocking-under-lock")
+    assert result.findings == []
+
+
+# -- fsync-before-ack ---------------------------------------------------------------
+
+
+def test_fsync_flags_missing_and_late_fsync():
+    result = run("bad_fsync_ack.py", "fsync-before-ack")
+    lines = sorted(f.line for f in result.findings)
+    assert lines == [10, 19]
+    messages = {f.line: f.message for f in result.findings}
+    assert "never" in messages[10] and "fsync" in messages[10]
+    assert "before the os.fsync" in messages[19]
+
+
+def test_fsync_clean_on_durable_appends_and_nonjournal_classes():
+    result = run("good_fsync_ack.py", "fsync-before-ack")
+    assert result.findings == []
+
+
+# -- shared-mutation ----------------------------------------------------------------
+
+
+def test_shared_mutation_flags_alias_escapes():
+    result = run("bad_shared_mutation.py", "shared-mutation")
+    lines = sorted(f.line for f in result.findings)
+    assert lines == [19, 24, 35]
+    messages = " ".join(f.message for f in result.findings)
+    assert "self._entries" in messages
+    assert "self.window" in messages  # the @track_shared half
+    assert "escapes the lock scope" in result.findings[0].message
+
+
+def test_shared_mutation_clean_on_locked_aliases_and_copies():
+    result = run("good_shared_mutation.py", "shared-mutation")
+    assert result.findings == []
+
+
 # -- suppressions -------------------------------------------------------------------
 
 

@@ -4,12 +4,15 @@ With ``REPRO_SANITIZE=1`` in the environment every lock built through
 :mod:`repro.analysis.sanitizer` is instrumented, and the whole suite --
 chaos and resilience runs included -- doubles as a lock-order test.
 The autouse fixture below clears the global order graph between tests
-so one test's deliberate inversion cannot poison the next.
+so one test's deliberate inversion cannot poison the next.  Under
+``REPRO_SANITIZE=race`` / ``race:report`` the same fixture also hands
+the data-race detector a fresh vector-clock engine, so one test's
+access history (and collected reports) never bleeds into another's.
 """
 
 import pytest
 
-from repro.analysis import sanitizer
+from repro.analysis import races, sanitizer
 from repro.obs import events as obs_events
 from repro.obs import trace as obs_trace
 
@@ -17,8 +20,10 @@ from repro.obs import trace as obs_trace
 @pytest.fixture(autouse=True)
 def _reset_lock_monitor():
     sanitizer.reset()
+    races.reset()
     yield
     sanitizer.reset()
+    races.reset()
 
 
 @pytest.fixture(autouse=True)

@@ -87,9 +87,12 @@ class TestChunkAccounting:
 
 
 class TestMasterHealth:
-    def make_frontend(self, tb, cooldown=0.05):
+    def make_frontend(self, tb, cooldown=0.05, clock=None):
         from repro.xrd import HealthTracker
 
+        kwargs = {"failure_threshold": 3, "cooldown": cooldown}
+        if clock is not None:
+            kwargs["clock"] = clock
         return LoadBalancingFrontend(
             tb.redirector,
             tb.metadata,
@@ -97,13 +100,15 @@ class TestMasterHealth:
             num_masters=2,
             secondary_index=tb.secondary_index,
             available_chunks=tb.placement.chunk_ids,
-            master_health=HealthTracker(failure_threshold=3, cooldown=cooldown),
+            master_health=HealthTracker(**kwargs),
         )
 
     def test_failing_master_skipped_then_probed_back(self, tb):
-        import time
-
-        fe = self.make_frontend(tb)
+        # A fake clock makes the cooldown window deterministic: with
+        # the real clock, slow runs (race-sanitized CI) let the
+        # cooldown elapse mid-test and the probe fires early.
+        now = [0.0]
+        fe = self.make_frontend(tb, clock=lambda: now[0])
         try:
             broken = fe.czars[0]
             original = broken.submit
@@ -129,7 +134,7 @@ class TestMasterHealth:
             # Cooldown elapses; the probe goes back through master-0,
             # which has recovered, and the breaker closes.
             broken.submit = original
-            time.sleep(0.06)
+            now[0] += 0.06
             for _ in range(4):
                 fe.query("SELECT COUNT(*) FROM Object")
             assert fe.unhealthy_masters() == []

@@ -26,6 +26,8 @@ import time
 import numpy as np
 
 from repro.data import build_testbed
+from repro.obs import events as obs_events
+from repro.obs import timeseries as obs_timeseries
 from repro.qserv import QservFrontend, QservOverloadError
 
 from _series import OUT_DIR, emit, format_series
@@ -168,3 +170,116 @@ def test_overload_storm_is_typed_fair_and_bounded(tmp_path):
 
     frontend.shutdown()
     tb.shutdown()
+
+
+def test_overload_storm_drives_slo_burn_and_retry_pricing(tmp_path):
+    """The SLO loop closes under load: a shed storm burns the shed-ratio
+    error budget, the monitor fires ``slo_burn`` and raises its cached
+    pressure, and the admission controller's ``retry_after`` hints rise
+    accordingly -- clients get pushed back harder while the objective is
+    actually burning, not merely while the queue is deep.
+
+    The recorder is ticked manually with synthetic timestamps so the
+    burn evaluation is deterministic regardless of wall-clock jitter.
+    """
+    tb = build_testbed(num_workers=2, num_objects=3000, seed=42)
+    # One slot behind a deep queue: the backlog term dominates the
+    # retry_after estimate, so the (1 + pressure) scaling is visible
+    # above the hint's 50 ms floor even for millisecond queries.
+    frontend = QservFrontend(
+        tb.czar,
+        root=tmp_path,
+        max_concurrent=1,
+        max_queue_depth=8,
+        max_queue_wait=0.05,
+        cache_entries=0,
+    )
+    recorder = obs_timeseries.HistoryRecorder(interval=1.0)
+    frontend.slo.detach()  # re-home the monitor onto the manual recorder
+    frontend.slo.attach(recorder)
+
+    calm_retries: list[float] = []
+    hot_retries: list[float] = []
+    retries = calm_retries  # swapped once the burn fires
+    stop = threading.Event()
+
+    def client(tenant: str):
+        while not stop.is_set():
+            try:
+                frontend.query(QUERY, user=tenant, use_cache=False)
+            except QservOverloadError as e:
+                retries.append(e.retry_after)
+                time.sleep(0.002)
+
+    base = 1_000_000.0
+    recorder.tick(now=base)  # burn baseline: deltas start from here
+    threads = [
+        threading.Thread(target=client, args=(TENANTS[i % len(TENANTS)],))
+        for i in range(12)
+    ]
+    try:
+        for t in threads:
+            t.start()
+
+        deadline = time.monotonic() + 20
+        while not calm_retries and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert calm_retries, "storm never tripped admission control"
+        assert frontend.slo.pressure() == 0.0  # nothing burning yet
+        time.sleep(0.5)  # accumulate a tick's worth of shed/admit counts
+
+        recorder.tick(now=base + 1.0)  # classify the storm interval
+        pressure = frontend.slo.pressure()
+        assert pressure > 0.0, frontend.slo.snapshot()
+        shed_state = next(
+            s for s in frontend.slo.snapshot() if s["objective"] == "shed-ratio"
+        )
+        assert shed_state["firing"], shed_state
+        burns = obs_events.recent(type="slo_burn")
+        assert any(e.fields["objective"] == "shed-ratio" for e in burns)
+
+        retries = hot_retries  # price probes under pressure
+        deadline = time.monotonic() + 20
+        while len(hot_retries) < 20 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert hot_retries, "storm died before pressured sheds were seen"
+    finally:
+        stop.set()
+        for t in threads:
+            t.join(timeout=15)
+        frontend.slo.detach()
+        frontend.shutdown()
+        tb.shutdown()
+
+    assert not any(t.is_alive() for t in threads)
+    calm = float(np.median(calm_retries))
+    hot = float(np.median(hot_retries))
+    # The hint must rise with the burn -- (1 + pressure)x before clamps.
+    assert hot > calm, f"retry_after did not rise: calm {calm:.3f}s hot {hot:.3f}s"
+
+    entry = {
+        "bench": "frontend_slo_burn",
+        "pressure": round(pressure, 3),
+        "burn_fast": round(shed_state["burn_fast"], 3),
+        "budget": shed_state["budget"],
+        "calm_sheds": len(calm_retries),
+        "hot_sheds": len(hot_retries),
+        "retry_after_calm_s": round(calm, 4),
+        "retry_after_hot_s": round(hot, 4),
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_frontend_slo.json").write_text(
+        json.dumps(entry, indent=2) + "\n"
+    )
+    emit(
+        "BENCH_frontend_slo",
+        format_series(
+            f"SLO burn under storm: shed-ratio burning at "
+            f"{shed_state['burn_fast']:.1f}x budget, pressure {pressure:.2f}",
+            ["phase", "median retry_after (ms)", "sheds"],
+            [
+                ("calm", calm * 1e3, len(calm_retries)),
+                ("burning", hot * 1e3, len(hot_retries)),
+            ],
+        ),
+    )

@@ -51,8 +51,19 @@ from collections import deque
 from typing import Optional
 
 from ..analysis.sanitizer import make_lock
+from . import metrics as obs_metrics
 
-__all__ = ["Event", "EventLog", "LOG", "emit", "recent", "clear", "to_json"]
+__all__ = [
+    "Event",
+    "EventLog",
+    "LOG",
+    "emit",
+    "recent",
+    "clear",
+    "to_json",
+    "dropped",
+    "oldest_seq",
+]
 
 _log = logging.getLogger("repro.obs.events")
 
@@ -84,17 +95,42 @@ class EventLog:
         self._lock = make_lock("obs.EventLog._lock")
         self._events: deque = deque(maxlen=capacity)
         self._seq = 0
+        self._dropped = 0
 
     def emit(self, etype: str, **fields) -> Event:
         ts = time.time()
         with self._lock:
             self._seq += 1
             ev = Event(self._seq, ts, etype, fields)
+            evicted = len(self._events) == self._events.maxlen
             self._events.append(ev)
-        # Forward outside the lock: a logging handler must never run
-        # under (or order against) the ring's lock.
+            if evicted:
+                self._dropped += 1
+        # Forward outside the lock: a logging handler (and the metrics
+        # registry chain) must never run under -- or order against --
+        # the ring's lock.
+        if evicted:
+            obs_metrics.counter("events.dropped").add(1)
         _log.debug("%s %s", etype, fields)
         return ev
+
+    @property
+    def dropped(self) -> int:
+        """Records evicted from the ring since the last :meth:`clear`."""
+        with self._lock:
+            return self._dropped
+
+    @property
+    def oldest_seq(self) -> Optional[int]:
+        """Sequence number of the oldest retained record, or None (empty).
+
+        With monotonic seqs this makes the ring's gap visible:
+        ``oldest_seq - 1`` records were emitted before everything the
+        ring still holds -- what ``SHOW EVENTS`` renders as
+        "(N older events dropped)".
+        """
+        with self._lock:
+            return self._events[0].seq if self._events else None
 
     def recent(self, n: Optional[int] = None, type: Optional[str] = None) -> list:
         """The most recent events, oldest first, optionally filtered by type."""
@@ -116,13 +152,18 @@ class EventLog:
     def clear(self) -> None:
         with self._lock:
             self._events.clear()
+            self._dropped = 0
 
     def resize(self, capacity: int) -> None:
         """Change the ring capacity, keeping the newest records."""
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         with self._lock:
+            shed = max(len(self._events) - capacity, 0)
             self._events = deque(self._events, maxlen=capacity)
+            self._dropped += shed
+        if shed:
+            obs_metrics.counter("events.dropped").add(shed)
 
     def to_json(self, n: Optional[int] = None, indent=2) -> str:
         return json.dumps(
@@ -148,6 +189,14 @@ def recent(n: Optional[int] = None, type: Optional[str] = None) -> list:
 
 def clear() -> None:
     LOG.clear()
+
+
+def dropped() -> int:
+    return LOG.dropped
+
+
+def oldest_seq() -> Optional[int]:
+    return LOG.oldest_seq
 
 
 def to_json(n: Optional[int] = None, indent=2) -> str:

@@ -40,6 +40,7 @@ __all__ = [
     "snapshot",
     "to_json",
     "reset",
+    "estimate_quantile",
 ]
 
 #: Default histogram bucket upper bounds, in seconds: tuned for the
@@ -59,6 +60,50 @@ DEFAULT_BUCKETS = (
     2.5,
     5.0,
 )
+
+
+def estimate_quantile(bounds, counts, q, observed_max=None, observed_min=None):
+    """Estimate a quantile from fixed-bucket counts by interpolation.
+
+    ``counts`` has ``len(bounds) + 1`` entries, the last being the
+    ``+Inf`` overflow bucket.  Within a finite bucket the estimate
+    interpolates linearly between its bounds.  When the quantile lands
+    in the overflow bucket the estimate is the *observed* maximum when
+    one is known -- fixed-bucket histograms used to silently clamp p99
+    at the last bucket edge, which under-reported every tail worse than
+    the layout anticipated.  Returns ``None`` for an empty histogram.
+    """
+    total = sum(counts)
+    if total <= 0:
+        return None
+    q = min(max(float(q), 0.0), 1.0)
+    rank = q * total
+    cum = 0
+    for i, c in enumerate(counts):
+        if c <= 0:
+            continue
+        if cum + c >= rank:
+            if i >= len(bounds):
+                # Overflow bucket: report the real tail, not the edge.
+                if observed_max is not None:
+                    return float(observed_max)
+                return float(bounds[-1]) if bounds else None
+            hi = float(bounds[i])
+            if i > 0:
+                lo = float(bounds[i - 1])
+            elif observed_min is not None:
+                lo = min(float(observed_min), hi)
+            else:
+                lo = 0.0
+            frac = (rank - cum) / c
+            est = lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+            if observed_max is not None:
+                est = min(est, float(observed_max))
+            if observed_min is not None:
+                est = max(est, float(observed_min))
+            return est
+        cum += c
+    return float(observed_max) if observed_max is not None else None
 
 
 class Counter:
@@ -180,6 +225,25 @@ class Histogram:
         with self._lock:
             return self._count
 
+    @property
+    def overflow(self) -> int:
+        """Observations beyond the last bucket bound (the +Inf bucket)."""
+        with self._lock:
+            return self._counts[-1]
+
+    def quantile(self, q) -> Optional[float]:
+        """Interpolated quantile estimate; ``None`` when empty.
+
+        Overflow-aware: a quantile that lands past the last bucket edge
+        reports the observed maximum instead of clamping at the edge.
+        """
+        with self._lock:
+            counts = list(self._counts)
+            lo, hi = self._min, self._max
+        return estimate_quantile(
+            self.buckets, counts, q, observed_max=hi, observed_min=lo
+        )
+
     def snapshot(self) -> dict:
         with self._lock:
             counts = list(self._counts)
@@ -192,6 +256,9 @@ class Histogram:
             "avg": (total / count) if count else 0.0,
             "min": lo if lo is not None else 0.0,
             "max": hi if hi is not None else 0.0,
+            "overflow": counts[-1],
+            "p50": estimate_quantile(self.buckets, counts, 0.5, hi, lo),
+            "p99": estimate_quantile(self.buckets, counts, 0.99, hi, lo),
             "buckets": dict(zip(labels, counts)),
         }
 
@@ -254,6 +321,11 @@ class Registry:
         with self._lock:
             items = sorted(self._instruments.items())
         return {name: inst.snapshot() for name, inst in items}
+
+    def instruments(self) -> list:
+        """``(name, instrument)`` pairs, sorted by name (a point-in-time copy)."""
+        with self._lock:
+            return sorted(self._instruments.items())
 
     def to_json(self, indent=2) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)

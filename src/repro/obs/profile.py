@@ -1,0 +1,234 @@
+"""EXPLAIN ANALYZE: a profiled execution report for one query.
+
+``\\explain`` shows the czar's *plan*; this module shows what actually
+happened.  The czar maintains one :class:`ChunkProfile` per chunk in
+exactly the code paths that update ``QueryStats`` -- same lock, same
+increments -- so the per-chunk rows/bytes/retry columns sum *by
+construction* to the query's stats and to the global metric deltas (the
+accounting-identity test pins this).  The span tree, when the query was
+traced, only *enriches* the report (worker-side queue wait, execute
+time, rows scanned, kernel vs interpreter); accounting never depends on
+tracing being on.
+
+:func:`build_profile` assembles the :class:`QueryProfile` that rides on
+``result.stats.profile``; :meth:`QueryProfile.pretty` renders the
+annotated plan the shell's ``EXPLAIN ANALYZE <sql>`` prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["ChunkProfile", "QueryProfile", "build_profile"]
+
+
+@dataclass
+class ChunkProfile:
+    """What one chunk query cost, attempt by attempt.
+
+    Primary fields are maintained by the czar under its merge lock;
+    ``queue_wait`` / ``execute_seconds`` / ``rows_scanned`` /
+    ``scan_bytes`` / ``kernel`` arrive later from the winning attempt's
+    worker-side spans and stay ``None`` for untraced queries.
+    """
+
+    chunk_id: int
+    worker: str = ""
+    subchunks: int = 0
+    attempts: int = 0
+    retries: int = 0
+    hedges: int = 0
+    hedges_won: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    rows: int = 0
+    wire_format: str = ""
+    seconds: float = 0.0
+    #: 'pending', 'ok', 'failed', 'timeout', or 'cancelled'.
+    status: str = "pending"
+    # -- trace-enriched (None when the query was not traced) --
+    queue_wait: Optional[float] = None
+    execute_seconds: Optional[float] = None
+    rows_scanned: Optional[int] = None
+    scan_bytes: Optional[int] = None
+    kernel: Optional[bool] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "chunk_id": self.chunk_id,
+            "worker": self.worker,
+            "subchunks": self.subchunks,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "hedges": self.hedges,
+            "hedges_won": self.hedges_won,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "rows": self.rows,
+            "wire_format": self.wire_format,
+            "seconds": self.seconds,
+            "status": self.status,
+            "queue_wait": self.queue_wait,
+            "execute_seconds": self.execute_seconds,
+            "rows_scanned": self.rows_scanned,
+            "scan_bytes": self.scan_bytes,
+            "kernel": self.kernel,
+        }
+
+
+@dataclass
+class QueryProfile:
+    """The assembled EXPLAIN ANALYZE report."""
+
+    sql: str
+    chunks: list = field(default_factory=list)
+    plan_seconds: float = 0.0
+    merge_seconds: float = 0.0
+    elapsed_seconds: float = 0.0
+    rows_merged: int = 0
+    wire_format: str = ""
+    partial_result: bool = False
+    status: str = "ok"
+    plan_cache_hit: bool = False
+    used_secondary_index: bool = False
+    used_region_restriction: bool = False
+    traced: bool = False
+
+    def totals(self) -> dict:
+        """Sums over the per-chunk rows -- what the identity test checks."""
+        done = [c for c in self.chunks if c.status == "ok"]
+        return {
+            "chunks": len(self.chunks),
+            "chunks_ok": len(done),
+            "rows": sum(c.rows for c in done),
+            "bytes_sent": sum(c.bytes_sent for c in done),
+            "bytes_received": sum(c.bytes_received for c in done),
+            "retries": sum(c.retries for c in self.chunks),
+            "hedges": sum(c.hedges for c in self.chunks),
+            "hedges_won": sum(c.hedges_won for c in self.chunks),
+            "timeouts": sum(1 for c in self.chunks if c.status == "timeout"),
+            "cancelled": sum(1 for c in self.chunks if c.status == "cancelled"),
+            "failed": sum(1 for c in self.chunks if c.status == "failed"),
+            "subchunk_statements": sum(c.subchunks for c in done),
+        }
+
+    def pretty(self, max_chunks: int = 32) -> str:
+        """The annotated plan EXPLAIN ANALYZE prints."""
+        t = self.totals()
+        coverage = (
+            "secondary-index"
+            if self.used_secondary_index
+            else "region" if self.used_region_restriction else "full-sky"
+        )
+        lines = [
+            f"query: {self.sql}",
+            f"status: {self.status}"
+            + (" (partial result)" if self.partial_result else ""),
+            f"elapsed: {self.elapsed_seconds * 1e3:.2f} ms"
+            f"  (plan {self.plan_seconds * 1e3:.2f} ms"
+            f", merge {self.merge_seconds * 1e3:.2f} ms"
+            f"{', plan cache hit' if self.plan_cache_hit else ''})",
+            f"coverage: {coverage}"
+            f"  chunks: {t['chunks_ok']}/{t['chunks']} ok"
+            + (f", {t['timeouts']} timed out" if t["timeouts"] else "")
+            + (f", {t['cancelled']} cancelled" if t["cancelled"] else "")
+            + (f", {t['failed']} failed" if t["failed"] else ""),
+            f"rows merged: {self.rows_merged}"
+            f"  bytes: {t['bytes_sent']} sent / {t['bytes_received']} received"
+            f"  wire: {self.wire_format or 'n/a'}",
+            f"retries: {t['retries']}  hedges: {t['hedges']}"
+            f" ({t['hedges_won']} won)",
+        ]
+        if not self.traced:
+            lines.append(
+                "worker-side columns unavailable: query was not traced "
+                "(EXPLAIN ANALYZE forces tracing; profiles of untraced "
+                "submits carry accounting columns only)"
+            )
+        header = (
+            f"{'chunk':>6} {'worker':<12} {'st':<9} {'rows':>8} "
+            f"{'bytes':>9} {'try':>3} {'hedge':>5} {'t_ms':>8} "
+            f"{'wait_ms':>8} {'exec_ms':>8} {'scanned':>8} {'kern':>4}"
+        )
+        lines.append(header)
+        shown = self.chunks[:max_chunks]
+        for c in shown:
+
+            def _ms(v):
+                return f"{v * 1e3:.2f}" if v is not None else "-"
+
+            lines.append(
+                f"{c.chunk_id:>6} {c.worker or '-':<12} {c.status:<9} "
+                f"{c.rows:>8} {c.bytes_received:>9} {c.attempts:>3} "
+                f"{c.hedges:>5} {_ms(c.seconds) if c.seconds else '-':>8} "
+                f"{_ms(c.queue_wait):>8} {_ms(c.execute_seconds):>8} "
+                f"{c.rows_scanned if c.rows_scanned is not None else '-':>8} "
+                f"{('yes' if c.kernel else 'no') if c.kernel is not None else '-':>4}"
+            )
+        if len(self.chunks) > len(shown):
+            lines.append(f"... {len(self.chunks) - len(shown)} more chunks")
+        return "\n".join(lines)
+
+
+#: Span attributes copied from a winning worker.execute span onto the
+#: chunk profile, in (span attr, profile field) pairs.
+_SPAN_FIELDS = (
+    ("queue_wait", "queue_wait"),
+    ("rows_scanned", "rows_scanned"),
+    ("scan_bytes", "scan_bytes"),
+    ("kernel", "kernel"),
+)
+
+
+def _enrich_from_trace(chunks: list, trace) -> None:
+    """Attach worker-side timing/scan columns from the span tree.
+
+    Only spans with ``status == "ok"`` contribute: a chunk that was
+    retried or hedged has several ``worker.execute`` spans, and the
+    cancelled/failed ones describe work that never reached the merge.
+    """
+    by_chunk = {c.chunk_id: c for c in chunks}
+    for sp in trace.spans:
+        if sp.name != "worker.execute" or sp.status != "ok":
+            continue
+        chunk = by_chunk.get(sp.attrs.get("chunk"))
+        if chunk is None:
+            continue
+        if chunk.worker and sp.attrs.get("worker") not in ("", None, chunk.worker):
+            continue  # a losing replica's span for the same chunk
+        chunk.execute_seconds = sp.duration
+        for attr, fld in _SPAN_FIELDS:
+            if attr in sp.attrs:
+                setattr(chunk, fld, sp.attrs[attr])
+
+
+def build_profile(stats, sql: str = "", status: str = "ok") -> QueryProfile:
+    """Assemble the EXPLAIN ANALYZE report from one query's stats.
+
+    ``stats`` is a :class:`~repro.qserv.czar.QueryStats`; its
+    ``chunk_profiles`` list is the accounting source of truth, and its
+    ``trace`` (when the query was sampled) contributes the worker-side
+    columns.
+    """
+    chunks = sorted(
+        getattr(stats, "chunk_profiles", []) or [], key=lambda c: c.chunk_id
+    )
+    trace = getattr(stats, "trace", None)
+    if trace is not None:
+        _enrich_from_trace(chunks, trace)
+    return QueryProfile(
+        sql=" ".join(sql.split()),
+        chunks=chunks,
+        plan_seconds=getattr(stats, "plan_seconds", 0.0),
+        merge_seconds=getattr(stats, "merge_seconds", 0.0),
+        elapsed_seconds=stats.elapsed_seconds,
+        rows_merged=stats.rows_merged,
+        wire_format=stats.wire_format,
+        partial_result=stats.partial_result,
+        status=status,
+        plan_cache_hit=bool(stats.plan_cache_hits),
+        used_secondary_index=stats.used_secondary_index,
+        used_region_restriction=stats.used_region_restriction,
+        traced=trace is not None,
+    )

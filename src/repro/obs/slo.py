@@ -1,0 +1,241 @@
+"""SLO monitoring: declared objectives, burn rates, admission pressure.
+
+An objective declares a tolerable failure budget -- "p99 query latency
+under 500 ms, 99% of the time" or "shed fewer than 5% of requests" --
+and the monitor answers the operator question metrics alone don't:
+*are we eating the budget faster than we can afford?*
+
+The mechanism is the multi-window burn rate: each recorder tick
+classifies the interval's observations into good/bad, the monitor keeps
+a bounded ring of ``(ts, bad, total)`` samples per objective, and burn
+is the windowed violation fraction divided by the budget::
+
+    burn = (bad_window / total_window) / budget
+
+``burn == 1`` exactly exhausts the budget over time; a *fast* window
+(default 60 s) over a high threshold catches sudden cliffs, a *slow*
+window (default 600 s) over a low threshold catches smolder.  When
+either fires the monitor emits an ``slo_burn`` event (and ``slo_clear``
+on recovery) and raises its cached :meth:`SloMonitor.pressure`, which
+the admission controller folds into ``retry_after`` pricing -- overload
+hints grow when the cluster is *actually* missing its objective, not
+merely when a queue is deep.
+
+The monitor is a pure listener on :class:`~repro.obs.timeseries.
+HistoryRecorder` ticks: it reads delta dicts, touches no locks but its
+own, and is therefore safe to consult from under the admission
+controller's lock.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analysis.sanitizer import make_lock
+from . import events as obs_events
+from . import metrics as obs_metrics
+
+__all__ = ["Objective", "SloMonitor", "DEFAULT_OBJECTIVES"]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One declared service-level objective.
+
+    ``kind="latency"`` reads a histogram: an interval observation is
+    *bad* when it lands in a bucket wholly above ``threshold`` seconds
+    (bucket resolution decides; pick a threshold on a bucket edge for
+    exactness).  ``kind="ratio"`` reads two counters: ``metric`` counts
+    bad outcomes (e.g. ``frontend.shed``) and ``good_metric`` good ones
+    (e.g. ``frontend.admitted``).  ``budget`` is the tolerated bad
+    fraction -- 0.01 means 1% of observations may violate.
+    """
+
+    name: str
+    kind: str  # 'latency' | 'ratio'
+    metric: str
+    threshold: float = 0.0
+    good_metric: str = ""
+    budget: float = 0.01
+
+    def __post_init__(self):
+        if self.kind not in ("latency", "ratio"):
+            raise ValueError(f"unknown objective kind {self.kind!r}")
+        if not 0.0 < self.budget <= 1.0:
+            raise ValueError("budget must be in (0, 1]")
+        if self.kind == "ratio" and not self.good_metric:
+            raise ValueError("ratio objectives need a good_metric")
+
+    def classify(self, deltas: dict) -> tuple[int, int]:
+        """``(bad, total)`` for one recorder tick's deltas."""
+        if self.kind == "ratio":
+            bad = int(deltas.get(self.metric, 0) or 0)
+            good = int(deltas.get(self.good_metric, 0) or 0)
+            return bad, bad + good
+        hist = deltas.get(self.metric)
+        if not isinstance(hist, dict):
+            return 0, 0
+        total = int(hist.get("count", 0))
+        if total <= 0:
+            return 0, 0
+        bounds = hist.get("bounds", ())
+        buckets = hist.get("buckets", ())
+        good = 0
+        for i, count in enumerate(buckets):
+            if i < len(bounds) and bounds[i] <= self.threshold:
+                good += count
+        return total - good, total
+
+
+#: The paper-shaped defaults: interactive (LV1-style) latency and the
+#: frontend's shed ratio.  Callers declare their own for real numbers.
+DEFAULT_OBJECTIVES = (
+    Objective(
+        name="query-latency-p99",
+        kind="latency",
+        metric="czar.query.seconds",
+        threshold=0.5,
+        budget=0.01,
+    ),
+    Objective(
+        name="shed-ratio",
+        kind="ratio",
+        metric="frontend.shed",
+        good_metric="frontend.admitted",
+        budget=0.05,
+    ),
+)
+
+
+class _ObjectiveState:
+    __slots__ = ("objective", "samples", "firing", "burn_fast", "burn_slow")
+
+    def __init__(self, objective: Objective, capacity: int):
+        self.objective = objective
+        #: ``(ts, bad, total)`` per tick, bounded.
+        self.samples: deque = deque(maxlen=capacity)
+        self.firing = False
+        self.burn_fast = 0.0
+        self.burn_slow = 0.0
+
+
+class SloMonitor:
+    """Evaluates objectives against recorder ticks; caches pressure."""
+
+    def __init__(
+        self,
+        objectives=DEFAULT_OBJECTIVES,
+        recorder=None,
+        fast_window: float = 60.0,
+        slow_window: float = 600.0,
+        fast_burn: float = 2.0,
+        slow_burn: float = 1.0,
+        max_pressure: float = 4.0,
+        clock=time.time,
+    ):
+        self.objectives = tuple(objectives)
+        self.fast_window = float(fast_window)
+        self.slow_window = float(slow_window)
+        self.fast_burn = float(fast_burn)
+        self.slow_burn = float(slow_burn)
+        self.max_pressure = float(max_pressure)
+        self._clock = clock
+        self._lock = make_lock("obs.SloMonitor._lock")
+        capacity = max(int(self.slow_window) + 16, 64)
+        self._states = [_ObjectiveState(o, capacity) for o in self.objectives]
+        self._pressure = 0.0
+        self._recorder = None
+        if recorder is not None:
+            self.attach(recorder)
+
+    def attach(self, recorder) -> None:
+        """Subscribe to a :class:`HistoryRecorder`'s ticks."""
+        self._recorder = recorder
+        recorder.add_listener(self.on_tick)
+
+    def detach(self) -> None:
+        recorder, self._recorder = self._recorder, None
+        if recorder is not None:
+            recorder.remove_listener(self.on_tick)
+
+    # -- evaluation ---------------------------------------------------------
+
+    def on_tick(self, ts: float, deltas: dict) -> None:
+        """Fold one tick's deltas in and re-evaluate every objective."""
+        transitions = []
+        with self._lock:
+            pressure = 0.0
+            for state in self._states:
+                bad, total = state.objective.classify(deltas)
+                state.samples.append((ts, bad, total))
+                burn_fast = self._burn_locked(state, ts, self.fast_window)
+                burn_slow = self._burn_locked(state, ts, self.slow_window)
+                state.burn_fast, state.burn_slow = burn_fast, burn_slow
+                firing = burn_fast >= self.fast_burn or burn_slow >= self.slow_burn
+                if firing != state.firing:
+                    state.firing = firing
+                    transitions.append((state.objective, firing, burn_fast, burn_slow))
+                if firing:
+                    pressure = max(
+                        pressure,
+                        min(max(burn_fast, burn_slow) - 1.0, self.max_pressure),
+                    )
+            self._pressure = pressure
+        # Events and gauges go out after the lock is released: emitters
+        # run handler/registry code that must not order against it.
+        for objective, firing, burn_fast, burn_slow in transitions:
+            obs_events.emit(
+                "slo_burn" if firing else "slo_clear",
+                objective=objective.name,
+                burn_fast=round(burn_fast, 3),
+                burn_slow=round(burn_slow, 3),
+                budget=objective.budget,
+            )
+            obs_metrics.counter(
+                "slo.burn.fired" if firing else "slo.burn.cleared"
+            ).add(1)
+        obs_metrics.gauge("slo.pressure").set(self.pressure())
+
+    def _burn_locked(self, state: _ObjectiveState, now: float, window: float) -> float:
+        bad = total = 0
+        for ts, b, t in reversed(state.samples):
+            if now - ts > window:
+                break
+            bad += b
+            total += t
+        if total <= 0:
+            return 0.0
+        return (bad / total) / state.objective.budget
+
+    # -- consumers ----------------------------------------------------------
+
+    def pressure(self) -> float:
+        """Cached admission pressure, >= 0; safe under foreign locks."""
+        with self._lock:
+            return self._pressure
+
+    def snapshot(self) -> list[dict]:
+        """Per-objective state for ``SHOW SLO``."""
+        with self._lock:
+            out = []
+            for state in self._states:
+                bad = sum(b for _, b, _ in state.samples)
+                total = sum(t for _, _, t in state.samples)
+                out.append(
+                    {
+                        "objective": state.objective.name,
+                        "kind": state.objective.kind,
+                        "metric": state.objective.metric,
+                        "threshold": state.objective.threshold,
+                        "budget": state.objective.budget,
+                        "burn_fast": state.burn_fast,
+                        "burn_slow": state.burn_slow,
+                        "firing": state.firing,
+                        "bad": bad,
+                        "total": total,
+                    }
+                )
+            return out

@@ -1,0 +1,407 @@
+"""Metrics history: a bounded in-memory recorder over the registry.
+
+``SHOW METRICS`` answers "how much, so far"; an operator also needs
+"how fast, lately" -- is the shed rate climbing, did p99 jump when the
+batch queue drained.  The :class:`HistoryRecorder` takes a snapshot of
+a :class:`~repro.obs.metrics.Registry` at a fixed interval and folds
+each delta into fixed-size ring series:
+
+- counters become **rates** (``<name>.rate``, per second over the tick);
+- gauges are **sampled** as-is (``<name>``);
+- histograms become per-tick **quantile estimates** of the interval's
+  observations (``<name>.p50`` / ``<name>.p99``, overflow-aware via
+  :func:`~repro.obs.metrics.estimate_quantile`) plus an observation
+  rate (``<name>.rate``).
+
+Memory is bounded twice over: one ring of ``capacity`` points per
+series, and the series catalog is bounded by the metric catalog.  The
+recorder can run on its own daemon thread (``start()``, or the
+``REPRO_HISTORY`` environment knob -- seconds between ticks, e.g.
+``REPRO_HISTORY=1``) or be driven manually with :meth:`tick` (tests,
+benchmarks, the shell).
+
+Consumers: the shell's ``SHOW HISTORY <metric> [n]``, the Prometheus
+text exposition (:meth:`to_prometheus` -- current registry state in
+the standard scrape format) and a Perfetto **counter track**
+(:meth:`to_perfetto` -- ``ph: "C"`` trace events that render as
+stacked counter graphs next to the span tracks the existing
+``Trace.to_chrome_json`` export produces).  SLO burn-rate evaluation
+(:mod:`repro.obs.slo`) subscribes to ticks through
+:meth:`add_listener`.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import os
+import re
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+from ..analysis.sanitizer import make_lock
+from . import metrics as obs_metrics
+from .metrics import estimate_quantile
+
+__all__ = [
+    "Point",
+    "Series",
+    "HistoryRecorder",
+    "RECORDER",
+    "to_prometheus",
+    "maybe_start_from_env",
+]
+
+#: Ring length per series: at the default 1 s interval this retains
+#: about 8.5 minutes of history per metric, enough for the SLO
+#: monitor's slow window with room to spare.
+DEFAULT_CAPACITY = 512
+
+
+class Point:
+    """One recorded sample: wall-clock timestamp and value."""
+
+    __slots__ = ("ts", "value")
+
+    def __init__(self, ts: float, value: float):
+        self.ts = ts
+        self.value = value
+
+    def __iter__(self):
+        return iter((self.ts, self.value))
+
+    def __repr__(self):
+        return f"Point(ts={self.ts:.3f}, value={self.value!r})"
+
+
+class Series:
+    """One metric's ring of points plus how it was derived."""
+
+    __slots__ = ("name", "kind", "_points")
+
+    def __init__(self, name: str, kind: str, capacity: int):
+        self.name = name
+        #: 'rate', 'gauge', or 'quantile' -- how points were derived.
+        self.kind = kind
+        self._points: deque = deque(maxlen=capacity)
+
+    def append(self, ts: float, value: float) -> None:
+        self._points.append(Point(ts, value))
+
+    def points(self, n: Optional[int] = None) -> list:
+        pts = list(self._points)
+        return pts[-n:] if n is not None else pts
+
+    @property
+    def last(self) -> Optional[Point]:
+        return self._points[-1] if self._points else None
+
+    def __len__(self):
+        return len(self._points)
+
+    def __repr__(self):
+        return f"Series({self.name!r}, kind={self.kind!r}, points={len(self)})"
+
+
+class HistoryRecorder:
+    """Snapshots a registry on a fixed interval into ring series.
+
+    Thread-safe; ticks may come from the background thread or be driven
+    manually.  Listeners registered with :meth:`add_listener` receive
+    ``(ts, deltas)`` after every tick, *outside* the recorder's lock --
+    ``deltas`` maps each counter name to its increment over the tick
+    and each histogram name to ``{"count", "sum", "buckets", "bounds",
+    "max"}`` interval deltas, which is exactly what burn-rate math
+    needs.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[obs_metrics.Registry] = None,
+        interval: float = 1.0,
+        capacity: int = DEFAULT_CAPACITY,
+        clock=time.time,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be > 0")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._registry = registry if registry is not None else obs_metrics.REGISTRY
+        self.interval = float(interval)
+        self.capacity = int(capacity)
+        self._clock = clock
+        self._lock = make_lock("obs.HistoryRecorder._lock")
+        self._series: dict[str, Series] = {}
+        #: Previous raw values per instrument, for delta computation.
+        self._prev: dict[str, object] = {}
+        self._prev_ts: Optional[float] = None
+        self._listeners: list = []
+        self._ticks = 0
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # -- recording ----------------------------------------------------------
+
+    def tick(self, now: Optional[float] = None) -> dict:
+        """Record one sample of every instrument; returns the deltas.
+
+        The first tick only establishes the baseline (no points, empty
+        deltas): a rate needs two observations.
+        """
+        ts = self._clock() if now is None else float(now)
+        instruments = self._registry.instruments()
+        raw: dict[str, object] = {}
+        for name, inst in instruments:
+            if inst.kind == "histogram":
+                snap = inst.snapshot()
+                raw[name] = {
+                    "count": snap["count"],
+                    "sum": snap["sum"],
+                    "counts": list(snap["buckets"].values()),
+                    "bounds": inst.buckets,
+                    "max": snap["max"] if snap["count"] else None,
+                    "min": snap["min"] if snap["count"] else None,
+                }
+            else:
+                raw[name] = (inst.kind, inst.value)
+        deltas: dict[str, object] = {}
+        with self._lock:
+            prev, prev_ts = self._prev, self._prev_ts
+            self._prev, self._prev_ts = raw, ts
+            self._ticks += 1
+            if prev_ts is None:
+                return deltas
+            dt = max(ts - prev_ts, 1e-9)
+            for name, value in raw.items():
+                before = prev.get(name)
+                if isinstance(value, tuple):
+                    kind, v = value
+                    if kind == "gauge":
+                        self._append_locked(name, "gauge", ts, v)
+                    else:
+                        base = before[1] if isinstance(before, tuple) else 0
+                        delta = v - base
+                        deltas[name] = delta
+                        self._append_locked(f"{name}.rate", "rate", ts, delta / dt)
+                else:
+                    base = before if isinstance(before, dict) else None
+                    dcount = value["count"] - (base["count"] if base else 0)
+                    dsum = value["sum"] - (base["sum"] if base else 0.0)
+                    dcounts = [
+                        c - (base["counts"][i] if base else 0)
+                        for i, c in enumerate(value["counts"])
+                    ]
+                    deltas[name] = {
+                        "count": dcount,
+                        "sum": dsum,
+                        "buckets": dcounts,
+                        "bounds": value["bounds"],
+                        "max": value["max"],
+                    }
+                    self._append_locked(f"{name}.rate", "rate", ts, dcount / dt)
+                    if dcount > 0:
+                        for label, q in (("p50", 0.5), ("p99", 0.99)):
+                            est = estimate_quantile(
+                                value["bounds"], dcounts, q,
+                                observed_max=value["max"],
+                                observed_min=value["min"],
+                            )
+                            if est is not None:
+                                self._append_locked(
+                                    f"{name}.{label}", "quantile", ts, est
+                                )
+            listeners = list(self._listeners)
+        # Listener callbacks run outside the recorder lock so they may
+        # freely touch metrics/events without ordering against it.
+        for fn in listeners:
+            fn(ts, deltas)
+        return deltas
+
+    def _append_locked(self, name: str, kind: str, ts: float, value: float) -> None:
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = Series(name, kind, self.capacity)
+        series.append(ts, value)
+
+    def add_listener(self, fn) -> None:
+        with self._lock:
+            self._listeners.append(fn)
+
+    def remove_listener(self, fn) -> None:
+        with self._lock:
+            if fn in self._listeners:
+                self._listeners.remove(fn)
+
+    # -- background thread --------------------------------------------------
+
+    def start(self) -> None:
+        """Start the background sampling thread (idempotent)."""
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="obs-history", daemon=True
+            )
+            self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        with self._lock:
+            thread, self._thread = self._thread, None
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=2.0)
+
+    @property
+    def running(self) -> bool:
+        with self._lock:
+            return self._thread is not None and self._thread.is_alive()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.tick()
+            except Exception:  # reprolint: disable=exception-swallow -- sampling must never kill the thread; next tick re-reads a consistent view
+                # A half-registered instrument mid-snapshot is possible
+                # and harmless; the next tick sees a consistent view.
+                pass
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def ticks(self) -> int:
+        with self._lock:
+            return self._ticks
+
+    def names(self, pattern: Optional[str] = None) -> list[str]:
+        """Recorded series names, optionally filtered by glob pattern."""
+        with self._lock:
+            names = sorted(self._series)
+        if pattern:
+            names = [n for n in names if fnmatch.fnmatchcase(n, pattern)]
+        return names
+
+    def get(self, name: str, n: Optional[int] = None) -> list[Point]:
+        """Points for one series, oldest first (empty when unknown)."""
+        with self._lock:
+            series = self._series.get(name)
+            return series.points(n) if series is not None else []
+
+    def series_kind(self, name: str) -> Optional[str]:
+        with self._lock:
+            series = self._series.get(name)
+            return series.kind if series is not None else None
+
+    def reset(self) -> None:
+        """Drop every series and the delta baseline (tests)."""
+        with self._lock:
+            self._series.clear()
+            self._prev.clear()
+            self._prev_ts = None
+            self._ticks = 0
+
+    # -- exports ------------------------------------------------------------
+
+    def to_perfetto(self, pattern: Optional[str] = None) -> str:
+        """Perfetto counter-track JSON for the recorded history.
+
+        Each series becomes a ``ph: "C"`` counter event stream on its
+        own track; timestamps are microseconds relative to the earliest
+        recorded point.  Loads in https://ui.perfetto.dev next to the
+        span traces ``Trace.to_chrome_json`` emits.
+        """
+        with self._lock:
+            series = [
+                s for name, s in sorted(self._series.items())
+                if not pattern or fnmatch.fnmatchcase(name, pattern)
+            ]
+            snapshots = [(s.name, s.points()) for s in series]
+        events = []
+        t0 = min(
+            (pts[0].ts for _, pts in snapshots if pts), default=0.0
+        )
+        for name, pts in snapshots:
+            for p in pts:
+                events.append(
+                    {
+                        "name": name,
+                        "cat": "metrics",
+                        "ph": "C",
+                        "pid": 1,
+                        "ts": round((p.ts - t0) * 1e6, 3),
+                        "args": {"value": p.value},
+                    }
+                )
+        return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
+
+
+_PROM_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    out = _PROM_SANITIZE.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return "repro_" + out
+
+
+def to_prometheus(registry: Optional[obs_metrics.Registry] = None) -> str:
+    """The registry's current state in Prometheus text exposition format.
+
+    Counters and gauges are plain samples; histograms expose the
+    standard cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count``
+    triple.  This is a scrape of *current* values -- history stays in
+    the recorder's rings; Prometheus keeps its own.
+    """
+    registry = registry if registry is not None else obs_metrics.REGISTRY
+    lines = []
+    for name, inst in registry.instruments():
+        pname = _prom_name(name)
+        if inst.kind == "counter":
+            lines.append(f"# TYPE {pname} counter")
+            lines.append(f"{pname} {inst.value}")
+        elif inst.kind == "gauge":
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {inst.value}")
+        else:
+            snap = inst.snapshot()
+            lines.append(f"# TYPE {pname} histogram")
+            cumulative = 0
+            for label, count in snap["buckets"].items():
+                cumulative += count
+                le = label[2:] if label.startswith("<=") else "+Inf"
+                lines.append(f'{pname}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(f"{pname}_sum {snap['sum']}")
+            lines.append(f"{pname}_count {snap['count']}")
+    return "\n".join(lines) + "\n"
+
+
+#: The process-global recorder over the process-global registry -- what
+#: the shell's ``SHOW HISTORY`` reads and ``REPRO_HISTORY`` starts.
+RECORDER = HistoryRecorder()
+
+
+def maybe_start_from_env() -> bool:
+    """Start :data:`RECORDER` when ``REPRO_HISTORY`` asks for it.
+
+    The value is the tick interval in seconds (``REPRO_HISTORY=1``);
+    ``0`` / empty / unparseable leaves the recorder off.  Returns
+    whether the recorder is running.
+    """
+    raw = os.environ.get("REPRO_HISTORY", "").strip().lower()
+    if raw in ("", "0", "false", "no", "off"):
+        return False
+    try:
+        interval = float(raw)
+    except ValueError:
+        interval = 1.0
+    if interval <= 0:
+        return False
+    RECORDER.interval = interval
+    RECORDER.start()
+    return True
+
+
+maybe_start_from_env()

@@ -63,7 +63,9 @@ from ..analysis.races import track_shared
 from ..analysis.sanitizer import make_lock
 from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics
+from ..obs import progress as obs_progress
 from ..obs import trace as obs_trace
+from ..obs.profile import ChunkProfile, build_profile
 from ..partition import Chunker
 from ..sql import Database, Table
 from ..sql.dump import load_dump
@@ -200,7 +202,7 @@ _STATS_COUNTERS = {
 }
 
 
-@track_shared("workers_used", "failed_chunks")
+@track_shared("workers_used", "failed_chunks", "chunk_profiles")
 class QueryStats:
     """Observable cost of one user query.
 
@@ -222,8 +224,14 @@ class QueryStats:
     ('binary', 'sqldump', 'mixed', or '' when nothing was dispatched),
     ``partial_result`` (True when ``allow_partial`` dropped failed
     chunks), ``failed_chunks`` (chunk ids that contributed nothing),
-    and ``trace`` -- the query's :class:`repro.obs.trace.Trace` when it
-    was sampled, else None.
+    ``chunk_profiles`` (one :class:`~repro.obs.profile.ChunkProfile`
+    per chunk, maintained in the same code paths -- and under the same
+    lock -- as the counters above, so per-chunk sums match the stats
+    exactly), ``plan_seconds`` / ``merge_seconds`` stage timings,
+    ``query_status`` ('ok', 'cancelled', or 'failed'), and ``trace`` --
+    the query's :class:`repro.obs.trace.Trace` when it was sampled,
+    else None.  ``profile`` assembles the EXPLAIN ANALYZE report from
+    all of the above on demand.
     """
 
     def __init__(self, parent=None, trace=None, **initial):
@@ -236,8 +244,18 @@ class QueryStats:
         self.wire_format = ""
         self.partial_result = False
         self.failed_chunks: list = []
+        self.chunk_profiles: list = []
+        self.plan_seconds = 0.0
+        self.merge_seconds = 0.0
+        self.query_status = "ok"
+        self.sql = ""
         for name, value in initial.items():
             setattr(self, name, value)
+
+    @property
+    def profile(self):
+        """The EXPLAIN ANALYZE report (:class:`~repro.obs.profile.QueryProfile`)."""
+        return build_profile(self, sql=self.sql, status=self.query_status)
 
     def as_dict(self) -> dict:
         out = {name: getattr(self, name) for name in _STATS_COUNTERS}
@@ -583,6 +601,8 @@ class Czar:
         allow_partial: bool = False,
         trace: Optional[bool] = None,
         cancel: Optional[CancelToken] = None,
+        tenant: str = "",
+        session: str = "",
     ) -> QueryResult:
         """Execute one user query end to end.
 
@@ -605,6 +625,11 @@ class Czar:
         caller may fire from another thread; the dispatch loops poll it
         and unwind with :class:`QueryCancelledError`, withdrawing
         accepted chunk queries from their workers best-effort.
+
+        ``tenant`` / ``session`` label the query's live entry in the
+        global PROCESSLIST registry (the proxy passes its user and
+        session id); the entry exists for exactly the duration of this
+        call -- completion, cancellation, and failure all remove it.
         """
         t0 = time.perf_counter()
         if deadline is not None and not isinstance(deadline, Deadline):
@@ -614,17 +639,31 @@ class Czar:
         else:
             query_trace = obs_trace.start_trace(force=trace is True)
         stats = QueryStats(parent=self.metrics, trace=query_trace)
+        with self._merge_lock:
+            stats.sql = " ".join(sql.split())
         self.metrics.counter("czar.queries").add(1)
+        progress = obs_progress.PROCESSLIST.begin(
+            sql,
+            tenant=tenant,
+            session=session,
+            deadline_seconds=deadline.remaining() if deadline is not None else None,
+        )
         root = obs_trace.span(
-            "query", trace=query_trace, track="czar", sql=" ".join(sql.split())[:200]
+            "query", trace=query_trace, track="czar", sql=stats.sql[:200]
         )
         try:
             with root:
+                progress.stage("plan")
+                plan_t0 = time.perf_counter()
                 with obs_trace.span("plan", parent=root, track="czar") as plan_span:
                     analysis, plan, specs = self._plan(sql, stats)
                     plan_span.set(
                         chunks=len(specs), cache_hit=bool(stats.plan_cache_hits)
                     )
+                with self._merge_lock:
+                    stats.plan_seconds = time.perf_counter() - plan_t0
+                progress.set_total(len(specs))
+                progress.stage("dispatch")
                 with self._merge_lock:
                     stats.used_secondary_index = (
                         analysis.has_index_restriction
@@ -643,7 +682,9 @@ class Czar:
                     allow_partial=allow_partial,
                     parent_span=root,
                     cancel=cancel,
+                    progress=progress,
                 )
+                progress.stage("merge")
                 merge_t0 = time.perf_counter()
                 with obs_trace.span("merge", parent=root, track="czar") as merge_span:
                     merge_name = self._load_into_merge_table(merge_db, payloads, stats)
@@ -655,16 +696,26 @@ class Czar:
                     merge_sql = generate_merge_query(plan, analysis.select, merge_name)
                     result = merge_db.execute(merge_sql)
                     merge_span.set(rows=stats.rows_merged)
+                    progress.note_rows(stats.rows_merged)
+                with self._merge_lock:
+                    stats.merge_seconds = time.perf_counter() - merge_t0
                 self.metrics.histogram("czar.merge.seconds").observe(
-                    time.perf_counter() - merge_t0
+                    stats.merge_seconds
                 )
-        except QueryCancelledError:
+        except QueryCancelledError as e:
             self.metrics.counter("czar.queries.cancelled").add(1)
+            with self._merge_lock:
+                stats.query_status = "cancelled"
+            if e.stats is None:
+                e.stats = stats
             raise
         except Exception:
             self.metrics.counter("czar.queries.failed").add(1)
+            with self._merge_lock:
+                stats.query_status = "failed"
             raise
         finally:
+            progress.finish()
             with self._merge_lock:
                 stats.elapsed_seconds = time.perf_counter() - t0
             self.metrics.histogram("czar.query.seconds").observe(stats.elapsed_seconds)
@@ -684,7 +735,8 @@ class Czar:
         allow_partial: bool = False,
         parent_span=obs_trace.NOOP_SPAN,
         cancel: Optional[CancelToken] = None,
-    ) -> list[tuple[str, object]]:
+        progress=None,
+    ) -> list[tuple[str, object, ChunkProfile]]:
         """Run both file transactions for every chunk query.
 
         A worker dying *between* accepting the chunk query and serving
@@ -699,7 +751,12 @@ class Czar:
         In ``binary`` mode each chunk query is sent with a
         ``-- RESULT_FORMAT: binary`` header asking the worker for wire
         bytes; ``sqldump`` mode sends the paper's exact text.  Returns
-        decoded ``("binary", Table)`` / ``("sqldump", text)`` entries.
+        decoded ``("binary", Table, profile)`` / ``("sqldump", text,
+        profile)`` entries, where ``profile`` is the chunk's
+        :class:`~repro.obs.profile.ChunkProfile` -- updated at exactly
+        the points ``stats`` is, under the same lock, so EXPLAIN
+        ANALYZE's per-chunk sums reconcile with the query totals by
+        construction.
         """
         if self.wire_format == "binary":
             header = result_format_header("binary") + "\n"
@@ -769,9 +826,11 @@ class Czar:
                 self._observe_latency(elapsed)
                 self.metrics.histogram("czar.chunk.seconds").observe(elapsed)
                 span.set(bytes=len(data), format=kind)
-                return worker, len(text.encode()), len(data), kind, payload
+                return worker, len(text.encode()), len(data), kind, payload, elapsed
 
-        def attempt(spec: ChunkQuerySpec, dispatch_span, attempt_no: int, inflight):
+        def attempt(
+            spec: ChunkQuerySpec, dispatch_span, attempt_no: int, inflight, record
+        ):
             """One logical attempt: bounded by the deadline, maybe hedged,
             unwound promptly when the cancel token fires."""
             hedge_delay = self._hedge_delay()
@@ -854,6 +913,7 @@ class Czar:
                         # second attempt against it.
                         with self._merge_lock:
                             stats.chunks_hedged += 1
+                            record.hedges += 1
                         obs_events.emit(
                             "hedge_fired",
                             chunk=spec.chunk_id,
@@ -891,12 +951,13 @@ class Czar:
                     if len(futures) > 1 and f is futures[1]:
                         with self._merge_lock:
                             stats.hedges_won += 1
+                            record.hedges_won += 1
                         obs_events.emit("hedge_won", chunk=spec.chunk_id)
                     return outcome
             assert last is not None
             raise last
 
-        def collect(spec: ChunkQuerySpec, dispatch_span, inflight):
+        def collect(spec: ChunkQuerySpec, dispatch_span, inflight, record):
             """Retry loop around :func:`attempt` for one chunk."""
             key = f"chunk-{spec.chunk_id}"
             last: Optional[Exception] = None
@@ -912,8 +973,14 @@ class Czar:
                         f"after {attempt_no} attempt(s): {last}"
                     )
                 if attempt_no:
+                    # Stats and profile move together, under one lock:
+                    # the identity "sum of per-chunk retries ==
+                    # stats.chunks_retried" must hold even when the
+                    # deadline expires during the backoff below (a
+                    # retry that never produces an attempt span).
                     with self._merge_lock:
                         stats.chunks_retried += 1
+                        record.retries += 1
                     obs_events.emit(
                         "chunk_retry",
                         chunk=spec.chunk_id,
@@ -925,8 +992,10 @@ class Czar:
                             f"chunk {spec.chunk_id}: query deadline expired "
                             f"during backoff: {last}"
                         )
+                with self._merge_lock:
+                    record.attempts = attempt_no + 1
                 try:
-                    return attempt(spec, dispatch_span, attempt_no, inflight)
+                    return attempt(spec, dispatch_span, attempt_no, inflight, record)
                 except QueryCancelledError:
                     raise
                 except ChunkTimeoutError:
@@ -972,19 +1041,25 @@ class Czar:
             dispatch_span = obs_trace.span(
                 "dispatch", parent=parent_span, track="czar", chunk=spec.chunk_id
             )
+            record = ChunkProfile(
+                chunk_id=spec.chunk_id, subchunks=max(len(spec.sub_chunk_ids), 0)
+            )
+            with self._merge_lock:
+                stats.chunk_profiles.append(record)
             # (worker, result-hash) pairs accepted during this chunk's
             # attempts; consulted only for cancellation withdrawal.
             inflight: list[tuple[str, str]] = []
             try:
                 with dispatch_span:
-                    worker, sent, received, kind, payload = collect(
-                        spec, dispatch_span, inflight
+                    worker, sent, received, kind, payload, seconds = collect(
+                        spec, dispatch_span, inflight, record
                     )
             except QueryCancelledError:
                 self.metrics.counter("czar.chunks.cancelled").add(1)
                 self._withdraw_chunk_queries(inflight, cancel_nonce)
                 with self._merge_lock:
                     stats.failed_chunks.append(spec.chunk_id)
+                    record.status = "cancelled"
                 raise
             except QueryError as e:
                 timed_out = isinstance(e, ChunkTimeoutError)
@@ -994,6 +1069,7 @@ class Czar:
                     if timed_out:
                         stats.chunks_timed_out += 1
                     stats.failed_chunks.append(spec.chunk_id)
+                    record.status = "timeout" if timed_out else "failed"
                     if allow_partial:
                         stats.partial_result = True
                 self.metrics.counter("czar.chunks.failed").add(1)
@@ -1009,7 +1085,14 @@ class Czar:
                 stats.bytes_dispatched += sent
                 stats.bytes_collected += received
                 stats.workers_used.add(worker)
-            return kind, payload
+                record.worker = worker
+                record.bytes_sent = sent
+                record.bytes_received = received
+                record.seconds = seconds
+                record.status = "ok"
+            if progress is not None:
+                progress.chunk_done(received)
+            return kind, payload, record
 
         # Single read: close() nulls _pool from another thread, and a
         # check-then-use pair would race it (None between the two reads).
@@ -1099,30 +1182,49 @@ class Czar:
         return name
 
     def _load_into_merge_table(
-        self, merge_db: Database, payloads: list[tuple[str, object]], stats: QueryStats
+        self,
+        merge_db: Database,
+        payloads: list[tuple[str, object, object]],
+        stats: QueryStats,
     ) -> Optional[str]:
         """Build the merge table from decoded chunk payloads in one pass.
 
         Payloads were already decoded (and thereby validated) during
-        collection: ``("binary", Table)`` entries are wire decodes,
-        ``("sqldump", text)`` entries are legacy mysqldump streams
-        replayed through the SQL engine (mixed-version clusters).  All
-        chunk tables are then concatenated with one ``np.concatenate``
-        per column instead of per-chunk appends.
+        collection: ``("binary", Table, profile)`` entries are wire
+        decodes, ``("sqldump", text, profile)`` entries are legacy
+        mysqldump streams replayed through the SQL engine
+        (mixed-version clusters).  All chunk tables are then
+        concatenated with one ``np.concatenate`` per column instead of
+        per-chunk appends.  Each chunk's merged row count lands on its
+        :class:`~repro.obs.profile.ChunkProfile` here -- the *same*
+        numbers summed into ``stats.rows_merged``, so EXPLAIN ANALYZE
+        never double-counts.
         """
         merge_name = f"{_MERGE_TABLE}_{next(self._merge_counter)}"
         tables: list[Table] = []
+        profiled: list[tuple] = []
         binary = legacy = 0
-        for kind, payload in payloads:
+        for entry in payloads:
+            # Accept bare (kind, payload) pairs too: direct callers of
+            # the merge helper (tests, mixed-version tooling) hand over
+            # _validate_payload output with no profile attached.
+            kind, payload = entry[0], entry[1]
+            record = entry[2] if len(entry) > 2 else None
             if kind == "binary":
-                tables.append(payload)
+                table = payload
                 binary += 1
             else:
                 loaded_name = load_dump(merge_db, payload)
-                tables.append(merge_db.get_table(loaded_name))
+                table = merge_db.get_table(loaded_name)
                 merge_db.drop_table(loaded_name)
                 legacy += 1
+            tables.append(table)
+            if record is not None:
+                profiled.append((record, table.num_rows, kind))
         with self._merge_lock:
+            for record, num_rows, kind in profiled:
+                record.rows = num_rows
+                record.wire_format = kind
             if binary and legacy:
                 stats.wire_format = "mixed"
             elif binary:

@@ -232,6 +232,9 @@ class AdmissionController:
         self._queued = 0
         # EWMA of admitted-query wall time, pricing retry_after hints.
         self._avg_seconds = 0.05
+        # Optional SLO pressure source (see attach_slo); called outside
+        # any lock it owns, so it must only touch its own state.
+        self._slo_pressure = None
         self.metrics = obs_metrics.Registry(parent=obs_metrics.REGISTRY)
 
     # -- policy ------------------------------------------------------------------
@@ -261,11 +264,35 @@ class AdmissionController:
         healthy_fraction = 1.0 - open_count / len(snap)
         return max(1, int(round(self.max_concurrent * healthy_fraction)))
 
+    def attach_slo(self, pressure_fn) -> None:
+        """Let SLO burn state inflate ``retry_after`` hints.
+
+        ``pressure_fn`` is a zero-argument callable returning a float
+        >= 0 (0 while every objective is within budget).  It is invoked
+        while the admission lock is held, so it must not take locks
+        that could in turn wait on admission -- ``SloMonitor.pressure``
+        only touches the monitor's own lock and qualifies.
+        """
+        with self._cv:
+            self._slo_pressure = pressure_fn
+
     def _retry_after_locked(self) -> float:
-        """Seconds until a slot plausibly frees, from backlog x latency."""
+        """Seconds until a slot plausibly frees, from backlog x latency.
+
+        While an SLO objective is burning error budget, the estimate is
+        scaled by ``1 + pressure``: clients get pushed back harder than
+        queue depth alone suggests, shedding load before the objective
+        is fully spent rather than after.
+        """
         capacity = max(self._capacity_locked(), 1)
         backlog = self._queued + max(self._running - capacity + 1, 1)
         estimate = backlog * self._avg_seconds / capacity
+        if self._slo_pressure is not None:
+            try:
+                pressure = max(float(self._slo_pressure()), 0.0)
+            except Exception:  # reprolint: disable=exception-swallow -- pricing hint, never fatal
+                pressure = 0.0
+            estimate *= 1.0 + pressure
         return min(max(estimate, 0.05), 30.0)
 
     # -- admission ---------------------------------------------------------------
@@ -463,9 +490,23 @@ class AdmissionController:
                     "rows_used": t.rows_used,
                     "bytes_used": t.bytes_used,
                     "weight": t.policy.weight,
+                    "row_budget": t.policy.row_budget,
+                    "byte_budget": t.policy.byte_budget,
+                    "quota_burn": self._quota_burn(t),
                 }
                 for name, t in sorted(self._tenants.items())
             }
+
+    @staticmethod
+    def _quota_burn(t: _Tenant) -> Optional[float]:
+        """Fraction of the tightest budget consumed, or None if unlimited."""
+        p = t.policy
+        fractions = []
+        if p.row_budget:
+            fractions.append(t.rows_used / p.row_budget)
+        if p.byte_budget:
+            fractions.append(t.bytes_used / p.byte_budget)
+        return round(max(fractions), 4) if fractions else None
 
     def __repr__(self):
         with self._lock:

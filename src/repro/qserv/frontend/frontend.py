@@ -32,6 +32,8 @@ from typing import Optional
 
 from ...analysis.sanitizer import make_lock
 from ...obs import metrics as obs_metrics
+from ...obs import slo as obs_slo
+from ...obs import timeseries as obs_timeseries
 from ...xrd.retry import CancelToken, Deadline
 from ..czar import Czar, QueryResult
 from ..proxy import QservProxy
@@ -59,6 +61,12 @@ class QservFrontend:
     batch_queue_wait:
         How patiently a batch job waits for an admission slot before
         being shed back to the job queue for a requeue.
+    slo_objectives:
+        Objectives for the built-in :class:`~repro.obs.slo.SloMonitor`
+        (defaults to :data:`~repro.obs.slo.DEFAULT_OBJECTIVES`).  The
+        monitor attaches to the global history recorder when that is
+        running and feeds its burn pressure into admission's
+        ``retry_after`` pricing.  Pass an empty sequence to disable.
     """
 
     def __init__(
@@ -74,6 +82,7 @@ class QservFrontend:
         cache_entries: int = 64,
         job_slots: int = 1,
         max_jobs: int = 1024,
+        slo_objectives=None,
     ):
         self.czar = czar
         self.local_db = local_db
@@ -102,6 +111,17 @@ class QservFrontend:
         self._sessions: dict[str, QservProxy] = {}
         self._sessions_lock = make_lock("QservFrontend._sessions_lock")
         self.metrics = obs_metrics.Registry(parent=obs_metrics.REGISTRY)
+        if slo_objectives is None:
+            slo_objectives = obs_slo.DEFAULT_OBJECTIVES
+        self.slo = obs_slo.SloMonitor(objectives=slo_objectives)
+        if slo_objectives:
+            self.admission.attach_slo(self.slo.pressure)
+            # Burn rates need a metrics-delta feed; piggyback on the
+            # global recorder when the operator turned it on
+            # (REPRO_HISTORY=...).  Without it the monitor stays idle
+            # unless something (a test, SHOW SLO) ticks it manually.
+            if obs_timeseries.RECORDER.running:
+                self.slo.attach(obs_timeseries.RECORDER)
         self._down = False
 
     # -- sessions ----------------------------------------------------------------
@@ -205,6 +225,7 @@ class QservFrontend:
         if self._down:
             return
         self._down = True
+        self.slo.detach()
         self.jobs.stop()
         if self._tmp is not None:
             self._tmp.cleanup()
@@ -213,6 +234,7 @@ class QservFrontend:
     def kill(self) -> None:
         """Simulate a frontend crash (journal freezes, work is torn down)."""
         self._down = True
+        self.slo.detach()
         self.jobs.kill()
 
     def inject_crash(self, point: str = "commit", after: int = 1) -> None:

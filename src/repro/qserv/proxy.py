@@ -122,6 +122,10 @@ class QservProxy:
         """
         t0 = time.perf_counter()
         self.log.note_submitted()
+        # Identity flows down to the czar's PROCESSLIST entry, so SHOW
+        # PROCESSLIST attributes in-flight queries to their tenant.
+        submit_kwargs.setdefault("tenant", self.user)
+        submit_kwargs.setdefault("session", self.session_id)
         obs_events.emit(
             "query_start", sql=sql, session=self.session_id, user=self.user
         )

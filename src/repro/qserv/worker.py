@@ -76,6 +76,11 @@ _CANCELLED_MESSAGE = "chunk query cancelled by master"
 # hash rotates out, all its result bookkeeping goes with it.
 _CANCEL_MEMORY = 4096
 
+# Per-slot-thread task context: carries the FIFO queue wait from
+# _serve/_run_task into _execute_task without widening the signature
+# (tests wrap _execute_task with same-signature shims).
+_task_ctx = threading.local()
+
 
 class WorkerShutdownError(SqlError):
     """The worker shut down before (or while) producing this result.
@@ -296,7 +301,7 @@ class QservWorker(OfsPlugin):
             self._run_task(rpath, chunk_id, text)
         else:
             with self._queue_cv:
-                self._queue.append((rpath, chunk_id, text))
+                self._queue.append((rpath, chunk_id, text, time.perf_counter()))
                 self.stats.queue_high_water = max(
                     self.stats.queue_high_water, len(self._queue)
                 )
@@ -366,10 +371,15 @@ class QservWorker(OfsPlugin):
                     self._queue_cv.wait()
                 if self._shutdown:
                     return
-                rpath, chunk_id, text = self._queue.popleft()
+                rpath, chunk_id, text, enqueued = self._queue.popleft()
                 depth = len(self._queue)
+            # Time spent sitting in the FIFO before a slot picked the
+            # task up: the queue-wait column of EXPLAIN ANALYZE and the
+            # saturation signal SHOW HISTORY charts.
+            queue_wait = max(time.perf_counter() - enqueued, 0.0)
             self.metrics.gauge(f"worker.queue.depth.{self.name}").set(depth)
-            self._run_task(rpath, chunk_id, text)
+            self.metrics.histogram("worker.queue.wait.seconds").observe(queue_wait)
+            self._run_task(rpath, chunk_id, text, queue_wait=queue_wait)
 
     def shutdown(self, timeout: float = 5.0):
         """Stop serving; release every blocked reader with an error.
@@ -462,7 +472,7 @@ class QservWorker(OfsPlugin):
         if event is not None:
             event.set()
 
-    def _run_task(self, rpath: str, chunk_id: int, text: str):
+    def _run_task(self, rpath: str, chunk_id: int, text: str, queue_wait: float = 0.0):
         with self._lock:
             if self._shutdown:
                 self._abandon_locked(rpath, _SHUTDOWN_MESSAGE)
@@ -487,9 +497,14 @@ class QservWorker(OfsPlugin):
             self.metrics.counter("worker.queries.expired").add(1)
             obs_events.emit("chunk_expired", worker=self.name, chunk=chunk_id)
             return
+        # Queue wait rides in a thread-local rather than the signature:
+        # one slot thread runs one task at a time, and tests wrap
+        # _execute_task with same-signature shims.
+        _task_ctx.queue_wait = queue_wait
         self._execute_task(rpath, chunk_id, text)
 
     def _execute_task(self, rpath: str, chunk_id: int, text: str):
+        queue_wait = getattr(_task_ctx, "queue_wait", 0.0)
         # Trace context, if the master propagated any: the ``-- TRACE:``
         # header names the dispatching attempt's span, so the execute
         # and dump spans recorded here parent under it -- correctly per
@@ -504,6 +519,7 @@ class QservWorker(OfsPlugin):
                 track=self.name,
                 worker=self.name,
                 chunk=chunk_id,
+                queue_wait=round(queue_wait, 6),
             ) as execute_span:
                 result = self.execute_chunk_query(chunk_id, text)
                 execute_span.set(rows=result.num_rows)

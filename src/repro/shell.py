@@ -18,16 +18,22 @@ Meta-commands (backslash-prefixed, like ``mysql``'s):
 
 Observability statements (SQL-flavored, uppercase keywords):
 
-====================  ===============================================
-``SHOW METRICS``       snapshot of the process-global metrics registry
-``SHOW EVENTS [n]``    the most recent structured events (default 20)
-``SHOW CLUSTER``       membership, replication, and integrity status
-``TRACE <sql>``        run the query traced; print its span tree
-``SUBMIT JOB <sql>``   enqueue a durable batch job; prints its id
-``SHOW JOBS``          the batch job queue (id, status, rows, table)
-``FETCH JOB <id>``     print a finished job's result table
-``CANCEL JOB <id>``    cancel a queued or running job
-====================  ===============================================
+==========================  ===========================================
+``SHOW METRICS``             snapshot of the process-global registry
+``SHOW METRICS LIKE 'pat'``  the same, filtered by a glob pattern
+``SHOW EVENTS [n]``          the most recent structured events
+``SHOW CLUSTER``             membership, replication, integrity status
+``SHOW PROCESSLIST``         in-flight queries with live chunk progress
+``SHOW TENANTS``             per-tenant admission + quota-burn rollup
+``SHOW HISTORY <pat> [n]``   recorded metric time series (glob pattern)
+``SHOW SLO``                 objective burn rates and firing state
+``TRACE <sql>``              run the query traced; print its span tree
+``EXPLAIN ANALYZE <sql>``    run traced; print the profiled plan
+``SUBMIT JOB <sql>``         enqueue a durable batch job; prints its id
+``SHOW JOBS``                the batch job queue (id, status, rows)
+``FETCH JOB <id>``           print a finished job's result table
+``CANCEL JOB <id>``          cancel a queued or running job
+==========================  ===========================================
 """
 
 from __future__ import annotations
@@ -97,12 +103,22 @@ class QservShell:
         if line.startswith("\\"):
             return self._meta(line)
         upper = line.upper()
-        if upper == "SHOW METRICS":
-            return self._show_metrics()
+        if upper == "SHOW METRICS" or upper.startswith("SHOW METRICS LIKE"):
+            return self._show_metrics(line)
         if upper == "SHOW EVENTS" or upper.startswith("SHOW EVENTS "):
             return self._show_events(line)
         if upper == "SHOW CLUSTER":
             return self._show_cluster()
+        if upper == "SHOW PROCESSLIST":
+            return self._show_processlist()
+        if upper == "SHOW TENANTS":
+            return self._show_tenants()
+        if upper == "SHOW HISTORY" or upper.startswith("SHOW HISTORY "):
+            return self._show_history(line)
+        if upper == "SHOW SLO":
+            return self._show_slo()
+        if upper == "EXPLAIN ANALYZE" or upper.startswith("EXPLAIN ANALYZE "):
+            return self._explain_analyze(line[len("EXPLAIN ANALYZE") :])
         if upper == "TRACE" or upper.startswith("TRACE "):
             return self._trace_query(line[len("TRACE") :])
         if upper == "SUBMIT JOB" or upper.startswith("SUBMIT JOB "):
@@ -130,23 +146,53 @@ class QservShell:
             out += f" ({elapsed:.3f} sec, {result.stats.chunks_dispatched} chunk queries)"
         return out
 
-    def _show_metrics(self) -> str:
-        """``SHOW METRICS``: render the process-global registry snapshot."""
+    @staticmethod
+    def _like_pattern(line: str, keyword: str):
+        """The glob from ``... LIKE '<pat>'``, or None / an error string."""
+        rest = line[len(keyword) :].strip()
+        if not rest:
+            return None
+        if rest.upper().startswith("LIKE"):
+            rest = rest[len("LIKE") :].strip()
+        pat = rest.strip("'\"")
+        if not pat:
+            return f"usage: {keyword} LIKE '<glob>'"
+        return pat
+
+    def _show_metrics(self, line: str = "SHOW METRICS") -> str:
+        """``SHOW METRICS [LIKE '<glob>']``: the process-global registry."""
+        import fnmatch
+
         from .obs import metrics as obs_metrics
 
+        pattern = self._like_pattern(line, "SHOW METRICS")
+        if pattern is not None and pattern.startswith("usage:"):
+            return pattern
         snap = obs_metrics.snapshot()
+        if pattern is not None:
+            snap = {
+                name: value
+                for name, value in snap.items()
+                if fnmatch.fnmatch(name, pattern)
+            }
         if not snap:
+            if pattern is not None:
+                return f"no metrics match {pattern!r}"
             return "no metrics recorded yet"
         rows = []
         for name, value in sorted(snap.items()):
             if isinstance(value, dict):  # histogram summary
-                rows.append(
-                    (
-                        name,
-                        f"count={value['count']} avg={value['avg']:.6g}s "
-                        f"min={value['min']:.6g}s max={value['max']:.6g}s",
-                    )
+                p50, p99 = value.get("p50"), value.get("p99")
+                detail = (
+                    f"count={value['count']} avg={value['avg']:.6g}s "
+                    f"p50={p50:.6g}s p99={p99:.6g}s max={value['max']:.6g}s"
+                    if p50 is not None and p99 is not None
+                    else f"count={value['count']} avg={value['avg']:.6g}s "
+                    f"min={value['min']:.6g}s max={value['max']:.6g}s"
                 )
+                if value.get("overflow"):
+                    detail += f" ({value['overflow']} past top bucket)"
+                rows.append((name, detail))
             else:
                 rows.append((name, value))
         return _format_table(["metric", "value"], rows, max_rows=len(rows))
@@ -174,7 +220,15 @@ class QservShell:
             )
             for e in events
         ]
-        return _format_table(["seq", "time", "event", "fields"], rows, max_rows=n)
+        out = _format_table(["seq", "time", "event", "fields"], rows, max_rows=n)
+        dropped = obs_events.dropped()
+        if dropped:
+            oldest = obs_events.oldest_seq()
+            out += (
+                f"\n({dropped} older event{'s' if dropped != 1 else ''} dropped; "
+                f"oldest retained seq {oldest})"
+            )
+        return out
 
     def _show_cluster(self) -> str:
         """``SHOW CLUSTER``: the self-healing data plane's status page."""
@@ -230,6 +284,157 @@ class QservShell:
             f"{snap.get('scrub.mismatches', 0)} mismatches"
         )
         return out
+
+    def _show_processlist(self) -> str:
+        """``SHOW PROCESSLIST``: in-flight queries with live progress."""
+        from .obs import progress as obs_progress
+
+        entries = obs_progress.PROCESSLIST.entries()
+        if not entries:
+            return "no queries in flight"
+        rows = []
+        for e in entries:
+            total = e["chunks_total"]
+            chunks = f"{e['chunks_done']}/{total if total else '?'}"
+            remaining = e["remaining"]
+            deadline = "-" if remaining is None else f"{remaining:.1f}s left"
+            rows.append(
+                (
+                    e["qid"],
+                    e["tenant"],
+                    e["session"] or "-",
+                    e["stage"],
+                    chunks,
+                    e["bytes"],
+                    f"{e['elapsed']:.3f}s",
+                    deadline,
+                    _clip(e["sql"]),
+                )
+            )
+        return _format_table(
+            ["qid", "tenant", "session", "stage", "chunks", "bytes",
+             "elapsed", "deadline", "sql"],
+            rows,
+            max_rows=len(rows),
+        )
+
+    def _show_tenants(self) -> str:
+        """``SHOW TENANTS``: admission accounting plus live in-flight load."""
+        from .obs import progress as obs_progress
+
+        frontend = getattr(self.testbed, "frontend", None)
+        if frontend is None:
+            return "ERROR: no frontend attached to this testbed"
+        snap = frontend.admission.snapshot()
+        inflight = obs_progress.PROCESSLIST.by_tenant()
+        names = sorted(set(snap) | set(inflight))
+        if not names:
+            return "no tenants seen yet"
+        rows = []
+        for name in names:
+            t = snap.get(name, {})
+            live = inflight.get(name, [])
+            burn = t.get("quota_burn")
+            rows.append(
+                (
+                    name,
+                    t.get("running", 0),
+                    t.get("queued", 0),
+                    len(live),
+                    sum(e["chunks_done"] for e in live),
+                    t.get("completed", 0),
+                    t.get("shed", 0),
+                    t.get("rows_used", 0),
+                    t.get("bytes_used", 0),
+                    "-" if burn is None else f"{burn * 100:.1f}%",
+                )
+            )
+        return _format_table(
+            ["tenant", "running", "queued", "inflight", "chunks done",
+             "completed", "shed", "rows used", "bytes used", "quota burn"],
+            rows,
+            max_rows=len(rows),
+        )
+
+    def _show_history(self, line: str) -> str:
+        """``SHOW HISTORY <metric|glob> [n]``: recorded time series."""
+        import shlex
+
+        from .obs import timeseries as obs_timeseries
+
+        try:
+            parts = shlex.split(line)
+        except ValueError:
+            parts = line.split()
+        args = parts[2:]
+        n = 10
+        if args and args[-1].isdigit():
+            n = max(int(args.pop()), 1)
+        pattern = args[0].strip("'\"") if args else "*"
+        recorder = obs_timeseries.RECORDER
+        names = recorder.names(pattern)
+        if not names:
+            hint = "" if recorder.ticks else (
+                " (recorder idle; set REPRO_HISTORY=<seconds> or call "
+                "RECORDER.start())"
+            )
+            return f"no recorded series match {pattern!r}{hint}"
+        rows = []
+        for name in names:
+            points = recorder.get(name, n)
+            if not points:
+                continue
+            latest = points[-1]
+            spark = " ".join(f"{p.value:.4g}" for p in points)
+            rows.append((name, recorder.series_kind(name), len(points),
+                         f"{latest.value:.6g}", spark))
+        return _format_table(
+            ["series", "kind", "points", "latest", f"last {n}"],
+            rows,
+            max_rows=len(rows),
+        )
+
+    def _show_slo(self) -> str:
+        """``SHOW SLO``: objective burn rates and firing state."""
+        frontend = getattr(self.testbed, "frontend", None)
+        if frontend is None or not getattr(frontend, "slo", None):
+            return "ERROR: no frontend (and so no SLO monitor) attached"
+        snap = frontend.slo.snapshot()
+        if not snap:
+            return "no SLO objectives declared"
+        rows = [
+            (
+                s["objective"],
+                s["kind"],
+                f"{s['budget'] * 100:g}%",
+                f"{s['burn_fast']:.2f}x",
+                f"{s['burn_slow']:.2f}x",
+                "FIRING" if s["firing"] else "ok",
+            )
+            for s in snap
+        ]
+        out = _format_table(
+            ["objective", "kind", "budget", "burn (fast)", "burn (slow)", "state"],
+            rows,
+            max_rows=len(rows),
+        )
+        out += f"\nadmission pressure {frontend.slo.pressure():.2f}"
+        return out
+
+    def _explain_analyze(self, sql: str) -> str:
+        """``EXPLAIN ANALYZE <sql>``: run traced; print the profiled plan."""
+        sql = sql.strip().rstrip(";")
+        if not sql:
+            return "usage: EXPLAIN ANALYZE <SELECT ...>"
+        try:
+            result = self.testbed.proxy.query(sql, trace=True)
+        except (SqlError, QservAnalysisError) as e:
+            return f"ERROR: {e}"
+        except Exception as e:
+            _log.exception("unexpected failure profiling %r", sql)
+            return f"ERROR: {type(e).__name__}: {e}"
+        self.last_result = result
+        return result.stats.profile.pretty()
 
     def _trace_query(self, sql: str) -> str:
         """``TRACE <sql>``: run the query traced; print its span tree."""

@@ -215,6 +215,15 @@ class Database:
             return self._order_and_limit(sel, result, Environment({}, result.num_rows))
 
         bound = self._bind_tables(sel)
+        sp = obs_trace.current_span()
+        if sp is not None:
+            # Interpreter path: every bound table is scanned in full.
+            # Accumulated, like the kernel path's attribution -- one
+            # worker.execute span covers several statements.
+            sp.set(
+                rows_scanned=sp.attrs.get("rows_scanned", 0)
+                + sum(t.num_rows for _, t in bound)
+            )
         env = self._join_and_filter(sel, bound)
 
         aggregates = self._collect_aggregates(sel)
@@ -255,6 +264,10 @@ class Database:
             sp.set(kernel=kernel is not None)
         if kernel is None:
             return None
+        if sp is not None:
+            sp.set(
+                rows_scanned=sp.attrs.get("rows_scanned", 0) + table.num_rows
+            )
         _kernels.obs_metrics.counter("kernel.executions").add(1)
         return kernel(table)
 

@@ -49,6 +49,7 @@ import numpy as np
 
 from ..analysis.sanitizer import make_lock
 from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from . import ast
 from .errors import SqlError
 from .expr_eval import (
@@ -594,6 +595,11 @@ class CompiledKernel:
         for arr in C.values():
             scanned += 8 * arr.size if arr.dtype == object else arr.nbytes
         obs_metrics.counter("engine.scan.bytes").add(scanned)
+        sp = obs_trace.current_span()
+        if sp is not None:
+            # Accumulate across statements: a sub-chunked chunk query
+            # runs several kernels under one worker.execute span.
+            sp.set(scan_bytes=sp.attrs.get("scan_bytes", 0) + scanned)
 
         m = self.mask_fn(C, n) if self.mask_fn is not None else None
         if self.stage_fns:

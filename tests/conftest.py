@@ -14,6 +14,8 @@ import pytest
 
 from repro.analysis import races, sanitizer
 from repro.obs import events as obs_events
+from repro.obs import progress as obs_progress
+from repro.obs import timeseries as obs_timeseries
 from repro.obs import trace as obs_trace
 
 
@@ -37,3 +39,7 @@ def _reset_observability():
     yield
     obs_trace.reset()
     obs_events.clear()
+    # A test that crashed mid-submit may leak a PROCESSLIST entry; the
+    # recorder's baseline is dropped so delta assertions start fresh.
+    obs_progress.PROCESSLIST.clear()
+    obs_timeseries.RECORDER.reset()

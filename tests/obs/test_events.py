@@ -67,6 +67,50 @@ class TestRing:
         assert len(log) == 0 and log.recent() == []
 
 
+class TestGapVisibility:
+    def test_dropped_counts_evictions_and_oldest_seq_moves(self):
+        log = EventLog(capacity=3)
+        for i in range(3):
+            log.emit("tick", i=i)
+        assert log.dropped == 0
+        assert log.oldest_seq == 1
+        for i in range(2):
+            log.emit("tick", i=3 + i)
+        assert log.dropped == 2
+        assert log.oldest_seq == 3  # seqs 1 and 2 rolled off
+
+    def test_dropped_feeds_the_global_counter(self):
+        from repro.obs import metrics as obs_metrics
+
+        counter = obs_metrics.counter("events.dropped")
+        before = counter.value
+        log = EventLog(capacity=1)
+        log.emit("a")
+        log.emit("b")
+        log.emit("c")
+        assert counter.value == before + 2
+
+    def test_resize_shed_counts_as_dropped(self):
+        log = EventLog()
+        for i in range(5):
+            log.emit("tick", i=i)
+        log.resize(2)
+        assert log.dropped == 3
+        assert log.oldest_seq == 4
+
+    def test_empty_log_has_no_oldest(self):
+        log = EventLog()
+        assert log.oldest_seq is None
+        assert log.dropped == 0
+
+    def test_clear_resets_drop_accounting(self):
+        log = EventLog(capacity=1)
+        log.emit("a")
+        log.emit("b")
+        log.clear()
+        assert log.dropped == 0 and log.oldest_seq is None
+
+
 class TestExport:
     def test_to_json_round_trips(self):
         log = EventLog()

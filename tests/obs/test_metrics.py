@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.obs.metrics import DEFAULT_BUCKETS, Registry
+from repro.obs.metrics import DEFAULT_BUCKETS, Registry, estimate_quantile
 
 
 class TestCounter:
@@ -84,6 +84,61 @@ class TestHistogram:
         leaf = Registry(parent=root)
         leaf.histogram("lat").observe(0.2)
         assert root.histogram("lat").count == 1
+
+    def test_overflow_counts_top_bucket(self):
+        reg = Registry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        assert h.overflow == 0
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(9.0)
+        assert h.overflow == 2
+        assert h.snapshot()["overflow"] == 2
+
+    def test_quantile_interpolates_within_buckets(self):
+        reg = Registry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        for _ in range(100):
+            h.observe(0.05)
+        p50 = h.quantile(0.5)
+        assert 0.0 < p50 <= 0.1
+
+    def test_tail_quantile_reports_observed_max_not_bucket_edge(self):
+        # The old rendering clamped p99 at the last bucket bound; a
+        # 30 s straggler in a histogram topping out at 1 s read "1 s".
+        reg = Registry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        for _ in range(10):
+            h.observe(0.05)
+        h.observe(30.0)
+        assert h.quantile(0.99) == 30.0
+        assert h.snapshot()["p99"] == 30.0
+
+    def test_quantile_of_empty_histogram_is_none(self):
+        reg = Registry()
+        h = reg.histogram("lat")
+        assert h.quantile(0.5) is None
+        snap = h.snapshot()
+        assert snap["p50"] is None and snap["p99"] is None
+
+
+class TestEstimateQuantile:
+    def test_empty_counts(self):
+        assert estimate_quantile((1.0,), [0, 0], 0.5) is None
+
+    def test_single_bucket_midpoint_behaviour(self):
+        est = estimate_quantile((1.0, 2.0), [0, 4, 0], 0.5)
+        assert 1.0 <= est <= 2.0
+
+    def test_overflow_without_observed_max_clamps_to_last_bound(self):
+        est = estimate_quantile((1.0,), [0, 10], 0.99)
+        assert est == 1.0
+
+    def test_clamped_to_observed_extremes(self):
+        est = estimate_quantile(
+            (1.0,), [10, 0], 0.01, observed_min=0.4, observed_max=0.6
+        )
+        assert est >= 0.4
 
 
 class TestRegistry:

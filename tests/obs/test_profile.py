@@ -1,0 +1,114 @@
+"""Unit tests for the EXPLAIN ANALYZE profile assembly and rendering."""
+
+from repro.obs import trace as obs_trace
+from repro.obs.profile import ChunkProfile, QueryProfile, build_profile
+
+
+class FakeStats:
+    """The duck-typed subset of QueryStats that build_profile reads."""
+
+    def __init__(self, chunk_profiles=(), trace=None):
+        self.chunk_profiles = list(chunk_profiles)
+        self.trace = trace
+        self.plan_seconds = 0.001
+        self.merge_seconds = 0.002
+        self.elapsed_seconds = 0.01
+        self.rows_merged = sum(c.rows for c in chunk_profiles)
+        self.wire_format = "binary"
+        self.partial_result = False
+        self.plan_cache_hits = 1
+        self.used_secondary_index = False
+        self.used_region_restriction = True
+
+
+def ok_chunk(chunk_id, **kw):
+    defaults = dict(
+        worker="worker-000",
+        attempts=1,
+        rows=10,
+        bytes_sent=100,
+        bytes_received=200,
+        seconds=0.005,
+        status="ok",
+        wire_format="binary",
+    )
+    defaults.update(kw)
+    return ChunkProfile(chunk_id=chunk_id, **defaults)
+
+
+class TestTotals:
+    def test_sums_split_by_status(self):
+        chunks = [
+            ok_chunk(1),
+            ok_chunk(2, retries=2, hedges=1, hedges_won=1),
+            ChunkProfile(chunk_id=3, status="timeout", retries=3),
+            ChunkProfile(chunk_id=4, status="cancelled"),
+        ]
+        t = QueryProfile(sql="SELECT 1", chunks=chunks).totals()
+        assert t["chunks"] == 4 and t["chunks_ok"] == 2
+        assert t["rows"] == 20  # only merged chunks contribute rows
+        assert t["bytes_received"] == 400
+        assert t["retries"] == 5  # every chunk's retries count
+        assert t["hedges"] == 1 and t["hedges_won"] == 1
+        assert t["timeouts"] == 1 and t["cancelled"] == 1 and t["failed"] == 0
+
+
+class TestBuildProfile:
+    def test_untraced_profile_has_accounting_only(self):
+        stats = FakeStats([ok_chunk(2), ok_chunk(1)])
+        profile = build_profile(stats, sql="SELECT  1", status="ok")
+        assert not profile.traced
+        assert [c.chunk_id for c in profile.chunks] == [1, 2]  # sorted
+        assert profile.sql == "SELECT 1"
+        assert profile.plan_cache_hit
+        assert all(c.queue_wait is None for c in profile.chunks)
+
+    def test_trace_enrichment_takes_winning_span(self):
+        trace = obs_trace.Trace("t-test")
+        with obs_trace.span(
+            "worker.execute", trace=trace, chunk=1, worker="worker-000",
+            queue_wait=0.002, rows_scanned=50, scan_bytes=4096, kernel=True,
+        ):
+            pass
+        # A losing replica's span for the same chunk: other worker.
+        with obs_trace.span(
+            "worker.execute", trace=trace, chunk=1, worker="worker-001",
+            rows_scanned=999,
+        ):
+            pass
+        stats = FakeStats([ok_chunk(1)], trace=trace)
+        profile = build_profile(stats)
+        c = profile.chunks[0]
+        assert profile.traced
+        assert c.queue_wait == 0.002
+        assert c.rows_scanned == 50 and c.scan_bytes == 4096
+        assert c.kernel is True
+        assert c.execute_seconds is not None
+
+    def test_cancelled_spans_do_not_enrich(self):
+        trace = obs_trace.Trace("t-test")
+        sp = obs_trace.span(
+            "worker.execute", trace=trace, chunk=1, worker="worker-000",
+            rows_scanned=50,
+        )
+        sp.cancel()
+        stats = FakeStats([ok_chunk(1)], trace=trace)
+        profile = build_profile(stats)
+        assert profile.chunks[0].rows_scanned is None
+
+
+class TestPretty:
+    def test_renders_header_and_rows(self):
+        stats = FakeStats([ok_chunk(1), ChunkProfile(chunk_id=2, status="timeout")])
+        out = build_profile(stats, sql="SELECT 1", status="ok").pretty()
+        assert "query: SELECT 1" in out
+        assert "coverage: region" in out
+        assert "1/2 ok, 1 timed out" in out
+        assert "plan cache hit" in out
+        assert "worker-000" in out
+        assert "not traced" in out  # untraced notice
+
+    def test_truncates_long_chunk_lists(self):
+        stats = FakeStats([ok_chunk(i) for i in range(40)])
+        out = build_profile(stats).pretty(max_chunks=8)
+        assert "... 32 more chunks" in out

@@ -1,0 +1,99 @@
+"""Unit tests for the live-progress registry behind SHOW PROCESSLIST."""
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.progress import ProgressRegistry
+
+
+class TestQueryProgress:
+    def test_lifecycle_and_snapshot(self):
+        reg = ProgressRegistry()
+        clock_value = [100.0]
+        p = reg.begin(
+            "SELECT  *  FROM   Object",
+            tenant="alice",
+            session="s-1",
+            deadline_seconds=10.0,
+            clock=lambda: clock_value[0],
+        )
+        assert len(reg) == 1
+        p.stage("dispatch").set_total(8)
+        p.chunk_done(bytes_received=100)
+        p.chunk_done(bytes_received=50, retries=1)
+        p.note_rows(12)
+        clock_value[0] = 103.0
+        snap = p.snapshot()
+        assert snap["sql"] == "SELECT * FROM Object"  # normalized
+        assert snap["tenant"] == "alice" and snap["session"] == "s-1"
+        assert snap["stage"] == "dispatch"
+        assert snap["chunks_done"] == 2 and snap["chunks_total"] == 8
+        assert snap["bytes"] == 150 and snap["rows"] == 12
+        assert snap["retries"] == 1
+        assert snap["elapsed"] == 3.0
+        assert snap["remaining"] == 7.0
+        p.finish()
+        assert len(reg) == 0
+
+    def test_finish_is_idempotent(self):
+        reg = ProgressRegistry()
+        p = reg.begin("SELECT 1")
+        p.finish()
+        p.finish()
+        assert len(reg) == 0
+
+    def test_no_deadline_means_no_remaining(self):
+        reg = ProgressRegistry()
+        p = reg.begin("SELECT 1")
+        snap = p.snapshot()
+        assert snap["deadline"] is None and snap["remaining"] is None
+        p.finish()
+
+    def test_anonymous_tenant_defaults(self):
+        reg = ProgressRegistry()
+        p = reg.begin("SELECT 1", tenant="")
+        assert p.snapshot()["tenant"] == "anon"
+        p.finish()
+
+
+class TestProgressRegistry:
+    def test_entries_oldest_first(self):
+        reg = ProgressRegistry()
+        a = reg.begin("SELECT 1", tenant="a")
+        b = reg.begin("SELECT 2", tenant="b")
+        qids = [e["qid"] for e in reg.entries()]
+        assert qids == sorted(qids)
+        assert reg.get(a.qid) is a
+        a.finish()
+        b.finish()
+
+    def test_by_tenant_groups(self):
+        reg = ProgressRegistry()
+        a1 = reg.begin("SELECT 1", tenant="alice")
+        a2 = reg.begin("SELECT 2", tenant="alice")
+        b = reg.begin("SELECT 3", tenant="bob")
+        grouped = reg.by_tenant()
+        assert len(grouped["alice"]) == 2
+        assert len(grouped["bob"]) == 1
+        for p in (a1, a2, b):
+            p.finish()
+
+    def test_inflight_gauges_track_begin_and_finish(self):
+        reg = ProgressRegistry()
+        g = obs_metrics.gauge("czar.queries.inflight")
+        tg = obs_metrics.gauge("czar.inflight.carol")
+        before, tbefore = g.value, tg.value
+        p = reg.begin("SELECT 1", tenant="carol")
+        assert g.value == before + 1
+        assert tg.value == tbefore + 1
+        p.finish()
+        assert g.value == before
+        assert tg.value == tbefore
+
+    def test_clear_rebalances_gauges(self):
+        reg = ProgressRegistry()
+        g = obs_metrics.gauge("czar.queries.inflight")
+        before = g.value
+        reg.begin("SELECT 1")
+        reg.begin("SELECT 2")
+        reg.clear()
+        assert len(reg) == 0
+        assert g.value == before

@@ -1,0 +1,109 @@
+"""Unit tests for SLO objectives, burn rates, and admission pressure."""
+
+import pytest
+
+from repro.obs import events as obs_events
+from repro.obs.metrics import Registry
+from repro.obs.slo import Objective, SloMonitor
+from repro.obs.timeseries import HistoryRecorder
+
+
+def ratio_objective(budget=0.1):
+    return Objective(
+        name="shed-ratio",
+        kind="ratio",
+        metric="shed",
+        good_metric="admitted",
+        budget=budget,
+    )
+
+
+class TestObjective:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            Objective(name="x", kind="wat", metric="m")
+        with pytest.raises(ValueError, match="budget"):
+            Objective(name="x", kind="ratio", metric="m", good_metric="g", budget=0.0)
+        with pytest.raises(ValueError, match="good_metric"):
+            Objective(name="x", kind="ratio", metric="m")
+
+    def test_ratio_classification(self):
+        o = ratio_objective()
+        assert o.classify({"shed": 3, "admitted": 7}) == (3, 10)
+        assert o.classify({}) == (0, 0)
+
+    def test_latency_classification_uses_bucket_edges(self):
+        o = Objective(
+            name="lat", kind="latency", metric="lat.seconds", threshold=0.5
+        )
+        deltas = {
+            "lat.seconds": {
+                "count": 10,
+                "sum": 2.0,
+                "bounds": (0.1, 0.5, 1.0),
+                "buckets": [4, 4, 1, 1],  # last two buckets are > threshold
+            }
+        }
+        assert o.classify(deltas) == (2, 10)
+        assert o.classify({"lat.seconds": 3}) == (0, 0)  # not a histogram delta
+
+
+class TestBurnAndPressure:
+    def test_burning_fires_event_and_raises_pressure(self):
+        mon = SloMonitor(objectives=(ratio_objective(budget=0.1),))
+        assert mon.pressure() == 0.0
+        # 50% bad against a 10% budget -> burn 5x, well past both gates.
+        mon.on_tick(1000.0, {"shed": 5, "admitted": 5})
+        assert mon.pressure() > 0.0
+        snap = mon.snapshot()[0]
+        assert snap["firing"] and snap["burn_fast"] == pytest.approx(5.0)
+        kinds = [e.type for e in obs_events.recent(10)]
+        assert "slo_burn" in kinds
+
+    def test_recovery_emits_clear_and_drops_pressure(self):
+        mon = SloMonitor(
+            objectives=(ratio_objective(budget=0.1),), fast_window=5, slow_window=5
+        )
+        mon.on_tick(1000.0, {"shed": 5, "admitted": 5})
+        assert mon.pressure() > 0.0
+        # Healthy ticks past the window age the bad sample out.
+        mon.on_tick(1010.0, {"shed": 0, "admitted": 100})
+        assert mon.pressure() == 0.0
+        assert not mon.snapshot()[0]["firing"]
+        kinds = [e.type for e in obs_events.recent(10)]
+        assert "slo_clear" in kinds
+
+    def test_within_budget_never_fires(self):
+        mon = SloMonitor(objectives=(ratio_objective(budget=0.5),))
+        for i in range(5):
+            mon.on_tick(1000.0 + i, {"shed": 1, "admitted": 9})  # 10% of a 50% budget
+        assert mon.pressure() == 0.0
+        assert not mon.snapshot()[0]["firing"]
+
+    def test_pressure_is_capped(self):
+        mon = SloMonitor(objectives=(ratio_objective(budget=0.01),), max_pressure=4.0)
+        mon.on_tick(1000.0, {"shed": 100, "admitted": 0})  # burn 100x
+        assert mon.pressure() == 4.0
+
+    def test_empty_ticks_are_neutral(self):
+        mon = SloMonitor(objectives=(ratio_objective(),))
+        mon.on_tick(1000.0, {})
+        assert mon.pressure() == 0.0
+
+
+class TestRecorderIntegration:
+    def test_monitor_attaches_to_recorder_ticks(self):
+        reg = Registry()
+        rec = HistoryRecorder(registry=reg)
+        mon = SloMonitor(objectives=(ratio_objective(budget=0.05),), recorder=rec)
+        reg.counter("shed")
+        reg.counter("admitted").add(1)
+        rec.tick(now=1.0)
+        reg.counter("shed").add(10)
+        reg.counter("admitted").add(10)
+        rec.tick(now=2.0)
+        assert mon.pressure() > 0.0
+        mon.detach()
+        reg.counter("admitted").add(100)
+        rec.tick(now=3.0)
+        assert mon.pressure() > 0.0  # detached: no longer updated

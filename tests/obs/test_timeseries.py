@@ -1,0 +1,172 @@
+"""Unit tests for the metrics history recorder and its exports."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import Registry
+from repro.obs.timeseries import DEFAULT_CAPACITY, HistoryRecorder, to_prometheus
+
+
+def make_recorder(**kwargs):
+    reg = Registry()
+    return reg, HistoryRecorder(registry=reg, **kwargs)
+
+
+class TestTick:
+    def test_first_tick_is_baseline_only(self):
+        reg, rec = make_recorder()
+        reg.counter("c").add(5)
+        deltas = rec.tick(now=100.0)
+        assert deltas == {}
+        assert rec.names() == []
+
+    def test_counter_becomes_rate(self):
+        reg, rec = make_recorder()
+        reg.counter("c").add(5)
+        rec.tick(now=100.0)
+        reg.counter("c").add(10)
+        deltas = rec.tick(now=102.0)
+        assert deltas["c"] == 10
+        points = rec.get("c.rate")
+        assert len(points) == 1
+        assert points[0].value == pytest.approx(5.0)  # 10 over 2s
+        assert rec.series_kind("c.rate") == "rate"
+
+    def test_gauge_is_sampled_as_is(self):
+        reg, rec = make_recorder()
+        reg.gauge("g").set(3)
+        rec.tick(now=1.0)
+        reg.gauge("g").set(7)
+        rec.tick(now=2.0)
+        values = [p.value for p in rec.get("g")]
+        assert values == [7]
+        assert rec.series_kind("g") == "gauge"
+
+    def test_histogram_yields_rate_and_interval_quantiles(self):
+        reg, rec = make_recorder()
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        rec.tick(now=10.0)
+        for v in (0.05, 0.05, 0.5, 0.5):
+            h.observe(v)
+        deltas = rec.tick(now=11.0)
+        assert deltas["lat"]["count"] == 4
+        assert rec.get("lat.rate")[0].value == pytest.approx(4.0)
+        p50 = rec.get("lat.p50")[0].value
+        p99 = rec.get("lat.p99")[0].value
+        assert 0.0 < p50 <= 0.5
+        assert p50 <= p99 <= 1.0
+
+    def test_quiet_histogram_interval_records_no_quantile(self):
+        reg, rec = make_recorder()
+        reg.histogram("lat").observe(0.2)
+        rec.tick(now=1.0)
+        rec.tick(now=2.0)  # no new observations
+        assert rec.get("lat.p99") == []
+        assert rec.get("lat.rate")[-1].value == 0.0
+
+    def test_ring_is_bounded(self):
+        reg, rec = make_recorder(capacity=4)
+        reg.gauge("g").set(1)
+        for i in range(10):
+            rec.tick(now=float(i))
+        assert len(rec.get("g")) == 4
+        assert DEFAULT_CAPACITY >= 4
+
+    def test_listener_sees_deltas_and_can_detach(self):
+        reg, rec = make_recorder()
+        seen = []
+        rec.add_listener(lambda ts, d: seen.append((ts, d)))
+        reg.counter("c").add(1)
+        rec.tick(now=1.0)  # baseline: no deltas yet, no callback
+        reg.counter("c").add(2)
+        rec.tick(now=2.0)
+        assert seen == [(2.0, {"c": 2})]
+        fn = rec._listeners[0]
+        rec.remove_listener(fn)
+        rec.tick(now=3.0)
+        assert len(seen) == 1
+
+    def test_reset_drops_series_and_baseline(self):
+        reg, rec = make_recorder()
+        reg.counter("c").add(1)
+        rec.tick(now=1.0)
+        rec.tick(now=2.0)
+        rec.reset()
+        assert rec.names() == [] and rec.ticks == 0
+        assert rec.tick(now=3.0) == {}  # a baseline again
+
+
+class TestNamesAndGlobs:
+    def test_names_filters_by_glob(self):
+        reg, rec = make_recorder()
+        reg.counter("czar.chunks").add(1)
+        reg.counter("worker.tasks").add(1)
+        rec.tick(now=1.0)
+        reg.counter("czar.chunks").add(1)
+        reg.counter("worker.tasks").add(1)
+        rec.tick(now=2.0)
+        assert rec.names("czar.*") == ["czar.chunks.rate"]
+        assert rec.names("*.rate") == ["czar.chunks.rate", "worker.tasks.rate"]
+        assert rec.names("nope*") == []
+
+
+class TestBackgroundThread:
+    def test_start_stop(self):
+        reg, rec = make_recorder(interval=0.01)
+        reg.counter("c").add(1)
+        rec.start()
+        try:
+            assert rec.running
+            import time
+
+            deadline = time.monotonic() + 5.0
+            while rec.ticks < 3 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert rec.ticks >= 3
+        finally:
+            rec.stop()
+        assert not rec.running
+
+    def test_start_is_idempotent(self):
+        _, rec = make_recorder(interval=0.05)
+        rec.start()
+        thread = rec._thread
+        rec.start()
+        assert rec._thread is thread
+        rec.stop()
+
+
+class TestExports:
+    def test_prometheus_text(self):
+        reg, _ = make_recorder()
+        reg.counter("czar.chunks").add(3)
+        reg.gauge("queue.depth").set(2)
+        reg.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+        text = to_prometheus(reg)
+        assert "# TYPE repro_czar_chunks counter" in text
+        assert "repro_czar_chunks 3" in text
+        assert "repro_queue_depth 2" in text
+        assert 'repro_lat_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_bucket{le="+Inf"} 1' in text  # cumulative
+        assert "repro_lat_count 1" in text
+
+    def test_perfetto_counter_track(self):
+        reg, rec = make_recorder()
+        reg.gauge("g").set(1)
+        rec.tick(now=4.0)  # baseline
+        rec.tick(now=5.0)
+        reg.gauge("g").set(2)
+        rec.tick(now=6.0)
+        payload = json.loads(rec.to_perfetto())
+        events = payload["traceEvents"]
+        assert all(e["ph"] == "C" for e in events)
+        assert events[0]["ts"] == 0.0  # relative microseconds
+        assert events[-1]["ts"] == pytest.approx(1e6)
+        assert events[-1]["args"]["value"] == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HistoryRecorder(registry=Registry(), interval=0)
+        with pytest.raises(ValueError):
+            HistoryRecorder(registry=Registry(), capacity=0)

@@ -156,6 +156,113 @@ class TestObservabilityStatements:
         out = shell.execute_line("\\stats")
         assert "chunks dispatched" in out
 
+    def test_show_metrics_like_filters_by_glob(self, shell):
+        shell.execute_line("SELECT COUNT(*) FROM Object")
+        out = shell.execute_line("SHOW METRICS LIKE 'czar.chunks.*'")
+        assert "czar.chunks.dispatched" in out
+        assert "worker.execute.seconds" not in out
+        assert shell.execute_line("SHOW METRICS LIKE 'zzz.*'") == (
+            "no metrics match 'zzz.*'"
+        )
+        assert shell.execute_line("SHOW METRICS LIKE ''").startswith("usage:")
+
+    def test_histogram_rendering_reports_overflow_and_quantiles(self, shell):
+        from repro.obs import metrics as obs_metrics
+
+        h = obs_metrics.histogram("shelltest.lat", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(30.0)  # past the top bucket
+        out = shell.execute_line("SHOW METRICS LIKE 'shelltest.*'")
+        assert "p99=30s" in out
+        assert "1 past top bucket" in out
+
+    def test_show_events_reports_dropped_gap(self, shell):
+        from repro.obs import events as obs_events
+
+        obs_events.clear()
+        obs_events.LOG.resize(3)
+        try:
+            for i in range(6):
+                obs_events.emit("tick", i=i)
+            out = shell.execute_line("SHOW EVENTS")
+            assert "3 older events dropped" in out
+            assert f"oldest retained seq {obs_events.oldest_seq()}" in out
+        finally:
+            obs_events.LOG.resize(1024)
+            obs_events.clear()
+
+    def test_explain_analyze_prints_profiled_plan(self, shell):
+        out = shell.execute_line("EXPLAIN ANALYZE SELECT COUNT(*) FROM Object")
+        assert "query: SELECT COUNT(*) FROM Object" in out
+        assert "coverage: full-sky" in out
+        assert "worker-00" in out
+        assert "wait_ms" in out and "exec_ms" in out  # trace-enriched columns
+        assert "not traced" not in out  # EXPLAIN ANALYZE forces tracing
+
+    def test_explain_analyze_usage_and_errors(self, shell):
+        assert shell.execute_line("EXPLAIN ANALYZE") == (
+            "usage: EXPLAIN ANALYZE <SELECT ...>"
+        )
+        out = shell.execute_line("EXPLAIN ANALYZE SELECT nope FROM Object")
+        assert out.startswith("ERROR:")
+
+    def test_show_processlist_idle(self, shell):
+        assert shell.execute_line("SHOW PROCESSLIST") == "no queries in flight"
+
+    def test_show_processlist_mid_query(self, shell):
+        import threading
+
+        from repro.obs import progress as obs_progress
+
+        gate = threading.Event()
+        p = obs_progress.PROCESSLIST.begin(
+            "SELECT * FROM Object", tenant="alice", deadline_seconds=60.0
+        )
+        try:
+            p.stage("dispatch").set_total(10)
+            p.chunk_done(bytes_received=128)
+            out = shell.execute_line("SHOW PROCESSLIST")
+            assert "alice" in out and "dispatch" in out
+            assert "1/10" in out
+            assert "left" in out  # deadline column
+        finally:
+            gate.set()
+            p.finish()
+
+    def test_show_tenants_reports_admission_accounting(self, shell):
+        shell.testbed.frontend.query("SELECT COUNT(*) FROM Object", user="alice")
+        out = shell.execute_line("SHOW TENANTS")
+        assert "alice" in out
+        assert "completed" in out and "quota burn" in out
+
+    def test_show_slo_lists_objectives_and_pressure(self, shell):
+        out = shell.execute_line("SHOW SLO")
+        assert "query-latency-p99" in out
+        assert "shed-ratio" in out
+        assert "ok" in out
+        assert "admission pressure 0.00" in out
+
+    def test_show_history_idle_hint(self, shell):
+        from repro.obs import timeseries as obs_timeseries
+
+        obs_timeseries.RECORDER.reset()
+        out = shell.execute_line("SHOW HISTORY 'czar.*'")
+        assert "no recorded series" in out
+        assert "REPRO_HISTORY" in out
+
+    def test_show_history_renders_recorded_series(self, shell):
+        from repro.obs import timeseries as obs_timeseries
+
+        rec = obs_timeseries.RECORDER
+        rec.reset()
+        rec.tick()
+        shell.execute_line("SELECT COUNT(*) FROM Object")
+        rec.tick()
+        out = shell.execute_line("SHOW HISTORY 'czar.chunks.dispatched.rate' 5")
+        assert "czar.chunks.dispatched.rate" in out
+        assert "rate" in out
+        rec.reset()
+
 
 class TestShowCluster:
     def test_healthy_cluster(self, shell):
